@@ -1,0 +1,52 @@
+//! Criterion bench backing FIG3/FIG5: allocation, Eq. (1) checking and the
+//! proportional solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qrn_core::allocation::allocate_proportional;
+use qrn_core::examples::{
+    paper_allocation, paper_classification, paper_norm, paper_shares, paper_weights,
+};
+
+fn bench_check(c: &mut Criterion) {
+    let norm = paper_norm().expect("builds");
+    let classification = paper_classification().expect("builds");
+    let allocation = paper_allocation(&classification).expect("builds");
+    c.bench_function("allocation/eq1_check", |b| {
+        b.iter(|| allocation.check(black_box(&norm)).expect("valid"))
+    });
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let norm = paper_norm().expect("builds");
+    let classification = paper_classification().expect("builds");
+    let shares = paper_shares(&classification).expect("builds");
+    let weights = paper_weights(&classification);
+    c.bench_function("allocation/proportional_solver", |b| {
+        b.iter(|| {
+            allocate_proportional(
+                black_box(&norm),
+                black_box(&shares),
+                black_box(&weights),
+                0.9,
+            )
+            .expect("solvable")
+        })
+    });
+}
+
+fn bench_what_if(c: &mut Criterion) {
+    let classification = paper_classification().expect("builds");
+    let allocation = paper_allocation(&classification).expect("builds");
+    c.bench_function("allocation/what_if_rescale", |b| {
+        b.iter(|| {
+            allocation
+                .with_scaled_budget(black_box(&"I2".into()), black_box(0.5))
+                .expect("valid")
+        })
+    });
+}
+
+criterion_group!(benches, bench_check, bench_solver, bench_what_if);
+criterion_main!(benches);

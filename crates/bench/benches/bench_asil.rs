@@ -1,0 +1,39 @@
+//! Criterion bench backing FIG1: ASIL determination and risk waterfalls.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qrn_hara::asil::{determine_asil, risk_waterfall};
+use qrn_hara::severity::{Controllability, Exposure, Severity};
+
+fn bench_determination(c: &mut Criterion) {
+    c.bench_function("asil/full_table_determination", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for s in Severity::ALL {
+                for e in Exposure::ALL {
+                    for ctrl in Controllability::ALL {
+                        acc += determine_asil(black_box(s), black_box(e), black_box(ctrl)).rank()
+                            as u32;
+                    }
+                }
+            }
+            acc
+        })
+    });
+}
+
+fn bench_waterfall(c: &mut Criterion) {
+    c.bench_function("asil/risk_waterfall", |b| {
+        b.iter(|| {
+            risk_waterfall(
+                black_box(Severity::S3),
+                black_box(Exposure::E4),
+                black_box(Controllability::C3),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_determination, bench_waterfall);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench backing FIG4: incident classification and MECE
+//! verification.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use qrn_core::examples::paper_classification;
+use qrn_core::incident::IncidentRecord;
+use qrn_core::object::{Involvement, ObjectType};
+use qrn_stats::rng::{seeded, uniform};
+use qrn_units::{Meters, Speed};
+
+fn sample_records(n: usize) -> Vec<IncidentRecord> {
+    let mut rng = seeded(7);
+    (0..n)
+        .map(|i| {
+            let object = ObjectType::ALL[i % ObjectType::ALL.len()];
+            if i % 3 == 0 {
+                IncidentRecord::near_miss(
+                    Involvement::ego_with(object),
+                    Meters::new(uniform(&mut rng, 0.0, 2.0)).expect("bounded"),
+                    Speed::from_kmh(uniform(&mut rng, 0.0, 120.0)).expect("bounded"),
+                )
+            } else {
+                IncidentRecord::collision(
+                    Involvement::ego_with(object),
+                    Speed::from_kmh(uniform(&mut rng, 0.0, 150.0)).expect("bounded"),
+                )
+            }
+        })
+        .collect()
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let classification = paper_classification().expect("builds");
+    let records = sample_records(10_000);
+    let mut group = c.benchmark_group("classification");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("classify_10k_records", |b| {
+        b.iter(|| {
+            records
+                .iter()
+                .filter_map(|r| classification.classify(black_box(r)))
+                .count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_mece(c: &mut Criterion) {
+    let classification = paper_classification().expect("builds");
+    c.bench_function("classification/verify_mece", |b| {
+        b.iter(|| classification.verify_mece())
+    });
+}
+
+criterion_group!(benches, bench_classify, bench_mece);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench backing CLM3: rate-model composition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use qrn_quant::element::Element;
+use qrn_quant::ftree::RateModel;
+use qrn_units::Frequency;
+
+fn deep_tree(width: usize, depth: usize) -> RateModel {
+    fn build(width: usize, depth: usize, id: &mut u64) -> RateModel {
+        if depth == 0 {
+            *id += 1;
+            return RateModel::basic(Element::new(
+                format!("e{id}"),
+                Frequency::per_hour(1e-4).expect("finite"),
+            ));
+        }
+        let children = (0..width).map(|_| build(width, depth - 1, id)).collect();
+        if depth.is_multiple_of(2) {
+            RateModel::any_of(children)
+        } else {
+            RateModel::all_of(children)
+        }
+    }
+    let mut id = 0;
+    build(width, depth, &mut id)
+}
+
+fn bench_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ftree/rate");
+    for depth in [2usize, 4, 6] {
+        let tree = deep_tree(3, depth);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("3^{depth}")),
+            &tree,
+            |b, tree| b.iter(|| black_box(tree).rate().expect("finite")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_approx(c: &mut Criterion) {
+    let tree = deep_tree(3, 6);
+    c.bench_function("ftree/rare_approx_3^6", |b| {
+        b.iter(|| black_box(&tree).rate_rare_approx())
+    });
+}
+
+criterion_group!(benches, bench_rate, bench_approx);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench backing FIG2: building and validating risk norms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qrn_core::examples::paper_norm;
+
+fn bench_build(c: &mut Criterion) {
+    c.bench_function("norm/build_paper_norm", |b| {
+        b.iter(|| paper_norm().expect("builds"))
+    });
+}
+
+fn bench_tighten(c: &mut Criterion) {
+    let norm = paper_norm().expect("builds");
+    c.bench_function("norm/tighten_class", |b| {
+        b.iter(|| {
+            norm.tightened(black_box(&"vS2".into()), black_box(0.5))
+                .expect("valid tightening")
+        })
+    });
+}
+
+criterion_group!(benches, bench_build, bench_tighten);
+criterion_main!(benches);

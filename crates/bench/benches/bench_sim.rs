@@ -1,0 +1,62 @@
+//! Criterion bench backing EQ1/CLM2: simulator throughput (simulated hours
+//! per wall-clock second) and single-encounter cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use qrn_sim::encounter::{run_encounter, Challenge};
+use qrn_sim::faults::ActiveFaults;
+use qrn_sim::monte_carlo::Campaign;
+use qrn_sim::perception::PerceptionParams;
+use qrn_sim::policy::CautiousPolicy;
+use qrn_sim::scenario::urban_scenario;
+use qrn_sim::vehicle::VehicleParams;
+use qrn_stats::rng::seeded;
+use qrn_units::{Hours, Meters, Speed};
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/campaign");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(20));
+    group.bench_function("20_hours_single_worker", |b| {
+        b.iter(|| {
+            Campaign::new(
+                urban_scenario().expect("scenario builds"),
+                CautiousPolicy::default(),
+            )
+            .hours(Hours::new(20.0).expect("positive"))
+            .workers(1)
+            .seed(1)
+            .run()
+            .expect("campaign runs")
+        })
+    });
+    group.finish();
+}
+
+fn bench_encounter(c: &mut Criterion) {
+    let challenge = Challenge {
+        object: qrn_core::object::ObjectType::Vru,
+        initial_gap: Meters::new(40.0).expect("positive"),
+        object_speed: Speed::ZERO,
+        object_decel: 0.0,
+        clears_after_s: f64::INFINITY,
+    };
+    c.bench_function("sim/single_encounter", |b| {
+        let mut rng = seeded(2);
+        b.iter(|| {
+            run_encounter(
+                black_box(&challenge),
+                Speed::from_kmh(50.0).expect("positive"),
+                &CautiousPolicy::default(),
+                &VehicleParams::typical(),
+                &PerceptionParams::typical(),
+                &ActiveFaults::healthy(),
+                &mut rng,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_campaign, bench_encounter);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench backing CLM1: the cost of touching operational
+//! situation spaces at all.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use qrn_hara::situation::{ads_situation_dimensions, SituationSpace};
+
+fn bench_cardinality(c: &mut Criterion) {
+    c.bench_function("situation/cardinality_detail3", |b| {
+        let space = SituationSpace::new(ads_situation_dimensions(3));
+        b.iter(|| black_box(&space).cardinality())
+    });
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let space = SituationSpace::new(ads_situation_dimensions(1));
+    let mut group = c.benchmark_group("situation/enumerate");
+    for n in [1_000usize, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| space.iter().take(n).count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_access(c: &mut Criterion) {
+    let space = SituationSpace::new(ads_situation_dimensions(2));
+    c.bench_function("situation/situation_at", |b| {
+        b.iter(|| space.situation_at(black_box(123_456_789)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cardinality,
+    bench_enumeration,
+    bench_random_access
+);
+criterion_main!(benches);

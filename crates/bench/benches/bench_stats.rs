@@ -1,0 +1,44 @@
+//! Criterion bench backing EQ1: the exact statistics under every verdict.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qrn_stats::binomial::Proportion;
+use qrn_stats::poisson::PoissonRate;
+use qrn_stats::special::{beta_inc_inv, chi_square_quantile};
+use qrn_units::Hours;
+
+fn bench_chi_square(c: &mut Criterion) {
+    c.bench_function("stats/chi_square_quantile", |b| {
+        b.iter(|| chi_square_quantile(black_box(42.0), black_box(0.975)).expect("converges"))
+    });
+}
+
+fn bench_garwood(c: &mut Criterion) {
+    let obs = PoissonRate::new(17, Hours::new(1.0e6).expect("positive"));
+    c.bench_function("stats/garwood_interval", |b| {
+        b.iter(|| obs.confidence_interval(black_box(0.95)).expect("converges"))
+    });
+}
+
+fn bench_clopper_pearson(c: &mut Criterion) {
+    let p = Proportion::new(70, 100).expect("valid");
+    c.bench_function("stats/clopper_pearson", |b| {
+        b.iter(|| p.clopper_pearson(black_box(0.95)).expect("converges"))
+    });
+}
+
+fn bench_beta_inv(c: &mut Criterion) {
+    c.bench_function("stats/beta_inc_inv", |b| {
+        b.iter(|| beta_inc_inv(black_box(7.0), black_box(3.0), black_box(0.9)).expect("converges"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_chi_square,
+    bench_garwood,
+    bench_clopper_pearson,
+    bench_beta_inv
+);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! CLM3 — Makes the Sec. V comparison executable: quantitative refinement
+//! versus ASIL decomposition and inheritance on the drivable-area example.
+//!
+//! Redundant, individually QM-grade perception channels compose — by plain
+//! probability arithmetic — to a rate beyond the ASIL-D target, but there
+//! is no ISO 26262-9 decomposition scheme that credits them. Conversely,
+//! ASIL inheritance keeps full integrity on any number of fan-out
+//! elements, while a quantitative budget necessarily thins per element.
+
+use serde_json::json;
+
+use qrn_bench::report::save_json;
+use qrn_hara::asil::Asil;
+use qrn_hara::decomposition::Requirement;
+use qrn_quant::compare::compare_redundancy;
+use qrn_quant::refine::split_budget_equally;
+use qrn_units::Frequency;
+
+fn main() {
+    let budget = Frequency::per_hour(1e-8).expect("ASIL D target");
+
+    println!("CLM3a: redundant channels vs the ASIL D target (1e-8/h)\n");
+    println!("channels | channel rate | combined    | quantitative | channel ASIL-equiv | ASIL decomposition");
+    let mut rows = Vec::new();
+    for channels in 1..=4usize {
+        for rate in [1e-2, 1e-3, 1e-4] {
+            let channel_rate = Frequency::per_hour(rate).expect("finite");
+            let cmp =
+                compare_redundancy(budget, channel_rate, channels).expect("at least one channel");
+            println!(
+                "  {channels}      | {rate:<12.0e} | {:<11.2e} | {:<12} | {:<18} | {}",
+                cmp.combined_rate.as_per_hour(),
+                if cmp.quantitative_ok {
+                    "MEETS"
+                } else {
+                    "misses"
+                },
+                cmp.channel_asil_equivalent
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|| "QM-range".into()),
+                if cmp.asil_decomposition_ok {
+                    "possible"
+                } else {
+                    "NO SCHEME"
+                },
+            );
+            rows.push(json!({
+                "channels": channels,
+                "channel_rate": rate,
+                "combined_rate": cmp.combined_rate.as_per_hour(),
+                "quantitative_ok": cmp.quantitative_ok,
+                "channel_asil_equivalent": cmp.channel_asil_equivalent.map(|a| a.to_string()),
+                "asil_decomposition_ok": cmp.asil_decomposition_ok,
+            }));
+        }
+    }
+
+    // The paper's headline case, pinned: three QM-range channels meet the
+    // D-grade budget quantitatively, with no qualitative scheme.
+    let headline = compare_redundancy(budget, Frequency::per_hour(1e-3).expect("finite"), 3)
+        .expect("three channels");
+    assert!(headline.quantitative_ok);
+    assert!(!headline.asil_decomposition_ok);
+    println!(
+        "\n→ 3 diverse channels at 1e-3/h compose to {:.1e}/h: beyond ASIL D\n\
+         quantitatively, inexpressible by the decomposition menu (no D → QM+QM+QM).",
+        headline.combined_rate.as_per_hour()
+    );
+
+    println!("\nCLM3b: inheritance vs budget splitting under fan-out\n");
+    println!("elements | ASIL leaves still at D | quantitative budget per element (/h)");
+    let mut fanout = Vec::new();
+    for n in [10usize, 100, 1000] {
+        let mut requirement = Requirement::new("SG", Asil::D);
+        requirement.inherit(n);
+        let leaves_at_d = requirement.leaves_at_or_above(Asil::D);
+        let per_element = split_budget_equally(budget, n).expect("n > 0");
+        println!(
+            "  {n:<6} | {leaves_at_d:<22} | {:.1e}",
+            per_element.as_per_hour()
+        );
+        assert_eq!(leaves_at_d, n, "inheritance never weakens with fan-out");
+        fanout.push(json!({
+            "elements": n,
+            "leaves_at_asil_d": leaves_at_d,
+            "quantitative_budget_per_element": per_element.as_per_hour(),
+        }));
+    }
+    println!(
+        "\nQualitatively, 1000 elements each still 'carry ASIL D' — the implicit\n\
+         limited-complexity assumption is invisible. Quantitatively, each element\n\
+         visibly gets a 1000x tighter budget (Sec. V)."
+    );
+
+    save_json(
+        "exp_decomposition",
+        &json!({
+            "budget_per_hour": 1e-8,
+            "redundancy": rows,
+            "fanout": fanout,
+        }),
+    );
+}

@@ -1,0 +1,114 @@
+//! FIG1 — Reproduces the paper's Fig. 1: the ISO 26262 risk model.
+//!
+//! "Acceptable risk for accidents of different severity": the acceptable
+//! frequency (y) decreases with severity (x); limited exposure,
+//! controllability and finally the ASIL-rated E/E risk reduction close the
+//! gap between the raw hazard rate and the acceptable line.
+//!
+//! Output: the acceptable-frequency line per severity class, the full
+//! S×E×C → ASIL determination table, and risk-reduction waterfalls for
+//! representative hazardous events.
+
+use serde_json::json;
+
+use qrn_bench::report::save_json;
+use qrn_hara::asil::{determine_asil, risk_waterfall, Asil};
+use qrn_hara::severity::{Controllability, Exposure, Severity};
+
+/// Illustrative acceptable accident frequency per severity class (the
+/// Fig. 1 y-axis; the standard never prints numbers, so these are the
+/// order-of-magnitude values used in the standardisation background
+/// material the paper's Fig. 1 is adapted from).
+fn acceptable_frequency(s: Severity) -> f64 {
+    match s {
+        Severity::S0 => 1e-4,
+        Severity::S1 => 1e-6,
+        Severity::S2 => 1e-7,
+        Severity::S3 => 1e-8,
+    }
+}
+
+fn main() {
+    println!("FIG1: ISO 26262 acceptable-risk model\n");
+    println!("severity | acceptable accident frequency (/h)");
+    let mut line = Vec::new();
+    for s in Severity::ALL {
+        println!("  {s}     | {:.0e}", acceptable_frequency(s));
+        line.push(json!({
+            "severity": s.to_string(),
+            "acceptable_per_hour": acceptable_frequency(s),
+        }));
+    }
+
+    println!("\nS x E x C -> ASIL (ISO 26262-3:2018 Table 4):");
+    println!("          C1      C2      C3");
+    let mut table = Vec::new();
+    for s in &Severity::ALL[1..] {
+        for e in &Exposure::ALL[1..] {
+            let row: Vec<String> = Controllability::ALL[1..]
+                .iter()
+                .map(|c| determine_asil(*s, *e, *c).to_string())
+                .collect();
+            println!("  {s} {e} | {:7} {:7} {:7}", row[0], row[1], row[2]);
+            for (c, asil) in Controllability::ALL[1..].iter().zip(&row) {
+                table.push(json!({
+                    "severity": s.to_string(),
+                    "exposure": e.to_string(),
+                    "controllability": c.to_string(),
+                    "asil": asil,
+                }));
+            }
+        }
+    }
+
+    println!("\nRisk-reduction waterfalls (raw hazard rate assumed 1e-2/h):");
+    let raw_hazard_rate = 1e-2;
+    let mut waterfalls = Vec::new();
+    for (s, e, c) in [
+        (Severity::S3, Exposure::E4, Controllability::C3),
+        (Severity::S3, Exposure::E2, Controllability::C3),
+        (Severity::S2, Exposure::E3, Controllability::C2),
+        (Severity::S1, Exposure::E4, Controllability::C1),
+    ] {
+        let w = risk_waterfall(s, e, c);
+        let after_e = raw_hazard_rate / w.exposure_reduction;
+        let after_c = after_e / w.controllability_reduction;
+        let target = acceptable_frequency(s);
+        let ee_reduction_needed = (after_c / target).max(1.0);
+        println!(
+            "  {s} {e} {c}: raw {raw_hazard_rate:.0e} -> after exposure {after_e:.1e} \
+             -> after controllability {after_c:.1e}; target {target:.0e} \
+             needs {ee_reduction_needed:.0e}x E/E reduction -> {}",
+            w.asil
+        );
+        waterfalls.push(json!({
+            "severity": s.to_string(),
+            "exposure": e.to_string(),
+            "controllability": c.to_string(),
+            "raw_per_hour": raw_hazard_rate,
+            "after_exposure": after_e,
+            "after_controllability": after_c,
+            "target": target,
+            "ee_reduction_needed": ee_reduction_needed,
+            "asil": w.asil.to_string(),
+        }));
+    }
+
+    // Shape checks pinned in the binary itself.
+    assert_eq!(
+        determine_asil(Severity::S3, Exposure::E4, Controllability::C3),
+        Asil::D
+    );
+    assert!(Severity::ALL
+        .windows(2)
+        .all(|w| acceptable_frequency(w[0]) >= acceptable_frequency(w[1])));
+
+    save_json(
+        "fig1_iso26262_risk",
+        &json!({
+            "acceptable_line": line,
+            "asil_table": table,
+            "waterfalls": waterfalls,
+        }),
+    );
+}

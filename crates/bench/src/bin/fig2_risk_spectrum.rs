@@ -1,0 +1,63 @@
+//! FIG2 — Reproduces the paper's Fig. 2: quality and safety consequences
+//! on one acceptance axis.
+//!
+//! The example norm's six classes span "causing scared pedestrian" to
+//! "collision with pedestrian at high speed"; the acceptable frequency is
+//! monotone non-increasing along the severity axis and quality classes sit
+//! at the tolerant end — the two structural facts the figure conveys.
+
+use serde_json::json;
+
+use qrn_bench::report::save_json;
+use qrn_core::consequence::ConsequenceDomain;
+use qrn_core::examples::paper_norm;
+
+fn main() {
+    let norm = paper_norm().expect("example norm builds");
+    println!("FIG2: safety and incident quality — acceptable risk\n");
+    println!("rank | class | domain  | acceptable (/h) | description");
+    let mut rows = Vec::new();
+    for class in norm.classes() {
+        let budget = norm.budget(class.id()).expect("class in norm");
+        println!(
+            "  {}  | {}   | {:7} | {:15e} | {}",
+            class.severity_rank(),
+            class.id(),
+            class.domain().to_string(),
+            budget.as_per_hour(),
+            class.description(),
+        );
+        rows.push(json!({
+            "rank": class.severity_rank(),
+            "class": class.id().to_string(),
+            "domain": class.domain().to_string(),
+            "acceptable_per_hour": budget.as_per_hour(),
+            "description": class.description(),
+        }));
+    }
+
+    // Structural facts of the figure, asserted:
+    // 1. budgets monotone non-increasing with severity;
+    let budgets: Vec<f64> = norm
+        .classes()
+        .map(|c| norm.budget(c.id()).unwrap().as_per_hour())
+        .collect();
+    assert!(budgets.windows(2).all(|w| w[0] >= w[1]));
+    // 2. every quality class is tolerated at least as often as every
+    //    safety class.
+    let min_quality = norm
+        .domain_classes(ConsequenceDomain::Quality)
+        .map(|c| norm.budget(c.id()).unwrap().as_per_hour())
+        .fold(f64::INFINITY, f64::min);
+    let max_safety = norm
+        .domain_classes(ConsequenceDomain::Safety)
+        .map(|c| norm.budget(c.id()).unwrap().as_per_hour())
+        .fold(0.0, f64::max);
+    assert!(min_quality >= max_safety);
+    println!(
+        "\nquality classes tolerate ≥ {min_quality:e}/h; safety classes ≤ {max_safety:e}/h \
+         — quality sits on the tolerant side of the axis."
+    );
+
+    save_json("fig2_risk_spectrum", &json!({ "classes": rows }));
+}

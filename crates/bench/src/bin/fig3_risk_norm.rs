@@ -1,0 +1,63 @@
+//! FIG3 — Reproduces the paper's Fig. 3: the risk norm as consequence
+//! classes with stacked incident-type contributions.
+//!
+//! For every consequence class `v_j` the figure stacks the contributions
+//! `f(v_j, I_k)` of the incident types against the class budget
+//! `f_acc(v_j)`; Eq. (1) holds exactly when every stack fits under its
+//! budget line.
+
+use serde_json::json;
+
+use qrn_bench::report::save_json;
+use qrn_core::examples::{paper_allocation, paper_classification, paper_norm};
+
+fn main() {
+    let norm = paper_norm().expect("example norm builds");
+    let classification = paper_classification().expect("example classification builds");
+    let allocation = paper_allocation(&classification).expect("example allocation builds");
+    let report = allocation.check(&norm).expect("shares match the norm");
+    assert!(report.is_fulfilled(), "the example must satisfy Eq. (1)");
+
+    println!("FIG3: risk norm with stacked incident contributions (Eq. 1)\n");
+    let mut classes = Vec::new();
+    for row in report.rows() {
+        println!(
+            "{}: budget {:9.3e}/h, load {:9.3e}/h, utilisation {:5.1}%  [{}]",
+            row.class,
+            row.budget.as_per_hour(),
+            row.load.as_per_hour(),
+            row.utilisation.unwrap_or(0.0) * 100.0,
+            if row.is_fulfilled() { "OK" } else { "VIOLATED" },
+        );
+        let mut contributions: Vec<(String, f64)> = allocation
+            .class_contributions(&row.class)
+            .into_iter()
+            .filter(|(_, f)| f.as_per_hour() > 0.0)
+            .map(|(id, f)| (id.to_string(), f.as_per_hour()))
+            .collect();
+        contributions.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("rates are not NaN"));
+        for (id, f) in contributions.iter().take(5) {
+            println!("    {id:<16} {f:9.3e}/h");
+        }
+        if contributions.len() > 5 {
+            println!("    … and {} more contributors", contributions.len() - 5);
+        }
+        classes.push(json!({
+            "class": row.class.to_string(),
+            "budget_per_hour": row.budget.as_per_hour(),
+            "load_per_hour": row.load.as_per_hour(),
+            "utilisation": row.utilisation,
+            "fulfilled": row.is_fulfilled(),
+            "stack": contributions
+                .iter()
+                .map(|(id, f)| json!({"incident": id, "per_hour": f}))
+                .collect::<Vec<_>>(),
+        }));
+    }
+
+    println!(
+        "\nEq. (1) fulfilled for all {} classes.",
+        report.rows().len()
+    );
+    save_json("fig3_risk_norm", &json!({ "classes": classes }));
+}

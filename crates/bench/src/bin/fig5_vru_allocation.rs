@@ -1,0 +1,112 @@
+//! FIG5 — Reproduces the paper's Fig. 5: the Ego↔VRU group elaborated into
+//! I1/I2/I3 (+ tail I4), the assignment of their frequencies into
+//! consequence classes (the 70%/30% split of I1), the rendered SG-I2, and
+//! the what-if: tightening `f_I2` reduces the affected class totals
+//! correspondingly while making the SG harder to implement.
+
+use serde_json::json;
+
+use qrn_bench::report::save_json;
+use qrn_core::examples::{paper_allocation, paper_classification, paper_norm};
+use qrn_core::incident::IncidentTypeId;
+use qrn_core::safety_goal::derive_safety_goals;
+
+fn main() {
+    let norm = paper_norm().expect("example norm builds");
+    let classification = paper_classification().expect("example classification builds");
+    let allocation = paper_allocation(&classification).expect("example allocation builds");
+
+    println!("FIG5: Ego↔VRU incident types and frequency assignment\n");
+    let vru_types = ["I1", "I2", "I3", "I4"];
+    let mut assignments = Vec::new();
+    for id in vru_types {
+        let tid: IncidentTypeId = id.into();
+        let leaf = classification.incident_type(&tid).expect("leaf exists");
+        let budget = allocation.incident_budget(&tid).expect("budgeted");
+        println!("{leaf}");
+        println!("  f_{id} = {budget}");
+        let mut shares = Vec::new();
+        for class in norm.classes() {
+            let share = allocation.shares().share(&tid, class.id());
+            if share.value() > 0.0 {
+                println!(
+                    "    {:>4.0}% -> {} ({:.3e}/h)",
+                    share.value() * 100.0,
+                    class.id(),
+                    budget.as_per_hour() * share.value(),
+                );
+                shares.push(json!({
+                    "class": class.id().to_string(),
+                    "share": share.value(),
+                    "contribution_per_hour": budget.as_per_hour() * share.value(),
+                }));
+            }
+        }
+        assignments.push(json!({
+            "incident": id,
+            "definition": leaf.to_string(),
+            "budget_per_hour": budget.as_per_hour(),
+            "shares": shares,
+        }));
+    }
+
+    // The paper's 70/30 example, pinned.
+    let i1: IncidentTypeId = "I1".into();
+    assert_eq!(allocation.shares().share(&i1, &"vQ1".into()).value(), 0.7);
+    assert_eq!(allocation.shares().share(&i1, &"vQ2".into()).value(), 0.3);
+
+    // The rendered safety goals.
+    let goals = derive_safety_goals(&classification, &allocation).expect("goals derive");
+    println!("\nSafety goals for the Ego↔VRU types:");
+    for goal in goals.iter().filter(|g| {
+        vru_types
+            .iter()
+            .any(|id| g.incident().id() == &IncidentTypeId::new(*id))
+    }) {
+        println!("  {goal}");
+    }
+
+    // The what-if: improve f_I2 by 2x.
+    let i2: IncidentTypeId = "I2".into();
+    let improved = allocation
+        .with_scaled_budget(&i2, 0.5)
+        .expect("scaling is valid");
+    println!("\nWhat-if: tighten f_I2 by 2x.");
+    let mut what_if = Vec::new();
+    for class in norm.classes() {
+        let before = allocation.class_load(class.id());
+        let after = improved.class_load(class.id());
+        if before != after {
+            println!(
+                "  {} load: {:.3e}/h -> {:.3e}/h",
+                class.id(),
+                before.as_per_hour(),
+                after.as_per_hour(),
+            );
+            what_if.push(json!({
+                "class": class.id().to_string(),
+                "before_per_hour": before.as_per_hour(),
+                "after_per_hour": after.as_per_hour(),
+            }));
+        }
+    }
+    // Only the classes I2 feeds change, and they drop exactly by
+    // 0.5 * f_I2 * share.
+    assert!(!what_if.is_empty());
+    assert!(improved.check(&norm).expect("still valid").is_fulfilled());
+    let sg_before = allocation.incident_budget(&i2).unwrap();
+    let sg_after = improved.incident_budget(&i2).unwrap();
+    println!(
+        "  SG-I2 integrity attribute tightens: {sg_before} -> {sg_after} \
+         (more challenging for the implementation)"
+    );
+
+    save_json(
+        "fig5_vru_allocation",
+        &json!({
+            "assignments": assignments,
+            "what_if_scale_i2": 0.5,
+            "what_if": what_if,
+        }),
+    );
+}

@@ -1,0 +1,7 @@
+//! Shared infrastructure for the experiment binaries and benches: locating
+//! the `results/` directory and writing machine-readable reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;

@@ -1,0 +1,56 @@
+//! Result persistence: every experiment binary prints its rows to stdout
+//! *and* writes a JSON artefact under the workspace `results/` directory,
+//! so EXPERIMENTS.md entries are regenerable.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// The workspace `results/` directory (created if missing).
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created — an experiment without a
+/// writable results directory has nowhere to put its evidence.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results"));
+    fs::create_dir_all(&dir).expect("results directory must be creatable");
+    dir
+}
+
+/// Serialises `value` as pretty JSON to `results/<name>.json`.
+///
+/// # Panics
+///
+/// Panics on serialisation or I/O failure: experiments must not silently
+/// lose their evidence.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("experiment results are serialisable");
+    fs::write(&path, json).expect("results file must be writable");
+    println!("\n[saved {}]", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_exists_after_call() {
+        let dir = results_dir();
+        assert!(dir.is_dir());
+    }
+
+    #[test]
+    fn save_json_round_trips() {
+        save_json("selftest", &serde_json::json!({"ok": true}));
+        let path = results_dir().join("selftest.json");
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("ok"));
+        fs::remove_file(path).ok();
+    }
+}

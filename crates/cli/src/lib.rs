@@ -1,0 +1,122 @@
+//! Library backing the `qrn` command-line tool.
+//!
+//! Every subcommand is implemented as a function from parsed arguments to
+//! a [`CommandOutcome`], so the whole surface is unit-testable without
+//! spawning processes; `main.rs` only parses `std::env::args` and maps the
+//! outcome to an exit code.
+//!
+//! Artefacts are exchanged as JSON (the same serde representations the
+//! library crates define), so a safety organisation can keep norms,
+//! classifications, allocations and fleet records in version control and
+//! drive the checks from CI:
+//!
+//! ```text
+//! qrn example emit --dir case/         # write the paper-example artefacts
+//! qrn eq1 case/norm.json case/allocation.json
+//! qrn goals case/classification.json case/allocation.json
+//! qrn simulate --scenario urban --policy cautious --hours 200 --seed 7 \
+//!     --out case/records.json
+//! qrn verify case/norm.json case/classification.json case/allocation.json \
+//!     case/records.json --confidence 0.95
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod io;
+
+use std::fmt;
+
+/// What a subcommand concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommandOutcome {
+    /// Everything checked out; exit 0.
+    Ok,
+    /// A check ran to completion and found the artefacts non-compliant
+    /// (Eq. (1) violated, verification violated, MECE broken); exit 1.
+    CheckFailed(String),
+}
+
+/// Error for bad invocations or unreadable artefacts; exit 2.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("i/o error: {e}"))
+    }
+}
+
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError(format!("invalid JSON artefact: {e}"))
+    }
+}
+
+impl From<qrn_core::CoreError> for CliError {
+    fn from(e: qrn_core::CoreError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<qrn_units::UnitError> for CliError {
+    fn from(e: qrn_units::UnitError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// Usage text printed on `--help` or argument errors.
+pub const USAGE: &str = "\
+qrn — The Quantitative Risk Norm toolkit
+
+USAGE:
+    qrn <COMMAND> [ARGS]
+
+COMMANDS:
+    example emit --dir <DIR>
+        Write the paper-example artefacts (norm, classification,
+        allocation) as JSON files into <DIR>.
+
+    norm check <norm.json>
+        Validate a risk norm and print it.
+
+    classify <classification.json> (--collision <OBJ> <KMH> | --near-miss <OBJ> <M> <KMH>)
+        Classify one incident. OBJ is one of vru|car|truck|animal|static|other.
+
+    mece <classification.json>
+        Probe a classification for the MECE property.
+
+    eq1 <norm.json> <allocation.json>
+        Check the fulfilment inequality (Eq. 1). Exits 1 on violation.
+
+    goals <classification.json> <allocation.json>
+        Derive the safety goals and the completeness certificate.
+
+    simulate --scenario <urban|highway|mixed> --policy <cautious|reactive>
+             --hours <H> [--seed <N>] --out <records.json>
+        Run a Monte-Carlo fleet campaign and write the incident records.
+
+    verify <norm.json> <classification.json> <allocation.json> <records.json>
+           [--confidence <0..1>]
+        Verify measured records against goals and norm. Exits 1 on violation.
+
+    safety-case <item-name> <norm.json> <classification.json> <allocation.json>
+                <records.json> [--confidence <0..1>]
+        Assemble and print the argument tree. Exits 1 when undermined.
+
+    report <item-name> <norm.json> <classification.json> <allocation.json>
+           [--records <records.json>] [--confidence <0..1>] [--out <report.md>]
+        Render the full safety documentation as markdown.
+
+EXIT CODES:
+    0 success / compliant    1 check failed    2 usage or artefact error
+";

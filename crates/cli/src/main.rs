@@ -1,0 +1,23 @@
+//! The `qrn` command-line entry point. All logic lives in the library so
+//! it stays unit-testable; this file only maps outcomes to exit codes.
+
+use std::process::ExitCode;
+
+use qrn_cli::commands::run;
+use qrn_cli::CommandOutcome;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(CommandOutcome::Ok) => ExitCode::SUCCESS,
+        Ok(CommandOutcome::CheckFailed(reason)) => {
+            eprintln!("CHECK FAILED: {reason}");
+            ExitCode::from(1)
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            eprintln!("run `qrn --help` for usage");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,828 @@
+//! Frequency allocation: incident budgets, contribution shares, and the
+//! fulfilment inequality (the paper's Eq. 1).
+//!
+//! "We can regard determination of the incident types and their integrity
+//! attributes (the limit frequencies) as an allocation process, where we
+//! must make sure that the budget we set on each `I` must be such that the
+//! total allowed frequency is fulfilled for all `v`" (Sec. III-B):
+//!
+//! ```text
+//!     Σ_k  f(v_j, I_k)  ≤  f_acc(v_j)      for every consequence class v_j
+//! ```
+//!
+//! where `f(v_j, I_k) = f(I_k) · s(k, j)` — the incident type's budget
+//! times its *contribution share* into the class (the paper's "70% of f_I1
+//! contributes to v_Q1 and 30% to v_Q2").
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use qrn_units::{Frequency, Probability};
+
+use crate::consequence::ConsequenceClassId;
+use crate::error::CoreError;
+use crate::incident::IncidentTypeId;
+use crate::norm::QuantitativeRiskNorm;
+
+/// Contribution shares `s(k, j)`: for each incident type, the fraction of
+/// its occurrences landing in each consequence class.
+///
+/// Shares per incident type must sum to at most 1; the remainder is the
+/// fraction of occurrences with no consequence of interest.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ShareMatrix {
+    shares: BTreeMap<IncidentTypeId, BTreeMap<ConsequenceClassId, Probability>>,
+}
+
+impl ShareMatrix {
+    /// Starts building a share matrix.
+    pub fn builder() -> ShareMatrixBuilder {
+        ShareMatrixBuilder::default()
+    }
+
+    /// The share of `incident` into `class` (zero when unset).
+    pub fn share(&self, incident: &IncidentTypeId, class: &ConsequenceClassId) -> Probability {
+        self.shares
+            .get(incident)
+            .and_then(|row| row.get(class))
+            .copied()
+            .unwrap_or(Probability::ZERO)
+    }
+
+    /// The incident types with at least one share.
+    pub fn incidents(&self) -> impl Iterator<Item = &IncidentTypeId> {
+        self.shares.keys()
+    }
+
+    /// The share row of one incident type, if present.
+    pub fn row(
+        &self,
+        incident: &IncidentTypeId,
+    ) -> Option<&BTreeMap<ConsequenceClassId, Probability>> {
+        self.shares.get(incident)
+    }
+
+    /// All consequence classes referenced anywhere in the matrix.
+    pub fn referenced_classes(&self) -> Vec<&ConsequenceClassId> {
+        let mut out: Vec<&ConsequenceClassId> =
+            self.shares.values().flat_map(|row| row.keys()).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// Incremental builder for [`ShareMatrix`].
+#[derive(Debug, Clone, Default)]
+pub struct ShareMatrixBuilder {
+    shares: BTreeMap<IncidentTypeId, BTreeMap<ConsequenceClassId, Probability>>,
+}
+
+impl ShareMatrixBuilder {
+    /// Sets the share of `incident` into `class`.
+    pub fn share(
+        mut self,
+        incident: impl Into<IncidentTypeId>,
+        class: impl Into<ConsequenceClassId>,
+        share: Probability,
+    ) -> Self {
+        self.shares
+            .entry(incident.into())
+            .or_default()
+            .insert(class.into(), share);
+        self
+    }
+
+    /// Validates (row sums ≤ 1) and builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidAllocation`] when a row sums above 1.
+    pub fn build(self) -> Result<ShareMatrix, CoreError> {
+        for (incident, row) in &self.shares {
+            let total: f64 = row.values().map(|p| p.value()).sum();
+            if total > 1.0 + 1e-12 {
+                return Err(CoreError::InvalidAllocation(format!(
+                    "shares of incident {incident} sum to {total}, exceeding 1"
+                )));
+            }
+        }
+        Ok(ShareMatrix {
+            shares: self.shares,
+        })
+    }
+}
+
+/// Fulfilment status of one consequence class under an allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassFulfilment {
+    /// The consequence class.
+    pub class: ConsequenceClassId,
+    /// Its acceptable budget from the norm.
+    pub budget: Frequency,
+    /// Total allocated load `Σ_k f(I_k) · s(k, j)`.
+    pub load: Frequency,
+    /// `load / budget`, or `None` for a zero budget.
+    pub utilisation: Option<f64>,
+}
+
+impl ClassFulfilment {
+    /// Returns `true` when the load stays within the budget.
+    ///
+    /// A relative tolerance of 1e-12 absorbs floating-point noise so that a
+    /// load analytically equal to the budget (e.g. shares summing exactly
+    /// to the class budget) is not reported as a violation.
+    pub fn is_fulfilled(&self) -> bool {
+        self.load.as_per_hour() <= self.budget.as_per_hour() * (1.0 + 1e-12)
+    }
+
+    /// Remaining headroom (zero when over budget).
+    pub fn slack(&self) -> Frequency {
+        self.budget.saturating_sub(self.load)
+    }
+}
+
+/// The Eq. (1) check over all consequence classes of a norm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FulfilmentReport {
+    rows: Vec<ClassFulfilment>,
+}
+
+impl FulfilmentReport {
+    /// Returns `true` when every class is within budget.
+    pub fn is_fulfilled(&self) -> bool {
+        self.rows.iter().all(ClassFulfilment::is_fulfilled)
+    }
+
+    /// Per-class rows in ascending severity order.
+    pub fn rows(&self) -> &[ClassFulfilment] {
+        &self.rows
+    }
+
+    /// The row for one class, if present.
+    pub fn class(&self, id: &ConsequenceClassId) -> Option<&ClassFulfilment> {
+        self.rows.iter().find(|r| &r.class == id)
+    }
+}
+
+impl fmt::Display for FulfilmentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Eq. (1) fulfilment:")?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "  {}: load {} / budget {} -> {}",
+                row.class,
+                row.load,
+                row.budget,
+                if row.is_fulfilled() { "OK" } else { "VIOLATED" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// An allocation: a frequency budget per incident type plus the share
+/// matrix distributing those budgets into consequence classes.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_core::examples::{paper_allocation, paper_classification, paper_norm};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let norm = paper_norm()?;
+/// let allocation = paper_allocation(&paper_classification()?)?;
+/// assert!(allocation.check(&norm)?.is_fulfilled());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    budgets: BTreeMap<IncidentTypeId, Frequency>,
+    shares: ShareMatrix,
+}
+
+impl Allocation {
+    /// Creates an allocation from explicit budgets and shares.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidAllocation`] when a share row references
+    /// an incident type that has no budget.
+    pub fn new(
+        budgets: BTreeMap<IncidentTypeId, Frequency>,
+        shares: ShareMatrix,
+    ) -> Result<Self, CoreError> {
+        for incident in shares.incidents() {
+            if !budgets.contains_key(incident) {
+                return Err(CoreError::InvalidAllocation(format!(
+                    "share matrix references incident {incident} with no budget"
+                )));
+            }
+        }
+        Ok(Allocation { budgets, shares })
+    }
+
+    /// The budget of one incident type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownId`] for an unknown incident type.
+    pub fn incident_budget(&self, id: &IncidentTypeId) -> Result<Frequency, CoreError> {
+        self.budgets
+            .get(id)
+            .copied()
+            .ok_or_else(|| CoreError::UnknownId {
+                kind: "incident type",
+                id: id.as_str().to_string(),
+            })
+    }
+
+    /// All incident budgets, in id order.
+    pub fn budgets(&self) -> impl Iterator<Item = (&IncidentTypeId, Frequency)> {
+        self.budgets.iter().map(|(id, f)| (id, *f))
+    }
+
+    /// The share matrix.
+    pub fn shares(&self) -> &ShareMatrix {
+        &self.shares
+    }
+
+    /// The allocated load on one consequence class:
+    /// `Σ_k f(I_k) · s(k, j)`.
+    pub fn class_load(&self, class: &ConsequenceClassId) -> Frequency {
+        self.budgets
+            .iter()
+            .map(|(incident, budget)| *budget * self.shares.share(incident, class))
+            .sum()
+    }
+
+    /// Each incident type's contribution to one class, in id order
+    /// (the stacked bars of the paper's Fig. 3).
+    pub fn class_contributions(
+        &self,
+        class: &ConsequenceClassId,
+    ) -> Vec<(IncidentTypeId, Frequency)> {
+        self.budgets
+            .iter()
+            .map(|(incident, budget)| {
+                (
+                    incident.clone(),
+                    *budget * self.shares.share(incident, class),
+                )
+            })
+            .collect()
+    }
+
+    /// Checks the fulfilment inequality (Eq. 1) against every class of the
+    /// norm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownId`] when the share matrix references a
+    /// class that is not part of the norm — such a share would silently
+    /// escape the budget check, which is exactly the kind of leak a safety
+    /// case must not have.
+    pub fn check(&self, norm: &QuantitativeRiskNorm) -> Result<FulfilmentReport, CoreError> {
+        for class in self.shares.referenced_classes() {
+            if norm.class(class).is_none() {
+                return Err(CoreError::UnknownId {
+                    kind: "consequence class",
+                    id: class.as_str().to_string(),
+                });
+            }
+        }
+        let rows = norm
+            .classes()
+            .map(|c| {
+                let budget = norm.budget(c.id()).expect("class is in norm");
+                let load = self.class_load(c.id());
+                ClassFulfilment {
+                    class: c.id().clone(),
+                    budget,
+                    load,
+                    utilisation: load.ratio(budget),
+                }
+            })
+            .collect();
+        Ok(FulfilmentReport { rows })
+    }
+
+    /// Returns a new allocation with one incident budget scaled by
+    /// `factor` — the paper's Fig. 5 what-if: "an improvement of `f_I2`
+    /// will reduce the total incident frequency for these two consequence
+    /// classes correspondingly, but result in an SG for `I2` which will be
+    /// more challenging for the implementation".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for an unknown incident type or an invalid
+    /// factor.
+    pub fn with_scaled_budget(
+        &self,
+        id: &IncidentTypeId,
+        factor: f64,
+    ) -> Result<Allocation, CoreError> {
+        let current = self.incident_budget(id)?;
+        let mut budgets = self.budgets.clone();
+        budgets.insert(id.clone(), current.scaled(factor)?);
+        Allocation::new(budgets, self.shares.clone())
+    }
+
+    /// The incident type contributing the largest fraction of one class's
+    /// load, with that fraction — the hook for the paper's ethical
+    /// discussion (it would "hardly be acceptable" for one incident type,
+    /// e.g. Ego↔Child, to absorb a class's whole budget).
+    ///
+    /// Returns `None` when the class carries no load.
+    pub fn dominant_contributor(
+        &self,
+        class: &ConsequenceClassId,
+    ) -> Option<(IncidentTypeId, f64)> {
+        let total = self.class_load(class).as_per_hour();
+        if total == 0.0 {
+            return None;
+        }
+        self.class_contributions(class)
+            .into_iter()
+            .max_by(|a, b| {
+                a.1.as_per_hour()
+                    .partial_cmp(&b.1.as_per_hour())
+                    .expect("frequencies are never NaN")
+            })
+            .map(|(id, f)| (id, f.as_per_hour() / total))
+    }
+
+    /// Checks the dominance (ethics) constraint: no single incident type
+    /// may contribute more than `cap` of the class's load.
+    pub fn satisfies_dominance_cap(&self, class: &ConsequenceClassId, cap: f64) -> bool {
+        match self.dominant_contributor(class) {
+            None => true,
+            Some((_, fraction)) => fraction <= cap + 1e-12,
+        }
+    }
+}
+
+/// Distributes budgets proportionally to `weights`, scaled so that the
+/// worst-utilised consequence class reaches exactly `utilisation_target`
+/// of its budget.
+///
+/// With weights `w_k`, budgets are `f(I_k) = t · w_k` with
+/// `t = target · min_j ( f_acc(v_j) / Σ_k w_k · s(k, j) )`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidAllocation`] when weights are invalid, no
+/// class receives any load (nothing to scale against), or the share matrix
+/// references classes outside the norm.
+pub fn allocate_proportional(
+    norm: &QuantitativeRiskNorm,
+    shares: &ShareMatrix,
+    weights: &BTreeMap<IncidentTypeId, f64>,
+    utilisation_target: f64,
+) -> Result<Allocation, CoreError> {
+    if !(utilisation_target.is_finite() && 0.0 < utilisation_target && utilisation_target <= 1.0) {
+        return Err(CoreError::InvalidAllocation(format!(
+            "utilisation target must lie in (0, 1], got {utilisation_target}"
+        )));
+    }
+    for (id, w) in weights {
+        if !(w.is_finite() && *w >= 0.0) {
+            return Err(CoreError::InvalidAllocation(format!(
+                "weight of incident {id} must be finite and non-negative, got {w}"
+            )));
+        }
+    }
+    for class in shares.referenced_classes() {
+        if norm.class(class).is_none() {
+            return Err(CoreError::UnknownId {
+                kind: "consequence class",
+                id: class.as_str().to_string(),
+            });
+        }
+    }
+    let mut t = f64::INFINITY;
+    for class in norm.classes() {
+        let denom: f64 = weights
+            .iter()
+            .map(|(incident, w)| w * shares.share(incident, class.id()).value())
+            .sum();
+        if denom > 0.0 {
+            let budget = norm.budget(class.id()).expect("class is in norm");
+            t = t.min(budget.as_per_hour() / denom);
+        }
+    }
+    if !t.is_finite() {
+        return Err(CoreError::InvalidAllocation(
+            "no consequence class receives any load from the weighted shares".into(),
+        ));
+    }
+    let t = t * utilisation_target;
+    let budgets = weights
+        .iter()
+        .map(|(id, w)| Ok((id.clone(), Frequency::per_hour(t * w)?)))
+        .collect::<Result<BTreeMap<_, _>, CoreError>>()?;
+    Allocation::new(budgets, shares.clone())
+}
+
+/// Distributes budgets by **waterfilling**: every incident budget rises at
+/// the same rate until a consequence class becomes binding; the incidents
+/// feeding that class freeze, everyone else keeps rising; repeat. The
+/// result is max-min fair — no incident's budget can grow without
+/// shrinking a smaller one.
+///
+/// Incidents with an all-zero share row (no consequence of interest, e.g.
+/// an out-of-ODD tail band covered by containment evidence instead of
+/// driving exposure) are unconstrained by Eq. (1) and receive
+/// `unconstrained_budget`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidAllocation`] for an invalid utilisation
+/// target, or [`CoreError::UnknownId`] when shares reference classes
+/// outside the norm.
+pub fn allocate_waterfill(
+    norm: &QuantitativeRiskNorm,
+    shares: &ShareMatrix,
+    incidents: &[IncidentTypeId],
+    unconstrained_budget: Frequency,
+    utilisation_target: f64,
+) -> Result<Allocation, CoreError> {
+    if !(utilisation_target.is_finite() && 0.0 < utilisation_target && utilisation_target <= 1.0) {
+        return Err(CoreError::InvalidAllocation(format!(
+            "utilisation target must lie in (0, 1], got {utilisation_target}"
+        )));
+    }
+    for class in shares.referenced_classes() {
+        if norm.class(class).is_none() {
+            return Err(CoreError::UnknownId {
+                kind: "consequence class",
+                id: class.as_str().to_string(),
+            });
+        }
+    }
+    let mut levels: BTreeMap<IncidentTypeId, f64> =
+        incidents.iter().map(|id| (id.clone(), 0.0)).collect();
+    // Incidents with some share participate in the waterfill; the rest get
+    // the unconstrained budget directly.
+    let mut active: Vec<IncidentTypeId> = incidents
+        .iter()
+        .filter(|id| {
+            shares
+                .row(id)
+                .is_some_and(|row| row.values().any(|p| p.value() > 0.0))
+        })
+        .cloned()
+        .collect();
+    let mut remaining: BTreeMap<ConsequenceClassId, f64> = norm
+        .classes()
+        .map(|c| {
+            let budget = norm.budget(c.id()).expect("class is in norm");
+            (
+                c.id().clone(),
+                budget.as_per_hour() * utilisation_target,
+            )
+        })
+        .collect();
+
+    while !active.is_empty() {
+        // Growth rate of each class's load while all active incidents rise
+        // together.
+        let mut t = f64::INFINITY;
+        let mut binding: Vec<ConsequenceClassId> = Vec::new();
+        for (class, rem) in &remaining {
+            let growth: f64 = active
+                .iter()
+                .map(|id| shares.share(id, class).value())
+                .sum();
+            if growth > 0.0 {
+                let t_class = rem / growth;
+                if t_class < t - 1e-18 {
+                    t = t_class;
+                    binding = vec![class.clone()];
+                } else if (t_class - t).abs() <= 1e-18 {
+                    binding.push(class.clone());
+                }
+            }
+        }
+        if !t.is_finite() {
+            // No class constrains the remaining active incidents (their
+            // shares all point at already-binding classes with zero
+            // remaining growth): freeze them where they are.
+            break;
+        }
+        // Raise every active incident by t and charge the classes.
+        for id in &active {
+            *levels.get_mut(id).expect("initialised above") += t;
+            for (class, rem) in remaining.iter_mut() {
+                *rem -= t * shares.share(id, class).value();
+            }
+        }
+        // Freeze incidents feeding a binding class.
+        active.retain(|id| {
+            !binding
+                .iter()
+                .any(|class| shares.share(id, class).value() > 0.0)
+        });
+    }
+
+    let budgets = incidents
+        .iter()
+        .map(|id| {
+            let has_share = shares
+                .row(id)
+                .is_some_and(|row| row.values().any(|p| p.value() > 0.0));
+            let f = if has_share {
+                Frequency::per_hour(levels[id].max(0.0))?
+            } else {
+                unconstrained_budget
+            };
+            Ok((id.clone(), f))
+        })
+        .collect::<Result<BTreeMap<_, _>, CoreError>>()?;
+    Allocation::new(budgets, shares.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consequence::{ConsequenceClass, ConsequenceDomain};
+
+    fn fph(x: f64) -> Frequency {
+        Frequency::per_hour(x).unwrap()
+    }
+
+    fn p(x: f64) -> Probability {
+        Probability::new(x).unwrap()
+    }
+
+    fn norm() -> QuantitativeRiskNorm {
+        QuantitativeRiskNorm::builder()
+            .class(
+                ConsequenceClass::new("vQ1", ConsequenceDomain::Quality, 0, "scare"),
+                fph(1e-2),
+            )
+            .class(
+                ConsequenceClass::new("vS1", ConsequenceDomain::Safety, 1, "light"),
+                fph(1e-4),
+            )
+            .class(
+                ConsequenceClass::new("vS3", ConsequenceDomain::Safety, 2, "fatal"),
+                fph(1e-7),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn shares() -> ShareMatrix {
+        ShareMatrix::builder()
+            .share("I1", "vQ1", p(0.7))
+            .share("I1", "vS1", p(0.1))
+            .share("I2", "vS1", p(0.5))
+            .share("I2", "vS3", p(0.01))
+            .build()
+            .unwrap()
+    }
+
+    fn allocation() -> Allocation {
+        let budgets: BTreeMap<IncidentTypeId, Frequency> =
+            [("I1".into(), fph(1e-3)), ("I2".into(), fph(1e-5))].into();
+        Allocation::new(budgets, shares()).unwrap()
+    }
+
+    #[test]
+    fn share_row_sum_validated() {
+        let err = ShareMatrix::builder()
+            .share("I1", "vQ1", p(0.7))
+            .share("I1", "vS1", p(0.5))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidAllocation(_)));
+    }
+
+    #[test]
+    fn unset_share_is_zero() {
+        let s = shares();
+        assert_eq!(s.share(&"I1".into(), &"vS3".into()), Probability::ZERO);
+        assert_eq!(s.share(&"nope".into(), &"vQ1".into()), Probability::ZERO);
+    }
+
+    #[test]
+    fn class_load_sums_contributions() {
+        let a = allocation();
+        // vS1: 1e-3 * 0.1 + 1e-5 * 0.5 = 1.05e-4
+        assert!((a.class_load(&"vS1".into()).as_per_hour() - 1.05e-4).abs() < 1e-12);
+        // vS3: 1e-5 * 0.01 = 1e-7
+        assert!((a.class_load(&"vS3".into()).as_per_hour() - 1e-7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn check_reports_violations_per_class() {
+        let a = allocation();
+        let report = a.check(&norm()).unwrap();
+        // vS1 budget 1e-4 < load 1.05e-4 -> violated
+        assert!(!report.is_fulfilled());
+        assert!(!report.class(&"vS1".into()).unwrap().is_fulfilled());
+        // vQ1 budget 1e-2 >= 7e-4 -> ok
+        assert!(report.class(&"vQ1".into()).unwrap().is_fulfilled());
+        // vS3 exactly at budget (1e-7 <= 1e-7) -> ok
+        assert!(report.class(&"vS3".into()).unwrap().is_fulfilled());
+    }
+
+    #[test]
+    fn check_rejects_shares_outside_norm() {
+        let s = ShareMatrix::builder()
+            .share("I1", "vUnknown", p(0.5))
+            .build()
+            .unwrap();
+        let a = Allocation::new([("I1".into(), fph(1e-3))].into(), s).unwrap();
+        assert!(matches!(a.check(&norm()), Err(CoreError::UnknownId { .. })));
+    }
+
+    #[test]
+    fn allocation_requires_budget_for_every_share_row() {
+        let err = Allocation::new(BTreeMap::new(), shares()).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidAllocation(_)));
+    }
+
+    #[test]
+    fn scaling_a_budget_reduces_class_loads_proportionally() {
+        let a = allocation();
+        let improved = a.with_scaled_budget(&"I2".into(), 0.5).unwrap();
+        // vS3 load halves: only I2 contributes
+        assert!((improved.class_load(&"vS3".into()).as_per_hour() - 0.5e-7).abs() < 1e-15);
+        // vQ1 load unchanged: I2 does not contribute there
+        assert_eq!(
+            improved.class_load(&"vQ1".into()),
+            a.class_load(&"vQ1".into())
+        );
+        // the improved allocation now fulfils the norm
+        assert!(!a.check(&norm()).unwrap().is_fulfilled());
+        let fixed = a.with_scaled_budget(&"I1".into(), 0.5).unwrap();
+        assert!(fixed.check(&norm()).unwrap().is_fulfilled());
+    }
+
+    #[test]
+    fn dominance_detection() {
+        let a = allocation();
+        let (dominant, fraction) = a.dominant_contributor(&"vS1".into()).unwrap();
+        // I1 contributes 1e-4 of 1.05e-4
+        assert_eq!(dominant.as_str(), "I1");
+        assert!((fraction - 1e-4 / 1.05e-4).abs() < 1e-9);
+        assert!(a.satisfies_dominance_cap(&"vS1".into(), 0.99));
+        assert!(!a.satisfies_dominance_cap(&"vS1".into(), 0.5));
+        // a class with no load satisfies any cap
+        let empty = Allocation::new(
+            [("I9".into(), fph(1.0))].into(),
+            ShareMatrix::builder().build().unwrap(),
+        )
+        .unwrap();
+        assert!(empty.satisfies_dominance_cap(&"vS3".into(), 0.0));
+    }
+
+    #[test]
+    fn proportional_allocation_meets_norm_exactly_at_target() {
+        let weights: BTreeMap<IncidentTypeId, f64> =
+            [("I1".into(), 1.0), ("I2".into(), 1.0)].into();
+        let a = allocate_proportional(&norm(), &shares(), &weights, 0.9).unwrap();
+        let report = a.check(&norm()).unwrap();
+        assert!(report.is_fulfilled());
+        // the binding class sits exactly at 90% utilisation
+        let max_util = report
+            .rows()
+            .iter()
+            .filter_map(|r| r.utilisation)
+            .fold(0.0f64, f64::max);
+        assert!((max_util - 0.9).abs() < 1e-9, "max_util={max_util}");
+    }
+
+    #[test]
+    fn proportional_allocation_scales_with_weights() {
+        let weights: BTreeMap<IncidentTypeId, f64> =
+            [("I1".into(), 3.0), ("I2".into(), 1.0)].into();
+        let a = allocate_proportional(&norm(), &shares(), &weights, 1.0).unwrap();
+        let f1 = a.incident_budget(&"I1".into()).unwrap().as_per_hour();
+        let f2 = a.incident_budget(&"I2".into()).unwrap().as_per_hour();
+        assert!((f1 / f2 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proportional_allocation_rejects_degenerate_inputs() {
+        let weights: BTreeMap<IncidentTypeId, f64> = [("I1".into(), 1.0)].into();
+        assert!(allocate_proportional(&norm(), &shares(), &weights, 0.0).is_err());
+        assert!(allocate_proportional(&norm(), &shares(), &weights, 1.5).is_err());
+        let bad: BTreeMap<IncidentTypeId, f64> = [("I1".into(), -1.0)].into();
+        assert!(allocate_proportional(&norm(), &shares(), &bad, 0.9).is_err());
+        // all-zero weights -> no load anywhere
+        let zero: BTreeMap<IncidentTypeId, f64> = [("I1".into(), 0.0)].into();
+        assert!(allocate_proportional(&norm(), &shares(), &zero, 0.9).is_err());
+    }
+
+    #[test]
+    fn waterfill_is_max_min_fair() {
+        // I1 feeds the loose vQ1 only; I2 feeds the tight vS3: waterfill
+        // freezes I2 early and keeps raising I1.
+        let s = ShareMatrix::builder()
+            .share("I1", "vQ1", p(0.5))
+            .share("I2", "vS3", p(0.5))
+            .build()
+            .unwrap();
+        let ids: Vec<IncidentTypeId> = vec!["I1".into(), "I2".into()];
+        let a = allocate_waterfill(&norm(), &s, &ids, fph(1e-9), 1.0).unwrap();
+        let f1 = a.incident_budget(&"I1".into()).unwrap().as_per_hour();
+        let f2 = a.incident_budget(&"I2".into()).unwrap().as_per_hour();
+        // I2 binds at vS3: 0.5 * f2 = 1e-7 -> f2 = 2e-7.
+        assert!((f2 - 2e-7).abs() < 1e-12, "f2={f2}");
+        // I1 keeps rising to vQ1: 0.5 * f1 = 1e-2 -> f1 = 2e-2.
+        assert!((f1 - 2e-2).abs() < 1e-8, "f1={f1}");
+        assert!(a.check(&norm()).unwrap().is_fulfilled());
+    }
+
+    #[test]
+    fn waterfill_equalises_symmetric_incidents() {
+        let s = ShareMatrix::builder()
+            .share("A", "vS3", p(0.25))
+            .share("B", "vS3", p(0.25))
+            .build()
+            .unwrap();
+        let ids: Vec<IncidentTypeId> = vec!["A".into(), "B".into()];
+        let a = allocate_waterfill(&norm(), &s, &ids, fph(1e-9), 0.9).unwrap();
+        let fa = a.incident_budget(&"A".into()).unwrap();
+        let fb = a.incident_budget(&"B".into()).unwrap();
+        assert_eq!(fa, fb);
+        // binding class at exactly 90% utilisation
+        let report = a.check(&norm()).unwrap();
+        let util = report.class(&"vS3".into()).unwrap().utilisation.unwrap();
+        assert!((util - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waterfill_handles_unconstrained_incidents() {
+        let s = ShareMatrix::builder()
+            .share("A", "vS3", p(0.5))
+            .build()
+            .unwrap();
+        // "Tail" has no shares: it gets the explicit unconstrained budget.
+        let ids: Vec<IncidentTypeId> = vec!["A".into(), "Tail".into()];
+        let a = allocate_waterfill(&norm(), &s, &ids, fph(3e-9), 1.0).unwrap();
+        assert_eq!(a.incident_budget(&"Tail".into()).unwrap(), fph(3e-9));
+        assert!(a.check(&norm()).unwrap().is_fulfilled());
+    }
+
+    #[test]
+    fn waterfill_on_paper_example_fulfils_eq1() {
+        let classification = crate::examples::paper_classification().unwrap();
+        let norm = crate::examples::paper_norm().unwrap();
+        let shares = crate::examples::paper_shares(&classification).unwrap();
+        let ids: Vec<IncidentTypeId> = classification
+            .leaves()
+            .iter()
+            .map(|l| l.id().clone())
+            .collect();
+        let a = allocate_waterfill(&norm, &shares, &ids, fph(1e-12), 0.95).unwrap();
+        let report = a.check(&norm).unwrap();
+        assert!(report.is_fulfilled(), "{report}");
+        // at least one class sits at (about) the target utilisation
+        let max_util = report
+            .rows()
+            .iter()
+            .filter_map(|r| r.utilisation)
+            .fold(0.0f64, f64::max);
+        assert!((max_util - 0.95).abs() < 1e-6, "max_util={max_util}");
+        // and waterfill gives every budgeted incident a positive budget
+        for leaf in classification.leaves() {
+            assert!(a.incident_budget(leaf.id()).unwrap().as_per_hour() > 0.0);
+        }
+    }
+
+    #[test]
+    fn waterfill_rejects_bad_inputs() {
+        let ids: Vec<IncidentTypeId> = vec!["I1".into()];
+        assert!(allocate_waterfill(&norm(), &shares(), &ids, fph(1e-9), 0.0).is_err());
+        let bad = ShareMatrix::builder()
+            .share("I1", "vUnknown", p(0.5))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            allocate_waterfill(&norm(), &bad, &ids, fph(1e-9), 0.9),
+            Err(CoreError::UnknownId { .. })
+        ));
+    }
+
+    #[test]
+    fn report_display_mentions_violations() {
+        let text = allocation().check(&norm()).unwrap().to_string();
+        assert!(text.contains("VIOLATED"));
+        assert!(text.contains("OK"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = allocation();
+        let back: Allocation = serde_json::from_str(&serde_json::to_string(&a).unwrap()).unwrap();
+        assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,181 @@
+//! Consequence classes: the severity axis of the risk norm.
+//!
+//! The paper's Fig. 2 places *quality*-related consequences (perceived
+//! safety, emergency manoeuvres forced on others, material damage) and
+//! *safety*-related consequences (injuries of increasing severity) on one
+//! common axis, because "light rear-end collisions resulting in bodywork
+//! damage … are also about avoiding unwanted traffic events". A
+//! [`ConsequenceClass`] is one discrete level `v` of that axis.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a consequence class concerns quality or safety.
+///
+/// Quality classes sit at the less severe end of the axis (economic harm,
+/// harm to brand); safety classes concern injury to humans and are the
+/// traditional scope of functional safety.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ConsequenceDomain {
+    /// Economic harm / harm to brand: perceived safety, forced emergency
+    /// manoeuvres, material damage.
+    Quality,
+    /// Harm of injury to humans.
+    Safety,
+}
+
+impl fmt::Display for ConsequenceDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsequenceDomain::Quality => f.write_str("quality"),
+            ConsequenceDomain::Safety => f.write_str("safety"),
+        }
+    }
+}
+
+/// Identifier of a consequence class, e.g. `vQ1` or `vS3`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ConsequenceClassId(String);
+
+impl ConsequenceClassId {
+    /// Creates an identifier.
+    pub fn new(id: impl Into<String>) -> Self {
+        ConsequenceClassId(id.into())
+    }
+
+    /// The identifier text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ConsequenceClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ConsequenceClassId {
+    fn from(s: &str) -> Self {
+        ConsequenceClassId::new(s)
+    }
+}
+
+impl From<String> for ConsequenceClassId {
+    fn from(s: String) -> Self {
+        ConsequenceClassId(s)
+    }
+}
+
+/// One discrete consequence class `v` of the risk norm.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_core::consequence::{ConsequenceClass, ConsequenceDomain};
+///
+/// let v_s3 = ConsequenceClass::new(
+///     "vS3",
+///     ConsequenceDomain::Safety,
+///     6,
+///     "life-threatening or fatal injuries",
+/// );
+/// assert_eq!(v_s3.severity_rank(), 6);
+/// assert_eq!(v_s3.domain(), ConsequenceDomain::Safety);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConsequenceClass {
+    id: ConsequenceClassId,
+    domain: ConsequenceDomain,
+    severity_rank: u8,
+    description: String,
+}
+
+impl ConsequenceClass {
+    /// Creates a consequence class.
+    ///
+    /// `severity_rank` totally orders classes across both domains: a higher
+    /// rank is a worse consequence. Budget monotonicity (worse consequences
+    /// get smaller budgets) is validated when the class joins a
+    /// [`crate::norm::QuantitativeRiskNorm`].
+    pub fn new(
+        id: impl Into<ConsequenceClassId>,
+        domain: ConsequenceDomain,
+        severity_rank: u8,
+        description: impl Into<String>,
+    ) -> Self {
+        ConsequenceClass {
+            id: id.into(),
+            domain,
+            severity_rank,
+            description: description.into(),
+        }
+    }
+
+    /// The class identifier.
+    pub fn id(&self) -> &ConsequenceClassId {
+        &self.id
+    }
+
+    /// Whether this is a quality or safety class.
+    pub fn domain(&self) -> ConsequenceDomain {
+        self.domain
+    }
+
+    /// Position on the common severity axis (higher is worse).
+    pub fn severity_rank(&self) -> u8 {
+        self.severity_rank
+    }
+
+    /// Human-readable description.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+}
+
+impl fmt::Display for ConsequenceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}: {})", self.id, self.domain, self.description)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let v = ConsequenceClass::new("vQ2", ConsequenceDomain::Quality, 1, "forced manoeuvre");
+        assert_eq!(v.id().as_str(), "vQ2");
+        assert_eq!(v.domain(), ConsequenceDomain::Quality);
+        assert_eq!(v.severity_rank(), 1);
+        assert_eq!(v.description(), "forced manoeuvre");
+    }
+
+    #[test]
+    fn domains_order_quality_before_safety() {
+        assert!(ConsequenceDomain::Quality < ConsequenceDomain::Safety);
+    }
+
+    #[test]
+    fn display_mentions_domain() {
+        let v = ConsequenceClass::new("vS1", ConsequenceDomain::Safety, 3, "light injuries");
+        assert!(v.to_string().contains("safety"));
+        assert!(v.to_string().contains("vS1"));
+    }
+
+    #[test]
+    fn id_from_str() {
+        let id: ConsequenceClassId = "vS3".into();
+        assert_eq!(id, ConsequenceClassId::new("vS3"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = ConsequenceClass::new("vS1", ConsequenceDomain::Safety, 3, "light injuries");
+        let back: ConsequenceClass =
+            serde_json::from_str(&serde_json::to_string(&v).unwrap()).unwrap();
+        assert_eq!(v, back);
+    }
+}

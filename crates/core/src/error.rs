@@ -1,0 +1,93 @@
+//! Error types for the QRN core.
+
+use std::error::Error;
+use std::fmt;
+
+use qrn_stats::StatsError;
+use qrn_units::UnitError;
+
+/// Error type for constructing and checking QRN artefacts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A risk norm failed validation.
+    InvalidNorm(String),
+    /// A classification failed validation (not MECE, bad bands, …).
+    InvalidClassification(String),
+    /// An allocation failed validation (shares out of range, unknown ids…).
+    InvalidAllocation(String),
+    /// A referenced identifier does not exist.
+    UnknownId {
+        /// What kind of identifier was looked up.
+        kind: &'static str,
+        /// The identifier that was not found.
+        id: String,
+    },
+    /// An underlying quantity was invalid.
+    Unit(UnitError),
+    /// An underlying statistical computation failed.
+    Stats(StatsError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidNorm(msg) => write!(f, "invalid risk norm: {msg}"),
+            CoreError::InvalidClassification(msg) => {
+                write!(f, "invalid incident classification: {msg}")
+            }
+            CoreError::InvalidAllocation(msg) => write!(f, "invalid allocation: {msg}"),
+            CoreError::UnknownId { kind, id } => write!(f, "unknown {kind} id: {id}"),
+            CoreError::Unit(e) => write!(f, "unit error: {e}"),
+            CoreError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Unit(e) => Some(e),
+            CoreError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<UnitError> for CoreError {
+    fn from(e: UnitError) -> Self {
+        CoreError::Unit(e)
+    }
+}
+
+impl From<StatsError> for CoreError {
+    fn from(e: StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_specific() {
+        let e = CoreError::UnknownId {
+            kind: "incident type",
+            id: "I9".into(),
+        };
+        assert_eq!(e.to_string(), "unknown incident type id: I9");
+    }
+
+    #[test]
+    fn sources_chain() {
+        let ue = qrn_units::Frequency::per_hour(-1.0).unwrap_err();
+        let e = CoreError::from(ue);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

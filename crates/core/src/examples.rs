@@ -1,0 +1,325 @@
+//! The paper's running example, built out of the library's pieces.
+//!
+//! All numbers are **illustrative**, mirroring the paper's own footnote 3:
+//! "all examples in this paper are made up for illustrative purposes only
+//! and not based on actual statistics, hence they should not be used in a
+//! real safety case!" What matters — and what the tests pin down — is the
+//! *structure*: six consequence classes spanning quality and safety
+//! (Fig. 2), a MECE incident classification (Fig. 4), the Ego↔VRU
+//! elaboration into I1/I2/I3 with a tail band I4 (Fig. 5; the paper stops
+//! at 70 km/h because its ODD does, so the ≥ 70 band exists with a
+//! near-zero weight), and an allocation fulfilling Eq. (1).
+
+use std::collections::BTreeMap;
+
+use qrn_units::{Frequency, Meters, Probability, Speed};
+
+use crate::allocation::{allocate_proportional, Allocation, ShareMatrix, ShareMatrixBuilder};
+use crate::classification::{GroupRules, IncidentClassification};
+use crate::consequence::{ConsequenceClass, ConsequenceDomain};
+use crate::error::CoreError;
+use crate::incident::{IncidentTypeId, ToleranceMargin};
+use crate::norm::QuantitativeRiskNorm;
+use crate::object::InvolvementClass;
+
+/// The six-class example norm of Fig. 2 / Fig. 3: three quality classes
+/// (perceived safety, forced emergency manoeuvre, material damage) and
+/// three safety classes (light-to-moderate, severe, life-threatening
+/// injuries), with budgets decreasing by severity.
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` propagates constructor checks.
+pub fn paper_norm() -> Result<QuantitativeRiskNorm, CoreError> {
+    let fph = |x: f64| Frequency::per_hour(x).map_err(CoreError::from);
+    QuantitativeRiskNorm::builder()
+        .class(
+            ConsequenceClass::new(
+                "vQ1",
+                ConsequenceDomain::Quality,
+                0,
+                "perceived safety (e.g. scared pedestrian or passenger)",
+            ),
+            fph(1e-2)?,
+        )
+        .class(
+            ConsequenceClass::new(
+                "vQ2",
+                ConsequenceDomain::Quality,
+                1,
+                "emergency manoeuvre forced on another road user",
+            ),
+            fph(1e-3)?,
+        )
+        .class(
+            ConsequenceClass::new(
+                "vQ3",
+                ConsequenceDomain::Quality,
+                2,
+                "material damage (e.g. bodywork damage)",
+            ),
+            fph(1e-4)?,
+        )
+        .class(
+            ConsequenceClass::new(
+                "vS1",
+                ConsequenceDomain::Safety,
+                3,
+                "light to moderate injuries",
+            ),
+            fph(1e-5)?,
+        )
+        .class(
+            ConsequenceClass::new("vS2", ConsequenceDomain::Safety, 4, "severe injuries"),
+            fph(1e-6)?,
+        )
+        .class(
+            ConsequenceClass::new(
+                "vS3",
+                ConsequenceDomain::Safety,
+                5,
+                "life-threatening or fatal injuries",
+            ),
+            fph(1e-8)?,
+        )
+        .build()
+}
+
+/// The Fig. 4 classification with the Fig. 5 Ego↔VRU elaboration.
+///
+/// The Ego↔VRU group carries the paper's named types:
+///
+/// * `I1` — approach within 1 m at Δv ≥ 10 km/h (quality incident);
+/// * `I2` — collision with 0 ≤ Δv < 10 km/h;
+/// * `I3` — collision with 10 ≤ Δv < 70 km/h;
+/// * `I4` — collision with Δv ≥ 70 km/h (the mandatory unbounded tail;
+///   inside the paper's urban ODD its budget is driven to near zero).
+///
+/// Every other group gets banded margins in the same style, so the whole
+/// classification is MECE by construction.
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` propagates constructor checks.
+pub fn paper_classification() -> Result<IncidentClassification, CoreError> {
+    let kmh = |v: f64| Speed::from_kmh(v).map_err(CoreError::from);
+    let m = |d: f64| Meters::new(d).map_err(CoreError::from);
+
+    let ego_vru = GroupRules::builder()
+        .collision_band_below(kmh(10.0)?, "I2")
+        .collision_band_below(kmh(70.0)?, "I3")
+        .collision_tail("I4")
+        .near_miss_within(m(1.0)?)
+        .near_miss_band_from(kmh(10.0)?, "I1")
+        .build()?;
+
+    let banded = |prefix: &str,
+                  bounds: &[f64],
+                  near_miss: Option<(f64, f64)>|
+     -> Result<GroupRules, CoreError> {
+        let mut b = GroupRules::builder();
+        for (i, hi) in bounds.iter().enumerate() {
+            b = b.collision_band_below(kmh(*hi)?, format!("{prefix}/C{i}"));
+        }
+        b = b.collision_tail(format!("{prefix}/C{}", bounds.len()));
+        if let Some((dist, from)) = near_miss {
+            b = b
+                .near_miss_within(m(dist)?)
+                .near_miss_band_from(kmh(from)?, format!("{prefix}/NM"));
+        }
+        b.build()
+    };
+
+    IncidentClassification::builder()
+        .group(InvolvementClass::EgoVru, ego_vru)
+        .group(
+            InvolvementClass::EgoCar,
+            banded("EgoCar", &[15.0, 50.0], Some((0.5, 20.0)))?,
+        )
+        .group(
+            InvolvementClass::EgoTruck,
+            banded("EgoTruck", &[15.0, 50.0], Some((0.5, 20.0)))?,
+        )
+        .group(
+            InvolvementClass::EgoAnimal,
+            banded("EgoAnimal", &[30.0], None)?,
+        )
+        .group(
+            InvolvementClass::EgoStatic,
+            banded("EgoStatic", &[15.0], None)?,
+        )
+        .group(
+            InvolvementClass::EgoOther,
+            banded("EgoOther", &[15.0], None)?,
+        )
+        .group(
+            InvolvementClass::InducedVru,
+            banded("InducedVru", &[10.0], None)?,
+        )
+        .group(
+            InvolvementClass::InducedOther,
+            banded("InducedOther", &[30.0], None)?,
+        )
+        .build()
+}
+
+/// The contribution shares of the example: the Fig. 5 assignments for
+/// I1–I4 (70% / 30% of I1 into vQ1 / vQ2, …) plus generic severity-graded
+/// shares for every other leaf, derived from its margin.
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` propagates constructor checks.
+pub fn paper_shares(classification: &IncidentClassification) -> Result<ShareMatrix, CoreError> {
+    let p = |x: f64| Probability::new(x).map_err(CoreError::from);
+    let mut b: ShareMatrixBuilder = ShareMatrix::builder();
+
+    for leaf in classification.leaves() {
+        let id = leaf.id().as_str();
+        b = match id {
+            // Fig. 5: I1 contributes a percentage each to vQ1 and vQ2.
+            "I1" => b.share("I1", "vQ1", p(0.7)?).share("I1", "vQ2", p(0.3)?),
+            // I2: light (vS1) or moderate — we fold moderate into vS1 per
+            // the vS1 class definition, with a small severe (vS2) share.
+            "I2" => b.share("I2", "vS1", p(0.6)?).share("I2", "vS2", p(0.05)?),
+            // I3: spans light, severe, and fatality (vS3).
+            "I3" => b
+                .share("I3", "vS1", p(0.3)?)
+                .share("I3", "vS2", p(0.4)?)
+                .share("I3", "vS3", p(0.15)?),
+            // I4: high-speed VRU collision is predominantly fatal.
+            "I4" => b.share("I4", "vS2", p(0.1)?).share("I4", "vS3", p(0.9)?),
+            _ => {
+                let id = leaf.id().clone();
+                match leaf.margin() {
+                    ToleranceMargin::Proximity { .. } => {
+                        b.share(id.clone(), "vQ1", p(0.6)?)
+                            .share(id, "vQ2", p(0.3)?)
+                    }
+                    ToleranceMargin::ImpactSpeed { hi: Some(hi), .. } if hi.as_kmh() <= 16.0 => b
+                        .share(id.clone(), "vQ3", p(0.6)?)
+                        .share(id, "vS1", p(0.1)?),
+                    ToleranceMargin::ImpactSpeed { hi: Some(_), .. } => b
+                        .share(id.clone(), "vS1", p(0.4)?)
+                        .share(id.clone(), "vS2", p(0.25)?)
+                        .share(id, "vS3", p(0.05)?),
+                    ToleranceMargin::ImpactSpeed { hi: None, .. } => b
+                        .share(id.clone(), "vS2", p(0.3)?)
+                        .share(id, "vS3", p(0.5)?),
+                }
+            }
+        };
+    }
+    b.build()
+}
+
+/// The allocation weights of the example: quality incidents are tolerated
+/// orders of magnitude more often than severe collision bands, and the
+/// out-of-ODD tail bands get near-zero weight (the ODD argument keeps them
+/// from occurring at all, so almost no budget is spent on them).
+pub fn paper_weights(classification: &IncidentClassification) -> BTreeMap<IncidentTypeId, f64> {
+    classification
+        .leaves()
+        .iter()
+        .map(|leaf| {
+            let w = match leaf.margin() {
+                ToleranceMargin::Proximity { .. } => 100.0,
+                ToleranceMargin::ImpactSpeed { hi: Some(hi), .. } if hi.as_kmh() <= 16.0 => 10.0,
+                ToleranceMargin::ImpactSpeed { hi: Some(_), .. } => 1.0,
+                ToleranceMargin::ImpactSpeed { hi: None, .. } => 0.01,
+            };
+            (leaf.id().clone(), w)
+        })
+        .collect()
+}
+
+/// The example allocation: proportional budgets at 90% utilisation of the
+/// binding consequence class, guaranteed to fulfil Eq. (1) against
+/// [`paper_norm`].
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` propagates constructor checks.
+pub fn paper_allocation(classification: &IncidentClassification) -> Result<Allocation, CoreError> {
+    let norm = paper_norm()?;
+    let shares = paper_shares(classification)?;
+    let weights = paper_weights(classification);
+    allocate_proportional(&norm, &shares, &weights, 0.9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_has_six_classes_in_two_domains() {
+        let norm = paper_norm().unwrap();
+        assert_eq!(norm.len(), 6);
+        assert_eq!(norm.domain_classes(ConsequenceDomain::Quality).count(), 3);
+        assert_eq!(norm.domain_classes(ConsequenceDomain::Safety).count(), 3);
+    }
+
+    #[test]
+    fn classification_has_named_vru_types() {
+        let c = paper_classification().unwrap();
+        for id in ["I1", "I2", "I3", "I4"] {
+            assert!(c.incident_type(&id.into()).is_some(), "{id}");
+        }
+    }
+
+    #[test]
+    fn shares_cover_every_leaf() {
+        let c = paper_classification().unwrap();
+        let shares = paper_shares(&c).unwrap();
+        for leaf in c.leaves() {
+            assert!(
+                shares.row(leaf.id()).is_some(),
+                "leaf {} has no shares",
+                leaf.id()
+            );
+        }
+    }
+
+    #[test]
+    fn i1_shares_match_fig5() {
+        let c = paper_classification().unwrap();
+        let shares = paper_shares(&c).unwrap();
+        assert!((shares.share(&"I1".into(), &"vQ1".into()).value() - 0.7).abs() < 1e-12);
+        assert!((shares.share(&"I1".into(), &"vQ2".into()).value() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allocation_fulfils_the_norm() {
+        let c = paper_classification().unwrap();
+        let a = paper_allocation(&c).unwrap();
+        let report = a.check(&paper_norm().unwrap()).unwrap();
+        assert!(report.is_fulfilled(), "{report}");
+        // utilisation of the binding class is 90%
+        let max_util = report
+            .rows()
+            .iter()
+            .filter_map(|r| r.utilisation)
+            .fold(0.0f64, f64::max);
+        assert!((max_util - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quality_budgets_exceed_severe_budgets() {
+        // Fig. 2's shape: the near-miss type I1 gets a far bigger budget
+        // than the severe collision band I3.
+        let c = paper_classification().unwrap();
+        let a = paper_allocation(&c).unwrap();
+        let f_i1 = a.incident_budget(&"I1".into()).unwrap();
+        let f_i3 = a.incident_budget(&"I3".into()).unwrap();
+        assert!(f_i1.as_per_hour() > 10.0 * f_i3.as_per_hour());
+    }
+
+    #[test]
+    fn tail_band_budget_is_negligible() {
+        let c = paper_classification().unwrap();
+        let a = paper_allocation(&c).unwrap();
+        let f_i4 = a.incident_budget(&"I4".into()).unwrap();
+        let f_i3 = a.incident_budget(&"I3".into()).unwrap();
+        assert!(f_i4.as_per_hour() < 0.05 * f_i3.as_per_hour());
+    }
+}

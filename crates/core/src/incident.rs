@@ -1,0 +1,438 @@
+//! Incident types, tolerance margins and concrete incident records.
+//!
+//! An incident type is "an interaction between ego vehicle and
+//! `<object_type>` within `<tolerance_margin>`", where the margin "is for
+//! accidents telling the impact speed, and for quality-related incidents
+//! limits for distance and corresponding relative speed" (Sec. III-B).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use qrn_units::{Meters, Speed};
+
+use crate::object::Involvement;
+
+/// Identifier of an incident type, e.g. `I2` or `EgoCar/C1`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct IncidentTypeId(String);
+
+impl IncidentTypeId {
+    /// Creates an identifier.
+    pub fn new(id: impl Into<String>) -> Self {
+        IncidentTypeId(id.into())
+    }
+
+    /// The identifier text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for IncidentTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for IncidentTypeId {
+    fn from(s: &str) -> Self {
+        IncidentTypeId::new(s)
+    }
+}
+
+impl From<String> for IncidentTypeId {
+    fn from(s: String) -> Self {
+        IncidentTypeId(s)
+    }
+}
+
+/// The `<tolerance_margin>` of an incident type.
+///
+/// Margins are half-open bands so that adjacent bands tile without overlap:
+/// a band covers `lo ≤ x < hi`, with `hi = None` meaning unbounded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ToleranceMargin {
+    /// An accident band over collision impact speed: `lo ≤ Δv < hi`.
+    ImpactSpeed {
+        /// Inclusive lower bound of impact speed.
+        lo: Speed,
+        /// Exclusive upper bound, or `None` for unbounded.
+        hi: Option<Speed>,
+    },
+    /// A quality band over near-miss geometry: passing within
+    /// `max_distance` while the relative speed lies in `lo ≤ Δv < hi`.
+    Proximity {
+        /// The distance below which the interaction counts (exclusive).
+        max_distance: Meters,
+        /// Inclusive lower bound of relative speed.
+        lo: Speed,
+        /// Exclusive upper bound of relative speed, or `None` for unbounded.
+        hi: Option<Speed>,
+    },
+}
+
+impl ToleranceMargin {
+    /// Returns `true` when the margin matches a concrete incident kind.
+    pub fn matches(&self, kind: &IncidentKind) -> bool {
+        match (self, kind) {
+            (ToleranceMargin::ImpactSpeed { lo, hi }, IncidentKind::Collision { impact_speed }) => {
+                in_band(*impact_speed, *lo, *hi)
+            }
+            (
+                ToleranceMargin::Proximity {
+                    max_distance,
+                    lo,
+                    hi,
+                },
+                IncidentKind::NearMiss {
+                    distance,
+                    relative_speed,
+                },
+            ) => distance < max_distance && in_band(*relative_speed, *lo, *hi),
+            _ => false,
+        }
+    }
+}
+
+fn in_band(v: Speed, lo: Speed, hi: Option<Speed>) -> bool {
+    v >= lo && hi.is_none_or(|h| v < h)
+}
+
+impl fmt::Display for ToleranceMargin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToleranceMargin::ImpactSpeed { lo, hi } => match hi {
+                Some(hi) => write!(
+                    f,
+                    "{:.0} ≤ Δv_collision < {:.0} km/h",
+                    lo.as_kmh(),
+                    hi.as_kmh()
+                ),
+                None => write!(f, "Δv_collision ≥ {:.0} km/h", lo.as_kmh()),
+            },
+            ToleranceMargin::Proximity {
+                max_distance,
+                lo,
+                hi,
+            } => match hi {
+                Some(hi) => write!(
+                    f,
+                    "0 ≤ d < {} & {:.0} ≤ Δv < {:.0} km/h",
+                    max_distance,
+                    lo.as_kmh(),
+                    hi.as_kmh()
+                ),
+                None => write!(f, "0 ≤ d < {} & Δv ≥ {:.0} km/h", max_distance, lo.as_kmh()),
+            },
+        }
+    }
+}
+
+/// What physically happened in a concrete incident.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum IncidentKind {
+    /// A collision with the given impact speed (relative speed at contact).
+    Collision {
+        /// Impact speed Δv at contact.
+        impact_speed: Speed,
+    },
+    /// A near-miss: minimum separation and relative speed at that moment.
+    NearMiss {
+        /// Minimum separation reached.
+        distance: Meters,
+        /// Relative speed at minimum separation.
+        relative_speed: Speed,
+    },
+}
+
+/// A concrete incident event, as produced by field data or the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IncidentRecord {
+    /// Who was involved.
+    pub involvement: Involvement,
+    /// What happened.
+    pub kind: IncidentKind,
+}
+
+impl IncidentRecord {
+    /// Creates a record.
+    pub fn new(involvement: Involvement, kind: IncidentKind) -> Self {
+        IncidentRecord { involvement, kind }
+    }
+
+    /// Convenience constructor for a collision record.
+    pub fn collision(involvement: Involvement, impact_speed: Speed) -> Self {
+        IncidentRecord::new(involvement, IncidentKind::Collision { impact_speed })
+    }
+
+    /// Convenience constructor for a near-miss record.
+    pub fn near_miss(involvement: Involvement, distance: Meters, relative_speed: Speed) -> Self {
+        IncidentRecord::new(
+            involvement,
+            IncidentKind::NearMiss {
+                distance,
+                relative_speed,
+            },
+        )
+    }
+}
+
+impl fmt::Display for IncidentRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            IncidentKind::Collision { impact_speed } => {
+                write!(f, "collision {} at {}", self.involvement, impact_speed)
+            }
+            IncidentKind::NearMiss {
+                distance,
+                relative_speed,
+            } => write!(
+                f,
+                "near-miss {} at {} within {}",
+                self.involvement, relative_speed, distance
+            ),
+        }
+    }
+}
+
+/// An incident type: involvement + tolerance margin, the unit the QRN
+/// allocates budgets to and derives safety goals from.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_core::incident::{IncidentKind, IncidentRecord, IncidentType, ToleranceMargin};
+/// use qrn_core::object::{Involvement, ObjectType};
+/// use qrn_units::Speed;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // The paper's I2: collision Ego↔VRU with 0 < Δv < 10 km/h.
+/// let i2 = IncidentType::new(
+///     "I2",
+///     Involvement::ego_with(ObjectType::Vru),
+///     ToleranceMargin::ImpactSpeed {
+///         lo: Speed::ZERO,
+///         hi: Some(Speed::from_kmh(10.0)?),
+///     },
+/// );
+/// let hit = IncidentRecord::collision(
+///     Involvement::ego_with(ObjectType::Vru),
+///     Speed::from_kmh(7.0)?,
+/// );
+/// assert!(i2.matches(&hit));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncidentType {
+    id: IncidentTypeId,
+    involvement: Involvement,
+    margin: ToleranceMargin,
+    description: String,
+}
+
+impl IncidentType {
+    /// Creates an incident type.
+    pub fn new(
+        id: impl Into<IncidentTypeId>,
+        involvement: Involvement,
+        margin: ToleranceMargin,
+    ) -> Self {
+        IncidentType {
+            id: id.into(),
+            involvement,
+            margin,
+            description: String::new(),
+        }
+    }
+
+    /// Attaches a free-text description.
+    pub fn with_description(mut self, description: impl Into<String>) -> Self {
+        self.description = description.into();
+        self
+    }
+
+    /// The type identifier.
+    pub fn id(&self) -> &IncidentTypeId {
+        &self.id
+    }
+
+    /// Who the type involves.
+    pub fn involvement(&self) -> Involvement {
+        self.involvement
+    }
+
+    /// The tolerance margin.
+    pub fn margin(&self) -> &ToleranceMargin {
+        &self.margin
+    }
+
+    /// The free-text description (possibly empty).
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Returns `true` when a concrete record is an instance of this type.
+    pub fn matches(&self, record: &IncidentRecord) -> bool {
+        record.involvement.class() == self.involvement.class() && self.margin.matches(&record.kind)
+    }
+}
+
+impl fmt::Display for IncidentType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} | {}", self.id, self.involvement, self.margin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectType;
+
+    fn kmh(v: f64) -> Speed {
+        Speed::from_kmh(v).unwrap()
+    }
+
+    fn m(d: f64) -> Meters {
+        Meters::new(d).unwrap()
+    }
+
+    fn ego_vru() -> Involvement {
+        Involvement::ego_with(ObjectType::Vru)
+    }
+
+    #[test]
+    fn impact_band_is_half_open() {
+        let band = ToleranceMargin::ImpactSpeed {
+            lo: kmh(10.0),
+            hi: Some(kmh(70.0)),
+        };
+        assert!(band.matches(&IncidentKind::Collision {
+            impact_speed: kmh(10.0)
+        }));
+        assert!(band.matches(&IncidentKind::Collision {
+            impact_speed: kmh(69.9)
+        }));
+        assert!(!band.matches(&IncidentKind::Collision {
+            impact_speed: kmh(70.0)
+        }));
+        assert!(!band.matches(&IncidentKind::Collision {
+            impact_speed: kmh(9.9)
+        }));
+    }
+
+    #[test]
+    fn unbounded_band_catches_everything_above() {
+        let band = ToleranceMargin::ImpactSpeed {
+            lo: kmh(70.0),
+            hi: None,
+        };
+        assert!(band.matches(&IncidentKind::Collision {
+            impact_speed: kmh(250.0)
+        }));
+        assert!(!band.matches(&IncidentKind::Collision {
+            impact_speed: kmh(69.0)
+        }));
+    }
+
+    #[test]
+    fn proximity_margin_matches_paper_i1() {
+        // I1: Ego approaches VRU with Δv > 10 km/h when closer than 1 m.
+        let i1 = ToleranceMargin::Proximity {
+            max_distance: m(1.0),
+            lo: kmh(10.0),
+            hi: None,
+        };
+        assert!(i1.matches(&IncidentKind::NearMiss {
+            distance: m(0.5),
+            relative_speed: kmh(15.0)
+        }));
+        // too far away
+        assert!(!i1.matches(&IncidentKind::NearMiss {
+            distance: m(1.0),
+            relative_speed: kmh(15.0)
+        }));
+        // too slow
+        assert!(!i1.matches(&IncidentKind::NearMiss {
+            distance: m(0.5),
+            relative_speed: kmh(5.0)
+        }));
+    }
+
+    #[test]
+    fn margin_kinds_never_cross_match() {
+        let collision_band = ToleranceMargin::ImpactSpeed {
+            lo: Speed::ZERO,
+            hi: None,
+        };
+        assert!(!collision_band.matches(&IncidentKind::NearMiss {
+            distance: m(0.1),
+            relative_speed: kmh(50.0)
+        }));
+        let proximity = ToleranceMargin::Proximity {
+            max_distance: m(1.0),
+            lo: Speed::ZERO,
+            hi: None,
+        };
+        assert!(!proximity.matches(&IncidentKind::Collision {
+            impact_speed: kmh(5.0)
+        }));
+    }
+
+    #[test]
+    fn type_matching_requires_same_involvement_class() {
+        let i2 = IncidentType::new(
+            "I2",
+            ego_vru(),
+            ToleranceMargin::ImpactSpeed {
+                lo: Speed::ZERO,
+                hi: Some(kmh(10.0)),
+            },
+        );
+        let vru_hit = IncidentRecord::collision(ego_vru(), kmh(5.0));
+        let car_hit = IncidentRecord::collision(Involvement::ego_with(ObjectType::Car), kmh(5.0));
+        assert!(i2.matches(&vru_hit));
+        assert!(!i2.matches(&car_hit));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let i2 = IncidentType::new(
+            "I2",
+            ego_vru(),
+            ToleranceMargin::ImpactSpeed {
+                lo: Speed::ZERO,
+                hi: Some(kmh(10.0)),
+            },
+        );
+        let text = i2.to_string();
+        assert!(text.contains("I2"));
+        assert!(text.contains("Ego↔VRU"));
+        assert!(text.contains("0 ≤ Δv_collision < 10 km/h"));
+    }
+
+    #[test]
+    fn record_constructors() {
+        let r = IncidentRecord::near_miss(ego_vru(), m(0.8), kmh(20.0));
+        assert!(matches!(r.kind, IncidentKind::NearMiss { .. }));
+        let c = IncidentRecord::collision(ego_vru(), kmh(30.0));
+        assert!(matches!(c.kind, IncidentKind::Collision { .. }));
+        assert!(c.to_string().contains("collision"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let i = IncidentType::new(
+            "I3",
+            ego_vru(),
+            ToleranceMargin::ImpactSpeed {
+                lo: kmh(10.0),
+                hi: Some(kmh(70.0)),
+            },
+        )
+        .with_description("serious VRU collision band");
+        let back: IncidentType = serde_json::from_str(&serde_json::to_string(&i).unwrap()).unwrap();
+        assert_eq!(i, back);
+    }
+}

@@ -1,0 +1,385 @@
+//! The quantitative risk norm itself: consequence classes with strict
+//! frequency budgets.
+//!
+//! "The risk norm defines what is regarded 'sufficiently safe' in the
+//! design-time safety case top claim" (Sec. III-A). It is a *budget*: each
+//! consequence class `v_j` gets an acceptable total frequency
+//! `f_acc(v_j)`, valid across the entire ODD ("the safety case needs to be
+//! valid inside the entire ODD regardless of where, when, and how the
+//! feature is used").
+//!
+//! Validation enforces the one structural property both Fig. 2 and Fig. 3
+//! rely on: budgets are **monotone non-increasing in severity** — society
+//! tolerates scared pedestrians more often than fatalities.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use qrn_units::Frequency;
+
+use crate::consequence::{ConsequenceClass, ConsequenceClassId, ConsequenceDomain};
+use crate::error::CoreError;
+
+/// A validated quantitative risk norm.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_core::consequence::{ConsequenceClass, ConsequenceDomain};
+/// use qrn_core::norm::QuantitativeRiskNorm;
+/// use qrn_units::Frequency;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let norm = QuantitativeRiskNorm::builder()
+///     .class(
+///         ConsequenceClass::new("vQ1", ConsequenceDomain::Quality, 0, "perceived safety"),
+///         Frequency::per_hour(1e-2)?,
+///     )
+///     .class(
+///         ConsequenceClass::new("vS3", ConsequenceDomain::Safety, 5, "fatality"),
+///         Frequency::per_hour(1e-9)?,
+///     )
+///     .build()?;
+/// assert_eq!(norm.classes().count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantitativeRiskNorm {
+    /// Classes sorted by ascending severity rank.
+    classes: Vec<ConsequenceClass>,
+    budgets: BTreeMap<ConsequenceClassId, Frequency>,
+}
+
+impl QuantitativeRiskNorm {
+    /// Starts building a norm.
+    pub fn builder() -> QrnBuilder {
+        QrnBuilder::default()
+    }
+
+    /// The consequence classes in ascending severity order.
+    pub fn classes(&self) -> impl Iterator<Item = &ConsequenceClass> {
+        self.classes.iter()
+    }
+
+    /// The class with the given id, if present.
+    pub fn class(&self, id: &ConsequenceClassId) -> Option<&ConsequenceClass> {
+        self.classes.iter().find(|c| c.id() == id)
+    }
+
+    /// The acceptable frequency budget of a class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownId`] for an id not in the norm.
+    pub fn budget(&self, id: &ConsequenceClassId) -> Result<Frequency, CoreError> {
+        self.budgets
+            .get(id)
+            .copied()
+            .ok_or_else(|| CoreError::UnknownId {
+                kind: "consequence class",
+                id: id.as_str().to_string(),
+            })
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Returns `true` for a norm with no classes (never produced by
+    /// [`QrnBuilder::build`], which rejects empty norms).
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// The classes of one domain, in ascending severity order.
+    pub fn domain_classes(
+        &self,
+        domain: ConsequenceDomain,
+    ) -> impl Iterator<Item = &ConsequenceClass> {
+        self.classes.iter().filter(move |c| c.domain() == domain)
+    }
+
+    /// Returns a new norm with one class's budget tightened (multiplied by
+    /// `factor ≤ 1`). Loosening is rejected: a published norm is a ceiling,
+    /// variants may only be stricter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for an unknown id, a factor above 1, or a
+    /// tightening that breaks monotonicity.
+    pub fn tightened(
+        &self,
+        id: &ConsequenceClassId,
+        factor: f64,
+    ) -> Result<QuantitativeRiskNorm, CoreError> {
+        if !(factor.is_finite() && (0.0..=1.0).contains(&factor)) {
+            return Err(CoreError::InvalidNorm(format!(
+                "tightening factor must lie in [0, 1], got {factor}"
+            )));
+        }
+        let current = self.budget(id)?;
+        let mut budgets = self.budgets.clone();
+        budgets.insert(id.clone(), current.scaled(factor)?);
+        QuantitativeRiskNorm::validate(self.classes.clone(), budgets)
+    }
+
+    fn validate(
+        mut classes: Vec<ConsequenceClass>,
+        budgets: BTreeMap<ConsequenceClassId, Frequency>,
+    ) -> Result<QuantitativeRiskNorm, CoreError> {
+        if classes.is_empty() {
+            return Err(CoreError::InvalidNorm(
+                "a risk norm needs at least one consequence class".into(),
+            ));
+        }
+        classes.sort_by_key(|c| c.severity_rank());
+        // Unique ids and unique ranks.
+        for pair in classes.windows(2) {
+            if pair[0].severity_rank() == pair[1].severity_rank() {
+                return Err(CoreError::InvalidNorm(format!(
+                    "classes {} and {} share severity rank {}",
+                    pair[0].id(),
+                    pair[1].id(),
+                    pair[0].severity_rank()
+                )));
+            }
+        }
+        let mut ids: Vec<&ConsequenceClassId> = classes.iter().map(|c| c.id()).collect();
+        ids.sort();
+        for pair in ids.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(CoreError::InvalidNorm(format!(
+                    "duplicate consequence class id {}",
+                    pair[0]
+                )));
+            }
+        }
+        // Quality classes must not be ranked above any safety class
+        // (Fig. 2: quality sits on the less severe side of the axis).
+        let max_quality = classes
+            .iter()
+            .filter(|c| c.domain() == ConsequenceDomain::Quality)
+            .map(|c| c.severity_rank())
+            .max();
+        let min_safety = classes
+            .iter()
+            .filter(|c| c.domain() == ConsequenceDomain::Safety)
+            .map(|c| c.severity_rank())
+            .min();
+        if let (Some(q), Some(s)) = (max_quality, min_safety) {
+            if q > s {
+                return Err(CoreError::InvalidNorm(format!(
+                    "a quality class (rank {q}) is ranked more severe than a safety class (rank {s})"
+                )));
+            }
+        }
+        // Every class has a budget; budgets monotone non-increasing.
+        let mut prev: Option<(&ConsequenceClass, Frequency)> = None;
+        for class in &classes {
+            let budget = *budgets.get(class.id()).ok_or_else(|| {
+                CoreError::InvalidNorm(format!("class {} has no budget", class.id()))
+            })?;
+            if let Some((prev_class, prev_budget)) = prev {
+                if budget > prev_budget {
+                    return Err(CoreError::InvalidNorm(format!(
+                        "budget of {} ({budget}) exceeds budget of less severe {} ({prev_budget})",
+                        class.id(),
+                        prev_class.id()
+                    )));
+                }
+            }
+            prev = Some((class, budget));
+        }
+        if budgets.len() != classes.len() {
+            return Err(CoreError::InvalidNorm(
+                "budgets reference classes that are not part of the norm".into(),
+            ));
+        }
+        Ok(QuantitativeRiskNorm { classes, budgets })
+    }
+}
+
+impl fmt::Display for QuantitativeRiskNorm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Quantitative risk norm ({} classes):",
+            self.classes.len()
+        )?;
+        for class in &self.classes {
+            let budget = self.budgets[class.id()];
+            writeln!(f, "  {class}: at most {budget}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`QuantitativeRiskNorm`].
+#[derive(Debug, Clone, Default)]
+pub struct QrnBuilder {
+    classes: Vec<ConsequenceClass>,
+    budgets: BTreeMap<ConsequenceClassId, Frequency>,
+}
+
+impl QrnBuilder {
+    /// Adds a class with its acceptable frequency budget.
+    pub fn class(mut self, class: ConsequenceClass, budget: Frequency) -> Self {
+        self.budgets.insert(class.id().clone(), budget);
+        self.classes.push(class);
+        self
+    }
+
+    /// Validates and builds the norm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidNorm`] for an empty norm, duplicate ids
+    /// or ranks, a quality class ranked above a safety class, a missing
+    /// budget, or budgets that increase with severity.
+    pub fn build(self) -> Result<QuantitativeRiskNorm, CoreError> {
+        QuantitativeRiskNorm::validate(self.classes, self.budgets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fph(x: f64) -> Frequency {
+        Frequency::per_hour(x).unwrap()
+    }
+
+    fn quality(id: &str, rank: u8) -> ConsequenceClass {
+        ConsequenceClass::new(id, ConsequenceDomain::Quality, rank, "quality consequence")
+    }
+
+    fn safety(id: &str, rank: u8) -> ConsequenceClass {
+        ConsequenceClass::new(id, ConsequenceDomain::Safety, rank, "safety consequence")
+    }
+
+    fn valid_norm() -> QuantitativeRiskNorm {
+        QuantitativeRiskNorm::builder()
+            .class(quality("vQ1", 0), fph(1e-2))
+            .class(quality("vQ2", 1), fph(1e-3))
+            .class(safety("vS1", 2), fph(1e-5))
+            .class(safety("vS2", 3), fph(1e-7))
+            .class(safety("vS3", 4), fph(1e-9))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn classes_sorted_by_severity() {
+        let norm = valid_norm();
+        let ranks: Vec<u8> = norm.classes().map(|c| c.severity_rank()).collect();
+        assert_eq!(ranks, [0, 1, 2, 3, 4]);
+        assert_eq!(norm.len(), 5);
+    }
+
+    #[test]
+    fn budget_lookup() {
+        let norm = valid_norm();
+        assert_eq!(norm.budget(&"vS3".into()).unwrap(), fph(1e-9));
+        assert!(matches!(
+            norm.budget(&"nope".into()),
+            Err(CoreError::UnknownId { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_norm() {
+        assert!(QuantitativeRiskNorm::builder().build().is_err());
+    }
+
+    #[test]
+    fn rejects_non_monotone_budgets() {
+        let err = QuantitativeRiskNorm::builder()
+            .class(quality("vQ1", 0), fph(1e-5))
+            .class(safety("vS1", 1), fph(1e-2)) // more severe but bigger budget
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidNorm(_)));
+    }
+
+    #[test]
+    fn rejects_duplicate_ranks_and_ids() {
+        let err = QuantitativeRiskNorm::builder()
+            .class(quality("vQ1", 0), fph(1e-2))
+            .class(quality("vQ2", 0), fph(1e-2))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidNorm(_)));
+
+        let err = QuantitativeRiskNorm::builder()
+            .class(quality("vQ1", 0), fph(1e-2))
+            .class(quality("vQ1", 1), fph(1e-3))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidNorm(_)));
+    }
+
+    #[test]
+    fn rejects_quality_above_safety() {
+        let err = QuantitativeRiskNorm::builder()
+            .class(safety("vS1", 0), fph(1e-4))
+            .class(quality("vQ1", 1), fph(1e-4))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidNorm(_)));
+    }
+
+    #[test]
+    fn allows_equal_budgets_across_adjacent_classes() {
+        // non-increasing, not strictly decreasing
+        assert!(QuantitativeRiskNorm::builder()
+            .class(quality("vQ1", 0), fph(1e-3))
+            .class(quality("vQ2", 1), fph(1e-3))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn domain_classes_filter() {
+        let norm = valid_norm();
+        assert_eq!(norm.domain_classes(ConsequenceDomain::Quality).count(), 2);
+        assert_eq!(norm.domain_classes(ConsequenceDomain::Safety).count(), 3);
+    }
+
+    #[test]
+    fn tightened_reduces_budget() {
+        let norm = valid_norm();
+        let tighter = norm.tightened(&"vS1".into(), 0.1).unwrap();
+        let b = tighter.budget(&"vS1".into()).unwrap().as_per_hour();
+        assert!((b - 1e-6).abs() < 1e-18);
+        // loosening rejected
+        assert!(norm.tightened(&"vS1".into(), 2.0).is_err());
+    }
+
+    #[test]
+    fn tightened_cannot_break_monotonicity() {
+        // vQ2 budget 1e-3; tightening vQ1 (rank 0) below 1e-3 would make
+        // budgets increase with severity between vQ1 and vQ2.
+        let norm = valid_norm();
+        let err = norm.tightened(&"vQ1".into(), 1e-9).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidNorm(_)));
+    }
+
+    #[test]
+    fn display_lists_classes() {
+        let text = valid_norm().to_string();
+        assert!(text.contains("vS3"));
+        assert!(text.contains("/h"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let norm = valid_norm();
+        let back: QuantitativeRiskNorm =
+            serde_json::from_str(&serde_json::to_string(&norm).unwrap()).unwrap();
+        assert_eq!(norm, back);
+    }
+}

@@ -1,0 +1,266 @@
+//! The `<object_type>` taxonomy and incident involvement.
+//!
+//! The paper suggests "many of the incident types can be defined as an
+//! interaction between ego vehicle and `<object_type>` within
+//! `<tolerance_margin>`. The `<object_type>` is a complete and unique set."
+//! Completeness and uniqueness are achieved here the Rust way: an
+//! exhaustive enum with a catch-all variant, so `match` *proves* that every
+//! object lands in exactly one category.
+//!
+//! Fig. 4 additionally splits the top level into incidents the ego vehicle
+//! is *involved in* versus incidents among other road users that the ego
+//! vehicle *induced* ("ego vehicle a causing factor in an incident
+//! involving other road users"); [`Involvement`] captures that split.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The complete, unique set of object categories an incident can involve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ObjectType {
+    /// Vulnerable road user: pedestrian, cyclist, …
+    Vru,
+    /// Passenger car.
+    Car,
+    /// Truck or bus.
+    Truck,
+    /// Large animal (the paper's elk).
+    Animal,
+    /// Static object: barrier, parked trailer, debris.
+    StaticObject,
+    /// Anything not covered above — the catch-all that makes the set
+    /// collectively exhaustive by definition.
+    Other,
+}
+
+impl ObjectType {
+    /// All object types.
+    pub const ALL: [ObjectType; 6] = [
+        ObjectType::Vru,
+        ObjectType::Car,
+        ObjectType::Truck,
+        ObjectType::Animal,
+        ObjectType::StaticObject,
+        ObjectType::Other,
+    ];
+}
+
+impl fmt::Display for ObjectType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            ObjectType::Vru => "VRU",
+            ObjectType::Car => "Car",
+            ObjectType::Truck => "Truck",
+            ObjectType::Animal => "Animal",
+            ObjectType::StaticObject => "StaticObject",
+            ObjectType::Other => "Other",
+        };
+        f.write_str(text)
+    }
+}
+
+/// Who an incident involves: the ego vehicle and an object, or two other
+/// actors in an incident the ego vehicle induced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Involvement {
+    /// The ego vehicle interacts with an object (`Ego ↔ X`).
+    EgoWith(ObjectType),
+    /// Two other actors interact, with ego a causing factor (`X ↔ Y`).
+    ///
+    /// The pair is unordered; [`Involvement::induced`] normalises it so
+    /// `Induced(Car, Vru)` and `Induced(Vru, Car)` are the same value.
+    Induced(ObjectType, ObjectType),
+}
+
+impl Involvement {
+    /// Creates an ego-involved interaction.
+    pub fn ego_with(object: ObjectType) -> Self {
+        Involvement::EgoWith(object)
+    }
+
+    /// Creates an induced (ego-caused, ego-uninvolved) interaction with a
+    /// normalised actor order.
+    pub fn induced(a: ObjectType, b: ObjectType) -> Self {
+        if a <= b {
+            Involvement::Induced(a, b)
+        } else {
+            Involvement::Induced(b, a)
+        }
+    }
+
+    /// The classification group this involvement belongs to — a *total*
+    /// function, which is what makes the Fig. 4 top-level split
+    /// collectively exhaustive by construction.
+    pub fn class(self) -> InvolvementClass {
+        match self {
+            Involvement::EgoWith(ObjectType::Vru) => InvolvementClass::EgoVru,
+            Involvement::EgoWith(ObjectType::Car) => InvolvementClass::EgoCar,
+            Involvement::EgoWith(ObjectType::Truck) => InvolvementClass::EgoTruck,
+            Involvement::EgoWith(ObjectType::Animal) => InvolvementClass::EgoAnimal,
+            Involvement::EgoWith(ObjectType::StaticObject) => InvolvementClass::EgoStatic,
+            Involvement::EgoWith(ObjectType::Other) => InvolvementClass::EgoOther,
+            Involvement::Induced(a, b) => {
+                if a == ObjectType::Vru || b == ObjectType::Vru {
+                    InvolvementClass::InducedVru
+                } else {
+                    InvolvementClass::InducedOther
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Involvement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Involvement::EgoWith(o) => write!(f, "Ego↔{o}"),
+            Involvement::Induced(a, b) => write!(f, "{a}↔{b} (induced)"),
+        }
+    }
+}
+
+/// The groups of the Fig. 4 classification: a finite partition of all
+/// possible involvements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum InvolvementClass {
+    /// Ego vehicle with a vulnerable road user.
+    EgoVru,
+    /// Ego vehicle with a car.
+    EgoCar,
+    /// Ego vehicle with a truck or bus.
+    EgoTruck,
+    /// Ego vehicle with a large animal.
+    EgoAnimal,
+    /// Ego vehicle with a static object.
+    EgoStatic,
+    /// Ego vehicle with any other object.
+    EgoOther,
+    /// Induced incident involving at least one VRU.
+    InducedVru,
+    /// Induced incident among non-VRU actors.
+    InducedOther,
+}
+
+impl InvolvementClass {
+    /// All involvement classes.
+    pub const ALL: [InvolvementClass; 8] = [
+        InvolvementClass::EgoVru,
+        InvolvementClass::EgoCar,
+        InvolvementClass::EgoTruck,
+        InvolvementClass::EgoAnimal,
+        InvolvementClass::EgoStatic,
+        InvolvementClass::EgoOther,
+        InvolvementClass::InducedVru,
+        InvolvementClass::InducedOther,
+    ];
+
+    /// A representative involvement of the class, used by probe generators.
+    pub fn representative(self) -> Involvement {
+        match self {
+            InvolvementClass::EgoVru => Involvement::ego_with(ObjectType::Vru),
+            InvolvementClass::EgoCar => Involvement::ego_with(ObjectType::Car),
+            InvolvementClass::EgoTruck => Involvement::ego_with(ObjectType::Truck),
+            InvolvementClass::EgoAnimal => Involvement::ego_with(ObjectType::Animal),
+            InvolvementClass::EgoStatic => Involvement::ego_with(ObjectType::StaticObject),
+            InvolvementClass::EgoOther => Involvement::ego_with(ObjectType::Other),
+            InvolvementClass::InducedVru => Involvement::induced(ObjectType::Car, ObjectType::Vru),
+            InvolvementClass::InducedOther => {
+                Involvement::induced(ObjectType::Car, ObjectType::Car)
+            }
+        }
+    }
+
+    /// Short label used in generated incident-type ids, e.g. `EgoVru`.
+    pub fn label(self) -> &'static str {
+        match self {
+            InvolvementClass::EgoVru => "EgoVru",
+            InvolvementClass::EgoCar => "EgoCar",
+            InvolvementClass::EgoTruck => "EgoTruck",
+            InvolvementClass::EgoAnimal => "EgoAnimal",
+            InvolvementClass::EgoStatic => "EgoStatic",
+            InvolvementClass::EgoOther => "EgoOther",
+            InvolvementClass::InducedVru => "InducedVru",
+            InvolvementClass::InducedOther => "InducedOther",
+        }
+    }
+}
+
+impl fmt::Display for InvolvementClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn induced_pair_is_normalised() {
+        assert_eq!(
+            Involvement::induced(ObjectType::Vru, ObjectType::Car),
+            Involvement::induced(ObjectType::Car, ObjectType::Vru)
+        );
+    }
+
+    #[test]
+    fn every_involvement_has_exactly_one_class() {
+        // ego side
+        for o in ObjectType::ALL {
+            let class = Involvement::ego_with(o).class();
+            assert!(InvolvementClass::ALL.contains(&class));
+        }
+        // induced side: all unordered pairs
+        for a in ObjectType::ALL {
+            for b in ObjectType::ALL {
+                let class = Involvement::induced(a, b).class();
+                assert!(matches!(
+                    class,
+                    InvolvementClass::InducedVru | InvolvementClass::InducedOther
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn induced_vru_detection_is_symmetric() {
+        assert_eq!(
+            Involvement::induced(ObjectType::Truck, ObjectType::Vru).class(),
+            InvolvementClass::InducedVru
+        );
+        assert_eq!(
+            Involvement::induced(ObjectType::Vru, ObjectType::Truck).class(),
+            InvolvementClass::InducedVru
+        );
+        assert_eq!(
+            Involvement::induced(ObjectType::Truck, ObjectType::Car).class(),
+            InvolvementClass::InducedOther
+        );
+    }
+
+    #[test]
+    fn representatives_map_back_to_their_class() {
+        for class in InvolvementClass::ALL {
+            assert_eq!(class.representative().class(), class);
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(
+            Involvement::ego_with(ObjectType::Vru).to_string(),
+            "Ego↔VRU"
+        );
+        assert!(Involvement::induced(ObjectType::Car, ObjectType::Truck)
+            .to_string()
+            .contains("induced"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let i = Involvement::induced(ObjectType::Car, ObjectType::Vru);
+        let back: Involvement = serde_json::from_str(&serde_json::to_string(&i).unwrap()).unwrap();
+        assert_eq!(i, back);
+    }
+}

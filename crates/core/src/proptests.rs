@@ -1,0 +1,225 @@
+//! Property-based tests for the core invariants.
+//!
+//! The QRN's value as a safety argument rests on a handful of structural
+//! properties; these tests attack each with randomized inputs:
+//!
+//! * any classification built from valid bands is MECE for *any* record;
+//! * the proportional solver never violates Eq. (1), at any utilisation;
+//! * norm validation accepts exactly the monotone budget vectors;
+//! * budget scaling moves class loads linearly and never below zero.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use qrn_units::{Frequency, Meters, Probability, Speed};
+
+use crate::allocation::{allocate_proportional, ShareMatrix};
+use crate::classification::{GroupRules, IncidentClassification};
+use crate::consequence::{ConsequenceClass, ConsequenceDomain};
+use crate::examples::{paper_classification, paper_norm, paper_shares, paper_weights};
+use crate::incident::{IncidentRecord, IncidentTypeId};
+use crate::norm::QuantitativeRiskNorm;
+use crate::object::{Involvement, InvolvementClass, ObjectType};
+
+fn kmh(v: f64) -> Speed {
+    Speed::from_kmh(v).expect("strategy produces valid speeds")
+}
+
+/// Strategy: a random but *valid* classification — every group gets
+/// strictly ascending collision boundaries and optionally a near-miss rule.
+fn classification_strategy() -> impl Strategy<Value = IncidentClassification> {
+    let group = (
+        proptest::collection::vec(1.0f64..200.0, 0..4),
+        proptest::option::of((0.2f64..3.0, 1.0f64..60.0)),
+    );
+    proptest::collection::vec(group, 8).prop_map(|groups| {
+        let mut builder = IncidentClassification::builder();
+        for (class, (mut bounds, near_miss)) in InvolvementClass::ALL.into_iter().zip(groups) {
+            bounds.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            bounds.dedup_by(|a, b| (*a - *b).abs() < 0.5);
+            let mut rules = GroupRules::builder();
+            for (i, b) in bounds.iter().enumerate() {
+                rules = rules.collision_band_below(kmh(*b), format!("{class}/C{i}"));
+            }
+            rules = rules.collision_tail(format!("{class}/tail"));
+            if let Some((dist, from)) = near_miss {
+                rules = rules
+                    .near_miss_within(Meters::new(dist).expect("positive"))
+                    .near_miss_band_from(kmh(from), format!("{class}/NM"));
+            }
+            builder = builder.group(class, rules.build().expect("constructed valid"));
+        }
+        builder.build().expect("all groups present, unique labels")
+    })
+}
+
+/// Strategy: an arbitrary incident record.
+fn record_strategy() -> impl Strategy<Value = IncidentRecord> {
+    let object = proptest::sample::select(ObjectType::ALL.to_vec());
+    let involvement = (object.clone(), object, any::<bool>()).prop_map(|(a, b, ego)| {
+        if ego {
+            Involvement::ego_with(a)
+        } else {
+            Involvement::induced(a, b)
+        }
+    });
+    (involvement, 0.0f64..250.0, 0.0f64..5.0, any::<bool>()).prop_map(
+        |(involvement, speed, dist, collision)| {
+            if collision {
+                IncidentRecord::collision(involvement, kmh(speed))
+            } else {
+                IncidentRecord::near_miss(
+                    involvement,
+                    Meters::new(dist).expect("positive"),
+                    kmh(speed),
+                )
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mutual exclusivity and classify/predicate agreement hold for any
+    /// valid classification and any record.
+    #[test]
+    fn any_valid_classification_is_mece(
+        classification in classification_strategy(),
+        records in proptest::collection::vec(record_strategy(), 50),
+    ) {
+        for record in &records {
+            let matching: Vec<_> = classification
+                .leaves()
+                .iter()
+                .filter(|t| t.matches(record))
+                .collect();
+            prop_assert!(matching.len() <= 1, "record {record} matched {}", matching.len());
+            match classification.classify(record) {
+                Some(t) => {
+                    prop_assert_eq!(matching.len(), 1);
+                    prop_assert_eq!(matching[0].id(), t.id());
+                }
+                None => prop_assert!(matching.is_empty()),
+            }
+        }
+    }
+
+    /// Collisions are always incidents: the bands tile [0, inf).
+    #[test]
+    fn collisions_never_escape_classification(
+        classification in classification_strategy(),
+        speed in 0.0f64..500.0,
+        object in proptest::sample::select(ObjectType::ALL.to_vec()),
+    ) {
+        let record = IncidentRecord::collision(Involvement::ego_with(object), kmh(speed));
+        prop_assert!(classification.classify(&record).is_some());
+    }
+
+    /// The proportional solver never violates Eq. (1), for any weights and
+    /// any utilisation target in (0, 1].
+    #[test]
+    fn proportional_solver_respects_eq1(
+        seed_weights in proptest::collection::vec(0.0f64..100.0, 22),
+        target in 0.01f64..1.0,
+    ) {
+        let norm = paper_norm().expect("builds");
+        let classification = paper_classification().expect("builds");
+        let shares = paper_shares(&classification).expect("builds");
+        let mut weights: BTreeMap<IncidentTypeId, f64> = paper_weights(&classification);
+        for (w, (_, slot)) in seed_weights.iter().zip(weights.iter_mut()) {
+            // keep at least one positive weight to avoid the degenerate case
+            *slot = *w;
+        }
+        if weights.values().all(|w| *w == 0.0) {
+            *weights.values_mut().next().expect("non-empty") = 1.0;
+        }
+        let allocation = allocate_proportional(&norm, &shares, &weights, target)
+            .expect("solvable for positive weights");
+        let report = allocation.check(&norm).expect("classes in norm");
+        prop_assert!(report.is_fulfilled(), "{report}");
+        // and the binding utilisation is (approximately) the target
+        let max_util = report.rows().iter().filter_map(|r| r.utilisation).fold(0.0, f64::max);
+        prop_assert!(max_util <= target + 1e-9);
+    }
+
+    /// Norm validation accepts monotone budgets and rejects any inversion.
+    #[test]
+    fn norm_builder_accepts_exactly_monotone_budgets(
+        raw in proptest::collection::vec(1e-9f64..1e-2, 2..6),
+        invert_at in proptest::option::of(0usize..4),
+    ) {
+        let mut budgets = raw.clone();
+        budgets.sort_by(|a, b| b.partial_cmp(a).expect("no NaN")); // non-increasing
+        let inverted = match invert_at {
+            Some(i) if i + 1 < budgets.len() && budgets[i] != budgets[i + 1] => {
+                budgets.swap(i, i + 1);
+                true
+            }
+            _ => false,
+        };
+        let mut builder = QuantitativeRiskNorm::builder();
+        for (i, b) in budgets.iter().enumerate() {
+            builder = builder.class(
+                ConsequenceClass::new(
+                    format!("v{i}"),
+                    ConsequenceDomain::Safety,
+                    i as u8,
+                    "generated",
+                ),
+                Frequency::per_hour(*b).expect("positive"),
+            );
+        }
+        let result = builder.build();
+        if inverted {
+            prop_assert!(result.is_err());
+        } else {
+            prop_assert!(result.is_ok());
+        }
+    }
+
+    /// Scaling one incident budget scales exactly its contributions:
+    /// class load deltas equal (1 - factor) * budget * share.
+    #[test]
+    fn budget_scaling_is_linear(factor in 0.0f64..1.0) {
+        let norm = paper_norm().expect("builds");
+        let classification = paper_classification().expect("builds");
+        let allocation = crate::examples::paper_allocation(&classification).expect("builds");
+        let id: IncidentTypeId = "I3".into();
+        let budget = allocation.incident_budget(&id).expect("budgeted");
+        let scaled = allocation.with_scaled_budget(&id, factor).expect("valid factor");
+        for class in norm.classes() {
+            let share = allocation.shares().share(&id, class.id()).value();
+            let before = allocation.class_load(class.id()).as_per_hour();
+            let after = scaled.class_load(class.id()).as_per_hour();
+            let expected_delta = budget.as_per_hour() * share * (1.0 - factor);
+            prop_assert!(
+                ((before - after) - expected_delta).abs() <= 1e-12 * before.max(1e-12),
+                "class {}: delta {} vs expected {}",
+                class.id(), before - after, expected_delta
+            );
+        }
+    }
+
+    /// Share rows summing above 1 are always rejected; at or below 1
+    /// always accepted.
+    #[test]
+    fn share_matrix_row_sum_rule(shares in proptest::collection::vec(0.0f64..0.5, 1..6)) {
+        let total: f64 = shares.iter().sum();
+        let mut builder = ShareMatrix::builder();
+        for (i, s) in shares.iter().enumerate() {
+            builder = builder.share(
+                "I1",
+                format!("v{i}").as_str(),
+                Probability::new(*s).expect("in [0,1]"),
+            );
+        }
+        let result = builder.build();
+        if total > 1.0 + 1e-12 {
+            prop_assert!(result.is_err());
+        } else {
+            prop_assert!(result.is_ok());
+        }
+    }
+}

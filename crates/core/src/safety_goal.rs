@@ -1,0 +1,273 @@
+//! Safety goals with quantitative integrity attributes, and the
+//! completeness certificate.
+//!
+//! "We can now formulate the safety goals for each of the defined
+//! incidents. For instance, the SG for incident I2 … would look like this:
+//! *SG-I2: Avoid collision Ego↔VRU, with 0 < Δv_collision < 10 km/h, to
+//! below f_I2*" (Sec. III-B). Because the goals are derived one-per-leaf
+//! from a MECE classification, completeness of the goal set reduces to two
+//! checkable facts: the classification is MECE, and every leaf has a
+//! budgeted goal — which is what [`CompletenessCertificate`] records.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use qrn_units::Frequency;
+
+use crate::allocation::Allocation;
+use crate::classification::{IncidentClassification, MeceReport};
+use crate::error::CoreError;
+use crate::incident::{IncidentType, IncidentTypeId, ToleranceMargin};
+
+/// A safety goal: avoid one incident type beyond its allotted frequency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SafetyGoal {
+    id: String,
+    incident: IncidentType,
+    budget: Frequency,
+}
+
+impl SafetyGoal {
+    /// Creates a goal for an incident type with its frequency budget.
+    pub fn new(incident: IncidentType, budget: Frequency) -> Self {
+        SafetyGoal {
+            id: format!("SG-{}", incident.id()),
+            incident,
+            budget,
+        }
+    }
+
+    /// The goal identifier, `SG-<incident id>`.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The incident type this goal restricts.
+    pub fn incident(&self) -> &IncidentType {
+        &self.incident
+    }
+
+    /// The quantitative integrity attribute: the maximum tolerated
+    /// frequency of violating this goal.
+    pub fn budget(&self) -> Frequency {
+        self.budget
+    }
+}
+
+impl fmt::Display for SafetyGoal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verb = match self.incident.margin() {
+            ToleranceMargin::ImpactSpeed { .. } => "Avoid collision",
+            ToleranceMargin::Proximity { .. } => "Avoid approach",
+        };
+        write!(
+            f,
+            "{}: {} {}, with {}, to below {}",
+            self.id,
+            verb,
+            self.incident.involvement(),
+            self.incident.margin(),
+            self.budget
+        )
+    }
+}
+
+/// The completeness argument for a derived set of safety goals.
+///
+/// The paper's central claim is that "completeness of SGs can be ensured by
+/// defining the incident types according to the MECE principle … so that
+/// any possible conceivable incident falls into one of the classes". This
+/// certificate is that argument as data: it holds exactly when the MECE
+/// probe found no violation and every classification leaf produced exactly
+/// one budgeted goal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompletenessCertificate {
+    /// Result of probing the classification.
+    pub mece: MeceReport,
+    /// Number of classification leaves.
+    pub leaves: usize,
+    /// Number of derived safety goals.
+    pub goals: usize,
+}
+
+impl CompletenessCertificate {
+    /// Returns `true` when the completeness argument holds.
+    pub fn holds(&self) -> bool {
+        self.mece.is_mece() && self.leaves == self.goals
+    }
+}
+
+impl fmt::Display for CompletenessCertificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "completeness: {} ({} goals for {} MECE leaves; {} probes, {} multi-matches, {} mismatches)",
+            if self.holds() { "HOLDS" } else { "BROKEN" },
+            self.goals,
+            self.leaves,
+            self.mece.probes,
+            self.mece.multi_matched,
+            self.mece.mismatches,
+        )
+    }
+}
+
+/// Derives one safety goal per classification leaf from an allocation.
+///
+/// # Errors
+///
+/// Returns [`CoreError::UnknownId`] when some leaf has no budget in the
+/// allocation — an unbudgeted leaf would be an incident type the safety
+/// case silently ignores.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_core::examples::{paper_allocation, paper_classification};
+/// use qrn_core::safety_goal::derive_safety_goals;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let classification = paper_classification()?;
+/// let allocation = paper_allocation(&classification)?;
+/// let goals = derive_safety_goals(&classification, &allocation)?;
+/// assert_eq!(goals.len(), classification.leaves().len());
+/// # Ok(())
+/// # }
+/// ```
+pub fn derive_safety_goals(
+    classification: &IncidentClassification,
+    allocation: &Allocation,
+) -> Result<Vec<SafetyGoal>, CoreError> {
+    classification
+        .leaves()
+        .iter()
+        .map(|leaf| {
+            let budget = allocation.incident_budget(leaf.id())?;
+            Ok(SafetyGoal::new(leaf.clone(), budget))
+        })
+        .collect()
+}
+
+/// Derives the goals *and* the completeness certificate in one step.
+///
+/// # Errors
+///
+/// Same as [`derive_safety_goals`].
+pub fn derive_with_certificate(
+    classification: &IncidentClassification,
+    allocation: &Allocation,
+) -> Result<(Vec<SafetyGoal>, CompletenessCertificate), CoreError> {
+    let goals = derive_safety_goals(classification, allocation)?;
+    let certificate = CompletenessCertificate {
+        mece: classification.verify_mece(),
+        leaves: classification.leaves().len(),
+        goals: goals.len(),
+    };
+    Ok((goals, certificate))
+}
+
+/// Finds the goal restricting a given incident type, if present.
+pub fn goal_for<'a>(goals: &'a [SafetyGoal], id: &IncidentTypeId) -> Option<&'a SafetyGoal> {
+    goals.iter().find(|g| g.incident().id() == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{paper_allocation, paper_classification};
+    use crate::object::{Involvement, ObjectType};
+    use qrn_units::Speed;
+
+    #[test]
+    fn sg_i2_renders_like_the_paper() {
+        let i2 = IncidentType::new(
+            "I2",
+            Involvement::ego_with(ObjectType::Vru),
+            ToleranceMargin::ImpactSpeed {
+                lo: Speed::ZERO,
+                hi: Some(Speed::from_kmh(10.0).unwrap()),
+            },
+        );
+        let sg = SafetyGoal::new(i2, Frequency::per_hour(1e-6).unwrap());
+        let text = sg.to_string();
+        assert!(text.starts_with("SG-I2: Avoid collision Ego↔VRU"));
+        assert!(text.contains("0 ≤ Δv_collision < 10 km/h"));
+        assert!(text.contains("to below 1e-6/h"));
+    }
+
+    #[test]
+    fn near_miss_goal_uses_approach_wording() {
+        let i1 = IncidentType::new(
+            "I1",
+            Involvement::ego_with(ObjectType::Vru),
+            ToleranceMargin::Proximity {
+                max_distance: qrn_units::Meters::new(1.0).unwrap(),
+                lo: Speed::from_kmh(10.0).unwrap(),
+                hi: None,
+            },
+        );
+        let sg = SafetyGoal::new(i1, Frequency::per_hour(1e-3).unwrap());
+        assert!(sg.to_string().contains("Avoid approach"));
+    }
+
+    #[test]
+    fn one_goal_per_leaf() {
+        let c = paper_classification().unwrap();
+        let a = paper_allocation(&c).unwrap();
+        let goals = derive_safety_goals(&c, &a).unwrap();
+        assert_eq!(goals.len(), c.leaves().len());
+        assert!(goal_for(&goals, &"I2".into()).is_some());
+        assert!(goal_for(&goals, &"missing".into()).is_none());
+    }
+
+    #[test]
+    fn missing_budget_is_an_error() {
+        let c = paper_classification().unwrap();
+        let empty = Allocation::new(
+            Default::default(),
+            crate::allocation::ShareMatrix::builder().build().unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(
+            derive_safety_goals(&c, &empty),
+            Err(CoreError::UnknownId { .. })
+        ));
+    }
+
+    #[test]
+    fn certificate_holds_for_paper_setup() {
+        let c = paper_classification().unwrap();
+        let a = paper_allocation(&c).unwrap();
+        let (_, cert) = derive_with_certificate(&c, &a).unwrap();
+        assert!(cert.holds(), "{cert}");
+        assert!(cert.to_string().contains("HOLDS"));
+    }
+
+    #[test]
+    fn certificate_breaks_when_goals_missing() {
+        let cert = CompletenessCertificate {
+            mece: MeceReport {
+                probes: 10,
+                classified: 10,
+                non_incidents: 0,
+                multi_matched: 0,
+                mismatches: 0,
+                unreached_leaves: vec![],
+            },
+            leaves: 5,
+            goals: 4,
+        };
+        assert!(!cert.holds());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = paper_classification().unwrap();
+        let a = paper_allocation(&c).unwrap();
+        let goals = derive_safety_goals(&c, &a).unwrap();
+        let back: Vec<SafetyGoal> =
+            serde_json::from_str(&serde_json::to_string(&goals).unwrap()).unwrap();
+        assert_eq!(goals, back);
+    }
+}

@@ -1,0 +1,570 @@
+//! Statistical verification of a QRN against measured incident data.
+//!
+//! A safety goal with a quantitative integrity attribute is *demonstrated*
+//! statistically: `k` observed instances of the incident type over fleet
+//! exposure `T` give an exact Poisson upper confidence bound on the true
+//! rate; if the bound lies below the budget, the goal is demonstrated at
+//! that confidence. Class-level verdicts propagate the per-type bounds
+//! through the share matrix — conservatively, by summing upper bounds.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use qrn_stats::poisson::PoissonRate;
+use qrn_stats::special::chi_square_quantile;
+use qrn_units::{Frequency, Hours};
+
+use crate::allocation::Allocation;
+use crate::classification::IncidentClassification;
+use crate::consequence::ConsequenceClassId;
+use crate::error::CoreError;
+use crate::incident::{IncidentRecord, IncidentTypeId};
+use crate::norm::QuantitativeRiskNorm;
+
+/// Measured incident counts over a common exposure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredIncidents {
+    counts: BTreeMap<IncidentTypeId, u64>,
+    exposure: Hours,
+}
+
+impl MeasuredIncidents {
+    /// Creates a measurement from explicit per-type counts.
+    pub fn new(counts: BTreeMap<IncidentTypeId, u64>, exposure: Hours) -> Self {
+        MeasuredIncidents { counts, exposure }
+    }
+
+    /// Classifies raw records and tallies them per incident type. Returns
+    /// the measurement plus the number of records that were not incidents
+    /// under the classification.
+    pub fn from_records<'a, I>(
+        classification: &IncidentClassification,
+        records: I,
+        exposure: Hours,
+    ) -> (Self, usize)
+    where
+        I: IntoIterator<Item = &'a IncidentRecord>,
+    {
+        let mut counts: BTreeMap<IncidentTypeId, u64> = BTreeMap::new();
+        let mut non_incidents = 0;
+        for record in records {
+            match classification.classify(record) {
+                Some(t) => *counts.entry(t.id().clone()).or_insert(0) += 1,
+                None => non_incidents += 1,
+            }
+        }
+        (MeasuredIncidents { counts, exposure }, non_incidents)
+    }
+
+    /// The count of one incident type (zero when never seen).
+    pub fn count(&self, id: &IncidentTypeId) -> u64 {
+        self.counts.get(id).copied().unwrap_or(0)
+    }
+
+    /// The common exposure.
+    pub fn exposure(&self) -> Hours {
+        self.exposure
+    }
+
+    /// The Poisson observation of one incident type.
+    pub fn observation(&self, id: &IncidentTypeId) -> PoissonRate {
+        PoissonRate::new(self.count(id), self.exposure)
+    }
+
+    /// Total incident count across all types.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Pools another measurement of the same process (counts add, exposure
+    /// adds).
+    pub fn merged(mut self, other: &MeasuredIncidents) -> MeasuredIncidents {
+        for (id, n) in &other.counts {
+            *self.counts.entry(id.clone()).or_insert(0) += n;
+        }
+        self.exposure = self.exposure + other.exposure;
+        self
+    }
+}
+
+/// Outcome of a statistical check against a budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The upper confidence bound lies below the budget: demonstrated.
+    Demonstrated,
+    /// Neither demonstrated nor violated at this confidence: more exposure
+    /// needed.
+    Inconclusive,
+    /// The lower confidence bound lies above the budget: statistically
+    /// established violation.
+    Violated,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Demonstrated => f.write_str("demonstrated"),
+            Verdict::Inconclusive => f.write_str("inconclusive"),
+            Verdict::Violated => f.write_str("violated"),
+        }
+    }
+}
+
+/// Verdict for one safety goal (incident type budget).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GoalVerdict {
+    /// The incident type.
+    pub incident: IncidentTypeId,
+    /// Its frequency budget.
+    pub budget: Frequency,
+    /// Observed count and exposure.
+    pub observed: PoissonRate,
+    /// One-sided upper confidence bound on the true rate.
+    pub upper_bound: Frequency,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// Verdict for one consequence class of the norm.
+///
+/// The class-level bounds combine per-incident-type bounds through the
+/// share matrix. The **upper** bound (used for `Demonstrated`) is a sum of
+/// individual upper bounds and therefore *conservative*: if it clears the
+/// budget, the class genuinely clears it at ≥ the nominal confidence. The
+/// **lower** bound (used for `Violated`) sums individual lower bounds,
+/// whose joint confidence is weaker than nominal when many types
+/// contribute; treat a class-level `Violated` as a strong flag to
+/// investigate the per-goal verdicts (which are individually exact).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassVerdict {
+    /// The consequence class.
+    pub class: ConsequenceClassId,
+    /// Its acceptable budget.
+    pub budget: Frequency,
+    /// Point estimate of the class load (sum of point rates × shares).
+    pub point_load: Frequency,
+    /// Conservative upper bound on the class load (sum of per-type upper
+    /// bounds × shares).
+    pub load_upper_bound: Frequency,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// Full verification of a QRN against measured data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerificationReport {
+    /// One-sided confidence level used for every bound.
+    pub confidence: f64,
+    /// Per-safety-goal verdicts, in incident id order.
+    pub goals: Vec<GoalVerdict>,
+    /// Per-consequence-class verdicts, in severity order.
+    pub classes: Vec<ClassVerdict>,
+}
+
+impl VerificationReport {
+    /// Returns `true` when every goal and every class is demonstrated.
+    pub fn all_demonstrated(&self) -> bool {
+        self.goals
+            .iter()
+            .all(|g| g.verdict == Verdict::Demonstrated)
+            && self
+                .classes
+                .iter()
+                .all(|c| c.verdict == Verdict::Demonstrated)
+    }
+
+    /// Returns `true` when any goal or class is a statistically established
+    /// violation.
+    pub fn any_violated(&self) -> bool {
+        self.goals.iter().any(|g| g.verdict == Verdict::Violated)
+            || self.classes.iter().any(|c| c.verdict == Verdict::Violated)
+    }
+
+    /// The verdict row of one goal, if present.
+    pub fn goal(&self, id: &IncidentTypeId) -> Option<&GoalVerdict> {
+        self.goals.iter().find(|g| &g.incident == id)
+    }
+
+    /// The verdict row of one class, if present.
+    pub fn class(&self, id: &ConsequenceClassId) -> Option<&ClassVerdict> {
+        self.classes.iter().find(|c| &c.class == id)
+    }
+}
+
+impl fmt::Display for VerificationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Verification at {:.0}% confidence:",
+            self.confidence * 100.0
+        )?;
+        for g in &self.goals {
+            writeln!(
+                f,
+                "  SG-{}: {} events, upper bound {} vs budget {} -> {}",
+                g.incident, g.observed.count, g.upper_bound, g.budget, g.verdict
+            )?;
+        }
+        for c in &self.classes {
+            writeln!(
+                f,
+                "  {}: load ≤ {} vs budget {} -> {}",
+                c.class, c.load_upper_bound, c.budget, c.verdict
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Additional *failure-free* exposure needed before an observation would
+/// demonstrate its budget at the given one-sided confidence.
+///
+/// Solves `χ²(γ; 2k + 2) / (2(T + x)) ≤ budget` for `x`, returning zero
+/// when the observation already demonstrates.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] for a zero budget or an invalid confidence.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_core::verification::additional_clean_exposure;
+/// use qrn_stats::poisson::PoissonRate;
+/// use qrn_units::{Frequency, Hours};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let observed = PoissonRate::new(0, Hours::new(1.0e5)?);
+/// let budget = Frequency::per_hour(1e-5)?;
+/// let more = additional_clean_exposure(observed, budget, 0.95)?;
+/// // ~3/budget total needed, 1e5 already driven:
+/// assert!((more.value() - 1.9957e5).abs() / 1.9957e5 < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn additional_clean_exposure(
+    observed: PoissonRate,
+    budget: Frequency,
+    confidence: f64,
+) -> Result<Hours, CoreError> {
+    if budget.as_per_hour() <= 0.0 {
+        return Err(CoreError::InvalidAllocation(
+            "a zero budget can never be demonstrated by exposure".into(),
+        ));
+    }
+    if !(confidence.is_finite() && 0.0 < confidence && confidence < 1.0) {
+        return Err(CoreError::InvalidAllocation(format!(
+            "confidence must lie strictly between 0 and 1, got {confidence}"
+        )));
+    }
+    let q = chi_square_quantile(2.0 * observed.count as f64 + 2.0, confidence)
+        .map_err(CoreError::from)?;
+    let total_needed = q / (2.0 * budget.as_per_hour());
+    Hours::new((total_needed - observed.exposure.value()).max(0.0)).map_err(CoreError::from)
+}
+
+impl VerificationReport {
+    /// The demonstration plan: for every not-yet-demonstrated goal, the
+    /// additional failure-free exposure needed at this report's confidence.
+    /// Violated goals are included — their number answers "how much clean
+    /// driving would it take to outweigh what we saw", which is exactly
+    /// the cost of having observed the events.
+    pub fn demonstration_plan(&self) -> Vec<(IncidentTypeId, Hours)> {
+        self.goals
+            .iter()
+            .filter(|g| g.verdict != Verdict::Demonstrated)
+            .map(|g| {
+                let hours = additional_clean_exposure(g.observed, g.budget, self.confidence)
+                    .unwrap_or(Hours::ZERO);
+                (g.incident.clone(), hours)
+            })
+            .collect()
+    }
+}
+
+/// Verifies measured incident data against the allocation's safety goals
+/// and the norm's consequence-class budgets.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] for invalid confidence, zero exposure, or share
+/// matrices referencing classes outside the norm.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_core::examples::{paper_allocation, paper_classification, paper_norm};
+/// use qrn_core::verification::{verify, MeasuredIncidents};
+/// use qrn_units::Hours;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let norm = paper_norm()?;
+/// let classification = paper_classification()?;
+/// let allocation = paper_allocation(&classification)?;
+///
+/// // A clean billion-hour fleet campaign demonstrates everything.
+/// let measured = MeasuredIncidents::new(Default::default(), Hours::new(1.0e12)?);
+/// let report = verify(&norm, &allocation, &measured, 0.95)?;
+/// assert!(report.all_demonstrated());
+/// # Ok(())
+/// # }
+/// ```
+pub fn verify(
+    norm: &QuantitativeRiskNorm,
+    allocation: &Allocation,
+    measured: &MeasuredIncidents,
+    confidence: f64,
+) -> Result<VerificationReport, CoreError> {
+    for class in allocation.shares().referenced_classes() {
+        if norm.class(class).is_none() {
+            return Err(CoreError::UnknownId {
+                kind: "consequence class",
+                id: class.as_str().to_string(),
+            });
+        }
+    }
+    let mut goals = Vec::new();
+    let mut upper_bounds: BTreeMap<IncidentTypeId, Frequency> = BTreeMap::new();
+    let mut point_rates: BTreeMap<IncidentTypeId, Frequency> = BTreeMap::new();
+    for (incident, budget) in allocation.budgets() {
+        let observed = measured.observation(incident);
+        let upper = observed.upper_bound(confidence)?;
+        let lower = observed.lower_bound(confidence)?;
+        let verdict = if upper <= budget {
+            Verdict::Demonstrated
+        } else if lower > budget {
+            Verdict::Violated
+        } else {
+            Verdict::Inconclusive
+        };
+        upper_bounds.insert(incident.clone(), upper);
+        point_rates.insert(incident.clone(), observed.point_estimate()?);
+        goals.push(GoalVerdict {
+            incident: incident.clone(),
+            budget,
+            observed,
+            upper_bound: upper,
+            verdict,
+        });
+    }
+    let classes = norm
+        .classes()
+        .map(|c| {
+            let budget = norm.budget(c.id()).expect("class is in norm");
+            let mut upper = Frequency::ZERO;
+            let mut point = Frequency::ZERO;
+            let mut lower = Frequency::ZERO;
+            for (incident, _) in allocation.budgets() {
+                let share = allocation.shares().share(incident, c.id());
+                upper = upper + upper_bounds[incident] * share;
+                point = point + point_rates[incident] * share;
+                let lo = measured
+                    .observation(incident)
+                    .lower_bound(confidence)
+                    .expect("validated above");
+                lower = lower + lo * share;
+            }
+            let verdict = if upper <= budget {
+                Verdict::Demonstrated
+            } else if lower > budget {
+                Verdict::Violated
+            } else {
+                Verdict::Inconclusive
+            };
+            ClassVerdict {
+                class: c.id().clone(),
+                budget,
+                point_load: point,
+                load_upper_bound: upper,
+                verdict,
+            }
+        })
+        .collect();
+    Ok(VerificationReport {
+        confidence,
+        goals,
+        classes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{paper_allocation, paper_classification, paper_norm};
+    use crate::object::{Involvement, ObjectType};
+    use qrn_units::Speed;
+
+    fn h(x: f64) -> Hours {
+        Hours::new(x).unwrap()
+    }
+
+    fn setup() -> (QuantitativeRiskNorm, IncidentClassification, Allocation) {
+        let norm = paper_norm().unwrap();
+        let c = paper_classification().unwrap();
+        let a = paper_allocation(&c).unwrap();
+        (norm, c, a)
+    }
+
+    #[test]
+    fn clean_long_campaign_demonstrates() {
+        let (norm, _, a) = setup();
+        let measured = MeasuredIncidents::new(Default::default(), h(1e12));
+        let report = verify(&norm, &a, &measured, 0.95).unwrap();
+        assert!(report.all_demonstrated());
+        assert!(!report.any_violated());
+    }
+
+    #[test]
+    fn short_campaign_is_inconclusive() {
+        let (norm, _, a) = setup();
+        let measured = MeasuredIncidents::new(Default::default(), h(10.0));
+        let report = verify(&norm, &a, &measured, 0.95).unwrap();
+        assert!(!report.all_demonstrated());
+        assert!(!report.any_violated());
+        assert!(report
+            .goals
+            .iter()
+            .any(|g| g.verdict == Verdict::Inconclusive));
+    }
+
+    #[test]
+    fn heavy_incident_load_is_violated() {
+        let (norm, _, a) = setup();
+        // 1000 severe VRU collisions in 1000 hours: far above any budget.
+        let counts: BTreeMap<IncidentTypeId, u64> = [("I3".into(), 1000u64)].into();
+        let measured = MeasuredIncidents::new(counts, h(1000.0));
+        let report = verify(&norm, &a, &measured, 0.95).unwrap();
+        assert!(report.any_violated());
+        assert_eq!(
+            report.goal(&"I3".into()).unwrap().verdict,
+            Verdict::Violated
+        );
+        // the classes I3 feeds are violated too
+        assert_eq!(
+            report.class(&"vS3".into()).unwrap().verdict,
+            Verdict::Violated
+        );
+    }
+
+    #[test]
+    fn from_records_classifies_and_counts() {
+        let (_, c, _) = setup();
+        let ego_vru = Involvement::ego_with(ObjectType::Vru);
+        let records = vec![
+            IncidentRecord::collision(ego_vru, Speed::from_kmh(5.0).unwrap()),
+            IncidentRecord::collision(ego_vru, Speed::from_kmh(30.0).unwrap()),
+            IncidentRecord::collision(ego_vru, Speed::from_kmh(7.0).unwrap()),
+            // not an incident: slow distant pass
+            IncidentRecord::near_miss(
+                ego_vru,
+                qrn_units::Meters::new(5.0).unwrap(),
+                Speed::from_kmh(3.0).unwrap(),
+            ),
+        ];
+        let (measured, non_incidents) = MeasuredIncidents::from_records(&c, &records, h(100.0));
+        assert_eq!(measured.count(&"I2".into()), 2);
+        assert_eq!(measured.count(&"I3".into()), 1);
+        assert_eq!(measured.count(&"I4".into()), 0);
+        assert_eq!(measured.total(), 3);
+        assert_eq!(non_incidents, 1);
+    }
+
+    #[test]
+    fn merged_pools_counts_and_exposure() {
+        let a = MeasuredIncidents::new([("I2".into(), 2u64)].into(), h(10.0));
+        let b = MeasuredIncidents::new([("I2".into(), 3u64), ("I3".into(), 1u64)].into(), h(20.0));
+        let m = a.merged(&b);
+        assert_eq!(m.count(&"I2".into()), 5);
+        assert_eq!(m.count(&"I3".into()), 1);
+        assert_eq!(m.exposure(), h(30.0));
+    }
+
+    #[test]
+    fn class_upper_bound_dominates_point_load() {
+        let (norm, _, a) = setup();
+        let counts: BTreeMap<IncidentTypeId, u64> = [("I2".into(), 3u64)].into();
+        let measured = MeasuredIncidents::new(counts, h(1e7));
+        let report = verify(&norm, &a, &measured, 0.95).unwrap();
+        for c in &report.classes {
+            assert!(c.load_upper_bound >= c.point_load, "{}", c.class);
+        }
+    }
+
+    #[test]
+    fn invalid_confidence_is_an_error() {
+        let (norm, _, a) = setup();
+        let measured = MeasuredIncidents::new(Default::default(), h(100.0));
+        assert!(verify(&norm, &a, &measured, 1.0).is_err());
+    }
+
+    #[test]
+    fn display_lists_goals_and_classes() {
+        let (norm, _, a) = setup();
+        let measured = MeasuredIncidents::new(Default::default(), h(1e12));
+        let text = verify(&norm, &a, &measured, 0.95).unwrap().to_string();
+        assert!(text.contains("SG-I2"));
+        assert!(text.contains("vS3"));
+        assert!(text.contains("demonstrated"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (norm, _, a) = setup();
+        let measured = MeasuredIncidents::new(Default::default(), h(1e9));
+        let report = verify(&norm, &a, &measured, 0.95).unwrap();
+        let back: VerificationReport =
+            serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn additional_exposure_reaches_exactly_the_demonstration_boundary() {
+        let budget = Frequency::per_hour(1e-6).unwrap();
+        for k in [0u64, 2, 7] {
+            let observed = PoissonRate::new(k, h(1e5));
+            let more = additional_clean_exposure(observed, budget, 0.95).unwrap();
+            // Driving exactly that much more, cleanly, demonstrates.
+            let after = PoissonRate::new(k, h(1e5 + more.value() + 1.0));
+            assert!(after.demonstrates_below(budget, 0.95).unwrap(), "k={k}");
+            // A little less does not (when more > 0).
+            if more.value() > 10.0 {
+                let before = PoissonRate::new(k, h(1e5 + more.value() * 0.99));
+                assert!(!before.demonstrates_below(budget, 0.95).unwrap(), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn additional_exposure_is_zero_once_demonstrated() {
+        let budget = Frequency::per_hour(1e-3).unwrap();
+        let observed = PoissonRate::new(0, h(1e6));
+        assert!(observed.demonstrates_below(budget, 0.95).unwrap());
+        let more = additional_clean_exposure(observed, budget, 0.95).unwrap();
+        assert_eq!(more, Hours::ZERO);
+    }
+
+    #[test]
+    fn additional_exposure_rejects_degenerate_inputs() {
+        let observed = PoissonRate::new(0, h(1.0));
+        assert!(additional_clean_exposure(observed, Frequency::ZERO, 0.95).is_err());
+        let budget = Frequency::per_hour(1e-6).unwrap();
+        assert!(additional_clean_exposure(observed, budget, 1.0).is_err());
+    }
+
+    #[test]
+    fn demonstration_plan_covers_non_demonstrated_goals() {
+        let (norm, _, a) = setup();
+        // Short campaign: everything inconclusive.
+        let measured = MeasuredIncidents::new(Default::default(), h(100.0));
+        let report = verify(&norm, &a, &measured, 0.95).unwrap();
+        let plan = report.demonstration_plan();
+        assert_eq!(plan.len(), report.goals.len());
+        assert!(plan.iter().all(|(_, hours)| hours.value() > 0.0));
+        // Astronomic campaign: everything demonstrated, empty plan.
+        let measured = MeasuredIncidents::new(Default::default(), h(1e13));
+        let report = verify(&norm, &a, &measured, 0.95).unwrap();
+        assert!(report.demonstration_plan().is_empty());
+    }
+}

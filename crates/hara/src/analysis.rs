@@ -1,0 +1,440 @@
+//! The HARA table: hazardous events, their classification, and the
+//! qualitative safety goals a classical analysis elicits.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::asil::{determine_asil, Asil};
+use crate::hazard::Hazard;
+use crate::severity::{Controllability, Exposure, Severity};
+use crate::situation::OperationalSituation;
+
+/// A hazardous event: a hazard in an operational situation, classified with
+/// S / E / C and the resulting ASIL.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HazardousEvent {
+    /// The malfunction-level hazard.
+    pub hazard: Hazard,
+    /// The operational situation in which it occurs.
+    pub situation: OperationalSituation,
+    /// Assessed severity.
+    pub severity: Severity,
+    /// Assessed exposure of the situation.
+    pub exposure: Exposure,
+    /// Assessed controllability.
+    pub controllability: Controllability,
+}
+
+impl HazardousEvent {
+    /// Creates a classified hazardous event.
+    pub fn new(
+        hazard: Hazard,
+        situation: OperationalSituation,
+        severity: Severity,
+        exposure: Exposure,
+        controllability: Controllability,
+    ) -> Self {
+        HazardousEvent {
+            hazard,
+            situation,
+            severity,
+            exposure,
+            controllability,
+        }
+    }
+
+    /// The ASIL determined for this event by ISO 26262-3 Table 4.
+    pub fn asil(&self) -> Asil {
+        determine_asil(self.severity, self.exposure, self.controllability)
+    }
+}
+
+impl fmt::Display for HazardousEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} in {} [{} {} {}] -> {}",
+            self.hazard,
+            self.situation,
+            self.severity,
+            self.exposure,
+            self.controllability,
+            self.asil()
+        )
+    }
+}
+
+/// A qualitative safety goal as a classical HARA produces it: prevent a
+/// hazard, at the highest ASIL over all its hazardous events.
+///
+/// Contrast with the QRN safety goal (`qrn-core`), which restricts an
+/// *incident type* to a *frequency* instead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualitativeSafetyGoal {
+    /// Identifier, e.g. `SG-H3`.
+    pub id: String,
+    /// The hazard this goal prevents.
+    pub hazard: Hazard,
+    /// The highest ASIL over the hazard's hazardous events.
+    pub asil: Asil,
+    /// How many hazardous events contributed.
+    pub event_count: usize,
+}
+
+impl fmt::Display for QualitativeSafetyGoal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: prevent \"{} {}\" ({}, from {} hazardous events)",
+            self.id,
+            self.hazard.function(),
+            self.hazard.guideword(),
+            self.asil,
+            self.event_count
+        )
+    }
+}
+
+/// Assumptions a classical HARA must assert for its output to be a valid
+/// safety argument — exactly the assumptions Sec. II-B of the paper attacks
+/// for an ADS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompletenessAssumption {
+    /// All relevant operational situations were identified (Sec. II-B.1:
+    /// intractable for an ADS).
+    SituationsComplete,
+    /// Exposure is an input independent of the analysed function
+    /// (Sec. II-B.2: false when tactical decisions steer exposure).
+    ExposureIsGivenInput,
+    /// Hazards can be identified separately from situations as the source
+    /// of harm (Sec. II-B.3: breaks when capability is negotiable).
+    HazardsSeparable,
+    /// Situational frequencies are globally valid constants
+    /// (Sec. II-B.4: they vary in time and space).
+    FrequenciesGloballyValid,
+}
+
+impl CompletenessAssumption {
+    /// All assumptions a classical HARA relies on.
+    pub const ALL: [CompletenessAssumption; 4] = [
+        CompletenessAssumption::SituationsComplete,
+        CompletenessAssumption::ExposureIsGivenInput,
+        CompletenessAssumption::HazardsSeparable,
+        CompletenessAssumption::FrequenciesGloballyValid,
+    ];
+
+    /// The section of the paper that challenges this assumption for an ADS.
+    pub fn challenged_in(self) -> &'static str {
+        match self {
+            CompletenessAssumption::SituationsComplete => "Sec. II-B.1",
+            CompletenessAssumption::ExposureIsGivenInput => "Sec. II-B.2",
+            CompletenessAssumption::HazardsSeparable => "Sec. II-B.3",
+            CompletenessAssumption::FrequenciesGloballyValid => "Sec. II-B.4",
+        }
+    }
+}
+
+/// A classical HARA: a set of classified hazardous events and the safety
+/// goals derived from them.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_hara::analysis::Hara;
+/// use qrn_hara::hazard::{Guideword, Hazard};
+/// use qrn_hara::severity::{Controllability, Exposure, Severity};
+/// use qrn_hara::situation::{SituationDimension, SituationSpace};
+/// use qrn_hara::asil::Asil;
+///
+/// let space = SituationSpace::new(vec![
+///     SituationDimension::new("road", ["urban", "highway"]),
+/// ]);
+/// let hazard = Hazard::new("H1", "braking", Guideword::TooLittle);
+///
+/// let mut hara = Hara::new("brake-by-wire item");
+/// for situation in space.iter() {
+///     hara.add_event(qrn_hara::analysis::HazardousEvent::new(
+///         hazard.clone(), situation,
+///         Severity::S3, Exposure::E4, Controllability::C3,
+///     ));
+/// }
+/// let goals = hara.safety_goals();
+/// assert_eq!(goals.len(), 1);
+/// assert_eq!(goals[0].asil, Asil::D);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hara {
+    item: String,
+    events: Vec<HazardousEvent>,
+}
+
+impl Hara {
+    /// Creates an empty HARA for the named item.
+    pub fn new(item: impl Into<String>) -> Self {
+        Hara {
+            item: item.into(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The analysed item's name.
+    pub fn item(&self) -> &str {
+        &self.item
+    }
+
+    /// Adds a classified hazardous event.
+    pub fn add_event(&mut self, event: HazardousEvent) {
+        self.events.push(event);
+    }
+
+    /// The hazardous events recorded so far.
+    pub fn events(&self) -> &[HazardousEvent] {
+        &self.events
+    }
+
+    /// Derives one qualitative safety goal per hazard, at the maximum ASIL
+    /// over that hazard's events (ISO 26262-3, clause 6.4.6.1). Hazards
+    /// whose every event is QM produce no safety goal.
+    pub fn safety_goals(&self) -> Vec<QualitativeSafetyGoal> {
+        let mut per_hazard: BTreeMap<String, (Hazard, Asil, usize)> = BTreeMap::new();
+        for ev in &self.events {
+            let entry = per_hazard
+                .entry(ev.hazard.id().to_string())
+                .or_insert_with(|| (ev.hazard.clone(), Asil::QM, 0));
+            entry.1 = entry.1.max(ev.asil());
+            entry.2 += 1;
+        }
+        per_hazard
+            .into_values()
+            .filter(|(_, asil, _)| *asil > Asil::QM)
+            .map(|(hazard, asil, event_count)| QualitativeSafetyGoal {
+                id: format!("SG-{}", hazard.id()),
+                hazard,
+                asil,
+                event_count,
+            })
+            .collect()
+    }
+
+    /// The highest ASIL over all events, or QM for an empty analysis.
+    pub fn max_asil(&self) -> Asil {
+        self.events
+            .iter()
+            .map(HazardousEvent::asil)
+            .max()
+            .unwrap_or(Asil::QM)
+    }
+
+    /// Count of events per ASIL, for reporting.
+    pub fn asil_histogram(&self) -> BTreeMap<Asil, usize> {
+        let mut out = BTreeMap::new();
+        for ev in &self.events {
+            *out.entry(ev.asil()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// The assumptions this analysis rests on. Always all four — the point
+    /// of exposing them is that a reviewer must discharge each, and for an
+    /// ADS the paper argues they cannot all be discharged.
+    pub fn completeness_assumptions(&self) -> &'static [CompletenessAssumption] {
+        &CompletenessAssumption::ALL
+    }
+
+    /// Renders the HARA table as markdown, for review packages.
+    pub fn render_markdown(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(out, "# HARA: {}\n", self.item).expect("string write");
+        writeln!(out, "| hazard | situation | S | E | C | ASIL |").expect("string write");
+        writeln!(out, "|---|---|---|---|---|---|").expect("string write");
+        for ev in &self.events {
+            writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} |",
+                ev.hazard,
+                ev.situation,
+                ev.severity,
+                ev.exposure,
+                ev.controllability,
+                ev.asil(),
+            )
+            .expect("string write");
+        }
+        writeln!(out, "\n## Safety goals\n").expect("string write");
+        for goal in self.safety_goals() {
+            writeln!(out, "- {goal}").expect("string write");
+        }
+        writeln!(out, "\n## Completeness assumptions (to be discharged)\n").expect("string write");
+        for assumption in self.completeness_assumptions() {
+            writeln!(
+                out,
+                "- {assumption:?} — challenged for an ADS in {}",
+                assumption.challenged_in()
+            )
+            .expect("string write");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hazard::Guideword;
+    use crate::situation::{SituationDimension, SituationSpace};
+
+    fn situation(road: &str) -> OperationalSituation {
+        SituationSpace::new(vec![SituationDimension::new("road", [road])])
+            .iter()
+            .next()
+            .unwrap()
+    }
+
+    fn brake_hazard() -> Hazard {
+        Hazard::new("H1", "braking", Guideword::TooLittle)
+    }
+
+    #[test]
+    fn event_asil_uses_table_4() {
+        let ev = HazardousEvent::new(
+            brake_hazard(),
+            situation("urban"),
+            Severity::S3,
+            Exposure::E4,
+            Controllability::C3,
+        );
+        assert_eq!(ev.asil(), Asil::D);
+    }
+
+    #[test]
+    fn one_goal_per_hazard_at_max_asil() {
+        let mut hara = Hara::new("item");
+        hara.add_event(HazardousEvent::new(
+            brake_hazard(),
+            situation("urban"),
+            Severity::S3,
+            Exposure::E4,
+            Controllability::C3, // D
+        ));
+        hara.add_event(HazardousEvent::new(
+            brake_hazard(),
+            situation("rural"),
+            Severity::S1,
+            Exposure::E2,
+            Controllability::C2, // QM
+        ));
+        hara.add_event(HazardousEvent::new(
+            Hazard::new("H2", "steering", Guideword::Unintended),
+            situation("urban"),
+            Severity::S2,
+            Exposure::E3,
+            Controllability::C3, // B
+        ));
+        let goals = hara.safety_goals();
+        assert_eq!(goals.len(), 2);
+        let g1 = goals.iter().find(|g| g.id == "SG-H1").unwrap();
+        assert_eq!(g1.asil, Asil::D);
+        assert_eq!(g1.event_count, 2);
+        let g2 = goals.iter().find(|g| g.id == "SG-H2").unwrap();
+        assert_eq!(g2.asil, Asil::B);
+    }
+
+    #[test]
+    fn all_qm_hazard_produces_no_goal() {
+        let mut hara = Hara::new("item");
+        hara.add_event(HazardousEvent::new(
+            brake_hazard(),
+            situation("urban"),
+            Severity::S1,
+            Exposure::E1,
+            Controllability::C1,
+        ));
+        assert!(hara.safety_goals().is_empty());
+        assert_eq!(hara.max_asil(), Asil::QM);
+    }
+
+    #[test]
+    fn histogram_counts_events() {
+        let mut hara = Hara::new("item");
+        for _ in 0..3 {
+            hara.add_event(HazardousEvent::new(
+                brake_hazard(),
+                situation("urban"),
+                Severity::S3,
+                Exposure::E4,
+                Controllability::C3,
+            ));
+        }
+        let hist = hara.asil_histogram();
+        assert_eq!(hist.get(&Asil::D), Some(&3));
+    }
+
+    #[test]
+    fn assumptions_cover_all_four_critiques() {
+        let hara = Hara::new("item");
+        let sections: Vec<&str> = hara
+            .completeness_assumptions()
+            .iter()
+            .map(|a| a.challenged_in())
+            .collect();
+        assert_eq!(
+            sections,
+            ["Sec. II-B.1", "Sec. II-B.2", "Sec. II-B.3", "Sec. II-B.4"]
+        );
+    }
+
+    #[test]
+    fn markdown_export_covers_events_goals_and_assumptions() {
+        let mut hara = Hara::new("brake item");
+        hara.add_event(HazardousEvent::new(
+            brake_hazard(),
+            situation("urban"),
+            Severity::S3,
+            Exposure::E4,
+            Controllability::C3,
+        ));
+        let doc = hara.render_markdown();
+        for needle in [
+            "# HARA: brake item",
+            "| hazard | situation |",
+            "ASIL D",
+            "## Safety goals",
+            "SG-H1",
+            "## Completeness assumptions",
+            "Sec. II-B.1",
+        ] {
+            assert!(doc.contains(needle), "missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let ev = HazardousEvent::new(
+            brake_hazard(),
+            situation("urban"),
+            Severity::S3,
+            Exposure::E4,
+            Controllability::C3,
+        );
+        let text = ev.to_string();
+        assert!(text.contains("ASIL D"));
+        assert!(text.contains("braking"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let ev = HazardousEvent::new(
+            brake_hazard(),
+            situation("urban"),
+            Severity::S2,
+            Exposure::E3,
+            Controllability::C2,
+        );
+        let back: HazardousEvent =
+            serde_json::from_str(&serde_json::to_string(&ev).unwrap()).unwrap();
+        assert_eq!(ev, back);
+    }
+}

@@ -1,0 +1,276 @@
+//! ASIL determination (ISO 26262-3:2018 Table 4) and the quantitative risk
+//! model behind the paper's Fig. 1.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use qrn_units::Frequency;
+
+use crate::severity::{Controllability, Exposure, Severity};
+
+/// Automotive Safety Integrity Level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Asil {
+    /// Quality management: no safety requirement beyond normal quality
+    /// processes.
+    QM,
+    /// ASIL A, the lowest integrity level.
+    A,
+    /// ASIL B.
+    B,
+    /// ASIL C.
+    C,
+    /// ASIL D, the highest integrity level.
+    D,
+}
+
+impl Asil {
+    /// All levels in increasing order of integrity.
+    pub const ALL: [Asil; 5] = [Asil::QM, Asil::A, Asil::B, Asil::C, Asil::D];
+
+    /// Indicative random-hardware-fault rate target associated with the
+    /// level (the PMHF targets of ISO 26262-5 Table 6), or `None` for
+    /// QM / ASIL A where the standard sets no target.
+    ///
+    /// Sec. V of the paper uses exactly these orders of magnitude when
+    /// arguing that redundant "QM-range" channels can compose to ASIL-D
+    /// -range integrity under a quantitative framework.
+    pub fn random_hw_fault_target(self) -> Option<Frequency> {
+        let per_hour = match self {
+            Asil::QM | Asil::A => return None,
+            Asil::B | Asil::C => 1e-7,
+            Asil::D => 1e-8,
+        };
+        Some(Frequency::per_hour(per_hour).expect("static target rates are valid"))
+    }
+
+    /// Number of integrity steps above QM (QM → 0 … D → 4).
+    pub fn rank(self) -> u8 {
+        match self {
+            Asil::QM => 0,
+            Asil::A => 1,
+            Asil::B => 2,
+            Asil::C => 3,
+            Asil::D => 4,
+        }
+    }
+}
+
+impl fmt::Display for Asil {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Asil::QM => f.write_str("QM"),
+            Asil::A => f.write_str("ASIL A"),
+            Asil::B => f.write_str("ASIL B"),
+            Asil::C => f.write_str("ASIL C"),
+            Asil::D => f.write_str("ASIL D"),
+        }
+    }
+}
+
+/// Determines the ASIL of a hazardous event from its S / E / C
+/// classification, per ISO 26262-3:2018 Table 4.
+///
+/// The table is exactly reproduced by the level sum `S + E + C`:
+/// 10 → D, 9 → C, 8 → B, 7 → A, below → QM; and any factor at level 0
+/// (S0, E0 or C0) means no ASIL is assigned.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_hara::asil::{determine_asil, Asil};
+/// use qrn_hara::severity::{Controllability, Exposure, Severity};
+///
+/// assert_eq!(determine_asil(Severity::S3, Exposure::E4, Controllability::C3), Asil::D);
+/// assert_eq!(determine_asil(Severity::S1, Exposure::E1, Controllability::C1), Asil::QM);
+/// ```
+pub fn determine_asil(s: Severity, e: Exposure, c: Controllability) -> Asil {
+    if s == Severity::S0 || e == Exposure::E0 || c == Controllability::C0 {
+        return Asil::QM;
+    }
+    match s.level() + e.level() + c.level() {
+        10 => Asil::D,
+        9 => Asil::C,
+        8 => Asil::B,
+        7 => Asil::A,
+        _ => Asil::QM,
+    }
+}
+
+/// One row of the Fig. 1 risk-reduction waterfall: how the frequency of a
+/// potential accident is reduced from the raw hazard rate down to the
+/// acceptable level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RiskWaterfall {
+    /// Severity of the potential accident.
+    pub severity: Severity,
+    /// Risk-reduction factor credited to limited exposure.
+    pub exposure_reduction: f64,
+    /// Risk-reduction factor credited to controllability.
+    pub controllability_reduction: f64,
+    /// The ASIL assigned to close the remaining gap.
+    pub asil: Asil,
+}
+
+/// Computes the Fig. 1 waterfall for one hazardous event classification.
+///
+/// The reductions are the indicative fractions of the E and C classes: a
+/// situation occurring 1% of the time (E3) cuts the hazard's accident
+/// frequency by 100×, and a 90%-controllable hazard (C2) by a further 10×.
+/// The residual gap to the severity's acceptable frequency is what the
+/// ASIL's E/E risk reduction must close.
+pub fn risk_waterfall(s: Severity, e: Exposure, c: Controllability) -> RiskWaterfall {
+    RiskWaterfall {
+        severity: s,
+        exposure_reduction: if e.indicative_fraction() > 0.0 {
+            1.0 / e.indicative_fraction()
+        } else {
+            f64::INFINITY
+        },
+        controllability_reduction: 1.0 / c.indicative_failure_probability(),
+        asil: determine_asil(s, e, c),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full ISO 26262-3:2018 Table 4 (S1..S3 × E1..E4 × C1..C3),
+    /// transcribed independently of the sum rule to guard against encoding
+    /// mistakes.
+    const TABLE4: [(u8, u8, u8, Asil); 36] = [
+        (1, 1, 1, Asil::QM),
+        (1, 1, 2, Asil::QM),
+        (1, 1, 3, Asil::QM),
+        (1, 2, 1, Asil::QM),
+        (1, 2, 2, Asil::QM),
+        (1, 2, 3, Asil::QM),
+        (1, 3, 1, Asil::QM),
+        (1, 3, 2, Asil::QM),
+        (1, 3, 3, Asil::A),
+        (1, 4, 1, Asil::QM),
+        (1, 4, 2, Asil::A),
+        (1, 4, 3, Asil::B),
+        (2, 1, 1, Asil::QM),
+        (2, 1, 2, Asil::QM),
+        (2, 1, 3, Asil::QM),
+        (2, 2, 1, Asil::QM),
+        (2, 2, 2, Asil::QM),
+        (2, 2, 3, Asil::A),
+        (2, 3, 1, Asil::QM),
+        (2, 3, 2, Asil::A),
+        (2, 3, 3, Asil::B),
+        (2, 4, 1, Asil::A),
+        (2, 4, 2, Asil::B),
+        (2, 4, 3, Asil::C),
+        (3, 1, 1, Asil::QM),
+        (3, 1, 2, Asil::QM),
+        (3, 1, 3, Asil::A),
+        (3, 2, 1, Asil::QM),
+        (3, 2, 2, Asil::A),
+        (3, 2, 3, Asil::B),
+        (3, 3, 1, Asil::A),
+        (3, 3, 2, Asil::B),
+        (3, 3, 3, Asil::C),
+        (3, 4, 1, Asil::B),
+        (3, 4, 2, Asil::C),
+        (3, 4, 3, Asil::D),
+    ];
+
+    fn severity(level: u8) -> Severity {
+        Severity::ALL[level as usize]
+    }
+
+    fn exposure(level: u8) -> Exposure {
+        Exposure::ALL[level as usize]
+    }
+
+    fn controllability(level: u8) -> Controllability {
+        Controllability::ALL[level as usize]
+    }
+
+    #[test]
+    fn matches_full_table_4() {
+        for &(s, e, c, expect) in &TABLE4 {
+            let got = determine_asil(severity(s), exposure(e), controllability(c));
+            assert_eq!(got, expect, "S{s} E{e} C{c}");
+        }
+    }
+
+    #[test]
+    fn zero_levels_mean_no_asil() {
+        assert_eq!(
+            determine_asil(Severity::S0, Exposure::E4, Controllability::C3),
+            Asil::QM
+        );
+        assert_eq!(
+            determine_asil(Severity::S3, Exposure::E0, Controllability::C3),
+            Asil::QM
+        );
+        assert_eq!(
+            determine_asil(Severity::S3, Exposure::E4, Controllability::C0),
+            Asil::QM
+        );
+    }
+
+    #[test]
+    fn asil_is_monotone_in_each_factor() {
+        for s in 1..=3u8 {
+            for e in 1..=4u8 {
+                for c in 1..=3u8 {
+                    let base = determine_asil(severity(s), exposure(e), controllability(c));
+                    if s < 3 {
+                        let up = determine_asil(severity(s + 1), exposure(e), controllability(c));
+                        assert!(up >= base);
+                    }
+                    if e < 4 {
+                        let up = determine_asil(severity(s), exposure(e + 1), controllability(c));
+                        assert!(up >= base);
+                    }
+                    if c < 3 {
+                        let up = determine_asil(severity(s), exposure(e), controllability(c + 1));
+                        assert!(up >= base);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hw_targets_match_iso_26262_5() {
+        assert_eq!(Asil::QM.random_hw_fault_target(), None);
+        assert_eq!(Asil::A.random_hw_fault_target(), None);
+        assert_eq!(
+            Asil::D.random_hw_fault_target().unwrap().as_per_hour(),
+            1e-8
+        );
+        assert_eq!(
+            Asil::B.random_hw_fault_target().unwrap().as_per_hour(),
+            1e-7
+        );
+    }
+
+    #[test]
+    fn ranks_are_ordered() {
+        for pair in Asil::ALL.windows(2) {
+            assert!(pair[0] < pair[1]);
+            assert!(pair[0].rank() < pair[1].rank());
+        }
+    }
+
+    #[test]
+    fn waterfall_reductions_increase_for_rarer_situations() {
+        let common = risk_waterfall(Severity::S3, Exposure::E4, Controllability::C3);
+        let rare = risk_waterfall(Severity::S3, Exposure::E1, Controllability::C3);
+        assert!(rare.exposure_reduction > common.exposure_reduction);
+        assert!(rare.asil < common.asil);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Asil::QM.to_string(), "QM");
+        assert_eq!(Asil::D.to_string(), "ASIL D");
+    }
+}

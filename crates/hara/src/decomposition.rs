@@ -1,0 +1,242 @@
+//! ASIL decomposition and inheritance (ISO 26262-9), plus the bookkeeping
+//! that exposes their limits for complex ADS architectures.
+//!
+//! Sec. V of the paper makes two observations this module supports
+//! quantitatively (together with `qrn-quant`):
+//!
+//! * **Decomposition is coarse.** The standard only allows a fixed menu of
+//!   splits (D → C+A | B+B | D+QM, …) over *independent* elements. It
+//!   cannot credit, say, three diverse QM-grade perception channels whose
+//!   combined failure rate is lower than an ASIL-D target.
+//! * **Inheritance ignores fan-out.** Every element a safety goal's
+//!   realization touches inherits the full ASIL; with thousands of
+//!   contributing elements the implicit "limited complexity" assumption
+//!   breaks, yet the qualitative calculus never notices.
+
+use serde::{Deserialize, Serialize};
+
+use crate::asil::Asil;
+
+/// The decomposition schemes ISO 26262-9 clause 5 permits, as (parent,
+/// redundant requirement pair) relations.
+///
+/// Each pair must be allocated to sufficiently independent elements; the
+/// notation "B(D)" of the standard (decomposed ASIL with original in
+/// parentheses) is represented by the pair members.
+pub fn valid_decompositions(parent: Asil) -> Vec<(Asil, Asil)> {
+    match parent {
+        Asil::QM => vec![],
+        Asil::A => vec![(Asil::A, Asil::QM)],
+        Asil::B => vec![(Asil::B, Asil::QM), (Asil::A, Asil::A)],
+        Asil::C => vec![(Asil::C, Asil::QM), (Asil::B, Asil::A)],
+        Asil::D => vec![(Asil::D, Asil::QM), (Asil::C, Asil::A), (Asil::B, Asil::B)],
+    }
+}
+
+/// Returns `true` when decomposing `parent` into `(a, b)` (in either order)
+/// is one of the schemes permitted by ISO 26262-9.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_hara::asil::Asil;
+/// use qrn_hara::decomposition::is_valid_decomposition;
+///
+/// assert!(is_valid_decomposition(Asil::D, Asil::B, Asil::B));
+/// assert!(is_valid_decomposition(Asil::D, Asil::C, Asil::A));
+/// assert!(!is_valid_decomposition(Asil::D, Asil::A, Asil::A));
+/// ```
+pub fn is_valid_decomposition(parent: Asil, a: Asil, b: Asil) -> bool {
+    valid_decompositions(parent)
+        .into_iter()
+        .any(|(x, y)| (x == a && y == b) || (x == b && y == a))
+}
+
+/// A node in a qualitative refinement tree: a requirement with an ASIL,
+/// refined into children that either *inherit* the ASIL or split it by a
+/// permitted *decomposition*.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Requirement {
+    /// Requirement identifier.
+    pub id: String,
+    /// The ASIL carried by this requirement.
+    pub asil: Asil,
+    /// Refined sub-requirements.
+    pub children: Vec<Requirement>,
+}
+
+/// Error applying a decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecompositionError {
+    /// Parent ASIL that was being decomposed.
+    pub parent: Asil,
+    /// The attempted pair.
+    pub attempted: (Asil, Asil),
+}
+
+impl std::fmt::Display for DecompositionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} cannot be decomposed into {} + {} under ISO 26262-9",
+            self.parent, self.attempted.0, self.attempted.1
+        )
+    }
+}
+
+impl std::error::Error for DecompositionError {}
+
+impl Requirement {
+    /// Creates a leaf requirement.
+    pub fn new(id: impl Into<String>, asil: Asil) -> Self {
+        Requirement {
+            id: id.into(),
+            asil,
+            children: Vec::new(),
+        }
+    }
+
+    /// Refines this requirement into `n` children that all inherit the
+    /// parent ASIL (ISO 26262-8 clause 6: a safety requirement inherits the
+    /// ASIL of the requirement it is derived from).
+    pub fn inherit(&mut self, n: usize) -> &mut Self {
+        for i in 0..n {
+            self.children.push(Requirement::new(
+                format!("{}.{}", self.id, i + 1),
+                self.asil,
+            ));
+        }
+        self
+    }
+
+    /// Refines this requirement into a redundant pair per a permitted
+    /// decomposition scheme.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecompositionError`] when `(a, b)` is not a permitted
+    /// split of the parent ASIL.
+    pub fn decompose(&mut self, a: Asil, b: Asil) -> Result<&mut Self, DecompositionError> {
+        if !is_valid_decomposition(self.asil, a, b) {
+            return Err(DecompositionError {
+                parent: self.asil,
+                attempted: (a, b),
+            });
+        }
+        self.children
+            .push(Requirement::new(format!("{}.r1", self.id), a));
+        self.children
+            .push(Requirement::new(format!("{}.r2", self.id), b));
+        Ok(self)
+    }
+
+    /// All leaf requirements of the tree.
+    pub fn leaves(&self) -> Vec<&Requirement> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves<'a>(&'a self, out: &mut Vec<&'a Requirement>) {
+        if self.children.is_empty() {
+            out.push(self);
+        } else {
+            for c in &self.children {
+                c.collect_leaves(out);
+            }
+        }
+    }
+
+    /// Number of leaf requirements carrying at least the given ASIL.
+    ///
+    /// This is the Sec.-V blow-up metric: a goal refined by inheritance into
+    /// `n` elements yields `n` leaves still carrying the full ASIL, however
+    /// large `n` grows — the qualitative calculus places no bound and loses
+    /// no strength, which is exactly the implicit assumption the paper
+    /// challenges.
+    pub fn leaves_at_or_above(&self, asil: Asil) -> usize {
+        self.leaves().iter().filter(|r| r.asil >= asil).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decomposition_menu_matches_standard() {
+        assert_eq!(
+            valid_decompositions(Asil::D),
+            vec![(Asil::D, Asil::QM), (Asil::C, Asil::A), (Asil::B, Asil::B)]
+        );
+        assert_eq!(
+            valid_decompositions(Asil::C),
+            vec![(Asil::C, Asil::QM), (Asil::B, Asil::A)]
+        );
+        assert_eq!(
+            valid_decompositions(Asil::B),
+            vec![(Asil::B, Asil::QM), (Asil::A, Asil::A)]
+        );
+        assert_eq!(valid_decompositions(Asil::A), vec![(Asil::A, Asil::QM)]);
+        assert!(valid_decompositions(Asil::QM).is_empty());
+    }
+
+    #[test]
+    fn validity_is_order_insensitive() {
+        assert!(is_valid_decomposition(Asil::D, Asil::A, Asil::C));
+        assert!(is_valid_decomposition(Asil::D, Asil::C, Asil::A));
+        assert!(!is_valid_decomposition(Asil::C, Asil::B, Asil::B));
+    }
+
+    #[test]
+    fn decompose_rejects_illegal_split() {
+        let mut req = Requirement::new("SG1", Asil::D);
+        let err = req.decompose(Asil::A, Asil::A).unwrap_err();
+        assert_eq!(err.parent, Asil::D);
+        assert!(err.to_string().contains("ASIL D"));
+    }
+
+    #[test]
+    fn decompose_builds_redundant_pair() {
+        let mut req = Requirement::new("SG1", Asil::D);
+        req.decompose(Asil::B, Asil::B).unwrap();
+        assert_eq!(req.children.len(), 2);
+        assert!(req.children.iter().all(|c| c.asil == Asil::B));
+    }
+
+    #[test]
+    fn inheritance_never_weakens() {
+        let mut req = Requirement::new("SG1", Asil::D);
+        req.inherit(1000);
+        assert_eq!(req.leaves().len(), 1000);
+        assert_eq!(req.leaves_at_or_above(Asil::D), 1000);
+    }
+
+    #[test]
+    fn nested_refinement_counts_leaves() {
+        let mut req = Requirement::new("SG1", Asil::D);
+        req.decompose(Asil::C, Asil::A).unwrap();
+        req.children[0].inherit(3); // three ASIL C leaves
+        assert_eq!(req.leaves().len(), 4);
+        assert_eq!(req.leaves_at_or_above(Asil::C), 3);
+        assert_eq!(req.leaves_at_or_above(Asil::A), 4);
+        assert_eq!(req.leaves_at_or_above(Asil::D), 0);
+    }
+
+    #[test]
+    fn leaf_ids_track_paths() {
+        let mut req = Requirement::new("SG1", Asil::B);
+        req.inherit(2);
+        let ids: Vec<&str> = req.leaves().iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, ["SG1.1", "SG1.2"]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut req = Requirement::new("SG1", Asil::D);
+        req.decompose(Asil::B, Asil::B).unwrap();
+        let back: Requirement =
+            serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
+        assert_eq!(req, back);
+    }
+}

@@ -1,0 +1,203 @@
+//! HAZOP-style hazard identification over item functions.
+//!
+//! ISO 26262 hazard identification commonly applies HAZOP (IEC 61882)
+//! guidewords to each function of the item: "braking" × "too little" →
+//! "insufficient deceleration". The paper argues this failure-mode framing
+//! fits a conventional driver-assistance feature but not an ADS whose
+//! promise is the whole dynamic driving task (Sec. II-B.3); this module
+//! exists so the baseline can be run and compared.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// HAZOP guideword applied to an item function (IEC 61882 selection
+/// commonly used in automotive practice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Guideword {
+    /// The function is not provided when demanded (omission).
+    NotProvided,
+    /// The function is provided when not demanded (commission).
+    Unintended,
+    /// The function is provided with too much magnitude.
+    TooMuch,
+    /// The function is provided with too little magnitude.
+    TooLittle,
+    /// The function is provided too early.
+    TooEarly,
+    /// The function is provided too late.
+    TooLate,
+    /// The function acts in the wrong direction.
+    Reversed,
+    /// The function is stuck at its current output.
+    Stuck,
+}
+
+impl Guideword {
+    /// All guidewords, in declaration order.
+    pub const ALL: [Guideword; 8] = [
+        Guideword::NotProvided,
+        Guideword::Unintended,
+        Guideword::TooMuch,
+        Guideword::TooLittle,
+        Guideword::TooEarly,
+        Guideword::TooLate,
+        Guideword::Reversed,
+        Guideword::Stuck,
+    ];
+}
+
+impl fmt::Display for Guideword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            Guideword::NotProvided => "not provided",
+            Guideword::Unintended => "unintended",
+            Guideword::TooMuch => "too much",
+            Guideword::TooLittle => "too little",
+            Guideword::TooEarly => "too early",
+            Guideword::TooLate => "too late",
+            Guideword::Reversed => "reversed",
+            Guideword::Stuck => "stuck",
+        };
+        f.write_str(text)
+    }
+}
+
+/// A malfunction-level hazard: a function of the item combined with a
+/// deviation guideword.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_hara::hazard::{Guideword, Hazard};
+///
+/// let h = Hazard::new("H1", "braking", Guideword::TooLittle)
+///     .with_description("deceleration limited to 4 m/s^2");
+/// assert_eq!(h.to_string(), "H1: braking too little");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Hazard {
+    id: String,
+    function: String,
+    guideword: Guideword,
+    description: String,
+}
+
+impl Hazard {
+    /// Creates a hazard for `function` deviating per `guideword`.
+    pub fn new(id: impl Into<String>, function: impl Into<String>, guideword: Guideword) -> Self {
+        Hazard {
+            id: id.into(),
+            function: function.into(),
+            guideword,
+            description: String::new(),
+        }
+    }
+
+    /// Attaches a free-text description.
+    pub fn with_description(mut self, description: impl Into<String>) -> Self {
+        self.description = description.into();
+        self
+    }
+
+    /// The hazard's identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The item function that deviates.
+    pub fn function(&self) -> &str {
+        &self.function
+    }
+
+    /// The deviation guideword.
+    pub fn guideword(&self) -> Guideword {
+        self.guideword
+    }
+
+    /// The free-text description (possibly empty).
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+}
+
+impl fmt::Display for Hazard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} {}", self.id, self.function, self.guideword)
+    }
+}
+
+/// Generates the full HAZOP hazard matrix for a set of item functions:
+/// one hazard per (function, guideword) pair, with ids `H1, H2, …`.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_hara::hazard::hazop_matrix;
+///
+/// let hazards = hazop_matrix(&["braking", "steering"]);
+/// assert_eq!(hazards.len(), 16); // 2 functions x 8 guidewords
+/// ```
+pub fn hazop_matrix(functions: &[&str]) -> Vec<Hazard> {
+    let mut out = Vec::with_capacity(functions.len() * Guideword::ALL.len());
+    let mut n = 0;
+    for function in functions {
+        for gw in Guideword::ALL {
+            n += 1;
+            out.push(Hazard::new(format!("H{n}"), *function, gw));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let h = Hazard::new("H9", "steering", Guideword::Reversed)
+            .with_description("left command yields right torque");
+        assert_eq!(h.id(), "H9");
+        assert_eq!(h.function(), "steering");
+        assert_eq!(h.guideword(), Guideword::Reversed);
+        assert!(h.description().contains("torque"));
+    }
+
+    #[test]
+    fn matrix_covers_all_pairs() {
+        let hazards = hazop_matrix(&["braking", "steering", "propulsion"]);
+        assert_eq!(hazards.len(), 24);
+        // ids unique
+        let mut ids: Vec<&str> = hazards.iter().map(Hazard::id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 24);
+        // every guideword appears for every function
+        for f in ["braking", "steering", "propulsion"] {
+            for gw in Guideword::ALL {
+                assert!(hazards
+                    .iter()
+                    .any(|h| h.function() == f && h.guideword() == gw));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_function_list_is_empty_matrix() {
+        assert!(hazop_matrix(&[]).is_empty());
+    }
+
+    #[test]
+    fn display_reads_naturally() {
+        let h = Hazard::new("H1", "braking", Guideword::TooLittle);
+        assert_eq!(h.to_string(), "H1: braking too little");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let h = Hazard::new("H1", "braking", Guideword::TooLate);
+        let back: Hazard = serde_json::from_str(&serde_json::to_string(&h).unwrap()).unwrap();
+        assert_eq!(h, back);
+    }
+}

@@ -1,0 +1,49 @@
+//! ISO 26262:2018 hazard analysis and risk assessment (HARA) — the
+//! *baseline* the QRN paper argues against.
+//!
+//! The Quantitative Risk Norm is proposed as a *tailoring* that replaces
+//! this classical activity for an ADS, so a faithful reproduction has to
+//! contain the thing being replaced: the qualitative severity / exposure /
+//! controllability (S/E/C) classification, the ASIL determination table,
+//! the hazardous-event elicitation over operational situations, and the
+//! ASIL decomposition and inheritance rules whose shortcomings Sec. V of
+//! the paper discusses.
+//!
+//! Two modules directly power paper artefacts:
+//!
+//! * [`situation`] — cartesian operational-situation spaces, whose
+//!   cardinality explosion is the paper's intractability argument
+//!   (Sec. II-B.1, experiment `exp_intractability`);
+//! * [`asil`] — the risk model behind the paper's Fig. 1 (acceptable
+//!   frequency decreasing with severity, with exposure / controllability /
+//!   ASIL as successive risk-reduction steps).
+//!
+//! # Examples
+//!
+//! ```
+//! use qrn_hara::asil::{determine_asil, Asil};
+//! use qrn_hara::severity::{Controllability, Exposure, Severity};
+//!
+//! // The classic worst case: life-threatening, high exposure, uncontrollable.
+//! let asil = determine_asil(Severity::S3, Exposure::E4, Controllability::C3);
+//! assert_eq!(asil, Asil::D);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod asil;
+pub mod decomposition;
+pub mod hazard;
+pub mod severity;
+pub mod situation;
+
+pub use analysis::{Hara, HazardousEvent, QualitativeSafetyGoal};
+pub use asil::{determine_asil, Asil};
+pub use hazard::{Guideword, Hazard};
+pub use severity::{Controllability, Exposure, Severity};
+pub use situation::{OperationalSituation, SituationDimension, SituationSpace};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,99 @@
+//! Property-based tests for the HARA baseline invariants.
+
+use proptest::prelude::*;
+
+use crate::asil::{determine_asil, Asil};
+use crate::decomposition::{is_valid_decomposition, valid_decompositions, Requirement};
+use crate::severity::{Controllability, Exposure, Severity};
+use crate::situation::{SituationDimension, SituationSpace};
+
+fn severity() -> impl Strategy<Value = Severity> {
+    proptest::sample::select(Severity::ALL.to_vec())
+}
+
+fn exposure() -> impl Strategy<Value = Exposure> {
+    proptest::sample::select(Exposure::ALL.to_vec())
+}
+
+fn controllability() -> impl Strategy<Value = Controllability> {
+    proptest::sample::select(Controllability::ALL.to_vec())
+}
+
+fn asil() -> impl Strategy<Value = Asil> {
+    proptest::sample::select(Asil::ALL.to_vec())
+}
+
+fn space() -> impl Strategy<Value = SituationSpace> {
+    proptest::collection::vec(1usize..5, 1..5).prop_map(|sizes| {
+        SituationSpace::new(
+            sizes
+                .into_iter()
+                .enumerate()
+                .map(|(i, n)| {
+                    SituationDimension::new(format!("d{i}"), (0..n).map(|j| format!("o{j}")))
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    /// ASIL never decreases when any single factor increases.
+    #[test]
+    fn asil_is_monotone(s in severity(), e in exposure(), c in controllability()) {
+        let base = determine_asil(s, e, c);
+        for s2 in Severity::ALL.into_iter().filter(|x| *x >= s) {
+            prop_assert!(determine_asil(s2, e, c) >= base);
+        }
+        for e2 in Exposure::ALL.into_iter().filter(|x| *x >= e) {
+            prop_assert!(determine_asil(s, e2, c) >= base);
+        }
+        for c2 in Controllability::ALL.into_iter().filter(|x| *x >= c) {
+            prop_assert!(determine_asil(s, e, c2) >= base);
+        }
+    }
+
+    /// Any zero factor kills the ASIL entirely.
+    #[test]
+    fn zero_factor_means_qm(e in exposure(), c in controllability()) {
+        prop_assert_eq!(determine_asil(Severity::S0, e, c), Asil::QM);
+    }
+
+    /// Every permitted decomposition pair is symmetric-validated and never
+    /// produces a member above the parent.
+    #[test]
+    fn decompositions_never_exceed_parent(parent in asil()) {
+        for (a, b) in valid_decompositions(parent) {
+            prop_assert!(a <= parent);
+            prop_assert!(b <= parent);
+            prop_assert!(is_valid_decomposition(parent, a, b));
+            prop_assert!(is_valid_decomposition(parent, b, a));
+        }
+    }
+
+    /// Inheritance produces exactly n leaves, all at the parent ASIL.
+    #[test]
+    fn inheritance_preserves_asil(parent in asil(), n in 1usize..200) {
+        let mut requirement = Requirement::new("SG", parent);
+        requirement.inherit(n);
+        prop_assert_eq!(requirement.leaves().len(), n);
+        prop_assert!(requirement.leaves().iter().all(|l| l.asil == parent));
+    }
+
+    /// A situation space's iterator yields exactly `cardinality()` unique
+    /// situations, and `situation_at` agrees with iteration order.
+    #[test]
+    fn enumeration_matches_cardinality(space in space()) {
+        let all: Vec<_> = space.iter().collect();
+        prop_assert_eq!(all.len() as u128, space.cardinality());
+        let mut dedup = all.clone();
+        dedup.sort_by_key(|s| format!("{s}"));
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), all.len());
+        for (i, situation) in all.iter().enumerate() {
+            let at = space.situation_at(i as u128);
+            prop_assert_eq!(at.as_ref(), Some(situation));
+        }
+        prop_assert_eq!(space.situation_at(space.cardinality()), None);
+    }
+}

@@ -1,0 +1,251 @@
+//! The qualitative S / E / C classification of ISO 26262-3:2018.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Severity of potential harm (ISO 26262-3, clause 6.4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// No injuries.
+    S0,
+    /// Light and moderate injuries.
+    S1,
+    /// Severe and life-threatening injuries (survival probable).
+    S2,
+    /// Life-threatening injuries (survival uncertain), fatal injuries.
+    S3,
+}
+
+impl Severity {
+    /// All severity classes in increasing order.
+    pub const ALL: [Severity; 4] = [Severity::S0, Severity::S1, Severity::S2, Severity::S3];
+
+    /// Numeric level (S0 → 0 … S3 → 3) used by the ASIL determination sum.
+    pub fn level(self) -> u8 {
+        match self {
+            Severity::S0 => 0,
+            Severity::S1 => 1,
+            Severity::S2 => 2,
+            Severity::S3 => 3,
+        }
+    }
+
+    /// Standard description of the class.
+    pub fn description(self) -> &'static str {
+        match self {
+            Severity::S0 => "no injuries",
+            Severity::S1 => "light and moderate injuries",
+            Severity::S2 => "severe injuries, survival probable",
+            Severity::S3 => "life-threatening or fatal injuries",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.level())
+    }
+}
+
+/// Probability of exposure to an operational situation (ISO 26262-3,
+/// clause 6.4.3.6). E1–E4 map informally onto fractions of operating time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Exposure {
+    /// Incredible: not further considered.
+    E0,
+    /// Very low probability.
+    E1,
+    /// Low probability (once a year or less for most drivers).
+    E2,
+    /// Medium probability (once a month or more for an average driver).
+    E3,
+    /// High probability (during almost every drive on average).
+    E4,
+}
+
+impl Exposure {
+    /// All exposure classes in increasing order.
+    pub const ALL: [Exposure; 5] = [
+        Exposure::E0,
+        Exposure::E1,
+        Exposure::E2,
+        Exposure::E3,
+        Exposure::E4,
+    ];
+
+    /// Numeric level (E0 → 0 … E4 → 4) used by the ASIL determination sum.
+    pub fn level(self) -> u8 {
+        match self {
+            Exposure::E0 => 0,
+            Exposure::E1 => 1,
+            Exposure::E2 => 2,
+            Exposure::E3 => 3,
+            Exposure::E4 => 4,
+        }
+    }
+
+    /// Indicative fraction of operating time for the class, following the
+    /// informative annex of ISO 26262-3 (E4 > 10%, each step roughly an
+    /// order of magnitude). Used only to draw the Fig. 1 waterfall.
+    pub fn indicative_fraction(self) -> f64 {
+        match self {
+            Exposure::E0 => 0.0,
+            Exposure::E1 => 1e-4,
+            Exposure::E2 => 1e-3,
+            Exposure::E3 => 1e-2,
+            Exposure::E4 => 1e-1,
+        }
+    }
+
+    /// Standard description of the class.
+    pub fn description(self) -> &'static str {
+        match self {
+            Exposure::E0 => "incredible",
+            Exposure::E1 => "very low probability",
+            Exposure::E2 => "low probability",
+            Exposure::E3 => "medium probability",
+            Exposure::E4 => "high probability",
+        }
+    }
+}
+
+impl fmt::Display for Exposure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.level())
+    }
+}
+
+/// Controllability by the driver or other persons at risk (ISO 26262-3,
+/// clause 6.4.3.8).
+///
+/// The paper notes this factor is already awkward for an ADS: "human
+/// passengers would not be ready and able to mitigate a failure" (Sec. VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Controllability {
+    /// Controllable in general.
+    C0,
+    /// Simply controllable (99% or more of drivers can act to avoid harm).
+    C1,
+    /// Normally controllable (90% or more).
+    C2,
+    /// Difficult to control or uncontrollable (fewer than 90%).
+    C3,
+}
+
+impl Controllability {
+    /// All controllability classes in increasing order of difficulty.
+    pub const ALL: [Controllability; 4] = [
+        Controllability::C0,
+        Controllability::C1,
+        Controllability::C2,
+        Controllability::C3,
+    ];
+
+    /// Numeric level (C0 → 0 … C3 → 3) used by the ASIL determination sum.
+    pub fn level(self) -> u8 {
+        match self {
+            Controllability::C0 => 0,
+            Controllability::C1 => 1,
+            Controllability::C2 => 2,
+            Controllability::C3 => 3,
+        }
+    }
+
+    /// Indicative probability that the persons involved *fail* to control
+    /// the situation. Used only to draw the Fig. 1 waterfall.
+    pub fn indicative_failure_probability(self) -> f64 {
+        match self {
+            Controllability::C0 => 1e-3,
+            Controllability::C1 => 1e-2,
+            Controllability::C2 => 1e-1,
+            Controllability::C3 => 1.0,
+        }
+    }
+
+    /// Standard description of the class.
+    pub fn description(self) -> &'static str {
+        match self {
+            Controllability::C0 => "controllable in general",
+            Controllability::C1 => "simply controllable",
+            Controllability::C2 => "normally controllable",
+            Controllability::C3 => "difficult to control or uncontrollable",
+        }
+    }
+}
+
+impl fmt::Display for Controllability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.level())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_levels() {
+        assert!(Severity::S0 < Severity::S3);
+        assert!(Exposure::E1 < Exposure::E4);
+        assert!(Controllability::C1 < Controllability::C3);
+    }
+
+    #[test]
+    fn levels_are_dense() {
+        for (i, s) in Severity::ALL.iter().enumerate() {
+            assert_eq!(s.level() as usize, i);
+        }
+        for (i, e) in Exposure::ALL.iter().enumerate() {
+            assert_eq!(e.level() as usize, i);
+        }
+        for (i, c) in Controllability::ALL.iter().enumerate() {
+            assert_eq!(c.level() as usize, i);
+        }
+    }
+
+    #[test]
+    fn exposure_fractions_monotone() {
+        let mut prev = -1.0;
+        for e in Exposure::ALL {
+            assert!(e.indicative_fraction() > prev || e == Exposure::E0);
+            prev = e.indicative_fraction();
+        }
+    }
+
+    #[test]
+    fn controllability_failure_probability_monotone() {
+        let mut prev = 0.0;
+        for c in Controllability::ALL {
+            assert!(c.indicative_failure_probability() > prev);
+            prev = c.indicative_failure_probability();
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Severity::S2.to_string(), "S2");
+        assert_eq!(Exposure::E4.to_string(), "E4");
+        assert_eq!(Controllability::C3.to_string(), "C3");
+    }
+
+    #[test]
+    fn descriptions_nonempty() {
+        for s in Severity::ALL {
+            assert!(!s.description().is_empty());
+        }
+        for e in Exposure::ALL {
+            assert!(!e.description().is_empty());
+        }
+        for c in Controllability::ALL {
+            assert!(!c.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s: Severity =
+            serde_json::from_str(&serde_json::to_string(&Severity::S3).unwrap()).unwrap();
+        assert_eq!(s, Severity::S3);
+    }
+}

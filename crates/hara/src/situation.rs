@@ -1,0 +1,297 @@
+//! Operational-situation spaces and their combinatorial growth.
+//!
+//! A classical HARA enumerates the operational situations in which each
+//! hazard could occur. Sec. II-B.1 of the paper argues this is intractable
+//! for an ADS: "the number of situations to consider is virtually infinite,
+//! unless the feature has a very limited ODD". This module makes the
+//! argument executable: a [`SituationSpace`] is a cartesian product of
+//! situation dimensions, its [`SituationSpace::cardinality`] is the exact
+//! number of distinct situations, and [`SituationSpace::iter`] enumerates
+//! them (lazily — actually walking the product is precisely what becomes
+//! infeasible, and the experiment binary shows the wall clamping down).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One dimension of the operational-situation classification, e.g.
+/// `road_type ∈ {urban, rural, highway}`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SituationDimension {
+    name: String,
+    options: Vec<String>,
+}
+
+impl SituationDimension {
+    /// Creates a dimension with the given option labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty — a dimension with no options would
+    /// make the whole space empty, which is never what a HARA means.
+    pub fn new<I, S>(name: impl Into<String>, options: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let options: Vec<String> = options.into_iter().map(Into::into).collect();
+        assert!(
+            !options.is_empty(),
+            "a situation dimension needs at least one option"
+        );
+        SituationDimension {
+            name: name.into(),
+            options,
+        }
+    }
+
+    /// The dimension's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The dimension's option labels.
+    pub fn options(&self) -> &[String] {
+        &self.options
+    }
+}
+
+/// A concrete operational situation: one option chosen per dimension.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OperationalSituation {
+    /// `(dimension name, chosen option)` pairs in dimension order.
+    pub choices: Vec<(String, String)>,
+}
+
+impl fmt::Display for OperationalSituation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .choices
+            .iter()
+            .map(|(d, o)| format!("{d}={o}"))
+            .collect();
+        write!(f, "[{}]", parts.join(", "))
+    }
+}
+
+/// A cartesian product of situation dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_hara::situation::{SituationDimension, SituationSpace};
+///
+/// let space = SituationSpace::new(vec![
+///     SituationDimension::new("road", ["urban", "rural", "highway"]),
+///     SituationDimension::new("weather", ["dry", "wet", "snow", "fog"]),
+/// ]);
+/// assert_eq!(space.cardinality(), 12);
+/// assert_eq!(space.iter().count(), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SituationSpace {
+    dimensions: Vec<SituationDimension>,
+}
+
+impl SituationSpace {
+    /// Creates a space over the given dimensions.
+    pub fn new(dimensions: Vec<SituationDimension>) -> Self {
+        SituationSpace { dimensions }
+    }
+
+    /// The dimensions of the space.
+    pub fn dimensions(&self) -> &[SituationDimension] {
+        &self.dimensions
+    }
+
+    /// Exact number of distinct situations, saturating at `u128::MAX`.
+    ///
+    /// The saturation is not theoretical: 40 dimensions of 10 options each
+    /// already exceed `u128` when combined with a second such space.
+    pub fn cardinality(&self) -> u128 {
+        self.dimensions
+            .iter()
+            .fold(1u128, |acc, d| acc.saturating_mul(d.options.len() as u128))
+    }
+
+    /// Lazily enumerates every situation in lexicographic order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            space: self,
+            indices: vec![0; self.dimensions.len()],
+            done: self.dimensions.is_empty(),
+            first: true,
+        }
+    }
+
+    /// The situation at a given lexicographic index, or `None` when out of
+    /// range. Useful for sampling huge spaces without enumerating them.
+    pub fn situation_at(&self, mut index: u128) -> Option<OperationalSituation> {
+        if index >= self.cardinality() {
+            return None;
+        }
+        let mut choices = Vec::with_capacity(self.dimensions.len());
+        for dim in self.dimensions.iter().rev() {
+            let n = dim.options.len() as u128;
+            let choice = (index % n) as usize;
+            index /= n;
+            choices.push((dim.name.clone(), dim.options[choice].clone()));
+        }
+        choices.reverse();
+        Some(OperationalSituation { choices })
+    }
+}
+
+/// Lazy iterator over a [`SituationSpace`]; see [`SituationSpace::iter`].
+#[derive(Debug)]
+pub struct Iter<'a> {
+    space: &'a SituationSpace,
+    indices: Vec<usize>,
+    done: bool,
+    first: bool,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = OperationalSituation;
+
+    fn next(&mut self) -> Option<OperationalSituation> {
+        if self.done {
+            return None;
+        }
+        if !self.first {
+            // Advance odometer-style from the last dimension.
+            let mut pos = self.indices.len();
+            loop {
+                if pos == 0 {
+                    self.done = true;
+                    return None;
+                }
+                pos -= 1;
+                self.indices[pos] += 1;
+                if self.indices[pos] < self.space.dimensions[pos].options.len() {
+                    break;
+                }
+                self.indices[pos] = 0;
+            }
+        }
+        self.first = false;
+        let choices = self
+            .space
+            .dimensions
+            .iter()
+            .zip(&self.indices)
+            .map(|(d, &i)| (d.name.clone(), d.options[i].clone()))
+            .collect();
+        Some(OperationalSituation { choices })
+    }
+}
+
+/// A representative catalogue of ADS situation dimensions, used by the
+/// intractability experiment. `detail` scales the option counts: even at
+/// modest detail the product is astronomically beyond enumeration.
+pub fn ads_situation_dimensions(detail: usize) -> Vec<SituationDimension> {
+    let detail = detail.max(1);
+    let numbered = |prefix: &str, n: usize| -> Vec<String> {
+        (0..n).map(|i| format!("{prefix}{i}")).collect()
+    };
+    vec![
+        SituationDimension::new("road_type", numbered("road", 3 * detail)),
+        SituationDimension::new("speed_zone", numbered("zone", 4 * detail)),
+        SituationDimension::new("weather", numbered("weather", 3 * detail)),
+        SituationDimension::new("lighting", numbered("light", 2 * detail)),
+        SituationDimension::new("surface", numbered("surface", 3 * detail)),
+        SituationDimension::new("traffic_density", numbered("density", 3 * detail)),
+        SituationDimension::new("lead_vehicle", numbered("lead", 4 * detail)),
+        SituationDimension::new("vru_presence", numbered("vru", 4 * detail)),
+        SituationDimension::new("junction_type", numbered("junction", 5 * detail)),
+        SituationDimension::new("road_geometry", numbered("geometry", 4 * detail)),
+        SituationDimension::new("work_zone", numbered("work", 2 * detail)),
+        SituationDimension::new("special_event", numbered("event", 3 * detail)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_space() -> SituationSpace {
+        SituationSpace::new(vec![
+            SituationDimension::new("road", ["urban", "rural"]),
+            SituationDimension::new("weather", ["dry", "wet", "snow"]),
+        ])
+    }
+
+    #[test]
+    fn cardinality_is_product() {
+        assert_eq!(small_space().cardinality(), 6);
+    }
+
+    #[test]
+    fn iterator_yields_exactly_cardinality_unique_items() {
+        let space = small_space();
+        let all: Vec<OperationalSituation> = space.iter().collect();
+        assert_eq!(all.len(), 6);
+        let mut dedup = all.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 6);
+        // first and last in lexicographic order
+        assert_eq!(all[0].choices[0].1, "urban");
+        assert_eq!(all[0].choices[1].1, "dry");
+        assert_eq!(all[5].choices[0].1, "rural");
+        assert_eq!(all[5].choices[1].1, "snow");
+    }
+
+    #[test]
+    fn situation_at_matches_iteration_order() {
+        let space = small_space();
+        for (i, situation) in space.iter().enumerate() {
+            assert_eq!(space.situation_at(i as u128), Some(situation));
+        }
+        assert_eq!(space.situation_at(6), None);
+    }
+
+    #[test]
+    fn empty_space_yields_nothing() {
+        let space = SituationSpace::new(vec![]);
+        assert_eq!(space.cardinality(), 1); // the empty product
+        assert_eq!(space.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one option")]
+    fn dimension_needs_options() {
+        SituationDimension::new("empty", Vec::<String>::new());
+    }
+
+    #[test]
+    fn cardinality_saturates_instead_of_overflowing() {
+        let dims: Vec<SituationDimension> = (0..50)
+            .map(|i| SituationDimension::new(format!("d{i}"), (0..1000).map(|j| j.to_string())))
+            .collect();
+        let space = SituationSpace::new(dims);
+        assert_eq!(space.cardinality(), u128::MAX);
+    }
+
+    #[test]
+    fn ads_dimensions_explode_combinatorially() {
+        let d1 = SituationSpace::new(ads_situation_dimensions(1));
+        let d2 = SituationSpace::new(ads_situation_dimensions(2));
+        assert!(d1.cardinality() > 1_000_000);
+        // doubling per-dimension detail multiplies cardinality by 2^12
+        assert_eq!(d2.cardinality() / d1.cardinality(), 1 << 12);
+    }
+
+    #[test]
+    fn display_reads_naturally() {
+        let s = small_space().situation_at(0).unwrap();
+        assert_eq!(s.to_string(), "[road=urban, weather=dry]");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let space = small_space();
+        let back: SituationSpace =
+            serde_json::from_str(&serde_json::to_string(&space).unwrap()).unwrap();
+        assert_eq!(space, back);
+    }
+}

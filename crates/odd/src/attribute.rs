@@ -1,0 +1,276 @@
+//! ODD dimensions and the constraints an ODD places on them.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::context::Value;
+
+/// A named dimension of the operating context (e.g. `road_type`,
+/// `speed_limit_kmh`, `lighting`, `precipitation`).
+///
+/// Dimensions are compared by name; two specs talking about `"weather"`
+/// talk about the same thing.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Dimension(String);
+
+impl Dimension {
+    /// Creates a dimension with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Dimension(name.into())
+    }
+
+    /// The dimension's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Dimension {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Dimension {
+    fn from(s: &str) -> Self {
+        Dimension::new(s)
+    }
+}
+
+/// A constraint an ODD places on one dimension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Constraint {
+    /// The categorical value must be one of the listed options.
+    AnyOf(BTreeSet<String>),
+    /// The numeric value must lie in the closed interval `[min, max]`.
+    Range {
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+}
+
+/// Error constructing or combining constraints.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstraintError {
+    /// Range bounds were NaN, infinite or inverted.
+    InvalidRange {
+        /// Offered lower bound.
+        min: f64,
+        /// Offered upper bound.
+        max: f64,
+    },
+    /// Intersection of the two constraints is empty.
+    EmptyIntersection,
+    /// Tried to combine a categorical with a numeric constraint.
+    KindMismatch,
+}
+
+impl fmt::Display for ConstraintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintError::InvalidRange { min, max } => {
+                write!(f, "invalid range [{min}, {max}]")
+            }
+            ConstraintError::EmptyIntersection => f.write_str("constraint intersection is empty"),
+            ConstraintError::KindMismatch => {
+                f.write_str("cannot combine categorical and numeric constraints")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConstraintError {}
+
+impl Constraint {
+    /// Creates a categorical constraint accepting any of the given options.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qrn_odd::attribute::Constraint;
+    /// use qrn_odd::context::Value;
+    ///
+    /// let c = Constraint::any_of(["urban", "suburban"]);
+    /// assert!(c.allows(&Value::category("urban")));
+    /// assert!(!c.allows(&Value::category("highway")));
+    /// ```
+    pub fn any_of<I, S>(options: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Constraint::AnyOf(options.into_iter().map(Into::into).collect())
+    }
+
+    /// Creates a numeric range constraint over `[min, max]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConstraintError::InvalidRange`] if the bounds are NaN,
+    /// infinite, or `min > max`.
+    pub fn range(min: f64, max: f64) -> Result<Self, ConstraintError> {
+        if !(min.is_finite() && max.is_finite() && min <= max) {
+            return Err(ConstraintError::InvalidRange { min, max });
+        }
+        Ok(Constraint::Range { min, max })
+    }
+
+    /// Returns `true` when the value satisfies the constraint.
+    ///
+    /// A value of the wrong kind (categorical vs numeric) never satisfies.
+    pub fn allows(&self, value: &Value) -> bool {
+        match (self, value) {
+            (Constraint::AnyOf(set), Value::Category(c)) => set.contains(c),
+            (Constraint::Range { min, max }, Value::Number(x)) => *min <= *x && *x <= *max,
+            _ => false,
+        }
+    }
+
+    /// Intersects two constraints on the same dimension (ODD restriction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConstraintError::KindMismatch`] for mixed kinds and
+    /// [`ConstraintError::EmptyIntersection`] when nothing remains.
+    pub fn intersect(&self, other: &Constraint) -> Result<Constraint, ConstraintError> {
+        match (self, other) {
+            (Constraint::AnyOf(a), Constraint::AnyOf(b)) => {
+                let inter: BTreeSet<String> = a.intersection(b).cloned().collect();
+                if inter.is_empty() {
+                    Err(ConstraintError::EmptyIntersection)
+                } else {
+                    Ok(Constraint::AnyOf(inter))
+                }
+            }
+            (Constraint::Range { min: a0, max: a1 }, Constraint::Range { min: b0, max: b1 }) => {
+                let min = a0.max(*b0);
+                let max = a1.min(*b1);
+                if min > max {
+                    Err(ConstraintError::EmptyIntersection)
+                } else {
+                    Ok(Constraint::Range { min, max })
+                }
+            }
+            _ => Err(ConstraintError::KindMismatch),
+        }
+    }
+
+    /// Returns `true` when every value allowed by `self` is also allowed by
+    /// `other` (i.e. `self` is at least as restrictive).
+    ///
+    /// Mixed kinds are never comparable and return `false`.
+    pub fn is_subset_of(&self, other: &Constraint) -> bool {
+        match (self, other) {
+            (Constraint::AnyOf(a), Constraint::AnyOf(b)) => a.is_subset(b),
+            (Constraint::Range { min: a0, max: a1 }, Constraint::Range { min: b0, max: b1 }) => {
+                b0 <= a0 && a1 <= b1
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::AnyOf(set) => {
+                let opts: Vec<&str> = set.iter().map(String::as_str).collect();
+                write!(f, "{{{}}}", opts.join(", "))
+            }
+            Constraint::Range { min, max } => write!(f, "[{min}, {max}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_of_allows_members_only() {
+        let c = Constraint::any_of(["dry", "wet"]);
+        assert!(c.allows(&Value::category("dry")));
+        assert!(!c.allows(&Value::category("snow")));
+        assert!(!c.allows(&Value::number(1.0)), "kind mismatch never allows");
+    }
+
+    #[test]
+    fn range_validates_bounds() {
+        assert!(Constraint::range(0.0, 60.0).is_ok());
+        assert!(Constraint::range(60.0, 0.0).is_err());
+        assert!(Constraint::range(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn range_allows_inclusive_bounds() {
+        let c = Constraint::range(0.0, 60.0).unwrap();
+        assert!(c.allows(&Value::number(0.0)));
+        assert!(c.allows(&Value::number(60.0)));
+        assert!(!c.allows(&Value::number(60.1)));
+        assert!(!c.allows(&Value::category("urban")));
+    }
+
+    #[test]
+    fn intersect_categorical() {
+        let a = Constraint::any_of(["urban", "suburban", "rural"]);
+        let b = Constraint::any_of(["suburban", "rural", "highway"]);
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i, Constraint::any_of(["suburban", "rural"]));
+        let disjoint = Constraint::any_of(["highway"]);
+        assert_eq!(
+            a.intersect(&disjoint),
+            Err(ConstraintError::EmptyIntersection)
+        );
+    }
+
+    #[test]
+    fn intersect_ranges() {
+        let a = Constraint::range(0.0, 60.0).unwrap();
+        let b = Constraint::range(30.0, 120.0).unwrap();
+        assert_eq!(
+            a.intersect(&b).unwrap(),
+            Constraint::range(30.0, 60.0).unwrap()
+        );
+        let far = Constraint::range(100.0, 120.0).unwrap();
+        assert_eq!(a.intersect(&far), Err(ConstraintError::EmptyIntersection));
+    }
+
+    #[test]
+    fn intersect_kind_mismatch() {
+        let a = Constraint::any_of(["urban"]);
+        let b = Constraint::range(0.0, 1.0).unwrap();
+        assert_eq!(a.intersect(&b), Err(ConstraintError::KindMismatch));
+    }
+
+    #[test]
+    fn subset_ordering() {
+        let narrow = Constraint::range(10.0, 20.0).unwrap();
+        let wide = Constraint::range(0.0, 60.0).unwrap();
+        assert!(narrow.is_subset_of(&wide));
+        assert!(!wide.is_subset_of(&narrow));
+        let a = Constraint::any_of(["urban"]);
+        let ab = Constraint::any_of(["urban", "rural"]);
+        assert!(a.is_subset_of(&ab));
+        assert!(!ab.is_subset_of(&a));
+        assert!(!a.is_subset_of(&wide));
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = Constraint::any_of(["b", "a"]);
+        assert_eq!(c.to_string(), "{a, b}");
+        let r = Constraint::range(0.0, 60.0).unwrap();
+        assert_eq!(r.to_string(), "[0, 60]");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = Constraint::any_of(["urban", "rural"]);
+        let back: Constraint = serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,229 @@
+//! Concrete driving contexts: a snapshot of the conditions the vehicle is
+//! operating in right now.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::attribute::Dimension;
+
+/// The value a context assigns to one dimension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// A categorical value such as `"urban"` or `"snow"`.
+    Category(String),
+    /// A numeric value such as a speed limit in km/h.
+    Number(f64),
+}
+
+impl Value {
+    /// Creates a categorical value.
+    pub fn category(v: impl Into<String>) -> Self {
+        Value::Category(v.into())
+    }
+
+    /// Creates a numeric value.
+    pub fn number(v: f64) -> Self {
+        Value::Number(v)
+    }
+
+    /// The categorical payload, if this is a category.
+    pub fn as_category(&self) -> Option<&str> {
+        match self {
+            Value::Category(c) => Some(c),
+            Value::Number(_) => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            Value::Category(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Category(c) => f.write_str(c),
+            Value::Number(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+/// A concrete driving context: an assignment of values to dimensions.
+///
+/// Contexts are what the ADS observes at runtime and what the
+/// [`crate::exposure::ExposureModel`] keys situational rates on.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_odd::context::{Context, Value};
+/// use qrn_odd::attribute::Dimension;
+///
+/// let ctx = Context::builder()
+///     .set(Dimension::new("zone"), Value::category("school"))
+///     .set(Dimension::new("hour"), Value::number(8.0))
+///     .build();
+/// assert_eq!(ctx.get(&Dimension::new("zone")), Some(&Value::category("school")));
+/// assert_eq!(ctx.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Context {
+    values: BTreeMap<Dimension, Value>,
+}
+
+impl Context {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Context::default()
+    }
+
+    /// Starts building a context.
+    pub fn builder() -> ContextBuilder {
+        ContextBuilder::default()
+    }
+
+    /// The value assigned to `dim`, if any.
+    pub fn get(&self, dim: &Dimension) -> Option<&Value> {
+        self.values.get(dim)
+    }
+
+    /// Sets or replaces the value of a dimension.
+    pub fn set(&mut self, dim: Dimension, value: Value) -> Option<Value> {
+        self.values.insert(dim, value)
+    }
+
+    /// Number of dimensions assigned.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` when no dimensions are assigned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(dimension, value)` pairs in dimension order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Dimension, &Value)> {
+        self.values.iter()
+    }
+}
+
+impl fmt::Display for Context {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .values
+            .iter()
+            .map(|(d, v)| format!("{d}={v}"))
+            .collect();
+        write!(f, "{{{}}}", parts.join(", "))
+    }
+}
+
+impl FromIterator<(Dimension, Value)> for Context {
+    fn from_iter<T: IntoIterator<Item = (Dimension, Value)>>(iter: T) -> Self {
+        Context {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(Dimension, Value)> for Context {
+    fn extend<T: IntoIterator<Item = (Dimension, Value)>>(&mut self, iter: T) {
+        self.values.extend(iter);
+    }
+}
+
+/// Incremental builder for [`Context`].
+#[derive(Debug, Clone, Default)]
+pub struct ContextBuilder {
+    values: BTreeMap<Dimension, Value>,
+}
+
+impl ContextBuilder {
+    /// Assigns a value to a dimension.
+    pub fn set(mut self, dim: Dimension, value: Value) -> Self {
+        self.values.insert(dim, value);
+        self
+    }
+
+    /// Finishes building.
+    pub fn build(self) -> Context {
+        Context {
+            values: self.values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_get() {
+        let ctx = Context::builder()
+            .set(Dimension::new("weather"), Value::category("rain"))
+            .set(Dimension::new("speed_limit_kmh"), Value::number(50.0))
+            .build();
+        assert_eq!(
+            ctx.get(&Dimension::new("weather")),
+            Some(&Value::category("rain"))
+        );
+        assert_eq!(ctx.get(&Dimension::new("absent")), None);
+        assert!(!ctx.is_empty());
+    }
+
+    #[test]
+    fn set_replaces() {
+        let mut ctx = Context::new();
+        assert_eq!(
+            ctx.set(Dimension::new("zone"), Value::category("urban")),
+            None
+        );
+        let old = ctx.set(Dimension::new("zone"), Value::category("school"));
+        assert_eq!(old, Some(Value::category("urban")));
+        assert_eq!(ctx.len(), 1);
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::category("x").as_category(), Some("x"));
+        assert_eq!(Value::category("x").as_number(), None);
+        assert_eq!(Value::number(2.0).as_number(), Some(2.0));
+        assert_eq!(Value::number(2.0).as_category(), None);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let ctx: Context = [
+            (Dimension::new("a"), Value::number(1.0)),
+            (Dimension::new("b"), Value::number(2.0)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(ctx.len(), 2);
+    }
+
+    #[test]
+    fn display_is_sorted_and_readable() {
+        let ctx = Context::builder()
+            .set(Dimension::new("b"), Value::number(2.0))
+            .set(Dimension::new("a"), Value::category("x"))
+            .build();
+        assert_eq!(ctx.to_string(), "{a=x, b=2}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let ctx = Context::builder()
+            .set(Dimension::new("zone"), Value::category("urban"))
+            .build();
+        let back: Context = serde_json::from_str(&serde_json::to_string(&ctx).unwrap()).unwrap();
+        assert_eq!(ctx, back);
+    }
+}

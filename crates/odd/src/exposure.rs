@@ -1,0 +1,453 @@
+//! Context-dependent exposure: situational rates as a runtime lookup.
+//!
+//! Sec. II-B.4 of the paper: "The frequency of many situational conditions
+//! of the real world are very dependent on time and place. ... It would be
+//! natural to allow the ADS to get applicable data for its current context,
+//! rather than statically do such coding in a HARA."
+//!
+//! An [`ExposureModel`] holds a base rate per situational factor plus a list
+//! of conditional modifiers. Querying with a concrete [`Context`] applies
+//! every matching modifier multiplicatively, so "pedestrian crossings are
+//! 8× more frequent in school zones at school hours" is one rule, not a
+//! re-coded HARA.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use qrn_units::Frequency;
+
+use crate::attribute::{Constraint, Dimension};
+use crate::context::Context;
+
+/// A named situational factor whose occurrence rate the model tracks,
+/// e.g. `pedestrian_crossing`, `lead_hard_brake`, `animal_crossing`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SituationalFactor(String);
+
+impl SituationalFactor {
+    /// Creates a factor with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        SituationalFactor(name.into())
+    }
+
+    /// The factor's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for SituationalFactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for SituationalFactor {
+    fn from(s: &str) -> Self {
+        SituationalFactor::new(s)
+    }
+}
+
+/// A conditional multiplier on one factor's base rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Modifier {
+    /// The factor whose rate is modified.
+    pub factor: SituationalFactor,
+    /// The context conditions under which the modifier applies (all must
+    /// hold; a dimension missing from the context does not match).
+    pub conditions: BTreeMap<Dimension, Constraint>,
+    /// The multiplicative effect on the base rate (≥ 0).
+    pub multiplier: f64,
+}
+
+impl Modifier {
+    /// Returns `true` when every condition holds in `ctx`.
+    pub fn matches(&self, ctx: &Context) -> bool {
+        self.conditions
+            .iter()
+            .all(|(dim, c)| ctx.get(dim).is_some_and(|v| c.allows(v)))
+    }
+}
+
+/// Error constructing an exposure model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExposureError {
+    /// A modifier multiplier was negative or not finite.
+    InvalidMultiplier {
+        /// The offending multiplier.
+        value: f64,
+    },
+    /// A modifier referenced a factor with no base rate.
+    UnknownFactor {
+        /// Name of the unknown factor.
+        factor: String,
+    },
+}
+
+impl fmt::Display for ExposureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExposureError::InvalidMultiplier { value } => {
+                write!(
+                    f,
+                    "modifier multiplier must be finite and non-negative, got {value}"
+                )
+            }
+            ExposureError::UnknownFactor { factor } => {
+                write!(f, "modifier references factor {factor} with no base rate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExposureError {}
+
+/// Context-dependent situational rates.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_odd::attribute::{Constraint, Dimension};
+/// use qrn_odd::context::{Context, Value};
+/// use qrn_odd::exposure::{ExposureModel, SituationalFactor};
+/// use qrn_units::Frequency;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ped = SituationalFactor::new("pedestrian_crossing");
+/// let model = ExposureModel::builder()
+///     .base_rate(ped.clone(), Frequency::per_hour(2.0)?)
+///     .modifier(ped.clone(), [(Dimension::new("zone"), Constraint::any_of(["school"]))], 8.0)?
+///     .build()?;
+///
+/// let school = Context::builder()
+///     .set(Dimension::new("zone"), Value::category("school"))
+///     .build();
+/// assert!((model.rate(&ped, &school).unwrap().as_per_hour() - 16.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExposureModel {
+    base: BTreeMap<SituationalFactor, Frequency>,
+    modifiers: Vec<Modifier>,
+}
+
+impl ExposureModel {
+    /// Starts building a model.
+    pub fn builder() -> ExposureModelBuilder {
+        ExposureModelBuilder::default()
+    }
+
+    /// The factors this model knows about, in name order.
+    pub fn factors(&self) -> impl Iterator<Item = &SituationalFactor> {
+        self.base.keys()
+    }
+
+    /// The base (context-free) rate of a factor, if known.
+    pub fn base_rate(&self, factor: &SituationalFactor) -> Option<Frequency> {
+        self.base.get(factor).copied()
+    }
+
+    /// The effective rate of `factor` in `ctx`: base rate times every
+    /// matching modifier. Returns `None` for an unknown factor.
+    pub fn rate(&self, factor: &SituationalFactor, ctx: &Context) -> Option<Frequency> {
+        let base = self.base.get(factor)?;
+        let multiplier: f64 = self
+            .modifiers
+            .iter()
+            .filter(|m| &m.factor == factor && m.matches(ctx))
+            .map(|m| m.multiplier)
+            .product();
+        Some(
+            base.scaled(multiplier)
+                .expect("multiplier validated at construction"),
+        )
+    }
+
+    /// All factor rates in `ctx`, in factor order.
+    pub fn rates(&self, ctx: &Context) -> BTreeMap<SituationalFactor, Frequency> {
+        self.base
+            .keys()
+            .map(|f| {
+                let rate = self.rate(f, ctx).expect("factor is known");
+                (f.clone(), rate)
+            })
+            .collect()
+    }
+
+    /// A sound **upper bound** on the factor's rate over every context
+    /// inside `odd` — the design-time number an allocation must be
+    /// feasible against, because "the safety case needs to be valid inside
+    /// the entire ODD regardless of where, when, and how the feature is
+    /// used" (paper Sec. III-A).
+    ///
+    /// The bound multiplies the base rate by every amplifying modifier
+    /// (multiplier > 1) whose conditions are *satisfiable* inside the ODD,
+    /// and by no attenuating modifier. Joint satisfiability across
+    /// modifiers is not solved exactly, so the bound can be conservative —
+    /// never optimistic.
+    ///
+    /// Returns `None` for an unknown factor.
+    pub fn worst_case_rate(
+        &self,
+        factor: &SituationalFactor,
+        odd: &crate::spec::OddSpec,
+    ) -> Option<Frequency> {
+        let base = self.base.get(factor)?;
+        let multiplier: f64 = self
+            .modifiers
+            .iter()
+            .filter(|m| &m.factor == factor && m.multiplier > 1.0)
+            .filter(|m| {
+                m.conditions.iter().all(|(dim, condition)| {
+                    match odd.constraint(dim) {
+                        // The ODD does not constrain this dimension: some
+                        // context inside the ODD can satisfy the condition.
+                        None => true,
+                        // Satisfiable iff the constraint intersection is
+                        // non-empty (kind mismatches are unsatisfiable).
+                        Some(odd_constraint) => odd_constraint.intersect(condition).is_ok(),
+                    }
+                })
+            })
+            .map(|m| m.multiplier)
+            .product();
+        Some(
+            base.scaled(multiplier)
+                .expect("multiplier validated at construction"),
+        )
+    }
+}
+
+/// Incremental builder for [`ExposureModel`].
+#[derive(Debug, Clone, Default)]
+pub struct ExposureModelBuilder {
+    base: BTreeMap<SituationalFactor, Frequency>,
+    modifiers: Vec<Modifier>,
+}
+
+impl ExposureModelBuilder {
+    /// Sets the base rate for a factor.
+    pub fn base_rate(mut self, factor: SituationalFactor, rate: Frequency) -> Self {
+        self.base.insert(factor, rate);
+        self
+    }
+
+    /// Adds a conditional modifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExposureError::InvalidMultiplier`] for a negative or
+    /// non-finite multiplier.
+    pub fn modifier<I>(
+        mut self,
+        factor: SituationalFactor,
+        conditions: I,
+        multiplier: f64,
+    ) -> Result<Self, ExposureError>
+    where
+        I: IntoIterator<Item = (Dimension, Constraint)>,
+    {
+        if !(multiplier.is_finite() && multiplier >= 0.0) {
+            return Err(ExposureError::InvalidMultiplier { value: multiplier });
+        }
+        self.modifiers.push(Modifier {
+            factor,
+            conditions: conditions.into_iter().collect(),
+            multiplier,
+        });
+        Ok(self)
+    }
+
+    /// Finishes building, checking that every modifier's factor has a base
+    /// rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExposureError::UnknownFactor`] for a dangling modifier.
+    pub fn build(self) -> Result<ExposureModel, ExposureError> {
+        for m in &self.modifiers {
+            if !self.base.contains_key(&m.factor) {
+                return Err(ExposureError::UnknownFactor {
+                    factor: m.factor.name().to_string(),
+                });
+            }
+        }
+        Ok(ExposureModel {
+            base: self.base,
+            modifiers: self.modifiers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Value;
+
+    fn ped() -> SituationalFactor {
+        SituationalFactor::new("pedestrian_crossing")
+    }
+
+    fn dim(s: &str) -> Dimension {
+        Dimension::new(s)
+    }
+
+    fn fph(x: f64) -> Frequency {
+        Frequency::per_hour(x).unwrap()
+    }
+
+    fn model() -> ExposureModel {
+        ExposureModel::builder()
+            .base_rate(ped(), fph(2.0))
+            .base_rate(SituationalFactor::new("animal_crossing"), fph(0.01))
+            .modifier(ped(), [(dim("zone"), Constraint::any_of(["school"]))], 8.0)
+            .unwrap()
+            .modifier(
+                ped(),
+                [(dim("hour"), Constraint::range(0.0, 5.0).unwrap())],
+                0.1,
+            )
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn base_rate_without_matching_modifiers() {
+        let m = model();
+        let ctx = Context::builder()
+            .set(dim("zone"), Value::category("suburb"))
+            .build();
+        assert_eq!(m.rate(&ped(), &ctx), Some(fph(2.0)));
+    }
+
+    #[test]
+    fn matching_modifier_multiplies() {
+        let m = model();
+        let ctx = Context::builder()
+            .set(dim("zone"), Value::category("school"))
+            .build();
+        assert!((m.rate(&ped(), &ctx).unwrap().as_per_hour() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiple_modifiers_compose_multiplicatively() {
+        let m = model();
+        let ctx = Context::builder()
+            .set(dim("zone"), Value::category("school"))
+            .set(dim("hour"), Value::number(3.0))
+            .build();
+        // 2.0 * 8.0 * 0.1 = 1.6
+        assert!((m.rate(&ped(), &ctx).unwrap().as_per_hour() - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_context_dimension_does_not_match() {
+        let m = model();
+        let ctx = Context::new();
+        assert_eq!(m.rate(&ped(), &ctx), Some(fph(2.0)));
+    }
+
+    #[test]
+    fn unknown_factor_is_none() {
+        let m = model();
+        assert_eq!(
+            m.rate(&SituationalFactor::new("nope"), &Context::new()),
+            None
+        );
+    }
+
+    #[test]
+    fn builder_rejects_bad_multiplier() {
+        let err = ExposureModel::builder()
+            .base_rate(ped(), fph(1.0))
+            .modifier(ped(), [], -2.0);
+        assert!(matches!(err, Err(ExposureError::InvalidMultiplier { .. })));
+    }
+
+    #[test]
+    fn builder_rejects_dangling_modifier() {
+        let err = ExposureModel::builder()
+            .modifier(ped(), [], 2.0)
+            .unwrap()
+            .build();
+        assert!(matches!(err, Err(ExposureError::UnknownFactor { .. })));
+    }
+
+    #[test]
+    fn rates_lists_every_factor() {
+        let m = model();
+        let rates = m.rates(&Context::new());
+        assert_eq!(rates.len(), 2);
+        assert_eq!(rates.get(&ped()), Some(&fph(2.0)));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = model();
+        let back: ExposureModel =
+            serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn worst_case_over_unconstrained_odd_takes_all_amplifiers() {
+        use crate::spec::OddSpec;
+        let m = model();
+        // Amplifier x8 applies (school reachable); attenuator x0.1 ignored.
+        let bound = m.worst_case_rate(&ped(), &OddSpec::new()).unwrap();
+        assert!((bound.as_per_hour() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_case_respects_odd_restrictions() {
+        use crate::spec::OddSpec;
+        let m = model();
+        // An ODD excluding school zones: the x8 modifier is unsatisfiable.
+        let no_school = OddSpec::builder()
+            .constrain(dim("zone"), Constraint::any_of(["residential", "arterial"]))
+            .build();
+        let bound = m.worst_case_rate(&ped(), &no_school).unwrap();
+        assert!((bound.as_per_hour() - 2.0).abs() < 1e-9);
+        // An ODD including school zones keeps the amplifier.
+        let with_school = OddSpec::builder()
+            .constrain(dim("zone"), Constraint::any_of(["school", "arterial"]))
+            .build();
+        let bound = m.worst_case_rate(&ped(), &with_school).unwrap();
+        assert!((bound.as_per_hour() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_case_upper_bounds_every_context_inside_the_odd() {
+        use crate::spec::OddSpec;
+        let m = model();
+        let odd = OddSpec::builder()
+            .constrain(dim("zone"), Constraint::any_of(["school", "residential"]))
+            .constrain(dim("hour"), Constraint::range(6.0, 20.0).unwrap())
+            .build();
+        let bound = m.worst_case_rate(&ped(), &odd).unwrap();
+        for zone in ["school", "residential"] {
+            for hour in [6.0, 12.0, 20.0] {
+                let ctx = Context::builder()
+                    .set(dim("zone"), Value::category(zone))
+                    .set(dim("hour"), Value::number(hour))
+                    .build();
+                assert!(odd.contains(&ctx).is_inside());
+                let rate = m.rate(&ped(), &ctx).unwrap();
+                assert!(rate <= bound, "{zone}@{hour}: {rate} > bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_unknown_factor_is_none() {
+        use crate::spec::OddSpec;
+        assert_eq!(
+            model().worst_case_rate(&SituationalFactor::new("nope"), &OddSpec::new()),
+            None
+        );
+    }
+}

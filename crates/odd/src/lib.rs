@@ -1,0 +1,59 @@
+//! Operational design domain (ODD) modelling for the QRN toolkit.
+//!
+//! The paper's safety argument is confined by the ODD: "we do not restrict
+//! the use of the ADS other than the ODD limits, the safety case needs to be
+//! valid inside the entire ODD regardless of where, when, and how the
+//! feature is used" (Sec. III-A). Two consequences drive this crate's
+//! design:
+//!
+//! 1. **The ODD is a first-class, manipulable object.** Defining a feature
+//!    variant, easing a difficult verification task, or handling a product
+//!    line all amount to *restricting* an [`OddSpec`] (Sec. IV: "adjusting
+//!    critical ODD parameters to ease difficult verification tasks").
+//! 2. **Exposure is contextual, not a design-time constant.** Sec. II-B.4
+//!    argues the frequency of situational conditions (snow, pedestrians
+//!    crossing) varies in time and space, so instead of hard-coding one
+//!    exposure in a HARA, the ADS "gets applicable data for its current
+//!    context". The [`exposure::ExposureModel`] is exactly that lookup:
+//!    driving context in, situational rates out.
+//!
+//! # Examples
+//!
+//! ```
+//! use qrn_odd::attribute::{Constraint, Dimension};
+//! use qrn_odd::context::{Context, Value};
+//! use qrn_odd::spec::OddSpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let odd = OddSpec::builder()
+//!     .constrain(Dimension::new("road_type"), Constraint::any_of(["urban", "suburban"]))
+//!     .constrain(Dimension::new("speed_limit_kmh"), Constraint::range(0.0, 60.0)?)
+//!     .build();
+//!
+//! let ctx = Context::builder()
+//!     .set(Dimension::new("road_type"), Value::category("urban"))
+//!     .set(Dimension::new("speed_limit_kmh"), Value::number(50.0))
+//!     .build();
+//!
+//! assert!(odd.contains(&ctx).is_inside());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attribute;
+pub mod context;
+pub mod exposure;
+pub mod monitor;
+pub mod spec;
+
+pub use attribute::{Constraint, Dimension};
+pub use context::{Context, Value};
+pub use exposure::{ExposureModel, SituationalFactor};
+pub use monitor::OddMonitor;
+pub use spec::{Containment, OddSpec};
+
+#[cfg(test)]
+mod proptests;

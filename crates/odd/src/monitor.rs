@@ -1,0 +1,174 @@
+//! Runtime ODD monitoring: tracking whether operation stays inside the ODD.
+//!
+//! The safety case is only valid inside the ODD, so the realized system must
+//! know — with quantified coverage — how much of its operating time was
+//! actually inside. The monitor accumulates in/out durations and exit
+//! events, which feed the exposure denominator of every measured incident
+//! rate (time outside the ODD must not count as demonstrating exposure).
+
+use serde::{Deserialize, Serialize};
+
+use qrn_units::Hours;
+
+use crate::context::Context;
+use crate::spec::OddSpec;
+
+/// Accumulates ODD containment over a drive.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_odd::attribute::{Constraint, Dimension};
+/// use qrn_odd::context::{Context, Value};
+/// use qrn_odd::monitor::OddMonitor;
+/// use qrn_odd::spec::OddSpec;
+/// use qrn_units::Hours;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let odd = OddSpec::builder()
+///     .constrain(Dimension::new("weather"), Constraint::any_of(["dry"]))
+///     .build();
+/// let mut monitor = OddMonitor::new(odd);
+///
+/// let dry = Context::builder().set(Dimension::new("weather"), Value::category("dry")).build();
+/// let rain = Context::builder().set(Dimension::new("weather"), Value::category("rain")).build();
+///
+/// monitor.observe(&dry, Hours::new(2.0)?);
+/// monitor.observe(&rain, Hours::new(1.0)?);
+/// monitor.observe(&dry, Hours::new(1.0)?);
+///
+/// assert_eq!(monitor.exits(), 1);
+/// assert!((monitor.inside_fraction().unwrap() - 0.75).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OddMonitor {
+    spec: OddSpec,
+    inside: Hours,
+    outside: Hours,
+    exits: u64,
+    /// Whether the previous observation was inside (None before the first).
+    was_inside: Option<bool>,
+}
+
+impl OddMonitor {
+    /// Creates a monitor for the given ODD.
+    pub fn new(spec: OddSpec) -> Self {
+        OddMonitor {
+            spec,
+            inside: Hours::ZERO,
+            outside: Hours::ZERO,
+            exits: 0,
+            was_inside: None,
+        }
+    }
+
+    /// The monitored ODD.
+    pub fn spec(&self) -> &OddSpec {
+        &self.spec
+    }
+
+    /// Records `duration` spent in `ctx`. Returns `true` when the context
+    /// was inside the ODD.
+    pub fn observe(&mut self, ctx: &Context, duration: Hours) -> bool {
+        let inside = self.spec.contains(ctx).is_inside();
+        if inside {
+            self.inside = self.inside + duration;
+        } else {
+            self.outside = self.outside + duration;
+            if self.was_inside == Some(true) {
+                self.exits += 1;
+            }
+        }
+        self.was_inside = Some(inside);
+        inside
+    }
+
+    /// Total time observed inside the ODD.
+    pub fn inside_time(&self) -> Hours {
+        self.inside
+    }
+
+    /// Total time observed outside the ODD.
+    pub fn outside_time(&self) -> Hours {
+        self.outside
+    }
+
+    /// Number of inside→outside transitions seen.
+    pub fn exits(&self) -> u64 {
+        self.exits
+    }
+
+    /// Fraction of observed time spent inside, or `None` before any
+    /// observation.
+    pub fn inside_fraction(&self) -> Option<f64> {
+        let total = self.inside.value() + self.outside.value();
+        if total == 0.0 {
+            None
+        } else {
+            Some(self.inside.value() / total)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::{Constraint, Dimension};
+    use crate::context::Value;
+
+    fn odd() -> OddSpec {
+        OddSpec::builder()
+            .constrain(Dimension::new("weather"), Constraint::any_of(["dry"]))
+            .build()
+    }
+
+    fn ctx(weather: &str) -> Context {
+        Context::builder()
+            .set(Dimension::new("weather"), Value::category(weather))
+            .build()
+    }
+
+    fn h(x: f64) -> Hours {
+        Hours::new(x).unwrap()
+    }
+
+    #[test]
+    fn fresh_monitor_has_no_data() {
+        let m = OddMonitor::new(odd());
+        assert_eq!(m.inside_fraction(), None);
+        assert_eq!(m.exits(), 0);
+    }
+
+    #[test]
+    fn accumulates_inside_and_outside() {
+        let mut m = OddMonitor::new(odd());
+        assert!(m.observe(&ctx("dry"), h(3.0)));
+        assert!(!m.observe(&ctx("rain"), h(1.0)));
+        assert_eq!(m.inside_time(), h(3.0));
+        assert_eq!(m.outside_time(), h(1.0));
+        assert!((m.inside_fraction().unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exit_counting_only_on_transition() {
+        let mut m = OddMonitor::new(odd());
+        m.observe(&ctx("rain"), h(1.0)); // starts outside: not an exit
+        assert_eq!(m.exits(), 0);
+        m.observe(&ctx("dry"), h(1.0));
+        m.observe(&ctx("rain"), h(1.0)); // exit 1
+        m.observe(&ctx("rain"), h(1.0)); // still outside: no new exit
+        m.observe(&ctx("dry"), h(1.0));
+        m.observe(&ctx("rain"), h(1.0)); // exit 2
+        assert_eq!(m.exits(), 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut m = OddMonitor::new(odd());
+        m.observe(&ctx("dry"), h(1.0));
+        let back: OddMonitor = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the ODD algebra.
+
+use proptest::prelude::*;
+
+use crate::attribute::{Constraint, Dimension};
+use crate::context::{Context, Value};
+use crate::spec::OddSpec;
+
+const CATEGORIES: [&str; 5] = ["urban", "suburban", "rural", "highway", "school"];
+const DIMENSIONS: [&str; 3] = ["road", "weather", "speed"];
+
+fn constraint() -> impl Strategy<Value = Constraint> {
+    prop_oneof![
+        proptest::collection::btree_set(proptest::sample::select(CATEGORIES.to_vec()), 1..4)
+            .prop_map(|set| Constraint::any_of(set.into_iter())),
+        (0.0f64..100.0, 0.0f64..100.0)
+            .prop_map(|(a, b)| { Constraint::range(a.min(b), a.max(b)).expect("ordered bounds") }),
+    ]
+}
+
+fn spec() -> impl Strategy<Value = OddSpec> {
+    proptest::collection::vec(
+        (proptest::sample::select(DIMENSIONS.to_vec()), constraint()),
+        0..3,
+    )
+    .prop_map(|entries| {
+        let mut builder = OddSpec::builder();
+        for (dim, c) in entries {
+            builder = builder.constrain(Dimension::new(dim), c);
+        }
+        builder.build()
+    })
+}
+
+fn context() -> impl Strategy<Value = Context> {
+    proptest::collection::vec(
+        (
+            proptest::sample::select(DIMENSIONS.to_vec()),
+            prop_oneof![
+                proptest::sample::select(CATEGORIES.to_vec()).prop_map(Value::category),
+                (0.0f64..100.0).prop_map(Value::number),
+            ],
+        ),
+        0..4,
+    )
+    .prop_map(|entries| {
+        let mut builder = Context::builder();
+        for (dim, v) in entries {
+            builder = builder.set(Dimension::new(dim), v);
+        }
+        builder.build()
+    })
+}
+
+proptest! {
+    /// Restriction only removes contexts, never adds them.
+    #[test]
+    fn restriction_shrinks(s in spec(), dim in proptest::sample::select(DIMENSIONS.to_vec()), c in constraint(), ctx in context()) {
+        if let Ok(restricted) = s.restricted(Dimension::new(dim), c) {
+            prop_assert!(restricted.is_subset_of(&s));
+            // semantic containment agrees with the subset relation
+            if restricted.contains(&ctx).is_inside() {
+                prop_assert!(s.contains(&ctx).is_inside());
+            }
+        }
+    }
+
+    /// Subset relation is reflexive and transitive with intersection.
+    #[test]
+    fn intersection_is_lower_bound(a in spec(), b in spec(), ctx in context()) {
+        prop_assert!(a.is_subset_of(&a));
+        if let Ok(i) = a.intersect(&b) {
+            prop_assert!(i.is_subset_of(&a));
+            prop_assert!(i.is_subset_of(&b));
+            // a context inside the intersection is inside both
+            if i.contains(&ctx).is_inside() {
+                prop_assert!(a.contains(&ctx).is_inside());
+                prop_assert!(b.contains(&ctx).is_inside());
+            }
+            // and conversely
+            if a.contains(&ctx).is_inside() && b.contains(&ctx).is_inside() {
+                prop_assert!(i.contains(&ctx).is_inside());
+            }
+        }
+    }
+
+    /// The unconstrained ODD contains everything and is a superset of all.
+    #[test]
+    fn unconstrained_is_top(s in spec(), ctx in context()) {
+        let top = OddSpec::new();
+        prop_assert!(top.contains(&ctx).is_inside());
+        prop_assert!(s.is_subset_of(&top));
+    }
+
+    /// Containment reports exactly the violated dimensions.
+    #[test]
+    fn violations_are_sound(s in spec(), ctx in context()) {
+        let result = s.contains(&ctx);
+        for (dim, constraint) in s.iter() {
+            let violated = result.violations().contains_key(dim);
+            let satisfied = ctx.get(dim).is_some_and(|v| constraint.allows(v));
+            prop_assert_eq!(violated, !satisfied);
+        }
+        prop_assert_eq!(result.is_inside(), result.violations().is_empty());
+    }
+
+    /// Constraint subset ordering agrees with `allows` semantics on the
+    /// sampled values.
+    #[test]
+    fn constraint_subset_semantics(a in constraint(), b in constraint(), ctx in context()) {
+        if a.is_subset_of(&b) {
+            for (_, v) in ctx.iter() {
+                if a.allows(v) {
+                    prop_assert!(b.allows(v));
+                }
+            }
+        }
+    }
+}

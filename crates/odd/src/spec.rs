@@ -1,0 +1,347 @@
+//! ODD specifications: which contexts the feature promises to handle.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::attribute::{Constraint, ConstraintError, Dimension};
+use crate::context::Context;
+
+/// Why a context falls outside an ODD, per dimension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Violation {
+    /// The context does not assign this constrained dimension at all.
+    ///
+    /// A missing value is treated as a violation: the safety case can only
+    /// rely on conditions the system has positively established
+    /// (Sec. IV — integrity of situational information must be high enough
+    /// before tactical decisions may rely on it).
+    Unknown,
+    /// The context's value falls outside the constraint.
+    Outside {
+        /// The value the context actually had, rendered for reporting.
+        actual: String,
+        /// The constraint that was violated, rendered for reporting.
+        allowed: String,
+    },
+}
+
+/// The result of checking a context against an ODD.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Containment {
+    violations: BTreeMap<Dimension, Violation>,
+}
+
+impl Containment {
+    /// Returns `true` when the context satisfies every constraint.
+    pub fn is_inside(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The violated dimensions with reasons, empty when inside.
+    pub fn violations(&self) -> &BTreeMap<Dimension, Violation> {
+        &self.violations
+    }
+}
+
+/// An operational design domain: a conjunction of per-dimension constraints.
+///
+/// Any dimension not mentioned is unconstrained. The subset relation,
+/// intersection and restriction operators let a safety organisation carve
+/// variant ODDs out of a master ODD while preserving the containment
+/// guarantee (anything inside a restricted ODD is inside the original).
+///
+/// # Examples
+///
+/// ```
+/// use qrn_odd::attribute::{Constraint, Dimension};
+/// use qrn_odd::spec::OddSpec;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let master = OddSpec::builder()
+///     .constrain(Dimension::new("speed_limit_kmh"), Constraint::range(0.0, 120.0)?)
+///     .build();
+/// let city = master.restricted(
+///     Dimension::new("speed_limit_kmh"),
+///     Constraint::range(0.0, 60.0)?,
+/// )?;
+/// assert!(city.is_subset_of(&master));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct OddSpec {
+    constraints: BTreeMap<Dimension, Constraint>,
+}
+
+impl OddSpec {
+    /// Creates an unconstrained ODD (contains every context).
+    pub fn new() -> Self {
+        OddSpec::default()
+    }
+
+    /// Starts building an ODD.
+    pub fn builder() -> OddSpecBuilder {
+        OddSpecBuilder::default()
+    }
+
+    /// The constraint on `dim`, if any.
+    pub fn constraint(&self, dim: &Dimension) -> Option<&Constraint> {
+        self.constraints.get(dim)
+    }
+
+    /// Iterates over `(dimension, constraint)` pairs in dimension order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Dimension, &Constraint)> {
+        self.constraints.iter()
+    }
+
+    /// Number of constrained dimensions.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Returns `true` when no dimension is constrained.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Checks a context against the ODD, reporting every violation.
+    pub fn contains(&self, ctx: &Context) -> Containment {
+        let mut violations = BTreeMap::new();
+        for (dim, constraint) in &self.constraints {
+            match ctx.get(dim) {
+                None => {
+                    violations.insert(dim.clone(), Violation::Unknown);
+                }
+                Some(value) => {
+                    if !constraint.allows(value) {
+                        violations.insert(
+                            dim.clone(),
+                            Violation::Outside {
+                                actual: value.to_string(),
+                                allowed: constraint.to_string(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        Containment { violations }
+    }
+
+    /// Returns a new ODD with `constraint` added on `dim`, intersected with
+    /// any existing constraint on that dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConstraintError`] when the intersection is empty or the
+    /// constraint kinds mismatch.
+    pub fn restricted(
+        &self,
+        dim: Dimension,
+        constraint: Constraint,
+    ) -> Result<OddSpec, ConstraintError> {
+        let mut out = self.clone();
+        let combined = match out.constraints.get(&dim) {
+            Some(existing) => existing.intersect(&constraint)?,
+            None => constraint,
+        };
+        out.constraints.insert(dim, combined);
+        Ok(out)
+    }
+
+    /// Intersects two ODDs dimension-wise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConstraintError`] when some dimension's intersection is
+    /// empty or kinds mismatch.
+    pub fn intersect(&self, other: &OddSpec) -> Result<OddSpec, ConstraintError> {
+        let mut out = self.clone();
+        for (dim, constraint) in &other.constraints {
+            out = out.restricted(dim.clone(), constraint.clone())?;
+        }
+        Ok(out)
+    }
+
+    /// Returns `true` when every context inside `self` is inside `other`.
+    ///
+    /// `self` is a subset when, for every dimension `other` constrains,
+    /// `self` constrains it at least as tightly.
+    pub fn is_subset_of(&self, other: &OddSpec) -> bool {
+        other.constraints.iter().all(|(dim, theirs)| {
+            self.constraints
+                .get(dim)
+                .is_some_and(|ours| ours.is_subset_of(theirs))
+        })
+    }
+}
+
+impl fmt::Display for OddSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.constraints.is_empty() {
+            return f.write_str("ODD{unconstrained}");
+        }
+        let parts: Vec<String> = self
+            .constraints
+            .iter()
+            .map(|(d, c)| format!("{d} in {c}"))
+            .collect();
+        write!(f, "ODD{{{}}}", parts.join("; "))
+    }
+}
+
+/// Incremental builder for [`OddSpec`].
+#[derive(Debug, Clone, Default)]
+pub struct OddSpecBuilder {
+    constraints: BTreeMap<Dimension, Constraint>,
+}
+
+impl OddSpecBuilder {
+    /// Constrains a dimension, replacing any prior constraint on it.
+    pub fn constrain(mut self, dim: Dimension, constraint: Constraint) -> Self {
+        self.constraints.insert(dim, constraint);
+        self
+    }
+
+    /// Finishes building.
+    pub fn build(self) -> OddSpec {
+        OddSpec {
+            constraints: self.constraints,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Value;
+
+    fn dim(s: &str) -> Dimension {
+        Dimension::new(s)
+    }
+
+    fn city_odd() -> OddSpec {
+        OddSpec::builder()
+            .constrain(dim("road_type"), Constraint::any_of(["urban", "suburban"]))
+            .constrain(
+                dim("speed_limit_kmh"),
+                Constraint::range(0.0, 60.0).unwrap(),
+            )
+            .build()
+    }
+
+    #[test]
+    fn unconstrained_contains_everything() {
+        let odd = OddSpec::new();
+        assert!(odd.contains(&Context::new()).is_inside());
+        assert!(odd.is_empty());
+    }
+
+    #[test]
+    fn contains_checks_each_dimension() {
+        let odd = city_odd();
+        let inside = Context::builder()
+            .set(dim("road_type"), Value::category("urban"))
+            .set(dim("speed_limit_kmh"), Value::number(50.0))
+            .build();
+        assert!(odd.contains(&inside).is_inside());
+
+        let outside = Context::builder()
+            .set(dim("road_type"), Value::category("highway"))
+            .set(dim("speed_limit_kmh"), Value::number(110.0))
+            .build();
+        let result = odd.contains(&outside);
+        assert!(!result.is_inside());
+        assert_eq!(result.violations().len(), 2);
+    }
+
+    #[test]
+    fn missing_dimension_is_a_violation() {
+        let odd = city_odd();
+        let partial = Context::builder()
+            .set(dim("road_type"), Value::category("urban"))
+            .build();
+        let result = odd.contains(&partial);
+        assert!(!result.is_inside());
+        assert_eq!(
+            result.violations().get(&dim("speed_limit_kmh")),
+            Some(&Violation::Unknown)
+        );
+    }
+
+    #[test]
+    fn restriction_narrows_and_preserves_subset() {
+        let odd = city_odd();
+        let school = odd
+            .restricted(
+                dim("speed_limit_kmh"),
+                Constraint::range(0.0, 30.0).unwrap(),
+            )
+            .unwrap();
+        assert!(school.is_subset_of(&odd));
+        assert!(!odd.is_subset_of(&school));
+        // restriction on a fresh dimension also narrows
+        let dry_only = odd
+            .restricted(dim("weather"), Constraint::any_of(["dry"]))
+            .unwrap();
+        assert!(dry_only.is_subset_of(&odd));
+    }
+
+    #[test]
+    fn restriction_to_empty_fails() {
+        let odd = city_odd();
+        let err = odd.restricted(
+            dim("speed_limit_kmh"),
+            Constraint::range(100.0, 120.0).unwrap(),
+        );
+        assert_eq!(err, Err(ConstraintError::EmptyIntersection));
+    }
+
+    #[test]
+    fn intersect_combines_dimensions() {
+        let a = OddSpec::builder()
+            .constrain(dim("weather"), Constraint::any_of(["dry", "wet"]))
+            .build();
+        let b = OddSpec::builder()
+            .constrain(dim("weather"), Constraint::any_of(["wet", "snow"]))
+            .constrain(dim("lighting"), Constraint::any_of(["day"]))
+            .build();
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(
+            i.constraint(&dim("weather")),
+            Some(&Constraint::any_of(["wet"]))
+        );
+        assert!(i.constraint(&dim("lighting")).is_some());
+        assert!(i.is_subset_of(&a));
+        assert!(i.is_subset_of(&b));
+    }
+
+    #[test]
+    fn subset_requires_all_their_dimensions() {
+        // `self` unconstrained on a dimension `other` constrains -> not subset
+        let tight = city_odd();
+        let other = OddSpec::builder()
+            .constrain(dim("weather"), Constraint::any_of(["dry"]))
+            .build();
+        assert!(!tight.is_subset_of(&other));
+        // everything is a subset of the unconstrained ODD
+        assert!(tight.is_subset_of(&OddSpec::new()));
+    }
+
+    #[test]
+    fn display_lists_constraints() {
+        let text = city_odd().to_string();
+        assert!(text.contains("road_type"));
+        assert!(text.contains("speed_limit_kmh"));
+        assert_eq!(OddSpec::new().to_string(), "ODD{unconstrained}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let odd = city_odd();
+        let back: OddSpec = serde_json::from_str(&serde_json::to_string(&odd).unwrap()).unwrap();
+        assert_eq!(odd, back);
+    }
+}

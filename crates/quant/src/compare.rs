@@ -1,0 +1,253 @@
+//! Quantitative refinement versus ASIL decomposition: the Sec. V
+//! comparison, executable.
+//!
+//! The paper's drivable-area example: a requirement not to overestimate
+//! the VRU-free drivable area carries an ASIL-D-grade integrity target.
+//! Decomposing it into several *diverse, individually modest* perception
+//! channels gives each channel a rate "that in traditional ISO 26262 only
+//! would be in the QM range" — yet their redundant combination meets the
+//! vehicle-level target. The qualitative decomposition menu has no scheme
+//! "D → QM + QM + QM", so the same architecture cannot be credited
+//! qualitatively. This module computes both sides.
+
+use serde::{Deserialize, Serialize};
+
+use qrn_hara::asil::Asil;
+use qrn_hara::decomposition::valid_decompositions;
+use qrn_units::{Frequency, UnitError};
+
+use crate::element::Element;
+use crate::ftree::RateModel;
+
+/// The strictest ASIL whose indicative random-hardware-fault target the
+/// given rate meets, or `None` when the rate misses even the ASIL B/C
+/// target (i.e. it is "in the QM range" in the paper's informal sense —
+/// QM and ASIL A carry no numeric target).
+///
+/// # Examples
+///
+/// ```
+/// use qrn_hara::asil::Asil;
+/// use qrn_quant::compare::asil_equivalent;
+/// use qrn_units::Frequency;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// assert_eq!(asil_equivalent(Frequency::per_hour(5e-9)?), Some(Asil::D));
+/// assert_eq!(asil_equivalent(Frequency::per_hour(5e-8)?), Some(Asil::C));
+/// assert_eq!(asil_equivalent(Frequency::per_hour(1e-3)?), None);
+/// # Ok(())
+/// # }
+/// ```
+pub fn asil_equivalent(rate: Frequency) -> Option<Asil> {
+    // Walk from the strictest target down.
+    for asil in [Asil::D, Asil::C] {
+        let target = asil
+            .random_hw_fault_target()
+            .expect("D and C carry targets");
+        if rate <= target {
+            return Some(asil);
+        }
+    }
+    None
+}
+
+/// Returns `true` when repeated application of the ISO 26262-9
+/// decomposition schemes can turn a `parent` requirement into exactly the
+/// multiset `leaves` of decomposed requirements.
+///
+/// The search applies each permitted scheme recursively; `[parent]` itself
+/// is always reachable (no decomposition applied).
+///
+/// # Examples
+///
+/// ```
+/// use qrn_hara::asil::Asil;
+/// use qrn_quant::compare::can_decompose_to;
+///
+/// // D -> B(D) + B(D), then one B -> A(B) + A(B):
+/// assert!(can_decompose_to(Asil::D, &[Asil::B, Asil::A, Asil::A]));
+/// // but no chain ever reaches all-QM leaves:
+/// assert!(!can_decompose_to(Asil::D, &[Asil::QM, Asil::QM, Asil::QM]));
+/// ```
+pub fn can_decompose_to(parent: Asil, leaves: &[Asil]) -> bool {
+    let mut target = leaves.to_vec();
+    target.sort();
+    can_reach(parent, &target)
+}
+
+fn can_reach(parent: Asil, target: &[Asil]) -> bool {
+    if target == [parent] {
+        return true;
+    }
+    if target.len() < 2 {
+        return false;
+    }
+    // Try every permitted split of `parent` into (a, b), and every way of
+    // partitioning `target` into a sub-multiset reachable from `a` and the
+    // remainder reachable from `b`.
+    for (a, b) in valid_decompositions(parent) {
+        // Enumerate sub-multisets by bitmask (targets are small).
+        let n = target.len();
+        for mask in 1..(1u32 << n) - 1 {
+            let mut left = Vec::new();
+            let mut right = Vec::new();
+            for (i, &asil) in target.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    left.push(asil);
+                } else {
+                    right.push(asil);
+                }
+            }
+            if can_reach(a, &left) && can_reach(b, &right) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// The two-sided comparison for a redundant architecture of `n` identical
+/// channels against a vehicle-level budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecompositionComparison {
+    /// The vehicle-level violation budget (e.g. the ASIL D target).
+    pub budget: Frequency,
+    /// Per-channel violation rate.
+    pub channel_rate: Frequency,
+    /// Number of redundant channels.
+    pub channels: usize,
+    /// Composed rate of the redundant architecture.
+    pub combined_rate: Frequency,
+    /// Whether the quantitative composition meets the budget.
+    pub quantitative_ok: bool,
+    /// The ASIL-equivalent of a single channel's rate (None = "QM range").
+    pub channel_asil_equivalent: Option<Asil>,
+    /// Whether ISO 26262-9 decomposition can assign each channel an
+    /// integrity level matching its numeric rate (i.e. decompose an
+    /// ASIL-D-grade parent into `channels` copies of the channel's
+    /// equivalent level).
+    pub asil_decomposition_ok: bool,
+}
+
+/// Builds the comparison for `n` identical redundant channels.
+///
+/// # Errors
+///
+/// Returns [`UnitError`] when `n` is zero (an empty AND gate has violation
+/// probability 1).
+pub fn compare_redundancy(
+    budget: Frequency,
+    channel_rate: Frequency,
+    channels: usize,
+) -> Result<DecompositionComparison, UnitError> {
+    let arch = RateModel::all_of(
+        (0..channels)
+            .map(|i| RateModel::basic(Element::new(format!("channel-{i}"), channel_rate)))
+            .collect(),
+    );
+    let combined_rate = arch.rate()?;
+    let channel_asil_equivalent = asil_equivalent(channel_rate);
+    let parent = asil_equivalent(budget).unwrap_or(Asil::D);
+    // The qualitative route needs each channel to carry the level its rate
+    // "earns": QM-range channels mean all-QM leaves.
+    let leaves: Vec<Asil> = (0..channels)
+        .map(|_| channel_asil_equivalent.unwrap_or(Asil::QM))
+        .collect();
+    let asil_decomposition_ok = can_decompose_to(parent, &leaves);
+    Ok(DecompositionComparison {
+        budget,
+        channel_rate,
+        channels,
+        combined_rate,
+        quantitative_ok: combined_rate <= budget,
+        channel_asil_equivalent,
+        asil_decomposition_ok,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fph(x: f64) -> Frequency {
+        Frequency::per_hour(x).unwrap()
+    }
+
+    #[test]
+    fn asil_equivalents() {
+        assert_eq!(asil_equivalent(fph(1e-8)), Some(Asil::D));
+        assert_eq!(asil_equivalent(fph(1e-7)), Some(Asil::C));
+        assert_eq!(asil_equivalent(fph(2e-7)), None);
+        assert_eq!(asil_equivalent(fph(0.0)), Some(Asil::D));
+    }
+
+    #[test]
+    fn decomposition_reachability_matches_standard() {
+        // direct schemes
+        assert!(can_decompose_to(Asil::D, &[Asil::C, Asil::A]));
+        assert!(can_decompose_to(Asil::D, &[Asil::B, Asil::B]));
+        assert!(can_decompose_to(Asil::D, &[Asil::D, Asil::QM]));
+        // chained: D -> B+B -> (A+A)+B
+        assert!(can_decompose_to(Asil::D, &[Asil::A, Asil::A, Asil::B]));
+        // chained twice: D -> B+B -> A+A+A+A
+        assert!(can_decompose_to(
+            Asil::D,
+            &[Asil::A, Asil::A, Asil::A, Asil::A]
+        ));
+        // illegal
+        assert!(!can_decompose_to(Asil::D, &[Asil::A, Asil::A]));
+        assert!(!can_decompose_to(Asil::C, &[Asil::A, Asil::A]));
+        // trivial
+        assert!(can_decompose_to(Asil::B, &[Asil::B]));
+        assert!(!can_decompose_to(Asil::B, &[]));
+    }
+
+    #[test]
+    fn no_chain_reaches_all_qm() {
+        for parent in [Asil::A, Asil::B, Asil::C, Asil::D] {
+            for n in 1..=4 {
+                let leaves = vec![Asil::QM; n];
+                assert!(
+                    !can_decompose_to(parent, &leaves),
+                    "{parent} -> {n} x QM should be impossible"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drivable_area_example() {
+        // Three diverse channels at 1e-3/h against the ASIL D target.
+        let cmp = compare_redundancy(fph(1e-8), fph(1e-3), 3).unwrap();
+        assert!(
+            cmp.quantitative_ok,
+            "combined {} vs 1e-8",
+            cmp.combined_rate
+        );
+        assert_eq!(cmp.channel_asil_equivalent, None, "channels are QM-range");
+        assert!(
+            !cmp.asil_decomposition_ok,
+            "no qualitative scheme D -> QM+QM+QM exists"
+        );
+    }
+
+    #[test]
+    fn two_channels_at_qm_rates_do_not_meet_d() {
+        // 1e-3 * 1e-3 = 1e-6 > 1e-8: quantitative check honestly fails too.
+        let cmp = compare_redundancy(fph(1e-8), fph(1e-3), 2).unwrap();
+        assert!(!cmp.quantitative_ok);
+    }
+
+    #[test]
+    fn zero_channels_is_an_error() {
+        assert!(compare_redundancy(fph(1e-8), fph(1e-3), 0).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cmp = compare_redundancy(fph(1e-8), fph(1e-3), 3).unwrap();
+        let back: DecompositionComparison =
+            serde_json::from_str(&serde_json::to_string(&cmp).unwrap()).unwrap();
+        assert_eq!(cmp, back);
+    }
+}

@@ -1,0 +1,95 @@
+//! Architecture elements carrying violation-rate budgets.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use qrn_units::Frequency;
+
+/// An architecture element (sensing channel, prediction block, actuator
+/// path, software component) with the rate at which it violates its
+/// allocated safety requirement.
+///
+/// The rate is deliberately *cause-agnostic*: systematic software faults,
+/// random hardware faults and sensor performance limitations all drain the
+/// same budget (Sec. V: "one budget to be met by all contributing causes").
+///
+/// # Examples
+///
+/// ```
+/// use qrn_quant::element::Element;
+/// use qrn_units::Frequency;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let camera = Element::new("camera-freespace", Frequency::per_hour(1e-3)?)
+///     .with_description("camera channel overestimates drivable area");
+/// assert_eq!(camera.id(), "camera-freespace");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Element {
+    id: String,
+    rate: Frequency,
+    description: String,
+}
+
+impl Element {
+    /// Creates an element with its requirement-violation rate.
+    pub fn new(id: impl Into<String>, rate: Frequency) -> Self {
+        Element {
+            id: id.into(),
+            rate,
+            description: String::new(),
+        }
+    }
+
+    /// Attaches a free-text description.
+    pub fn with_description(mut self, description: impl Into<String>) -> Self {
+        self.description = description.into();
+        self
+    }
+
+    /// The element's identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The element's violation rate.
+    pub fn rate(&self) -> Frequency {
+        self.rate
+    }
+
+    /// The free-text description (possibly empty).
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.id, self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_display() {
+        let e = Element::new("radar", Frequency::per_hour(2e-4).unwrap())
+            .with_description("radar misses VRU");
+        assert_eq!(e.id(), "radar");
+        assert_eq!(e.rate().as_per_hour(), 2e-4);
+        assert!(e.description().contains("VRU"));
+        assert!(e.to_string().contains("radar"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let e = Element::new("radar", Frequency::per_hour(2e-4).unwrap());
+        let back: Element = serde_json::from_str(&serde_json::to_string(&e).unwrap()).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,369 @@
+//! Rate algebra over architectures: AND / OR composition of violation
+//! rates.
+//!
+//! The model is a fault-tree over requirement violations:
+//!
+//! * an **OR** node ([`RateModel::any_of`]) violates when *any* child does
+//!   — a series architecture; rates approximately add;
+//! * an **AND** node ([`RateModel::all_of`]) violates only when *all*
+//!   children do — a redundant architecture; per-hour violation
+//!   probabilities multiply.
+//!
+//! Two evaluation modes are provided. [`RateModel::rate`] is exact under
+//! the stated model: children are independent and an AND node requires
+//! coincidence within a one-hour window (each child's per-hour violation
+//! probability is `1 − e^{−r·1h}`). [`RateModel::rate_rare_approx`] is the
+//! usual first-order approximation (sum for OR, product of per-hour rates
+//! for AND), valid when every rate is far below 1/hour — the regime every
+//! safety budget lives in. The unit tests pin the two against each other.
+//!
+//! The independence assumption is load-bearing and deliberately explicit:
+//! diversity between redundant channels is what a quantitative safety case
+//! must argue (the paper: "being able to take into account redundancy
+//! contributions of just a few orders of magnitude").
+
+use serde::{Deserialize, Serialize};
+
+use qrn_units::{Frequency, UnitError};
+
+use crate::element::Element;
+
+/// A violation-rate model over an architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RateModel {
+    /// A basic element with a known violation rate.
+    Basic(Element),
+    /// Violated when any child is violated (series / non-redundant).
+    AnyOf(Vec<RateModel>),
+    /// Violated only when every child is violated within the coincidence
+    /// window (parallel / redundant).
+    AllOf(Vec<RateModel>),
+}
+
+impl RateModel {
+    /// Wraps a basic element.
+    pub fn basic(element: Element) -> Self {
+        RateModel::Basic(element)
+    }
+
+    /// Creates an OR (series) node.
+    pub fn any_of(children: Vec<RateModel>) -> Self {
+        RateModel::AnyOf(children)
+    }
+
+    /// Creates an AND (redundant) node.
+    pub fn all_of(children: Vec<RateModel>) -> Self {
+        RateModel::AllOf(children)
+    }
+
+    /// Per-hour violation probability of the modelled (sub)system.
+    ///
+    /// Children are assumed independent; an empty OR never fires
+    /// (probability 0) and an empty AND always fires (probability 1),
+    /// the usual identities of the two gates.
+    ///
+    /// **Common-cause warning:** if the same element id appears in several
+    /// places (a shared service feeding redundant channels), this method
+    /// treats the copies as independent and will *understate* the true
+    /// probability — use [`RateModel::hourly_probability_exact`] instead,
+    /// which conditions on shared elements.
+    pub fn hourly_probability(&self) -> f64 {
+        match self {
+            RateModel::Basic(e) => 1.0 - (-e.rate().as_per_hour()).exp(),
+            RateModel::AnyOf(children) => {
+                1.0 - children
+                    .iter()
+                    .map(|c| 1.0 - c.hourly_probability())
+                    .product::<f64>()
+            }
+            RateModel::AllOf(children) => children
+                .iter()
+                .map(RateModel::hourly_probability)
+                .product::<f64>(),
+        }
+    }
+
+    /// Exact composed violation rate (events per hour) under the model's
+    /// independence and one-hour coincidence assumptions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] only in the degenerate case of an empty AND
+    /// node (probability 1 has no finite rate).
+    pub fn rate(&self) -> Result<Frequency, UnitError> {
+        let p = self.hourly_probability();
+        // r = -ln(1 - p): the rate whose per-hour probability is p.
+        Frequency::per_hour(-(1.0 - p).ln())
+    }
+
+    /// First-order rare-event approximation: OR sums rates, AND multiplies
+    /// per-hour rates. Accurate to `O(r²)` when all rates ≪ 1/h.
+    pub fn rate_rare_approx(&self) -> f64 {
+        match self {
+            RateModel::Basic(e) => e.rate().as_per_hour(),
+            RateModel::AnyOf(children) => children.iter().map(RateModel::rate_rare_approx).sum(),
+            RateModel::AllOf(children) => {
+                children.iter().map(RateModel::rate_rare_approx).product()
+            }
+        }
+    }
+
+    /// Element ids that occur more than once in the model — shared
+    /// services whose failure is a **common cause** across gates.
+    pub fn duplicated_ids(&self) -> Vec<String> {
+        let mut ids: Vec<&str> = self.elements().into_iter().map(Element::id).collect();
+        ids.sort_unstable();
+        let mut out = Vec::new();
+        for window in ids.windows(2) {
+            if window[0] == window[1] && out.last().map(String::as_str) != Some(window[0]) {
+                out.push(window[0].to_string());
+            }
+        }
+        out
+    }
+
+    /// Per-hour violation probability with overrides: every element whose
+    /// id appears in `forced` contributes the forced probability instead
+    /// of its own.
+    fn probability_with_overrides(&self, forced: &std::collections::BTreeMap<&str, f64>) -> f64 {
+        match self {
+            RateModel::Basic(e) => forced
+                .get(e.id())
+                .copied()
+                .unwrap_or_else(|| 1.0 - (-e.rate().as_per_hour()).exp()),
+            RateModel::AnyOf(children) => {
+                1.0 - children
+                    .iter()
+                    .map(|c| 1.0 - c.probability_with_overrides(forced))
+                    .product::<f64>()
+            }
+            RateModel::AllOf(children) => children
+                .iter()
+                .map(|c| c.probability_with_overrides(forced))
+                .product(),
+        }
+    }
+
+    /// Exact per-hour violation probability in the presence of shared
+    /// (common-cause) elements, via Shannon conditioning: each duplicated
+    /// id is pinned to failed/ok in turn and the results are weighted by
+    /// its own probability. Identical to [`RateModel::hourly_probability`]
+    /// when no id is duplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more than 20 distinct ids are duplicated (2²⁰ states);
+    /// a model with that much sharing needs restructuring, not evaluation.
+    pub fn hourly_probability_exact(&self) -> f64 {
+        let dups = self.duplicated_ids();
+        assert!(
+            dups.len() <= 20,
+            "too many shared elements ({}) for exact conditioning",
+            dups.len()
+        );
+        // Per-id failure probability (copies share the rate of the first
+        // occurrence; validated equal in practice since they model one
+        // physical element).
+        let p_of = |id: &str| -> f64 {
+            let e = self
+                .elements()
+                .into_iter()
+                .find(|e| e.id() == id)
+                .expect("id came from the model");
+            1.0 - (-e.rate().as_per_hour()).exp()
+        };
+        let mut total = 0.0;
+        for state in 0..(1u32 << dups.len()) {
+            let mut weight = 1.0;
+            let mut forced = std::collections::BTreeMap::new();
+            for (i, id) in dups.iter().enumerate() {
+                let failed = state & (1 << i) != 0;
+                let p = p_of(id);
+                weight *= if failed { p } else { 1.0 - p };
+                forced.insert(id.as_str(), if failed { 1.0 } else { 0.0 });
+            }
+            if weight > 0.0 {
+                total += weight * self.probability_with_overrides(&forced);
+            }
+        }
+        total
+    }
+
+    /// Exact composed violation rate accounting for common-cause sharing;
+    /// see [`RateModel::hourly_probability_exact`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] when the violation probability is 1 (no
+    /// finite rate exists).
+    pub fn rate_exact(&self) -> Result<Frequency, UnitError> {
+        Frequency::per_hour(-(1.0 - self.hourly_probability_exact()).ln())
+    }
+
+    /// All basic elements in the model, depth-first.
+    pub fn elements(&self) -> Vec<&Element> {
+        let mut out = Vec::new();
+        self.collect_elements(&mut out);
+        out
+    }
+
+    fn collect_elements<'a>(&'a self, out: &mut Vec<&'a Element>) {
+        match self {
+            RateModel::Basic(e) => out.push(e),
+            RateModel::AnyOf(children) | RateModel::AllOf(children) => {
+                for c in children {
+                    c.collect_elements(out);
+                }
+            }
+        }
+    }
+
+    /// Number of basic elements in the model.
+    pub fn element_count(&self) -> usize {
+        match self {
+            RateModel::Basic(_) => 1,
+            RateModel::AnyOf(children) | RateModel::AllOf(children) => {
+                children.iter().map(RateModel::element_count).sum()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn basic(id: &str, rate: f64) -> RateModel {
+        RateModel::basic(Element::new(id, Frequency::per_hour(rate).unwrap()))
+    }
+
+    #[test]
+    fn basic_rate_round_trips() {
+        let m = basic("a", 1e-5);
+        assert!((m.rate().unwrap().as_per_hour() - 1e-5).abs() < 1e-12);
+        assert!((m.rate_rare_approx() - 1e-5).abs() < 1e-20);
+    }
+
+    #[test]
+    fn or_adds_rates_in_rare_regime() {
+        let m = RateModel::any_of(vec![basic("a", 1e-6), basic("b", 2e-6), basic("c", 3e-6)]);
+        let exact = m.rate().unwrap().as_per_hour();
+        let approx = m.rate_rare_approx();
+        assert!((approx - 6e-6).abs() < 1e-18);
+        assert!((exact - approx).abs() / approx < 1e-5);
+    }
+
+    #[test]
+    fn and_multiplies_probabilities() {
+        let m = RateModel::all_of(vec![basic("a", 1e-3), basic("b", 1e-3), basic("c", 1e-3)]);
+        let exact = m.rate().unwrap().as_per_hour();
+        let approx = m.rate_rare_approx();
+        assert!((approx - 1e-9).abs() < 1e-18);
+        assert!((exact - approx).abs() / approx < 1e-2);
+    }
+
+    #[test]
+    fn redundancy_beats_series() {
+        let series = RateModel::any_of(vec![basic("a", 1e-3), basic("b", 1e-3)]);
+        let parallel = RateModel::all_of(vec![basic("a", 1e-3), basic("b", 1e-3)]);
+        assert!(parallel.rate().unwrap() < series.rate().unwrap());
+    }
+
+    #[test]
+    fn nested_composition() {
+        // Two diverse stacks, each a series of sensor + predictor;
+        // the stacks are redundant.
+        let stack = |s: &str| {
+            RateModel::any_of(vec![
+                basic(&format!("{s}-sense"), 1e-3),
+                basic(&format!("{s}-pred"), 1e-3),
+            ])
+        };
+        let fused = RateModel::all_of(vec![stack("a"), stack("b")]);
+        let approx = fused.rate_rare_approx();
+        assert!((approx - 4e-6).abs() < 1e-15);
+        assert_eq!(fused.element_count(), 4);
+        assert_eq!(fused.elements().len(), 4);
+    }
+
+    #[test]
+    fn gate_identities() {
+        let empty_or = RateModel::any_of(vec![]);
+        assert_eq!(empty_or.hourly_probability(), 0.0);
+        assert_eq!(empty_or.rate().unwrap(), Frequency::ZERO);
+        let empty_and = RateModel::all_of(vec![]);
+        assert_eq!(empty_and.hourly_probability(), 1.0);
+        // probability 1 has no finite rate
+        assert!(empty_and.rate().is_err());
+    }
+
+    #[test]
+    fn exact_rate_saturates_below_probability_one() {
+        // Very high rates: probability approaches 1, exact rate stays finite
+        // for p < 1 and the approximation overshoots.
+        let m = RateModel::any_of(vec![basic("a", 2.0), basic("b", 2.0)]);
+        let exact = m.rate().unwrap().as_per_hour();
+        assert!(
+            (exact - 4.0).abs() < 1e-12,
+            "rates add exactly for OR of exponentials"
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = RateModel::all_of(vec![basic("a", 1e-3), basic("b", 1e-4)]);
+        let back: RateModel = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn duplicated_ids_are_detected_once_each() {
+        let m = RateModel::all_of(vec![
+            RateModel::any_of(vec![basic("shared", 1e-4), basic("a", 1e-3)]),
+            RateModel::any_of(vec![basic("shared", 1e-4), basic("b", 1e-3)]),
+            RateModel::any_of(vec![basic("shared", 1e-4), basic("c", 1e-3)]),
+        ]);
+        assert_eq!(m.duplicated_ids(), vec!["shared".to_string()]);
+        assert!(basic("a", 1e-3).duplicated_ids().is_empty());
+    }
+
+    #[test]
+    fn exact_probability_matches_naive_without_sharing() {
+        let m = RateModel::all_of(vec![basic("a", 1e-3), basic("b", 2e-3)]);
+        let naive = m.hourly_probability();
+        let exact = m.hourly_probability_exact();
+        assert!((naive - exact).abs() < 1e-15);
+    }
+
+    #[test]
+    fn common_cause_dominates_the_exact_rate() {
+        // Redundant channels that all depend on one shared service: the
+        // naive rate is the product (~1e-9-ish), the true rate is pinned
+        // by the shared service (~1e-4).
+        let m = RateModel::all_of(vec![
+            RateModel::any_of(vec![basic("shared", 1e-4), basic("a", 1e-3)]),
+            RateModel::any_of(vec![basic("shared", 1e-4), basic("b", 1e-3)]),
+            RateModel::any_of(vec![basic("shared", 1e-4), basic("c", 1e-3)]),
+        ]);
+        let naive = m.rate().unwrap().as_per_hour();
+        let exact = m.rate_exact().unwrap().as_per_hour();
+        assert!(naive < 1e-7, "naive {naive}");
+        assert!((exact - 1e-4).abs() / 1e-4 < 0.05, "exact {exact}");
+        assert!(exact > 100.0 * naive);
+    }
+
+    #[test]
+    fn exact_rate_agrees_with_hand_computation() {
+        // System = AND(OR(s, a), OR(s, b)): P = p_s + (1-p_s)·p_a·p_b.
+        let ps = 1.0 - (-1e-4f64).exp();
+        let pa = 1.0 - (-1e-3f64).exp();
+        let pb = 1.0 - (-2e-3f64).exp();
+        let expect = ps + (1.0 - ps) * pa * pb;
+        let m = RateModel::all_of(vec![
+            RateModel::any_of(vec![basic("s", 1e-4), basic("a", 1e-3)]),
+            RateModel::any_of(vec![basic("s", 1e-4), basic("b", 2e-3)]),
+        ]);
+        let exact = m.hourly_probability_exact();
+        assert!((exact - expect).abs() < 1e-12, "{exact} vs {expect}");
+    }
+}

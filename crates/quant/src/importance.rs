@@ -1,0 +1,190 @@
+//! Element importance analysis: which element's integrity matters most?
+//!
+//! In a quantitative framework, "where should the next engineering unit of
+//! effort go?" has a classical answer: **Birnbaum importance**, the partial
+//! derivative of the system violation probability with respect to one
+//! element's violation probability,
+//! `I_B(i) = P(system | i failed) − P(system | i works)`.
+//! Series elements matter almost fully; deep-redundancy elements matter
+//! only as much as the rest of their gate is likely to fail too — which is
+//! exactly the intuition Sec. V uses when it lets redundant channels carry
+//! individually modest budgets.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ftree::RateModel;
+
+/// One element's Birnbaum importance in a model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElementImportance {
+    /// The element id.
+    pub id: String,
+    /// `P(system violated | element violated) − P(system violated | element ok)`.
+    pub birnbaum: f64,
+}
+
+/// Evaluates the model's hourly violation probability with the probability
+/// of every element named `id` forced to `forced`.
+fn probability_with(model: &RateModel, id: &str, forced: f64) -> f64 {
+    match model {
+        RateModel::Basic(e) => {
+            if e.id() == id {
+                forced
+            } else {
+                1.0 - (-e.rate().as_per_hour()).exp()
+            }
+        }
+        RateModel::AnyOf(children) => {
+            1.0 - children
+                .iter()
+                .map(|c| 1.0 - probability_with(c, id, forced))
+                .product::<f64>()
+        }
+        RateModel::AllOf(children) => children
+            .iter()
+            .map(|c| probability_with(c, id, forced))
+            .product(),
+    }
+}
+
+/// Computes the Birnbaum importance of the element named `id`, or `None`
+/// when no element carries that id. When several elements share the id
+/// (e.g. a common-cause component instantiated twice), they are perturbed
+/// together, which is the correct treatment for a common cause.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_quant::element::Element;
+/// use qrn_quant::ftree::RateModel;
+/// use qrn_quant::importance::birnbaum_importance;
+/// use qrn_units::Frequency;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = RateModel::all_of(vec![
+///     RateModel::basic(Element::new("a", Frequency::per_hour(1e-3)?)),
+///     RateModel::basic(Element::new("b", Frequency::per_hour(1e-3)?)),
+/// ]);
+/// // In a 2-way redundancy, a's importance is b's failure probability.
+/// let i = birnbaum_importance(&model, "a").unwrap();
+/// assert!((i - 1e-3).abs() / 1e-3 < 1e-2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn birnbaum_importance(model: &RateModel, id: &str) -> Option<f64> {
+    if !model.elements().iter().any(|e| e.id() == id) {
+        return None;
+    }
+    Some(probability_with(model, id, 1.0) - probability_with(model, id, 0.0))
+}
+
+/// Ranks every element by Birnbaum importance, most important first.
+/// Elements sharing an id appear once.
+pub fn importance_ranking(model: &RateModel) -> Vec<ElementImportance> {
+    let mut ids: Vec<&str> = model.elements().iter().map(|e| e.id()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let mut out: Vec<ElementImportance> = ids
+        .into_iter()
+        .map(|id| ElementImportance {
+            id: id.to_string(),
+            birnbaum: birnbaum_importance(model, id).expect("id came from the model"),
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.birnbaum
+            .partial_cmp(&a.birnbaum)
+            .expect("probabilities are not NaN")
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Element;
+    use qrn_units::Frequency;
+
+    fn basic(id: &str, rate: f64) -> RateModel {
+        RateModel::basic(Element::new(id, Frequency::per_hour(rate).unwrap()))
+    }
+
+    #[test]
+    fn series_elements_have_near_unit_importance() {
+        let model = RateModel::any_of(vec![basic("a", 1e-4), basic("b", 1e-4)]);
+        let i = birnbaum_importance(&model, "a").unwrap();
+        assert!((i - 1.0).abs() < 1e-3, "series importance {i}");
+    }
+
+    #[test]
+    fn parallel_importance_equals_partner_probability() {
+        let model = RateModel::all_of(vec![basic("a", 1e-3), basic("b", 2e-3)]);
+        let ia = birnbaum_importance(&model, "a").unwrap();
+        let ib = birnbaum_importance(&model, "b").unwrap();
+        // I(a) = p_b, I(b) = p_a
+        assert!((ia - 2e-3).abs() / 2e-3 < 1e-2);
+        assert!((ib - 1e-3).abs() / 1e-3 < 1e-2);
+        // the weaker partner is the more important one
+        assert!(ia > ib);
+    }
+
+    #[test]
+    fn unknown_element_is_none() {
+        let model = basic("a", 1e-3);
+        assert_eq!(birnbaum_importance(&model, "ghost"), None);
+    }
+
+    #[test]
+    fn ranking_orders_by_importance() {
+        // A series of a weak element and a 2-redundant pair: the series
+        // element dominates.
+        let model = RateModel::any_of(vec![
+            basic("single-point", 1e-5),
+            RateModel::all_of(vec![basic("red-1", 1e-3), basic("red-2", 1e-3)]),
+        ]);
+        let ranking = importance_ranking(&model);
+        assert_eq!(ranking.len(), 3);
+        assert_eq!(ranking[0].id, "single-point");
+        assert!(ranking[0].birnbaum > 100.0 * ranking[1].birnbaum);
+    }
+
+    #[test]
+    fn shared_ids_are_perturbed_together() {
+        // The same sensor feeding both redundant channels is a common
+        // cause: its importance is that of a series element.
+        let model = RateModel::all_of(vec![
+            RateModel::any_of(vec![basic("shared-sensor", 1e-4), basic("ch1", 1e-3)]),
+            RateModel::any_of(vec![basic("shared-sensor", 1e-4), basic("ch2", 1e-3)]),
+        ]);
+        let shared = birnbaum_importance(&model, "shared-sensor").unwrap();
+        let ch1 = birnbaum_importance(&model, "ch1").unwrap();
+        assert!(
+            shared > 100.0 * ch1,
+            "common cause {shared} must dominate channel {ch1}"
+        );
+    }
+
+    #[test]
+    fn importance_matches_numeric_derivative() {
+        let model = RateModel::any_of(vec![
+            basic("x", 2e-3),
+            RateModel::all_of(vec![basic("y", 5e-3), basic("z", 7e-3)]),
+        ]);
+        // numeric dP/dp_x via central difference on the definition
+        let h = 1e-7;
+        let up = super::probability_with(&model, "x", (1.0 - (-2e-3f64).exp()) + h);
+        let dn = super::probability_with(&model, "x", (1.0 - (-2e-3f64).exp()) - h);
+        let numeric = (up - dn) / (2.0 * h);
+        let analytic = birnbaum_importance(&model, "x").unwrap();
+        assert!((numeric - analytic).abs() < 1e-5, "{numeric} vs {analytic}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let model = RateModel::any_of(vec![basic("a", 1e-4)]);
+        let ranking = importance_ranking(&model);
+        let back: Vec<ElementImportance> =
+            serde_json::from_str(&serde_json::to_string(&ranking).unwrap()).unwrap();
+        assert_eq!(ranking, back);
+    }
+}

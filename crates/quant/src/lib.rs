@@ -1,0 +1,58 @@
+//! Quantitative assurance framework (Sec. V of the QRN paper).
+//!
+//! A safety goal produced by the QRN method carries a *numeric* integrity
+//! attribute (a maximum violation frequency), so its refinement into an
+//! architecture can use "traditional mathematical quantitative rules,
+//! instead of the qualitative ordinary rules of ISO 26262 of ASIL
+//! inheritance and ASIL decomposition". This crate provides:
+//!
+//! * [`element`] — architecture elements with violation-rate budgets,
+//!   cause-agnostic ("one budget to be met by all contributing causes,
+//!   regardless whether they could be described as systematic faults …
+//!   random hardware faults; or as performance limitations").
+//! * [`ftree`] — rate algebra over AND (redundancy) / OR (series)
+//!   combinations, with both exact per-hour probability composition and
+//!   the rare-event approximation.
+//! * [`refine`] — refining a safety-goal budget into an architecture and
+//!   verifying that the composed rate meets it.
+//! * [`compare`] — the paper's drivable-area example: redundant channels
+//!   whose individual rates are "in the QM range" composing to ASIL-D
+//!   -grade integrity, which the qualitative decomposition menu cannot
+//!   express.
+//!
+//! # Examples
+//!
+//! ```
+//! use qrn_quant::element::Element;
+//! use qrn_quant::ftree::RateModel;
+//! use qrn_units::Frequency;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Three diverse perception channels, each failing 1e-3 per hour.
+//! let channel = |id: &str| -> Result<RateModel, qrn_units::UnitError> {
+//!     Ok(RateModel::basic(Element::new(id, Frequency::per_hour(1e-3)?)))
+//! };
+//! let fused = RateModel::all_of(vec![channel("cam")?, channel("lidar")?, channel("radar")?]);
+//! // Combined: ~1e-9 per hour, beyond the ASIL D target of 1e-8.
+//! assert!(fused.rate()?.as_per_hour() < 1e-8);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod element;
+pub mod ftree;
+pub mod importance;
+pub mod refine;
+
+pub use compare::{asil_equivalent, can_decompose_to, DecompositionComparison};
+pub use element::Element;
+pub use ftree::RateModel;
+pub use importance::{birnbaum_importance, importance_ranking, ElementImportance};
+pub use refine::{Refinement, RefinementReport};
+
+#[cfg(test)]
+mod proptests;

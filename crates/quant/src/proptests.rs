@@ -1,0 +1,123 @@
+//! Property-based tests for the rate algebra.
+
+use proptest::prelude::*;
+
+use qrn_units::Frequency;
+
+use crate::element::Element;
+use crate::ftree::RateModel;
+use crate::importance::{birnbaum_importance, importance_ranking};
+
+fn leaf_rates() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1e-9f64..1e-1, 1..6)
+}
+
+fn series(rates: &[f64]) -> RateModel {
+    RateModel::any_of(
+        rates
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                RateModel::basic(Element::new(
+                    format!("e{i}"),
+                    Frequency::per_hour(*r).expect("strategy range is valid"),
+                ))
+            })
+            .collect(),
+    )
+}
+
+fn parallel(rates: &[f64]) -> RateModel {
+    RateModel::all_of(
+        rates
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                RateModel::basic(Element::new(
+                    format!("e{i}"),
+                    Frequency::per_hour(*r).expect("strategy range is valid"),
+                ))
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    /// OR of exponentials has exactly the summed rate; AND is bounded by
+    /// its weakest member.
+    #[test]
+    fn gate_bounds(rates in leaf_rates()) {
+        let or = series(&rates).rate().expect("p < 1").as_per_hour();
+        let sum: f64 = rates.iter().sum();
+        prop_assert!((or - sum).abs() <= 1e-9 * sum.max(1.0));
+
+        let and = parallel(&rates).rate().expect("p < 1").as_per_hour();
+        let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(and <= min * 1.0001);
+    }
+
+    /// The rare-event approximation upper-bounds the exact OR rate... in
+    /// fact they are equal for OR; for AND the approximation is within a
+    /// factor (1 + p) of exact for small p.
+    #[test]
+    fn approximation_quality(rates in leaf_rates()) {
+        let m = parallel(&rates);
+        let exact = m.rate().expect("p < 1").as_per_hour();
+        let approx = m.rate_rare_approx();
+        if approx > 0.0 {
+            let ratio = exact / approx;
+            prop_assert!((0.5..=2.0).contains(&ratio), "ratio {ratio}");
+        }
+    }
+
+    /// Exact (common-cause aware) evaluation equals the naive one when all
+    /// ids are distinct.
+    #[test]
+    fn exact_equals_naive_without_sharing(rates in leaf_rates()) {
+        for m in [series(&rates), parallel(&rates)] {
+            let naive = m.hourly_probability();
+            let exact = m.hourly_probability_exact();
+            prop_assert!((naive - exact).abs() <= 1e-12);
+        }
+    }
+
+    /// Sharing an element across AND branches never *decreases* the
+    /// violation probability (positive dependence).
+    #[test]
+    fn common_cause_is_never_optimistic(shared in 1e-6f64..1e-2, others in leaf_rates()) {
+        let branch = |i: usize, r: f64, shared: f64| {
+            RateModel::any_of(vec![
+                RateModel::basic(Element::new(
+                    "shared",
+                    Frequency::per_hour(shared).expect("valid"),
+                )),
+                RateModel::basic(Element::new(
+                    format!("o{i}"),
+                    Frequency::per_hour(r).expect("valid"),
+                )),
+            ])
+        };
+        let m = RateModel::all_of(
+            others.iter().enumerate().map(|(i, r)| branch(i, *r, shared)).collect(),
+        );
+        prop_assert!(m.hourly_probability_exact() >= m.hourly_probability() - 1e-12);
+    }
+
+    /// Birnbaum importances are probabilities, and the ranking is sorted.
+    #[test]
+    fn importance_is_a_sorted_probability(rates in leaf_rates()) {
+        let m = parallel(&rates);
+        let ranking = importance_ranking(&m);
+        prop_assert_eq!(ranking.len(), rates.len());
+        for pair in ranking.windows(2) {
+            prop_assert!(pair[0].birnbaum >= pair[1].birnbaum);
+        }
+        for entry in &ranking {
+            prop_assert!((0.0..=1.0).contains(&entry.birnbaum));
+            prop_assert_eq!(
+                birnbaum_importance(&m, &entry.id).expect("known id"),
+                entry.birnbaum
+            );
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Refining a quantitative safety goal into an architecture and verifying
+//! the composition.
+//!
+//! The QRN safety goal hands the solution domain a single number: the
+//! maximum violation frequency. Refinement means proposing an architecture
+//! ([`crate::ftree::RateModel`]) whose composed rate meets that number —
+//! with ordinary arithmetic taking the place of ASIL inheritance.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use qrn_units::{Frequency, UnitError};
+
+use crate::ftree::RateModel;
+
+/// A proposed refinement of one safety-goal budget into an architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Refinement {
+    /// The safety goal's violation budget.
+    pub budget: Frequency,
+    /// The proposed architecture.
+    pub architecture: RateModel,
+}
+
+/// The outcome of verifying a refinement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RefinementReport {
+    /// The goal budget.
+    pub budget: Frequency,
+    /// The architecture's composed violation rate (exact model).
+    pub achieved: Frequency,
+    /// `achieved / budget`, or `None` for a zero budget.
+    pub utilisation: Option<f64>,
+}
+
+impl RefinementReport {
+    /// Returns `true` when the composed rate meets the budget.
+    pub fn meets_budget(&self) -> bool {
+        self.achieved <= self.budget
+    }
+
+    /// Margin left under the budget (zero when over).
+    pub fn margin(&self) -> Frequency {
+        self.budget.saturating_sub(self.achieved)
+    }
+}
+
+impl fmt::Display for RefinementReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "achieved {} vs budget {} -> {}",
+            self.achieved,
+            self.budget,
+            if self.meets_budget() {
+                "MEETS"
+            } else {
+                "EXCEEDS"
+            }
+        )
+    }
+}
+
+impl Refinement {
+    /// Creates a refinement.
+    pub fn new(budget: Frequency, architecture: RateModel) -> Self {
+        Refinement {
+            budget,
+            architecture,
+        }
+    }
+
+    /// Verifies the composed rate against the budget, assuming element
+    /// independence (see the common-cause warning on
+    /// [`RateModel::hourly_probability`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] for a degenerate architecture whose violation
+    /// probability is 1 (an empty AND gate).
+    pub fn verify(&self) -> Result<RefinementReport, UnitError> {
+        let achieved = self.architecture.rate()?;
+        Ok(RefinementReport {
+            budget: self.budget,
+            achieved,
+            utilisation: achieved.ratio(self.budget),
+        })
+    }
+
+    /// Verifies the composed rate with exact common-cause treatment for
+    /// shared element ids ([`RateModel::rate_exact`]). Always at least as
+    /// pessimistic as [`Refinement::verify`] for coherent architectures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] for a degenerate architecture whose violation
+    /// probability is 1.
+    pub fn verify_exact(&self) -> Result<RefinementReport, UnitError> {
+        let achieved = self.architecture.rate_exact()?;
+        Ok(RefinementReport {
+            budget: self.budget,
+            achieved,
+            utilisation: achieved.ratio(self.budget),
+        })
+    }
+}
+
+/// Splits a budget equally across `n` series contributors: each gets
+/// `budget / n`, so their OR-composition still meets the budget.
+///
+/// This is the quantitative analogue of "refine a safety goal into `n`
+/// requirements" — and unlike ASIL inheritance, it *does* get harder per
+/// element as `n` grows, which is exactly the paper's point about
+/// complexity (Sec. V: thousands of inheriting elements keep full ASIL
+/// under the qualitative rules, while here each would get a thousandth of
+/// the budget).
+///
+/// # Errors
+///
+/// Returns [`UnitError`] when `n` is zero.
+pub fn split_budget_equally(budget: Frequency, n: usize) -> Result<Frequency, UnitError> {
+    if n == 0 {
+        return Err(UnitError::OutOfRange {
+            quantity: "number of budget shares",
+            value: 0.0,
+            min: 1.0,
+            max: f64::MAX,
+        });
+    }
+    budget.scaled(1.0 / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Element;
+
+    fn fph(x: f64) -> Frequency {
+        Frequency::per_hour(x).unwrap()
+    }
+
+    fn basic(id: &str, rate: f64) -> RateModel {
+        RateModel::basic(Element::new(id, fph(rate)))
+    }
+
+    #[test]
+    fn meeting_and_exceeding() {
+        let ok = Refinement::new(fph(1e-6), basic("a", 1e-7))
+            .verify()
+            .unwrap();
+        assert!(ok.meets_budget());
+        assert!((ok.utilisation.unwrap() - 0.1).abs() < 1e-6);
+        assert!(ok.margin() > Frequency::ZERO);
+
+        let bad = Refinement::new(fph(1e-8), basic("a", 1e-7))
+            .verify()
+            .unwrap();
+        assert!(!bad.meets_budget());
+        assert_eq!(bad.margin(), Frequency::ZERO);
+    }
+
+    #[test]
+    fn redundant_architecture_meets_tough_budget() {
+        // The drivable-area example: three QM-grade channels redundantly.
+        let arch = RateModel::all_of(vec![
+            basic("cam", 1e-3),
+            basic("lidar", 1e-3),
+            basic("radar", 1e-3),
+        ]);
+        let report = Refinement::new(fph(1e-8), arch).verify().unwrap();
+        assert!(report.meets_budget(), "{report}");
+    }
+
+    #[test]
+    fn series_architecture_drains_budget_linearly() {
+        let arch = RateModel::any_of((0..10).map(|i| basic(&format!("e{i}"), 1e-7)).collect());
+        let report = Refinement::new(fph(1e-6), arch).verify().unwrap();
+        assert!(report.meets_budget());
+        assert!((report.utilisation.unwrap() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn split_budget_equally_composes_back() {
+        let budget = fph(1e-6);
+        let per_element = split_budget_equally(budget, 1000).unwrap();
+        let arch = RateModel::any_of(
+            (0..1000)
+                .map(|i| basic(&format!("e{i}"), per_element.as_per_hour()))
+                .collect(),
+        );
+        let report = Refinement::new(budget, arch).verify().unwrap();
+        assert!(report.meets_budget());
+        assert!(split_budget_equally(budget, 0).is_err());
+    }
+
+    #[test]
+    fn exact_verification_catches_the_common_cause_trap() {
+        let shared = || basic("shared-localisation", 2e-5);
+        let arch = RateModel::all_of(vec![
+            RateModel::any_of(vec![shared(), basic("cam", 1e-3)]),
+            RateModel::any_of(vec![shared(), basic("lidar", 1e-3)]),
+            RateModel::any_of(vec![shared(), basic("radar", 1e-3)]),
+        ]);
+        let refinement = Refinement::new(fph(1e-8), arch);
+        // Naive independence says the budget is met…
+        assert!(refinement.verify().unwrap().meets_budget());
+        // …exact conditioning on the shared service says it is not.
+        assert!(!refinement.verify_exact().unwrap().meets_budget());
+    }
+
+    #[test]
+    fn report_display() {
+        let r = Refinement::new(fph(1e-6), basic("a", 1e-7))
+            .verify()
+            .unwrap();
+        assert!(r.to_string().contains("MEETS"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = Refinement::new(fph(1e-6), basic("a", 1e-7));
+        let back: Refinement = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,517 @@
+//! Encounter micro-simulation: one conflicting object, integrated at 10 ms
+//! steps until resolution or collision.
+//!
+//! An encounter starts when a challenge spawns ahead of the ego vehicle
+//! (pedestrian stepping out, lead vehicle braking hard, animal on the
+//! road). The ego's perception has to *see* it (range + per-scan misses),
+//! the policy decides how hard to brake, and plain kinematics decide
+//! whether the episode ends as a pass, a near-miss or a collision with a
+//! specific impact speed — the quantity the QRN's tolerance margins are
+//! written in.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use qrn_core::object::ObjectType;
+use qrn_stats::rng::uniform;
+use qrn_units::{Acceleration, Meters, Speed};
+
+use crate::faults::ActiveFaults;
+use crate::perception::PerceptionParams;
+use crate::policy::TacticalPolicy;
+use crate::scenario::{ChallengeTemplate, ObjectMotion};
+use crate::vehicle::VehicleParams;
+
+/// Integration step, seconds.
+const DT: f64 = 0.01;
+/// Hard cap on encounter duration, seconds.
+const MAX_DURATION_S: f64 = 120.0;
+
+/// A concrete spawned challenge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Challenge {
+    /// The object category ahead.
+    pub object: ObjectType,
+    /// Initial gap to the object.
+    pub initial_gap: Meters,
+    /// The object's initial speed (along the corridor).
+    pub object_speed: Speed,
+    /// The object's deceleration until standstill, m/s².
+    pub object_decel: f64,
+    /// Time after which the object clears the corridor (crossing
+    /// pedestrians and animals leave; obstacles never do).
+    pub clears_after_s: f64,
+}
+
+impl Challenge {
+    /// Samples a challenge from a template, given the ego's current speed
+    /// (a braking lead starts at the ego's speed).
+    pub fn sample<R: Rng + ?Sized>(
+        template: &ChallengeTemplate,
+        ego_speed: Speed,
+        rng: &mut R,
+    ) -> Challenge {
+        let initial_gap = Meters::new(uniform(rng, template.gap_range_m.0, template.gap_range_m.1))
+            .expect("template gap ranges are valid");
+        match template.motion {
+            ObjectMotion::Stationary => Challenge {
+                object: template.object,
+                initial_gap,
+                object_speed: Speed::ZERO,
+                object_decel: 0.0,
+                clears_after_s: match template.object {
+                    // Crossing VRUs and animals leave the corridor.
+                    ObjectType::Vru => uniform(rng, 1.0, 4.0),
+                    ObjectType::Animal => uniform(rng, 0.5, 5.0),
+                    _ => f64::INFINITY,
+                },
+            },
+            ObjectMotion::CutIn {
+                min_speed_fraction,
+                max_speed_fraction,
+            } => {
+                let fraction = uniform(rng, min_speed_fraction, max_speed_fraction);
+                Challenge {
+                    object: template.object,
+                    initial_gap,
+                    object_speed: Speed::from_mps(ego_speed.as_mps() * fraction)
+                        .expect("fraction of a valid speed"),
+                    object_decel: 0.0,
+                    clears_after_s: f64::INFINITY,
+                }
+            }
+            ObjectMotion::LeadBraking {
+                min_decel,
+                max_decel,
+            } => {
+                // A lead is followed at a time headway, so the gap scales
+                // with speed; the template's minimum gap is the floor.
+                let headway_s = uniform(rng, 1.0, 2.5);
+                let gap = (ego_speed.as_mps() * headway_s).max(template.gap_range_m.0);
+                Challenge {
+                    object: template.object,
+                    initial_gap: Meters::new(gap).expect("non-negative gap"),
+                    object_speed: ego_speed,
+                    object_decel: uniform(rng, min_decel, max_decel),
+                    clears_after_s: f64::INFINITY,
+                }
+            }
+        }
+    }
+}
+
+/// How an encounter ended.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EncounterOutcome {
+    /// The ego hit the object at the given impact (relative) speed.
+    Collision {
+        /// Relative speed at contact.
+        impact_speed: Speed,
+    },
+    /// No contact; the closest approach and the closing speed at that
+    /// moment (what near-miss tolerance margins are written in).
+    Resolved {
+        /// Minimum gap reached.
+        min_gap: Meters,
+        /// Closing speed when the minimum gap occurred.
+        closing_at_min: Speed,
+    },
+}
+
+/// Side measurements of one encounter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EncounterStats {
+    /// Largest deceleration the policy commanded.
+    pub max_commanded_brake: Acceleration,
+    /// Whether perception ever detected the object.
+    pub detected: bool,
+    /// Episode duration, seconds.
+    pub duration_s: f64,
+}
+
+/// Runs one encounter to completion.
+///
+/// `faults` must already be sampled; the *world* resolves physics with the
+/// degraded braking either way, while the policy also plans with the
+/// degraded capability (the ADS knows its actual capability, Sec. II-B.3).
+pub fn run_encounter<R: Rng + ?Sized>(
+    challenge: &Challenge,
+    ego_speed: Speed,
+    policy: &dyn TacticalPolicy,
+    vehicle: &VehicleParams,
+    perception: &PerceptionParams,
+    faults: &ActiveFaults,
+    rng: &mut R,
+) -> (EncounterOutcome, EncounterStats) {
+    let perception = perception.with_range_factor(faults.sensor_factor);
+    let capability = vehicle
+        .max_brake
+        .scaled(faults.brake_factor)
+        .expect("fault factors are non-negative");
+
+    let mut gap = challenge.initial_gap.value();
+    let mut ve = ego_speed.as_mps();
+    let mut vo = challenge.object_speed.as_mps();
+    let object_decel = challenge.object_decel;
+
+    let mut t = 0.0;
+    let mut next_scan = 0.0;
+    let mut detected_at: Option<f64> = None;
+    let mut max_cmd: f64 = 0.0;
+    let mut min_gap = gap;
+    let mut closing_at_min = (ve - vo).max(0.0);
+
+    loop {
+        // Perception scans at the configured period.
+        if t >= next_scan {
+            next_scan += perception.scan_period_s;
+            if detected_at.is_none()
+                && perception.in_range(Meters::new(gap.max(0.0)).expect("gap clamped"))
+                && perception.scan_detects(rng)
+            {
+                detected_at = Some(t);
+            }
+        }
+
+        // Braking is authorized after detection plus the reaction time.
+        let braking_authorized = detected_at.is_some_and(|t0| t >= t0 + vehicle.reaction_time_s);
+        let closing = ve - vo;
+        let cmd = if braking_authorized && closing > 0.0 {
+            policy
+                .commanded_brake(
+                    Meters::new(gap.max(0.0)).expect("gap clamped"),
+                    Speed::from_mps(ve).expect("speeds are non-negative"),
+                    Speed::from_mps(vo).expect("speeds are non-negative"),
+                    vehicle,
+                    capability,
+                )
+                .value()
+        } else {
+            0.0
+        };
+        max_cmd = max_cmd.max(cmd);
+
+        // Integrate one step (semi-implicit Euler).
+        ve = (ve - cmd * DT).max(0.0);
+        vo = (vo - object_decel * DT).max(0.0);
+        gap -= (ve - vo) * DT;
+        t += DT;
+
+        let closing_now = ve - vo;
+        if gap < min_gap {
+            min_gap = gap;
+            closing_at_min = closing_now.max(0.0);
+        }
+
+        // Collision?
+        if gap <= 0.0 {
+            let impact = Speed::from_mps(closing_now.max(0.0)).expect("non-negative");
+            return (
+                EncounterOutcome::Collision {
+                    impact_speed: impact,
+                },
+                EncounterStats {
+                    max_commanded_brake: Acceleration::new(max_cmd).expect("bounded"),
+                    detected: detected_at.is_some(),
+                    duration_s: t,
+                },
+            );
+        }
+
+        // Object cleared the corridor?
+        let resolved = t >= challenge.clears_after_s
+            // No longer closing and some gap left.
+            || (closing_now <= 0.0 && gap > 0.0)
+            // Both at rest.
+            || (ve == 0.0 && vo == 0.0)
+            || t >= MAX_DURATION_S;
+        if resolved {
+            return (
+                EncounterOutcome::Resolved {
+                    min_gap: Meters::new(min_gap.max(0.0)).expect("clamped"),
+                    closing_at_min: Speed::from_mps(closing_at_min).expect("non-negative"),
+                },
+                EncounterStats {
+                    max_commanded_brake: Acceleration::new(max_cmd).expect("bounded"),
+                    detected: detected_at.is_some(),
+                    duration_s: t,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{CautiousPolicy, ReactivePolicy};
+    use qrn_stats::rng::seeded;
+
+    fn stationary_vru(gap: f64) -> Challenge {
+        Challenge {
+            object: ObjectType::Vru,
+            initial_gap: Meters::new(gap).unwrap(),
+            object_speed: Speed::ZERO,
+            object_decel: 0.0,
+            clears_after_s: f64::INFINITY,
+        }
+    }
+
+    fn perfect_perception() -> PerceptionParams {
+        PerceptionParams {
+            detection_range: Meters::new(200.0).unwrap(),
+            miss_probability: qrn_units::Probability::ZERO,
+            scan_period_s: 0.1,
+        }
+    }
+
+    #[test]
+    fn ample_gap_resolves_without_contact() {
+        let mut rng = seeded(1);
+        let (outcome, stats) = run_encounter(
+            &stationary_vru(100.0),
+            Speed::from_kmh(50.0).unwrap(),
+            &CautiousPolicy::default(),
+            &VehicleParams::typical(),
+            &perfect_perception(),
+            &ActiveFaults::healthy(),
+            &mut rng,
+        );
+        assert!(matches!(outcome, EncounterOutcome::Resolved { .. }));
+        assert!(stats.detected);
+        if let EncounterOutcome::Resolved { min_gap, .. } = outcome {
+            assert!(min_gap.value() > 0.5, "min gap {min_gap}");
+        }
+    }
+
+    #[test]
+    fn impossible_gap_collides_at_high_speed() {
+        let mut rng = seeded(2);
+        // 5 m gap at 80 km/h: physically unavoidable.
+        let (outcome, _) = run_encounter(
+            &stationary_vru(5.0),
+            Speed::from_kmh(80.0).unwrap(),
+            &CautiousPolicy::default(),
+            &VehicleParams::typical(),
+            &perfect_perception(),
+            &ActiveFaults::healthy(),
+            &mut rng,
+        );
+        match outcome {
+            EncounterOutcome::Collision { impact_speed } => {
+                assert!(impact_speed.as_kmh() > 60.0, "impact {impact_speed}");
+            }
+            other => panic!("expected collision, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn impact_speed_never_exceeds_initial_closing_speed() {
+        let mut rng = seeded(3);
+        for gap in [3.0, 10.0, 25.0, 60.0] {
+            for v in [20.0, 50.0, 90.0] {
+                let (outcome, _) = run_encounter(
+                    &stationary_vru(gap),
+                    Speed::from_kmh(v).unwrap(),
+                    &ReactivePolicy::default(),
+                    &VehicleParams::typical(),
+                    &perfect_perception(),
+                    &ActiveFaults::healthy(),
+                    &mut rng,
+                );
+                if let EncounterOutcome::Collision { impact_speed } = outcome {
+                    assert!(impact_speed.as_kmh() <= v + 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_brakes_turn_resolution_into_collision() {
+        let mut seeds = 0..50u64;
+        let run = |brake_factor: f64, seed: u64| {
+            let mut rng = seeded(seed);
+            let faults = ActiveFaults {
+                brake_factor,
+                sensor_factor: 1.0,
+            };
+            run_encounter(
+                &stationary_vru(35.0),
+                Speed::from_kmh(70.0).unwrap(),
+                &ReactivePolicy::default(),
+                &VehicleParams::typical(),
+                &perfect_perception(),
+                &faults,
+                &mut rng,
+            )
+            .0
+        };
+        let healthy_collisions = seeds
+            .clone()
+            .filter(|&s| matches!(run(1.0, s), EncounterOutcome::Collision { .. }))
+            .count();
+        let degraded_collisions = seeds
+            .by_ref()
+            .filter(|&s| matches!(run(0.3, s), EncounterOutcome::Collision { .. }))
+            .count();
+        assert!(
+            degraded_collisions > healthy_collisions,
+            "degraded {degraded_collisions} vs healthy {healthy_collisions}"
+        );
+    }
+
+    #[test]
+    fn blind_perception_never_brakes() {
+        let mut rng = seeded(5);
+        let blind = PerceptionParams {
+            miss_probability: qrn_units::Probability::ONE,
+            ..perfect_perception()
+        };
+        let (outcome, stats) = run_encounter(
+            &stationary_vru(50.0),
+            Speed::from_kmh(50.0).unwrap(),
+            &CautiousPolicy::default(),
+            &VehicleParams::typical(),
+            &blind,
+            &ActiveFaults::healthy(),
+            &mut rng,
+        );
+        assert!(!stats.detected);
+        assert_eq!(stats.max_commanded_brake, Acceleration::ZERO);
+        assert!(matches!(outcome, EncounterOutcome::Collision { .. }));
+    }
+
+    #[test]
+    fn crossing_object_that_clears_yields_near_miss_with_speed() {
+        let mut rng = seeded(6);
+        // Pedestrian clears after 1 s; ego too close to stop fully but the
+        // pedestrian leaves: near-miss with residual closing speed.
+        let challenge = Challenge {
+            clears_after_s: 1.2,
+            ..stationary_vru(18.0)
+        };
+        let (outcome, _) = run_encounter(
+            &challenge,
+            Speed::from_kmh(60.0).unwrap(),
+            &ReactivePolicy::default(),
+            &VehicleParams::typical(),
+            &perfect_perception(),
+            &ActiveFaults::healthy(),
+            &mut rng,
+        );
+        match outcome {
+            EncounterOutcome::Resolved {
+                min_gap,
+                closing_at_min,
+            } => {
+                assert!(min_gap.value() < 10.0);
+                assert!(closing_at_min.as_kmh() > 0.0);
+            }
+            EncounterOutcome::Collision { .. } => {
+                panic!("object cleared before contact was possible")
+            }
+        }
+    }
+
+    #[test]
+    fn braking_lead_resolves_for_attentive_ego() {
+        let mut rng = seeded(7);
+        let challenge = Challenge {
+            object: ObjectType::Car,
+            initial_gap: Meters::new(40.0).unwrap(),
+            object_speed: Speed::from_kmh(60.0).unwrap(),
+            object_decel: 4.0,
+            clears_after_s: f64::INFINITY,
+        };
+        let (outcome, stats) = run_encounter(
+            &challenge,
+            Speed::from_kmh(60.0).unwrap(),
+            &CautiousPolicy::default(),
+            &VehicleParams::typical(),
+            &perfect_perception(),
+            &ActiveFaults::healthy(),
+            &mut rng,
+        );
+        assert!(
+            matches!(outcome, EncounterOutcome::Resolved { .. }),
+            "{outcome:?} after {}s",
+            stats.duration_s
+        );
+    }
+
+    #[test]
+    fn cut_in_resolves_when_ego_matches_speed() {
+        let mut rng = seeded(9);
+        // A car cuts in at 70% of ego speed, 12 m ahead: the ego must slow
+        // to match; with healthy perception and brakes this resolves.
+        let ego = Speed::from_kmh(80.0).unwrap();
+        let challenge = Challenge {
+            object: ObjectType::Car,
+            initial_gap: Meters::new(12.0).unwrap(),
+            object_speed: Speed::from_mps(ego.as_mps() * 0.7).unwrap(),
+            object_decel: 0.0,
+            clears_after_s: f64::INFINITY,
+        };
+        let (outcome, stats) = run_encounter(
+            &challenge,
+            ego,
+            &CautiousPolicy::default(),
+            &VehicleParams::typical(),
+            &perfect_perception(),
+            &ActiveFaults::healthy(),
+            &mut rng,
+        );
+        assert!(
+            matches!(outcome, EncounterOutcome::Resolved { .. }),
+            "{outcome:?} after {}s",
+            stats.duration_s
+        );
+        assert!(stats.max_commanded_brake > Acceleration::ZERO);
+    }
+
+    #[test]
+    fn challenge_sampling_covers_cut_in_motion() {
+        use crate::scenario::{ChallengeTemplate, ObjectMotion};
+        use qrn_odd::exposure::SituationalFactor;
+        let template = ChallengeTemplate {
+            factor: SituationalFactor::new("cut_in"),
+            object: ObjectType::Car,
+            gap_range_m: (6.0, 20.0),
+            motion: ObjectMotion::CutIn {
+                min_speed_fraction: 0.6,
+                max_speed_fraction: 0.95,
+            },
+        };
+        let mut rng = seeded(10);
+        let ego = Speed::from_kmh(100.0).unwrap();
+        for _ in 0..100 {
+            let c = Challenge::sample(&template, ego, &mut rng);
+            assert!(c.object_speed < ego);
+            assert!(c.object_speed.as_mps() >= ego.as_mps() * 0.6 - 1e-9);
+            assert!((6.0..20.0).contains(&c.initial_gap.value()));
+            assert_eq!(c.object_decel, 0.0);
+        }
+    }
+
+    #[test]
+    fn encounter_terminates_within_cap() {
+        let mut rng = seeded(8);
+        let challenge = Challenge {
+            object: ObjectType::StaticObject,
+            initial_gap: Meters::new(150.0).unwrap(),
+            object_speed: Speed::ZERO,
+            object_decel: 0.0,
+            clears_after_s: f64::INFINITY,
+        };
+        let (_, stats) = run_encounter(
+            &challenge,
+            Speed::from_kmh(30.0).unwrap(),
+            &CautiousPolicy::default(),
+            &VehicleParams::typical(),
+            &perfect_perception(),
+            &ActiveFaults::healthy(),
+            &mut rng,
+        );
+        assert!(stats.duration_s <= MAX_DURATION_S + 1.0);
+    }
+}

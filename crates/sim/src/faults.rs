@@ -1,0 +1,123 @@
+//! Fault injection: degraded braking and degraded sensing.
+//!
+//! Faults are sampled per encounter, modelling intermittent degradations
+//! (ice on the sensor, partial brake-circuit loss). The cautious policy is
+//! *told* about active brake degradation — the paper's point that tactical
+//! decisions should know the current actual capability — while the world
+//! resolves physics with the degraded values either way.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use qrn_stats::rng::bernoulli;
+use qrn_units::Probability;
+
+/// One degradation: activation probability per encounter and the factor
+/// applied while active.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Degradation {
+    /// Probability that the degradation is active during an encounter.
+    pub probability: Probability,
+    /// Multiplier on the degraded quantity while active (e.g. 0.5 halves
+    /// braking capability).
+    pub factor: f64,
+}
+
+/// The fault plan of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Brake-capability degradation, if any.
+    pub brake: Option<Degradation>,
+    /// Detection-range degradation, if any.
+    pub sensor: Option<Degradation>,
+}
+
+/// The faults actually active in one encounter.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ActiveFaults {
+    /// Multiplier on braking capability (1.0 = healthy).
+    pub brake_factor: f64,
+    /// Multiplier on detection range (1.0 = healthy).
+    pub sensor_factor: f64,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Samples which faults are active for one encounter.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> ActiveFaults {
+        let roll = |rng: &mut R, d: &Option<Degradation>| -> f64 {
+            match d {
+                Some(d) if bernoulli(rng, d.probability.value()) => d.factor,
+                _ => 1.0,
+            }
+        };
+        ActiveFaults {
+            brake_factor: roll(rng, &self.brake),
+            sensor_factor: roll(rng, &self.sensor),
+        }
+    }
+}
+
+impl ActiveFaults {
+    /// Healthy state: no degradation.
+    pub fn healthy() -> Self {
+        ActiveFaults {
+            brake_factor: 1.0,
+            sensor_factor: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrn_stats::rng::seeded;
+
+    #[test]
+    fn empty_plan_is_always_healthy() {
+        let mut rng = seeded(1);
+        for _ in 0..100 {
+            assert_eq!(FaultPlan::none().sample(&mut rng), ActiveFaults::healthy());
+        }
+    }
+
+    #[test]
+    fn activation_rate_matches_probability() {
+        let plan = FaultPlan {
+            brake: Some(Degradation {
+                probability: Probability::new(0.25).unwrap(),
+                factor: 0.5,
+            }),
+            sensor: None,
+        };
+        let mut rng = seeded(2);
+        let n = 100_000;
+        let active = (0..n)
+            .filter(|_| plan.sample(&mut rng).brake_factor < 1.0)
+            .count();
+        let rate = active as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.01, "rate={rate}");
+    }
+
+    #[test]
+    fn active_fault_applies_factor() {
+        let plan = FaultPlan {
+            brake: Some(Degradation {
+                probability: Probability::ONE,
+                factor: 0.5,
+            }),
+            sensor: Some(Degradation {
+                probability: Probability::ONE,
+                factor: 0.3,
+            }),
+        };
+        let mut rng = seeded(3);
+        let active = plan.sample(&mut rng);
+        assert_eq!(active.brake_factor, 0.5);
+        assert_eq!(active.sensor_factor, 0.3);
+    }
+}

@@ -1,0 +1,731 @@
+//! Monte-Carlo campaigns: simulated fleet hours producing incident records
+//! and campaign statistics, in parallel and reproducibly.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use qrn_core::classification::IncidentClassification;
+use qrn_core::incident::IncidentRecord;
+use qrn_core::object::{Involvement, ObjectType};
+use qrn_core::verification::MeasuredIncidents;
+use qrn_stats::rng::{bernoulli, exponential, substream, uniform};
+use qrn_stats::summary::OnlineStats;
+use qrn_units::{Acceleration, Frequency, Hours, Meters, Speed, UnitError};
+
+use crate::encounter::{run_encounter, Challenge, EncounterOutcome};
+use crate::faults::FaultPlan;
+use crate::perception::PerceptionParams;
+use crate::policy::TacticalPolicy;
+use crate::scenario::WorldConfig;
+use crate::vehicle::VehicleParams;
+
+/// Parameters of the induced-incident model: hard ego braking can force a
+/// follower into a rear-end conflict (the lower half of the paper's
+/// Fig. 4: "ego vehicle a causing factor in an incident involving other
+/// road users").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InducedParams {
+    /// Probability that a follower is present when the ego brakes hard.
+    pub follower_probability: f64,
+    /// Commanded deceleration above which a follower conflict is possible.
+    pub hard_brake_threshold: Acceleration,
+}
+
+impl Default for InducedParams {
+    fn default() -> Self {
+        InducedParams {
+            follower_probability: 0.3,
+            hard_brake_threshold: Acceleration::new(6.0).expect("static value"),
+        }
+    }
+}
+
+/// A configured Monte-Carlo campaign.
+pub struct Campaign<P> {
+    config: WorldConfig,
+    policy: P,
+    vehicle: VehicleParams,
+    perception: PerceptionParams,
+    faults: FaultPlan,
+    induced: InducedParams,
+    hours: Hours,
+    seed: u64,
+    workers: usize,
+}
+
+impl<P: TacticalPolicy> Campaign<P> {
+    /// Creates a campaign with default vehicle, perception, no faults,
+    /// 100 h exposure, seed 0 and 4 workers.
+    pub fn new(config: WorldConfig, policy: P) -> Self {
+        Campaign {
+            config,
+            policy,
+            vehicle: VehicleParams::typical(),
+            perception: PerceptionParams::typical(),
+            faults: FaultPlan::none(),
+            induced: InducedParams::default(),
+            hours: Hours::new(100.0).expect("static value"),
+            seed: 0,
+            workers: 4,
+        }
+    }
+
+    /// Sets the total simulated exposure.
+    pub fn hours(mut self, hours: Hours) -> Self {
+        self.hours = hours;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "a campaign needs at least one worker");
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the vehicle parameters.
+    pub fn vehicle(mut self, vehicle: VehicleParams) -> Self {
+        self.vehicle = vehicle;
+        self
+    }
+
+    /// Sets the perception parameters.
+    pub fn perception(mut self, perception: PerceptionParams) -> Self {
+        self.perception = perception;
+        self
+    }
+
+    /// Sets the fault plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the induced-incident parameters.
+    pub fn induced(mut self, induced: InducedParams) -> Self {
+        self.induced = induced;
+        self
+    }
+
+    /// Runs the campaign: the exposure is split into shifts, each shift
+    /// simulated on its own RNG substream, in parallel.
+    ///
+    /// The same `(config, policy, seed, hours, workers)` always produces
+    /// the same result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] for a zero-hour campaign.
+    pub fn run(&self) -> Result<CampaignResult, UnitError> {
+        self.run_seeded(self.seed)
+    }
+
+    fn run_seeded(&self, seed: u64) -> Result<CampaignResult, UnitError> {
+        if self.hours.value() <= 0.0 {
+            return Err(UnitError::OutOfRange {
+                quantity: "campaign exposure",
+                value: self.hours.value(),
+                min: f64::MIN_POSITIVE,
+                max: f64::MAX,
+            });
+        }
+        // Fixed-size shifts so results do not depend on worker count.
+        let shift_hours = 10.0f64.min(self.hours.value());
+        let shifts = (self.hours.value() / shift_hours).ceil() as u64;
+        let results: Vec<ShiftResult> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for worker in 0..self.workers {
+                let campaign = &*self;
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut shift = worker as u64;
+                    while shift < shifts {
+                        let remaining = campaign.hours.value() - shift as f64 * shift_hours;
+                        let this_shift = shift_hours.min(remaining);
+                        let mut rng = substream(seed, shift);
+                        out.push(campaign.run_shift(this_shift, &mut rng));
+                        shift += campaign.workers as u64;
+                    }
+                    out
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("shift worker panicked"))
+                .collect()
+        });
+        let mut records = Vec::new();
+        let mut encounters = 0;
+        let mut hard_brake_demands = 0;
+        let mut undetected_encounters = 0;
+        let mut speed_time = 0.0;
+        let mut exposure = 0.0;
+        let mut zone_hours: BTreeMap<String, f64> = BTreeMap::new();
+        let mut zone_encounters: BTreeMap<String, u64> = BTreeMap::new();
+        for r in results {
+            records.extend(r.records);
+            encounters += r.encounters;
+            hard_brake_demands += r.hard_brake_demands;
+            undetected_encounters += r.undetected_encounters;
+            speed_time += r.speed_time;
+            exposure += r.hours;
+            for (zone, h) in r.zone_hours {
+                *zone_hours.entry(zone).or_insert(0.0) += h;
+            }
+            for (zone, n) in r.zone_encounters {
+                *zone_encounters.entry(zone).or_insert(0) += n;
+            }
+        }
+        Ok(CampaignResult {
+            policy_name: self.policy.name().to_string(),
+            records,
+            exposure: Hours::new(exposure)?,
+            encounters,
+            hard_brake_demands,
+            undetected_encounters,
+            mean_cruise_kmh: if exposure > 0.0 {
+                speed_time / exposure
+            } else {
+                0.0
+            },
+            zone_hours,
+            zone_encounters,
+        })
+    }
+
+    /// Runs `n` independent replications (seeds `seed, seed+1, …`) and
+    /// summarises the replication-to-replication spread of the headline
+    /// rates — the error bars for any campaign-derived estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] for a zero-hour campaign or `n == 0`.
+    pub fn run_replications(&self, n: u64) -> Result<ReplicationSummary, UnitError> {
+        if n == 0 {
+            return Err(UnitError::OutOfRange {
+                quantity: "replication count",
+                value: 0.0,
+                min: 1.0,
+                max: f64::MAX,
+            });
+        }
+        let mut encounter_rate = OnlineStats::new();
+        let mut hard_brake_rate = OnlineStats::new();
+        let mut raw_record_count = OnlineStats::new();
+        let mut results = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let result = self.run_seeded(self.seed + i)?;
+            encounter_rate.push(result.encounter_rate()?.as_per_hour());
+            hard_brake_rate.push(result.hard_brake_rate()?.as_per_hour());
+            raw_record_count.push(result.records.len() as f64);
+            results.push(result);
+        }
+        Ok(ReplicationSummary {
+            replications: n,
+            encounter_rate,
+            hard_brake_rate,
+            raw_record_count,
+            results,
+        })
+    }
+
+    /// Simulates one shift of `hours` driving.
+    fn run_shift(&self, hours: f64, rng: &mut StdRng) -> ShiftResult {
+        let mut result = ShiftResult {
+            hours,
+            ..ShiftResult::default()
+        };
+        let mut t = 0.0; // hours into the shift
+        let mut zone_idx = 0;
+        let mut zone_left = self.config.zones[0].dwell.value();
+        while t < hours {
+            let zone = &self.config.zones[zone_idx];
+            // Weather in the zone degrades the detection range; the policy
+            // plans its cruise speed against the degraded range (Sec. IV:
+            // the ADS adapts driving style to sensor performance).
+            let zone_perception = self.perception.with_range_factor(zone.perception_factor);
+            let cruise = self.policy.cruise_speed(
+                zone.speed_limit,
+                &zone_perception,
+                &self.vehicle,
+                self.vehicle.max_brake,
+            );
+            // Earliest challenge arrival across factors, in hours.
+            let mut next: Option<(f64, usize)> = None;
+            for (i, template) in self.config.challenges.iter().enumerate() {
+                let rate = self
+                    .config
+                    .exposure
+                    .rate(&template.factor, &zone.context)
+                    .expect("scenario factors all have base rates")
+                    .as_per_hour();
+                if rate <= 0.0 {
+                    continue;
+                }
+                let dt = exponential(rng, rate);
+                if next.is_none_or(|(best, _)| dt < best) {
+                    next = Some((dt, i));
+                }
+            }
+            let until_zone_end = zone_left.min(hours - t);
+            match next {
+                Some((dt, template_idx)) if dt < until_zone_end => {
+                    t += dt;
+                    zone_left -= dt;
+                    result.speed_time += cruise.as_kmh() * dt;
+                    *result.zone_hours.entry(zone.name.clone()).or_insert(0.0) += dt;
+                    *result.zone_encounters.entry(zone.name.clone()).or_insert(0) += 1;
+                    self.run_one_encounter(
+                        template_idx,
+                        cruise,
+                        &zone_perception,
+                        rng,
+                        &mut result,
+                    );
+                }
+                _ => {
+                    t += until_zone_end;
+                    zone_left -= until_zone_end;
+                    result.speed_time += cruise.as_kmh() * until_zone_end;
+                    *result.zone_hours.entry(zone.name.clone()).or_insert(0.0) += until_zone_end;
+                }
+            }
+            if zone_left <= 1e-12 {
+                zone_idx = (zone_idx + 1) % self.config.zones.len();
+                zone_left = self.config.zones[zone_idx].dwell.value();
+            }
+        }
+        result
+    }
+
+    fn run_one_encounter(
+        &self,
+        template_idx: usize,
+        cruise: Speed,
+        perception: &PerceptionParams,
+        rng: &mut StdRng,
+        result: &mut ShiftResult,
+    ) {
+        let template = &self.config.challenges[template_idx];
+        let challenge = Challenge::sample(template, cruise, rng);
+        let faults = self.faults.sample(rng);
+        let (outcome, stats) = run_encounter(
+            &challenge,
+            cruise,
+            &self.policy,
+            &self.vehicle,
+            perception,
+            &faults,
+            rng,
+        );
+        result.encounters += 1;
+        if !stats.detected {
+            result.undetected_encounters += 1;
+        }
+        // The paper's Sec. II-B.3 yardstick: how often does the drive
+        // *demand* braking significantly harder than 4 m/s²?
+        if stats.max_commanded_brake.value() > 4.0 {
+            result.hard_brake_demands += 1;
+        }
+        let involvement = Involvement::ego_with(template.object);
+        match outcome {
+            EncounterOutcome::Collision { impact_speed } => {
+                result
+                    .records
+                    .push(IncidentRecord::collision(involvement, impact_speed));
+            }
+            EncounterOutcome::Resolved {
+                min_gap,
+                closing_at_min,
+            } => {
+                result.records.push(IncidentRecord::near_miss(
+                    involvement,
+                    min_gap,
+                    closing_at_min,
+                ));
+            }
+        }
+        // Induced rear-end conflict behind hard ego braking.
+        if stats.max_commanded_brake > self.induced.hard_brake_threshold
+            && bernoulli(rng, self.induced.follower_probability)
+        {
+            let excess =
+                stats.max_commanded_brake.value() - self.induced.hard_brake_threshold.value();
+            let pair = Involvement::induced(ObjectType::Car, ObjectType::Car);
+            if bernoulli(rng, (0.1 * excess).min(0.3)) {
+                let impact = uniform(rng, 2.0, 5.0 + 10.0 * excess);
+                result.records.push(IncidentRecord::collision(
+                    pair,
+                    Speed::from_kmh(impact).expect("bounded"),
+                ));
+            } else {
+                result.records.push(IncidentRecord::near_miss(
+                    pair,
+                    Meters::new(uniform(rng, 0.1, 1.5)).expect("bounded"),
+                    Speed::from_kmh(uniform(rng, 5.0, 30.0)).expect("bounded"),
+                ));
+            }
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ShiftResult {
+    hours: f64,
+    records: Vec<IncidentRecord>,
+    encounters: u64,
+    hard_brake_demands: u64,
+    undetected_encounters: u64,
+    speed_time: f64,
+    zone_hours: BTreeMap<String, f64>,
+    zone_encounters: BTreeMap<String, u64>,
+}
+
+/// The outcome of a campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Name of the policy that drove.
+    pub policy_name: String,
+    /// Every raw event produced (collisions and closest approaches; the
+    /// classification decides which are incidents).
+    pub records: Vec<IncidentRecord>,
+    /// Total simulated exposure.
+    exposure: Hours,
+    /// Number of challenges encountered.
+    pub encounters: u64,
+    /// Encounters that demanded braking harder than 4 m/s².
+    pub hard_brake_demands: u64,
+    /// Encounters the perception never detected.
+    pub undetected_encounters: u64,
+    /// Exposure-weighted mean cruise speed, km/h.
+    pub mean_cruise_kmh: f64,
+    /// Time spent per zone, hours.
+    zone_hours: BTreeMap<String, f64>,
+    /// Challenges encountered per zone.
+    zone_encounters: BTreeMap<String, u64>,
+}
+
+impl CampaignResult {
+    /// Total simulated exposure.
+    pub fn exposure(&self) -> Hours {
+        self.exposure
+    }
+
+    /// Classifies the raw records into measured incident counts.
+    pub fn measured(&self, classification: &IncidentClassification) -> (MeasuredIncidents, usize) {
+        MeasuredIncidents::from_records(classification, &self.records, self.exposure)
+    }
+
+    /// Rate of hard-braking demands (> 4 m/s²) per operating hour — the
+    /// paper's policy-dependence yardstick.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] for a zero-exposure result.
+    pub fn hard_brake_rate(&self) -> Result<Frequency, UnitError> {
+        Frequency::from_count(self.hard_brake_demands as f64, self.exposure)
+    }
+
+    /// Rate of challenges encountered per operating hour.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] for a zero-exposure result.
+    pub fn encounter_rate(&self) -> Result<Frequency, UnitError> {
+        Frequency::from_count(self.encounters as f64, self.exposure)
+    }
+
+    /// Time spent in a zone, or zero for an unvisited zone.
+    pub fn zone_exposure(&self, zone: &str) -> Hours {
+        Hours::new(self.zone_hours.get(zone).copied().unwrap_or(0.0))
+            .expect("accumulated durations are non-negative")
+    }
+
+    /// Observed challenge rate in one zone, or `None` for an unvisited
+    /// zone — the empirical counterpart of the exposure model's
+    /// context-dependent rates (Sec. II-B.4).
+    pub fn zone_encounter_rate(&self, zone: &str) -> Option<Frequency> {
+        let hours = self.zone_hours.get(zone).copied()?;
+        let count = self.zone_encounters.get(zone).copied().unwrap_or(0);
+        Frequency::from_count(count as f64, Hours::new(hours).ok()?).ok()
+    }
+
+    /// The zones visited, in name order.
+    pub fn zones(&self) -> impl Iterator<Item = &str> {
+        self.zone_hours.keys().map(String::as_str)
+    }
+}
+
+/// Spread statistics over independent campaign replications.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicationSummary {
+    /// Number of replications run.
+    pub replications: u64,
+    /// Per-replication encounter rate (events per hour).
+    pub encounter_rate: OnlineStats,
+    /// Per-replication hard-brake demand rate (events per hour).
+    pub hard_brake_rate: OnlineStats,
+    /// Per-replication raw record count.
+    pub raw_record_count: OnlineStats,
+    /// The individual replication results, in seed order.
+    pub results: Vec<CampaignResult>,
+}
+
+impl fmt::Display for ReplicationSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} replications: encounters {:.3} ± {:.3}/h, hard brakes {:.3} ± {:.3}/h",
+            self.replications,
+            self.encounter_rate.mean(),
+            self.encounter_rate.std_dev(),
+            self.hard_brake_rate.mean(),
+            self.hard_brake_rate.std_dev(),
+        )
+    }
+}
+
+impl fmt::Display for CampaignResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} over {}: {} encounters, {} hard-brake demands, mean cruise {:.1} km/h",
+            self.policy_name,
+            self.records.len(),
+            self.exposure,
+            self.encounters,
+            self.hard_brake_demands,
+            self.mean_cruise_kmh
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{CautiousPolicy, ReactivePolicy};
+    use crate::scenario::{mixed_scenario, urban_scenario};
+
+    fn h(x: f64) -> Hours {
+        Hours::new(x).unwrap()
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let run = || {
+            Campaign::new(urban_scenario().unwrap(), CautiousPolicy::default())
+                .hours(h(50.0))
+                .seed(11)
+                .workers(3)
+                .run()
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn result_is_independent_of_worker_count() {
+        let run = |workers| {
+            Campaign::new(urban_scenario().unwrap(), CautiousPolicy::default())
+                .hours(h(50.0))
+                .seed(11)
+                .workers(workers)
+                .run()
+                .unwrap()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one.encounters, four.encounters);
+        assert_eq!(one.records.len(), four.records.len());
+    }
+
+    #[test]
+    fn exposure_accumulates_to_requested_hours() {
+        let result = Campaign::new(urban_scenario().unwrap(), CautiousPolicy::default())
+            .hours(h(37.5))
+            .seed(1)
+            .run()
+            .unwrap();
+        assert!((result.exposure().value() - 37.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn encounter_rate_matches_exposure_model_scale() {
+        // Urban: pedestrians ~2/h (8x in school), leads ~1/h, so the
+        // encounter rate should land in the low single digits per hour.
+        let result = Campaign::new(urban_scenario().unwrap(), CautiousPolicy::default())
+            .hours(h(300.0))
+            .seed(2)
+            .run()
+            .unwrap();
+        let rate = result.encounter_rate().unwrap().as_per_hour();
+        assert!((1.0..10.0).contains(&rate), "rate={rate}");
+    }
+
+    #[test]
+    fn cautious_policy_demands_less_hard_braking_than_reactive() {
+        let config = mixed_scenario().unwrap();
+        let cautious = Campaign::new(config.clone(), CautiousPolicy::default())
+            .hours(h(300.0))
+            .seed(3)
+            .run()
+            .unwrap();
+        let reactive = Campaign::new(config, ReactivePolicy::default())
+            .hours(h(300.0))
+            .seed(3)
+            .run()
+            .unwrap();
+        let c = cautious.hard_brake_rate().unwrap().as_per_hour();
+        let r = reactive.hard_brake_rate().unwrap().as_per_hour();
+        assert!(
+            c < r,
+            "cautious {c}/h should demand less hard braking than reactive {r}/h"
+        );
+    }
+
+    #[test]
+    fn cautious_policy_collides_less() {
+        use qrn_core::incident::IncidentKind;
+        let config = mixed_scenario().unwrap();
+        let collisions = |result: &CampaignResult| {
+            result
+                .records
+                .iter()
+                .filter(|r| matches!(r.kind, IncidentKind::Collision { .. }))
+                .count()
+        };
+        let cautious = Campaign::new(config.clone(), CautiousPolicy::default())
+            .hours(h(400.0))
+            .seed(4)
+            .run()
+            .unwrap();
+        let reactive = Campaign::new(config, ReactivePolicy::default())
+            .hours(h(400.0))
+            .seed(4)
+            .run()
+            .unwrap();
+        assert!(
+            collisions(&cautious) <= collisions(&reactive),
+            "cautious {} vs reactive {}",
+            collisions(&cautious),
+            collisions(&reactive)
+        );
+    }
+
+    #[test]
+    fn measured_incidents_flow_into_core() {
+        let c = qrn_core::examples::paper_classification().unwrap();
+        let result = Campaign::new(urban_scenario().unwrap(), ReactivePolicy::default())
+            .hours(h(200.0))
+            .seed(5)
+            .run()
+            .unwrap();
+        let (measured, _non_incidents) = result.measured(&c);
+        assert_eq!(measured.exposure(), result.exposure());
+        // raw events are at least as many as classified incidents
+        assert!(measured.total() as usize <= result.records.len());
+    }
+
+    #[test]
+    fn replications_vary_and_summarise() {
+        let summary = Campaign::new(urban_scenario().unwrap(), CautiousPolicy::default())
+            .hours(h(40.0))
+            .seed(30)
+            .run_replications(5)
+            .unwrap();
+        assert_eq!(summary.replications, 5);
+        assert_eq!(summary.results.len(), 5);
+        // Different seeds produce different outcomes...
+        assert!(summary.raw_record_count.sample_variance() > 0.0);
+        // ...whose spread matches a Poisson-ish scale (std << mean).
+        assert!(summary.encounter_rate.std_dev() < summary.encounter_rate.mean());
+        // The first replication equals a plain run with the same seed.
+        let single = Campaign::new(urban_scenario().unwrap(), CautiousPolicy::default())
+            .hours(h(40.0))
+            .seed(30)
+            .run()
+            .unwrap();
+        assert_eq!(summary.results[0], single);
+        assert!(summary.to_string().contains("5 replications"));
+    }
+
+    #[test]
+    fn zero_replications_is_an_error() {
+        let err = Campaign::new(urban_scenario().unwrap(), CautiousPolicy::default())
+            .hours(h(10.0))
+            .run_replications(0);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn per_zone_exposure_sums_to_total() {
+        let result = Campaign::new(mixed_scenario().unwrap(), CautiousPolicy::default())
+            .hours(h(100.0))
+            .seed(6)
+            .run()
+            .unwrap();
+        let total: f64 = result
+            .zones()
+            .map(|z| result.zone_exposure(z).value())
+            .sum();
+        assert!((total - result.exposure().value()).abs() < 1e-6);
+        // dwell ratios respected: highway 0.3 vs residential 0.2 of each cycle
+        let highway = result.zone_exposure("highway").value();
+        let residential = result.zone_exposure("residential").value();
+        assert!((highway / residential - 1.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn zone_encounter_rates_reflect_the_exposure_model() {
+        // In the mixed scenario the school zone does not exist but the
+        // residential zone has base pedestrian pressure, while the highway
+        // suppresses pedestrians (x0.01) but boosts leads, animals and
+        // cut-ins. Net: both see encounters, but with different mixes —
+        // and the *school* multiplier is testable in the urban scenario.
+        let result = Campaign::new(urban_scenario().unwrap(), CautiousPolicy::default())
+            .hours(h(400.0))
+            .seed(7)
+            .run()
+            .unwrap();
+        let school = result.zone_encounter_rate("school").unwrap().as_per_hour();
+        let residential = result
+            .zone_encounter_rate("residential")
+            .unwrap()
+            .as_per_hour();
+        // school zone: pedestrians at 8x -> encounter rate several times higher
+        assert!(
+            school > 3.0 * residential,
+            "school {school}/h vs residential {residential}/h"
+        );
+        assert_eq!(result.zone_encounter_rate("nonexistent"), None);
+    }
+
+    #[test]
+    fn zero_hours_is_an_error() {
+        let err = Campaign::new(urban_scenario().unwrap(), CautiousPolicy::default())
+            .hours(Hours::ZERO)
+            .run();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = Campaign::new(urban_scenario().unwrap(), CautiousPolicy::default()).workers(0);
+    }
+}

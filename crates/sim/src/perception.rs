@@ -1,0 +1,114 @@
+//! Perception model: detection range, per-scan miss probability, scan
+//! period.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use qrn_stats::rng::bernoulli;
+use qrn_units::{Meters, Probability};
+
+/// Parameters of the (abstracted) perception stack.
+///
+/// An object becomes *detectable* when its gap drops below
+/// `detection_range`. Each scan (every `scan_period_s`) then detects it
+/// with probability `1 − miss_probability`; consecutive misses delay the
+/// detection, which is how sensor performance limitations turn into late
+/// braking and, eventually, incidents — with no separate "SOTIF" analysis
+/// needed, exactly as Sec. V argues.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerceptionParams {
+    /// Range below which an object is detectable.
+    pub detection_range: Meters,
+    /// Probability that one scan misses a detectable object.
+    pub miss_probability: Probability,
+    /// Scan period in seconds (10 Hz default).
+    pub scan_period_s: f64,
+}
+
+impl PerceptionParams {
+    /// A typical stack: 120 m range, 5% per-scan miss, 10 Hz.
+    pub fn typical() -> Self {
+        PerceptionParams {
+            detection_range: Meters::new(120.0).expect("static value"),
+            miss_probability: Probability::new(0.05).expect("static value"),
+            scan_period_s: 0.1,
+        }
+    }
+
+    /// Returns `true` when an object at `gap` is inside the sensing range.
+    pub fn in_range(&self, gap: Meters) -> bool {
+        gap < self.detection_range
+    }
+
+    /// Rolls one scan: does the stack see a detectable object this scan?
+    pub fn scan_detects<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        !bernoulli(rng, self.miss_probability.value())
+    }
+
+    /// Returns a copy with the detection range scaled (fault injection /
+    /// weather degradation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite (programming error in
+    /// a fault plan).
+    pub fn with_range_factor(self, factor: f64) -> Self {
+        PerceptionParams {
+            detection_range: Meters::new(self.detection_range.value() * factor)
+                .expect("factor must be non-negative and finite"),
+            ..self
+        }
+    }
+}
+
+impl Default for PerceptionParams {
+    fn default() -> Self {
+        PerceptionParams::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrn_stats::rng::seeded;
+
+    #[test]
+    fn range_check() {
+        let p = PerceptionParams::typical();
+        assert!(p.in_range(Meters::new(50.0).unwrap()));
+        assert!(!p.in_range(Meters::new(120.0).unwrap()));
+    }
+
+    #[test]
+    fn scan_miss_rate_matches_parameter() {
+        let p = PerceptionParams {
+            miss_probability: Probability::new(0.2).unwrap(),
+            ..PerceptionParams::typical()
+        };
+        let mut rng = seeded(1);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| p.scan_detects(&mut rng)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.8).abs() < 0.01, "rate={rate}");
+    }
+
+    #[test]
+    fn range_factor_scales() {
+        let p = PerceptionParams::typical().with_range_factor(0.5);
+        assert!((p.detection_range.value() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_range_factor_panics() {
+        PerceptionParams::typical().with_range_factor(-1.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = PerceptionParams::typical();
+        let back: PerceptionParams =
+            serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,336 @@
+//! Tactical policies: the decision layer whose existence changes the HARA
+//! calculus.
+//!
+//! Sec. II-B.2 of the paper: "What situations the ADS will be exposed to
+//! will depend on its decisions in previous situations." The two built-in
+//! policies bracket the proactive/reactive spectrum the paper discusses:
+//!
+//! * [`ReactivePolicy`] drives at the speed limit and slams the brakes when
+//!   time-to-collision drops below a threshold — the AEB-like baseline.
+//! * [`CautiousPolicy`] chooses a cruise speed from the *stopping-distance
+//!   envelope*: never faster than what the current detection range, system
+//!   reaction time and **current actual braking capability** can absorb
+//!   (Sec. II-B.3: "as long as the tactical decisions know about the
+//!   current actual braking capability, it should be possible to safely
+//!   adjust the driving style accordingly"). It also brakes earlier and
+//!   proportionally.
+
+use serde::{Deserialize, Serialize};
+
+use qrn_units::{Acceleration, Meters, Speed};
+
+use crate::perception::PerceptionParams;
+use crate::vehicle::VehicleParams;
+
+/// A tactical decision layer: cruise-speed choice and braking behaviour.
+///
+/// Implementations must be deterministic functions of their inputs — all
+/// randomness lives in the world, so that policy comparisons are
+/// apples-to-apples under common random numbers.
+pub trait TacticalPolicy: Send + Sync {
+    /// Policy name for reports.
+    fn name(&self) -> &str;
+
+    /// The cruise speed chosen for a zone, given the legal limit, the
+    /// current perception and the *current* braking capability.
+    fn cruise_speed(
+        &self,
+        speed_limit: Speed,
+        perception: &PerceptionParams,
+        vehicle: &VehicleParams,
+        capability: Acceleration,
+    ) -> Speed;
+
+    /// The commanded deceleration given the current gap to a conflicting
+    /// object, the ego and object speeds, and the current braking
+    /// capability. Returning zero means "no braking yet".
+    fn commanded_brake(
+        &self,
+        gap: Meters,
+        ego_speed: Speed,
+        object_speed: Speed,
+        vehicle: &VehicleParams,
+        capability: Acceleration,
+    ) -> Acceleration;
+}
+
+/// Baseline policy: cruise at the limit, full braking below a fixed
+/// time-to-collision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReactivePolicy {
+    /// Time-to-collision threshold (seconds) below which full braking is
+    /// commanded.
+    pub ttc_threshold_s: f64,
+}
+
+impl Default for ReactivePolicy {
+    fn default() -> Self {
+        ReactivePolicy {
+            ttc_threshold_s: 2.0,
+        }
+    }
+}
+
+impl TacticalPolicy for ReactivePolicy {
+    fn name(&self) -> &str {
+        "reactive"
+    }
+
+    fn cruise_speed(
+        &self,
+        speed_limit: Speed,
+        _perception: &PerceptionParams,
+        _vehicle: &VehicleParams,
+        _capability: Acceleration,
+    ) -> Speed {
+        speed_limit
+    }
+
+    fn commanded_brake(
+        &self,
+        gap: Meters,
+        ego_speed: Speed,
+        object_speed: Speed,
+        _vehicle: &VehicleParams,
+        capability: Acceleration,
+    ) -> Acceleration {
+        let closing = ego_speed.as_mps() - object_speed.as_mps();
+        if closing <= 0.0 {
+            return Acceleration::ZERO;
+        }
+        let ttc = gap.value() / closing;
+        if ttc < self.ttc_threshold_s {
+            capability
+        } else {
+            Acceleration::ZERO
+        }
+    }
+}
+
+/// Proactive policy: speed from the stopping-distance envelope, early
+/// proportional braking.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CautiousPolicy {
+    /// Fraction of the detection range the full stop must fit into
+    /// (smaller is more cautious).
+    pub envelope_fraction: f64,
+    /// Fraction of capability assumed available when planning (margin for
+    /// surface conditions).
+    pub capability_margin: f64,
+    /// Gap buffer kept when computing needed deceleration, in meters.
+    pub buffer_m: f64,
+}
+
+impl Default for CautiousPolicy {
+    fn default() -> Self {
+        CautiousPolicy {
+            envelope_fraction: 0.6,
+            capability_margin: 0.7,
+            buffer_m: 2.0,
+        }
+    }
+}
+
+impl TacticalPolicy for CautiousPolicy {
+    fn name(&self) -> &str {
+        "cautious"
+    }
+
+    fn cruise_speed(
+        &self,
+        speed_limit: Speed,
+        perception: &PerceptionParams,
+        vehicle: &VehicleParams,
+        capability: Acceleration,
+    ) -> Speed {
+        // Largest v with v·t_react + v²/(2·a_planned) ≤ fraction·range.
+        let a = (capability.value() * self.capability_margin).max(0.1);
+        let d = perception.detection_range.value() * self.envelope_fraction;
+        let t = vehicle.reaction_time_s;
+        // v = -a·t + sqrt(a²t² + 2·a·d)
+        let v = -a * t + (a * a * t * t + 2.0 * a * d).sqrt();
+        let envelope = Speed::from_mps(v.max(0.0)).expect("quadratic root is finite");
+        envelope.min(speed_limit)
+    }
+
+    fn commanded_brake(
+        &self,
+        gap: Meters,
+        ego_speed: Speed,
+        object_speed: Speed,
+        vehicle: &VehicleParams,
+        capability: Acceleration,
+    ) -> Acceleration {
+        let ve = ego_speed.as_mps();
+        let vo = object_speed.as_mps();
+        if ve <= vo || ve == 0.0 {
+            return Acceleration::ZERO;
+        }
+        // Worst-case planning: assume the object may brake to a stop at
+        // the ego's own capability, so the distance available to the ego's
+        // full stop is the gap plus the object's worst-case stopping
+        // distance, minus the buffer. For a stationary object this reduces
+        // to "stop within the gap".
+        let object_stop = vo * vo / (2.0 * capability.value().max(0.1));
+        let usable_gap = (gap.value() + object_stop - self.buffer_m).max(0.05);
+        let needed = ve * ve / (2.0 * usable_gap);
+        // Brake early: act as soon as the needed deceleration reaches a
+        // third of the comfort level, and command 20% above the need.
+        // Inside twice the buffer the policy always brakes to a stop —
+        // without this, a slow approach whose "needed" deceleration stays
+        // tiny would creep through the buffer into a touch collision.
+        let close_range = gap.value() < 2.0 * self.buffer_m;
+        if needed < vehicle.comfort_brake.value() / 3.0 && !close_range {
+            return Acceleration::ZERO;
+        }
+        let cmd = if close_range {
+            (needed * 1.2).max(vehicle.comfort_brake.value())
+        } else {
+            needed * 1.2
+        };
+        Acceleration::new(cmd.min(capability.value())).expect("bounded positive value")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kmh(v: f64) -> Speed {
+        Speed::from_kmh(v).unwrap()
+    }
+
+    fn m(d: f64) -> Meters {
+        Meters::new(d).unwrap()
+    }
+
+    #[test]
+    fn reactive_cruises_at_limit() {
+        let p = ReactivePolicy::default();
+        let v = p.cruise_speed(
+            kmh(50.0),
+            &PerceptionParams::typical(),
+            &VehicleParams::typical(),
+            Acceleration::new(8.0).unwrap(),
+        );
+        assert_eq!(v, kmh(50.0));
+    }
+
+    #[test]
+    fn reactive_brakes_only_below_ttc() {
+        let p = ReactivePolicy::default();
+        let veh = VehicleParams::typical();
+        let cap = Acceleration::new(8.0).unwrap();
+        // 20 m at 5 m/s closing: TTC 4 s -> no brake
+        assert_eq!(
+            p.commanded_brake(
+                m(20.0),
+                Speed::from_mps(5.0).unwrap(),
+                Speed::ZERO,
+                &veh,
+                cap
+            ),
+            Acceleration::ZERO
+        );
+        // 5 m at 5 m/s closing: TTC 1 s -> full brake
+        assert_eq!(
+            p.commanded_brake(
+                m(5.0),
+                Speed::from_mps(5.0).unwrap(),
+                Speed::ZERO,
+                &veh,
+                cap
+            ),
+            cap
+        );
+    }
+
+    #[test]
+    fn cautious_envelope_caps_speed_below_limit_when_range_is_short() {
+        let p = CautiousPolicy::default();
+        let veh = VehicleParams::typical();
+        let cap = Acceleration::new(8.0).unwrap();
+        let short_range = PerceptionParams::typical().with_range_factor(0.2); // 24 m
+        let v = p.cruise_speed(kmh(100.0), &short_range, &veh, cap);
+        assert!(v < kmh(100.0));
+        // and the envelope really fits: stopping distance within fraction of range
+        let a = Acceleration::new(cap.value() * p.capability_margin).unwrap();
+        let stop = v.stopping_distance(a).unwrap().value() + v.as_mps() * veh.reaction_time_s;
+        assert!(stop <= short_range.detection_range.value() * p.envelope_fraction + 1e-6);
+    }
+
+    #[test]
+    fn cautious_slows_down_when_capability_degrades() {
+        let p = CautiousPolicy::default();
+        let veh = VehicleParams::typical();
+        let perception = PerceptionParams::typical();
+        let healthy = p.cruise_speed(
+            kmh(120.0),
+            &perception,
+            &veh,
+            Acceleration::new(8.0).unwrap(),
+        );
+        let degraded = p.cruise_speed(
+            kmh(120.0),
+            &perception,
+            &veh,
+            Acceleration::new(4.0).unwrap(),
+        );
+        assert!(
+            degraded < healthy,
+            "knowing the actual braking capability must slow the cautious policy"
+        );
+    }
+
+    #[test]
+    fn cautious_brakes_earlier_than_reactive() {
+        let cautious = CautiousPolicy::default();
+        let reactive = ReactivePolicy::default();
+        let veh = VehicleParams::typical();
+        let cap = Acceleration::new(8.0).unwrap();
+        // 40 m gap, stationary object, 15 m/s ego: TTC 2.7 s.
+        let gap = m(40.0);
+        let ego = Speed::from_mps(15.0).unwrap();
+        let c = cautious.commanded_brake(gap, ego, Speed::ZERO, &veh, cap);
+        let r = reactive.commanded_brake(gap, ego, Speed::ZERO, &veh, cap);
+        assert!(c > Acceleration::ZERO);
+        assert_eq!(r, Acceleration::ZERO);
+    }
+
+    #[test]
+    fn commanded_brake_never_exceeds_capability() {
+        let p = CautiousPolicy::default();
+        let veh = VehicleParams::typical();
+        let cap = Acceleration::new(4.0).unwrap(); // degraded
+        let cmd = p.commanded_brake(
+            m(3.0),
+            Speed::from_mps(30.0).unwrap(),
+            Speed::ZERO,
+            &veh,
+            cap,
+        );
+        assert!(cmd <= cap);
+    }
+
+    #[test]
+    fn no_braking_when_not_closing() {
+        let p = CautiousPolicy::default();
+        let veh = VehicleParams::typical();
+        let cap = Acceleration::new(8.0).unwrap();
+        assert_eq!(
+            p.commanded_brake(m(10.0), Speed::ZERO, Speed::ZERO, &veh, cap),
+            Acceleration::ZERO
+        );
+        // ego slower than the object: never brake
+        assert_eq!(
+            p.commanded_brake(
+                m(10.0),
+                Speed::from_mps(5.0).unwrap(),
+                Speed::from_mps(8.0).unwrap(),
+                &veh,
+                cap
+            ),
+            Acceleration::ZERO
+        );
+    }
+}

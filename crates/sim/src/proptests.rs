@@ -1,0 +1,135 @@
+//! Property-based tests for encounter physics: conservation-style
+//! invariants that must hold for any parameters.
+
+use proptest::prelude::*;
+
+use qrn_core::object::ObjectType;
+use qrn_stats::rng::seeded;
+use qrn_units::{Meters, Probability, Speed};
+
+use crate::encounter::{run_encounter, Challenge, EncounterOutcome};
+use crate::faults::ActiveFaults;
+use crate::perception::PerceptionParams;
+use crate::policy::{CautiousPolicy, ReactivePolicy, TacticalPolicy};
+use crate::vehicle::VehicleParams;
+
+fn challenge() -> impl Strategy<Value = Challenge> {
+    (
+        proptest::sample::select(ObjectType::ALL.to_vec()),
+        2.0f64..150.0,                                  // initial gap
+        0.0f64..30.0,                                   // object speed m/s
+        0.0f64..8.0,                                    // object decel
+        prop_oneof![Just(f64::INFINITY), 0.5f64..10.0], // clears after
+    )
+        .prop_map(|(object, gap, vo, decel, clears)| Challenge {
+            object,
+            initial_gap: Meters::new(gap).expect("positive"),
+            object_speed: Speed::from_mps(vo).expect("positive"),
+            object_decel: decel,
+            clears_after_s: clears,
+        })
+}
+
+fn run_with(
+    challenge: &Challenge,
+    ego_kmh: f64,
+    policy: &dyn TacticalPolicy,
+    miss: f64,
+    brake_factor: f64,
+    seed: u64,
+) -> (EncounterOutcome, crate::encounter::EncounterStats) {
+    let mut rng = seeded(seed);
+    let perception = PerceptionParams {
+        miss_probability: Probability::new(miss).expect("in [0,1]"),
+        ..PerceptionParams::typical()
+    };
+    let faults = ActiveFaults {
+        brake_factor,
+        sensor_factor: 1.0,
+    };
+    run_encounter(
+        challenge,
+        Speed::from_kmh(ego_kmh).expect("positive"),
+        policy,
+        &VehicleParams::typical(),
+        &perception,
+        &faults,
+        &mut rng,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Physics invariants for any encounter, any policy:
+    /// impact speed never exceeds the worst-case closing speed, min gap
+    /// never exceeds the initial gap, commanded braking never exceeds the
+    /// degraded capability, episodes terminate.
+    #[test]
+    fn encounter_invariants(
+        c in challenge(),
+        ego in 5.0f64..130.0,
+        miss in 0.0f64..0.5,
+        brake_factor in 0.2f64..1.0,
+        cautious in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let cautious_policy = CautiousPolicy::default();
+        let reactive_policy = ReactivePolicy::default();
+        let policy: &dyn TacticalPolicy =
+            if cautious { &cautious_policy } else { &reactive_policy };
+        let (outcome, stats) = run_with(&c, ego, policy, miss, brake_factor, seed);
+
+        // worst-case closing speed: ego speed plus nothing (object moves
+        // away or toward standstill, never backward)
+        let max_closing = Speed::from_kmh(ego).expect("positive");
+        match outcome {
+            EncounterOutcome::Collision { impact_speed } => {
+                prop_assert!(impact_speed.as_mps() <= max_closing.as_mps() + 1e-6);
+            }
+            EncounterOutcome::Resolved { min_gap, closing_at_min } => {
+                prop_assert!(min_gap.value() <= c.initial_gap.value() + 1e-9);
+                prop_assert!(closing_at_min.as_mps() <= max_closing.as_mps() + 1e-6);
+            }
+        }
+        let capability = VehicleParams::typical().max_brake.value() * brake_factor;
+        prop_assert!(stats.max_commanded_brake.value() <= capability + 1e-9);
+        prop_assert!(stats.duration_s <= 121.0);
+    }
+
+    /// Determinism: the same seed and parameters give the same outcome.
+    #[test]
+    fn encounters_are_deterministic(
+        c in challenge(),
+        ego in 5.0f64..130.0,
+        seed in 0u64..1000,
+    ) {
+        let policy = CautiousPolicy::default();
+        let a = run_with(&c, ego, &policy, 0.1, 1.0, seed);
+        let b = run_with(&c, ego, &policy, 0.1, 1.0, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// With perfect perception, ample distance and a stationary object,
+    /// the cautious policy never collides below the envelope speed.
+    #[test]
+    fn cautious_never_collides_with_ample_margin(
+        gap in 100.0f64..150.0,
+        ego in 5.0f64..50.0,
+        seed in 0u64..100,
+    ) {
+        let c = Challenge {
+            object: ObjectType::StaticObject,
+            initial_gap: Meters::new(gap).expect("positive"),
+            object_speed: Speed::ZERO,
+            object_decel: 0.0,
+            clears_after_s: f64::INFINITY,
+        };
+        let policy = CautiousPolicy::default();
+        let (outcome, _) = run_with(&c, ego, &policy, 0.0, 1.0, seed);
+        prop_assert!(
+            matches!(outcome, EncounterOutcome::Resolved { .. }),
+            "gap {gap} at {ego} km/h: {outcome:?}"
+        );
+    }
+}

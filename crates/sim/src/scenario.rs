@@ -1,0 +1,355 @@
+//! World configuration: zones, challenge templates, and scenario presets.
+
+use serde::{Deserialize, Serialize};
+
+use qrn_core::object::ObjectType;
+use qrn_odd::attribute::{Constraint, Dimension};
+use qrn_odd::context::{Context, Value};
+use qrn_odd::exposure::{ExposureModel, SituationalFactor};
+use qrn_units::{Frequency, Hours, Speed, UnitError};
+
+/// How the conflicting object moves during an encounter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ObjectMotion {
+    /// Standing in or crossing the corridor (pedestrian, animal, debris).
+    Stationary,
+    /// A lead vehicle initially at the ego's speed, braking to a stop with
+    /// a deceleration sampled uniformly from the given m/s² range.
+    LeadBraking {
+        /// Minimum lead deceleration, m/s².
+        min_decel: f64,
+        /// Maximum lead deceleration, m/s².
+        max_decel: f64,
+    },
+    /// A vehicle cutting in ahead at a fraction of the ego's speed and
+    /// keeping that speed (no braking, never clears).
+    CutIn {
+        /// Minimum cut-in speed as a fraction of ego speed.
+        min_speed_fraction: f64,
+        /// Maximum cut-in speed as a fraction of ego speed.
+        max_speed_fraction: f64,
+    },
+}
+
+/// A template describing the encounters one situational factor produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChallengeTemplate {
+    /// The exposure-model factor driving the arrival rate.
+    pub factor: SituationalFactor,
+    /// The object category encountered.
+    pub object: ObjectType,
+    /// Initial gap sampled uniformly from this range, meters.
+    pub gap_range_m: (f64, f64),
+    /// Object motion during the encounter.
+    pub motion: ObjectMotion,
+}
+
+/// One zone of the route: a driving context with a speed limit and dwell
+/// time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZoneSpec {
+    /// Zone name for reports.
+    pub name: String,
+    /// The ODD context of the zone (what the exposure model keys on).
+    pub context: Context,
+    /// Legal speed limit in the zone.
+    pub speed_limit: Speed,
+    /// Time spent in the zone before moving to the next (zones cycle).
+    pub dwell: Hours,
+    /// Multiplier on the perception detection range in this zone
+    /// (1.0 = clear conditions; fog/heavy rain shrink it). The cautious
+    /// policy sees the degraded range and slows down — the Sec. IV
+    /// trade-off between sensor performance, driving style and ODD choice.
+    pub perception_factor: f64,
+}
+
+/// The full world configuration of a campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Zones visited cyclically.
+    pub zones: Vec<ZoneSpec>,
+    /// Context-dependent arrival rates per situational factor.
+    pub exposure: ExposureModel,
+    /// What each factor's encounters look like.
+    pub challenges: Vec<ChallengeTemplate>,
+}
+
+impl WorldConfig {
+    /// The template for a factor, if any.
+    pub fn template(&self, factor: &SituationalFactor) -> Option<&ChallengeTemplate> {
+        self.challenges.iter().find(|c| &c.factor == factor)
+    }
+}
+
+/// Dimension used by the preset scenarios to distinguish zones.
+pub fn zone_dimension() -> Dimension {
+    Dimension::new("zone")
+}
+
+fn zone(name: &str, limit_kmh: f64, dwell_h: f64) -> Result<ZoneSpec, UnitError> {
+    Ok(ZoneSpec {
+        name: name.to_string(),
+        context: Context::builder()
+            .set(zone_dimension(), Value::category(name))
+            .build(),
+        speed_limit: Speed::from_kmh(limit_kmh)?,
+        dwell: Hours::new(dwell_h)?,
+        perception_factor: 1.0,
+    })
+}
+
+fn foggy(mut zone: ZoneSpec, factor: f64) -> ZoneSpec {
+    zone.name = format!("{}-fog", zone.name);
+    zone.context = Context::builder()
+        .set(zone_dimension(), Value::category(&zone.name))
+        .build();
+    zone.perception_factor = factor;
+    zone
+}
+
+fn standard_challenges() -> Vec<ChallengeTemplate> {
+    vec![
+        ChallengeTemplate {
+            factor: SituationalFactor::new("pedestrian_crossing"),
+            object: ObjectType::Vru,
+            gap_range_m: (8.0, 60.0),
+            motion: ObjectMotion::Stationary,
+        },
+        ChallengeTemplate {
+            factor: SituationalFactor::new("lead_hard_brake"),
+            object: ObjectType::Car,
+            gap_range_m: (15.0, 50.0),
+            motion: ObjectMotion::LeadBraking {
+                min_decel: 3.0,
+                max_decel: 8.0,
+            },
+        },
+        ChallengeTemplate {
+            factor: SituationalFactor::new("animal_crossing"),
+            object: ObjectType::Animal,
+            gap_range_m: (20.0, 100.0),
+            motion: ObjectMotion::Stationary,
+        },
+        ChallengeTemplate {
+            factor: SituationalFactor::new("static_obstacle"),
+            object: ObjectType::StaticObject,
+            gap_range_m: (30.0, 150.0),
+            motion: ObjectMotion::Stationary,
+        },
+        ChallengeTemplate {
+            factor: SituationalFactor::new("cut_in"),
+            object: ObjectType::Car,
+            gap_range_m: (6.0, 20.0),
+            motion: ObjectMotion::CutIn {
+                min_speed_fraction: 0.6,
+                max_speed_fraction: 0.95,
+            },
+        },
+    ]
+}
+
+fn standard_exposure() -> Result<ExposureModel, UnitError> {
+    let f = SituationalFactor::new;
+    let cat = |names: &[&str]| Constraint::any_of(names.iter().copied());
+    let model = ExposureModel::builder()
+        // Base rates per operating hour (illustrative, not real statistics).
+        .base_rate(f("pedestrian_crossing"), Frequency::per_hour(2.0)?)
+        .base_rate(f("lead_hard_brake"), Frequency::per_hour(1.0)?)
+        .base_rate(f("animal_crossing"), Frequency::per_hour(0.02)?)
+        .base_rate(f("static_obstacle"), Frequency::per_hour(0.1)?)
+        .base_rate(f("cut_in"), Frequency::per_hour(0.5)?)
+        // Sec. II-B.4: rates vary with place.
+        .modifier(
+            f("pedestrian_crossing"),
+            [(zone_dimension(), cat(&["school"]))],
+            8.0,
+        )
+        .expect("finite multiplier")
+        .modifier(
+            f("pedestrian_crossing"),
+            [(zone_dimension(), cat(&["highway"]))],
+            0.01,
+        )
+        .expect("finite multiplier")
+        .modifier(
+            f("lead_hard_brake"),
+            [(zone_dimension(), cat(&["highway"]))],
+            2.0,
+        )
+        .expect("finite multiplier")
+        .modifier(
+            f("animal_crossing"),
+            [(zone_dimension(), cat(&["rural", "highway"]))],
+            10.0,
+        )
+        .expect("finite multiplier")
+        .modifier(
+            f("cut_in"),
+            [(zone_dimension(), cat(&["highway", "arterial"]))],
+            3.0,
+        )
+        .expect("finite multiplier")
+        .build()
+        .expect("all modifiers have base rates");
+    Ok(model)
+}
+
+/// An urban scenario: residential, school and arterial zones, low speed
+/// limits, high pedestrian pressure.
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` propagates constructor checks.
+pub fn urban_scenario() -> Result<WorldConfig, UnitError> {
+    Ok(WorldConfig {
+        zones: vec![
+            zone("residential", 30.0, 0.3)?,
+            zone("school", 30.0, 0.1)?,
+            zone("arterial", 60.0, 0.6)?,
+        ],
+        exposure: standard_exposure()?,
+        challenges: standard_challenges(),
+    })
+}
+
+/// A highway scenario: high speed, few pedestrians, more hard-braking
+/// leads and animals.
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` propagates constructor checks.
+pub fn highway_scenario() -> Result<WorldConfig, UnitError> {
+    Ok(WorldConfig {
+        zones: vec![zone("highway", 110.0, 0.8)?, zone("rural", 80.0, 0.2)?],
+        exposure: standard_exposure()?,
+        challenges: standard_challenges(),
+    })
+}
+
+/// A mixed route cycling urban, rural and highway zones.
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` propagates constructor checks.
+pub fn mixed_scenario() -> Result<WorldConfig, UnitError> {
+    Ok(WorldConfig {
+        zones: vec![
+            zone("residential", 30.0, 0.2)?,
+            zone("arterial", 60.0, 0.3)?,
+            zone("rural", 80.0, 0.2)?,
+            zone("highway", 110.0, 0.3)?,
+        ],
+        exposure: standard_exposure()?,
+        challenges: standard_challenges(),
+    })
+}
+
+/// The urban route with a fog episode: an extra arterial leg repeats with
+/// the detection range cut to the given fraction. Used by the ODD
+/// trade-off experiment — passing `1.0` models the *ODD-restricted*
+/// alternative where the feature only operates in clear visibility, on the
+/// identical route (same zone mix, so rates are comparable).
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` propagates constructor checks.
+pub fn foggy_urban_scenario(perception_factor: f64) -> Result<WorldConfig, UnitError> {
+    let base = urban_scenario()?;
+    let mut zones = base.zones.clone();
+    zones.push(foggy(zone("arterial", 60.0, 0.25)?, perception_factor));
+    Ok(WorldConfig { zones, ..base })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_build() {
+        for config in [urban_scenario(), highway_scenario(), mixed_scenario()] {
+            let config = config.unwrap();
+            assert!(!config.zones.is_empty());
+            assert!(!config.challenges.is_empty());
+        }
+    }
+
+    #[test]
+    fn every_challenge_factor_has_a_rate_in_every_zone() {
+        let config = mixed_scenario().unwrap();
+        for z in &config.zones {
+            for c in &config.challenges {
+                assert!(
+                    config.exposure.rate(&c.factor, &z.context).is_some(),
+                    "factor {} missing in zone {}",
+                    c.factor,
+                    z.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn school_zone_has_more_pedestrians_than_highway() {
+        let config = mixed_scenario().unwrap();
+        let ped = SituationalFactor::new("pedestrian_crossing");
+        let school = Context::builder()
+            .set(zone_dimension(), Value::category("school"))
+            .build();
+        let highway = Context::builder()
+            .set(zone_dimension(), Value::category("highway"))
+            .build();
+        let r_school = config.exposure.rate(&ped, &school).unwrap();
+        let r_highway = config.exposure.rate(&ped, &highway).unwrap();
+        assert!(r_school.as_per_hour() > 100.0 * r_highway.as_per_hour());
+    }
+
+    #[test]
+    fn template_lookup() {
+        let config = urban_scenario().unwrap();
+        let t = config
+            .template(&SituationalFactor::new("pedestrian_crossing"))
+            .unwrap();
+        assert_eq!(t.object, ObjectType::Vru);
+        assert!(config.template(&SituationalFactor::new("nope")).is_none());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let config = urban_scenario().unwrap();
+        let back: WorldConfig =
+            serde_json::from_str(&serde_json::to_string(&config).unwrap()).unwrap();
+        assert_eq!(config, back);
+    }
+
+    #[test]
+    fn foggy_scenario_extends_the_urban_route() {
+        let clear = urban_scenario().unwrap();
+        let foggy = foggy_urban_scenario(0.4).unwrap();
+        assert_eq!(foggy.zones.len(), clear.zones.len() + 1);
+        let fog_zone = foggy.zones.last().unwrap();
+        assert!(fog_zone.name.ends_with("-fog"));
+        assert_eq!(fog_zone.perception_factor, 0.4);
+        // every clear zone has full perception
+        assert!(clear.zones.iter().all(|z| z.perception_factor == 1.0));
+        // fog zone still has rates for every factor (base rates apply)
+        for c in &foggy.challenges {
+            assert!(foggy.exposure.rate(&c.factor, &fog_zone.context).is_some());
+        }
+    }
+
+    #[test]
+    fn cut_in_template_exists_with_highway_emphasis() {
+        let config = mixed_scenario().unwrap();
+        let cut_in = config.template(&SituationalFactor::new("cut_in")).unwrap();
+        assert!(matches!(cut_in.motion, ObjectMotion::CutIn { .. }));
+        let highway = Context::builder()
+            .set(zone_dimension(), Value::category("highway"))
+            .build();
+        let residential = Context::builder()
+            .set(zone_dimension(), Value::category("residential"))
+            .build();
+        let r_highway = config.exposure.rate(&cut_in.factor, &highway).unwrap();
+        let r_residential = config.exposure.rate(&cut_in.factor, &residential).unwrap();
+        assert!(r_highway > r_residential);
+    }
+}

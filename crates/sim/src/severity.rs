@@ -1,0 +1,233 @@
+//! Consequence outcome model: which consequence class a concrete incident
+//! causes.
+//!
+//! In practice this mapping comes from accident research and national
+//! databases (the paper cites the Swedish road-traffic-injury statistics);
+//! here it is a synthetic but shaped stand-in: logistic curves in impact
+//! speed, with VRUs far more vulnerable than car occupants — which is
+//! exactly why the paper's Ego↔VRU example splits bands at 10 km/h
+//! ("having two incident types for collision speeds below or above
+//! 10 km/h may be appropriate if the likelihood of severe injuries rises
+//! quickly above this limit").
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use qrn_core::consequence::ConsequenceClassId;
+use qrn_core::incident::{IncidentKind, IncidentRecord};
+use qrn_core::object::{Involvement, ObjectType};
+use qrn_units::Speed;
+
+/// Logistic helper: `1 / (1 + e^{-(x - mid) / width})`.
+fn logistic(x: f64, mid: f64, width: f64) -> f64 {
+    1.0 / (1.0 + (-(x - mid) / width).exp())
+}
+
+/// Synthetic consequence-outcome curves.
+///
+/// The model yields, for any incident record, a probability for each
+/// consequence class of the paper's example norm (`vQ1`–`vQ3`,
+/// `vS1`–`vS3`); at most one class results per incident (classes are
+/// sampled as the *worst* consequence of the event).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OutcomeModel {}
+
+impl OutcomeModel {
+    /// Creates the default curve set.
+    pub fn new() -> Self {
+        OutcomeModel {}
+    }
+
+    /// The probability of each consequence class for a record, as
+    /// `(class, probability)` pairs summing to at most 1.
+    pub fn class_probabilities(&self, record: &IncidentRecord) -> Vec<(ConsequenceClassId, f64)> {
+        match record.kind {
+            IncidentKind::Collision { impact_speed } => {
+                self.collision_probabilities(record.involvement, impact_speed)
+            }
+            IncidentKind::NearMiss {
+                distance,
+                relative_speed,
+            } => {
+                if distance.value() >= 2.0 || relative_speed.as_kmh() < 5.0 {
+                    return vec![];
+                }
+                // Scared road user; occasionally a forced emergency
+                // manoeuvre when the pass is very fast and very close.
+                let scare = logistic(relative_speed.as_kmh(), 12.0, 5.0)
+                    * logistic(-distance.value(), -1.2, 0.5);
+                let forced = 0.4
+                    * logistic(relative_speed.as_kmh(), 30.0, 8.0)
+                    * logistic(-distance.value(), -0.8, 0.3);
+                vec![
+                    (ConsequenceClassId::new("vQ2"), forced),
+                    (ConsequenceClassId::new("vQ1"), scare * (1.0 - forced)),
+                ]
+            }
+        }
+    }
+
+    fn collision_probabilities(
+        &self,
+        involvement: Involvement,
+        impact: Speed,
+    ) -> Vec<(ConsequenceClassId, f64)> {
+        let v = impact.as_kmh();
+        // Vulnerability midpoints per object category: the speed at which
+        // fatality / severe / light injury probabilities reach 50%.
+        let (fatal_mid, severe_mid, light_mid) = match involvement {
+            Involvement::EgoWith(ObjectType::Vru) => (55.0, 30.0, 8.0),
+            Involvement::EgoWith(ObjectType::Car) => (100.0, 65.0, 25.0),
+            Involvement::EgoWith(ObjectType::Truck) => (90.0, 60.0, 25.0),
+            Involvement::EgoWith(ObjectType::Animal) => (120.0, 80.0, 35.0),
+            Involvement::EgoWith(ObjectType::StaticObject) => (110.0, 75.0, 30.0),
+            Involvement::EgoWith(ObjectType::Other) => (100.0, 70.0, 28.0),
+            Involvement::Induced(a, b) => {
+                if a == ObjectType::Vru || b == ObjectType::Vru {
+                    (55.0, 30.0, 8.0)
+                } else {
+                    (100.0, 65.0, 25.0)
+                }
+            }
+        };
+        let p_fatal = logistic(v, fatal_mid, 8.0);
+        let p_severe = logistic(v, severe_mid, 7.0) * (1.0 - p_fatal);
+        let p_light = logistic(v, light_mid, 5.0) * (1.0 - p_fatal - p_severe).max(0.0);
+        // Anything that is a collision but caused no injury is at least
+        // material damage, scaling in from ~2 km/h.
+        let p_damage = logistic(v, 3.0, 1.5) * (1.0 - p_fatal - p_severe - p_light).max(0.0);
+        vec![
+            (ConsequenceClassId::new("vS3"), p_fatal),
+            (ConsequenceClassId::new("vS2"), p_severe),
+            (ConsequenceClassId::new("vS1"), p_light),
+            (ConsequenceClassId::new("vQ3"), p_damage),
+        ]
+    }
+
+    /// Samples the (worst) consequence class of one incident, or `None`
+    /// when the event has no consequence of interest.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        record: &IncidentRecord,
+        rng: &mut R,
+    ) -> Option<ConsequenceClassId> {
+        let probs = self.class_probabilities(record);
+        let mut roll: f64 = rng.random();
+        for (class, p) in probs {
+            if roll < p {
+                return Some(class);
+            }
+            roll -= p;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrn_stats::rng::seeded;
+    use qrn_units::Meters;
+
+    fn collision(object: ObjectType, kmh: f64) -> IncidentRecord {
+        IncidentRecord::collision(Involvement::ego_with(object), Speed::from_kmh(kmh).unwrap())
+    }
+
+    fn probability_of(record: &IncidentRecord, class: &str) -> f64 {
+        OutcomeModel::new()
+            .class_probabilities(record)
+            .into_iter()
+            .find(|(c, _)| c.as_str() == class)
+            .map(|(_, p)| p)
+            .unwrap_or(0.0)
+    }
+
+    #[test]
+    fn probabilities_sum_to_at_most_one() {
+        let m = OutcomeModel::new();
+        for object in ObjectType::ALL {
+            for v in [0.0, 5.0, 20.0, 60.0, 120.0, 200.0] {
+                let total: f64 = m
+                    .class_probabilities(&collision(object, v))
+                    .iter()
+                    .map(|(_, p)| p)
+                    .sum();
+                assert!(total <= 1.0 + 1e-9, "{object:?} at {v}: {total}");
+                assert!(total >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fatality_probability_increases_with_speed() {
+        let mut prev = 0.0;
+        for v in [5.0, 20.0, 40.0, 60.0, 90.0] {
+            let p = probability_of(&collision(ObjectType::Vru, v), "vS3");
+            assert!(p >= prev, "at {v}");
+            prev = p;
+        }
+        assert!(prev > 0.9, "90 km/h VRU impact is almost surely fatal");
+    }
+
+    #[test]
+    fn vru_is_more_vulnerable_than_car_occupant() {
+        for v in [20.0, 40.0, 60.0] {
+            let vru = probability_of(&collision(ObjectType::Vru, v), "vS3");
+            let car = probability_of(&collision(ObjectType::Car, v), "vS3");
+            assert!(vru > car, "at {v}");
+        }
+    }
+
+    #[test]
+    fn low_speed_collision_is_mostly_material_damage() {
+        let record = collision(ObjectType::Car, 8.0);
+        let damage = probability_of(&record, "vQ3");
+        let fatal = probability_of(&record, "vS3");
+        assert!(damage > 0.5);
+        assert!(fatal < 1e-4);
+    }
+
+    #[test]
+    fn near_miss_scares_but_does_not_injure() {
+        let record = IncidentRecord::near_miss(
+            Involvement::ego_with(ObjectType::Vru),
+            Meters::new(0.5).unwrap(),
+            Speed::from_kmh(25.0).unwrap(),
+        );
+        let probs = OutcomeModel::new().class_probabilities(&record);
+        assert!(probs.iter().all(|(c, _)| c.as_str().starts_with("vQ")));
+        assert!(probability_of(&record, "vQ1") > 0.3);
+    }
+
+    #[test]
+    fn distant_slow_pass_has_no_consequence() {
+        let record = IncidentRecord::near_miss(
+            Involvement::ego_with(ObjectType::Vru),
+            Meters::new(3.0).unwrap(),
+            Speed::from_kmh(3.0).unwrap(),
+        );
+        assert!(OutcomeModel::new().class_probabilities(&record).is_empty());
+        let mut rng = seeded(1);
+        assert_eq!(OutcomeModel::new().sample(&record, &mut rng), None);
+    }
+
+    #[test]
+    fn sampling_matches_probabilities() {
+        let record = collision(ObjectType::Vru, 40.0);
+        let m = OutcomeModel::new();
+        let expect_fatal = probability_of(&record, "vS3");
+        let mut rng = seeded(2);
+        let n = 100_000;
+        let fatal = (0..n)
+            .filter(|_| {
+                m.sample(&record, &mut rng)
+                    .is_some_and(|c| c.as_str() == "vS3")
+            })
+            .count();
+        let rate = fatal as f64 / n as f64;
+        assert!(
+            (rate - expect_fatal).abs() < 0.01,
+            "rate={rate} expect={expect_fatal}"
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Ego vehicle parameters.
+
+use serde::{Deserialize, Serialize};
+
+use qrn_units::Acceleration;
+
+/// Physical and timing parameters of the ego vehicle.
+///
+/// The paper's running example distinguishes *comfortable* braking
+/// (≈ 3 m/s², "braking harder than 3 m/s² is considered uncomfortable")
+/// from the vehicle's *maximum* capability, which can degrade through
+/// faults; tactical decisions are supposed to know the current actual
+/// value (Sec. II-B.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VehicleParams {
+    /// Maximum braking capability when healthy.
+    pub max_brake: Acceleration,
+    /// Comfort braking threshold.
+    pub comfort_brake: Acceleration,
+    /// System reaction time from detection to brake force, in seconds.
+    pub reaction_time_s: f64,
+}
+
+impl VehicleParams {
+    /// A typical passenger-car parameter set: 8 m/s² peak braking,
+    /// 3 m/s² comfort threshold, 0.3 s system reaction time.
+    pub fn typical() -> Self {
+        VehicleParams {
+            max_brake: Acceleration::new(8.0).expect("static value"),
+            comfort_brake: Acceleration::new(3.0).expect("static value"),
+            reaction_time_s: 0.3,
+        }
+    }
+}
+
+impl Default for VehicleParams {
+    fn default() -> Self {
+        VehicleParams::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_values_are_sane() {
+        let v = VehicleParams::typical();
+        assert!(v.comfort_brake < v.max_brake);
+        assert!(v.reaction_time_s > 0.0 && v.reaction_time_s < 2.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = VehicleParams::typical();
+        let back: VehicleParams =
+            serde_json::from_str(&serde_json::to_string(&v).unwrap()).unwrap();
+        assert_eq!(v, back);
+    }
+}

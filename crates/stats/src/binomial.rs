@@ -1,0 +1,231 @@
+//! Exact inference for proportions: Clopper–Pearson intervals.
+//!
+//! The QRN allocation step needs *outcome shares*: of all occurrences of an
+//! incident type, what fraction lands in each consequence class (the paper's
+//! "70% of `f_I1` contributes to `v_Q1` and 30% to `v_Q2`")? Estimated from
+//! data (simulated here, national statistics in practice), a share is a
+//! binomial proportion and its exact interval is Clopper–Pearson:
+//!
+//! * lower: `BetaInv(α/2; x, n − x + 1)`
+//! * upper: `BetaInv(1 − α/2; x + 1, n − x)`
+
+use serde::{Deserialize, Serialize};
+
+use qrn_units::Probability;
+
+use crate::error::{check_confidence, StatsError};
+use crate::special::beta_inc_inv;
+
+/// An observed number of successes out of a number of trials.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_stats::binomial::Proportion;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let share = Proportion::new(70, 100)?;
+/// let ci = share.clopper_pearson(0.95)?;
+/// assert!(ci.lower.value() < 0.7 && 0.7 < ci.upper.value());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Proportion {
+    successes: u64,
+    trials: u64,
+}
+
+/// A two-sided confidence interval for a proportion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProportionInterval {
+    /// Lower confidence bound.
+    pub lower: Probability,
+    /// Upper confidence bound.
+    pub upper: Probability,
+    /// Two-sided confidence level in `(0, 1)`.
+    pub confidence: f64,
+}
+
+impl Proportion {
+    /// Creates an observation of `successes` out of `trials`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if `trials` is zero or `successes > trials`.
+    pub fn new(successes: u64, trials: u64) -> Result<Self, StatsError> {
+        if trials == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "trials",
+                value: 0.0,
+                expected: "at least one trial",
+            });
+        }
+        if successes > trials {
+            return Err(StatsError::InvalidParameter {
+                name: "successes",
+                value: successes as f64,
+                expected: "at most the number of trials",
+            });
+        }
+        Ok(Proportion { successes, trials })
+    }
+
+    /// Number of successes.
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Number of trials.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Maximum-likelihood point estimate `x / n`.
+    pub fn point_estimate(&self) -> Probability {
+        Probability::new(self.successes as f64 / self.trials as f64)
+            .expect("x/n with x <= n is a valid probability")
+    }
+
+    /// Exact two-sided Clopper–Pearson interval.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] for a confidence level outside `(0, 1)`.
+    pub fn clopper_pearson(&self, confidence: f64) -> Result<ProportionInterval, StatsError> {
+        let confidence = check_confidence(confidence)?;
+        let alpha = 1.0 - confidence;
+        let x = self.successes as f64;
+        let n = self.trials as f64;
+        let lower = if self.successes == 0 {
+            Probability::ZERO
+        } else {
+            Probability::new(beta_inc_inv(x, n - x + 1.0, alpha / 2.0)?)?
+        };
+        let upper = if self.successes == self.trials {
+            Probability::ONE
+        } else {
+            Probability::new(beta_inc_inv(x + 1.0, n - x, 1.0 - alpha / 2.0)?)?
+        };
+        Ok(ProportionInterval {
+            lower,
+            upper,
+            confidence,
+        })
+    }
+
+    /// One-sided upper confidence bound for the proportion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] for a confidence level outside `(0, 1)`.
+    pub fn upper_bound(&self, confidence: f64) -> Result<Probability, StatsError> {
+        let confidence = check_confidence(confidence)?;
+        if self.successes == self.trials {
+            return Ok(Probability::ONE);
+        }
+        let x = self.successes as f64;
+        let n = self.trials as f64;
+        Probability::new(beta_inc_inv(x + 1.0, n - x, confidence)?).map_err(StatsError::from)
+    }
+
+    /// Pools two observations of the same underlying proportion.
+    pub fn merged(self, other: Proportion) -> Proportion {
+        Proportion {
+            successes: self.successes + other.successes,
+            trials: self.trials + other.trials,
+        }
+    }
+}
+
+impl ProportionInterval {
+    /// Returns `true` when `p` lies inside the interval (inclusive).
+    pub fn contains(&self, p: Probability) -> bool {
+        self.lower <= p && p <= self.upper
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_observations() {
+        assert!(Proportion::new(0, 0).is_err());
+        assert!(Proportion::new(5, 3).is_err());
+    }
+
+    #[test]
+    fn clopper_pearson_zero_successes_reference() {
+        // x=0, n=10 at 95%: upper = 1 - (alpha/2)^(1/n) = 1 - 0.025^{0.1} = 0.30850
+        let p = Proportion::new(0, 10).unwrap();
+        let ci = p.clopper_pearson(0.95).unwrap();
+        assert_eq!(ci.lower, Probability::ZERO);
+        assert!((ci.upper.value() - 0.30850).abs() < 1e-4);
+    }
+
+    #[test]
+    fn clopper_pearson_five_of_ten_reference() {
+        // Standard reference: (0.1871, 0.8129)
+        let p = Proportion::new(5, 10).unwrap();
+        let ci = p.clopper_pearson(0.95).unwrap();
+        assert!((ci.lower.value() - 0.1871).abs() < 1e-3);
+        assert!((ci.upper.value() - 0.8129).abs() < 1e-3);
+    }
+
+    #[test]
+    fn all_successes_upper_is_one() {
+        let p = Proportion::new(10, 10).unwrap();
+        let ci = p.clopper_pearson(0.95).unwrap();
+        assert_eq!(ci.upper, Probability::ONE);
+        assert!(ci.lower.value() > 0.6);
+    }
+
+    #[test]
+    fn interval_contains_point_estimate() {
+        for (x, n) in [(1u64, 10u64), (30, 100), (999, 1000)] {
+            let p = Proportion::new(x, n).unwrap();
+            let ci = p.clopper_pearson(0.99).unwrap();
+            assert!(ci.contains(p.point_estimate()), "x={x} n={n}");
+        }
+    }
+
+    #[test]
+    fn width_shrinks_with_more_trials() {
+        let small = Proportion::new(7, 10)
+            .unwrap()
+            .clopper_pearson(0.95)
+            .unwrap();
+        let large = Proportion::new(700, 1000)
+            .unwrap()
+            .clopper_pearson(0.95)
+            .unwrap();
+        let w_small = small.upper.value() - small.lower.value();
+        let w_large = large.upper.value() - large.lower.value();
+        assert!(w_large < w_small / 3.0);
+    }
+
+    #[test]
+    fn one_sided_upper_is_tighter_than_two_sided() {
+        let p = Proportion::new(3, 100).unwrap();
+        let one = p.upper_bound(0.975).unwrap();
+        let two = p.clopper_pearson(0.95).unwrap().upper;
+        assert!((one.value() - two.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_pools() {
+        let a = Proportion::new(3, 10).unwrap();
+        let b = Proportion::new(7, 10).unwrap();
+        let m = a.merged(b);
+        assert_eq!(m.successes(), 10);
+        assert_eq!(m.trials(), 20);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = Proportion::new(70, 100).unwrap();
+        let back: Proportion = serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,99 @@
+use std::error::Error;
+use std::fmt;
+
+use qrn_units::UnitError;
+
+/// Error type for statistical computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Description of the valid domain.
+        expected: &'static str,
+    },
+    /// An iterative numerical routine failed to converge.
+    NoConvergence {
+        /// Name of the routine that failed.
+        routine: &'static str,
+    },
+    /// A quantity constructed from a statistical result was invalid.
+    Unit(UnitError),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "parameter {name} = {value} invalid: expected {expected}"),
+            StatsError::NoConvergence { routine } => {
+                write!(f, "numerical routine {routine} did not converge")
+            }
+            StatsError::Unit(e) => write!(f, "unit error: {e}"),
+        }
+    }
+}
+
+impl Error for StatsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StatsError::Unit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<UnitError> for StatsError {
+    fn from(e: UnitError) -> Self {
+        StatsError::Unit(e)
+    }
+}
+
+/// Validates that a confidence level lies strictly inside `(0, 1)`.
+pub(crate) fn check_confidence(confidence: f64) -> Result<f64, StatsError> {
+    if !(confidence.is_finite() && confidence > 0.0 && confidence < 1.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "confidence",
+            value: confidence,
+            expected: "a value strictly between 0 and 1",
+        });
+    }
+    Ok(confidence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confidence_domain() {
+        assert!(check_confidence(0.95).is_ok());
+        assert!(check_confidence(0.0).is_err());
+        assert!(check_confidence(1.0).is_err());
+        assert!(check_confidence(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn display_mentions_parameter() {
+        let e = StatsError::InvalidParameter {
+            name: "alpha",
+            value: -1.0,
+            expected: "positive",
+        };
+        assert!(e.to_string().contains("alpha"));
+    }
+
+    #[test]
+    fn unit_error_is_source() {
+        use std::error::Error as _;
+        let ue = qrn_units::Probability::new(2.0).unwrap_err();
+        let e = StatsError::from(ue);
+        assert!(e.source().is_some());
+    }
+}

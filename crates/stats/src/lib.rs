@@ -1,0 +1,50 @@
+//! Statistics substrate for the Quantitative Risk Norm (QRN) toolkit.
+//!
+//! The QRN method turns safety goals into *quantitative* claims — "incident
+//! type `I2` occurs below `f_I2` per operating hour" — so demonstrating a
+//! safety goal is a statistical act: counting rare events over an exposure
+//! and bounding the underlying rate. This crate provides the machinery to do
+//! that honestly, implemented from scratch (no external stats dependency):
+//!
+//! * [`special`] — log-gamma, regularized incomplete gamma and beta
+//!   functions, and their inverses; the numerical bedrock.
+//! * [`poisson`] — exact (Garwood) confidence intervals for Poisson rates,
+//!   one-sided demonstration bounds, and required-exposure planning
+//!   ("how many fleet hours until we can claim the budget is met?").
+//! * [`binomial`] — Clopper–Pearson intervals for outcome shares (the
+//!   fraction of an incident type's occurrences landing in each consequence
+//!   class).
+//! * [`sequential`] — a sequential probability ratio test (SPRT) for rates,
+//!   for monitoring a fleet as evidence accumulates.
+//! * [`summary`] — online moments, quantiles and histograms.
+//! * [`rng`] — reproducible seeding, stream splitting and the Poisson /
+//!   exponential / Bernoulli samplers used by the simulator.
+//!
+//! # Examples
+//!
+//! ```
+//! use qrn_stats::poisson::PoissonRate;
+//! use qrn_units::{Frequency, Hours};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 3 incidents observed over 2 million operating hours.
+//! let obs = PoissonRate::new(3, Hours::new(2.0e6)?);
+//! let budget = Frequency::per_hour(1.0e-5)?;
+//! // Can we claim the true rate is below budget with 95% confidence?
+//! assert!(obs.demonstrates_below(budget, 0.95)?);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binomial;
+mod error;
+pub mod poisson;
+pub mod rng;
+pub mod sequential;
+pub mod special;
+pub mod summary;
+
+pub use error::StatsError;

@@ -1,0 +1,508 @@
+//! Exact inference for Poisson rates: the statistical core of demonstrating
+//! a quantitative safety goal.
+//!
+//! A safety goal produced by the QRN method has the form "incident type `I`
+//! occurs at a rate below `f_I` per operating hour". The natural model for
+//! rare incident counts over an exposure is a Poisson process, and the
+//! standard exact interval for its rate is **Garwood's** chi-square
+//! construction:
+//!
+//! * lower bound: `χ²(α/2; 2k) / (2T)`
+//! * upper bound: `χ²(1 − α/2; 2k + 2) / (2T)`
+//!
+//! for `k` observed events over exposure `T`. The one-sided upper bound
+//! `χ²(γ; 2k + 2) / (2T)` is what a demonstration argument uses: if it lies
+//! below the budget, the rate is shown to be below the budget with
+//! confidence `γ`.
+
+use serde::{Deserialize, Serialize};
+
+use qrn_units::{Frequency, Hours};
+
+use crate::error::{check_confidence, StatsError};
+use crate::special::chi_square_quantile;
+
+/// An observed event count over an exposure, modelling a Poisson process.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_stats::poisson::PoissonRate;
+/// use qrn_units::Hours;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let obs = PoissonRate::new(5, Hours::new(1.0e6)?);
+/// let ci = obs.confidence_interval(0.95)?;
+/// assert!(ci.lower < obs.point_estimate()?);
+/// assert!(ci.upper > obs.point_estimate()?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoissonRate {
+    /// Number of observed events.
+    pub count: u64,
+    /// Exposure over which the events were observed.
+    pub exposure: Hours,
+}
+
+/// A two-sided confidence interval for a Poisson rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateInterval {
+    /// Lower confidence bound.
+    pub lower: Frequency,
+    /// Upper confidence bound.
+    pub upper: Frequency,
+    /// Two-sided confidence level in `(0, 1)`.
+    pub confidence: f64,
+}
+
+impl RateInterval {
+    /// Returns `true` when `rate` lies inside the interval (inclusive).
+    pub fn contains(&self, rate: Frequency) -> bool {
+        self.lower <= rate && rate <= self.upper
+    }
+
+    /// Interval width in events per hour.
+    pub fn width(&self) -> Frequency {
+        self.upper.saturating_sub(self.lower)
+    }
+}
+
+impl PoissonRate {
+    /// Creates an observation of `count` events over `exposure`.
+    pub fn new(count: u64, exposure: Hours) -> Self {
+        PoissonRate { count, exposure }
+    }
+
+    /// An observation of zero events over zero exposure (identity for
+    /// [`PoissonRate::merged`]).
+    pub fn empty() -> Self {
+        PoissonRate {
+            count: 0,
+            exposure: Hours::ZERO,
+        }
+    }
+
+    /// Pools two independent observations of the same process.
+    pub fn merged(self, other: PoissonRate) -> PoissonRate {
+        PoissonRate {
+            count: self.count + other.count,
+            exposure: self.exposure + other.exposure,
+        }
+    }
+
+    /// Maximum-likelihood point estimate `k / T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if the exposure is zero.
+    pub fn point_estimate(&self) -> Result<Frequency, StatsError> {
+        Frequency::from_count(self.count as f64, self.exposure).map_err(StatsError::from)
+    }
+
+    /// Exact two-sided Garwood confidence interval at the given confidence
+    /// level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] for zero exposure or a confidence level
+    /// outside `(0, 1)`.
+    pub fn confidence_interval(&self, confidence: f64) -> Result<RateInterval, StatsError> {
+        let confidence = check_confidence(confidence)?;
+        self.require_exposure()?;
+        let alpha = 1.0 - confidence;
+        let t = self.exposure.value();
+        let k = self.count as f64;
+        let lower = if self.count == 0 {
+            Frequency::ZERO
+        } else {
+            Frequency::per_hour(chi_square_quantile(2.0 * k, alpha / 2.0)? / (2.0 * t))?
+        };
+        let upper = Frequency::per_hour(
+            chi_square_quantile(2.0 * k + 2.0, 1.0 - alpha / 2.0)? / (2.0 * t),
+        )?;
+        Ok(RateInterval {
+            lower,
+            upper,
+            confidence,
+        })
+    }
+
+    /// One-sided upper confidence bound at level `confidence`: the largest
+    /// rate still plausible given the observation.
+    ///
+    /// This is the bound a demonstration argument compares against a budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] for zero exposure or invalid confidence.
+    pub fn upper_bound(&self, confidence: f64) -> Result<Frequency, StatsError> {
+        let confidence = check_confidence(confidence)?;
+        self.require_exposure()?;
+        let k = self.count as f64;
+        let t = self.exposure.value();
+        Frequency::per_hour(chi_square_quantile(2.0 * k + 2.0, confidence)? / (2.0 * t))
+            .map_err(StatsError::from)
+    }
+
+    /// One-sided lower confidence bound at level `confidence`.
+    ///
+    /// Useful for showing that a *violation* is statistically established
+    /// (the lower bound already exceeds the budget).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] for zero exposure or invalid confidence.
+    pub fn lower_bound(&self, confidence: f64) -> Result<Frequency, StatsError> {
+        let confidence = check_confidence(confidence)?;
+        self.require_exposure()?;
+        if self.count == 0 {
+            return Ok(Frequency::ZERO);
+        }
+        let k = self.count as f64;
+        let t = self.exposure.value();
+        Frequency::per_hour(chi_square_quantile(2.0 * k, 1.0 - confidence)? / (2.0 * t))
+            .map_err(StatsError::from)
+    }
+
+    /// Returns `true` when the observation demonstrates that the true rate
+    /// is below `budget` with the given one-sided confidence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] for zero exposure or invalid confidence.
+    pub fn demonstrates_below(
+        &self,
+        budget: Frequency,
+        confidence: f64,
+    ) -> Result<bool, StatsError> {
+        Ok(self.upper_bound(confidence)? <= budget)
+    }
+
+    /// Returns `true` when the observation establishes that the true rate
+    /// *exceeds* `budget` with the given one-sided confidence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] for zero exposure or invalid confidence.
+    pub fn establishes_violation(
+        &self,
+        budget: Frequency,
+        confidence: f64,
+    ) -> Result<bool, StatsError> {
+        Ok(self.lower_bound(confidence)? > budget)
+    }
+
+    fn require_exposure(&self) -> Result<(), StatsError> {
+        if self.exposure.value() == 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "exposure",
+                value: 0.0,
+                expected: "a strictly positive exposure",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Exposure (in hours) of *failure-free* operation needed to demonstrate a
+/// rate below `budget` with one-sided confidence `confidence`.
+///
+/// With zero events the Garwood upper bound is `−ln(1 − γ) / T`, so the
+/// requirement solves to `T = −ln(1 − γ) / budget`. For γ = 0.95 this is the
+/// familiar "3/budget" rule (`−ln 0.05 ≈ 3.0`).
+///
+/// # Errors
+///
+/// Returns [`StatsError`] for a zero budget or invalid confidence.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_stats::poisson::required_exposure_zero_events;
+/// use qrn_units::Frequency;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let t = required_exposure_zero_events(Frequency::per_hour(1e-7)?, 0.95)?;
+/// assert!((t.value() - 2.9957e7).abs() / 2.9957e7 < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn required_exposure_zero_events(
+    budget: Frequency,
+    confidence: f64,
+) -> Result<Hours, StatsError> {
+    let confidence = check_confidence(confidence)?;
+    if budget.as_per_hour() == 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "budget",
+            value: 0.0,
+            expected: "a strictly positive budget",
+        });
+    }
+    Hours::new(-(1.0 - confidence).ln() / budget.as_per_hour()).map_err(StatsError::from)
+}
+
+/// Exposure needed to demonstrate `budget` when `events` incidents are
+/// anticipated during the campaign.
+///
+/// Solves `χ²(γ; 2k + 2) / (2T) = budget` for `T`. With `events = 0` this
+/// reduces to [`required_exposure_zero_events`].
+///
+/// # Errors
+///
+/// Returns [`StatsError`] for a zero budget or invalid confidence.
+pub fn required_exposure_with_events(
+    budget: Frequency,
+    events: u64,
+    confidence: f64,
+) -> Result<Hours, StatsError> {
+    let confidence = check_confidence(confidence)?;
+    if budget.as_per_hour() == 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "budget",
+            value: 0.0,
+            expected: "a strictly positive budget",
+        });
+    }
+    let q = chi_square_quantile(2.0 * events as f64 + 2.0, confidence)?;
+    Hours::new(q / (2.0 * budget.as_per_hour())).map_err(StatsError::from)
+}
+
+/// Exact conditional test that two Poisson processes have the same rate.
+///
+/// Conditioned on the total count `k1 + k2`, the first process's count is
+/// binomial with success probability `T1 / (T1 + T2)` under the null of
+/// equal rates; the returned two-sided p-value is the doubled smaller tail
+/// of that binomial (capped at 1). This is the classical exact comparison
+/// used to claim, e.g., that a policy change *significantly* altered an
+/// incident rate.
+///
+/// # Errors
+///
+/// Returns [`StatsError`] when either exposure is zero or both counts are
+/// zero (no information about a ratio).
+///
+/// # Examples
+///
+/// ```
+/// use qrn_stats::poisson::{rate_equality_p_value, PoissonRate};
+/// use qrn_units::Hours;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = PoissonRate::new(50, Hours::new(1000.0)?);
+/// let b = PoissonRate::new(10, Hours::new(1000.0)?);
+/// assert!(rate_equality_p_value(a, b)? < 0.001); // clearly different
+/// # Ok(())
+/// # }
+/// ```
+pub fn rate_equality_p_value(a: PoissonRate, b: PoissonRate) -> Result<f64, StatsError> {
+    let t1 = a.exposure.value();
+    let t2 = b.exposure.value();
+    if t1 <= 0.0 || t2 <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "exposure",
+            value: t1.min(t2),
+            expected: "strictly positive exposures for both observations",
+        });
+    }
+    let n = a.count + b.count;
+    if n == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "total count",
+            value: 0.0,
+            expected: "at least one event across the two observations",
+        });
+    }
+    let p = t1 / (t1 + t2);
+    // Binomial tails via the regularized incomplete beta:
+    // P(X ≤ k) = I_{1-p}(n-k, k+1).
+    let cdf = |k: u64| -> Result<f64, StatsError> {
+        if k >= n {
+            return Ok(1.0);
+        }
+        crate::special::beta_inc((n - k) as f64, k as f64 + 1.0, 1.0 - p)
+    };
+    let k = a.count;
+    let lower = cdf(k)?;
+    let upper = 1.0 - if k == 0 { 0.0 } else { cdf(k - 1)? };
+    Ok((2.0 * lower.min(upper)).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hours(h: f64) -> Hours {
+        Hours::new(h).unwrap()
+    }
+
+    fn fph(f: f64) -> Frequency {
+        Frequency::per_hour(f).unwrap()
+    }
+
+    #[test]
+    fn garwood_zero_count_reference() {
+        // k=0, T=1: upper 95% two-sided bound = chi2(0.975, 2)/2 = 3.68887945
+        let obs = PoissonRate::new(0, hours(1.0));
+        let ci = obs.confidence_interval(0.95).unwrap();
+        assert_eq!(ci.lower, Frequency::ZERO);
+        assert!((ci.upper.as_per_hour() - 3.68887945).abs() < 1e-6);
+    }
+
+    #[test]
+    fn garwood_five_count_reference() {
+        // k=5, T=1: lower = chi2(0.025, 10)/2 = 1.623486, upper = chi2(0.975, 12)/2 = 11.66833
+        let obs = PoissonRate::new(5, hours(1.0));
+        let ci = obs.confidence_interval(0.95).unwrap();
+        assert!((ci.lower.as_per_hour() - 1.623486).abs() < 1e-5);
+        assert!((ci.upper.as_per_hour() - 11.668332).abs() < 1e-5);
+    }
+
+    #[test]
+    fn interval_scales_with_exposure() {
+        let a = PoissonRate::new(5, hours(1.0))
+            .confidence_interval(0.9)
+            .unwrap();
+        let b = PoissonRate::new(5, hours(10.0))
+            .confidence_interval(0.9)
+            .unwrap();
+        assert!((a.upper.as_per_hour() / b.upper.as_per_hour() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_sided_upper_bound_zero_events() {
+        // -ln(0.05) = 2.9957
+        let obs = PoissonRate::new(0, hours(1.0));
+        let ub = obs.upper_bound(0.95).unwrap();
+        assert!((ub.as_per_hour() - 2.9957323).abs() < 1e-6);
+    }
+
+    #[test]
+    fn demonstration_flips_with_enough_exposure() {
+        let budget = fph(1e-5);
+        let short = PoissonRate::new(0, hours(1e4));
+        let long = PoissonRate::new(0, hours(1e6));
+        assert!(!short.demonstrates_below(budget, 0.95).unwrap());
+        assert!(long.demonstrates_below(budget, 0.95).unwrap());
+    }
+
+    #[test]
+    fn violation_established_with_many_events() {
+        let budget = fph(1e-5);
+        // 100 events in 1e5 hours -> rate ~1e-3 >> budget
+        let obs = PoissonRate::new(100, hours(1e5));
+        assert!(obs.establishes_violation(budget, 0.95).unwrap());
+        // 1 event in 1e5 hours -> rate 1e-5, not established above budget
+        let obs = PoissonRate::new(1, hours(1e5));
+        assert!(!obs.establishes_violation(budget, 0.95).unwrap());
+    }
+
+    #[test]
+    fn merged_pools_counts_and_exposure() {
+        let a = PoissonRate::new(2, hours(10.0));
+        let b = PoissonRate::new(3, hours(30.0));
+        let m = a.merged(b);
+        assert_eq!(m.count, 5);
+        assert!((m.exposure.value() - 40.0).abs() < 1e-12);
+        assert_eq!(PoissonRate::empty().merged(a), a);
+    }
+
+    #[test]
+    fn required_exposure_rule_of_three() {
+        let t = required_exposure_zero_events(fph(1e-6), 0.95).unwrap();
+        assert!((t.value() - 2.9957323e6).abs() / 2.9957323e6 < 1e-6);
+    }
+
+    #[test]
+    fn required_exposure_grows_with_anticipated_events() {
+        let b = fph(1e-6);
+        let t0 = required_exposure_with_events(b, 0, 0.95).unwrap();
+        let t3 = required_exposure_with_events(b, 3, 0.95).unwrap();
+        assert!(t3 > t0);
+        // with 0 events both formulas agree
+        let tz = required_exposure_zero_events(b, 0.95).unwrap();
+        assert!((t0.value() - tz.value()).abs() / tz.value() < 1e-9);
+    }
+
+    #[test]
+    fn zero_exposure_is_an_error() {
+        let obs = PoissonRate::new(0, Hours::ZERO);
+        assert!(obs.point_estimate().is_err());
+        assert!(obs.confidence_interval(0.95).is_err());
+        assert!(obs.upper_bound(0.95).is_err());
+    }
+
+    #[test]
+    fn invalid_confidence_is_an_error() {
+        let obs = PoissonRate::new(1, hours(10.0));
+        assert!(obs.confidence_interval(0.0).is_err());
+        assert!(obs.confidence_interval(1.0).is_err());
+        assert!(required_exposure_zero_events(fph(1e-6), 1.5).is_err());
+    }
+
+    #[test]
+    fn interval_contains_point_estimate() {
+        for k in [1u64, 2, 10, 100, 1000] {
+            let obs = PoissonRate::new(k, hours(1e4));
+            let ci = obs.confidence_interval(0.99).unwrap();
+            assert!(ci.contains(obs.point_estimate().unwrap()), "k={k}");
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let obs = PoissonRate::new(7, hours(123.0));
+        let back: PoissonRate =
+            serde_json::from_str(&serde_json::to_string(&obs).unwrap()).unwrap();
+        assert_eq!(obs, back);
+    }
+
+    #[test]
+    fn rate_comparison_detects_clear_differences() {
+        let a = PoissonRate::new(100, hours(1000.0));
+        let b = PoissonRate::new(20, hours(1000.0));
+        assert!(rate_equality_p_value(a, b).unwrap() < 1e-6);
+        // symmetric
+        let p_ab = rate_equality_p_value(a, b).unwrap();
+        let p_ba = rate_equality_p_value(b, a).unwrap();
+        assert!((p_ab - p_ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_comparison_accepts_equal_rates() {
+        let a = PoissonRate::new(50, hours(1000.0));
+        let b = PoissonRate::new(52, hours(1000.0));
+        assert!(rate_equality_p_value(a, b).unwrap() > 0.5);
+    }
+
+    #[test]
+    fn rate_comparison_handles_unequal_exposures() {
+        // 10/100h vs 100/1000h: identical rates.
+        let a = PoissonRate::new(10, hours(100.0));
+        let b = PoissonRate::new(100, hours(1000.0));
+        assert!(rate_equality_p_value(a, b).unwrap() > 0.5);
+    }
+
+    #[test]
+    fn rate_comparison_rejects_degenerate_inputs() {
+        let a = PoissonRate::new(0, hours(100.0));
+        let b = PoissonRate::new(0, hours(100.0));
+        assert!(rate_equality_p_value(a, b).is_err());
+        let c = PoissonRate::new(5, Hours::ZERO);
+        assert!(rate_equality_p_value(a, c).is_err());
+    }
+
+    #[test]
+    fn rate_comparison_p_value_is_a_probability() {
+        for (k1, k2) in [(1u64, 1u64), (3, 9), (0, 5), (40, 4)] {
+            let p = rate_equality_p_value(
+                PoissonRate::new(k1, hours(500.0)),
+                PoissonRate::new(k2, hours(700.0)),
+            )
+            .unwrap();
+            assert!((0.0..=1.0).contains(&p), "p={p} for ({k1},{k2})");
+        }
+    }
+}

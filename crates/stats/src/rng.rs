@@ -1,0 +1,248 @@
+//! Reproducible random number generation and the samplers the simulator
+//! needs.
+//!
+//! Monte-Carlo estimation of incident rates must be reproducible (a safety
+//! case artefact should be regenerable bit-for-bit) and parallelisable
+//! (independent substreams per simulated vehicle-shift). This module
+//! provides deterministic seeding, SplitMix64-based stream splitting, and
+//! from-scratch Poisson / exponential / Bernoulli samplers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Creates a deterministically seeded RNG.
+///
+/// # Examples
+///
+/// ```
+/// use rand::RngExt;
+///
+/// let mut a = qrn_stats::rng::seeded(42);
+/// let mut b = qrn_stats::rng::seeded(42);
+/// assert_eq!(a.random::<u64>(), b.random::<u64>());
+/// ```
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// SplitMix64 step: produces a well-mixed 64-bit value from a counter.
+///
+/// Used to derive independent substream seeds from a master seed without
+/// correlation between adjacent indices.
+pub fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the RNG for substream `index` of a master seed.
+///
+/// Substreams with different indices are statistically independent, so a
+/// Monte-Carlo campaign can hand one substream to each parallel worker.
+pub fn substream(master_seed: u64, index: u64) -> StdRng {
+    seeded(splitmix64(master_seed ^ splitmix64(index)))
+}
+
+/// Samples a Poisson random variate with the given mean.
+///
+/// Uses Knuth's multiplication method for small means and Atkinson's
+/// rejection method for large means (`mean > 30`).
+///
+/// # Panics
+///
+/// Panics if `mean` is negative or not finite.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(
+        mean.is_finite() && mean >= 0.0,
+        "poisson mean must be a finite non-negative number, got {mean}"
+    );
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean <= 30.0 {
+        // Knuth: multiply uniforms until the product drops below e^-mean.
+        let limit = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.random::<f64>();
+            if p <= limit {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        // Atkinson's rejection method (The Computer Generation of Poisson
+        // Random Variables, Appl. Stat. 28, 1979).
+        let c = 0.767 - 3.36 / mean;
+        let beta = std::f64::consts::PI / (3.0 * mean).sqrt();
+        let alpha = beta * mean;
+        let k = c.ln() - mean - beta.ln();
+        loop {
+            let u: f64 = rng.random();
+            let x = (alpha - ((1.0 - u) / u).ln()) / beta;
+            let n = (x + 0.5).floor();
+            if n < 0.0 {
+                continue;
+            }
+            let v: f64 = rng.random();
+            let y = alpha - beta * x;
+            let lhs = y + (v / (1.0 + y.exp()).powi(2)).ln();
+            let rhs = k + n * mean.ln() - ln_factorial(n as u64);
+            if lhs <= rhs {
+                return n as u64;
+            }
+        }
+    }
+}
+
+/// `ln(n!)` via the log-gamma function.
+fn ln_factorial(n: u64) -> f64 {
+    crate::special::ln_gamma(n as f64 + 1.0).expect("n + 1 > 0")
+}
+
+/// Samples an exponential inter-arrival time for a process with the given
+/// rate (events per unit time). Returns the waiting time in the same time
+/// unit.
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive and finite.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "exponential rate must be a finite positive number, got {rate}"
+    );
+    let u: f64 = rng.random();
+    // 1 - u is in (0, 1]; avoids ln(0).
+    -(1.0 - u).ln() / rate
+}
+
+/// Samples a Bernoulli trial with success probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    assert!(
+        p.is_finite() && (0.0..=1.0).contains(&p),
+        "bernoulli probability must lie in [0, 1], got {p}"
+    );
+    rng.random::<f64>() < p
+}
+
+/// Samples a uniform value in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or either bound is not finite.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo <= hi,
+        "uniform bounds must be finite with lo <= hi, got [{lo}, {hi})"
+    );
+    if lo == hi {
+        return lo;
+    }
+    lo + (hi - lo) * rng.random::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(7);
+        let mut b = seeded(7);
+        for _ in 0..10 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn substreams_differ() {
+        let mut a = substream(7, 0);
+        let mut b = substream(7, 1);
+        let xs: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn poisson_small_mean_matches_moments() {
+        let mut rng = seeded(1);
+        let mean = 3.0;
+        let n = 200_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut rng, mean)).sum();
+        let avg = total as f64 / n as f64;
+        assert!((avg - mean).abs() < 0.03, "avg={avg}");
+    }
+
+    #[test]
+    fn poisson_large_mean_matches_moments() {
+        let mut rng = seeded(2);
+        let mean = 120.0;
+        let n = 50_000;
+        let samples: Vec<u64> = (0..n).map(|_| poisson(&mut rng, mean)).collect();
+        let avg = samples.iter().sum::<u64>() as f64 / n as f64;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - avg).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((avg - mean).abs() < 1.0, "avg={avg}");
+        // Poisson variance equals the mean.
+        assert!((var - mean).abs() < 6.0, "var={var}");
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut rng = seeded(3);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn exponential_matches_mean() {
+        let mut rng = seeded(4);
+        let rate = 0.5;
+        let n = 200_000;
+        let total: f64 = (0..n).map(|_| exponential(&mut rng, rate)).sum();
+        let avg = total / n as f64;
+        assert!((avg - 2.0).abs() < 0.03, "avg={avg}");
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut rng = seeded(5);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| bernoulli(&mut rng, 0.25)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.25).abs() < 0.01, "freq={freq}");
+    }
+
+    #[test]
+    fn bernoulli_edge_probabilities() {
+        let mut rng = seeded(6);
+        assert!(!bernoulli(&mut rng, 0.0));
+        assert!(bernoulli(&mut rng, 1.0));
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = seeded(7);
+        for _ in 0..1000 {
+            let x = uniform(&mut rng, -2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+        assert_eq!(uniform(&mut rng, 1.5, 1.5), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "poisson mean")]
+    fn poisson_rejects_negative_mean() {
+        let mut rng = seeded(8);
+        poisson(&mut rng, -1.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Sequential probability ratio test (SPRT) for Poisson rates.
+//!
+//! A fleet accumulates exposure continuously; rather than fixing a test
+//! horizon up front, Wald's SPRT lets the safety organisation monitor the
+//! evidence as it arrives and stop as soon as either "rate acceptably below
+//! budget" or "rate unacceptably close to budget" is established at the
+//! prescribed error levels.
+//!
+//! For a Poisson process observed as `k` events over exposure `t`, the
+//! log-likelihood ratio between rates `r1` (alternative) and `r0` (null) is
+//! `k · ln(r1 / r0) − (r1 − r0) · t`.
+
+use serde::{Deserialize, Serialize};
+
+use qrn_units::{Frequency, Hours};
+
+use crate::error::StatsError;
+
+/// Outcome of a sequential test after some amount of evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SprtDecision {
+    /// Evidence favours the null rate `r0` (e.g. "rate is at the acceptable
+    /// level"): accept H0, stop.
+    AcceptNull,
+    /// Evidence favours the alternative rate `r1`: accept H1, stop.
+    AcceptAlternative,
+    /// Not enough evidence yet; keep observing.
+    Continue,
+}
+
+/// Wald sequential probability ratio test between two Poisson rates.
+///
+/// `H0: rate = r0` versus `H1: rate = r1` with `r0 < r1`. In a safety
+/// demonstration `r0` is typically a comfortable fraction of the budget and
+/// `r1` the budget itself; accepting H0 demonstrates compliance, accepting
+/// H1 flags that the budget is at risk.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_stats::sequential::{PoissonSprt, SprtDecision};
+/// use qrn_units::{Frequency, Hours};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sprt = PoissonSprt::new(
+///     Frequency::per_hour(1e-6)?, // H0: well below budget
+///     Frequency::per_hour(1e-5)?, // H1: at budget
+///     0.05,                       // α: P(accept H1 | H0)
+///     0.05,                       // β: P(accept H0 | H1)
+/// )?;
+/// // Zero events over 1e6 hours is strong evidence for the low rate:
+/// assert_eq!(sprt.decide(0, Hours::new(1.0e6)?), SprtDecision::AcceptNull);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoissonSprt {
+    r0: Frequency,
+    r1: Frequency,
+    /// log A = ln((1 − β) / α): upper decision threshold.
+    upper: f64,
+    /// log B = ln(β / (1 − α)): lower decision threshold.
+    lower: f64,
+}
+
+impl PoissonSprt {
+    /// Creates a test of `H0: rate = r0` against `H1: rate = r1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] unless `0 < r0 < r1` and both error levels lie
+    /// strictly inside `(0, 1)`.
+    pub fn new(r0: Frequency, r1: Frequency, alpha: f64, beta: f64) -> Result<Self, StatsError> {
+        if r0.as_per_hour() <= 0.0 || r1 <= r0 {
+            return Err(StatsError::InvalidParameter {
+                name: "rates",
+                value: r0.as_per_hour(),
+                expected: "0 < r0 < r1",
+            });
+        }
+        for (name, v) in [("alpha", alpha), ("beta", beta)] {
+            if !(v.is_finite() && v > 0.0 && v < 1.0) {
+                return Err(StatsError::InvalidParameter {
+                    name,
+                    value: v,
+                    expected: "an error level strictly between 0 and 1",
+                });
+            }
+        }
+        Ok(PoissonSprt {
+            r0,
+            r1,
+            upper: ((1.0 - beta) / alpha).ln(),
+            lower: (beta / (1.0 - alpha)).ln(),
+        })
+    }
+
+    /// The null-hypothesis rate `r0`.
+    pub fn null_rate(&self) -> Frequency {
+        self.r0
+    }
+
+    /// The alternative-hypothesis rate `r1`.
+    pub fn alternative_rate(&self) -> Frequency {
+        self.r1
+    }
+
+    /// Log-likelihood ratio of H1 against H0 for `events` over `exposure`.
+    pub fn log_likelihood_ratio(&self, events: u64, exposure: Hours) -> f64 {
+        let k = events as f64;
+        let t = exposure.value();
+        let r0 = self.r0.as_per_hour();
+        let r1 = self.r1.as_per_hour();
+        k * (r1 / r0).ln() - (r1 - r0) * t
+    }
+
+    /// Decision after observing `events` over `exposure`.
+    pub fn decide(&self, events: u64, exposure: Hours) -> SprtDecision {
+        let llr = self.log_likelihood_ratio(events, exposure);
+        if llr >= self.upper {
+            SprtDecision::AcceptAlternative
+        } else if llr <= self.lower {
+            SprtDecision::AcceptNull
+        } else {
+            SprtDecision::Continue
+        }
+    }
+
+    /// Approximate expected exposure to reach a decision when the true rate
+    /// is `r0` (Wald's approximation).
+    pub fn expected_exposure_under_null(&self, alpha: f64, beta: f64) -> Hours {
+        let r0 = self.r0.as_per_hour();
+        let r1 = self.r1.as_per_hour();
+        // E0[llr per hour] = r0 ln(r1/r0) - (r1 - r0)  (negative under H0)
+        let drift = r0 * (r1 / r0).ln() - (r1 - r0);
+        let a = ((1.0 - beta) / alpha).ln();
+        let b = (beta / (1.0 - alpha)).ln();
+        let e_llr = alpha * a + (1.0 - alpha) * b;
+        Hours::new((e_llr / drift).max(0.0)).expect("ratio of finite positives")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sprt() -> PoissonSprt {
+        PoissonSprt::new(
+            Frequency::per_hour(1e-6).unwrap(),
+            Frequency::per_hour(1e-5).unwrap(),
+            0.05,
+            0.05,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let f = |x: f64| Frequency::per_hour(x).unwrap();
+        assert!(PoissonSprt::new(f(1e-5), f(1e-6), 0.05, 0.05).is_err());
+        assert!(PoissonSprt::new(f(0.0), f(1e-6), 0.05, 0.05).is_err());
+        assert!(PoissonSprt::new(f(1e-6), f(1e-5), 0.0, 0.05).is_err());
+        assert!(PoissonSprt::new(f(1e-6), f(1e-5), 0.05, 1.0).is_err());
+    }
+
+    #[test]
+    fn no_evidence_continues() {
+        assert_eq!(
+            sprt().decide(0, Hours::new(1000.0).unwrap()),
+            SprtDecision::Continue
+        );
+    }
+
+    #[test]
+    fn clean_exposure_accepts_null() {
+        assert_eq!(
+            sprt().decide(0, Hours::new(1.0e6).unwrap()),
+            SprtDecision::AcceptNull
+        );
+    }
+
+    #[test]
+    fn many_events_accept_alternative() {
+        assert_eq!(
+            sprt().decide(20, Hours::new(1.0e5).unwrap()),
+            SprtDecision::AcceptAlternative
+        );
+    }
+
+    #[test]
+    fn llr_is_monotone_in_events() {
+        let s = sprt();
+        let t = Hours::new(1e5).unwrap();
+        assert!(s.log_likelihood_ratio(5, t) < s.log_likelihood_ratio(6, t));
+    }
+
+    #[test]
+    fn llr_decreases_with_exposure() {
+        let s = sprt();
+        assert!(
+            s.log_likelihood_ratio(2, Hours::new(2e5).unwrap())
+                < s.log_likelihood_ratio(2, Hours::new(1e5).unwrap())
+        );
+    }
+
+    #[test]
+    fn expected_exposure_is_positive_and_reasonable() {
+        let s = sprt();
+        let t = s.expected_exposure_under_null(0.05, 0.05);
+        assert!(t.value() > 0.0);
+        // Should be far less than the fixed-horizon requirement of ~3e6 h.
+        assert!(t.value() < 3.0e6);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = sprt();
+        let back: PoissonSprt = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(s, back);
+    }
+}

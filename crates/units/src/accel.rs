@@ -1,0 +1,135 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{check_domain, UnitError};
+
+/// A non-negative acceleration magnitude in meters per second squared.
+///
+/// Braking capability — the paper's running example of a physical
+/// characteristic that a classical HARA would freeze into a safety goal
+/// ("a reduced braking capacity of only 4 m/s²") — is expressed with this
+/// type. The sign convention is a magnitude; whether it accelerates or
+/// decelerates is determined by the using code.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_units::Acceleration;
+///
+/// # fn main() -> Result<(), qrn_units::UnitError> {
+/// let comfort = Acceleration::new(3.0)?;   // "harder than 3 m/s² is uncomfortable"
+/// let degraded = Acceleration::new(4.0)?;  // the paper's degraded capability
+/// assert!(comfort < degraded);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Acceleration(f64);
+
+impl Acceleration {
+    /// No acceleration.
+    pub const ZERO: Acceleration = Acceleration(0.0);
+
+    /// Creates an acceleration magnitude in m/s².
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] if `value` is NaN, infinite or negative.
+    pub fn new(value: f64) -> Result<Self, UnitError> {
+        check_domain("acceleration (m/s^2)", value, 0.0, f64::MAX).map(Acceleration)
+    }
+
+    /// Returns the magnitude in m/s².
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Scales the magnitude by a non-negative factor (e.g. a degradation
+    /// fraction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] if `factor` is negative or not finite.
+    pub fn scaled(self, factor: f64) -> Result<Acceleration, UnitError> {
+        let factor = check_domain("scale factor", factor, 0.0, f64::MAX)?;
+        Acceleration::new(self.0 * factor)
+    }
+
+    /// The smaller of two magnitudes.
+    pub fn min(self, other: Acceleration) -> Acceleration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two magnitudes.
+    pub fn max(self, other: Acceleration) -> Acceleration {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Acceleration {
+    fn default() -> Self {
+        Acceleration::ZERO
+    }
+}
+
+impl TryFrom<f64> for Acceleration {
+    type Error = UnitError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Acceleration::new(value)
+    }
+}
+
+impl From<Acceleration> for f64 {
+    fn from(a: Acceleration) -> f64 {
+        a.0
+    }
+}
+
+impl fmt::Display for Acceleration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} m/s²", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_negative() {
+        assert!(Acceleration::new(-4.0).is_err());
+        assert!(Acceleration::new(0.0).is_ok());
+    }
+
+    #[test]
+    fn scaled_degradation() {
+        let full = Acceleration::new(8.0).unwrap();
+        let degraded = full.scaled(0.5).unwrap();
+        assert!((degraded.value() - 4.0).abs() < 1e-12);
+        assert!(full.scaled(-1.0).is_err());
+    }
+
+    #[test]
+    fn ordering() {
+        let a = Acceleration::new(3.0).unwrap();
+        let b = Acceleration::new(4.0).unwrap();
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn display_has_unit() {
+        assert_eq!(Acceleration::new(4.0).unwrap().to_string(), "4 m/s²");
+    }
+}

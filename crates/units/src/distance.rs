@@ -1,0 +1,235 @@
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{check_domain, UnitError};
+
+/// A non-negative distance in meters.
+///
+/// Used for gaps, tolerance margins (e.g. the paper's "closer than 1 m"
+/// near-miss margin) and world geometry in the simulator.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_units::Meters;
+///
+/// # fn main() -> Result<(), qrn_units::UnitError> {
+/// let gap = Meters::new(0.8)?;
+/// let margin = Meters::new(1.0)?;
+/// assert!(gap < margin); // within the near-miss margin
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Meters(f64);
+
+impl Meters {
+    /// Zero distance.
+    pub const ZERO: Meters = Meters(0.0);
+
+    /// Creates a distance in meters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] if `value` is NaN, infinite or negative.
+    pub fn new(value: f64) -> Result<Self, UnitError> {
+        check_domain("distance (meters)", value, 0.0, f64::MAX).map(Meters)
+    }
+
+    /// Returns the distance in meters.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to kilometers.
+    pub fn to_kilometers(self) -> Kilometers {
+        Kilometers(self.0 / 1000.0)
+    }
+
+    /// Saturating subtraction: the result never goes below zero.
+    pub fn saturating_sub(self, other: Meters) -> Meters {
+        Meters((self.0 - other.0).max(0.0))
+    }
+
+    /// The smaller of two distances.
+    pub fn min(self, other: Meters) -> Meters {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two distances.
+    pub fn max(self, other: Meters) -> Meters {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Meters {
+    fn default() -> Self {
+        Meters::ZERO
+    }
+}
+
+impl TryFrom<f64> for Meters {
+    type Error = UnitError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Meters::new(value)
+    }
+}
+
+impl From<Meters> for f64 {
+    fn from(m: Meters) -> f64 {
+        m.0
+    }
+}
+
+impl Add for Meters {
+    type Output = Meters;
+
+    fn add(self, rhs: Meters) -> Meters {
+        Meters(self.0 + rhs.0)
+    }
+}
+
+impl Sum for Meters {
+    fn sum<I: Iterator<Item = Meters>>(iter: I) -> Meters {
+        iter.fold(Meters::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Meters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} m", self.0)
+    }
+}
+
+/// A non-negative distance in kilometers.
+///
+/// Route lengths and ODD geographic extents use kilometers.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Kilometers(f64);
+
+impl Kilometers {
+    /// Zero distance.
+    pub const ZERO: Kilometers = Kilometers(0.0);
+
+    /// Creates a distance in kilometers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] if `value` is NaN, infinite or negative.
+    pub fn new(value: f64) -> Result<Self, UnitError> {
+        check_domain("distance (kilometers)", value, 0.0, f64::MAX).map(Kilometers)
+    }
+
+    /// Returns the distance in kilometers.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to meters.
+    pub fn to_meters(self) -> Meters {
+        Meters(self.0 * 1000.0)
+    }
+}
+
+impl Default for Kilometers {
+    fn default() -> Self {
+        Kilometers::ZERO
+    }
+}
+
+impl TryFrom<f64> for Kilometers {
+    type Error = UnitError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Kilometers::new(value)
+    }
+}
+
+impl From<Kilometers> for f64 {
+    fn from(km: Kilometers) -> f64 {
+        km.0
+    }
+}
+
+impl Add for Kilometers {
+    type Output = Kilometers;
+
+    fn add(self, rhs: Kilometers) -> Kilometers {
+        Kilometers(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Kilometers {
+    type Output = Kilometers;
+
+    /// Saturates at zero (a distance cannot be negative).
+    fn sub(self, rhs: Kilometers) -> Kilometers {
+        Kilometers((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl fmt::Display for Kilometers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} km", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meters_reject_negative() {
+        assert!(Meters::new(-0.1).is_err());
+    }
+
+    #[test]
+    fn conversion_round_trip() {
+        let m = Meters::new(1500.0).unwrap();
+        let km = m.to_kilometers();
+        assert!((km.value() - 1.5).abs() < 1e-12);
+        assert!((km.to_meters().value() - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meters_saturating_sub() {
+        let a = Meters::new(1.0).unwrap();
+        let b = Meters::new(2.0).unwrap();
+        assert_eq!(a.saturating_sub(b), Meters::ZERO);
+    }
+
+    #[test]
+    fn kilometers_sub_saturates() {
+        let a = Kilometers::new(1.0).unwrap();
+        let b = Kilometers::new(2.5).unwrap();
+        assert_eq!(a - b, Kilometers::ZERO);
+        assert!(((b - a).value() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(Meters::new(2.0).unwrap().to_string(), "2 m");
+        assert_eq!(Kilometers::new(2.0).unwrap().to_string(), "2 km");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = Meters::new(3.25).unwrap();
+        let back: Meters = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,124 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing a quantity from an invalid raw value.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_units::Probability;
+///
+/// let err = Probability::new(1.5).unwrap_err();
+/// assert!(err.to_string().contains("probability"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnitError {
+    /// The raw value was NaN or infinite.
+    NotFinite {
+        /// Human-readable name of the quantity being constructed.
+        quantity: &'static str,
+        /// The offending raw value.
+        value: f64,
+    },
+    /// The raw value was finite but outside the quantity's valid domain.
+    OutOfRange {
+        /// Human-readable name of the quantity being constructed.
+        quantity: &'static str,
+        /// The offending raw value.
+        value: f64,
+        /// Inclusive lower bound of the valid domain.
+        min: f64,
+        /// Inclusive upper bound of the valid domain.
+        max: f64,
+    },
+}
+
+impl fmt::Display for UnitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnitError::NotFinite { quantity, value } => {
+                write!(f, "{quantity} must be finite, got {value}")
+            }
+            UnitError::OutOfRange {
+                quantity,
+                value,
+                min,
+                max,
+            } => write!(f, "{quantity} must lie in [{min}, {max}], got {value}"),
+        }
+    }
+}
+
+impl Error for UnitError {}
+
+/// Validates that `value` is finite and within `[min, max]`.
+pub(crate) fn check_domain(
+    quantity: &'static str,
+    value: f64,
+    min: f64,
+    max: f64,
+) -> Result<f64, UnitError> {
+    if !value.is_finite() {
+        return Err(UnitError::NotFinite { quantity, value });
+    }
+    if value < min || value > max {
+        return Err(UnitError::OutOfRange {
+            quantity,
+            value,
+            min,
+            max,
+        });
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_domain_accepts_bounds() {
+        assert_eq!(check_domain("x", 0.0, 0.0, 1.0), Ok(0.0));
+        assert_eq!(check_domain("x", 1.0, 0.0, 1.0), Ok(1.0));
+    }
+
+    #[test]
+    fn check_domain_rejects_nan_and_inf() {
+        assert!(matches!(
+            check_domain("x", f64::NAN, 0.0, 1.0),
+            Err(UnitError::NotFinite { .. })
+        ));
+        assert!(matches!(
+            check_domain("x", f64::INFINITY, 0.0, 1.0),
+            Err(UnitError::NotFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn check_domain_rejects_out_of_range() {
+        let err = check_domain("x", -0.1, 0.0, 1.0).unwrap_err();
+        assert_eq!(
+            err,
+            UnitError::OutOfRange {
+                quantity: "x",
+                value: -0.1,
+                min: 0.0,
+                max: 1.0
+            }
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let err = check_domain("speed", -3.0, 0.0, f64::MAX).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("speed"));
+        assert!(text.contains("-3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<UnitError>();
+    }
+}

@@ -1,0 +1,246 @@
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, Mul};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{check_domain, UnitError};
+use crate::probability::Probability;
+use crate::time::Hours;
+
+/// A non-negative event frequency, stored as events per operating hour.
+///
+/// This is the central quantity of the QRN: every consequence-class budget
+/// `f_v^acceptable` and every incident-type budget `f_I` is a `Frequency`.
+/// The paper expresses budgets "per operational hour"; other exposure bases
+/// (per km) can be converted by the caller using an average speed.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_units::{Frequency, Hours, Probability};
+///
+/// # fn main() -> Result<(), qrn_units::UnitError> {
+/// let f = Frequency::per_hour(1e-7)?;
+/// // thinning: only 30% of these incidents are severe
+/// let severe = f * Probability::new(0.3)?;
+/// assert!(severe < f);
+/// // expected events in 1e9 h of fleet operation
+/// assert!((f.expected_events(Hours::new(1e9)?) - 100.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Frequency(f64);
+
+impl Frequency {
+    /// A frequency of zero events per hour.
+    pub const ZERO: Frequency = Frequency(0.0);
+
+    /// Creates a frequency from a rate in events per operating hour.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] if `rate` is NaN, infinite or negative.
+    pub fn per_hour(rate: f64) -> Result<Self, UnitError> {
+        check_domain("frequency (per hour)", rate, 0.0, f64::MAX).map(Frequency)
+    }
+
+    /// Creates a frequency from an event count over an exposure duration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] if `exposure` is zero (a rate cannot be formed)
+    /// or if `count` is negative or not finite.
+    pub fn from_count(count: f64, exposure: Hours) -> Result<Self, UnitError> {
+        let count = check_domain("event count", count, 0.0, f64::MAX)?;
+        if exposure.value() == 0.0 {
+            return Err(UnitError::OutOfRange {
+                quantity: "exposure for rate",
+                value: 0.0,
+                min: f64::MIN_POSITIVE,
+                max: f64::MAX,
+            });
+        }
+        Ok(Frequency(count / exposure.value()))
+    }
+
+    /// Returns the rate in events per operating hour.
+    pub fn as_per_hour(self) -> f64 {
+        self.0
+    }
+
+    /// Expected number of events over the given exposure.
+    pub fn expected_events(self, exposure: Hours) -> f64 {
+        self.0 * exposure.value()
+    }
+
+    /// Saturating subtraction: the result never goes below zero.
+    ///
+    /// Budget arithmetic uses this so that "remaining budget" cannot become
+    /// negative (which would be meaningless as a frequency).
+    pub fn saturating_sub(self, other: Frequency) -> Frequency {
+        Frequency((self.0 - other.0).max(0.0))
+    }
+
+    /// Scales the frequency by a non-negative factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] if `factor` is negative or not finite.
+    pub fn scaled(self, factor: f64) -> Result<Frequency, UnitError> {
+        let factor = check_domain("scale factor", factor, 0.0, f64::MAX)?;
+        Frequency::per_hour(self.0 * factor)
+    }
+
+    /// The larger of two frequencies (total on valid, never-NaN values).
+    pub fn max(self, other: Frequency) -> Frequency {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two frequencies.
+    pub fn min(self, other: Frequency) -> Frequency {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Ratio `self / other`, or `None` when `other` is zero.
+    ///
+    /// Used to express budget utilisation ("measured rate is at 42% of the
+    /// allowed budget").
+    pub fn ratio(self, other: Frequency) -> Option<f64> {
+        if other.0 == 0.0 {
+            None
+        } else {
+            Some(self.0 / other.0)
+        }
+    }
+}
+
+impl Default for Frequency {
+    fn default() -> Self {
+        Frequency::ZERO
+    }
+}
+
+impl TryFrom<f64> for Frequency {
+    type Error = UnitError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Frequency::per_hour(value)
+    }
+}
+
+impl From<Frequency> for f64 {
+    fn from(f: Frequency) -> f64 {
+        f.0
+    }
+}
+
+impl Add for Frequency {
+    type Output = Frequency;
+
+    fn add(self, rhs: Frequency) -> Frequency {
+        Frequency(self.0 + rhs.0)
+    }
+}
+
+impl Sum for Frequency {
+    fn sum<I: Iterator<Item = Frequency>>(iter: I) -> Frequency {
+        iter.fold(Frequency::ZERO, Add::add)
+    }
+}
+
+impl Mul<Probability> for Frequency {
+    type Output = Frequency;
+
+    /// Thins the event stream: only a `p` fraction of events remain.
+    fn mul(self, p: Probability) -> Frequency {
+        Frequency(self.0 * p.value())
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:e}/h", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fph(x: f64) -> Frequency {
+        Frequency::per_hour(x).unwrap()
+    }
+
+    #[test]
+    fn per_hour_rejects_negative_and_nan() {
+        assert!(Frequency::per_hour(-1.0).is_err());
+        assert!(Frequency::per_hour(f64::NAN).is_err());
+        assert!(Frequency::per_hour(0.0).is_ok());
+    }
+
+    #[test]
+    fn from_count_divides_by_exposure() {
+        let f = Frequency::from_count(5.0, Hours::new(1000.0).unwrap()).unwrap();
+        assert!((f.as_per_hour() - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_count_rejects_zero_exposure() {
+        assert!(Frequency::from_count(5.0, Hours::new(0.0).unwrap()).is_err());
+    }
+
+    #[test]
+    fn addition_and_sum_accumulate() {
+        let total: Frequency = [fph(1e-3), fph(2e-3), fph(3e-3)].into_iter().sum();
+        assert!((total.as_per_hour() - 6e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn thinning_by_probability() {
+        let f = fph(1e-4) * Probability::new(0.25).unwrap();
+        assert!((f.as_per_hour() - 2.5e-5).abs() < 1e-18);
+    }
+
+    #[test]
+    fn saturating_sub_never_negative() {
+        assert_eq!(fph(1.0).saturating_sub(fph(3.0)), Frequency::ZERO);
+        let d = fph(3.0).saturating_sub(fph(1.0));
+        assert!((d.as_per_hour() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert_eq!(fph(1.0).ratio(Frequency::ZERO), None);
+        assert!((fph(1.0).ratio(fph(4.0)).unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(fph(1e-9) < fph(1e-8));
+    }
+
+    #[test]
+    fn serde_round_trip_and_rejection() {
+        let f = fph(2.5e-6);
+        let json = serde_json::to_string(&f).unwrap();
+        let back: Frequency = serde_json::from_str(&json).unwrap();
+        assert_eq!(f, back);
+        assert!(serde_json::from_str::<Frequency>("-1.0").is_err());
+    }
+
+    #[test]
+    fn display_uses_per_hour_suffix() {
+        assert!(fph(1e-7).to_string().ends_with("/h"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Strongly typed quantities for the Quantitative Risk Norm (QRN) toolkit.
+//!
+//! Safety engineering mixes quantities that are all "just numbers" but must
+//! never be confused: a *probability* of an outcome, a *frequency* of an
+//! incident per operating hour, an *exposure* in hours, an impact *speed*.
+//! Mixing them up is exactly the class of bug that corrupts a safety case,
+//! so this crate wraps each in a validating newtype
+//! ([C-NEWTYPE](https://rust-lang.github.io/api-guidelines/type-safety.html)).
+//!
+//! All quantities:
+//!
+//! * are constructed through checked constructors that reject NaN, infinities
+//!   and out-of-domain values;
+//! * implement the common traits ([`Debug`], [`Clone`], [`Copy`],
+//!   [`PartialEq`], [`PartialOrd`], [`std::fmt::Display`], serde);
+//! * only offer the arithmetic that is dimensionally meaningful (e.g.
+//!   [`Frequency`] `×` [`Hours`] yields an expected event *count*, a plain
+//!   `f64`).
+//!
+//! # Examples
+//!
+//! ```
+//! use qrn_units::{Frequency, Hours, Probability};
+//!
+//! # fn main() -> Result<(), qrn_units::UnitError> {
+//! // An incident budget of 1e-5 events per operating hour...
+//! let budget = Frequency::per_hour(1e-5)?;
+//! // ...thinned by a 30% chance of the severe outcome...
+//! let severe = budget * Probability::new(0.3)?;
+//! // ...over a fleet exposure of 2 million hours:
+//! let expected = severe.expected_events(Hours::new(2.0e6)?);
+//! assert!((expected - 6.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accel;
+mod distance;
+mod error;
+mod frequency;
+mod probability;
+mod speed;
+mod time;
+
+pub use accel::Acceleration;
+pub use distance::{Kilometers, Meters};
+pub use error::UnitError;
+pub use frequency::Frequency;
+pub use probability::Probability;
+pub use speed::Speed;
+pub use time::Hours;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,185 @@
+use std::fmt;
+use std::ops::Mul;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{check_domain, UnitError};
+
+/// A probability in `[0, 1]`.
+///
+/// Used throughout the toolkit for outcome shares (the fraction of an
+/// incident type's occurrences that land in a given consequence class),
+/// detection/miss probabilities, and per-event severity outcomes.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_units::Probability;
+///
+/// # fn main() -> Result<(), qrn_units::UnitError> {
+/// let p = Probability::new(0.7)?;
+/// let q = p.complement();
+/// assert!((q.value() - 0.3).abs() < 1e-12);
+/// assert_eq!(p.max(q), p);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Probability(f64);
+
+impl Probability {
+    /// The impossible event.
+    pub const ZERO: Probability = Probability(0.0);
+    /// The certain event.
+    pub const ONE: Probability = Probability(1.0);
+
+    /// Creates a probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] if `value` is NaN, infinite, or outside
+    /// `[0, 1]`.
+    pub fn new(value: f64) -> Result<Self, UnitError> {
+        check_domain("probability", value, 0.0, 1.0).map(Probability)
+    }
+
+    /// Returns the raw value in `[0, 1]`.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns `1 - p`.
+    pub fn complement(self) -> Probability {
+        Probability(1.0 - self.0)
+    }
+
+    /// Probability that at least one of two *independent* events occurs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qrn_units::Probability;
+    /// # fn main() -> Result<(), qrn_units::UnitError> {
+    /// let a = Probability::new(0.5)?;
+    /// let b = Probability::new(0.5)?;
+    /// assert!((a.or_independent(b).value() - 0.75).abs() < 1e-12);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn or_independent(self, other: Probability) -> Probability {
+        Probability(1.0 - (1.0 - self.0) * (1.0 - other.0))
+    }
+
+    /// The larger of two probabilities.
+    ///
+    /// Provided because `Probability` is only `PartialOrd` (it wraps an
+    /// `f64`), but valid instances are never NaN so a total `max` exists.
+    pub fn max(self, other: Probability) -> Probability {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two probabilities.
+    pub fn min(self, other: Probability) -> Probability {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Probability {
+    fn default() -> Self {
+        Probability::ZERO
+    }
+}
+
+impl TryFrom<f64> for Probability {
+    type Error = UnitError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Probability::new(value)
+    }
+}
+
+impl From<Probability> for f64 {
+    fn from(p: Probability) -> f64 {
+        p.0
+    }
+}
+
+impl Mul for Probability {
+    type Output = Probability;
+
+    /// Joint probability of two independent events. Never leaves `[0, 1]`.
+    fn mul(self, rhs: Probability) -> Probability {
+        Probability(self.0 * rhs.0)
+    }
+}
+
+impl fmt::Display for Probability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_domain() {
+        assert!(Probability::new(0.0).is_ok());
+        assert!(Probability::new(1.0).is_ok());
+        assert!(Probability::new(-0.001).is_err());
+        assert!(Probability::new(1.001).is_err());
+        assert!(Probability::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn complement_round_trips() {
+        let p = Probability::new(0.25).unwrap();
+        assert!((p.complement().complement().value() - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn product_stays_in_domain() {
+        let p = Probability::new(0.9).unwrap() * Probability::new(0.9).unwrap();
+        assert!((p.value() - 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn or_independent_matches_inclusion_exclusion() {
+        let a = Probability::new(0.2).unwrap();
+        let b = Probability::new(0.3).unwrap();
+        let expect = 0.2 + 0.3 - 0.06;
+        assert!((a.or_independent(b).value() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_rejects_invalid() {
+        let ok: Probability = serde_json::from_str("0.5").unwrap();
+        assert_eq!(ok, Probability::new(0.5).unwrap());
+        let bad: Result<Probability, _> = serde_json::from_str("1.5");
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn display_shows_value() {
+        assert_eq!(Probability::new(0.5).unwrap().to_string(), "0.5");
+    }
+
+    #[test]
+    fn min_max_are_total_on_valid_values() {
+        let a = Probability::new(0.1).unwrap();
+        let b = Probability::new(0.9).unwrap();
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(a), a);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the algebraic laws of the quantity types.
+
+use proptest::prelude::*;
+
+use crate::{Acceleration, Frequency, Hours, Meters, Probability, Speed};
+
+fn prob() -> impl Strategy<Value = Probability> {
+    (0.0f64..=1.0).prop_map(|p| Probability::new(p).unwrap())
+}
+
+fn freq() -> impl Strategy<Value = Frequency> {
+    (0.0f64..1e12).prop_map(|f| Frequency::per_hour(f).unwrap())
+}
+
+fn speed() -> impl Strategy<Value = Speed> {
+    (0.0f64..200.0).prop_map(|v| Speed::from_mps(v).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn probability_product_commutes(a in prob(), b in prob()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn probability_product_never_exceeds_factors(a in prob(), b in prob()) {
+        let p = a * b;
+        prop_assert!(p <= a.max(b));
+        prop_assert!(p.value() >= 0.0);
+    }
+
+    #[test]
+    fn probability_or_independent_bounds(a in prob(), b in prob()) {
+        let p = a.or_independent(b);
+        prop_assert!(p >= a.max(b) || (p.value() - a.max(b).value()).abs() < 1e-12);
+        prop_assert!(p.value() <= 1.0);
+    }
+
+    #[test]
+    fn complement_is_involutive(a in prob()) {
+        prop_assert!((a.complement().complement().value() - a.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_addition_commutes(a in freq(), b in freq()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn frequency_thinning_monotone(f in freq(), p in prob(), q in prob()) {
+        let (lo, hi) = if p <= q { (p, q) } else { (q, p) };
+        prop_assert!(f * lo <= f * hi);
+    }
+
+    #[test]
+    fn frequency_saturating_sub_never_negative(a in freq(), b in freq()) {
+        prop_assert!(a.saturating_sub(b) >= Frequency::ZERO);
+    }
+
+    #[test]
+    fn expected_events_scales_linearly(f in freq(), h in 0.0f64..1e6) {
+        let h = Hours::new(h).unwrap();
+        let e = f.expected_events(h);
+        prop_assert!(e >= 0.0);
+        // doubling exposure doubles expectation
+        let h2 = Hours::new(h.value() * 2.0).unwrap();
+        let e2 = f.expected_events(h2);
+        prop_assert!((e2 - 2.0 * e).abs() <= 1e-9 * e2.max(1.0));
+    }
+
+    #[test]
+    fn speed_kmh_round_trip(kmh in 0.0f64..400.0) {
+        let s = Speed::from_kmh(kmh).unwrap();
+        prop_assert!((s.as_kmh() - kmh).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closing_speed_triangle(a in speed(), b in speed(), c in speed()) {
+        // |a-c| <= |a-b| + |b-c|
+        let lhs = a.closing(c).as_mps();
+        let rhs = a.closing(b).as_mps() + b.closing(c).as_mps();
+        prop_assert!(lhs <= rhs + 1e-9);
+    }
+
+    #[test]
+    fn braking_never_increases_speed(v in speed(), a in 0.1f64..12.0, d in 0.0f64..1000.0) {
+        let a = Acceleration::new(a).unwrap();
+        let d = Meters::new(d).unwrap();
+        prop_assert!(v.after_braking_over(a, d) <= v);
+    }
+
+    #[test]
+    fn braking_over_stopping_distance_stops(v in speed(), a in 0.1f64..12.0) {
+        let a = Acceleration::new(a).unwrap();
+        let d = v.stopping_distance(a).unwrap();
+        let rest = v.after_braking_over(a, d);
+        // v'^2 = v^2 - 2ad suffers catastrophic cancellation near zero, so
+        // the residual speed scales with v * sqrt(machine epsilon).
+        prop_assert!(rest.as_mps() < 1e-4 * v.as_mps().max(1.0));
+    }
+
+    #[test]
+    fn meters_kilometers_round_trip(m in 0.0f64..1e9) {
+        let m = Meters::new(m).unwrap();
+        let back = m.to_kilometers().to_meters();
+        prop_assert!((back.value() - m.value()).abs() <= 1e-9 * m.value().max(1.0));
+    }
+}

@@ -1,0 +1,230 @@
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::accel::Acceleration;
+use crate::distance::Meters;
+use crate::error::{check_domain, UnitError};
+
+/// A non-negative speed, stored internally in meters per second.
+///
+/// Impact speeds are the tolerance margins of the paper's accident incident
+/// types ("collision with an impact speed of between 10 and 70 km/h"), so
+/// speeds appear throughout the public API. Constructors accept both km/h
+/// (the paper's unit) and m/s (the simulator's unit).
+///
+/// # Examples
+///
+/// ```
+/// use qrn_units::Speed;
+///
+/// # fn main() -> Result<(), qrn_units::UnitError> {
+/// let impact = Speed::from_kmh(36.0)?;
+/// assert!((impact.as_mps() - 10.0).abs() < 1e-12);
+/// assert!(impact < Speed::from_kmh(70.0)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Speed(f64);
+
+impl Speed {
+    /// Standstill.
+    pub const ZERO: Speed = Speed(0.0);
+
+    /// Creates a speed from kilometers per hour.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] if `kmh` is NaN, infinite or negative.
+    pub fn from_kmh(kmh: f64) -> Result<Self, UnitError> {
+        let v = check_domain("speed (km/h)", kmh, 0.0, f64::MAX)?;
+        Ok(Speed(v / 3.6))
+    }
+
+    /// Creates a speed from meters per second.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] if `mps` is NaN, infinite or negative.
+    pub fn from_mps(mps: f64) -> Result<Self, UnitError> {
+        check_domain("speed (m/s)", mps, 0.0, f64::MAX).map(Speed)
+    }
+
+    /// Returns the speed in kilometers per hour.
+    pub fn as_kmh(self) -> f64 {
+        self.0 * 3.6
+    }
+
+    /// Returns the speed in meters per second.
+    pub fn as_mps(self) -> f64 {
+        self.0
+    }
+
+    /// Magnitude of the speed difference (closing speed of two actors).
+    pub fn closing(self, other: Speed) -> Speed {
+        Speed((self.0 - other.0).abs())
+    }
+
+    /// Saturating subtraction in m/s: braking cannot go below standstill.
+    pub fn saturating_sub(self, other: Speed) -> Speed {
+        Speed((self.0 - other.0).max(0.0))
+    }
+
+    /// Distance needed to stop from this speed at constant deceleration.
+    ///
+    /// Uses `d = v² / (2a)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] if `decel` is zero (no braking capability).
+    pub fn stopping_distance(self, decel: Acceleration) -> Result<Meters, UnitError> {
+        if decel.value() == 0.0 {
+            return Err(UnitError::OutOfRange {
+                quantity: "deceleration for stopping distance",
+                value: 0.0,
+                min: f64::MIN_POSITIVE,
+                max: f64::MAX,
+            });
+        }
+        Meters::new(self.0 * self.0 / (2.0 * decel.value()))
+    }
+
+    /// Speed after decelerating at `decel` over distance `d` (kinematic
+    /// `v'² = v² − 2·a·d`), saturating at standstill.
+    pub fn after_braking_over(self, decel: Acceleration, d: Meters) -> Speed {
+        let v2 = self.0 * self.0 - 2.0 * decel.value() * d.value();
+        Speed(v2.max(0.0).sqrt())
+    }
+
+    /// The larger of two speeds.
+    pub fn max(self, other: Speed) -> Speed {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two speeds.
+    pub fn min(self, other: Speed) -> Speed {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Speed {
+    fn default() -> Self {
+        Speed::ZERO
+    }
+}
+
+impl TryFrom<f64> for Speed {
+    type Error = UnitError;
+
+    /// Interprets the raw value as meters per second (the storage unit).
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Speed::from_mps(value)
+    }
+}
+
+impl From<Speed> for f64 {
+    /// Returns meters per second (the storage unit).
+    fn from(s: Speed) -> f64 {
+        s.0
+    }
+}
+
+impl Add for Speed {
+    type Output = Speed;
+
+    fn add(self, rhs: Speed) -> Speed {
+        Speed(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Speed {
+    type Output = Speed;
+
+    /// Saturates at standstill.
+    fn sub(self, rhs: Speed) -> Speed {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl fmt::Display for Speed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} km/h", self.as_kmh())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmh_mps_conversion() {
+        let s = Speed::from_kmh(72.0).unwrap();
+        assert!((s.as_mps() - 20.0).abs() < 1e-12);
+        assert!((Speed::from_mps(20.0).unwrap().as_kmh() - 72.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_negative() {
+        assert!(Speed::from_kmh(-1.0).is_err());
+        assert!(Speed::from_mps(-0.01).is_err());
+    }
+
+    #[test]
+    fn closing_speed_is_symmetric() {
+        let a = Speed::from_mps(10.0).unwrap();
+        let b = Speed::from_mps(4.0).unwrap();
+        assert_eq!(a.closing(b), b.closing(a));
+        assert!((a.closing(b).as_mps() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stopping_distance_kinematics() {
+        // 20 m/s at 4 m/s^2 -> 400/8 = 50 m
+        let v = Speed::from_mps(20.0).unwrap();
+        let d = v
+            .stopping_distance(Acceleration::new(4.0).unwrap())
+            .unwrap();
+        assert!((d.value() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stopping_distance_requires_braking() {
+        let v = Speed::from_mps(20.0).unwrap();
+        assert!(v.stopping_distance(Acceleration::ZERO).is_err());
+    }
+
+    #[test]
+    fn after_braking_saturates_at_standstill() {
+        let v = Speed::from_mps(10.0).unwrap();
+        let a = Acceleration::new(5.0).unwrap();
+        // stopping distance is 10 m; braking over 20 m -> standstill
+        let out = v.after_braking_over(a, Meters::new(20.0).unwrap());
+        assert_eq!(out, Speed::ZERO);
+        // braking over 5 m: v'^2 = 100 - 50 = 50
+        let out = v.after_braking_over(a, Meters::new(5.0).unwrap());
+        assert!((out.as_mps() - 50f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let a = Speed::from_mps(3.0).unwrap();
+        let b = Speed::from_mps(5.0).unwrap();
+        assert_eq!(a - b, Speed::ZERO);
+    }
+
+    #[test]
+    fn display_in_kmh() {
+        assert_eq!(Speed::from_kmh(50.0).unwrap().to_string(), "50.0 km/h");
+    }
+}

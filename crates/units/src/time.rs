@@ -1,0 +1,134 @@
+use std::fmt;
+use std::iter::Sum;
+use std::ops::Add;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{check_domain, UnitError};
+
+/// A non-negative duration in operating hours.
+///
+/// Exposure — the denominator of every measured incident rate — is tracked
+/// in operating hours, matching how the paper states budgets ("per
+/// operational hour").
+///
+/// # Examples
+///
+/// ```
+/// use qrn_units::Hours;
+///
+/// # fn main() -> Result<(), qrn_units::UnitError> {
+/// let fleet = Hours::new(1.5e6)?;
+/// let more = fleet + Hours::new(0.5e6)?;
+/// assert_eq!(more, Hours::new(2.0e6)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Hours(f64);
+
+impl Hours {
+    /// Zero exposure.
+    pub const ZERO: Hours = Hours(0.0);
+
+    /// Creates a duration in hours.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] if `value` is NaN, infinite or negative.
+    pub fn new(value: f64) -> Result<Self, UnitError> {
+        check_domain("duration (hours)", value, 0.0, f64::MAX).map(Hours)
+    }
+
+    /// Creates a duration from seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] if `seconds` is NaN, infinite or negative.
+    pub fn from_seconds(seconds: f64) -> Result<Self, UnitError> {
+        let s = check_domain("duration (seconds)", seconds, 0.0, f64::MAX)?;
+        Ok(Hours(s / 3600.0))
+    }
+
+    /// Returns the duration in hours.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the duration in seconds.
+    pub fn as_seconds(self) -> f64 {
+        self.0 * 3600.0
+    }
+}
+
+impl Default for Hours {
+    fn default() -> Self {
+        Hours::ZERO
+    }
+}
+
+impl TryFrom<f64> for Hours {
+    type Error = UnitError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Hours::new(value)
+    }
+}
+
+impl From<Hours> for f64 {
+    fn from(h: Hours) -> f64 {
+        h.0
+    }
+}
+
+impl Add for Hours {
+    type Output = Hours;
+
+    fn add(self, rhs: Hours) -> Hours {
+        Hours(self.0 + rhs.0)
+    }
+}
+
+impl Sum for Hours {
+    fn sum<I: Iterator<Item = Hours>>(iter: I) -> Hours {
+        iter.fold(Hours::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Hours {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} h", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_negative() {
+        assert!(Hours::new(-1.0).is_err());
+        assert!(Hours::new(0.0).is_ok());
+    }
+
+    #[test]
+    fn seconds_round_trip() {
+        let h = Hours::from_seconds(7200.0).unwrap();
+        assert!((h.value() - 2.0).abs() < 1e-12);
+        assert!((h.as_seconds() - 7200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let total: Hours = (0..10).map(|_| Hours::new(0.5).unwrap()).sum();
+        assert!((total.value() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let h = Hours::new(123.5).unwrap();
+        let back: Hours = serde_json::from_str(&serde_json::to_string(&h).unwrap()).unwrap();
+        assert_eq!(h, back);
+    }
+}

@@ -1,0 +1,125 @@
+//! The paper's Sec. V worked example, end to end: refine the safety goal
+//! "do not overestimate the VRU-free drivable area" into a redundant
+//! perception architecture, verify it quantitatively, compare with what
+//! ASIL decomposition could express, and rank the elements by importance.
+//!
+//! Run with: `cargo run --example drivable_area_refinement`
+
+use std::error::Error;
+
+use qrn::hara::asil::Asil;
+use qrn::quant::compare::{asil_equivalent, can_decompose_to};
+use qrn::quant::importance::importance_ranking;
+use qrn::quant::refine::Refinement;
+use qrn::quant::{Element, RateModel};
+use qrn::units::Frequency;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // The vehicle-level requirement: overestimating the drivable area must
+    // be rarer than the ASIL-D-grade target.
+    let budget = Frequency::per_hour(1e-8)?;
+    println!(
+        "Safety requirement: do not overestimate the VRU-free drivable area,\n\
+         to below {budget} (ASIL-D-grade integrity).\n"
+    );
+
+    // The architecture: three diverse perception stacks must *all* be
+    // wrong for the fused free-space to be overestimated; each stack is a
+    // series of its sensor channel and its prediction block. A shared
+    // localisation service feeds all three (a common cause).
+    let stack = |name: &str, sensor_rate: f64, predictor_rate: f64| {
+        Ok::<RateModel, qrn::units::UnitError>(RateModel::any_of(vec![
+            RateModel::basic(Element::new(
+                format!("{name}-sensor"),
+                Frequency::per_hour(sensor_rate)?,
+            )),
+            RateModel::basic(Element::new(
+                format!("{name}-predictor"),
+                Frequency::per_hour(predictor_rate)?,
+            )),
+            RateModel::basic(Element::new("localisation", Frequency::per_hour(2e-5)?)),
+        ]))
+    };
+    let fused = RateModel::all_of(vec![
+        stack("camera", 8e-4, 3e-4)?,
+        stack("lidar", 5e-4, 3e-4)?,
+        stack("radar", 2e-3, 4e-4)?,
+    ]);
+
+    // Quantitative verification, first naively (elements independent):
+    let refinement = Refinement::new(budget, fused.clone());
+    let naive = refinement.verify()?;
+    println!(
+        "Fused architecture ({} elements), naive independence: {naive}",
+        fused.element_count()
+    );
+    assert!(naive.meets_budget());
+
+    // …but the shared localisation is a COMMON CAUSE: if it fails, every
+    // stack fails at once. Exact conditioning on shared ids exposes it:
+    let exact = refinement.verify_exact()?;
+    println!("Same architecture, common-cause-aware:        {exact}");
+    assert!(!exact.meets_budget());
+    println!(
+        "The naive product hid a {:.0}x optimism — 'a correctly assigned\n\
+         contribution … must be well substantiated' (Sec. III-B).\n",
+        exact.achieved.as_per_hour() / naive.achieved.as_per_hour()
+    );
+
+    // The fix: give the shared service an integrity worthy of a
+    // single-point element (a 1e-9-class localisation), then re-verify.
+    let hardened_stack = |name: &str, sensor_rate: f64, predictor_rate: f64| {
+        Ok::<RateModel, qrn::units::UnitError>(RateModel::any_of(vec![
+            RateModel::basic(Element::new(
+                format!("{name}-sensor"),
+                Frequency::per_hour(sensor_rate)?,
+            )),
+            RateModel::basic(Element::new(
+                format!("{name}-predictor"),
+                Frequency::per_hour(predictor_rate)?,
+            )),
+            RateModel::basic(Element::new("localisation", Frequency::per_hour(1e-9)?)),
+        ]))
+    };
+    let hardened = RateModel::all_of(vec![
+        hardened_stack("camera", 8e-4, 3e-4)?,
+        hardened_stack("lidar", 5e-4, 3e-4)?,
+        hardened_stack("radar", 2e-3, 4e-4)?,
+    ]);
+    let fixed = Refinement::new(budget, hardened).verify_exact()?;
+    println!("Hardened localisation (1e-9/h), exact:        {fixed}");
+    assert!(fixed.meets_budget());
+
+    // What a channel's rate would "earn" qualitatively:
+    for (name, rate) in [("camera stack", 1.1e-3 + 2e-5), ("localisation", 2e-5)] {
+        let equivalent = asil_equivalent(Frequency::per_hour(rate)?);
+        println!(
+            "  {name}: {rate:.1e}/h -> {}",
+            equivalent
+                .map(|a| a.to_string())
+                .unwrap_or_else(|| "QM range (no ASIL target met)".into())
+        );
+    }
+    // And the qualitative route cannot credit three QM-range channels:
+    assert!(!can_decompose_to(Asil::D, &[Asil::QM, Asil::QM, Asil::QM]));
+    println!(
+        "\nISO 26262-9 has no scheme D -> QM+QM+QM: the redundant architecture\n\
+         cannot be credited qualitatively, only quantitatively (Sec. V).\n"
+    );
+
+    // Importance analysis: where does the next unit of engineering effort
+    // go? The shared localisation is a common cause and dominates.
+    println!("Birnbaum importance ranking:");
+    for entry in importance_ranking(&fused).iter().take(4) {
+        println!("  {:<18} {:.3e}", entry.id, entry.birnbaum);
+    }
+    let ranking = importance_ranking(&fused);
+    assert_eq!(ranking[0].id, "localisation");
+    println!(
+        "\nThe shared localisation service outranks every redundant channel —\n\
+         the quantitative frame finds the common cause automatically; a\n\
+         qualitative ASIL allocation would have treated it like any other\n\
+         QM-range element."
+    );
+    Ok(())
+}

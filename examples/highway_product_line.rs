@@ -1,0 +1,135 @@
+//! Product-line reuse of one risk norm (Sec. VII of the paper): two
+//! feature variants — an urban shuttle and a highway pilot — share the
+//! same quantitative risk norm while allocating it differently.
+//!
+//! "While there may be some variability in the frequency allocation for
+//! each incident type … the total acceptable risk for each consequence
+//! class will be the same."
+//!
+//! Run with: `cargo run --example highway_product_line`
+
+use std::collections::BTreeMap;
+use std::error::Error;
+
+use qrn::core::allocation::{allocate_proportional, Allocation};
+use qrn::core::classification::IncidentClassification;
+use qrn::core::examples::{paper_classification, paper_norm, paper_shares};
+use qrn::core::incident::{IncidentTypeId, ToleranceMargin};
+use qrn::core::norm::QuantitativeRiskNorm;
+use qrn::core::object::{InvolvementClass, ObjectType};
+use qrn::odd::attribute::{Constraint, Dimension};
+use qrn::odd::spec::OddSpec;
+
+/// Variant-specific weights: where each product expects its incidents.
+fn variant_weights(
+    classification: &IncidentClassification,
+    vru_emphasis: f64,
+    vehicle_emphasis: f64,
+) -> BTreeMap<IncidentTypeId, f64> {
+    classification
+        .leaves()
+        .iter()
+        .map(|leaf| {
+            let base = match leaf.margin() {
+                ToleranceMargin::Proximity { .. } => 100.0,
+                ToleranceMargin::ImpactSpeed { hi: Some(_), .. } => 5.0,
+                ToleranceMargin::ImpactSpeed { hi: None, .. } => 0.01,
+            };
+            let class_factor = match leaf.involvement().class() {
+                InvolvementClass::EgoVru | InvolvementClass::InducedVru => vru_emphasis,
+                InvolvementClass::EgoCar | InvolvementClass::EgoTruck => vehicle_emphasis,
+                _ => 1.0,
+            };
+            (leaf.id().clone(), base * class_factor)
+        })
+        .collect()
+}
+
+fn report_variant(
+    name: &str,
+    norm: &QuantitativeRiskNorm,
+    allocation: &Allocation,
+) -> Result<(), Box<dyn Error>> {
+    let report = allocation.check(norm)?;
+    assert!(report.is_fulfilled(), "variant {name} must fulfil Eq. (1)");
+    println!("Variant {name}: Eq. (1) fulfilled");
+    for id in ["I1", "I2", "I3"] {
+        let f = allocation.incident_budget(&id.into())?;
+        println!("  budget f_{id} = {f}");
+    }
+    // Ethics guard: no consequence class may be dominated entirely by a
+    // single VRU incident type (the paper's Ego<->Child discussion).
+    let fatal = "vS3".into();
+    if let Some((incident, fraction)) = allocation.dominant_contributor(&fatal) {
+        println!(
+            "  dominant vS3 contributor: {incident} at {:.0}%",
+            fraction * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // One norm for the whole product line.
+    let norm = paper_norm()?;
+    println!("{norm}");
+
+    // One MECE classification, one share matrix (consequence physics does
+    // not change between variants).
+    let classification = paper_classification()?;
+    let shares = paper_shares(&classification)?;
+
+    // The urban shuttle expects VRU interactions; the highway pilot
+    // expects vehicle interactions. Same norm, different allocations.
+    let urban_weights = variant_weights(&classification, 10.0, 1.0);
+    let highway_weights = variant_weights(&classification, 0.1, 10.0);
+    let urban = allocate_proportional(&norm, &shares, &urban_weights, 0.9)?;
+    let highway = allocate_proportional(&norm, &shares, &highway_weights, 0.9)?;
+
+    report_variant("urban-shuttle", &norm, &urban)?;
+    report_variant("highway-pilot", &norm, &highway)?;
+
+    // The urban variant grants VRU incident types more budget; the
+    // highway variant grants vehicle types more.
+    let i2: IncidentTypeId = "I2".into();
+    let urban_i2 = urban.incident_budget(&i2)?;
+    let highway_i2 = highway.incident_budget(&i2)?;
+    assert!(urban_i2 > highway_i2);
+    println!(
+        "\nEgo↔VRU low-speed budget: urban {urban_i2} vs highway {highway_i2} — \
+         allocation differs, the norm does not."
+    );
+
+    // The variants' ODDs are restrictions of a master ODD: anything safe
+    // in the variant ODD is inside the master envelope.
+    let master = OddSpec::builder()
+        .constrain(
+            Dimension::new("road_type"),
+            Constraint::any_of(["urban", "rural", "highway"]),
+        )
+        .constrain(
+            Dimension::new("speed_limit_kmh"),
+            Constraint::range(0.0, 130.0)?,
+        )
+        .build();
+    let urban_odd = master
+        .restricted(Dimension::new("road_type"), Constraint::any_of(["urban"]))?
+        .restricted(
+            Dimension::new("speed_limit_kmh"),
+            Constraint::range(0.0, 60.0)?,
+        )?;
+    let highway_odd =
+        master.restricted(Dimension::new("road_type"), Constraint::any_of(["highway"]))?;
+    assert!(urban_odd.is_subset_of(&master));
+    assert!(highway_odd.is_subset_of(&master));
+    println!("\nUrban ODD:   {urban_odd}");
+    println!("Highway ODD: {highway_odd}");
+
+    // Sanity: the VRU classification is product-independent; both
+    // variants restrict the same incident types.
+    assert!(classification.incident_type(&i2).is_some_and(
+        |t| t.involvement() == qrn::core::object::Involvement::ego_with(ObjectType::Vru)
+    ));
+    println!("\nBoth variants share classification, shares and norm: only the allocation varies.");
+    Ok(())
+}

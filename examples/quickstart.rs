@@ -1,0 +1,112 @@
+//! Quickstart: build a quantitative risk norm, a MECE incident
+//! classification, allocate budgets, derive safety goals, and check the
+//! fulfilment inequality — the whole QRN method in one sitting.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::collections::BTreeMap;
+use std::error::Error;
+
+use qrn::core::allocation::{allocate_proportional, ShareMatrix};
+use qrn::core::classification::{GroupRules, IncidentClassification};
+use qrn::core::consequence::{ConsequenceClass, ConsequenceDomain};
+use qrn::core::incident::IncidentTypeId;
+use qrn::core::norm::QuantitativeRiskNorm;
+use qrn::core::object::InvolvementClass;
+use qrn::core::safety_goal::derive_with_certificate;
+use qrn::units::{Frequency, Meters, Probability, Speed};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. The risk norm: what "sufficiently safe" means, as budgets.
+    //    (Numbers are illustrative, as in the paper's footnote 3.)
+    let norm = QuantitativeRiskNorm::builder()
+        .class(
+            ConsequenceClass::new("vQ1", ConsequenceDomain::Quality, 0, "scared road user"),
+            Frequency::per_hour(1e-2)?,
+        )
+        .class(
+            ConsequenceClass::new("vS1", ConsequenceDomain::Safety, 1, "light injuries"),
+            Frequency::per_hour(1e-5)?,
+        )
+        .class(
+            ConsequenceClass::new("vS3", ConsequenceDomain::Safety, 2, "fatality"),
+            Frequency::per_hour(1e-8)?,
+        )
+        .build()?;
+    println!("{norm}");
+
+    // 2. A MECE incident classification. Every involvement group needs
+    //    rules; here the interesting one is Ego<->VRU with the paper's
+    //    I1/I2/I3 structure (plus the unbounded tail band I4).
+    let ego_vru = GroupRules::builder()
+        .collision_band_below(Speed::from_kmh(10.0)?, "I2")
+        .collision_band_below(Speed::from_kmh(70.0)?, "I3")
+        .collision_tail("I4")
+        .near_miss_within(Meters::new(1.0)?)
+        .near_miss_band_from(Speed::from_kmh(10.0)?, "I1")
+        .build()?;
+    let mut builder = IncidentClassification::builder();
+    for class in InvolvementClass::ALL {
+        if class == InvolvementClass::EgoVru {
+            continue;
+        }
+        builder = builder.group(
+            class,
+            GroupRules::builder()
+                .collision_band_below(Speed::from_kmh(15.0)?, format!("{class}/low"))
+                .collision_tail(format!("{class}/high"))
+                .build()?,
+        );
+    }
+    let classification = builder.group(InvolvementClass::EgoVru, ego_vru).build()?;
+    println!("{classification}");
+
+    // 3. Contribution shares and an automatic budget allocation at 90%
+    //    utilisation of the binding consequence class.
+    let mut shares = ShareMatrix::builder()
+        .share("I1", "vQ1", Probability::new(0.7)?)
+        .share("I2", "vS1", Probability::new(0.6)?)
+        .share("I3", "vS1", Probability::new(0.3)?)
+        .share("I3", "vS3", Probability::new(0.2)?)
+        .share("I4", "vS3", Probability::new(0.9)?);
+    for leaf in classification.leaves() {
+        let id = leaf.id().as_str();
+        if !id.starts_with('I') {
+            shares = shares.share(id, "vS1", Probability::new(0.3)?).share(
+                id,
+                "vS3",
+                Probability::new(0.02)?,
+            );
+        }
+    }
+    let shares = shares.build()?;
+    let weights: BTreeMap<IncidentTypeId, f64> = classification
+        .leaves()
+        .iter()
+        .map(|leaf| {
+            let w = if leaf.id().as_str() == "I1" {
+                100.0
+            } else {
+                1.0
+            };
+            (leaf.id().clone(), w)
+        })
+        .collect();
+    let allocation = allocate_proportional(&norm, &shares, &weights, 0.9)?;
+
+    // 4. Eq. (1): every consequence class within budget?
+    let report = allocation.check(&norm)?;
+    print!("{report}");
+    assert!(report.is_fulfilled());
+
+    // 5. One safety goal per incident type, with the completeness
+    //    certificate tying the goal set to the MECE classification.
+    let (goals, certificate) = derive_with_certificate(&classification, &allocation)?;
+    println!("\nDerived {} safety goals, e.g.:", goals.len());
+    for goal in goals.iter().filter(|g| g.id().starts_with("SG-I")) {
+        println!("  {goal}");
+    }
+    println!("\n{certificate}");
+    assert!(certificate.holds());
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! # qrn — The Quantitative Risk Norm toolkit
+//!
+//! A production-quality Rust implementation of the methodology of
+//! *"The Quantitative Risk Norm — A Proposed Tailoring of HARA for ADS"*
+//! (Warg, Johansson, Skoglund, Thorsén, Brännström, Gyllenhammar,
+//! Sanfridson; DSN-W/SSIV 2020), together with every substrate needed to
+//! exercise it end-to-end: the ISO 26262 HARA baseline it replaces, an ODD
+//! model with contextual exposure, exact rare-event statistics, a
+//! quantitative assurance framework, and a traffic simulator standing in
+//! for fleet data.
+//!
+//! This crate is a facade: it re-exports the workspace crates as modules.
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`units`] | `qrn-units` | typed quantities (frequency, speed, hours…) |
+//! | [`stats`] | `qrn-stats` | exact Poisson/binomial intervals, SPRT, RNG |
+//! | [`odd`] | `qrn-odd` | ODD specs, contexts, contextual exposure |
+//! | [`hara`] | `qrn-hara` | S/E/C, ASIL, situation spaces, decomposition |
+//! | [`core`] | `qrn-core` | the QRN: norm, MECE classification, Eq. (1), safety goals, verification |
+//! | [`quant`] | `qrn-quant` | rate algebra, refinement, ASIL comparison |
+//! | [`sim`] | `qrn-sim` | tactical policies, encounters, Monte Carlo |
+//!
+//! # The pipeline in five lines
+//!
+//! ```
+//! use qrn::core::examples::{paper_allocation, paper_classification, paper_norm};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let norm = paper_norm()?;                       // Fig. 2: acceptable risk
+//! let classification = paper_classification()?;   // Fig. 4: MECE incident types
+//! let allocation = paper_allocation(&classification)?; // Fig. 5: budgets + shares
+//! assert!(allocation.check(&norm)?.is_fulfilled());    // Eq. (1)
+//! let goals = qrn::core::safety_goal::derive_safety_goals(&classification, &allocation)?;
+//! assert!(goals.iter().any(|g| g.id() == "SG-I2"));    // the paper's SG-I2
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use qrn_core as core;
+pub use qrn_hara as hara;
+pub use qrn_odd as odd;
+pub use qrn_quant as quant;
+pub use qrn_sim as sim;
+pub use qrn_stats as stats;
+pub use qrn_units as units;

@@ -1,0 +1,93 @@
+//! Empirical validation of the contextual exposure model (Sec. II-B.4):
+//! the simulator's observed per-zone challenge rates must match the rates
+//! the `qrn-odd` exposure model prescribes, within exact statistical
+//! bounds — closing the loop between the model and the world it drives.
+
+use qrn::odd::context::{Context, Value};
+use qrn::odd::exposure::SituationalFactor;
+use qrn::sim::monte_carlo::Campaign;
+use qrn::sim::policy::CautiousPolicy;
+use qrn::sim::scenario::{urban_scenario, zone_dimension};
+use qrn::stats::poisson::{rate_equality_p_value, PoissonRate};
+use qrn::units::Hours;
+
+#[test]
+fn observed_zone_rates_match_the_configured_model() {
+    let config = urban_scenario().unwrap();
+    let result = Campaign::new(config.clone(), CautiousPolicy::default())
+        .hours(Hours::new(600.0).unwrap())
+        .seed(21)
+        .workers(8)
+        .run()
+        .unwrap();
+
+    for zone in &config.zones {
+        // The configured total challenge rate in this zone.
+        let expected: f64 = config
+            .challenges
+            .iter()
+            .map(|c| {
+                config
+                    .exposure
+                    .rate(&c.factor, &zone.context)
+                    .expect("factors have base rates")
+                    .as_per_hour()
+            })
+            .sum();
+        let observed = result
+            .zone_encounter_rate(&zone.name)
+            .expect("zone visited")
+            .as_per_hour();
+        // Within 3 sigma of the Poisson expectation.
+        let hours = result.zone_exposure(&zone.name).value();
+        let sigma = (expected / hours).sqrt();
+        assert!(
+            (observed - expected).abs() < 4.0 * sigma,
+            "zone {}: observed {observed}/h vs configured {expected}/h (sigma {sigma})",
+            zone.name
+        );
+    }
+}
+
+#[test]
+fn school_multiplier_is_statistically_established() {
+    let config = urban_scenario().unwrap();
+    let result = Campaign::new(config.clone(), CautiousPolicy::default())
+        .hours(Hours::new(600.0).unwrap())
+        .seed(22)
+        .workers(8)
+        .run()
+        .unwrap();
+
+    // Compare observed school vs residential encounter *counts* with the
+    // exact conditional test: under equal rates the p-value would be
+    // large; the 8x pedestrian multiplier must reject equality decisively.
+    let count = |zone: &str| -> PoissonRate {
+        let hours = result.zone_exposure(zone);
+        let events = (result.zone_encounter_rate(zone).unwrap().as_per_hour() * hours.value())
+            .round() as u64;
+        PoissonRate::new(events, hours)
+    };
+    let p = rate_equality_p_value(count("school"), count("residential")).unwrap();
+    assert!(p < 1e-6, "school/residential equality p-value {p}");
+
+    // Sanity: the model itself prescribes the ratio we are detecting.
+    let ped = SituationalFactor::new("pedestrian_crossing");
+    let school_ctx = Context::builder()
+        .set(zone_dimension(), Value::category("school"))
+        .build();
+    let residential_ctx = Context::builder()
+        .set(zone_dimension(), Value::category("residential"))
+        .build();
+    let ratio = config
+        .exposure
+        .rate(&ped, &school_ctx)
+        .unwrap()
+        .as_per_hour()
+        / config
+            .exposure
+            .rate(&ped, &residential_ctx)
+            .unwrap()
+            .as_per_hour();
+    assert!((ratio - 8.0).abs() < 1e-9);
+}

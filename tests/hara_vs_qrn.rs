@@ -1,0 +1,112 @@
+//! Integration of the baseline (ISO 26262 HARA, ASIL algebra) with the QRN
+//! route: the comparisons the paper's Secs. II and V make, checked.
+
+use qrn::core::examples::{paper_allocation, paper_classification};
+use qrn::core::safety_goal::derive_with_certificate;
+use qrn::hara::analysis::{CompletenessAssumption, Hara, HazardousEvent};
+use qrn::hara::asil::Asil;
+use qrn::hara::hazard::{hazop_matrix, Guideword, Hazard};
+use qrn::hara::severity::{Controllability, Exposure, Severity};
+use qrn::hara::situation::{ads_situation_dimensions, SituationSpace};
+use qrn::quant::compare::{can_decompose_to, compare_redundancy};
+use qrn::quant::refine::{split_budget_equally, Refinement};
+use qrn::quant::{Element, RateModel};
+use qrn::units::Frequency;
+
+#[test]
+fn situation_space_grows_while_qrn_leaves_do_not() {
+    let leaves = paper_classification().unwrap().leaves().len();
+    let mut previous = 0u128;
+    for detail in 1..=4 {
+        let space = SituationSpace::new(ads_situation_dimensions(detail));
+        assert!(space.cardinality() > previous);
+        previous = space.cardinality();
+        // The QRN incident-type count is independent of the detail knob.
+        assert_eq!(paper_classification().unwrap().leaves().len(), leaves);
+    }
+    assert!(previous > 1_000_000_000_000u128);
+}
+
+#[test]
+fn classical_hara_carries_undischargeable_assumptions() {
+    let mut hara = Hara::new("ADS item");
+    let situation = SituationSpace::new(ads_situation_dimensions(1))
+        .situation_at(0)
+        .unwrap();
+    hara.add_event(HazardousEvent::new(
+        Hazard::new("H1", "braking", Guideword::TooLittle),
+        situation,
+        Severity::S3,
+        Exposure::E4,
+        Controllability::C3,
+    ));
+    // The four assumptions are exactly the paper's four critiques.
+    assert_eq!(hara.completeness_assumptions().len(), 4);
+    assert!(hara
+        .completeness_assumptions()
+        .contains(&CompletenessAssumption::ExposureIsGivenInput));
+    // And the qualitative route tops out at one ASIL-D goal per hazard.
+    let goals = hara.safety_goals();
+    assert_eq!(goals.len(), 1);
+    assert_eq!(goals[0].asil, Asil::D);
+}
+
+#[test]
+fn qrn_certificate_replaces_situation_completeness() {
+    let classification = paper_classification().unwrap();
+    let allocation = paper_allocation(&classification).unwrap();
+    let (_, certificate) = derive_with_certificate(&classification, &allocation).unwrap();
+    assert!(certificate.holds());
+    // The certificate's probe budget is trivially small compared to any
+    // situation space — completeness became checkable.
+    assert!(certificate.mece.probes < 100_000);
+}
+
+#[test]
+fn hazop_scales_linearly_but_situations_multiply() {
+    let hazards = hazop_matrix(&["braking", "steering"]);
+    assert_eq!(hazards.len(), 16);
+    let space = SituationSpace::new(ads_situation_dimensions(1));
+    let hes = space.cardinality() * hazards.len() as u128;
+    assert_eq!(hes, space.cardinality() * 16);
+}
+
+#[test]
+fn quantitative_route_credits_what_asil_decomposition_cannot() {
+    let budget = Frequency::per_hour(1e-8).unwrap();
+    let channel = Frequency::per_hour(1e-3).unwrap();
+    let cmp = compare_redundancy(budget, channel, 3).unwrap();
+    assert!(cmp.quantitative_ok);
+    assert!(!cmp.asil_decomposition_ok);
+    // The equivalent qualitative question: can D reach three QM leaves?
+    assert!(!can_decompose_to(Asil::D, &[Asil::QM, Asil::QM, Asil::QM]));
+    // While a legal scheme like B+B is of course reachable.
+    assert!(can_decompose_to(Asil::D, &[Asil::B, Asil::B]));
+}
+
+#[test]
+fn budget_splitting_composes_back_to_the_goal() {
+    // An SG budget refined into 50 series elements still meets the goal
+    // when each element meets its split budget.
+    let budget = Frequency::per_hour(1e-6).unwrap();
+    let per_element = split_budget_equally(budget, 50).unwrap();
+    let architecture = RateModel::any_of(
+        (0..50)
+            .map(|i| RateModel::basic(Element::new(format!("sw-{i}"), per_element)))
+            .collect(),
+    );
+    let report = Refinement::new(budget, architecture).verify().unwrap();
+    assert!(report.meets_budget());
+    // ASIL inheritance on the same fan-out keeps full integrity on every
+    // element — the qualitative calculus never gets harder with n.
+    let mut requirement = qrn::hara::decomposition::Requirement::new("SG", Asil::D);
+    requirement.inherit(50);
+    assert_eq!(requirement.leaves_at_or_above(Asil::D), 50);
+}
+
+#[test]
+fn asil_targets_anchor_the_quantitative_frame() {
+    // The rate targets that make "QM-range" a meaningful phrase.
+    assert!(Asil::D.random_hw_fault_target().unwrap() < Asil::B.random_hw_fault_target().unwrap());
+    assert_eq!(Asil::A.random_hw_fault_target(), None);
+}

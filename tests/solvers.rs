@@ -1,0 +1,111 @@
+//! Cross-checks of the two allocation solvers on the paper example: both
+//! must fulfil Eq. (1), and waterfill must be max-min fair relative to any
+//! equal-weight proportional allocation at the same utilisation target.
+
+use std::collections::BTreeMap;
+
+use qrn::core::allocation::{allocate_proportional, allocate_waterfill};
+use qrn::core::examples::{paper_classification, paper_norm, paper_shares};
+use qrn::core::incident::IncidentTypeId;
+use qrn::units::Frequency;
+
+#[test]
+fn both_solvers_fulfil_eq1_on_the_paper_example() {
+    let norm = paper_norm().unwrap();
+    let classification = paper_classification().unwrap();
+    let shares = paper_shares(&classification).unwrap();
+    let ids: Vec<IncidentTypeId> = classification
+        .leaves()
+        .iter()
+        .map(|l| l.id().clone())
+        .collect();
+    let weights: BTreeMap<IncidentTypeId, f64> =
+        ids.iter().map(|id| (id.clone(), 1.0)).collect();
+
+    let proportional = allocate_proportional(&norm, &shares, &weights, 0.9).unwrap();
+    let waterfill = allocate_waterfill(
+        &norm,
+        &shares,
+        &ids,
+        Frequency::per_hour(1e-12).unwrap(),
+        0.9,
+    )
+    .unwrap();
+
+    assert!(proportional.check(&norm).unwrap().is_fulfilled());
+    assert!(waterfill.check(&norm).unwrap().is_fulfilled());
+}
+
+#[test]
+fn waterfill_dominates_equal_weight_proportional_on_the_minimum() {
+    // Max-min fairness: the smallest waterfill budget is at least the
+    // smallest equal-weight proportional budget (proportional is throttled
+    // globally by the single binding class; waterfill only throttles the
+    // incidents actually feeding it).
+    let norm = paper_norm().unwrap();
+    let classification = paper_classification().unwrap();
+    let shares = paper_shares(&classification).unwrap();
+    let ids: Vec<IncidentTypeId> = classification
+        .leaves()
+        .iter()
+        .map(|l| l.id().clone())
+        .collect();
+    let weights: BTreeMap<IncidentTypeId, f64> =
+        ids.iter().map(|id| (id.clone(), 1.0)).collect();
+
+    let proportional = allocate_proportional(&norm, &shares, &weights, 0.9).unwrap();
+    let waterfill = allocate_waterfill(
+        &norm,
+        &shares,
+        &ids,
+        Frequency::per_hour(1e-12).unwrap(),
+        0.9,
+    )
+    .unwrap();
+
+    let min_budget = |a: &qrn::core::Allocation| {
+        ids.iter()
+            .map(|id| a.incident_budget(id).unwrap().as_per_hour())
+            .fold(f64::INFINITY, f64::min)
+    };
+    let total_budget = |a: &qrn::core::Allocation| {
+        ids.iter()
+            .map(|id| a.incident_budget(id).unwrap().as_per_hour())
+            .sum::<f64>()
+    };
+    assert!(
+        min_budget(&waterfill) >= min_budget(&proportional) * (1.0 - 1e-9),
+        "waterfill min {} vs proportional min {}",
+        min_budget(&waterfill),
+        min_budget(&proportional)
+    );
+    // And waterfill spends at least as much total budget (it keeps raising
+    // unconstrained incidents after the first class binds).
+    assert!(total_budget(&waterfill) >= total_budget(&proportional) * (1.0 - 1e-9));
+}
+
+#[test]
+fn waterfill_never_starves_a_budgeted_incident() {
+    let norm = paper_norm().unwrap();
+    let classification = paper_classification().unwrap();
+    let shares = paper_shares(&classification).unwrap();
+    let ids: Vec<IncidentTypeId> = classification
+        .leaves()
+        .iter()
+        .map(|l| l.id().clone())
+        .collect();
+    let waterfill = allocate_waterfill(
+        &norm,
+        &shares,
+        &ids,
+        Frequency::per_hour(1e-12).unwrap(),
+        0.5,
+    )
+    .unwrap();
+    for id in &ids {
+        assert!(
+            waterfill.incident_budget(id).unwrap().as_per_hour() > 0.0,
+            "{id} starved"
+        );
+    }
+}

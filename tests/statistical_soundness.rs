@@ -1,0 +1,121 @@
+//! Statistical soundness of the verification machinery, checked by
+//! simulation: exact bounds must actually cover at their nominal rate, and
+//! demonstration decisions must be consistent under pooling.
+
+use qrn::stats::poisson::{required_exposure_zero_events, PoissonRate};
+use qrn::stats::rng::{poisson, seeded};
+use qrn::stats::sequential::{PoissonSprt, SprtDecision};
+use qrn::units::{Frequency, Hours};
+
+#[test]
+fn garwood_interval_covers_at_nominal_rate() {
+    // Simulate many Poisson experiments at a known rate; the 90% interval
+    // must contain the truth in ≥ ~90% of them (Garwood is conservative).
+    let true_rate = 3.0e-4;
+    let exposure = Hours::new(20_000.0).unwrap();
+    let mean = true_rate * exposure.value();
+    let mut rng = seeded(1234);
+    let trials = 4_000;
+    let mut covered = 0;
+    for _ in 0..trials {
+        let k = poisson(&mut rng, mean);
+        let ci = PoissonRate::new(k, exposure)
+            .confidence_interval(0.90)
+            .unwrap();
+        if ci.contains(Frequency::per_hour(true_rate).unwrap()) {
+            covered += 1;
+        }
+    }
+    let coverage = covered as f64 / trials as f64;
+    assert!(
+        coverage >= 0.90 - 0.015,
+        "coverage {coverage} below nominal 0.90"
+    );
+    assert!(coverage <= 1.0);
+}
+
+#[test]
+fn upper_bound_is_an_honest_demonstration_criterion() {
+    // Type-I error: when the true rate EQUALS the budget, claiming
+    // "demonstrated below budget" at 95% must happen in at most ~5% of
+    // campaigns.
+    let budget = 1.0e-3;
+    let exposure = Hours::new(50_000.0).unwrap();
+    let mean = budget * exposure.value();
+    let mut rng = seeded(99);
+    let trials = 2_000;
+    let mut false_demonstrations = 0;
+    for _ in 0..trials {
+        let k = poisson(&mut rng, mean);
+        let obs = PoissonRate::new(k, exposure);
+        if obs
+            .demonstrates_below(Frequency::per_hour(budget).unwrap(), 0.95)
+            .unwrap()
+        {
+            false_demonstrations += 1;
+        }
+    }
+    let rate = false_demonstrations as f64 / trials as f64;
+    assert!(rate <= 0.05 + 0.01, "false demonstration rate {rate}");
+}
+
+#[test]
+fn rule_of_three_boundary_is_exact() {
+    // At exactly the required exposure with zero events, the demonstration
+    // succeeds; just below it, it fails.
+    let budget = Frequency::per_hour(1e-6).unwrap();
+    let needed = required_exposure_zero_events(budget, 0.95).unwrap();
+    let just_enough = PoissonRate::new(0, Hours::new(needed.value() * 1.0001).unwrap());
+    let not_enough = PoissonRate::new(0, Hours::new(needed.value() * 0.9999).unwrap());
+    assert!(just_enough.demonstrates_below(budget, 0.95).unwrap());
+    assert!(!not_enough.demonstrates_below(budget, 0.95).unwrap());
+}
+
+#[test]
+fn sprt_errors_stay_near_nominal() {
+    // Under H0 (low rate), the SPRT should rarely accept H1.
+    let r0 = 1e-5;
+    let r1 = 1e-4;
+    let sprt = PoissonSprt::new(
+        Frequency::per_hour(r0).unwrap(),
+        Frequency::per_hour(r1).unwrap(),
+        0.05,
+        0.05,
+    )
+    .unwrap();
+    let mut rng = seeded(7);
+    let trials = 500;
+    let mut wrong = 0;
+    for _ in 0..trials {
+        // Feed evidence in chunks until a decision.
+        let chunk = Hours::new(20_000.0).unwrap();
+        let mut events = 0u64;
+        let mut exposure = 0.0;
+        let decision = loop {
+            events += poisson(&mut rng, r0 * chunk.value());
+            exposure += chunk.value();
+            match sprt.decide(events, Hours::new(exposure).unwrap()) {
+                SprtDecision::Continue => continue,
+                other => break other,
+            }
+        };
+        if decision == SprtDecision::AcceptAlternative {
+            wrong += 1;
+        }
+    }
+    let alpha_hat = wrong as f64 / trials as f64;
+    assert!(alpha_hat <= 0.05 + 0.02, "empirical alpha {alpha_hat}");
+}
+
+#[test]
+fn pooled_observation_equals_single_long_campaign() {
+    let a = PoissonRate::new(2, Hours::new(1e4).unwrap());
+    let b = PoissonRate::new(3, Hours::new(4e4).unwrap());
+    let pooled = a.merged(b);
+    let single = PoissonRate::new(5, Hours::new(5e4).unwrap());
+    assert_eq!(pooled, single);
+    assert_eq!(
+        pooled.upper_bound(0.95).unwrap(),
+        single.upper_bound(0.95).unwrap()
+    );
+}
