@@ -1,9 +1,14 @@
 //! Criterion bench backing EQ1/CLM2: simulator throughput (simulated hours
-//! per wall-clock second) and single-encounter cost.
+//! per wall-clock second), worker scaling of the work-stealing engine, the
+//! streaming (counting) accumulator, and single-encounter cost.
+//!
+//! `QRN_BENCH_CAMPAIGN_HOURS` overrides the scaling campaign's exposure
+//! (default 200 h; the acceptance measurement uses 10 000 h or more).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use qrn_core::examples::paper_classification;
 use qrn_sim::encounter::{run_encounter, Challenge};
 use qrn_sim::faults::ActiveFaults;
 use qrn_sim::monte_carlo::Campaign;
@@ -14,18 +19,67 @@ use qrn_sim::vehicle::VehicleParams;
 use qrn_stats::rng::seeded;
 use qrn_units::{Hours, Meters, Speed};
 
-fn bench_campaign(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim/campaign");
+fn campaign_hours() -> f64 {
+    std::env::var("QRN_BENCH_CAMPAIGN_HOURS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200.0)
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let hours = campaign_hours();
+    let mut group = c.benchmark_group("sim/worker_scaling");
     group.sample_size(10);
-    group.throughput(Throughput::Elements(20));
-    group.bench_function("20_hours_single_worker", |b| {
+    group.throughput(Throughput::Elements(hours as u64));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    Campaign::new(
+                        urban_scenario().expect("scenario builds"),
+                        CautiousPolicy::default(),
+                    )
+                    .hours(Hours::new(hours).expect("positive"))
+                    .workers(workers)
+                    .seed(1)
+                    .run()
+                    .expect("campaign runs")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_counting_campaign(c: &mut Criterion) {
+    let hours = campaign_hours();
+    let classification = paper_classification().expect("classification builds");
+    let mut group = c.benchmark_group("sim/counting_campaign");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(hours as u64));
+    group.bench_function("streaming", |b| {
         b.iter(|| {
             Campaign::new(
                 urban_scenario().expect("scenario builds"),
                 CautiousPolicy::default(),
             )
-            .hours(Hours::new(20.0).expect("positive"))
-            .workers(1)
+            .hours(Hours::new(hours).expect("positive"))
+            .workers(8)
+            .seed(1)
+            .run_counting(&classification)
+            .expect("campaign runs")
+        })
+    });
+    group.bench_function("recording", |b| {
+        b.iter(|| {
+            Campaign::new(
+                urban_scenario().expect("scenario builds"),
+                CautiousPolicy::default(),
+            )
+            .hours(Hours::new(hours).expect("positive"))
+            .workers(8)
             .seed(1)
             .run()
             .expect("campaign runs")
@@ -58,5 +112,10 @@ fn bench_encounter(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_campaign, bench_encounter);
+criterion_group!(
+    benches,
+    bench_worker_scaling,
+    bench_counting_campaign,
+    bench_encounter
+);
 criterion_main!(benches);

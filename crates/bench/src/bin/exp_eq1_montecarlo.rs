@@ -167,9 +167,21 @@ fn main() {
     );
 
     // ---- 3. Independent verification ------------------------------------
+    // The verification campaigns only need classified counts, so they run
+    // through the streaming accumulator: no per-record vectors, and the
+    // counts are identical to classifying a recorded run after the fact.
     println!("\nVerification campaign (fresh seed)…");
-    let verification = campaign(2);
-    let (fresh, _) = verification.measured(&classification);
+    let verification = Campaign::new(
+        urban_scenario().expect("scenario builds"),
+        CautiousPolicy::default(),
+    )
+    .hours(Hours::new(HOURS).expect("positive"))
+    .seed(2)
+    .workers(8)
+    .run_counting(&classification)
+    .expect("campaign runs");
+    println!("  {}", verification.throughput);
+    let fresh = verification.measured.clone();
     let report = verify(&norm, &allocation, &fresh, 0.90).expect("verification runs");
     let (demonstrated, inconclusive, violated) = verdict_counts(&report);
     println!(
@@ -196,9 +208,10 @@ fn main() {
         }),
         sensor: None,
     })
-    .run()
+    .run_counting(&classification)
     .expect("campaign runs");
-    let (faulty, _) = degraded.measured(&classification);
+    println!("  {}", degraded.throughput);
+    let faulty = degraded.measured.clone();
     let fault_report = verify(&norm, &allocation, &faulty, 0.90).expect("verification runs");
     let (f_dem, f_inc, f_vio) = verdict_counts(&fault_report);
     println!("verdicts at 90%: {f_dem} demonstrated, {f_inc} inconclusive, {f_vio} violated");
@@ -223,6 +236,11 @@ fn main() {
                 "demonstrated": f_dem,
                 "inconclusive": f_inc,
                 "violated": f_vio,
+            },
+            "throughput": {
+                "calibration_sim_hours_per_second": calibration.throughput.sim_hours_per_second,
+                "verification_sim_hours_per_second": verification.throughput.sim_hours_per_second,
+                "workers": calibration.throughput.workers,
             },
         }),
     );

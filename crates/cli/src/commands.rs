@@ -225,6 +225,12 @@ fn simulate(rest: &[&str]) -> Result<CommandOutcome, CliError> {
         })
         .transpose()?
         .unwrap_or(0);
+    let workers = flag(&strs, "--workers")
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|_| CliError(format!("--workers must be an integer, got {s:?}")))
+        })
+        .transpose()?;
     let out = PathBuf::from(required_flag(&strs, "--out")?);
 
     let config: WorldConfig = match scenario {
@@ -238,15 +244,27 @@ fn simulate(rest: &[&str]) -> Result<CommandOutcome, CliError> {
         }
     };
     let hours = Hours::new(hours)?;
+    // The worker count only changes wall-clock time, never the outcome, so
+    // defaulting to all available CPUs is safe for reproducibility.
     let result = match policy {
-        "cautious" => Campaign::new(config, CautiousPolicy::default())
-            .hours(hours)
-            .seed(seed)
-            .run()?,
-        "reactive" => Campaign::new(config, ReactivePolicy::default())
-            .hours(hours)
-            .seed(seed)
-            .run()?,
+        "cautious" => {
+            let mut campaign = Campaign::new(config, CautiousPolicy::default())
+                .hours(hours)
+                .seed(seed);
+            if let Some(workers) = workers {
+                campaign = campaign.workers(workers);
+            }
+            campaign.run()?
+        }
+        "reactive" => {
+            let mut campaign = Campaign::new(config, ReactivePolicy::default())
+                .hours(hours)
+                .seed(seed);
+            if let Some(workers) = workers {
+                campaign = campaign.workers(workers);
+            }
+            campaign.run()?
+        }
         _ => {
             return Err(CliError(format!(
                 "unknown policy {policy:?}; expected cautious|reactive"
@@ -254,6 +272,7 @@ fn simulate(rest: &[&str]) -> Result<CommandOutcome, CliError> {
         }
     };
     println!("{result}");
+    println!("{}", result.throughput);
     let file = RecordsFile {
         exposure_hours: result.exposure().value(),
         records: result.records.clone(),
@@ -554,6 +573,34 @@ mod tests {
             "cautious",
             "--hours",
             "abc",
+            "--out",
+            "/tmp/x.json"
+        ])
+        .is_err());
+        assert!(run_strs(&[
+            "simulate",
+            "--scenario",
+            "urban",
+            "--policy",
+            "cautious",
+            "--hours",
+            "10",
+            "--workers",
+            "abc",
+            "--out",
+            "/tmp/x.json"
+        ])
+        .is_err());
+        assert!(run_strs(&[
+            "simulate",
+            "--scenario",
+            "urban",
+            "--policy",
+            "cautious",
+            "--hours",
+            "10",
+            "--workers",
+            "0",
             "--out",
             "/tmp/x.json"
         ])

@@ -102,8 +102,9 @@ COMMANDS:
         Derive the safety goals and the completeness certificate.
 
     simulate --scenario <urban|highway|mixed> --policy <cautious|reactive>
-             --hours <H> [--seed <N>] --out <records.json>
+             --hours <H> [--seed <N>] [--workers <N>] --out <records.json>
         Run a Monte-Carlo fleet campaign and write the incident records.
+        Workers default to all CPUs; the count never changes the outcome.
 
     verify <norm.json> <classification.json> <allocation.json> <records.json>
            [--confidence <0..1>]

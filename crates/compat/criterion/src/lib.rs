@@ -1,0 +1,293 @@
+//! Offline in-workspace stand-in for `criterion`.
+//!
+//! Keeps the call-site API of the upstream crate (`Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `criterion_group!`/`criterion_main!`)
+//! but measures with a plain wall-clock loop and prints one line per
+//! benchmark: median time per iteration plus throughput when configured.
+//! Setting `QRN_BENCH_QUICK=1` shrinks warm-up and sample counts so a full
+//! `cargo bench` run doubles as a fast smoke test in CI.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Work-unit declaration used to derive a throughput figure.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Runs the closure under measurement; handed to benchmark functions.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_count: usize,
+    sample_budget: Duration,
+}
+
+impl Bencher<'_> {
+    /// Calibrates an iteration count against the per-sample budget, then
+    /// records `sample_count` timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let calibration = Instant::now();
+        std::hint::black_box(routine());
+        let once = calibration.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (self.sample_budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000);
+
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / per_sample as u32);
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_count: usize,
+    sample_budget: Duration,
+}
+
+impl Settings {
+    fn from_env() -> Self {
+        let quick = std::env::var("QRN_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+        if quick {
+            Settings {
+                sample_count: 3,
+                sample_budget: Duration::from_millis(2),
+            }
+        } else {
+            Settings {
+                sample_count: 15,
+                sample_budget: Duration::from_millis(25),
+            }
+        }
+    }
+}
+
+/// Entry point mirroring upstream's `Criterion` configuration handle.
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            settings: Settings::from_env(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id.into().id, self.settings, None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            settings,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, count: usize) -> &mut Self {
+        // Quick mode keeps its reduced count regardless of the requested
+        // sample size, so CI smoke runs stay fast.
+        self.settings.sample_count = self.settings.sample_count.min(count.max(1));
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(id, self.settings, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(id: String, settings: Settings, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut samples = Vec::new();
+    let mut bencher = Bencher {
+        samples: &mut samples,
+        sample_count: settings.sample_count,
+        sample_budget: settings.sample_budget,
+    };
+    f(&mut bencher);
+
+    if samples.is_empty() {
+        println!("{id:<50} (no samples recorded)");
+        return;
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let per_iter_s = median.as_secs_f64();
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("{} elem/s", si(n as f64 / per_iter_s)),
+        Throughput::Bytes(n) => format!("{}B/s", si(n as f64 / per_iter_s)),
+    });
+    match rate {
+        Some(rate) => println!("{id:<50} time: {:>12}  thrpt: {rate}", pretty(median)),
+        None => println!("{id:<50} time: {:>12}", pretty(median)),
+    }
+}
+
+fn pretty(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn si(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K", rate / 1e3)
+    } else {
+        format!("{rate:.2} ")
+    }
+}
+
+/// Declares a function that runs each benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench binary. Command-line
+/// arguments from `cargo bench` are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion {
+            settings: Settings {
+                sample_count: 2,
+                sample_budget: Duration::from_micros(50),
+            },
+        };
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        assert!(runs >= 3, "calibration plus two samples");
+    }
+
+    #[test]
+    fn groups_apply_throughput_and_finish() {
+        let mut c = Criterion {
+            settings: Settings {
+                sample_count: 2,
+                sample_budget: Duration::from_micros(50),
+            },
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+}

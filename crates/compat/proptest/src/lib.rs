@@ -1,0 +1,487 @@
+//! Offline in-workspace stand-in for `proptest`.
+//!
+//! Implements the subset of the upstream API this workspace uses:
+//! composable [`Strategy`] values (ranges, tuples, `prop_map`, collections,
+//! `sample::select`, `option::of`, `prop_oneof!`) and the [`proptest!`]
+//! test-harness macro. Unlike upstream there is no shrinking and no
+//! persistence of failing seeds; each test draws its cases from a
+//! deterministic RNG seeded from the test's name, so failures reproduce
+//! exactly on re-run.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Random, RngExt, SeedableRng};
+
+pub mod prelude {
+    pub use crate::{any, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Per-block test configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A source of random values of one type.
+///
+/// Upstream strategies also describe how to *shrink* counterexamples; this
+/// stand-in only generates, which keeps every combinator a one-liner.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { base: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.base.sample(rng))
+    }
+}
+
+/// Uniform choice between boxed alternatives; built by [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let index = rng.random_range(0..self.options.len());
+        self.options[index].sample(rng)
+    }
+}
+
+/// Strategy producing uniformly random values of a primitive type.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Random> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.random()
+    }
+}
+
+/// Uniformly random value of a primitive type (`any::<bool>()` etc.).
+pub fn any<T: Random>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        self.start + rng.random::<f64>() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        // random::<f64>() is in [0, 1), so the end bound is approached but
+        // hit only through rounding — close enough without shrinking.
+        self.start() + rng.random::<f64>() * (self.end() - self.start())
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+pub mod collection {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    /// Element-count specification: a fixed size or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            if self.lo + 1 >= self.hi {
+                self.lo
+            } else {
+                rng.random_range(self.lo..self.hi)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end.max(r.start + 1),
+            }
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            // The element domain may be smaller than the target (e.g.
+            // selecting from a short list), so cap the attempts.
+            for _ in 0..target.saturating_mul(20).max(20) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.sample(rng));
+            }
+            set
+        }
+    }
+}
+
+pub mod option {
+    use super::*;
+
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` with probability one half, mirroring upstream's default.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.random::<bool>() {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod sample {
+    use super::*;
+
+    #[derive(Clone)]
+    pub struct Select<T: Clone> {
+        items: Vec<T>,
+    }
+
+    /// Uniform choice from a fixed list of values.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select requires a non-empty list");
+        Select { items }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.items[rng.random_range(0..self.items.len())].clone()
+        }
+    }
+}
+
+/// Deterministic per-test RNG: the seed is a hash of the test's name, so a
+/// failing case reproduces on every run without seed persistence.
+pub fn test_rng(test_name: &str) -> StdRng {
+    StdRng::seed_from_u64(fnv1a(test_name))
+}
+
+fn fnv1a(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that samples its arguments `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (@run($config:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let mut __rng = $crate::test_rng(stringify!($name));
+                for __case in 0..__config.cases {
+                    let _ = __case;
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @run($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @run($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Upstream's early-return assertion; here a plain `assert!`, which is
+/// equivalent inside a `#[test]`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => {
+        assert!($($tokens)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => {
+        assert_eq!($($tokens)*)
+    };
+}
+
+/// Uniform choice between heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $(::std::boxed::Box::new($strategy) as $crate::BoxedStrategy<_>),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::test_rng("ranges_respect_bounds");
+        for _ in 0..200 {
+            let x = Strategy::sample(&(1.0f64..2.0), &mut rng);
+            assert!((1.0..2.0).contains(&x));
+            let n = Strategy::sample(&(3usize..7), &mut rng);
+            assert!((3..7).contains(&n));
+        }
+    }
+
+    #[test]
+    fn collections_hit_requested_sizes() {
+        let mut rng = crate::test_rng("collections_hit_requested_sizes");
+        let fixed = crate::collection::vec(0u64..10, 8);
+        assert_eq!(Strategy::sample(&fixed, &mut rng).len(), 8);
+        let ranged = crate::collection::vec(0u64..10, 1..4);
+        for _ in 0..50 {
+            let v = Strategy::sample(&ranged, &mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+        let set = crate::collection::btree_set(0u64..3, 1..4);
+        for _ in 0..50 {
+            let s = Strategy::sample(&set, &mut rng);
+            assert!(!s.is_empty() && s.len() < 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro wires patterns, strategies and config together.
+        #[test]
+        fn macro_samples_all_arguments(
+            (a, b) in (0u64..10, 10u64..20),
+            flag in any::<bool>(),
+            pick in crate::sample::select(vec![1u8, 2, 3]),
+            maybe in crate::option::of(0.0f64..1.0),
+            mixed in prop_oneof![Just(-1.0f64), 0.0f64..1.0],
+        ) {
+            prop_assert!(a < 10 && (10..20).contains(&b));
+            let _: bool = flag;
+            prop_assert!((1..=3).contains(&pick));
+            if let Some(p) = maybe {
+                prop_assert!((0.0..1.0).contains(&p));
+            }
+            prop_assert!(mixed == -1.0 || (0.0..1.0).contains(&mixed));
+        }
+    }
+
+    proptest! {
+        /// Default config path (no inner attribute) also expands.
+        #[test]
+        fn default_config_path(x in 0u32..5) {
+            prop_assert!(x < 5);
+        }
+    }
+}

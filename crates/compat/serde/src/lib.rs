@@ -1,0 +1,659 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container cannot fetch crates.io, so the workspace vendors a
+//! minimal serde: instead of the visitor-based zero-copy architecture, a
+//! [`Value`] tree is the universal data model and [`Serialize`] /
+//! [`Deserialize`] convert to and from it. `serde_json` (also vendored)
+//! renders the tree as JSON text. The derive macros live in
+//! `serde_derive` and cover the shapes this workspace uses: named and
+//! tuple structs, enums with unit / newtype / tuple / struct variants, and
+//! the `#[serde(try_from = "…", into = "…")]` container attribute.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The JSON-like data model every serialisable type converts through.
+pub mod json {
+    use super::*;
+
+    /// Key–value pairs of an object, in insertion order is not preserved:
+    /// keys sort lexicographically (deterministic artefacts).
+    pub type Map = BTreeMap<String, Value>;
+
+    /// A JSON number: integers keep their exact representation.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub enum Number {
+        /// A non-negative integer.
+        PosInt(u64),
+        /// A negative integer.
+        NegInt(i64),
+        /// A binary64 float.
+        Float(f64),
+    }
+
+    impl Number {
+        /// The value as an `f64` (lossy for huge integers).
+        pub fn as_f64(&self) -> f64 {
+            match *self {
+                Number::PosInt(n) => n as f64,
+                Number::NegInt(n) => n as f64,
+                Number::Float(x) => x,
+            }
+        }
+
+        /// The value as a `u64`, if exactly representable.
+        pub fn as_u64(&self) -> Option<u64> {
+            match *self {
+                Number::PosInt(n) => Some(n),
+                Number::NegInt(n) => u64::try_from(n).ok(),
+                Number::Float(x) if x.fract() == 0.0 && (0.0..=u64::MAX as f64).contains(&x) => {
+                    Some(x as u64)
+                }
+                Number::Float(_) => None,
+            }
+        }
+
+        /// The value as an `i64`, if exactly representable.
+        pub fn as_i64(&self) -> Option<i64> {
+            match *self {
+                Number::PosInt(n) => i64::try_from(n).ok(),
+                Number::NegInt(n) => Some(n),
+                Number::Float(x)
+                    if x.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&x) =>
+                {
+                    Some(x as i64)
+                }
+                Number::Float(_) => None,
+            }
+        }
+    }
+
+    /// A JSON value tree.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` or `false`.
+        Bool(bool),
+        /// A number.
+        Number(Number),
+        /// A string.
+        String(String),
+        /// An ordered array.
+        Array(Vec<Value>),
+        /// A string-keyed object.
+        Object(Map),
+    }
+
+    impl Value {
+        /// The object map, if this is an object.
+        pub fn as_object(&self) -> Option<&Map> {
+            match self {
+                Value::Object(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        /// The array elements, if this is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        /// The string contents, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// A short name of the value's kind, for error messages.
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "boolean",
+                Value::Number(_) => "number",
+                Value::String(_) => "string",
+                Value::Array(_) => "array",
+                Value::Object(_) => "object",
+            }
+        }
+
+        /// Renders compact JSON text.
+        pub fn to_json(&self) -> String {
+            let mut out = String::new();
+            self.write(&mut out, None, 0);
+            out
+        }
+
+        /// Renders pretty-printed JSON text (two-space indent).
+        pub fn to_json_pretty(&self) -> String {
+            let mut out = String::new();
+            self.write(&mut out, Some(2), 0);
+            out
+        }
+
+        fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+            match self {
+                Value::Null => out.push_str("null"),
+                Value::Bool(true) => out.push_str("true"),
+                Value::Bool(false) => out.push_str("false"),
+                Value::Number(Number::PosInt(n)) => out.push_str(&n.to_string()),
+                Value::Number(Number::NegInt(n)) => out.push_str(&n.to_string()),
+                Value::Number(Number::Float(x)) => {
+                    if x.is_finite() {
+                        // Rust's default float formatting is
+                        // shortest-roundtrip, matching upstream's
+                        // `float_roundtrip` feature.
+                        out.push_str(&x.to_string());
+                    } else {
+                        // Upstream serde_json renders non-finite floats as
+                        // null rather than emitting invalid JSON.
+                        out.push_str("null");
+                    }
+                }
+                Value::String(s) => write_escaped(out, s),
+                Value::Array(items) => {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        newline_indent(out, indent, depth + 1);
+                        item.write(out, indent, depth + 1);
+                    }
+                    if !items.is_empty() {
+                        newline_indent(out, indent, depth);
+                    }
+                    out.push(']');
+                }
+                Value::Object(map) => {
+                    out.push('{');
+                    for (i, (key, value)) in map.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        newline_indent(out, indent, depth + 1);
+                        write_escaped(out, key);
+                        out.push(':');
+                        if indent.is_some() {
+                            out.push(' ');
+                        }
+                        value.write(out, indent, depth + 1);
+                    }
+                    if !map.is_empty() {
+                        newline_indent(out, indent, depth);
+                    }
+                    out.push('}');
+                }
+            }
+        }
+    }
+
+    fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+        if let Some(width) = indent {
+            out.push('\n');
+            for _ in 0..width * depth {
+                out.push(' ');
+            }
+        }
+    }
+
+    fn write_escaped(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                '\u{08}' => out.push_str("\\b"),
+                '\u{0c}' => out.push_str("\\f"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    impl fmt::Display for Value {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.to_json())
+        }
+    }
+}
+
+pub use json::{Map, Number, Value};
+
+/// Serialisation/deserialisation failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+
+    /// Creates a "expected X, found Y while deserialising T" error.
+    pub fn expected(what: &str, found: &Value, target: &str) -> Self {
+        Error(format!(
+            "expected {what} for {target}, found {}",
+            found.kind()
+        ))
+    }
+
+    /// Wraps the error with the field or index it occurred at.
+    pub fn at(self, location: impl fmt::Display) -> Self {
+        Error(format!("{location}: {}", self.0))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be converted into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+
+    /// Called when a struct field is absent from the input. `Option`
+    /// overrides this to return `None`; everything else errors.
+    #[doc(hidden)]
+    fn missing_field(name: &str) -> Result<Self, Error> {
+        Err(Error(format!("missing field `{name}`")))
+    }
+}
+
+/// Deserialisation traits, under the module path upstream serde uses.
+pub mod de {
+    pub use super::{Deserialize, Error};
+
+    /// Marker for types deserialisable without borrowing from the input.
+    /// Our simplified data model never borrows, so every [`Deserialize`]
+    /// qualifies.
+    pub trait DeserializeOwned: Deserialize {}
+
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+/// Serialisation traits, under the module path upstream serde uses.
+pub mod ser {
+    pub use super::{Error, Serialize};
+}
+
+// ---- primitive impls ----------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("boolean", other, "bool")),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = match value {
+                    Value::Number(n) => n.as_u64(),
+                    _ => None,
+                };
+                n.and_then(|n| <$t>::try_from(n).ok()).ok_or_else(|| {
+                    Error::expected("unsigned integer", value, stringify!($t))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = match value {
+                    Value::Number(n) => n.as_i64(),
+                    _ => None,
+                };
+                n.and_then(|n| <$t>::try_from(n).ok()).ok_or_else(|| {
+                    Error::expected("integer", value, stringify!($t))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Number(n) => Ok(n.as_f64()),
+            other => Err(Error::expected("number", other, "f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other, "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::expected("single-character string", other, "char")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing_field(_name: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, v)| T::from_value(v).map_err(|e| e.at(format!("[{i}]"))))
+                .collect(),
+            other => Err(Error::expected("array", other, "Vec")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(value)?;
+        <[T; N]>::try_from(items)
+            .map_err(|v| Error(format!("expected {N} elements, found {}", v.len())))
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(value).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        for (k, v) in self {
+            let key = match k.to_value() {
+                Value::String(s) => s,
+                other => panic!("map keys must serialise to strings, got {}", other.kind()),
+            };
+            map.insert(key, v.to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    let key = K::from_value(&Value::String(k.clone()))
+                        .map_err(|e| e.at(format!("key {k:?}")))?;
+                    let val = V::from_value(v).map_err(|e| e.at(k))?;
+                    Ok((key, val))
+                })
+                .collect(),
+            other => Err(Error::expected("object", other, "map")),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+) => $len:literal;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Array(items) if items.len() == $len => Ok((
+                        $($name::from_value(&items[$idx]).map_err(|e| e.at($idx))?,)+
+                    )),
+                    other => Err(Error::expected(
+                        concat!("array of length ", $len), other, "tuple",
+                    )),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0) => 1;
+    (A: 0, B: 1) => 2;
+    (A: 0, B: 1, C: 2) => 3;
+    (A: 0, B: 1, C: 2, D: 3) => 4;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+/// Helpers used by the generated derive code. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::*;
+
+    /// Deserialises one struct field, delegating absence handling to the
+    /// field's type (`Option` fields default to `None`).
+    pub fn field<T: Deserialize>(map: &Map, name: &str) -> Result<T, Error> {
+        match map.get(name) {
+            Some(v) => T::from_value(v).map_err(|e| e.at(format!("field `{name}`"))),
+            None => T::missing_field(name),
+        }
+    }
+
+    /// Clone-and-convert used by `#[serde(into = "…")]` derives; a free
+    /// function so lints fire here (once, allowed) rather than in every
+    /// expansion site.
+    pub fn convert<T: Clone + Into<U>, U>(value: &T) -> U {
+        value.clone().into()
+    }
+
+    /// Deserialises one element of a tuple struct or tuple variant.
+    pub fn element<T: Deserialize>(items: &[Value], idx: usize) -> Result<T, Error> {
+        match items.get(idx) {
+            Some(v) => T::from_value(v).map_err(|e| e.at(format!("element {idx}"))),
+            None => Err(Error::custom(format!("missing element {idx}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(u64::from_value(&17u64.to_value()), Ok(17));
+        assert_eq!(i64::from_value(&(-3i64).to_value()), Ok(-3));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn option_distinguishes_null() {
+        assert_eq!(Option::<u64>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u64>::from_value(&5u64.to_value()), Ok(Some(5)));
+        assert_eq!(Option::<u64>::missing_field("x"), Ok(None));
+        assert!(u64::missing_field("x").is_err());
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()), Ok(v));
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1.5f64);
+        assert_eq!(BTreeMap::<String, f64>::from_value(&m.to_value()), Ok(m));
+        let t = (1u64, "x".to_string());
+        assert_eq!(<(u64, String)>::from_value(&t.to_value()), Ok(t));
+    }
+
+    #[test]
+    fn wrong_kind_is_a_clear_error() {
+        let err = u64::from_value(&Value::String("no".into())).unwrap_err();
+        assert!(err.to_string().contains("unsigned integer"));
+    }
+}

@@ -1,0 +1,486 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! `syn` and `quote` are not available offline, so the item is parsed
+//! directly from the `proc_macro` token stream and the impls are emitted
+//! as formatted source text. Supported shapes — the ones this workspace
+//! uses — are named structs, tuple structs, unit structs, and enums whose
+//! variants are unit, newtype, tuple or struct-like. The only container
+//! attribute honoured is `#[serde(try_from = "T", into = "T")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving type.
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    try_from: Option<String>,
+    into: Option<String>,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    expand_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    expand_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---- parsing ------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tts: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut try_from = None;
+    let mut into = None;
+
+    // Leading attributes: doc comments and #[serde(...)].
+    while matches!(&tts.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tts.get(i + 1) {
+            parse_serde_attr(g.stream(), &mut try_from, &mut into);
+        }
+        i += 2;
+    }
+    // Visibility.
+    if matches!(&tts.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tts.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    let keyword = ident_at(&tts, i, "struct or enum keyword");
+    i += 1;
+    let name = ident_at(&tts, i, "type name");
+    i += 1;
+    if matches!(&tts.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic type `{name}`");
+    }
+
+    let shape = match keyword.as_str() {
+        "struct" => match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_field_names(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive serde impls for `{other}` items"),
+    };
+
+    Input {
+        name,
+        try_from,
+        into,
+        shape,
+    }
+}
+
+fn ident_at(tts: &[TokenTree], i: usize, what: &str) -> String {
+    match tts.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected {what}, found {other:?}"),
+    }
+}
+
+/// Extracts `try_from = "T"` / `into = "T"` from a `[serde(...)]` group.
+fn parse_serde_attr(attr: TokenStream, try_from: &mut Option<String>, into: &mut Option<String>) {
+    let tts: Vec<TokenTree> = attr.into_iter().collect();
+    let is_serde = matches!(tts.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+    if !is_serde {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = tts.get(1) else {
+        return;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        if let (
+            Some(TokenTree::Ident(key)),
+            Some(TokenTree::Punct(eq)),
+            Some(TokenTree::Literal(lit)),
+        ) = (args.get(j), args.get(j + 1), args.get(j + 2))
+        {
+            if eq.as_char() == '=' {
+                let text = lit.to_string();
+                let text = text.trim_matches('"').to_string();
+                match key.to_string().as_str() {
+                    "try_from" => *try_from = Some(text),
+                    "into" => *into = Some(text),
+                    other => panic!("unsupported serde attribute `{other}`"),
+                }
+                j += 3;
+                // Optional comma.
+                if matches!(args.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    j += 1;
+                }
+                continue;
+            }
+        }
+        panic!("unsupported serde attribute syntax");
+    }
+}
+
+/// Field names of a named-field body (struct or struct variant).
+fn parse_field_names(body: TokenStream) -> Vec<String> {
+    let tts: Vec<TokenTree> = body.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    loop {
+        i = skip_attrs_and_vis(&tts, i);
+        if i >= tts.len() {
+            break;
+        }
+        names.push(ident_at(&tts, i, "field name"));
+        i += 1;
+        match tts.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        i = skip_type(&tts, i);
+    }
+    names
+}
+
+/// Number of fields in a tuple body (tuple struct or tuple variant).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tts: Vec<TokenTree> = body.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    loop {
+        i = skip_attrs_and_vis(&tts, i);
+        if i >= tts.len() {
+            break;
+        }
+        count += 1;
+        i = skip_type(&tts, i);
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tts: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    loop {
+        i = skip_attrs_and_vis(&tts, i);
+        if i >= tts.len() {
+            break;
+        }
+        let name = ident_at(&tts, i, "variant name");
+        i += 1;
+        let shape = match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_field_names(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip to past the separating comma, if any.
+        match tts.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => panic!("expected `,` after variant `{name}`, found {other:?}"),
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+/// Skips `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tts: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tts.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(
+                    tts.get(i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Skips a type, stopping after the separating top-level comma (or at the
+/// end of the stream). Angle brackets are punctuation, not groups, so the
+/// nesting depth is tracked by hand.
+fn skip_type(tts: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = tts.get(i) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+// ---- code generation ----------------------------------------------------
+
+fn expand_serialize(input: &Input) -> String {
+    let name = &input.name;
+    if let Some(into) = &input.into {
+        return format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     let raw: {into} = ::serde::__private::convert(self);\n\
+                     ::serde::Serialize::to_value(&raw)\n\
+                 }}\n\
+             }}"
+        );
+    }
+    let body = match &input.shape {
+        Shape::Named(fields) if fields.is_empty() => {
+            "::serde::Value::Object(::serde::Map::new())".to_string()
+        }
+        Shape::Named(fields) => {
+            let mut out = String::from("let mut map = ::serde::Map::new();\n");
+            for f in fields {
+                out.push_str(&format!(
+                    "map.insert(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            out.push_str("::serde::Value::Object(map)");
+            out
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{\n\
+                                 let mut map = ::serde::Map::new();\n\
+                                 map.insert(::std::string::String::from(\"{vname}\"), {inner});\n\
+                                 ::serde::Value::Object(map)\n\
+                             }}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut inner = String::from("let mut inner = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "inner.insert(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {fields} }} => {{\n\
+                                 {inner}\
+                                 let mut map = ::serde::Map::new();\n\
+                                 map.insert(::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Object(inner));\n\
+                                 ::serde::Value::Object(map)\n\
+                             }}\n",
+                            fields = fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn expand_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    if let Some(try_from) = &input.try_from {
+        return format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     let raw: {try_from} = ::serde::Deserialize::from_value(value)?;\n\
+                     ::std::convert::TryFrom::try_from(raw)\
+                         .map_err(|e| ::serde::Error::custom(e))\n\
+                 }}\n\
+             }}"
+        );
+    }
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let binding = if fields.is_empty() { "_map" } else { "map" };
+            let mut build = String::new();
+            for f in fields {
+                build.push_str(&format!("{f}: ::serde::__private::field(map, \"{f}\")?,\n"));
+            }
+            format!(
+                "let {binding} = value.as_object().ok_or_else(|| \
+                 ::serde::Error::expected(\"object\", value, \"{name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{build}}})"
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::__private::element(items, {i})?"))
+                .collect();
+            format!(
+                "let items = value.as_array().ok_or_else(|| \
+                 ::serde::Error::expected(\"array\", value, \"{name}\"))?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n",
+                        vname = v.name
+                    )
+                })
+                .collect();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {}
+                    VariantShape::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::__private::element(items, {i})?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let items = inner.as_array().ok_or_else(|| \
+                                 ::serde::Error::expected(\"array\", inner, \"{name}::{vname}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vname}({items}))\n\
+                             }}\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let build: String = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::__private::field(fields, \"{f}\")?,\n"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let fields = inner.as_object().ok_or_else(|| \
+                                 ::serde::Error::expected(\"object\", inner, \"{name}::{vname}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{\n{build}}})\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            let inner_binding = if data_arms.is_empty() {
+                "_inner"
+            } else {
+                "inner"
+            };
+            format!(
+                "match value {{\n\
+                     ::serde::Value::String(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\
+                         other => ::std::result::Result::Err(::serde::Error::custom(\
+                         format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(map) if map.len() == 1 => {{\n\
+                         let (tag, {inner_binding}) = map.iter().next().expect(\"len checked\");\n\
+                         match tag.as_str() {{\n\
+                             {data_arms}\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(\
+                     ::serde::Error::expected(\"variant tag\", other, \"{name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}

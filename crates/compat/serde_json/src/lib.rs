@@ -1,0 +1,454 @@
+//! Offline in-workspace stand-in for `serde_json`.
+//!
+//! Provides the subset of the upstream API the QRN workspace uses:
+//! [`to_string`] / [`to_string_pretty`] / [`from_str`] / [`to_value`] /
+//! [`from_value`], the [`Value`] tree (re-exported from the vendored
+//! `serde`), and the [`json!`] macro. JSON text produced here parses with
+//! upstream serde_json and vice versa; numbers keep their integer/float
+//! distinction and floats round-trip through shortest formatting.
+
+pub use serde::json::{Map, Number, Value};
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fmt;
+
+/// Error raised by JSON parsing or value conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(err: serde::Error) -> Self {
+        Error(err.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Converts any serialisable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+pub fn from_value<T: DeserializeOwned>(value: &Value) -> Result<T> {
+    T::from_value(value).map_err(Error::from)
+}
+
+/// Renders a value as compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json())
+}
+
+/// Renders a value as pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json_pretty())
+}
+
+/// Parses JSON text into a typed value.
+pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T> {
+    let value = parse(text)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Parses JSON text into a [`Value`] tree.
+pub fn parse(text: &str) -> Result<Value> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, msg: impl fmt::Display) -> Error {
+        Error(format!("{msg} at byte offset {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn expect_literal(&mut self, literal: &str) -> Result<()> {
+        let end = self.pos + literal.len();
+        if self.bytes.get(self.pos..end) == Some(literal.as_bytes()) {
+            self.pos = end;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected literal '{literal}'")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => {
+                self.expect_literal("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.expect_literal("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.expect_literal("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(self.error(format!("unexpected character '{}'", other as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let unit = self.parse_hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&unit) {
+                                // High surrogate: must be followed by \uXXXX
+                                // with the low half.
+                                self.expect_literal("\\u")?;
+                                let low = self.parse_hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(unit)
+                                    .ok_or_else(|| self.error("invalid unicode escape"))?
+                            };
+                            out.push(c);
+                            // parse_hex4 leaves pos past the digits; the
+                            // shared increment below is for single-char
+                            // escapes, so back up one here.
+                            self.pos -= 1;
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        let digits = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| self.error("truncated unicode escape"))?;
+        let unit = u32::from_str_radix(digits, 16)
+            .map_err(|_| self.error("invalid unicode escape digits"))?;
+        self.pos = end;
+        Ok(unit)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number spans are ASCII");
+        if !is_float {
+            if negative {
+                if let Ok(n) = text.parse::<i64>() {
+                    return Ok(Value::Number(Number::NegInt(n)));
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(n)));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(x) => Ok(Value::Number(Number::Float(x))),
+            Err(_) => Err(self.error(format!("invalid number '{text}'"))),
+        }
+    }
+}
+
+/// Builds a [`Value`] from JSON-like syntax with interpolated expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ([ $($items:tt)* ]) => {
+        $crate::json_array!([] $($items)*)
+    };
+    ({ $($entries:tt)* }) => {
+        $crate::json_object!([] $($entries)*)
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other)
+    };
+}
+
+/// Internal TT-muncher for `json!` arrays: accumulates each element's
+/// tokens in the bracketed buffer until a top-level comma, then recurses
+/// into `json!` for the element.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    // Finished: no buffered tokens, no input.
+    ([]) => {
+        $crate::Value::Array(::std::vec::Vec::new())
+    };
+    ([ $($elems:expr,)* ]) => {
+        $crate::Value::Array(::std::vec![$($elems),*])
+    };
+    // Element boundary: flush the buffer through json!.
+    ([ $($elems:expr,)* ] @buf($($buf:tt)+) , $($rest:tt)*) => {
+        $crate::json_array!([ $($elems,)* $crate::json!($($buf)+), ] $($rest)*)
+    };
+    // End of input with a buffered final element.
+    ([ $($elems:expr,)* ] @buf($($buf:tt)+)) => {
+        $crate::json_array!([ $($elems,)* $crate::json!($($buf)+), ])
+    };
+    // Keep buffering.
+    ([ $($elems:expr,)* ] @buf($($buf:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_array!([ $($elems,)* ] @buf($($buf)* $next) $($rest)*)
+    };
+    // First token of a new element: open a buffer.
+    ([ $($elems:expr,)* ] $next:tt $($rest:tt)*) => {
+        $crate::json_array!([ $($elems,)* ] @buf($next) $($rest)*)
+    };
+}
+
+/// Internal TT-muncher for `json!` objects. Keys must be string literals,
+/// which covers every call site in this workspace.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    ([ $(($key:literal, $val:expr),)* ]) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $(map.insert(::std::string::String::from($key), $val);)*
+        $crate::Value::Object(map)
+    }};
+    // Entry boundary: flush the buffered value through json!.
+    ([ $($entries:tt)* ] @buf($key:literal; $($buf:tt)+) , $($rest:tt)*) => {
+        $crate::json_object!([ $($entries)* ($key, $crate::json!($($buf)+)), ] $($rest)*)
+    };
+    // End of input with a buffered final entry.
+    ([ $($entries:tt)* ] @buf($key:literal; $($buf:tt)+)) => {
+        $crate::json_object!([ $($entries)* ($key, $crate::json!($($buf)+)), ])
+    };
+    // Keep buffering the value tokens.
+    ([ $($entries:tt)* ] @buf($key:literal; $($buf:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_object!([ $($entries)* ] @buf($key; $($buf)* $next) $($rest)*)
+    };
+    // Start of a new `"key": value` entry.
+    ([ $($entries:tt)* ] $key:literal : $($rest:tt)*) => {
+        $crate::json_object!([ $($entries)* ] @buf($key;) $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("42").unwrap(), Value::Number(Number::PosInt(42)));
+        assert_eq!(parse("-7").unwrap(), Value::Number(Number::NegInt(-7)));
+        assert_eq!(
+            parse("2.5e-3").unwrap(),
+            Value::Number(Number::Float(0.0025))
+        );
+        assert_eq!(
+            parse("\"a\\n\\u00e9b\"").unwrap(),
+            Value::String(String::from("a\néb"))
+        );
+    }
+
+    #[test]
+    fn round_trips_typed_values() {
+        let hours: f64 = from_str(&to_string(&1234.5f64).unwrap()).unwrap();
+        assert_eq!(hours, 1234.5);
+        let list: Vec<u64> = from_str("[1, 2, 3]").unwrap();
+        assert_eq!(list, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn float_text_is_shortest_roundtrip() {
+        let x = 0.1f64 + 0.2f64;
+        let text = to_string(&x).unwrap();
+        let back: f64 = from_str(&text).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn pretty_output_is_reparseable() {
+        let value = json!({
+            "name": "qrn",
+            "hours": 12.5,
+            "zones": ["urban", "highway"],
+            "nested": {"a": 1, "b": null},
+        });
+        let text = to_string_pretty(&value).unwrap();
+        assert!(text.contains("\n  \"hours\": 12.5"));
+        let back = parse(&text).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn json_macro_handles_expressions() {
+        let n = 3u64;
+        let v = json!({ "total": n + 1, "items": [n, 2 * n] });
+        assert_eq!(to_string(&v).unwrap(), "{\"items\":[3,6],\"total\":4}");
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let v: String = from_str("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v, "\u{1f600}");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("1 2").is_err());
+        assert!(parse("{\"a\":}").is_err());
+    }
+}

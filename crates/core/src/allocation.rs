@@ -481,10 +481,7 @@ pub fn allocate_waterfill(
         .classes()
         .map(|c| {
             let budget = norm.budget(c.id()).expect("class is in norm");
-            (
-                c.id().clone(),
-                budget.as_per_hour() * utilisation_target,
-            )
+            (c.id().clone(), budget.as_per_hour() * utilisation_target)
         })
         .collect();
 

@@ -67,7 +67,9 @@ pub mod verification;
 #[cfg(test)]
 mod proptests;
 
-pub use allocation::{allocate_proportional, allocate_waterfill, Allocation, FulfilmentReport, ShareMatrix};
+pub use allocation::{
+    allocate_proportional, allocate_waterfill, Allocation, FulfilmentReport, ShareMatrix,
+};
 pub use classification::{GroupRules, IncidentClassification, MeceReport};
 pub use consequence::{ConsequenceClass, ConsequenceClassId, ConsequenceDomain};
 pub use error::CoreError;

@@ -36,6 +36,41 @@ impl MeasuredIncidents {
         MeasuredIncidents { counts, exposure }
     }
 
+    /// An empty measurement: no counts, zero exposure. The identity of
+    /// [`MeasuredIncidents::merge`], and the starting point for streaming
+    /// accumulation via [`MeasuredIncidents::observe`].
+    pub fn empty() -> Self {
+        MeasuredIncidents {
+            counts: BTreeMap::new(),
+            exposure: Hours::ZERO,
+        }
+    }
+
+    /// Classifies and tallies one raw record in place. Returns `true` when
+    /// the record was an incident under the classification.
+    ///
+    /// Streaming counterpart of [`MeasuredIncidents::from_records`]: a
+    /// campaign can fold millions of records into fixed-size counts
+    /// without ever materialising them.
+    pub fn observe(
+        &mut self,
+        classification: &IncidentClassification,
+        record: &IncidentRecord,
+    ) -> bool {
+        match classification.classify(record) {
+            Some(t) => {
+                *self.counts.entry(t.id().clone()).or_insert(0) += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Extends the exposure under which the counts were observed.
+    pub fn add_exposure(&mut self, exposure: Hours) {
+        self.exposure = self.exposure + exposure;
+    }
+
     /// Classifies raw records and tallies them per incident type. Returns
     /// the measurement plus the number of records that were not incidents
     /// under the classification.
@@ -78,13 +113,20 @@ impl MeasuredIncidents {
         self.counts.values().sum()
     }
 
-    /// Pools another measurement of the same process (counts add, exposure
-    /// adds).
-    pub fn merged(mut self, other: &MeasuredIncidents) -> MeasuredIncidents {
+    /// Pools another measurement of the same process in place (counts add,
+    /// exposure adds). Associative, so parallel partials can be reduced in
+    /// any grouping that preserves order.
+    pub fn merge(&mut self, other: &MeasuredIncidents) {
         for (id, n) in &other.counts {
             *self.counts.entry(id.clone()).or_insert(0) += n;
         }
         self.exposure = self.exposure + other.exposure;
+    }
+
+    /// Pools another measurement of the same process (counts add, exposure
+    /// adds).
+    pub fn merged(mut self, other: &MeasuredIncidents) -> MeasuredIncidents {
+        self.merge(other);
         self
     }
 }

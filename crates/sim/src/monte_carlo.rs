@@ -1,8 +1,29 @@
 //! Monte-Carlo campaigns: simulated fleet hours producing incident records
 //! and campaign statistics, in parallel and reproducibly.
+//!
+//! # Execution model
+//!
+//! The exposure is split into fixed-length *shifts* (at most 10 h each),
+//! every shift simulated on its own RNG substream. Shifts are grouped into
+//! fixed-size *blocks* of consecutive shift indices, and worker threads
+//! claim blocks from a shared atomic counter — a work-stealing queue with
+//! no per-worker striping, so a worker that draws cheap shifts simply
+//! claims more blocks. Each block folds its shifts into a
+//! [`ShiftAccumulator`] partial; after the pool drains, the partials are
+//! merged **in block order**. Because the block partition depends only on
+//! the exposure (never on the worker count or scheduling), the merged
+//! result is bit-identical for any number of workers.
+//!
+//! Two accumulators ship: [`RecordingAccumulator`] keeps every raw
+//! [`IncidentRecord`] (what [`Campaign::run`] returns), and
+//! [`CountingAccumulator`] classifies records on the fly into
+//! [`MeasuredIncidents`] so memory stays O(incident types) no matter how
+//! many hours are simulated ([`Campaign::run_counting`]).
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -11,7 +32,7 @@ use qrn_core::classification::IncidentClassification;
 use qrn_core::incident::IncidentRecord;
 use qrn_core::object::{Involvement, ObjectType};
 use qrn_core::verification::MeasuredIncidents;
-use qrn_stats::rng::{bernoulli, exponential, substream, uniform};
+use qrn_stats::rng::{bernoulli, exponential, uniform, Substreams};
 use qrn_stats::summary::OnlineStats;
 use qrn_units::{Acceleration, Frequency, Hours, Meters, Speed, UnitError};
 
@@ -21,6 +42,11 @@ use crate::perception::PerceptionParams;
 use crate::policy::TacticalPolicy;
 use crate::scenario::WorldConfig;
 use crate::vehicle::VehicleParams;
+
+/// Shifts per work-queue block. Small enough that even a short campaign
+/// yields several blocks to steal, large enough that the atomic claim and
+/// the per-block partial are amortised over real work.
+const SHIFTS_PER_BLOCK: u64 = 4;
 
 /// Parameters of the induced-incident model: hard ego braking can force a
 /// follower into a rear-end conflict (the lower half of the paper's
@@ -58,7 +84,7 @@ pub struct Campaign<P> {
 
 impl<P: TacticalPolicy> Campaign<P> {
     /// Creates a campaign with default vehicle, perception, no faults,
-    /// 100 h exposure, seed 0 and 4 workers.
+    /// 100 h exposure, seed 0 and one worker per available CPU.
     pub fn new(config: WorldConfig, policy: P) -> Self {
         Campaign {
             config,
@@ -69,7 +95,7 @@ impl<P: TacticalPolicy> Campaign<P> {
             induced: InducedParams::default(),
             hours: Hours::new(100.0).expect("static value"),
             seed: 0,
-            workers: 4,
+            workers: default_workers(),
         }
     }
 
@@ -85,13 +111,10 @@ impl<P: TacticalPolicy> Campaign<P> {
         self
     }
 
-    /// Sets the number of worker threads.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `workers` is zero.
+    /// Sets the number of worker threads. The worker count never affects
+    /// the simulated outcome, only the wall-clock time; zero workers is
+    /// reported as an error by [`Campaign::run`].
     pub fn workers(mut self, workers: usize) -> Self {
-        assert!(workers > 0, "a campaign needs at least one worker");
         self.workers = workers;
         self
     }
@@ -120,99 +143,61 @@ impl<P: TacticalPolicy> Campaign<P> {
         self
     }
 
-    /// Runs the campaign: the exposure is split into shifts, each shift
-    /// simulated on its own RNG substream, in parallel.
+    /// Runs the campaign, keeping every raw record.
     ///
-    /// The same `(config, policy, seed, hours, workers)` always produces
-    /// the same result.
+    /// The same `(config, policy, seed, hours)` always produces the same
+    /// result, bit-identical for any worker count.
     ///
     /// # Errors
     ///
-    /// Returns [`UnitError`] for a zero-hour campaign.
+    /// Returns [`UnitError`] for a zero-hour campaign or zero workers.
     pub fn run(&self) -> Result<CampaignResult, UnitError> {
         self.run_seeded(self.seed)
     }
 
     fn run_seeded(&self, seed: u64) -> Result<CampaignResult, UnitError> {
-        if self.hours.value() <= 0.0 {
-            return Err(UnitError::OutOfRange {
-                quantity: "campaign exposure",
-                value: self.hours.value(),
-                min: f64::MIN_POSITIVE,
-                max: f64::MAX,
-            });
-        }
-        // Fixed-size shifts so results do not depend on worker count.
-        let shift_hours = 10.0f64.min(self.hours.value());
-        let shifts = (self.hours.value() / shift_hours).ceil() as u64;
-        let results: Vec<ShiftResult> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for worker in 0..self.workers {
-                let campaign = &*self;
-                handles.push(scope.spawn(move || {
-                    let mut out = Vec::new();
-                    let mut shift = worker as u64;
-                    while shift < shifts {
-                        let remaining = campaign.hours.value() - shift as f64 * shift_hours;
-                        let this_shift = shift_hours.min(remaining);
-                        let mut rng = substream(seed, shift);
-                        out.push(campaign.run_shift(this_shift, &mut rng));
-                        shift += campaign.workers as u64;
-                    }
-                    out
-                }));
-            }
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("shift worker panicked"))
-                .collect()
-        });
-        let mut records = Vec::new();
-        let mut encounters = 0;
-        let mut hard_brake_demands = 0;
-        let mut undetected_encounters = 0;
-        let mut speed_time = 0.0;
-        let mut exposure = 0.0;
-        let mut zone_hours: BTreeMap<String, f64> = BTreeMap::new();
-        let mut zone_encounters: BTreeMap<String, u64> = BTreeMap::new();
-        for r in results {
-            records.extend(r.records);
-            encounters += r.encounters;
-            hard_brake_demands += r.hard_brake_demands;
-            undetected_encounters += r.undetected_encounters;
-            speed_time += r.speed_time;
-            exposure += r.hours;
-            for (zone, h) in r.zone_hours {
-                *zone_hours.entry(zone).or_insert(0.0) += h;
-            }
-            for (zone, n) in r.zone_encounters {
-                *zone_encounters.entry(zone).or_insert(0) += n;
-            }
-        }
-        Ok(CampaignResult {
-            policy_name: self.policy.name().to_string(),
-            records,
-            exposure: Hours::new(exposure)?,
-            encounters,
-            hard_brake_demands,
-            undetected_encounters,
-            mean_cruise_kmh: if exposure > 0.0 {
-                speed_time / exposure
-            } else {
-                0.0
-            },
-            zone_hours,
-            zone_encounters,
-        })
+        let zones = self.config.zones.len();
+        let make = || RecordingAccumulator::new(zones);
+        let (mut partials, throughput) = self.execute(&[seed], &make)?;
+        let acc = partials.pop().expect("one accumulator per seed");
+        self.finish_recording(acc, throughput)
+    }
+
+    /// Runs the campaign in streaming mode: every shift's records are
+    /// classified and folded into [`MeasuredIncidents`] immediately, so
+    /// memory stays bounded by the number of incident *types* — a
+    /// million-hour campaign costs no more memory than a ten-hour one.
+    ///
+    /// The counts equal classifying [`Campaign::run`]'s records after the
+    /// fact, and are bit-identical for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] for a zero-hour campaign or zero workers.
+    pub fn run_counting(
+        &self,
+        classification: &IncidentClassification,
+    ) -> Result<CountingResult, UnitError> {
+        let zones = self.config.zones.len();
+        let make = || CountingAccumulator::new(classification, zones);
+        let (mut partials, throughput) = self.execute(&[self.seed], &make)?;
+        let acc = partials.pop().expect("one accumulator per seed");
+        Ok(self.finish_counting(acc, throughput))
     }
 
     /// Runs `n` independent replications (seeds `seed, seed+1, …`) and
     /// summarises the replication-to-replication spread of the headline
     /// rates — the error bars for any campaign-derived estimate.
     ///
+    /// All replications share one worker pool: their blocks go into a
+    /// single work queue, so the pool stays saturated across replication
+    /// boundaries instead of draining `n` times. Each replication's result
+    /// is identical to a plain [`Campaign::run`] with that seed.
+    ///
     /// # Errors
     ///
-    /// Returns [`UnitError`] for a zero-hour campaign or `n == 0`.
+    /// Returns [`UnitError`] for a zero-hour campaign, zero workers, or
+    /// `n == 0`.
     pub fn run_replications(&self, n: u64) -> Result<ReplicationSummary, UnitError> {
         if n == 0 {
             return Err(UnitError::OutOfRange {
@@ -222,12 +207,17 @@ impl<P: TacticalPolicy> Campaign<P> {
                 max: f64::MAX,
             });
         }
+        let seeds: Vec<u64> = (0..n).map(|i| self.seed + i).collect();
+        let zones = self.config.zones.len();
+        let make = || RecordingAccumulator::new(zones);
+        let (partials, throughput) = self.execute(&seeds, &make)?;
+
         let mut encounter_rate = OnlineStats::new();
         let mut hard_brake_rate = OnlineStats::new();
         let mut raw_record_count = OnlineStats::new();
         let mut results = Vec::with_capacity(n as usize);
-        for i in 0..n {
-            let result = self.run_seeded(self.seed + i)?;
+        for acc in partials {
+            let result = self.finish_recording(acc, throughput.clone())?;
             encounter_rate.push(result.encounter_rate()?.as_per_hour());
             hard_brake_rate.push(result.hard_brake_rate()?.as_per_hour());
             raw_record_count.push(result.records.len() as f64);
@@ -239,15 +229,169 @@ impl<P: TacticalPolicy> Campaign<P> {
             hard_brake_rate,
             raw_record_count,
             results,
+            throughput,
         })
     }
 
-    /// Simulates one shift of `hours` driving.
-    fn run_shift(&self, hours: f64, rng: &mut StdRng) -> ShiftResult {
-        let mut result = ShiftResult {
-            hours,
-            ..ShiftResult::default()
+    /// The work-stealing engine: simulates every `(seed, block)` task on a
+    /// shared pool and returns one order-merged accumulator per seed, in
+    /// seed order, plus the pool's throughput statistics.
+    fn execute<A, F>(&self, seeds: &[u64], make: &F) -> Result<(Vec<A>, Throughput), UnitError>
+    where
+        A: ShiftAccumulator,
+        F: Fn() -> A + Sync,
+    {
+        if self.workers == 0 {
+            return Err(UnitError::OutOfRange {
+                quantity: "campaign workers",
+                value: 0.0,
+                min: 1.0,
+                max: f64::MAX,
+            });
+        }
+        if self.hours.value() <= 0.0 {
+            return Err(UnitError::OutOfRange {
+                quantity: "campaign exposure",
+                value: self.hours.value(),
+                min: f64::MIN_POSITIVE,
+                max: f64::MAX,
+            });
+        }
+        let hours = self.hours.value();
+        // Fixed-size shifts and a fixed block partition: the task geometry
+        // depends only on the exposure, so any worker count reproduces the
+        // same partials and the same merge order.
+        let shift_hours = 10.0f64.min(hours);
+        let shifts = (hours / shift_hours).ceil() as u64;
+        let blocks = shifts.div_ceil(SHIFTS_PER_BLOCK);
+        let total_tasks = seeds.len() as u64 * blocks;
+        let substreams: Vec<Substreams> = seeds.iter().map(|&s| Substreams::new(s)).collect();
+
+        let queue = AtomicU64::new(0);
+        let threads = self.workers.min(total_tasks as usize);
+        let wall = Instant::now();
+        let worker_outputs: Vec<(Vec<(u64, A)>, WorkerThroughput)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        let mut stats = WorkerThroughput::default();
+                        loop {
+                            let task = queue.fetch_add(1, Ordering::Relaxed);
+                            if task >= total_tasks {
+                                break;
+                            }
+                            let started = Instant::now();
+                            let rep = (task / blocks) as usize;
+                            let block = task % blocks;
+                            let first = block * SHIFTS_PER_BLOCK;
+                            let last = (first + SHIFTS_PER_BLOCK).min(shifts);
+                            let mut acc = make();
+                            for shift in first..last {
+                                let remaining = hours - shift as f64 * shift_hours;
+                                let this_shift = shift_hours.min(remaining);
+                                let mut rng = substreams[rep].stream(shift);
+                                acc.absorb(self.run_shift(this_shift, &mut rng));
+                                stats.sim_hours += this_shift;
+                            }
+                            stats.shifts += last - first;
+                            stats.busy_seconds += started.elapsed().as_secs_f64();
+                            local.push((task, acc));
+                        }
+                        (local, stats)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shift worker panicked"))
+                .collect()
+        });
+        let wall_seconds = wall.elapsed().as_secs_f64();
+
+        let mut per_worker = Vec::with_capacity(worker_outputs.len());
+        let mut partials: Vec<(u64, A)> = Vec::with_capacity(total_tasks as usize);
+        for (local, stats) in worker_outputs {
+            partials.extend(local);
+            per_worker.push(stats);
+        }
+        // The reduce: strictly ascending task order restores the sequential
+        // grouping regardless of which worker computed which block.
+        partials.sort_unstable_by_key(|(task, _)| *task);
+        let mut merged: Vec<A> = Vec::with_capacity(seeds.len());
+        for (task, acc) in partials {
+            if task % blocks == 0 {
+                merged.push(acc);
+            } else {
+                merged
+                    .last_mut()
+                    .expect("block 0 of each seed precedes its later blocks")
+                    .merge(acc);
+            }
+        }
+
+        let sim_hours = hours * seeds.len() as f64;
+        let total_shifts = shifts * seeds.len() as u64;
+        let throughput = Throughput {
+            workers: threads,
+            wall_seconds,
+            shifts: total_shifts,
+            sim_hours,
+            shifts_per_second: total_shifts as f64 / wall_seconds.max(f64::MIN_POSITIVE),
+            sim_hours_per_second: sim_hours / wall_seconds.max(f64::MIN_POSITIVE),
+            per_worker,
         };
+        Ok((merged, throughput))
+    }
+
+    fn finish_recording(
+        &self,
+        acc: RecordingAccumulator,
+        throughput: Throughput,
+    ) -> Result<CampaignResult, UnitError> {
+        let RecordingAccumulator { totals, records } = acc;
+        let (zone_hours, zone_encounters) = totals.named_zones(&self.config);
+        Ok(CampaignResult {
+            policy_name: self.policy.name().to_string(),
+            records,
+            exposure: Hours::new(totals.hours)?,
+            encounters: totals.encounters,
+            hard_brake_demands: totals.hard_brake_demands,
+            undetected_encounters: totals.undetected_encounters,
+            mean_cruise_kmh: totals.mean_cruise_kmh(),
+            zone_hours,
+            zone_encounters,
+            throughput,
+        })
+    }
+
+    fn finish_counting(&self, acc: CountingAccumulator, throughput: Throughput) -> CountingResult {
+        let CountingAccumulator {
+            totals,
+            measured,
+            non_incidents,
+            records_per_shift,
+            ..
+        } = acc;
+        let (zone_hours, zone_encounters) = totals.named_zones(&self.config);
+        CountingResult {
+            policy_name: self.policy.name().to_string(),
+            measured,
+            non_incidents,
+            records_per_shift,
+            encounters: totals.encounters,
+            hard_brake_demands: totals.hard_brake_demands,
+            undetected_encounters: totals.undetected_encounters,
+            mean_cruise_kmh: totals.mean_cruise_kmh(),
+            zone_hours,
+            zone_encounters,
+            throughput,
+        }
+    }
+
+    /// Simulates one shift of `hours` driving.
+    fn run_shift(&self, hours: f64, rng: &mut StdRng) -> ShiftOutcome {
+        let mut result = ShiftOutcome::new(hours, self.config.zones.len());
         let mut t = 0.0; // hours into the shift
         let mut zone_idx = 0;
         let mut zone_left = self.config.zones[0].dwell.value();
@@ -286,8 +430,8 @@ impl<P: TacticalPolicy> Campaign<P> {
                     t += dt;
                     zone_left -= dt;
                     result.speed_time += cruise.as_kmh() * dt;
-                    *result.zone_hours.entry(zone.name.clone()).or_insert(0.0) += dt;
-                    *result.zone_encounters.entry(zone.name.clone()).or_insert(0) += 1;
+                    result.zone_hours[zone_idx] += dt;
+                    result.zone_encounters[zone_idx] += 1;
                     self.run_one_encounter(
                         template_idx,
                         cruise,
@@ -300,7 +444,7 @@ impl<P: TacticalPolicy> Campaign<P> {
                     t += until_zone_end;
                     zone_left -= until_zone_end;
                     result.speed_time += cruise.as_kmh() * until_zone_end;
-                    *result.zone_hours.entry(zone.name.clone()).or_insert(0.0) += until_zone_end;
+                    result.zone_hours[zone_idx] += until_zone_end;
                 }
             }
             if zone_left <= 1e-12 {
@@ -317,7 +461,7 @@ impl<P: TacticalPolicy> Campaign<P> {
         cruise: Speed,
         perception: &PerceptionParams,
         rng: &mut StdRng,
-        result: &mut ShiftResult,
+        result: &mut ShiftOutcome,
     ) {
         let template = &self.config.challenges[template_idx];
         let challenge = Challenge::sample(template, cruise, rng);
@@ -382,20 +526,265 @@ impl<P: TacticalPolicy> Campaign<P> {
     }
 }
 
-#[derive(Debug, Default)]
-struct ShiftResult {
+/// One worker count per available CPU, with a fallback of one.
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Everything one simulated shift produced. Zone tallies are keyed by the
+/// zone's index in [`WorldConfig::zones`]; names are resolved once at the
+/// end of the campaign instead of being cloned per shift.
+#[derive(Debug)]
+pub struct ShiftOutcome {
+    /// Simulated duration of this shift.
+    pub hours: f64,
+    /// Raw events, in simulation order.
+    pub records: Vec<IncidentRecord>,
+    /// Challenges encountered.
+    pub encounters: u64,
+    /// Encounters demanding braking harder than 4 m/s².
+    pub hard_brake_demands: u64,
+    /// Encounters the perception never detected.
+    pub undetected_encounters: u64,
+    /// Integral of cruise speed over time, km/h·h.
+    pub speed_time: f64,
+    /// Time spent per zone index, hours.
+    pub zone_hours: Vec<f64>,
+    /// Challenges encountered per zone index.
+    pub zone_encounters: Vec<u64>,
+}
+
+impl ShiftOutcome {
+    fn new(hours: f64, zones: usize) -> Self {
+        ShiftOutcome {
+            hours,
+            records: Vec::new(),
+            encounters: 0,
+            hard_brake_demands: 0,
+            undetected_encounters: 0,
+            speed_time: 0.0,
+            zone_hours: vec![0.0; zones],
+            zone_encounters: vec![0; zones],
+        }
+    }
+}
+
+/// A mergeable reduction of simulated shifts.
+///
+/// The engine folds each shift into a block-local partial with
+/// [`absorb`](ShiftAccumulator::absorb), then combines partials with
+/// [`merge`](ShiftAccumulator::merge) in ascending block order. `merge`
+/// must equal absorbing the later partial's shifts directly — i.e. be the
+/// associative extension of `absorb` — which is what makes the campaign
+/// outcome independent of how blocks were scheduled across workers.
+pub trait ShiftAccumulator: Send {
+    /// Folds one shift, in shift order within the block.
+    fn absorb(&mut self, shift: ShiftOutcome);
+    /// Appends a partial that covers strictly later shifts.
+    fn merge(&mut self, later: Self);
+}
+
+/// Scalar tallies shared by every accumulator.
+#[derive(Debug, Clone, Default)]
+struct CampaignTotals {
     hours: f64,
-    records: Vec<IncidentRecord>,
     encounters: u64,
     hard_brake_demands: u64,
     undetected_encounters: u64,
     speed_time: f64,
-    zone_hours: BTreeMap<String, f64>,
-    zone_encounters: BTreeMap<String, u64>,
+    zone_hours: Vec<f64>,
+    zone_encounters: Vec<u64>,
+}
+
+impl CampaignTotals {
+    fn new(zones: usize) -> Self {
+        CampaignTotals {
+            zone_hours: vec![0.0; zones],
+            zone_encounters: vec![0; zones],
+            ..CampaignTotals::default()
+        }
+    }
+
+    fn absorb(&mut self, shift: &ShiftOutcome) {
+        self.hours += shift.hours;
+        self.encounters += shift.encounters;
+        self.hard_brake_demands += shift.hard_brake_demands;
+        self.undetected_encounters += shift.undetected_encounters;
+        self.speed_time += shift.speed_time;
+        for (sum, h) in self.zone_hours.iter_mut().zip(&shift.zone_hours) {
+            *sum += h;
+        }
+        for (sum, n) in self.zone_encounters.iter_mut().zip(&shift.zone_encounters) {
+            *sum += n;
+        }
+    }
+
+    fn merge(&mut self, later: &CampaignTotals) {
+        self.hours += later.hours;
+        self.encounters += later.encounters;
+        self.hard_brake_demands += later.hard_brake_demands;
+        self.undetected_encounters += later.undetected_encounters;
+        self.speed_time += later.speed_time;
+        for (sum, h) in self.zone_hours.iter_mut().zip(&later.zone_hours) {
+            *sum += h;
+        }
+        for (sum, n) in self.zone_encounters.iter_mut().zip(&later.zone_encounters) {
+            *sum += n;
+        }
+    }
+
+    fn mean_cruise_kmh(&self) -> f64 {
+        if self.hours > 0.0 {
+            self.speed_time / self.hours
+        } else {
+            0.0
+        }
+    }
+
+    /// Resolves zone-index tallies into name-keyed maps, keeping only
+    /// zones that were actually visited (matching the observable behaviour
+    /// of the per-shift string maps this replaces).
+    fn named_zones(&self, config: &WorldConfig) -> (BTreeMap<String, f64>, BTreeMap<String, u64>) {
+        let mut hours = BTreeMap::new();
+        let mut encounters = BTreeMap::new();
+        for (zone, (&h, &n)) in config
+            .zones
+            .iter()
+            .zip(self.zone_hours.iter().zip(&self.zone_encounters))
+        {
+            if h > 0.0 {
+                *hours.entry(zone.name.clone()).or_insert(0.0) += h;
+            }
+            if n > 0 {
+                *encounters.entry(zone.name.clone()).or_insert(0) += n;
+            }
+        }
+        (hours, encounters)
+    }
+}
+
+/// Accumulator keeping every raw record — the exact, replayable campaign
+/// outcome. Memory grows with the record count.
+#[derive(Debug)]
+pub struct RecordingAccumulator {
+    totals: CampaignTotals,
+    records: Vec<IncidentRecord>,
+}
+
+impl RecordingAccumulator {
+    /// An empty partial for a world with `zones` zones.
+    pub fn new(zones: usize) -> Self {
+        RecordingAccumulator {
+            totals: CampaignTotals::new(zones),
+            records: Vec::new(),
+        }
+    }
+}
+
+impl ShiftAccumulator for RecordingAccumulator {
+    fn absorb(&mut self, shift: ShiftOutcome) {
+        self.totals.absorb(&shift);
+        self.records.extend(shift.records);
+    }
+
+    fn merge(&mut self, later: Self) {
+        self.totals.merge(&later.totals);
+        self.records.extend(later.records);
+    }
+}
+
+/// Accumulator classifying records as they are produced, folding them into
+/// [`MeasuredIncidents`] counts and an [`OnlineStats`] over per-shift
+/// record counts. Memory is O(incident types), independent of exposure.
+#[derive(Debug)]
+pub struct CountingAccumulator<'c> {
+    classification: &'c IncidentClassification,
+    totals: CampaignTotals,
+    measured: MeasuredIncidents,
+    non_incidents: u64,
+    records_per_shift: OnlineStats,
+}
+
+impl<'c> CountingAccumulator<'c> {
+    /// An empty partial classifying with `classification`.
+    pub fn new(classification: &'c IncidentClassification, zones: usize) -> Self {
+        CountingAccumulator {
+            classification,
+            totals: CampaignTotals::new(zones),
+            measured: MeasuredIncidents::empty(),
+            non_incidents: 0,
+            records_per_shift: OnlineStats::new(),
+        }
+    }
+}
+
+impl ShiftAccumulator for CountingAccumulator<'_> {
+    fn absorb(&mut self, shift: ShiftOutcome) {
+        self.totals.absorb(&shift);
+        self.measured
+            .add_exposure(Hours::new(shift.hours).expect("shift durations are positive"));
+        self.records_per_shift.push(shift.records.len() as f64);
+        for record in &shift.records {
+            if !self.measured.observe(self.classification, record) {
+                self.non_incidents += 1;
+            }
+        }
+    }
+
+    fn merge(&mut self, later: Self) {
+        self.totals.merge(&later.totals);
+        self.measured.merge(&later.measured);
+        self.non_incidents += later.non_incidents;
+        self.records_per_shift.merge(&later.records_per_shift);
+    }
+}
+
+/// Wall-clock statistics of one engine run. Never part of result equality
+/// or determinism guarantees — two identical campaigns report different
+/// throughput.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Throughput {
+    /// Worker threads actually spawned.
+    pub workers: usize,
+    /// Wall-clock duration of the parallel section, seconds.
+    pub wall_seconds: f64,
+    /// Shifts simulated (across all replications).
+    pub shifts: u64,
+    /// Hours simulated (across all replications).
+    pub sim_hours: f64,
+    /// Shifts completed per wall-clock second.
+    pub shifts_per_second: f64,
+    /// Simulated hours per wall-clock second — the headline speed.
+    pub sim_hours_per_second: f64,
+    /// Per-worker tallies, in spawn order.
+    pub per_worker: Vec<WorkerThroughput>,
+}
+
+/// What one worker thread contributed.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct WorkerThroughput {
+    /// Shifts this worker claimed and simulated.
+    pub shifts: u64,
+    /// Simulated hours this worker produced.
+    pub sim_hours: f64,
+    /// Time this worker spent simulating, seconds.
+    pub busy_seconds: f64,
+}
+
+impl fmt::Display for Throughput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} shifts ({:.0} sim-h) in {:.2} s on {} workers: {:.0} sim-h/s",
+            self.shifts, self.sim_hours, self.wall_seconds, self.workers, self.sim_hours_per_second
+        )
+    }
 }
 
 /// The outcome of a campaign.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignResult {
     /// Name of the policy that drove.
     pub policy_name: String,
@@ -416,6 +805,24 @@ pub struct CampaignResult {
     zone_hours: BTreeMap<String, f64>,
     /// Challenges encountered per zone.
     zone_encounters: BTreeMap<String, u64>,
+    /// Wall-clock statistics of the run (excluded from equality).
+    pub throughput: Throughput,
+}
+
+/// Equality covers the simulated outcome only; [`CampaignResult::throughput`]
+/// is wall-clock measurement and varies between identical campaigns.
+impl PartialEq for CampaignResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.policy_name == other.policy_name
+            && self.records == other.records
+            && self.exposure == other.exposure
+            && self.encounters == other.encounters
+            && self.hard_brake_demands == other.hard_brake_demands
+            && self.undetected_encounters == other.undetected_encounters
+            && self.mean_cruise_kmh == other.mean_cruise_kmh
+            && self.zone_hours == other.zone_hours
+            && self.zone_encounters == other.zone_encounters
+    }
 }
 
 impl CampaignResult {
@@ -469,8 +876,92 @@ impl CampaignResult {
     }
 }
 
+/// The outcome of a streaming (counting) campaign: classified incident
+/// counts and campaign statistics, but no raw records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CountingResult {
+    /// Name of the policy that drove.
+    pub policy_name: String,
+    /// Classified incident counts over the campaign exposure.
+    pub measured: MeasuredIncidents,
+    /// Raw events that were not incidents under the classification.
+    pub non_incidents: u64,
+    /// Distribution of raw record counts per shift.
+    pub records_per_shift: OnlineStats,
+    /// Number of challenges encountered.
+    pub encounters: u64,
+    /// Encounters that demanded braking harder than 4 m/s².
+    pub hard_brake_demands: u64,
+    /// Encounters the perception never detected.
+    pub undetected_encounters: u64,
+    /// Exposure-weighted mean cruise speed, km/h.
+    pub mean_cruise_kmh: f64,
+    /// Time spent per zone, hours.
+    zone_hours: BTreeMap<String, f64>,
+    /// Challenges encountered per zone.
+    zone_encounters: BTreeMap<String, u64>,
+    /// Wall-clock statistics of the run (excluded from equality).
+    pub throughput: Throughput,
+}
+
+/// Equality covers the simulated outcome only, never the throughput.
+impl PartialEq for CountingResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.policy_name == other.policy_name
+            && self.measured == other.measured
+            && self.non_incidents == other.non_incidents
+            && self.records_per_shift == other.records_per_shift
+            && self.encounters == other.encounters
+            && self.hard_brake_demands == other.hard_brake_demands
+            && self.undetected_encounters == other.undetected_encounters
+            && self.mean_cruise_kmh == other.mean_cruise_kmh
+            && self.zone_hours == other.zone_hours
+            && self.zone_encounters == other.zone_encounters
+    }
+}
+
+impl CountingResult {
+    /// Total simulated exposure.
+    pub fn exposure(&self) -> Hours {
+        self.measured.exposure()
+    }
+
+    /// Rate of hard-braking demands (> 4 m/s²) per operating hour.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] for a zero-exposure result.
+    pub fn hard_brake_rate(&self) -> Result<Frequency, UnitError> {
+        Frequency::from_count(self.hard_brake_demands as f64, self.exposure())
+    }
+
+    /// Rate of challenges encountered per operating hour.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] for a zero-exposure result.
+    pub fn encounter_rate(&self) -> Result<Frequency, UnitError> {
+        Frequency::from_count(self.encounters as f64, self.exposure())
+    }
+}
+
+impl fmt::Display for CountingResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} incidents ({} uneventful records) over {}: {} encounters, {} hard-brake demands",
+            self.policy_name,
+            self.measured.total(),
+            self.non_incidents,
+            self.exposure(),
+            self.encounters,
+            self.hard_brake_demands,
+        )
+    }
+}
+
 /// Spread statistics over independent campaign replications.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ReplicationSummary {
     /// Number of replications run.
     pub replications: u64,
@@ -482,6 +973,20 @@ pub struct ReplicationSummary {
     pub raw_record_count: OnlineStats,
     /// The individual replication results, in seed order.
     pub results: Vec<CampaignResult>,
+    /// Wall-clock statistics of the shared pool that ran every
+    /// replication (also attached to each result).
+    pub throughput: Throughput,
+}
+
+/// Equality covers the simulated outcomes only, never the throughput.
+impl PartialEq for ReplicationSummary {
+    fn eq(&self, other: &Self) -> bool {
+        self.replications == other.replications
+            && self.encounter_rate == other.encounter_rate
+            && self.hard_brake_rate == other.hard_brake_rate
+            && self.raw_record_count == other.raw_record_count
+            && self.results == other.results
+    }
 }
 
 impl fmt::Display for ReplicationSummary {
@@ -539,19 +1044,116 @@ mod tests {
     }
 
     #[test]
-    fn result_is_independent_of_worker_count() {
+    fn result_is_bit_identical_for_any_worker_count() {
         let run = |workers| {
             Campaign::new(urban_scenario().unwrap(), CautiousPolicy::default())
-                .hours(h(50.0))
+                .hours(h(130.0))
                 .seed(11)
                 .workers(workers)
                 .run()
                 .unwrap()
         };
-        let one = run(1);
-        let four = run(4);
-        assert_eq!(one.encounters, four.encounters);
-        assert_eq!(one.records.len(), four.records.len());
+        let reference = run(1);
+        for workers in [2, 7, default_workers()] {
+            let other = run(workers);
+            assert_eq!(reference, other, "workers={workers}");
+            // f64 fields must match to the bit, not merely within epsilon.
+            assert_eq!(
+                reference.mean_cruise_kmh.to_bits(),
+                other.mean_cruise_kmh.to_bits(),
+                "workers={workers}"
+            );
+            assert_eq!(
+                reference.exposure().value().to_bits(),
+                other.exposure().value().to_bits(),
+                "workers={workers}"
+            );
+            for zone in reference.zones() {
+                assert_eq!(
+                    reference.zone_exposure(zone).value().to_bits(),
+                    other.zone_exposure(zone).value().to_bits(),
+                    "workers={workers} zone={zone}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replications_are_bit_identical_for_any_worker_count() {
+        let run = |workers| {
+            Campaign::new(urban_scenario().unwrap(), CautiousPolicy::default())
+                .hours(h(45.0))
+                .seed(21)
+                .workers(workers)
+                .run_replications(3)
+                .unwrap()
+        };
+        let reference = run(1);
+        for workers in [2, 7, default_workers()] {
+            assert_eq!(reference, run(workers), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn counting_matches_recording_classification() {
+        let classification = qrn_core::examples::paper_classification().unwrap();
+        let campaign = || {
+            Campaign::new(urban_scenario().unwrap(), CautiousPolicy::default())
+                .hours(h(120.0))
+                .seed(13)
+                .workers(5)
+        };
+        let recorded = campaign().run().unwrap();
+        let (measured, non_incidents) = recorded.measured(&classification);
+        let counted = campaign().run_counting(&classification).unwrap();
+        assert_eq!(counted.measured, measured);
+        assert_eq!(counted.non_incidents as usize, non_incidents);
+        assert_eq!(counted.encounters, recorded.encounters);
+        assert_eq!(counted.hard_brake_demands, recorded.hard_brake_demands);
+        assert_eq!(counted.mean_cruise_kmh, recorded.mean_cruise_kmh);
+        assert_eq!(
+            counted.records_per_shift.count() as u64,
+            recorded.throughput.shifts
+        );
+        let counted_records =
+            counted.records_per_shift.mean() * counted.records_per_shift.count() as f64;
+        assert!((counted_records - recorded.records.len() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn counting_is_independent_of_worker_count() {
+        let classification = qrn_core::examples::paper_classification().unwrap();
+        let run = |workers| {
+            Campaign::new(urban_scenario().unwrap(), CautiousPolicy::default())
+                .hours(h(90.0))
+                .seed(17)
+                .workers(workers)
+                .run_counting(&classification)
+                .unwrap()
+        };
+        let reference = run(1);
+        for workers in [2, 7, default_workers()] {
+            assert_eq!(reference, run(workers), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn throughput_reports_the_work_done() {
+        let result = Campaign::new(urban_scenario().unwrap(), CautiousPolicy::default())
+            .hours(h(80.0))
+            .seed(9)
+            .workers(2)
+            .run()
+            .unwrap();
+        let t = &result.throughput;
+        assert_eq!(t.shifts, 8);
+        assert!((t.sim_hours - 80.0).abs() < 1e-9);
+        assert_eq!(t.workers, 2);
+        assert_eq!(t.per_worker.len(), 2);
+        assert_eq!(t.per_worker.iter().map(|w| w.shifts).sum::<u64>(), 8);
+        assert!(t.wall_seconds > 0.0);
+        assert!(t.sim_hours_per_second > 0.0);
+        assert!(t.to_string().contains("workers"));
     }
 
     #[test]
@@ -724,8 +1326,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_workers_panics() {
-        let _ = Campaign::new(urban_scenario().unwrap(), CautiousPolicy::default()).workers(0);
+    fn zero_workers_is_an_error() {
+        let err = Campaign::new(urban_scenario().unwrap(), CautiousPolicy::default())
+            .workers(0)
+            .run();
+        match err {
+            Err(UnitError::OutOfRange { quantity, .. }) => {
+                assert_eq!(quantity, "campaign workers");
+            }
+            other => panic!("expected an out-of-range error, got {other:?}"),
+        }
+    }
+
+    /// A million simulated hours through the counting path — streaming
+    /// memory only. Run explicitly (release mode recommended):
+    /// `cargo test -p qrn-sim --release -- --ignored million_hours`.
+    #[test]
+    #[ignore = "long-running scale demonstration"]
+    fn million_hours_stream_through_counting() {
+        let classification = qrn_core::examples::paper_classification().unwrap();
+        let result = Campaign::new(urban_scenario().unwrap(), CautiousPolicy::default())
+            .hours(h(1_000_000.0))
+            .seed(99)
+            .run_counting(&classification)
+            .unwrap();
+        assert!((result.exposure().value() - 1_000_000.0).abs() < 1e-3);
+        assert_eq!(result.throughput.shifts, 100_000);
+        assert!(result.measured.total() > 0);
     }
 }

@@ -44,7 +44,24 @@ impl fmt::Display for UnitError {
                 value,
                 min,
                 max,
-            } => write!(f, "{quantity} must lie in [{min}, {max}], got {value}"),
+            } => {
+                // f64::MAX / f64::MIN_POSITIVE encode "unbounded above" and
+                // "strictly positive"; printed as decimals they are hundreds
+                // of digits of noise, so phrase those domains instead.
+                match (*min == f64::MIN_POSITIVE, *max == f64::MAX) {
+                    (true, true) => write!(f, "{quantity} must be positive, got {value}"),
+                    (false, true) => write!(f, "{quantity} must be at least {min}, got {value}"),
+                    (true, false) => {
+                        write!(
+                            f,
+                            "{quantity} must be positive and at most {max}, got {value}"
+                        )
+                    }
+                    (false, false) => {
+                        write!(f, "{quantity} must lie in [{min}, {max}], got {value}")
+                    }
+                }
+            }
         }
     }
 }

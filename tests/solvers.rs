@@ -19,8 +19,7 @@ fn both_solvers_fulfil_eq1_on_the_paper_example() {
         .iter()
         .map(|l| l.id().clone())
         .collect();
-    let weights: BTreeMap<IncidentTypeId, f64> =
-        ids.iter().map(|id| (id.clone(), 1.0)).collect();
+    let weights: BTreeMap<IncidentTypeId, f64> = ids.iter().map(|id| (id.clone(), 1.0)).collect();
 
     let proportional = allocate_proportional(&norm, &shares, &weights, 0.9).unwrap();
     let waterfill = allocate_waterfill(
@@ -50,8 +49,7 @@ fn waterfill_dominates_equal_weight_proportional_on_the_minimum() {
         .iter()
         .map(|l| l.id().clone())
         .collect();
-    let weights: BTreeMap<IncidentTypeId, f64> =
-        ids.iter().map(|id| (id.clone(), 1.0)).collect();
+    let weights: BTreeMap<IncidentTypeId, f64> = ids.iter().map(|id| (id.clone(), 1.0)).collect();
 
     let proportional = allocate_proportional(&norm, &shares, &weights, 0.9).unwrap();
     let waterfill = allocate_waterfill(
