@@ -220,6 +220,9 @@ fn main() {
         "degraded brakes must be detected as a statistically established violation"
     );
 
+    // Wall-clock throughput is printed above but deliberately NOT saved:
+    // the artefact must be bit-reproducible from (config, policy, seed,
+    // hours) alone, and machine-dependent timings would defeat that.
     save_json(
         "exp_eq1_montecarlo",
         &json!({
@@ -236,11 +239,6 @@ fn main() {
                 "demonstrated": f_dem,
                 "inconclusive": f_inc,
                 "violated": f_vio,
-            },
-            "throughput": {
-                "calibration_sim_hours_per_second": calibration.throughput.sim_hours_per_second,
-                "verification_sim_hours_per_second": verification.throughput.sim_hours_per_second,
-                "workers": calibration.throughput.workers,
             },
         }),
     );

@@ -272,7 +272,9 @@ fn simulate(rest: &[&str]) -> Result<CommandOutcome, CliError> {
         }
     };
     println!("{result}");
-    println!("{}", result.throughput);
+    if let Some(throughput) = &result.throughput {
+        println!("{throughput}");
+    }
     let file = RecordsFile {
         exposure_hours: result.exposure().value(),
         records: result.records.clone(),

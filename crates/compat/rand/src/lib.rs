@@ -1,23 +1,53 @@
-//! Offline stand-in for the `rand` crate.
+//! Offline stand-in for the `rand` crate, bitstream-compatible with
+//! upstream `StdRng`.
 //!
 //! The build container has no network access to crates.io, so the
-//! workspace vendors the small slice of the `rand` API it actually uses:
-//! [`Rng`], [`RngExt`], [`SeedableRng`] and [`rngs::StdRng`]. `StdRng` is
-//! a xoshiro256++ generator — not the same bitstream as upstream's
-//! ChaCha12, but every guarantee the QRN code relies on (determinism for a
-//! seed, independent substreams, uniform output) holds.
+//! workspace vendors the slice of the `rand` API it actually uses:
+//! [`Rng`], [`RngExt`], [`SeedableRng`] and [`rngs::StdRng`]. Unlike a
+//! generic stand-in, this crate reproduces upstream's generator exactly,
+//! so seeded results match what the real `rand` crate produces:
+//!
+//! * [`rngs::StdRng`] is ChaCha with 12 rounds — the algorithm upstream
+//!   `rand` uses for `StdRng` — consumed through the same 64-word
+//!   (four ChaCha blocks) buffer as `rand_chacha`'s `BlockRng` wrapper,
+//!   including its word-straddling rule when a 64-bit read crosses the
+//!   buffer boundary;
+//! * [`SeedableRng::seed_from_u64`] expands the seed with the PCG32
+//!   (XSH-RR 64/32) stream that `rand_core`'s default implementation
+//!   uses;
+//! * scalar sampling follows upstream's conventions: integers at or below
+//!   32 bits, `bool` and `f32` draw one 32-bit word, wider integers and
+//!   `f64` draw one 64-bit word, floats use the 53-bit (24-bit for `f32`)
+//!   multiply convention;
+//! * integer ranges are sampled with Canon's widening-multiply method —
+//!   upstream's single-use `sample_single` algorithm, not a modulo —
+//!   with spans of `usize` width drawing a 32-bit word when the span fits
+//!   in 32 bits (upstream's platform-independent `UniformUsize`).
+//!
+//! The ChaCha core is validated against the RFC 8439 quarter-round and
+//! ChaCha20 keystream vectors (the round count is a parameter; 12 vs 20
+//! changes only the loop trip count), and end-to-end by regenerating
+//! `results/` artefacts that the seed repository produced with upstream
+//! `rand` (see `CHANGELOG.md`).
 
 #![forbid(unsafe_code)]
 
 use std::ops::{Range, RangeInclusive};
 
-/// A source of random 64-bit words.
+/// A source of random 32- and 64-bit words.
 pub trait Rng {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
     /// Returns the next 64 random bits.
     fn next_u64(&mut self) -> u64;
 }
 
 impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
     fn next_u64(&mut self) -> u64 {
         (**self).next_u64()
     }
@@ -29,7 +59,22 @@ pub trait Random: Sized {
     fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self;
 }
 
-macro_rules! impl_random_int {
+// Upstream draws integers at or below 32 bits from one 32-bit word…
+macro_rules! impl_random_via_u32 {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+
+impl_random_via_u32!(u8, u16, u32, i8, i16, i32);
+
+// …and 64-bit (and pointer-width, on 64-bit targets) integers from one
+// 64-bit word.
+macro_rules! impl_random_via_u64 {
     ($($t:ty),*) => {$(
         impl Random for $t {
             fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
@@ -39,12 +84,18 @@ macro_rules! impl_random_int {
     )*};
 }
 
-impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+#[cfg(target_pointer_width = "64")]
+impl_random_via_u64!(u64, i64, usize, isize);
+#[cfg(not(target_pointer_width = "64"))]
+impl_random_via_u64!(u64, i64);
+#[cfg(not(target_pointer_width = "64"))]
+impl_random_via_u32!(usize, isize);
 
 impl Random for bool {
     fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
-        // Use the high bit; low bits of some generators are weaker.
-        rng.next_u64() >> 63 == 1
+        // Upstream compares against the most significant bit of one
+        // 32-bit word (low bits of weak generators can have patterns).
+        rng.next_u32() & (1 << 31) != 0
     }
 }
 
@@ -57,7 +108,8 @@ impl Random for f64 {
 
 impl Random for f32 {
     fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
-        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+        // 24 high-order bits of one 32-bit word scaled into [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
     }
 }
 
@@ -67,62 +119,115 @@ pub trait SampleRange<T> {
     fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
 }
 
+/// Canon's method on a widening multiply, as upstream's
+/// `UniformInt::sample_single` implements it: scale one draw into the
+/// span via the high half of the 2w-bit product; when the low half lands
+/// in the biased window (probability `span / 2^w`), a second draw decides
+/// whether to round up. Residual bias is below `2^-w` — no rejection
+/// loop, at most two draws.
+macro_rules! canon {
+    ($fn_name:ident, $w:ty, $wide:ty, $bits:expr, $draw:ident) => {
+        fn $fn_name<R: Rng + ?Sized>(rng: &mut R, span: $w) -> $w {
+            debug_assert!(span > 0);
+            let m = (rng.$draw() as $w as $wide) * (span as $wide);
+            let mut result = (m >> $bits) as $w;
+            let lo_order = m as $w;
+            if lo_order > span.wrapping_neg() {
+                let m2 = (rng.$draw() as $w as $wide) * (span as $wide);
+                let new_hi = (m2 >> $bits) as $w;
+                result += lo_order.checked_add(new_hi).is_none() as $w;
+            }
+            result
+        }
+    };
+}
+
+canon!(canon_u32, u32, u64, 32, next_u32);
+canon!(canon_u64, u64, u128, 64, next_u64);
+
 macro_rules! impl_sample_range_int {
-    ($($t:ty),*) => {$(
+    ($(($t:ty, $u:ty, $large:ty, $canon:ident, $full:ident)),*) => {$(
         impl SampleRange<$t> for Range<$t> {
             fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
-                let span = (self.end - self.start) as u64;
-                self.start + (rng.next_u64() % span) as $t
+                // The span may exceed the signed type's maximum, so
+                // compute it in the unsigned counterpart via wrapping
+                // arithmetic.
+                let span = self.end.wrapping_sub(self.start) as $u as $large;
+                self.start.wrapping_add($canon(rng, span) as $t)
             }
         }
         impl SampleRange<$t> for RangeInclusive<$t> {
             fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
                 let (start, end) = (*self.start(), *self.end());
                 assert!(start <= end, "cannot sample empty range");
-                let span = (end - start) as u64;
-                if span == u64::MAX {
-                    return rng.next_u64() as $t;
+                let span = (end.wrapping_sub(start) as $u as $large).wrapping_add(1);
+                if span == 0 {
+                    // Full domain: every draw is acceptable.
+                    return rng.$full() as $t;
                 }
-                start + (rng.next_u64() % (span + 1)) as $t
+                start.wrapping_add($canon(rng, span) as $t)
             }
         }
     )*};
 }
 
-impl_sample_range_int!(u8, u16, u32, u64, usize);
+impl_sample_range_int!(
+    (u8, u8, u32, canon_u32, next_u32),
+    (u16, u16, u32, canon_u32, next_u32),
+    (u32, u32, u32, canon_u32, next_u32),
+    (i8, u8, u32, canon_u32, next_u32),
+    (i16, u16, u32, canon_u32, next_u32),
+    (i32, u32, u32, canon_u32, next_u32),
+    (u64, u64, u64, canon_u64, next_u64),
+    (i64, u64, u64, canon_u64, next_u64)
+);
 
-macro_rules! impl_sample_range_signed {
+/// Draws from a `usize`-wide span the way upstream's platform-independent
+/// `UniformUsize` does: spans that fit in 32 bits consume one 32-bit
+/// word, wider spans one 64-bit word, so the stream position agrees
+/// between 32- and 64-bit targets. Verified end-to-end: regenerating
+/// `results/fig4_classification.json` (300k such draws interleaved with
+/// `bool` and `f64` draws, produced by upstream `rand`) is byte-identical.
+fn sample_usize_span<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span <= u32::MAX as u64 {
+        canon_u32(rng, span as u32) as u64
+    } else {
+        canon_u64(rng, span)
+    }
+}
+
+macro_rules! impl_sample_range_usize {
     ($(($t:ty, $u:ty)),*) => {$(
         impl SampleRange<$t> for Range<$t> {
             fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
-                // The span may exceed the signed type's maximum, so compute
-                // it in the unsigned counterpart via wrapping arithmetic.
                 let span = self.end.wrapping_sub(self.start) as $u as u64;
-                self.start.wrapping_add((rng.next_u64() % span) as $t)
+                self.start.wrapping_add(sample_usize_span(rng, span) as $t)
             }
         }
         impl SampleRange<$t> for RangeInclusive<$t> {
             fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
                 let (start, end) = (*self.start(), *self.end());
                 assert!(start <= end, "cannot sample empty range");
-                let span = end.wrapping_sub(start) as $u as u64;
-                if span == u64::MAX {
+                let span = (end.wrapping_sub(start) as $u as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full domain: every draw is acceptable.
                     return rng.next_u64() as $t;
                 }
-                start.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+                start.wrapping_add(sample_usize_span(rng, span) as $t)
             }
         }
     )*};
 }
 
-impl_sample_range_signed!((i8, u8), (i16, u16), (i32, u32), (i64, u64), (isize, usize));
+impl_sample_range_usize!((usize, usize), (isize, usize));
 
 impl SampleRange<f64> for Range<f64> {
     fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
         assert!(self.start < self.end, "cannot sample empty range");
-        self.start + (self.end - self.start) * f64::random_from(rng)
+        // Upstream's sample_single: scale a [0, 1) draw, multiply first.
+        f64::random_from(rng) * (self.end - self.start) + self.start
     }
 }
 
@@ -149,44 +254,138 @@ pub trait SeedableRng: Sized {
     /// Builds a generator from a full-entropy seed.
     fn from_seed(seed: Self::Seed) -> Self;
 
-    /// Builds a generator from a 64-bit seed, expanded with SplitMix64.
+    /// Builds a generator from a 64-bit seed.
+    ///
+    /// The seed is expanded into `Seed` bytes with a PCG32 (XSH-RR 64/32)
+    /// stream — the exact default implementation in `rand_core`, so
+    /// `seed_from_u64(n)` agrees with upstream for every `n`.
     fn seed_from_u64(state: u64) -> Self;
-}
-
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 /// Concrete generators.
 pub mod rngs {
-    use super::{splitmix64, Rng, SeedableRng};
+    use super::{Rng, SeedableRng};
 
-    /// The workspace's standard generator: xoshiro256++.
+    /// ChaCha quarter round (RFC 8439 §2.1) on four state words.
+    #[inline]
+    fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(16);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(12);
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(8);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(7);
+    }
+
+    /// One ChaCha block: 8 key words, a 64-bit block counter and a zero
+    /// 64-bit nonce (the `rand_chacha` layout), `rounds` rounds.
+    fn chacha_block(key: &[u32; 8], counter: u64, rounds: u32) -> [u32; 16] {
+        let state: [u32; 16] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            key[0],
+            key[1],
+            key[2],
+            key[3],
+            key[4],
+            key[5],
+            key[6],
+            key[7],
+            counter as u32,
+            (counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let mut x = state;
+        for _ in 0..rounds / 2 {
+            quarter(&mut x, 0, 4, 8, 12);
+            quarter(&mut x, 1, 5, 9, 13);
+            quarter(&mut x, 2, 6, 10, 14);
+            quarter(&mut x, 3, 7, 11, 15);
+            quarter(&mut x, 0, 5, 10, 15);
+            quarter(&mut x, 1, 6, 11, 12);
+            quarter(&mut x, 2, 7, 8, 13);
+            quarter(&mut x, 3, 4, 9, 14);
+        }
+        for (word, init) in x.iter_mut().zip(&state) {
+            *word = word.wrapping_add(*init);
+        }
+        x
+    }
+
+    /// Buffered keystream words per refill: four ChaCha blocks, matching
+    /// `rand_chacha`'s wide buffer. The buffer length is observable
+    /// through the boundary-straddling rule in [`Rng::next_u64`], so it
+    /// must match upstream for bitstream compatibility.
+    const BUF_WORDS: usize = 64;
+
+    /// The workspace's standard generator: ChaCha with 12 rounds, the
+    /// algorithm upstream `rand` uses for its `StdRng`.
     ///
-    /// Deterministic for a seed, 256-bit state, passes BigCrush; the
-    /// upstream `rand::rngs::StdRng` contract (a good unspecified
-    /// algorithm, reproducible only against itself) is preserved.
+    /// Word-for-word compatible with upstream for the same seed: the
+    /// keystream, the `seed_from_u64` expansion and the `BlockRng`
+    /// consumption rules all match (see the crate docs).
     #[derive(Debug, Clone, PartialEq, Eq)]
     pub struct StdRng {
-        s: [u64; 4],
+        key: [u32; 8],
+        /// Block counter of the *next* buffer refill.
+        counter: u64,
+        buf: [u32; BUF_WORDS],
+        /// Next unconsumed word in `buf`; `BUF_WORDS` means exhausted.
+        index: usize,
+    }
+
+    impl StdRng {
+        const ROUNDS: u32 = 12;
+
+        fn refill(&mut self) {
+            for block in 0..(BUF_WORDS / 16) as u64 {
+                let words =
+                    chacha_block(&self.key, self.counter.wrapping_add(block), StdRng::ROUNDS);
+                self.buf[block as usize * 16..][..16].copy_from_slice(&words);
+            }
+            self.counter = self.counter.wrapping_add((BUF_WORDS / 16) as u64);
+            self.index = 0;
+        }
     }
 
     impl Rng for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= BUF_WORDS {
+                self.refill();
+            }
+            let word = self.buf[self.index];
+            self.index += 1;
+            word
+        }
+
+        // `rand_core::BlockRng::next_u64`: consume two consecutive words
+        // (low then high); when only one word remains in the buffer it
+        // becomes the low half and the high half is the first word of the
+        // next buffer.
         fn next_u64(&mut self) -> u64 {
-            let s = &mut self.s;
-            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
-            let t = s[1] << 17;
-            s[2] ^= s[0];
-            s[3] ^= s[1];
-            s[1] ^= s[2];
-            s[0] ^= s[3];
-            s[2] ^= t;
-            s[3] = s[3].rotate_left(45);
-            result
+            if self.index < BUF_WORDS - 1 {
+                let lo = self.buf[self.index] as u64;
+                let hi = self.buf[self.index + 1] as u64;
+                self.index += 2;
+                (hi << 32) | lo
+            } else if self.index >= BUF_WORDS {
+                self.refill();
+                let lo = self.buf[0] as u64;
+                let hi = self.buf[1] as u64;
+                self.index = 2;
+                (hi << 32) | lo
+            } else {
+                let lo = self.buf[BUF_WORDS - 1] as u64;
+                self.refill();
+                let hi = self.buf[0] as u64;
+                self.index = 1;
+                (hi << 32) | lo
+            }
         }
     }
 
@@ -194,30 +393,43 @@ pub mod rngs {
         type Seed = [u8; 32];
 
         fn from_seed(seed: Self::Seed) -> Self {
-            let mut s = [0u64; 4];
-            for (i, word) in s.iter_mut().enumerate() {
-                let mut bytes = [0u8; 8];
-                bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
-                *word = u64::from_le_bytes(bytes);
+            let mut key = [0u32; 8];
+            for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
             }
-            if s == [0; 4] {
-                // xoshiro must not start from the all-zero state.
-                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            StdRng {
+                key,
+                counter: 0,
+                buf: [0; BUF_WORDS],
+                index: BUF_WORDS,
             }
-            StdRng { s }
         }
 
         fn seed_from_u64(state: u64) -> Self {
-            let mut sm = state;
-            StdRng {
-                s: [
-                    splitmix64(&mut sm),
-                    splitmix64(&mut sm),
-                    splitmix64(&mut sm),
-                    splitmix64(&mut sm),
-                ],
+            // rand_core's default: PCG32 (XSH-RR 64/32), state advanced
+            // before each output.
+            const MUL: u64 = 6_364_136_223_846_793_005;
+            const INC: u64 = 11_634_580_027_462_260_723;
+            let mut state = state;
+            let mut seed = [0u8; 32];
+            for chunk in seed.chunks_exact_mut(4) {
+                state = state.wrapping_mul(MUL).wrapping_add(INC);
+                let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+                let rot = (state >> 59) as u32;
+                chunk.copy_from_slice(&xorshifted.rotate_right(rot).to_le_bytes());
             }
+            StdRng::from_seed(seed)
         }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn chacha_block_for_tests(key: &[u32; 8], counter: u64, rounds: u32) -> [u32; 16] {
+        chacha_block(key, counter, rounds)
+    }
+
+    #[cfg(test)]
+    pub(crate) fn quarter_for_tests(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        quarter(x, a, b, c, d);
     }
 }
 
@@ -227,10 +439,54 @@ mod tests {
     use super::*;
 
     #[test]
+    fn quarter_round_matches_rfc8439() {
+        // RFC 8439 §2.1.1 test vector.
+        let mut x = [0u32; 16];
+        x[0] = 0x1111_1111;
+        x[1] = 0x0102_0304;
+        x[2] = 0x9b8d_6f43;
+        x[3] = 0x0123_4567;
+        super::rngs::quarter_for_tests(&mut x, 0, 1, 2, 3);
+        assert_eq!(x[0], 0xea2a_92f4);
+        assert_eq!(x[1], 0xcb1c_f8ce);
+        assert_eq!(x[2], 0x4581_472e);
+        assert_eq!(x[3], 0x5881_c4bb);
+    }
+
+    #[test]
+    fn chacha20_zero_key_keystream_matches_known_vector() {
+        // First ChaCha20 block for an all-zero key, nonce and counter
+        // (test vector 1 of draft-agl-tls-chacha20poly1305 /
+        // draft-nir-cfrg-chacha20-poly1305, also used by rand_chacha's
+        // own test suite). The round count is the only difference between
+        // this core and the ChaCha12 used by `StdRng`.
+        let words = super::rngs::chacha_block_for_tests(&[0u32; 8], 0, 20);
+        let expected: [u32; 16] = [
+            0xade0_b876,
+            0x903d_f1a0,
+            0xe56a_5d40,
+            0x28bd_8653,
+            0xb819_d2bd,
+            0x1aed_8da0,
+            0xccef_36a8,
+            0xc70d_778b,
+            0x7c59_41da,
+            0x8d48_5751,
+            0x3fe0_2477,
+            0x374a_d8b8,
+            0xf4b8_436a,
+            0x1ca1_1815,
+            0x69b6_87c3,
+            0x8665_eeb2,
+        ];
+        assert_eq!(words, expected);
+    }
+
+    #[test]
     fn same_seed_same_stream() {
         let mut a = StdRng::seed_from_u64(7);
         let mut b = StdRng::seed_from_u64(7);
-        for _ in 0..16 {
+        for _ in 0..200 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
     }
@@ -242,6 +498,26 @@ mod tests {
         let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
         let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
         assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn u32_and_u64_reads_interleave_like_block_rng() {
+        // 63 u32 reads leave one word in the buffer; the next u64 must
+        // straddle: last word of this buffer (low), first of the next
+        // (high). A fresh generator consuming the same words pairwise
+        // confirms the straddle picks exactly those words.
+        let mut reader32 = StdRng::seed_from_u64(42);
+        let words: Vec<u32> = (0..130).map(|_| reader32.next_u32()).collect();
+
+        let mut mixed = StdRng::seed_from_u64(42);
+        for word in &words[..63] {
+            assert_eq!(mixed.next_u32(), *word);
+        }
+        let straddled = mixed.next_u64();
+        assert_eq!(straddled as u32, words[63]);
+        assert_eq!((straddled >> 32) as u32, words[64]);
+        // After the straddle the next word is buf[1] of the new buffer.
+        assert_eq!(mixed.next_u32(), words[65]);
     }
 
     #[test]
@@ -269,11 +545,36 @@ mod tests {
             let i = rng.random_range(0..7usize);
             assert!(i < 7);
         }
+        for _ in 0..1000 {
+            let i = rng.random_range(-3..=3i32);
+            assert!((-3..=3).contains(&i));
+        }
     }
 
     #[test]
-    fn from_seed_rejects_zero_state() {
-        let mut rng = StdRng::from_seed([0; 32]);
-        assert_ne!(rng.next_u64(), rng.next_u64());
+    fn range_sampling_is_unbiased_across_the_span() {
+        // A span that does not divide 2^64: a modulo construction would
+        // visibly overweight the low residues; Canon's method must not
+        // (its residual bias is below 2^-64, invisible to any counter).
+        let mut rng = StdRng::seed_from_u64(6);
+        let span = 6u64;
+        let n = 120_000;
+        let mut counts = [0u64; 6];
+        for _ in 0..n {
+            counts[rng.random_range(0..span) as usize] += 1;
+        }
+        let expected = n as f64 / span as f64;
+        for (value, &count) in counts.iter().enumerate() {
+            let deviation = (count as f64 - expected).abs() / expected;
+            assert!(deviation < 0.05, "value {value}: count {count}");
+        }
+    }
+
+    #[test]
+    fn full_domain_inclusive_range_uses_raw_draws() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut reference = StdRng::seed_from_u64(8);
+        let x: u64 = rng.random_range(0..=u64::MAX);
+        assert_eq!(x, reference.next_u64());
     }
 }

@@ -150,10 +150,12 @@ pub mod json {
                 Value::Number(Number::NegInt(n)) => out.push_str(&n.to_string()),
                 Value::Number(Number::Float(x)) => {
                     if x.is_finite() {
-                        // Rust's default float formatting is
-                        // shortest-roundtrip, matching upstream's
-                        // `float_roundtrip` feature.
-                        out.push_str(&x.to_string());
+                        // Debug formatting is shortest-roundtrip *and*
+                        // keeps a trailing `.0` on integral values
+                        // (`2.0`, not `2`), matching upstream
+                        // serde_json's ryu output so float-typed fields
+                        // stay floats for strict downstream parsers.
+                        out.push_str(&format!("{x:?}"));
                     } else {
                         // Upstream serde_json renders non-finite floats as
                         // null rather than emitting invalid JSON.

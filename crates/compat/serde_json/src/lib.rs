@@ -420,6 +420,17 @@ mod tests {
     }
 
     #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        // Upstream serde_json (ryu) prints `2.0`, never `2`, for a float
+        // value: the integer/float distinction must survive the text.
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&4000.0f64).unwrap(), "4000.0");
+        assert_eq!(to_string(&-0.5f64).unwrap(), "-0.5");
+        let back = parse("2.0").unwrap();
+        assert_eq!(back, Value::Number(Number::Float(2.0)));
+    }
+
+    #[test]
     fn pretty_output_is_reparseable() {
         let value = json!({
             "name": "qrn",

@@ -160,7 +160,7 @@ impl<P: TacticalPolicy> Campaign<P> {
         let make = || RecordingAccumulator::new(zones);
         let (mut partials, throughput) = self.execute(&[seed], &make)?;
         let acc = partials.pop().expect("one accumulator per seed");
-        self.finish_recording(acc, throughput)
+        self.finish_recording(acc, Some(throughput))
     }
 
     /// Runs the campaign in streaming mode: every shift's records are
@@ -217,7 +217,11 @@ impl<P: TacticalPolicy> Campaign<P> {
         let mut raw_record_count = OnlineStats::new();
         let mut results = Vec::with_capacity(n as usize);
         for acc in partials {
-            let result = self.finish_recording(acc, throughput.clone())?;
+            // The pool's throughput covers all n replications at once; a
+            // per-replication share of wall-clock time is not measurable,
+            // so individual results carry no throughput here — the
+            // pool-level figure lives on the summary.
+            let result = self.finish_recording(acc, None)?;
             encounter_rate.push(result.encounter_rate()?.as_per_hour());
             hard_brake_rate.push(result.hard_brake_rate()?.as_per_hour());
             raw_record_count.push(result.records.len() as f64);
@@ -347,7 +351,7 @@ impl<P: TacticalPolicy> Campaign<P> {
     fn finish_recording(
         &self,
         acc: RecordingAccumulator,
-        throughput: Throughput,
+        throughput: Option<Throughput>,
     ) -> Result<CampaignResult, UnitError> {
         let RecordingAccumulator { totals, records } = acc;
         let (zone_hours, zone_encounters) = totals.named_zones(&self.config);
@@ -805,8 +809,12 @@ pub struct CampaignResult {
     zone_hours: BTreeMap<String, f64>,
     /// Challenges encountered per zone.
     zone_encounters: BTreeMap<String, u64>,
-    /// Wall-clock statistics of the run (excluded from equality).
-    pub throughput: Throughput,
+    /// Wall-clock statistics of the pool that produced this result,
+    /// excluded from equality. `Some` only when the run owned the pool
+    /// ([`Campaign::run`]); `None` for results from
+    /// [`Campaign::run_replications`], whose shared pool's figures cover
+    /// all replications at once and live on [`ReplicationSummary`].
+    pub throughput: Option<Throughput>,
 }
 
 /// Equality covers the simulated outcome only; [`CampaignResult::throughput`]
@@ -974,7 +982,9 @@ pub struct ReplicationSummary {
     /// The individual replication results, in seed order.
     pub results: Vec<CampaignResult>,
     /// Wall-clock statistics of the shared pool that ran every
-    /// replication (also attached to each result).
+    /// replication. This is the only throughput figure for the batch —
+    /// the individual [`CampaignResult`]s carry `None`, because the
+    /// pool's wall-clock time cannot be attributed to single seeds.
     pub throughput: Throughput,
 }
 
@@ -1113,7 +1123,7 @@ mod tests {
         assert_eq!(counted.mean_cruise_kmh, recorded.mean_cruise_kmh);
         assert_eq!(
             counted.records_per_shift.count() as u64,
-            recorded.throughput.shifts
+            recorded.throughput.as_ref().unwrap().shifts
         );
         let counted_records =
             counted.records_per_shift.mean() * counted.records_per_shift.count() as f64;
@@ -1145,7 +1155,7 @@ mod tests {
             .workers(2)
             .run()
             .unwrap();
-        let t = &result.throughput;
+        let t = result.throughput.as_ref().expect("run() owns its pool");
         assert_eq!(t.shifts, 8);
         assert!((t.sim_hours - 80.0).abs() < 1e-9);
         assert_eq!(t.workers, 2);
@@ -1264,6 +1274,12 @@ mod tests {
             .unwrap();
         assert_eq!(summary.results[0], single);
         assert!(summary.to_string().contains("5 replications"));
+        // The shared pool's throughput covers all replications at once,
+        // so it lives on the summary only; attaching it to individual
+        // results would overstate their work n-fold.
+        assert!(summary.results.iter().all(|r| r.throughput.is_none()));
+        assert_eq!(summary.throughput.shifts, 5 * 4);
+        assert!(single.throughput.is_some());
     }
 
     #[test]
