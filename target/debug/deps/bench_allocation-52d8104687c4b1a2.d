@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_allocation-52d8104687c4b1a2.d: crates/bench/benches/bench_allocation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_allocation-52d8104687c4b1a2.rmeta: crates/bench/benches/bench_allocation.rs Cargo.toml
+
+crates/bench/benches/bench_allocation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

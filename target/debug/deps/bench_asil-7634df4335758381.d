@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_asil-7634df4335758381.d: crates/bench/benches/bench_asil.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_asil-7634df4335758381.rmeta: crates/bench/benches/bench_asil.rs Cargo.toml
+
+crates/bench/benches/bench_asil.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

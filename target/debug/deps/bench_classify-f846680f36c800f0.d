@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_classify-f846680f36c800f0.d: crates/bench/benches/bench_classify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_classify-f846680f36c800f0.rmeta: crates/bench/benches/bench_classify.rs Cargo.toml
+
+crates/bench/benches/bench_classify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

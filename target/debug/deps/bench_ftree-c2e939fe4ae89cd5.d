@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_ftree-c2e939fe4ae89cd5.d: crates/bench/benches/bench_ftree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_ftree-c2e939fe4ae89cd5.rmeta: crates/bench/benches/bench_ftree.rs Cargo.toml
+
+crates/bench/benches/bench_ftree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

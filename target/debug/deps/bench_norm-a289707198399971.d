@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_norm-a289707198399971.d: crates/bench/benches/bench_norm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_norm-a289707198399971.rmeta: crates/bench/benches/bench_norm.rs Cargo.toml
+
+crates/bench/benches/bench_norm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_sim-95d0721557afd239.d: crates/bench/benches/bench_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_sim-95d0721557afd239.rmeta: crates/bench/benches/bench_sim.rs Cargo.toml
+
+crates/bench/benches/bench_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

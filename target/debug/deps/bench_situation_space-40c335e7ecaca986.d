@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_situation_space-40c335e7ecaca986.d: crates/bench/benches/bench_situation_space.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_situation_space-40c335e7ecaca986.rmeta: crates/bench/benches/bench_situation_space.rs Cargo.toml
+
+crates/bench/benches/bench_situation_space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_stats-13ac8f3a52b8a9df.d: crates/bench/benches/bench_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_stats-13ac8f3a52b8a9df.rmeta: crates/bench/benches/bench_stats.rs Cargo.toml
+
+crates/bench/benches/bench_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_process-90d52e20ac7d4355.d: crates/cli/tests/cli_process.rs
+
+/root/repo/target/debug/deps/cli_process-90d52e20ac7d4355: crates/cli/tests/cli_process.rs
+
+crates/cli/tests/cli_process.rs:
+
+# env-dep:CARGO_BIN_EXE_qrn=/root/repo/target/debug/qrn

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli_process-d038b801c91864eb.d: crates/cli/tests/cli_process.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_process-d038b801c91864eb.rmeta: crates/cli/tests/cli_process.rs Cargo.toml
+
+crates/cli/tests/cli_process.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_qrn=placeholder:qrn
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_decomposition-2753c127fcf98ed0.d: crates/bench/src/bin/exp_decomposition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_decomposition-2753c127fcf98ed0.rmeta: crates/bench/src/bin/exp_decomposition.rs Cargo.toml
+
+crates/bench/src/bin/exp_decomposition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

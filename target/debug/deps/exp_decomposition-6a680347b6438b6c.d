@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_decomposition-6a680347b6438b6c.d: crates/bench/src/bin/exp_decomposition.rs
+
+/root/repo/target/debug/deps/exp_decomposition-6a680347b6438b6c: crates/bench/src/bin/exp_decomposition.rs
+
+crates/bench/src/bin/exp_decomposition.rs:

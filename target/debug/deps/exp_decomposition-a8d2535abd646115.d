@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_decomposition-a8d2535abd646115.d: crates/bench/src/bin/exp_decomposition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_decomposition-a8d2535abd646115.rmeta: crates/bench/src/bin/exp_decomposition.rs Cargo.toml
+
+crates/bench/src/bin/exp_decomposition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

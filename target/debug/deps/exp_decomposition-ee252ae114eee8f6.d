@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_decomposition-ee252ae114eee8f6.d: crates/bench/src/bin/exp_decomposition.rs
+
+/root/repo/target/debug/deps/exp_decomposition-ee252ae114eee8f6: crates/bench/src/bin/exp_decomposition.rs
+
+crates/bench/src/bin/exp_decomposition.rs:

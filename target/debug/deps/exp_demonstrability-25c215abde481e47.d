@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_demonstrability-25c215abde481e47.d: crates/bench/src/bin/exp_demonstrability.rs
+
+/root/repo/target/debug/deps/exp_demonstrability-25c215abde481e47: crates/bench/src/bin/exp_demonstrability.rs
+
+crates/bench/src/bin/exp_demonstrability.rs:

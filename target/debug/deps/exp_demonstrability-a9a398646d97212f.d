@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_demonstrability-a9a398646d97212f.d: crates/bench/src/bin/exp_demonstrability.rs
+
+/root/repo/target/debug/deps/exp_demonstrability-a9a398646d97212f: crates/bench/src/bin/exp_demonstrability.rs
+
+crates/bench/src/bin/exp_demonstrability.rs:

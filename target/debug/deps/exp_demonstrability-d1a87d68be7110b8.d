@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_demonstrability-d1a87d68be7110b8.d: crates/bench/src/bin/exp_demonstrability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_demonstrability-d1a87d68be7110b8.rmeta: crates/bench/src/bin/exp_demonstrability.rs Cargo.toml
+
+crates/bench/src/bin/exp_demonstrability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

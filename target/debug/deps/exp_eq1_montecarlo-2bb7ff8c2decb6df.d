@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_eq1_montecarlo-2bb7ff8c2decb6df.d: crates/bench/src/bin/exp_eq1_montecarlo.rs
+
+/root/repo/target/debug/deps/exp_eq1_montecarlo-2bb7ff8c2decb6df: crates/bench/src/bin/exp_eq1_montecarlo.rs
+
+crates/bench/src/bin/exp_eq1_montecarlo.rs:

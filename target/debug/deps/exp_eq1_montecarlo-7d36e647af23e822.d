@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_eq1_montecarlo-7d36e647af23e822.d: crates/bench/src/bin/exp_eq1_montecarlo.rs
+
+/root/repo/target/debug/deps/exp_eq1_montecarlo-7d36e647af23e822: crates/bench/src/bin/exp_eq1_montecarlo.rs
+
+crates/bench/src/bin/exp_eq1_montecarlo.rs:

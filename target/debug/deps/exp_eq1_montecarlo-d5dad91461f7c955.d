@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_eq1_montecarlo-d5dad91461f7c955.d: crates/bench/src/bin/exp_eq1_montecarlo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_eq1_montecarlo-d5dad91461f7c955.rmeta: crates/bench/src/bin/exp_eq1_montecarlo.rs Cargo.toml
+
+crates/bench/src/bin/exp_eq1_montecarlo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

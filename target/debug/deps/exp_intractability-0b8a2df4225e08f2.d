@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_intractability-0b8a2df4225e08f2.d: crates/bench/src/bin/exp_intractability.rs
+
+/root/repo/target/debug/deps/exp_intractability-0b8a2df4225e08f2: crates/bench/src/bin/exp_intractability.rs
+
+crates/bench/src/bin/exp_intractability.rs:

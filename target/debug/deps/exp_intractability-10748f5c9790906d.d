@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_intractability-10748f5c9790906d.d: crates/bench/src/bin/exp_intractability.rs
+
+/root/repo/target/debug/deps/exp_intractability-10748f5c9790906d: crates/bench/src/bin/exp_intractability.rs
+
+crates/bench/src/bin/exp_intractability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_intractability-91052c9f70571023.d: crates/bench/src/bin/exp_intractability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_intractability-91052c9f70571023.rmeta: crates/bench/src/bin/exp_intractability.rs Cargo.toml
+
+crates/bench/src/bin/exp_intractability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

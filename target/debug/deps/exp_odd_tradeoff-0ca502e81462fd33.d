@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_odd_tradeoff-0ca502e81462fd33.d: crates/bench/src/bin/exp_odd_tradeoff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_odd_tradeoff-0ca502e81462fd33.rmeta: crates/bench/src/bin/exp_odd_tradeoff.rs Cargo.toml
+
+crates/bench/src/bin/exp_odd_tradeoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

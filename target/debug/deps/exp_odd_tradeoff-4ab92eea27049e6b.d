@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_odd_tradeoff-4ab92eea27049e6b.d: crates/bench/src/bin/exp_odd_tradeoff.rs
+
+/root/repo/target/debug/deps/exp_odd_tradeoff-4ab92eea27049e6b: crates/bench/src/bin/exp_odd_tradeoff.rs
+
+crates/bench/src/bin/exp_odd_tradeoff.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_odd_tradeoff-990f64c4c5f679df.d: crates/bench/src/bin/exp_odd_tradeoff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_odd_tradeoff-990f64c4c5f679df.rmeta: crates/bench/src/bin/exp_odd_tradeoff.rs Cargo.toml
+
+crates/bench/src/bin/exp_odd_tradeoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

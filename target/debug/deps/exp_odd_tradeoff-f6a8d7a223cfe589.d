@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_odd_tradeoff-f6a8d7a223cfe589.d: crates/bench/src/bin/exp_odd_tradeoff.rs
+
+/root/repo/target/debug/deps/exp_odd_tradeoff-f6a8d7a223cfe589: crates/bench/src/bin/exp_odd_tradeoff.rs
+
+crates/bench/src/bin/exp_odd_tradeoff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_policy_ablation-5b3f3b1f7aa61242.d: crates/bench/src/bin/exp_policy_ablation.rs
+
+/root/repo/target/debug/deps/exp_policy_ablation-5b3f3b1f7aa61242: crates/bench/src/bin/exp_policy_ablation.rs
+
+crates/bench/src/bin/exp_policy_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_policy_ablation-81ad82c581ccd15a.d: crates/bench/src/bin/exp_policy_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_policy_ablation-81ad82c581ccd15a.rmeta: crates/bench/src/bin/exp_policy_ablation.rs Cargo.toml
+
+crates/bench/src/bin/exp_policy_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_policy_ablation-af619a6be3efc0d8.d: crates/bench/src/bin/exp_policy_ablation.rs
+
+/root/repo/target/debug/deps/exp_policy_ablation-af619a6be3efc0d8: crates/bench/src/bin/exp_policy_ablation.rs
+
+crates/bench/src/bin/exp_policy_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_policy_ablation-b0809ba1f7be1263.d: crates/bench/src/bin/exp_policy_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_policy_ablation-b0809ba1f7be1263.rmeta: crates/bench/src/bin/exp_policy_ablation.rs Cargo.toml
+
+crates/bench/src/bin/exp_policy_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

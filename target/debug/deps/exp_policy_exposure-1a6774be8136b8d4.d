@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_policy_exposure-1a6774be8136b8d4.d: crates/bench/src/bin/exp_policy_exposure.rs
+
+/root/repo/target/debug/deps/exp_policy_exposure-1a6774be8136b8d4: crates/bench/src/bin/exp_policy_exposure.rs
+
+crates/bench/src/bin/exp_policy_exposure.rs:

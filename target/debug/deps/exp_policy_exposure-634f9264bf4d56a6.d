@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_policy_exposure-634f9264bf4d56a6.d: crates/bench/src/bin/exp_policy_exposure.rs
+
+/root/repo/target/debug/deps/exp_policy_exposure-634f9264bf4d56a6: crates/bench/src/bin/exp_policy_exposure.rs
+
+crates/bench/src/bin/exp_policy_exposure.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_policy_exposure-c0b97b62a8f4c7a5.d: crates/bench/src/bin/exp_policy_exposure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_policy_exposure-c0b97b62a8f4c7a5.rmeta: crates/bench/src/bin/exp_policy_exposure.rs Cargo.toml
+
+crates/bench/src/bin/exp_policy_exposure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_policy_exposure-da40fbc021d52af1.d: crates/bench/src/bin/exp_policy_exposure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_policy_exposure-da40fbc021d52af1.rmeta: crates/bench/src/bin/exp_policy_exposure.rs Cargo.toml
+
+crates/bench/src/bin/exp_policy_exposure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exposure_model-b405c2fcbf5cbf7b.d: tests/exposure_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexposure_model-b405c2fcbf5cbf7b.rmeta: tests/exposure_model.rs Cargo.toml
+
+tests/exposure_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exposure_model-e189870df185f7d9.d: tests/exposure_model.rs
+
+/root/repo/target/debug/deps/exposure_model-e189870df185f7d9: tests/exposure_model.rs
+
+tests/exposure_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_iso26262_risk-115a1fbb9641ea0e.d: crates/bench/src/bin/fig1_iso26262_risk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_iso26262_risk-115a1fbb9641ea0e.rmeta: crates/bench/src/bin/fig1_iso26262_risk.rs Cargo.toml
+
+crates/bench/src/bin/fig1_iso26262_risk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_iso26262_risk-65396a06f84dc550.d: crates/bench/src/bin/fig1_iso26262_risk.rs
+
+/root/repo/target/debug/deps/fig1_iso26262_risk-65396a06f84dc550: crates/bench/src/bin/fig1_iso26262_risk.rs
+
+crates/bench/src/bin/fig1_iso26262_risk.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_iso26262_risk-9c615291825189a3.d: crates/bench/src/bin/fig1_iso26262_risk.rs
+
+/root/repo/target/debug/deps/fig1_iso26262_risk-9c615291825189a3: crates/bench/src/bin/fig1_iso26262_risk.rs
+
+crates/bench/src/bin/fig1_iso26262_risk.rs:

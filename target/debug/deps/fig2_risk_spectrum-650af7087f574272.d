@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_risk_spectrum-650af7087f574272.d: crates/bench/src/bin/fig2_risk_spectrum.rs
+
+/root/repo/target/debug/deps/fig2_risk_spectrum-650af7087f574272: crates/bench/src/bin/fig2_risk_spectrum.rs
+
+crates/bench/src/bin/fig2_risk_spectrum.rs:

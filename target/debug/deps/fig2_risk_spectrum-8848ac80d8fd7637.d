@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_risk_spectrum-8848ac80d8fd7637.d: crates/bench/src/bin/fig2_risk_spectrum.rs
+
+/root/repo/target/debug/deps/fig2_risk_spectrum-8848ac80d8fd7637: crates/bench/src/bin/fig2_risk_spectrum.rs
+
+crates/bench/src/bin/fig2_risk_spectrum.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_risk_spectrum-e4d0ab4fbe38ec82.d: crates/bench/src/bin/fig2_risk_spectrum.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_risk_spectrum-e4d0ab4fbe38ec82.rmeta: crates/bench/src/bin/fig2_risk_spectrum.rs Cargo.toml
+
+crates/bench/src/bin/fig2_risk_spectrum.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

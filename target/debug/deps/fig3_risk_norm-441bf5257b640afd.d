@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_risk_norm-441bf5257b640afd.d: crates/bench/src/bin/fig3_risk_norm.rs
+
+/root/repo/target/debug/deps/fig3_risk_norm-441bf5257b640afd: crates/bench/src/bin/fig3_risk_norm.rs
+
+crates/bench/src/bin/fig3_risk_norm.rs:

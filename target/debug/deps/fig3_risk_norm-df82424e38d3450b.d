@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_risk_norm-df82424e38d3450b.d: crates/bench/src/bin/fig3_risk_norm.rs
+
+/root/repo/target/debug/deps/fig3_risk_norm-df82424e38d3450b: crates/bench/src/bin/fig3_risk_norm.rs
+
+crates/bench/src/bin/fig3_risk_norm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_risk_norm-dfdd83defa0a4b0e.d: crates/bench/src/bin/fig3_risk_norm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_risk_norm-dfdd83defa0a4b0e.rmeta: crates/bench/src/bin/fig3_risk_norm.rs Cargo.toml
+
+crates/bench/src/bin/fig3_risk_norm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_classification-28795ca7bb8a0630.d: crates/bench/src/bin/fig4_classification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_classification-28795ca7bb8a0630.rmeta: crates/bench/src/bin/fig4_classification.rs Cargo.toml
+
+crates/bench/src/bin/fig4_classification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_classification-6f37a1c455b7d6ec.d: crates/bench/src/bin/fig4_classification.rs
+
+/root/repo/target/debug/deps/fig4_classification-6f37a1c455b7d6ec: crates/bench/src/bin/fig4_classification.rs
+
+crates/bench/src/bin/fig4_classification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_classification-e6d890b0e5808e40.d: crates/bench/src/bin/fig4_classification.rs
+
+/root/repo/target/debug/deps/fig4_classification-e6d890b0e5808e40: crates/bench/src/bin/fig4_classification.rs
+
+crates/bench/src/bin/fig4_classification.rs:

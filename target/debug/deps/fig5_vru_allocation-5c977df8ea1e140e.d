@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_vru_allocation-5c977df8ea1e140e.d: crates/bench/src/bin/fig5_vru_allocation.rs
+
+/root/repo/target/debug/deps/fig5_vru_allocation-5c977df8ea1e140e: crates/bench/src/bin/fig5_vru_allocation.rs
+
+crates/bench/src/bin/fig5_vru_allocation.rs:

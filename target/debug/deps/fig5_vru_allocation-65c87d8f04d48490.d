@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_vru_allocation-65c87d8f04d48490.d: crates/bench/src/bin/fig5_vru_allocation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_vru_allocation-65c87d8f04d48490.rmeta: crates/bench/src/bin/fig5_vru_allocation.rs Cargo.toml
+
+crates/bench/src/bin/fig5_vru_allocation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_vru_allocation-a13544d9ca1ec1bf.d: crates/bench/src/bin/fig5_vru_allocation.rs
+
+/root/repo/target/debug/deps/fig5_vru_allocation-a13544d9ca1ec1bf: crates/bench/src/bin/fig5_vru_allocation.rs
+
+crates/bench/src/bin/fig5_vru_allocation.rs:

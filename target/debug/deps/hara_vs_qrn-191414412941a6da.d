@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hara_vs_qrn-191414412941a6da.d: tests/hara_vs_qrn.rs
+
+/root/repo/target/debug/deps/hara_vs_qrn-191414412941a6da: tests/hara_vs_qrn.rs
+
+tests/hara_vs_qrn.rs:

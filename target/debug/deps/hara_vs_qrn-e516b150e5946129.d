@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hara_vs_qrn-e516b150e5946129.d: tests/hara_vs_qrn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhara_vs_qrn-e516b150e5946129.rmeta: tests/hara_vs_qrn.rs Cargo.toml
+
+tests/hara_vs_qrn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

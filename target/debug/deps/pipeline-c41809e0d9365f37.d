@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-c41809e0d9365f37.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-c41809e0d9365f37: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-0c4c34ae708e057a.d: crates/compat/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-0c4c34ae708e057a.rmeta: crates/compat/proptest/src/lib.rs Cargo.toml
+
+crates/compat/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

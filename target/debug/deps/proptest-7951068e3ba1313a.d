@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-7951068e3ba1313a.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-7951068e3ba1313a: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

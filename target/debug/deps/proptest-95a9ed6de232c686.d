@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-95a9ed6de232c686.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-95a9ed6de232c686.rlib: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-95a9ed6de232c686.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

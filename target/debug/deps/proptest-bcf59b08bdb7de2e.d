@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-bcf59b08bdb7de2e.d: crates/compat/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-bcf59b08bdb7de2e.rmeta: crates/compat/proptest/src/lib.rs Cargo.toml
+
+crates/compat/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

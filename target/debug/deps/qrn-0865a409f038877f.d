@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qrn-0865a409f038877f.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/qrn-0865a409f038877f: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

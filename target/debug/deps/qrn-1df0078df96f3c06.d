@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qrn-1df0078df96f3c06.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/qrn-1df0078df96f3c06: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qrn-24afe91dfdece6b6.d: src/lib.rs
+
+/root/repo/target/debug/deps/qrn-24afe91dfdece6b6: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qrn-2e0eff0e865ecc5d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libqrn-2e0eff0e865ecc5d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libqrn-2e0eff0e865ecc5d.rmeta: src/lib.rs
+
+src/lib.rs:

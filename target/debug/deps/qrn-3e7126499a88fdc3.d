@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qrn-3e7126499a88fdc3.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqrn-3e7126499a88fdc3.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

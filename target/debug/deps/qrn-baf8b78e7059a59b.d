@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qrn-baf8b78e7059a59b.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/qrn-baf8b78e7059a59b: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qrn-fe25454e47c5cee7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libqrn-fe25454e47c5cee7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libqrn-fe25454e47c5cee7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/qrn_bench-476e7a7415e8d98c.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/qrn_bench-476e7a7415e8d98c: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qrn_bench-63072a799c75ddb6.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libqrn_bench-63072a799c75ddb6.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libqrn_bench-63072a799c75ddb6.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qrn_cli-0e63add62198bf70.d: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+/root/repo/target/debug/deps/libqrn_cli-0e63add62198bf70.rlib: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+/root/repo/target/debug/deps/libqrn_cli-0e63add62198bf70.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/io.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qrn_cli-27a03a8afaa9146f.d: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+/root/repo/target/debug/deps/qrn_cli-27a03a8afaa9146f: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/io.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qrn_cli-511c277f53b6952b.d: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+/root/repo/target/debug/deps/libqrn_cli-511c277f53b6952b.rlib: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+/root/repo/target/debug/deps/libqrn_cli-511c277f53b6952b.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/io.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qrn_cli-c28b899c76dfece2.d: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/io.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqrn_cli-c28b899c76dfece2.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/io.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/io.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

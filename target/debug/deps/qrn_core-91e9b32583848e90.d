@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/qrn_core-91e9b32583848e90.d: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/classification.rs crates/core/src/consequence.rs crates/core/src/error.rs crates/core/src/examples.rs crates/core/src/incident.rs crates/core/src/norm.rs crates/core/src/object.rs crates/core/src/report.rs crates/core/src/safety_case.rs crates/core/src/safety_goal.rs crates/core/src/verification.rs
+
+/root/repo/target/debug/deps/libqrn_core-91e9b32583848e90.rlib: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/classification.rs crates/core/src/consequence.rs crates/core/src/error.rs crates/core/src/examples.rs crates/core/src/incident.rs crates/core/src/norm.rs crates/core/src/object.rs crates/core/src/report.rs crates/core/src/safety_case.rs crates/core/src/safety_goal.rs crates/core/src/verification.rs
+
+/root/repo/target/debug/deps/libqrn_core-91e9b32583848e90.rmeta: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/classification.rs crates/core/src/consequence.rs crates/core/src/error.rs crates/core/src/examples.rs crates/core/src/incident.rs crates/core/src/norm.rs crates/core/src/object.rs crates/core/src/report.rs crates/core/src/safety_case.rs crates/core/src/safety_goal.rs crates/core/src/verification.rs
+
+crates/core/src/lib.rs:
+crates/core/src/allocation.rs:
+crates/core/src/classification.rs:
+crates/core/src/consequence.rs:
+crates/core/src/error.rs:
+crates/core/src/examples.rs:
+crates/core/src/incident.rs:
+crates/core/src/norm.rs:
+crates/core/src/object.rs:
+crates/core/src/report.rs:
+crates/core/src/safety_case.rs:
+crates/core/src/safety_goal.rs:
+crates/core/src/verification.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/qrn_core-9dca8c2ef7c0cf98.d: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/classification.rs crates/core/src/consequence.rs crates/core/src/error.rs crates/core/src/examples.rs crates/core/src/incident.rs crates/core/src/norm.rs crates/core/src/object.rs crates/core/src/report.rs crates/core/src/safety_case.rs crates/core/src/safety_goal.rs crates/core/src/verification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqrn_core-9dca8c2ef7c0cf98.rmeta: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/classification.rs crates/core/src/consequence.rs crates/core/src/error.rs crates/core/src/examples.rs crates/core/src/incident.rs crates/core/src/norm.rs crates/core/src/object.rs crates/core/src/report.rs crates/core/src/safety_case.rs crates/core/src/safety_goal.rs crates/core/src/verification.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/allocation.rs:
+crates/core/src/classification.rs:
+crates/core/src/consequence.rs:
+crates/core/src/error.rs:
+crates/core/src/examples.rs:
+crates/core/src/incident.rs:
+crates/core/src/norm.rs:
+crates/core/src/object.rs:
+crates/core/src/report.rs:
+crates/core/src/safety_case.rs:
+crates/core/src/safety_goal.rs:
+crates/core/src/verification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

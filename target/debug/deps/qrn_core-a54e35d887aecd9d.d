@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/qrn_core-a54e35d887aecd9d.d: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/classification.rs crates/core/src/consequence.rs crates/core/src/error.rs crates/core/src/examples.rs crates/core/src/incident.rs crates/core/src/norm.rs crates/core/src/object.rs crates/core/src/report.rs crates/core/src/safety_case.rs crates/core/src/safety_goal.rs crates/core/src/verification.rs crates/core/src/proptests.rs
+
+/root/repo/target/debug/deps/qrn_core-a54e35d887aecd9d: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/classification.rs crates/core/src/consequence.rs crates/core/src/error.rs crates/core/src/examples.rs crates/core/src/incident.rs crates/core/src/norm.rs crates/core/src/object.rs crates/core/src/report.rs crates/core/src/safety_case.rs crates/core/src/safety_goal.rs crates/core/src/verification.rs crates/core/src/proptests.rs
+
+crates/core/src/lib.rs:
+crates/core/src/allocation.rs:
+crates/core/src/classification.rs:
+crates/core/src/consequence.rs:
+crates/core/src/error.rs:
+crates/core/src/examples.rs:
+crates/core/src/incident.rs:
+crates/core/src/norm.rs:
+crates/core/src/object.rs:
+crates/core/src/report.rs:
+crates/core/src/safety_case.rs:
+crates/core/src/safety_goal.rs:
+crates/core/src/verification.rs:
+crates/core/src/proptests.rs:

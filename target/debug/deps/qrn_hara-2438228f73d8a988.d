@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/qrn_hara-2438228f73d8a988.d: crates/hara/src/lib.rs crates/hara/src/analysis.rs crates/hara/src/asil.rs crates/hara/src/decomposition.rs crates/hara/src/hazard.rs crates/hara/src/severity.rs crates/hara/src/situation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqrn_hara-2438228f73d8a988.rmeta: crates/hara/src/lib.rs crates/hara/src/analysis.rs crates/hara/src/asil.rs crates/hara/src/decomposition.rs crates/hara/src/hazard.rs crates/hara/src/severity.rs crates/hara/src/situation.rs Cargo.toml
+
+crates/hara/src/lib.rs:
+crates/hara/src/analysis.rs:
+crates/hara/src/asil.rs:
+crates/hara/src/decomposition.rs:
+crates/hara/src/hazard.rs:
+crates/hara/src/severity.rs:
+crates/hara/src/situation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qrn_hara-3b0a719c5490fa8d.d: crates/hara/src/lib.rs crates/hara/src/analysis.rs crates/hara/src/asil.rs crates/hara/src/decomposition.rs crates/hara/src/hazard.rs crates/hara/src/severity.rs crates/hara/src/situation.rs
+
+/root/repo/target/debug/deps/libqrn_hara-3b0a719c5490fa8d.rlib: crates/hara/src/lib.rs crates/hara/src/analysis.rs crates/hara/src/asil.rs crates/hara/src/decomposition.rs crates/hara/src/hazard.rs crates/hara/src/severity.rs crates/hara/src/situation.rs
+
+/root/repo/target/debug/deps/libqrn_hara-3b0a719c5490fa8d.rmeta: crates/hara/src/lib.rs crates/hara/src/analysis.rs crates/hara/src/asil.rs crates/hara/src/decomposition.rs crates/hara/src/hazard.rs crates/hara/src/severity.rs crates/hara/src/situation.rs
+
+crates/hara/src/lib.rs:
+crates/hara/src/analysis.rs:
+crates/hara/src/asil.rs:
+crates/hara/src/decomposition.rs:
+crates/hara/src/hazard.rs:
+crates/hara/src/severity.rs:
+crates/hara/src/situation.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qrn_hara-62a9caebd2954324.d: crates/hara/src/lib.rs crates/hara/src/analysis.rs crates/hara/src/asil.rs crates/hara/src/decomposition.rs crates/hara/src/hazard.rs crates/hara/src/severity.rs crates/hara/src/situation.rs crates/hara/src/proptests.rs
+
+/root/repo/target/debug/deps/qrn_hara-62a9caebd2954324: crates/hara/src/lib.rs crates/hara/src/analysis.rs crates/hara/src/asil.rs crates/hara/src/decomposition.rs crates/hara/src/hazard.rs crates/hara/src/severity.rs crates/hara/src/situation.rs crates/hara/src/proptests.rs
+
+crates/hara/src/lib.rs:
+crates/hara/src/analysis.rs:
+crates/hara/src/asil.rs:
+crates/hara/src/decomposition.rs:
+crates/hara/src/hazard.rs:
+crates/hara/src/severity.rs:
+crates/hara/src/situation.rs:
+crates/hara/src/proptests.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qrn_hara-80aa71349236edff.d: crates/hara/src/lib.rs crates/hara/src/analysis.rs crates/hara/src/asil.rs crates/hara/src/decomposition.rs crates/hara/src/hazard.rs crates/hara/src/severity.rs crates/hara/src/situation.rs crates/hara/src/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqrn_hara-80aa71349236edff.rmeta: crates/hara/src/lib.rs crates/hara/src/analysis.rs crates/hara/src/asil.rs crates/hara/src/decomposition.rs crates/hara/src/hazard.rs crates/hara/src/severity.rs crates/hara/src/situation.rs crates/hara/src/proptests.rs Cargo.toml
+
+crates/hara/src/lib.rs:
+crates/hara/src/analysis.rs:
+crates/hara/src/asil.rs:
+crates/hara/src/decomposition.rs:
+crates/hara/src/hazard.rs:
+crates/hara/src/severity.rs:
+crates/hara/src/situation.rs:
+crates/hara/src/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/qrn_odd-0be0e9d2ca18c610.d: crates/odd/src/lib.rs crates/odd/src/attribute.rs crates/odd/src/context.rs crates/odd/src/exposure.rs crates/odd/src/monitor.rs crates/odd/src/spec.rs crates/odd/src/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqrn_odd-0be0e9d2ca18c610.rmeta: crates/odd/src/lib.rs crates/odd/src/attribute.rs crates/odd/src/context.rs crates/odd/src/exposure.rs crates/odd/src/monitor.rs crates/odd/src/spec.rs crates/odd/src/proptests.rs Cargo.toml
+
+crates/odd/src/lib.rs:
+crates/odd/src/attribute.rs:
+crates/odd/src/context.rs:
+crates/odd/src/exposure.rs:
+crates/odd/src/monitor.rs:
+crates/odd/src/spec.rs:
+crates/odd/src/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qrn_odd-2d244fbf0640c880.d: crates/odd/src/lib.rs crates/odd/src/attribute.rs crates/odd/src/context.rs crates/odd/src/exposure.rs crates/odd/src/monitor.rs crates/odd/src/spec.rs crates/odd/src/proptests.rs
+
+/root/repo/target/debug/deps/qrn_odd-2d244fbf0640c880: crates/odd/src/lib.rs crates/odd/src/attribute.rs crates/odd/src/context.rs crates/odd/src/exposure.rs crates/odd/src/monitor.rs crates/odd/src/spec.rs crates/odd/src/proptests.rs
+
+crates/odd/src/lib.rs:
+crates/odd/src/attribute.rs:
+crates/odd/src/context.rs:
+crates/odd/src/exposure.rs:
+crates/odd/src/monitor.rs:
+crates/odd/src/spec.rs:
+crates/odd/src/proptests.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qrn_odd-6848d5aeb8ef8ea8.d: crates/odd/src/lib.rs crates/odd/src/attribute.rs crates/odd/src/context.rs crates/odd/src/exposure.rs crates/odd/src/monitor.rs crates/odd/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqrn_odd-6848d5aeb8ef8ea8.rmeta: crates/odd/src/lib.rs crates/odd/src/attribute.rs crates/odd/src/context.rs crates/odd/src/exposure.rs crates/odd/src/monitor.rs crates/odd/src/spec.rs Cargo.toml
+
+crates/odd/src/lib.rs:
+crates/odd/src/attribute.rs:
+crates/odd/src/context.rs:
+crates/odd/src/exposure.rs:
+crates/odd/src/monitor.rs:
+crates/odd/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

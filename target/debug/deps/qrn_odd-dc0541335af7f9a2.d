@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qrn_odd-dc0541335af7f9a2.d: crates/odd/src/lib.rs crates/odd/src/attribute.rs crates/odd/src/context.rs crates/odd/src/exposure.rs crates/odd/src/monitor.rs crates/odd/src/spec.rs
+
+/root/repo/target/debug/deps/libqrn_odd-dc0541335af7f9a2.rlib: crates/odd/src/lib.rs crates/odd/src/attribute.rs crates/odd/src/context.rs crates/odd/src/exposure.rs crates/odd/src/monitor.rs crates/odd/src/spec.rs
+
+/root/repo/target/debug/deps/libqrn_odd-dc0541335af7f9a2.rmeta: crates/odd/src/lib.rs crates/odd/src/attribute.rs crates/odd/src/context.rs crates/odd/src/exposure.rs crates/odd/src/monitor.rs crates/odd/src/spec.rs
+
+crates/odd/src/lib.rs:
+crates/odd/src/attribute.rs:
+crates/odd/src/context.rs:
+crates/odd/src/exposure.rs:
+crates/odd/src/monitor.rs:
+crates/odd/src/spec.rs:

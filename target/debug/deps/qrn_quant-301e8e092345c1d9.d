@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/qrn_quant-301e8e092345c1d9.d: crates/quant/src/lib.rs crates/quant/src/compare.rs crates/quant/src/element.rs crates/quant/src/ftree.rs crates/quant/src/importance.rs crates/quant/src/refine.rs crates/quant/src/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqrn_quant-301e8e092345c1d9.rmeta: crates/quant/src/lib.rs crates/quant/src/compare.rs crates/quant/src/element.rs crates/quant/src/ftree.rs crates/quant/src/importance.rs crates/quant/src/refine.rs crates/quant/src/proptests.rs Cargo.toml
+
+crates/quant/src/lib.rs:
+crates/quant/src/compare.rs:
+crates/quant/src/element.rs:
+crates/quant/src/ftree.rs:
+crates/quant/src/importance.rs:
+crates/quant/src/refine.rs:
+crates/quant/src/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qrn_quant-464f57387842a645.d: crates/quant/src/lib.rs crates/quant/src/compare.rs crates/quant/src/element.rs crates/quant/src/ftree.rs crates/quant/src/importance.rs crates/quant/src/refine.rs
+
+/root/repo/target/debug/deps/libqrn_quant-464f57387842a645.rlib: crates/quant/src/lib.rs crates/quant/src/compare.rs crates/quant/src/element.rs crates/quant/src/ftree.rs crates/quant/src/importance.rs crates/quant/src/refine.rs
+
+/root/repo/target/debug/deps/libqrn_quant-464f57387842a645.rmeta: crates/quant/src/lib.rs crates/quant/src/compare.rs crates/quant/src/element.rs crates/quant/src/ftree.rs crates/quant/src/importance.rs crates/quant/src/refine.rs
+
+crates/quant/src/lib.rs:
+crates/quant/src/compare.rs:
+crates/quant/src/element.rs:
+crates/quant/src/ftree.rs:
+crates/quant/src/importance.rs:
+crates/quant/src/refine.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qrn_quant-8d1002d1048e6051.d: crates/quant/src/lib.rs crates/quant/src/compare.rs crates/quant/src/element.rs crates/quant/src/ftree.rs crates/quant/src/importance.rs crates/quant/src/refine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqrn_quant-8d1002d1048e6051.rmeta: crates/quant/src/lib.rs crates/quant/src/compare.rs crates/quant/src/element.rs crates/quant/src/ftree.rs crates/quant/src/importance.rs crates/quant/src/refine.rs Cargo.toml
+
+crates/quant/src/lib.rs:
+crates/quant/src/compare.rs:
+crates/quant/src/element.rs:
+crates/quant/src/ftree.rs:
+crates/quant/src/importance.rs:
+crates/quant/src/refine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qrn_quant-a4b1cd3cf9c99044.d: crates/quant/src/lib.rs crates/quant/src/compare.rs crates/quant/src/element.rs crates/quant/src/ftree.rs crates/quant/src/importance.rs crates/quant/src/refine.rs crates/quant/src/proptests.rs
+
+/root/repo/target/debug/deps/qrn_quant-a4b1cd3cf9c99044: crates/quant/src/lib.rs crates/quant/src/compare.rs crates/quant/src/element.rs crates/quant/src/ftree.rs crates/quant/src/importance.rs crates/quant/src/refine.rs crates/quant/src/proptests.rs
+
+crates/quant/src/lib.rs:
+crates/quant/src/compare.rs:
+crates/quant/src/element.rs:
+crates/quant/src/ftree.rs:
+crates/quant/src/importance.rs:
+crates/quant/src/refine.rs:
+crates/quant/src/proptests.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qrn_quant-b76124f823026fb0.d: crates/quant/src/lib.rs crates/quant/src/compare.rs crates/quant/src/element.rs crates/quant/src/ftree.rs crates/quant/src/importance.rs crates/quant/src/refine.rs
+
+/root/repo/target/debug/deps/libqrn_quant-b76124f823026fb0.rlib: crates/quant/src/lib.rs crates/quant/src/compare.rs crates/quant/src/element.rs crates/quant/src/ftree.rs crates/quant/src/importance.rs crates/quant/src/refine.rs
+
+/root/repo/target/debug/deps/libqrn_quant-b76124f823026fb0.rmeta: crates/quant/src/lib.rs crates/quant/src/compare.rs crates/quant/src/element.rs crates/quant/src/ftree.rs crates/quant/src/importance.rs crates/quant/src/refine.rs
+
+crates/quant/src/lib.rs:
+crates/quant/src/compare.rs:
+crates/quant/src/element.rs:
+crates/quant/src/ftree.rs:
+crates/quant/src/importance.rs:
+crates/quant/src/refine.rs:

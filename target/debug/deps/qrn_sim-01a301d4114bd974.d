@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qrn_sim-01a301d4114bd974.d: crates/sim/src/lib.rs crates/sim/src/encounter.rs crates/sim/src/faults.rs crates/sim/src/monte_carlo.rs crates/sim/src/perception.rs crates/sim/src/policy.rs crates/sim/src/scenario.rs crates/sim/src/severity.rs crates/sim/src/vehicle.rs crates/sim/src/proptests.rs
+
+/root/repo/target/debug/deps/qrn_sim-01a301d4114bd974: crates/sim/src/lib.rs crates/sim/src/encounter.rs crates/sim/src/faults.rs crates/sim/src/monte_carlo.rs crates/sim/src/perception.rs crates/sim/src/policy.rs crates/sim/src/scenario.rs crates/sim/src/severity.rs crates/sim/src/vehicle.rs crates/sim/src/proptests.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/encounter.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/monte_carlo.rs:
+crates/sim/src/perception.rs:
+crates/sim/src/policy.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/severity.rs:
+crates/sim/src/vehicle.rs:
+crates/sim/src/proptests.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/qrn_sim-09cf4762407e7688.d: crates/sim/src/lib.rs crates/sim/src/encounter.rs crates/sim/src/faults.rs crates/sim/src/monte_carlo.rs crates/sim/src/perception.rs crates/sim/src/policy.rs crates/sim/src/scenario.rs crates/sim/src/severity.rs crates/sim/src/vehicle.rs crates/sim/src/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqrn_sim-09cf4762407e7688.rmeta: crates/sim/src/lib.rs crates/sim/src/encounter.rs crates/sim/src/faults.rs crates/sim/src/monte_carlo.rs crates/sim/src/perception.rs crates/sim/src/policy.rs crates/sim/src/scenario.rs crates/sim/src/severity.rs crates/sim/src/vehicle.rs crates/sim/src/proptests.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/encounter.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/monte_carlo.rs:
+crates/sim/src/perception.rs:
+crates/sim/src/policy.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/severity.rs:
+crates/sim/src/vehicle.rs:
+crates/sim/src/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

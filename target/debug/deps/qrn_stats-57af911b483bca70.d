@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qrn_stats-57af911b483bca70.d: crates/stats/src/lib.rs crates/stats/src/binomial.rs crates/stats/src/error.rs crates/stats/src/poisson.rs crates/stats/src/rng.rs crates/stats/src/sequential.rs crates/stats/src/special.rs crates/stats/src/summary.rs
+
+/root/repo/target/debug/deps/libqrn_stats-57af911b483bca70.rlib: crates/stats/src/lib.rs crates/stats/src/binomial.rs crates/stats/src/error.rs crates/stats/src/poisson.rs crates/stats/src/rng.rs crates/stats/src/sequential.rs crates/stats/src/special.rs crates/stats/src/summary.rs
+
+/root/repo/target/debug/deps/libqrn_stats-57af911b483bca70.rmeta: crates/stats/src/lib.rs crates/stats/src/binomial.rs crates/stats/src/error.rs crates/stats/src/poisson.rs crates/stats/src/rng.rs crates/stats/src/sequential.rs crates/stats/src/special.rs crates/stats/src/summary.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/binomial.rs:
+crates/stats/src/error.rs:
+crates/stats/src/poisson.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/sequential.rs:
+crates/stats/src/special.rs:
+crates/stats/src/summary.rs:

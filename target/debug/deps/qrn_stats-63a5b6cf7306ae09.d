@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qrn_stats-63a5b6cf7306ae09.d: crates/stats/src/lib.rs crates/stats/src/binomial.rs crates/stats/src/error.rs crates/stats/src/poisson.rs crates/stats/src/rng.rs crates/stats/src/sequential.rs crates/stats/src/special.rs crates/stats/src/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqrn_stats-63a5b6cf7306ae09.rmeta: crates/stats/src/lib.rs crates/stats/src/binomial.rs crates/stats/src/error.rs crates/stats/src/poisson.rs crates/stats/src/rng.rs crates/stats/src/sequential.rs crates/stats/src/special.rs crates/stats/src/summary.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/binomial.rs:
+crates/stats/src/error.rs:
+crates/stats/src/poisson.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/sequential.rs:
+crates/stats/src/special.rs:
+crates/stats/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qrn_stats-68e974c7532ab7d6.d: crates/stats/src/lib.rs crates/stats/src/binomial.rs crates/stats/src/error.rs crates/stats/src/poisson.rs crates/stats/src/rng.rs crates/stats/src/sequential.rs crates/stats/src/special.rs crates/stats/src/summary.rs
+
+/root/repo/target/debug/deps/qrn_stats-68e974c7532ab7d6: crates/stats/src/lib.rs crates/stats/src/binomial.rs crates/stats/src/error.rs crates/stats/src/poisson.rs crates/stats/src/rng.rs crates/stats/src/sequential.rs crates/stats/src/special.rs crates/stats/src/summary.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/binomial.rs:
+crates/stats/src/error.rs:
+crates/stats/src/poisson.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/sequential.rs:
+crates/stats/src/special.rs:
+crates/stats/src/summary.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/qrn_units-1dabc786697d4300.d: crates/units/src/lib.rs crates/units/src/accel.rs crates/units/src/distance.rs crates/units/src/error.rs crates/units/src/frequency.rs crates/units/src/probability.rs crates/units/src/speed.rs crates/units/src/time.rs crates/units/src/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqrn_units-1dabc786697d4300.rmeta: crates/units/src/lib.rs crates/units/src/accel.rs crates/units/src/distance.rs crates/units/src/error.rs crates/units/src/frequency.rs crates/units/src/probability.rs crates/units/src/speed.rs crates/units/src/time.rs crates/units/src/proptests.rs Cargo.toml
+
+crates/units/src/lib.rs:
+crates/units/src/accel.rs:
+crates/units/src/distance.rs:
+crates/units/src/error.rs:
+crates/units/src/frequency.rs:
+crates/units/src/probability.rs:
+crates/units/src/speed.rs:
+crates/units/src/time.rs:
+crates/units/src/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qrn_units-71f0ff11fa00cecb.d: crates/units/src/lib.rs crates/units/src/accel.rs crates/units/src/distance.rs crates/units/src/error.rs crates/units/src/frequency.rs crates/units/src/probability.rs crates/units/src/speed.rs crates/units/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqrn_units-71f0ff11fa00cecb.rmeta: crates/units/src/lib.rs crates/units/src/accel.rs crates/units/src/distance.rs crates/units/src/error.rs crates/units/src/frequency.rs crates/units/src/probability.rs crates/units/src/speed.rs crates/units/src/time.rs Cargo.toml
+
+crates/units/src/lib.rs:
+crates/units/src/accel.rs:
+crates/units/src/distance.rs:
+crates/units/src/error.rs:
+crates/units/src/frequency.rs:
+crates/units/src/probability.rs:
+crates/units/src/speed.rs:
+crates/units/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qrn_units-e7577036ba33491f.d: crates/units/src/lib.rs crates/units/src/accel.rs crates/units/src/distance.rs crates/units/src/error.rs crates/units/src/frequency.rs crates/units/src/probability.rs crates/units/src/speed.rs crates/units/src/time.rs
+
+/root/repo/target/debug/deps/libqrn_units-e7577036ba33491f.rlib: crates/units/src/lib.rs crates/units/src/accel.rs crates/units/src/distance.rs crates/units/src/error.rs crates/units/src/frequency.rs crates/units/src/probability.rs crates/units/src/speed.rs crates/units/src/time.rs
+
+/root/repo/target/debug/deps/libqrn_units-e7577036ba33491f.rmeta: crates/units/src/lib.rs crates/units/src/accel.rs crates/units/src/distance.rs crates/units/src/error.rs crates/units/src/frequency.rs crates/units/src/probability.rs crates/units/src/speed.rs crates/units/src/time.rs
+
+crates/units/src/lib.rs:
+crates/units/src/accel.rs:
+crates/units/src/distance.rs:
+crates/units/src/error.rs:
+crates/units/src/frequency.rs:
+crates/units/src/probability.rs:
+crates/units/src/speed.rs:
+crates/units/src/time.rs:

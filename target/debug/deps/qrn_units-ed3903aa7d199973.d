@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qrn_units-ed3903aa7d199973.d: crates/units/src/lib.rs crates/units/src/accel.rs crates/units/src/distance.rs crates/units/src/error.rs crates/units/src/frequency.rs crates/units/src/probability.rs crates/units/src/speed.rs crates/units/src/time.rs crates/units/src/proptests.rs
+
+/root/repo/target/debug/deps/qrn_units-ed3903aa7d199973: crates/units/src/lib.rs crates/units/src/accel.rs crates/units/src/distance.rs crates/units/src/error.rs crates/units/src/frequency.rs crates/units/src/probability.rs crates/units/src/speed.rs crates/units/src/time.rs crates/units/src/proptests.rs
+
+crates/units/src/lib.rs:
+crates/units/src/accel.rs:
+crates/units/src/distance.rs:
+crates/units/src/error.rs:
+crates/units/src/frequency.rs:
+crates/units/src/probability.rs:
+crates/units/src/speed.rs:
+crates/units/src/time.rs:
+crates/units/src/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-472850f564353fe3.d: crates/compat/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-472850f564353fe3.rmeta: crates/compat/rand/src/lib.rs Cargo.toml
+
+crates/compat/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

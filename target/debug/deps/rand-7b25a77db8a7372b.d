@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-7b25a77db8a7372b.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-7b25a77db8a7372b: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

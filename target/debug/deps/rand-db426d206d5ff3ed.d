@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-db426d206d5ff3ed.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-db426d206d5ff3ed.rlib: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-db426d206d5ff3ed.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

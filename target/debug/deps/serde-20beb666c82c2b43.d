@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-20beb666c82c2b43.d: crates/compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-20beb666c82c2b43.rlib: crates/compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-20beb666c82c2b43.rmeta: crates/compat/serde/src/lib.rs
+
+crates/compat/serde/src/lib.rs:

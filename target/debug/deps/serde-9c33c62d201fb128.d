@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-9c33c62d201fb128.d: crates/compat/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-9c33c62d201fb128.rmeta: crates/compat/serde/src/lib.rs Cargo.toml
+
+crates/compat/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-a69d6fbc201abc3e.d: crates/compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-a69d6fbc201abc3e: crates/compat/serde/src/lib.rs
+
+crates/compat/serde/src/lib.rs:

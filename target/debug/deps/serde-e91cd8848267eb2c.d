@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-e91cd8848267eb2c.d: crates/compat/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-e91cd8848267eb2c.rmeta: crates/compat/serde/src/lib.rs Cargo.toml
+
+crates/compat/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_bundle-a74becc8604f5147.d: tests/serde_bundle.rs
+
+/root/repo/target/debug/deps/serde_bundle-a74becc8604f5147: tests/serde_bundle.rs
+
+tests/serde_bundle.rs:

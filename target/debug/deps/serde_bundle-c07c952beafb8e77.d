@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_bundle-c07c952beafb8e77.d: tests/serde_bundle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_bundle-c07c952beafb8e77.rmeta: tests/serde_bundle.rs Cargo.toml
+
+tests/serde_bundle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-329754a011208fa8.d: crates/compat/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-329754a011208fa8: crates/compat/serde_derive/src/lib.rs
+
+crates/compat/serde_derive/src/lib.rs:

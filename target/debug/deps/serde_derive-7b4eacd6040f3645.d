@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-7b4eacd6040f3645.d: crates/compat/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-7b4eacd6040f3645.so: crates/compat/serde_derive/src/lib.rs
+
+crates/compat/serde_derive/src/lib.rs:

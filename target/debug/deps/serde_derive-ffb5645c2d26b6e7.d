@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-ffb5645c2d26b6e7.d: crates/compat/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-ffb5645c2d26b6e7.so: crates/compat/serde_derive/src/lib.rs Cargo.toml
+
+crates/compat/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-184e407558d569e5.d: crates/compat/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-184e407558d569e5.rlib: crates/compat/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-184e407558d569e5.rmeta: crates/compat/serde_json/src/lib.rs
+
+crates/compat/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-30d8f80faa38aa9e.d: crates/compat/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-30d8f80faa38aa9e: crates/compat/serde_json/src/lib.rs
+
+crates/compat/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-b2f88565b661f007.d: crates/compat/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-b2f88565b661f007.rlib: crates/compat/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-b2f88565b661f007.rmeta: crates/compat/serde_json/src/lib.rs
+
+crates/compat/serde_json/src/lib.rs:

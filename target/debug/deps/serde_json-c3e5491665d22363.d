@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-c3e5491665d22363.d: crates/compat/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-c3e5491665d22363.rmeta: crates/compat/serde_json/src/lib.rs Cargo.toml
+
+crates/compat/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

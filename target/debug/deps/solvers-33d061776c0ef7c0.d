@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solvers-33d061776c0ef7c0.d: tests/solvers.rs
+
+/root/repo/target/debug/deps/solvers-33d061776c0ef7c0: tests/solvers.rs
+
+tests/solvers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solvers-6d4d891fd164f8e6.d: tests/solvers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolvers-6d4d891fd164f8e6.rmeta: tests/solvers.rs Cargo.toml
+
+tests/solvers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/statistical_soundness-5570f083a178f80d.d: tests/statistical_soundness.rs
+
+/root/repo/target/debug/deps/statistical_soundness-5570f083a178f80d: tests/statistical_soundness.rs
+
+tests/statistical_soundness.rs:

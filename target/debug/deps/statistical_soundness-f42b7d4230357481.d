@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/statistical_soundness-f42b7d4230357481.d: tests/statistical_soundness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstatistical_soundness-f42b7d4230357481.rmeta: tests/statistical_soundness.rs Cargo.toml
+
+tests/statistical_soundness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/drivable_area_refinement-689ef0de40f3605f.d: examples/drivable_area_refinement.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdrivable_area_refinement-689ef0de40f3605f.rmeta: examples/drivable_area_refinement.rs Cargo.toml
+
+examples/drivable_area_refinement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

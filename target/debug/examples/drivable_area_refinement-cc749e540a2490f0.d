@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/drivable_area_refinement-cc749e540a2490f0.d: examples/drivable_area_refinement.rs
+
+/root/repo/target/debug/examples/drivable_area_refinement-cc749e540a2490f0: examples/drivable_area_refinement.rs
+
+examples/drivable_area_refinement.rs:

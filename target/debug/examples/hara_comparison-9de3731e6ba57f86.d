@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hara_comparison-9de3731e6ba57f86.d: examples/hara_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhara_comparison-9de3731e6ba57f86.rmeta: examples/hara_comparison.rs Cargo.toml
+
+examples/hara_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

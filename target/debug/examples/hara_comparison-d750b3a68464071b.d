@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hara_comparison-d750b3a68464071b.d: examples/hara_comparison.rs
+
+/root/repo/target/debug/examples/hara_comparison-d750b3a68464071b: examples/hara_comparison.rs
+
+examples/hara_comparison.rs:

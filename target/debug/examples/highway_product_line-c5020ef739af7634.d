@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/highway_product_line-c5020ef739af7634.d: examples/highway_product_line.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhighway_product_line-c5020ef739af7634.rmeta: examples/highway_product_line.rs Cargo.toml
+
+examples/highway_product_line.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

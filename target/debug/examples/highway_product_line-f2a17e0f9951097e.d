@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/highway_product_line-f2a17e0f9951097e.d: examples/highway_product_line.rs
+
+/root/repo/target/debug/examples/highway_product_line-f2a17e0f9951097e: examples/highway_product_line.rs
+
+examples/highway_product_line.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-37ac5097e2f32857.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-37ac5097e2f32857: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/urban_ads_safety_case-6073d63962f28cad.d: examples/urban_ads_safety_case.rs Cargo.toml
+
+/root/repo/target/debug/examples/liburban_ads_safety_case-6073d63962f28cad.rmeta: examples/urban_ads_safety_case.rs Cargo.toml
+
+examples/urban_ads_safety_case.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

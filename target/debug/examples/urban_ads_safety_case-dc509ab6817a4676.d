@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/urban_ads_safety_case-dc509ab6817a4676.d: examples/urban_ads_safety_case.rs
+
+/root/repo/target/debug/examples/urban_ads_safety_case-dc509ab6817a4676: examples/urban_ads_safety_case.rs
+
+examples/urban_ads_safety_case.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libserde_json.rlib: /root/repo/crates/compat/serde/src/lib.rs /root/repo/crates/compat/serde_derive/src/lib.rs /root/repo/crates/compat/serde_json/src/lib.rs

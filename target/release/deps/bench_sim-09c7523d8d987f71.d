@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_sim-09c7523d8d987f71.d: crates/bench/benches/bench_sim.rs
+
+/root/repo/target/release/deps/bench_sim-09c7523d8d987f71: crates/bench/benches/bench_sim.rs
+
+crates/bench/benches/bench_sim.rs:

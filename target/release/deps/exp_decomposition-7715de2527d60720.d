@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_decomposition-7715de2527d60720.d: crates/bench/src/bin/exp_decomposition.rs
+
+/root/repo/target/release/deps/exp_decomposition-7715de2527d60720: crates/bench/src/bin/exp_decomposition.rs
+
+crates/bench/src/bin/exp_decomposition.rs:

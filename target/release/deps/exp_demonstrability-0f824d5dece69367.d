@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_demonstrability-0f824d5dece69367.d: crates/bench/src/bin/exp_demonstrability.rs
+
+/root/repo/target/release/deps/exp_demonstrability-0f824d5dece69367: crates/bench/src/bin/exp_demonstrability.rs
+
+crates/bench/src/bin/exp_demonstrability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_eq1_montecarlo-b2a2a39c510b2b6b.d: crates/bench/src/bin/exp_eq1_montecarlo.rs
+
+/root/repo/target/release/deps/exp_eq1_montecarlo-b2a2a39c510b2b6b: crates/bench/src/bin/exp_eq1_montecarlo.rs
+
+crates/bench/src/bin/exp_eq1_montecarlo.rs:

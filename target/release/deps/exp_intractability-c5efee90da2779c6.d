@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_intractability-c5efee90da2779c6.d: crates/bench/src/bin/exp_intractability.rs
+
+/root/repo/target/release/deps/exp_intractability-c5efee90da2779c6: crates/bench/src/bin/exp_intractability.rs
+
+crates/bench/src/bin/exp_intractability.rs:

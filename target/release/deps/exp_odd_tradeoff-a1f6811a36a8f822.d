@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_odd_tradeoff-a1f6811a36a8f822.d: crates/bench/src/bin/exp_odd_tradeoff.rs
+
+/root/repo/target/release/deps/exp_odd_tradeoff-a1f6811a36a8f822: crates/bench/src/bin/exp_odd_tradeoff.rs
+
+crates/bench/src/bin/exp_odd_tradeoff.rs:

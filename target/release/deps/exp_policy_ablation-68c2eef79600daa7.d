@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_policy_ablation-68c2eef79600daa7.d: crates/bench/src/bin/exp_policy_ablation.rs
+
+/root/repo/target/release/deps/exp_policy_ablation-68c2eef79600daa7: crates/bench/src/bin/exp_policy_ablation.rs
+
+crates/bench/src/bin/exp_policy_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_policy_exposure-0ee1e811c3835154.d: crates/bench/src/bin/exp_policy_exposure.rs
+
+/root/repo/target/release/deps/exp_policy_exposure-0ee1e811c3835154: crates/bench/src/bin/exp_policy_exposure.rs
+
+crates/bench/src/bin/exp_policy_exposure.rs:

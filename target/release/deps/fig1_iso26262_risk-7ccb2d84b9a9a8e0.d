@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_iso26262_risk-7ccb2d84b9a9a8e0.d: crates/bench/src/bin/fig1_iso26262_risk.rs
+
+/root/repo/target/release/deps/fig1_iso26262_risk-7ccb2d84b9a9a8e0: crates/bench/src/bin/fig1_iso26262_risk.rs
+
+crates/bench/src/bin/fig1_iso26262_risk.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_risk_spectrum-1bb03e0cd529eecd.d: crates/bench/src/bin/fig2_risk_spectrum.rs
+
+/root/repo/target/release/deps/fig2_risk_spectrum-1bb03e0cd529eecd: crates/bench/src/bin/fig2_risk_spectrum.rs
+
+crates/bench/src/bin/fig2_risk_spectrum.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_risk_norm-7dcfe9050cd89b34.d: crates/bench/src/bin/fig3_risk_norm.rs
+
+/root/repo/target/release/deps/fig3_risk_norm-7dcfe9050cd89b34: crates/bench/src/bin/fig3_risk_norm.rs
+
+crates/bench/src/bin/fig3_risk_norm.rs:

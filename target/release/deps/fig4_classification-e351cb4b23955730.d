@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_classification-e351cb4b23955730.d: crates/bench/src/bin/fig4_classification.rs
+
+/root/repo/target/release/deps/fig4_classification-e351cb4b23955730: crates/bench/src/bin/fig4_classification.rs
+
+crates/bench/src/bin/fig4_classification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_vru_allocation-852626e0682395e0.d: crates/bench/src/bin/fig5_vru_allocation.rs
+
+/root/repo/target/release/deps/fig5_vru_allocation-852626e0682395e0: crates/bench/src/bin/fig5_vru_allocation.rs
+
+crates/bench/src/bin/fig5_vru_allocation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-e5b277f66cab32a3.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-e5b277f66cab32a3.rlib: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-e5b277f66cab32a3.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qrn-799904c2db063084.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/qrn-799904c2db063084: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

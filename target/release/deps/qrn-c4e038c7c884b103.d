@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qrn-c4e038c7c884b103.d: src/lib.rs
+
+/root/repo/target/release/deps/libqrn-c4e038c7c884b103.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libqrn-c4e038c7c884b103.rmeta: src/lib.rs
+
+src/lib.rs:

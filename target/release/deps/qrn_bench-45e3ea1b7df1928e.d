@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/qrn_bench-45e3ea1b7df1928e.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libqrn_bench-45e3ea1b7df1928e.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libqrn_bench-45e3ea1b7df1928e.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

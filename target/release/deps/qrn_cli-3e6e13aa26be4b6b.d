@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/qrn_cli-3e6e13aa26be4b6b.d: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+/root/repo/target/release/deps/libqrn_cli-3e6e13aa26be4b6b.rlib: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+/root/repo/target/release/deps/libqrn_cli-3e6e13aa26be4b6b.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/io.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/qrn_core-61c725074cd48b63.d: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/classification.rs crates/core/src/consequence.rs crates/core/src/error.rs crates/core/src/examples.rs crates/core/src/incident.rs crates/core/src/norm.rs crates/core/src/object.rs crates/core/src/report.rs crates/core/src/safety_case.rs crates/core/src/safety_goal.rs crates/core/src/verification.rs
+
+/root/repo/target/release/deps/libqrn_core-61c725074cd48b63.rlib: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/classification.rs crates/core/src/consequence.rs crates/core/src/error.rs crates/core/src/examples.rs crates/core/src/incident.rs crates/core/src/norm.rs crates/core/src/object.rs crates/core/src/report.rs crates/core/src/safety_case.rs crates/core/src/safety_goal.rs crates/core/src/verification.rs
+
+/root/repo/target/release/deps/libqrn_core-61c725074cd48b63.rmeta: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/classification.rs crates/core/src/consequence.rs crates/core/src/error.rs crates/core/src/examples.rs crates/core/src/incident.rs crates/core/src/norm.rs crates/core/src/object.rs crates/core/src/report.rs crates/core/src/safety_case.rs crates/core/src/safety_goal.rs crates/core/src/verification.rs
+
+crates/core/src/lib.rs:
+crates/core/src/allocation.rs:
+crates/core/src/classification.rs:
+crates/core/src/consequence.rs:
+crates/core/src/error.rs:
+crates/core/src/examples.rs:
+crates/core/src/incident.rs:
+crates/core/src/norm.rs:
+crates/core/src/object.rs:
+crates/core/src/report.rs:
+crates/core/src/safety_case.rs:
+crates/core/src/safety_goal.rs:
+crates/core/src/verification.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/qrn_hara-2d64986b7d31c3e5.d: crates/hara/src/lib.rs crates/hara/src/analysis.rs crates/hara/src/asil.rs crates/hara/src/decomposition.rs crates/hara/src/hazard.rs crates/hara/src/severity.rs crates/hara/src/situation.rs
+
+/root/repo/target/release/deps/libqrn_hara-2d64986b7d31c3e5.rlib: crates/hara/src/lib.rs crates/hara/src/analysis.rs crates/hara/src/asil.rs crates/hara/src/decomposition.rs crates/hara/src/hazard.rs crates/hara/src/severity.rs crates/hara/src/situation.rs
+
+/root/repo/target/release/deps/libqrn_hara-2d64986b7d31c3e5.rmeta: crates/hara/src/lib.rs crates/hara/src/analysis.rs crates/hara/src/asil.rs crates/hara/src/decomposition.rs crates/hara/src/hazard.rs crates/hara/src/severity.rs crates/hara/src/situation.rs
+
+crates/hara/src/lib.rs:
+crates/hara/src/analysis.rs:
+crates/hara/src/asil.rs:
+crates/hara/src/decomposition.rs:
+crates/hara/src/hazard.rs:
+crates/hara/src/severity.rs:
+crates/hara/src/situation.rs:

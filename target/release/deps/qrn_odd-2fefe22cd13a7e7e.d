@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/qrn_odd-2fefe22cd13a7e7e.d: crates/odd/src/lib.rs crates/odd/src/attribute.rs crates/odd/src/context.rs crates/odd/src/exposure.rs crates/odd/src/monitor.rs crates/odd/src/spec.rs
+
+/root/repo/target/release/deps/libqrn_odd-2fefe22cd13a7e7e.rlib: crates/odd/src/lib.rs crates/odd/src/attribute.rs crates/odd/src/context.rs crates/odd/src/exposure.rs crates/odd/src/monitor.rs crates/odd/src/spec.rs
+
+/root/repo/target/release/deps/libqrn_odd-2fefe22cd13a7e7e.rmeta: crates/odd/src/lib.rs crates/odd/src/attribute.rs crates/odd/src/context.rs crates/odd/src/exposure.rs crates/odd/src/monitor.rs crates/odd/src/spec.rs
+
+crates/odd/src/lib.rs:
+crates/odd/src/attribute.rs:
+crates/odd/src/context.rs:
+crates/odd/src/exposure.rs:
+crates/odd/src/monitor.rs:
+crates/odd/src/spec.rs:

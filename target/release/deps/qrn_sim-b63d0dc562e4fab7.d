@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/qrn_sim-b63d0dc562e4fab7.d: crates/sim/src/lib.rs crates/sim/src/encounter.rs crates/sim/src/faults.rs crates/sim/src/monte_carlo.rs crates/sim/src/perception.rs crates/sim/src/policy.rs crates/sim/src/scenario.rs crates/sim/src/severity.rs crates/sim/src/vehicle.rs
+
+/root/repo/target/release/deps/libqrn_sim-b63d0dc562e4fab7.rlib: crates/sim/src/lib.rs crates/sim/src/encounter.rs crates/sim/src/faults.rs crates/sim/src/monte_carlo.rs crates/sim/src/perception.rs crates/sim/src/policy.rs crates/sim/src/scenario.rs crates/sim/src/severity.rs crates/sim/src/vehicle.rs
+
+/root/repo/target/release/deps/libqrn_sim-b63d0dc562e4fab7.rmeta: crates/sim/src/lib.rs crates/sim/src/encounter.rs crates/sim/src/faults.rs crates/sim/src/monte_carlo.rs crates/sim/src/perception.rs crates/sim/src/policy.rs crates/sim/src/scenario.rs crates/sim/src/severity.rs crates/sim/src/vehicle.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/encounter.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/monte_carlo.rs:
+crates/sim/src/perception.rs:
+crates/sim/src/policy.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/severity.rs:
+crates/sim/src/vehicle.rs:

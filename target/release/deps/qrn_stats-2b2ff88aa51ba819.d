@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/qrn_stats-2b2ff88aa51ba819.d: crates/stats/src/lib.rs crates/stats/src/binomial.rs crates/stats/src/error.rs crates/stats/src/poisson.rs crates/stats/src/rng.rs crates/stats/src/sequential.rs crates/stats/src/special.rs crates/stats/src/summary.rs
+
+/root/repo/target/release/deps/libqrn_stats-2b2ff88aa51ba819.rlib: crates/stats/src/lib.rs crates/stats/src/binomial.rs crates/stats/src/error.rs crates/stats/src/poisson.rs crates/stats/src/rng.rs crates/stats/src/sequential.rs crates/stats/src/special.rs crates/stats/src/summary.rs
+
+/root/repo/target/release/deps/libqrn_stats-2b2ff88aa51ba819.rmeta: crates/stats/src/lib.rs crates/stats/src/binomial.rs crates/stats/src/error.rs crates/stats/src/poisson.rs crates/stats/src/rng.rs crates/stats/src/sequential.rs crates/stats/src/special.rs crates/stats/src/summary.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/binomial.rs:
+crates/stats/src/error.rs:
+crates/stats/src/poisson.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/sequential.rs:
+crates/stats/src/special.rs:
+crates/stats/src/summary.rs:

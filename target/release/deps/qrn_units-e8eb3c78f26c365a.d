@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/qrn_units-e8eb3c78f26c365a.d: crates/units/src/lib.rs crates/units/src/accel.rs crates/units/src/distance.rs crates/units/src/error.rs crates/units/src/frequency.rs crates/units/src/probability.rs crates/units/src/speed.rs crates/units/src/time.rs
+
+/root/repo/target/release/deps/libqrn_units-e8eb3c78f26c365a.rlib: crates/units/src/lib.rs crates/units/src/accel.rs crates/units/src/distance.rs crates/units/src/error.rs crates/units/src/frequency.rs crates/units/src/probability.rs crates/units/src/speed.rs crates/units/src/time.rs
+
+/root/repo/target/release/deps/libqrn_units-e8eb3c78f26c365a.rmeta: crates/units/src/lib.rs crates/units/src/accel.rs crates/units/src/distance.rs crates/units/src/error.rs crates/units/src/frequency.rs crates/units/src/probability.rs crates/units/src/speed.rs crates/units/src/time.rs
+
+crates/units/src/lib.rs:
+crates/units/src/accel.rs:
+crates/units/src/distance.rs:
+crates/units/src/error.rs:
+crates/units/src/frequency.rs:
+crates/units/src/probability.rs:
+crates/units/src/speed.rs:
+crates/units/src/time.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-ad298f84e235a139.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-ad298f84e235a139.rlib: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-ad298f84e235a139.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-283f29f6f93d0fd4.d: crates/compat/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-283f29f6f93d0fd4.rlib: crates/compat/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-283f29f6f93d0fd4.rmeta: crates/compat/serde/src/lib.rs
+
+crates/compat/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-6f7d0d9383e02d6a.d: crates/compat/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-6f7d0d9383e02d6a.so: crates/compat/serde_derive/src/lib.rs
+
+crates/compat/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-b95d56bcb836f1fe.d: crates/compat/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-b95d56bcb836f1fe.so: crates/compat/serde_derive/src/lib.rs
+
+crates/compat/serde_derive/src/lib.rs:

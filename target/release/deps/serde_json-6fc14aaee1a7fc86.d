@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-6fc14aaee1a7fc86.d: crates/compat/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-6fc14aaee1a7fc86.rlib: crates/compat/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-6fc14aaee1a7fc86.rmeta: crates/compat/serde_json/src/lib.rs
+
+crates/compat/serde_json/src/lib.rs:

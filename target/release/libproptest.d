@@ -1,0 +1,1 @@
+/root/repo/target/release/libproptest.rlib: /root/repo/crates/compat/proptest/src/lib.rs /root/repo/crates/compat/rand/src/lib.rs
