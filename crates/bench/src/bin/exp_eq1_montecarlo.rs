@@ -180,7 +180,9 @@ fn main() {
     .workers(8)
     .run_counting(&classification)
     .expect("campaign runs");
-    println!("  {}", verification.throughput);
+    if let Some(throughput) = &verification.throughput {
+        println!("  {throughput}");
+    }
     let fresh = verification.measured.clone();
     let report = verify(&norm, &allocation, &fresh, 0.90).expect("verification runs");
     let (demonstrated, inconclusive, violated) = verdict_counts(&report);
@@ -210,7 +212,9 @@ fn main() {
     })
     .run_counting(&classification)
     .expect("campaign runs");
-    println!("  {}", degraded.throughput);
+    if let Some(throughput) = &degraded.throughput {
+        println!("  {throughput}");
+    }
     let faulty = degraded.measured.clone();
     let fault_report = verify(&norm, &allocation, &faulty, 0.90).expect("verification runs");
     let (f_dem, f_inc, f_vio) = verdict_counts(&fault_report);

@@ -63,6 +63,7 @@ pub fn run(args: &[String]) -> Result<CommandOutcome, CliError> {
             Path::new(allocation),
             rest,
         ),
+        ["fleet", rest @ ..] => crate::fleet::run(rest),
         [cmd, ..] => Err(CliError(format!(
             "unknown command {cmd:?}; run `qrn --help` for usage"
         ))),
@@ -70,18 +71,18 @@ pub fn run(args: &[String]) -> Result<CommandOutcome, CliError> {
 }
 
 /// Extracts `--name value` from an argument slice.
-fn flag<'a>(args: &'a [&str], name: &str) -> Option<&'a str> {
+pub(crate) fn flag<'a>(args: &'a [&str], name: &str) -> Option<&'a str> {
     args.iter()
         .position(|a| *a == name)
         .and_then(|i| args.get(i + 1))
         .copied()
 }
 
-fn required_flag<'a>(args: &'a [&str], name: &str) -> Result<&'a str, CliError> {
+pub(crate) fn required_flag<'a>(args: &'a [&str], name: &str) -> Result<&'a str, CliError> {
     flag(args, name).ok_or_else(|| CliError(format!("missing required flag {name} <value>")))
 }
 
-fn parse_f64(text: &str, what: &str) -> Result<f64, CliError> {
+pub(crate) fn parse_f64(text: &str, what: &str) -> Result<f64, CliError> {
     text.parse()
         .map_err(|_| CliError(format!("{what} must be a number, got {text:?}")))
 }

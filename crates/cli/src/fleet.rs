@@ -1,0 +1,400 @@
+//! The `qrn fleet` subcommand family: synthetic telemetry generation,
+//! sharded log ingestion and budget burn-down reporting.
+//!
+//! The three subcommands compose into the monitoring loop the `qrn-fleet`
+//! crate implements:
+//!
+//! ```text
+//! qrn fleet generate --scenario urban --policy cautious --hours 200 \
+//!     --vehicles 8 --seed 7 --out case/events.jsonl
+//! qrn fleet ingest case/classification.json --log case/events.jsonl
+//! qrn fleet report case/norm.json case/classification.json \
+//!     case/allocation.json --log case/events.jsonl --out case/fleet.json
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use qrn_core::allocation::Allocation;
+use qrn_core::incident::IncidentRecord;
+use qrn_core::norm::QuantitativeRiskNorm;
+use qrn_core::object::{Involvement, ObjectType};
+use qrn_core::IncidentClassification;
+use qrn_fleet::burndown::{burn_down, BurnDownConfig};
+use qrn_fleet::event::to_jsonl;
+use qrn_fleet::ingest::{ingest_str, FleetState};
+use qrn_fleet::telemetry::{Policy, Scenario, TelemetryConfig};
+use qrn_units::{Hours, Speed};
+
+use crate::commands::{flag, parse_f64, required_flag};
+use crate::io::{read_artefact, write_artefact};
+use crate::{CliError, CommandOutcome};
+
+/// Impact speed of collisions injected by `--inject-collisions`: severe
+/// enough to land in the harshest collision band of any sane
+/// classification.
+const INJECTED_IMPACT_KMH: f64 = 45.0;
+
+/// Dispatches a `fleet …` argument vector (without the leading `fleet`).
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown subcommands, malformed flags, or
+/// unreadable artefacts.
+pub fn run(rest: &[&str]) -> Result<CommandOutcome, CliError> {
+    match rest {
+        ["generate", rest @ ..] => generate(rest),
+        ["ingest", classification, rest @ ..] => ingest(Path::new(classification), rest),
+        ["report", norm, classification, allocation, rest @ ..] => report(
+            Path::new(norm),
+            Path::new(classification),
+            Path::new(allocation),
+            rest,
+        ),
+        [cmd, ..] => Err(CliError(format!(
+            "unknown fleet subcommand {cmd:?}; expected generate|ingest|report"
+        ))),
+        [] => Err(CliError(
+            "fleet needs a subcommand: generate|ingest|report".into(),
+        )),
+    }
+}
+
+fn parse_u64(text: &str, what: &str) -> Result<u64, CliError> {
+    text.parse()
+        .map_err(|_| CliError(format!("{what} must be an integer, got {text:?}")))
+}
+
+fn parse_usize(text: &str, what: &str) -> Result<usize, CliError> {
+    text.parse()
+        .map_err(|_| CliError(format!("{what} must be an integer, got {text:?}")))
+}
+
+fn shards_from(rest: &[&str]) -> Result<usize, CliError> {
+    match flag(rest, "--shards") {
+        Some(text) => parse_usize(text, "--shards"),
+        None => Ok(std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1)),
+    }
+}
+
+fn read_log(rest: &[&str]) -> Result<String, CliError> {
+    let path = PathBuf::from(required_flag(rest, "--log")?);
+    std::fs::read_to_string(&path)
+        .map_err(|e| CliError(format!("cannot read {}: {e}", path.display())))
+}
+
+fn generate(rest: &[&str]) -> Result<CommandOutcome, CliError> {
+    let scenario_name = required_flag(rest, "--scenario")?;
+    let scenario = Scenario::from_name(scenario_name).ok_or_else(|| {
+        CliError(format!(
+            "unknown scenario {scenario_name:?}; expected urban|highway|mixed"
+        ))
+    })?;
+    let policy_name = required_flag(rest, "--policy")?;
+    let policy = Policy::from_name(policy_name).ok_or_else(|| {
+        CliError(format!(
+            "unknown policy {policy_name:?}; expected cautious|reactive"
+        ))
+    })?;
+    let hours = Hours::new(parse_f64(required_flag(rest, "--hours")?, "--hours")?)?;
+    let vehicles = parse_usize(required_flag(rest, "--vehicles")?, "--vehicles")?;
+    let out = PathBuf::from(required_flag(rest, "--out")?);
+
+    let mut config = TelemetryConfig::new(vehicles)
+        .hours(hours)
+        .scenario(scenario)
+        .policy(policy);
+    if let Some(seed) = flag(rest, "--seed") {
+        config = config.seed(parse_u64(seed, "--seed")?);
+    }
+    if let Some(workers) = flag(rest, "--workers") {
+        config = config.workers(parse_usize(workers, "--workers")?);
+    }
+    if let Some(count) = flag(rest, "--inject-collisions") {
+        let crash = IncidentRecord::collision(
+            Involvement::ego_with(ObjectType::Vru),
+            Speed::from_kmh(INJECTED_IMPACT_KMH)?,
+        );
+        config = config.inject(crash, parse_u64(count, "--inject-collisions")?);
+    }
+
+    let events = config.generate()?;
+    let log = to_jsonl(&events);
+    if let Some(parent) = out.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(&out, &log)
+        .map_err(|e| CliError(format!("cannot write {}: {e}", out.display())))?;
+    println!(
+        "wrote {} events ({} vehicles, {} h) to {}",
+        events.len(),
+        vehicles,
+        hours.value(),
+        out.display()
+    );
+    Ok(CommandOutcome::Ok)
+}
+
+fn ingest(classification_path: &Path, rest: &[&str]) -> Result<CommandOutcome, CliError> {
+    let classification: IncidentClassification = read_artefact(classification_path)?;
+    let log = read_log(rest)?;
+    let shards = shards_from(rest)?;
+    let state = ingest_str(&log, &classification, shards)?;
+    print_state(&state);
+    if let Some(out) = flag(rest, "--out") {
+        let path = PathBuf::from(out);
+        write_artefact(&path, &state)?;
+        println!("wrote fleet state to {}", path.display());
+    }
+    Ok(CommandOutcome::Ok)
+}
+
+fn print_state(state: &FleetState) {
+    println!(
+        "{} lines -> {} events from {} vehicles over {:.1} h ({} lines skipped)",
+        state.lines(),
+        state.events(),
+        state.vehicle_count(),
+        state.exposure().value(),
+        state.skipped().total(),
+    );
+    for (id, count) in state.counts() {
+        println!("  {id}: {count} incidents");
+    }
+    println!("  (not incidents: {})", state.unclassified());
+}
+
+fn report(
+    norm_path: &Path,
+    classification_path: &Path,
+    allocation_path: &Path,
+    rest: &[&str],
+) -> Result<CommandOutcome, CliError> {
+    let norm: QuantitativeRiskNorm = read_artefact(norm_path)?;
+    let classification: IncidentClassification = read_artefact(classification_path)?;
+    let allocation: Allocation = read_artefact(allocation_path)?;
+    let log = read_log(rest)?;
+    let shards = shards_from(rest)?;
+
+    let mut config = BurnDownConfig::default();
+    if let Some(text) = flag(rest, "--confidence") {
+        config.confidence = parse_f64(text, "--confidence")?;
+    }
+    if let Some(text) = flag(rest, "--alpha") {
+        config.alpha = parse_f64(text, "--alpha")?;
+    }
+    if let Some(text) = flag(rest, "--beta") {
+        config.beta = parse_f64(text, "--beta")?;
+    }
+    if let Some(text) = flag(rest, "--watch-ratio") {
+        config.watch_ratio = parse_f64(text, "--watch-ratio")?;
+    }
+    if let Some(text) = flag(rest, "--sprt-fraction") {
+        config.sprt_fraction = parse_f64(text, "--sprt-fraction")?;
+    }
+
+    let state = ingest_str(&log, &classification, shards)?;
+    let report = burn_down(&norm, &allocation, &state, &config)?;
+    print!("{report}");
+    if let Some(out) = flag(rest, "--out") {
+        let path = PathBuf::from(out);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        // Canonical bytes, not write_artefact: the determinism contract
+        // ("same log, any shard count -> same file") is part of the CLI
+        // surface and covered by tests.
+        std::fs::write(&path, report.to_canonical_json())
+            .map_err(|e| CliError(format!("cannot write {}: {e}", path.display())))?;
+        println!("wrote fleet report to {}", path.display());
+    }
+    if report.any_burned() {
+        Ok(CommandOutcome::CheckFailed(
+            "at least one risk budget is burned".into(),
+        ))
+    } else {
+        Ok(CommandOutcome::Ok)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::run as run_cli;
+
+    fn run_strs(args: &[&str]) -> Result<CommandOutcome, CliError> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run_cli(&owned)
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qrn-fleet-cli-{tag}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn emit_artefacts(dir: &Path) {
+        run_strs(&["example", "emit", "--dir", dir.to_str().unwrap()]).unwrap();
+    }
+
+    #[test]
+    fn generate_ingest_report_round_trip() {
+        let dir = temp_dir("roundtrip");
+        emit_artefacts(&dir);
+        let log = dir.join("events.jsonl");
+        assert_eq!(
+            run_strs(&[
+                "fleet",
+                "generate",
+                "--scenario",
+                "urban",
+                "--policy",
+                "cautious",
+                "--hours",
+                "40",
+                "--vehicles",
+                "4",
+                "--seed",
+                "3",
+                "--out",
+                log.to_str().unwrap(),
+            ])
+            .unwrap(),
+            CommandOutcome::Ok
+        );
+        assert_eq!(
+            run_strs(&[
+                "fleet",
+                "ingest",
+                dir.join("classification.json").to_str().unwrap(),
+                "--log",
+                log.to_str().unwrap(),
+                "--shards",
+                "3",
+            ])
+            .unwrap(),
+            CommandOutcome::Ok
+        );
+        let outcome = run_strs(&[
+            "fleet",
+            "report",
+            dir.join("norm.json").to_str().unwrap(),
+            dir.join("classification.json").to_str().unwrap(),
+            dir.join("allocation.json").to_str().unwrap(),
+            "--log",
+            log.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(matches!(
+            outcome,
+            CommandOutcome::Ok | CommandOutcome::CheckFailed(_)
+        ));
+    }
+
+    #[test]
+    fn report_bytes_are_shard_count_independent() {
+        let dir = temp_dir("shards");
+        emit_artefacts(&dir);
+        let log = dir.join("events.jsonl");
+        run_strs(&[
+            "fleet",
+            "generate",
+            "--scenario",
+            "mixed",
+            "--policy",
+            "reactive",
+            "--hours",
+            "30",
+            "--vehicles",
+            "5",
+            "--seed",
+            "9",
+            "--out",
+            log.to_str().unwrap(),
+        ])
+        .unwrap();
+        let mut reports = Vec::new();
+        for shards in ["1", "8"] {
+            let out = dir.join(format!("report-{shards}.json"));
+            let _ = run_strs(&[
+                "fleet",
+                "report",
+                dir.join("norm.json").to_str().unwrap(),
+                dir.join("classification.json").to_str().unwrap(),
+                dir.join("allocation.json").to_str().unwrap(),
+                "--log",
+                log.to_str().unwrap(),
+                "--shards",
+                shards,
+                "--out",
+                out.to_str().unwrap(),
+            ])
+            .unwrap();
+            reports.push(std::fs::read(&out).unwrap());
+        }
+        assert_eq!(reports[0], reports[1]);
+    }
+
+    #[test]
+    fn injected_collisions_burn_a_budget() {
+        let dir = temp_dir("burned");
+        emit_artefacts(&dir);
+        let log = dir.join("events.jsonl");
+        run_strs(&[
+            "fleet",
+            "generate",
+            "--scenario",
+            "urban",
+            "--policy",
+            "cautious",
+            "--hours",
+            "50",
+            "--vehicles",
+            "2",
+            "--inject-collisions",
+            "25",
+            "--out",
+            log.to_str().unwrap(),
+        ])
+        .unwrap();
+        let outcome = run_strs(&[
+            "fleet",
+            "report",
+            dir.join("norm.json").to_str().unwrap(),
+            dir.join("classification.json").to_str().unwrap(),
+            dir.join("allocation.json").to_str().unwrap(),
+            "--log",
+            log.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(matches!(outcome, CommandOutcome::CheckFailed(_)));
+    }
+
+    #[test]
+    fn fleet_validates_arguments() {
+        assert!(run_strs(&["fleet"]).is_err());
+        assert!(run_strs(&["fleet", "teleport"]).is_err());
+        assert!(run_strs(&["fleet", "generate", "--scenario", "moon"]).is_err());
+        assert!(run_strs(&[
+            "fleet",
+            "generate",
+            "--scenario",
+            "urban",
+            "--policy",
+            "cautious",
+            "--hours",
+            "ten",
+            "--vehicles",
+            "2",
+            "--out",
+            "/tmp/x.jsonl",
+        ])
+        .is_err());
+        assert!(run_strs(&["fleet", "ingest", "/nonexistent.json", "--log", "/nonexistent.jsonl"]).is_err());
+    }
+}

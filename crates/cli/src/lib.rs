@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod commands;
+pub mod fleet;
 pub mod io;
 
 use std::fmt;
@@ -74,6 +75,12 @@ impl From<qrn_units::UnitError> for CliError {
     }
 }
 
+impl From<qrn_fleet::FleetError> for CliError {
+    fn from(e: qrn_fleet::FleetError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
 /// Usage text printed on `--help` or argument errors.
 pub const USAGE: &str = "\
 qrn — The Quantitative Risk Norm toolkit
@@ -117,6 +124,25 @@ COMMANDS:
     report <item-name> <norm.json> <classification.json> <allocation.json>
            [--records <records.json>] [--confidence <0..1>] [--out <report.md>]
         Render the full safety documentation as markdown.
+
+    fleet generate --scenario <urban|highway|mixed> --policy <cautious|reactive>
+                   --hours <H> --vehicles <N> [--seed <K>] [--workers <W>]
+                   [--inject-collisions <N>] --out <events.jsonl>
+        Generate a synthetic fleet telemetry log (JSONL) from a simulated
+        campaign. --inject-collisions adds deliberate severe VRU collisions
+        for rehearsing the alerting path.
+
+    fleet ingest <classification.json> --log <events.jsonl>
+                 [--shards <N>] [--out <state.json>]
+        Ingest a telemetry log with the sharded streaming engine and print
+        the fleet state. The shard count never changes the result.
+
+    fleet report <norm.json> <classification.json> <allocation.json>
+                 --log <events.jsonl> [--shards <N>] [--confidence <0..1>]
+                 [--alpha <0..1>] [--beta <0..1>] [--sprt-fraction <0..1>]
+                 [--watch-ratio <R>] [--out <report.json>]
+        Compute the budget burn-down (SPRT + exact Poisson bounds) of the
+        logged evidence against the norm. Exits 1 when a budget is burned.
 
 EXIT CODES:
     0 success / compliant    1 check failed    2 usage or artefact error

@@ -1,0 +1,519 @@
+//! Budget burn-down: live fleet state × (norm, allocation) → alerting.
+//!
+//! For every incident type `I_k` with budget `f_{I_k}` the tracker runs
+//! two complementary statistical instruments over the same evidence:
+//!
+//! * **Wald's SPRT** ([`qrn_stats::sequential::PoissonSprt`]) of
+//!   `H0: rate = fraction·budget` against `H1: rate = budget` — the
+//!   *sequential* view, legitimate to consult after every event, which is
+//!   exactly what a continuously-monitoring fleet does.
+//! * The **exact Poisson upper bound** (Garwood) at the configured
+//!   confidence — the *snapshot* view, comparable with the design-time
+//!   verification in `qrn_core::verification`.
+//!
+//! # Alert levels
+//!
+//! | Level | Meaning | Trigger |
+//! |---|---|---|
+//! | `Ok` | consuming the budget as planned | neither of the below |
+//! | `Watch` | consumption is elevated; investigate | point estimate ≥ `watch_ratio`·budget |
+//! | `Burned` | budget statistically exhausted | SPRT accepts H1, or the exact lower bound exceeds the budget |
+//!
+//! `Burned` is deliberately evidence-based, not point-estimate-based: one
+//! unlucky incident in ten fleet-hours does not burn a `1e-6/h` budget —
+//! it sets `Watch` until the exposure is large enough for the SPRT or the
+//! exact bound to conclude. Consequence-class (`v_j`) rows reuse the
+//! conservative share-matrix propagation of `qrn_core::verification`:
+//! class upper bounds sum per-type upper bounds, so a class-level `Ok` is
+//! trustworthy while a class-level `Burned` (lower bounds above budget) is
+//! a strong flag to read the per-goal rows.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use qrn_core::allocation::Allocation;
+use qrn_core::consequence::ConsequenceClassId;
+use qrn_core::incident::IncidentTypeId;
+use qrn_core::norm::QuantitativeRiskNorm;
+use qrn_stats::poisson::PoissonRate;
+use qrn_stats::sequential::{PoissonSprt, SprtDecision};
+use qrn_units::Frequency;
+
+use crate::error::FleetError;
+use crate::event::SkipCounts;
+use crate::ingest::FleetState;
+
+/// Escalation level of one budget row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AlertLevel {
+    /// Budget consumption is unremarkable.
+    Ok,
+    /// Consumption is elevated relative to the budget; investigate.
+    Watch,
+    /// The budget is statistically exhausted at the configured error
+    /// levels.
+    Burned,
+}
+
+impl fmt::Display for AlertLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlertLevel::Ok => f.write_str("ok"),
+            AlertLevel::Watch => f.write_str("WATCH"),
+            AlertLevel::Burned => f.write_str("BURNED"),
+        }
+    }
+}
+
+/// Parameters of the burn-down analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurnDownConfig {
+    /// One-sided confidence for the exact Poisson bounds.
+    pub confidence: f64,
+    /// SPRT α: probability of accepting H1 when the true rate is the
+    /// comfortable H0 fraction of the budget.
+    pub alpha: f64,
+    /// SPRT β: probability of accepting H0 when the true rate is at the
+    /// budget.
+    pub beta: f64,
+    /// H0 rate as a fraction of the budget (`0 < fraction < 1`): the rate
+    /// the safety organisation planned for.
+    pub sprt_fraction: f64,
+    /// Point-estimate share of budget above which a row escalates to
+    /// [`AlertLevel::Watch`].
+    pub watch_ratio: f64,
+}
+
+impl Default for BurnDownConfig {
+    fn default() -> Self {
+        BurnDownConfig {
+            confidence: 0.95,
+            alpha: 0.05,
+            beta: 0.05,
+            sprt_fraction: 0.1,
+            watch_ratio: 0.5,
+        }
+    }
+}
+
+impl BurnDownConfig {
+    fn validate(&self) -> Result<(), FleetError> {
+        for (name, v) in [
+            ("confidence", self.confidence),
+            ("alpha", self.alpha),
+            ("beta", self.beta),
+            ("sprt_fraction", self.sprt_fraction),
+        ] {
+            if !(v.is_finite() && 0.0 < v && v < 1.0) {
+                return Err(FleetError::InvalidConfig(format!(
+                    "{name} must lie strictly between 0 and 1, got {v}"
+                )));
+            }
+        }
+        if !(self.watch_ratio.is_finite() && self.watch_ratio > 0.0) {
+            return Err(FleetError::InvalidConfig(format!(
+                "watch_ratio must be positive, got {}",
+                self.watch_ratio
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Burn-down row of one incident-type budget (one safety goal).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GoalBurnDown {
+    /// The incident type.
+    pub incident: IncidentTypeId,
+    /// Its frequency budget `f_{I_k}`.
+    pub budget: Frequency,
+    /// Observed count over the fleet exposure.
+    pub observed: PoissonRate,
+    /// Point estimate of the rate (count / exposure; zero at zero
+    /// exposure).
+    pub point: Frequency,
+    /// Exact one-sided upper confidence bound on the rate.
+    pub upper_bound: Frequency,
+    /// `point / budget`: the fraction of the budget the point estimate
+    /// consumes.
+    pub consumed: f64,
+    /// The sequential test's current decision.
+    pub sprt: SprtDecision,
+    /// The escalation level.
+    pub alert: AlertLevel,
+}
+
+/// Burn-down row of one consequence class of the norm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassBurnDown {
+    /// The consequence class.
+    pub class: ConsequenceClassId,
+    /// Its acceptable budget `f_acc(v_j)`.
+    pub budget: Frequency,
+    /// Point estimate of the class load (share-weighted sum of point
+    /// rates).
+    pub point_load: Frequency,
+    /// Conservative upper bound on the class load (share-weighted sum of
+    /// per-type upper bounds).
+    pub load_upper_bound: Frequency,
+    /// `point_load / budget`.
+    pub consumed: f64,
+    /// The escalation level.
+    pub alert: AlertLevel,
+}
+
+/// The serialisable burn-down artefact: one snapshot of "how fast is the
+/// fleet spending its risk budgets".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Event-schema version of the log this report was computed from.
+    pub schema_version: u64,
+    /// Analysis parameters.
+    pub config: BurnDownConfig,
+    /// Total fleet exposure, hours.
+    pub exposure_hours: f64,
+    /// Distinct vehicles that reported.
+    pub vehicles: u64,
+    /// Events successfully parsed.
+    pub events: u64,
+    /// Raw observations that were not incidents under the classification.
+    pub unclassified: u64,
+    /// Skipped-line tallies of the underlying log.
+    pub skipped: SkipCounts,
+    /// Per-safety-goal rows, in incident-id order.
+    pub goals: Vec<GoalBurnDown>,
+    /// Per-consequence-class rows, in severity order.
+    pub classes: Vec<ClassBurnDown>,
+}
+
+impl FleetReport {
+    /// Returns `true` when any goal or class is burned.
+    pub fn any_burned(&self) -> bool {
+        self.goals.iter().any(|g| g.alert == AlertLevel::Burned)
+            || self.classes.iter().any(|c| c.alert == AlertLevel::Burned)
+    }
+
+    /// The highest alert level across all rows.
+    pub fn worst_alert(&self) -> AlertLevel {
+        self.goals
+            .iter()
+            .map(|g| g.alert)
+            .chain(self.classes.iter().map(|c| c.alert))
+            .max()
+            .unwrap_or(AlertLevel::Ok)
+    }
+
+    /// The row of one goal, if present.
+    pub fn goal(&self, id: &IncidentTypeId) -> Option<&GoalBurnDown> {
+        self.goals.iter().find(|g| &g.incident == id)
+    }
+
+    /// The row of one class, if present.
+    pub fn class(&self, id: &ConsequenceClassId) -> Option<&ClassBurnDown> {
+        self.classes.iter().find(|c| &c.class == id)
+    }
+
+    /// Canonical pretty-printed JSON. Deterministic: the same state and
+    /// config always produce the same bytes, for any ingest shard count.
+    pub fn to_canonical_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("reports are serialisable")
+    }
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fleet burn-down over {:.1} h from {} vehicles ({} events, {} lines skipped):",
+            self.exposure_hours,
+            self.vehicles,
+            self.events,
+            self.skipped.total(),
+        )?;
+        for g in &self.goals {
+            writeln!(
+                f,
+                "  I_{}: {} events, point {} / budget {} ({:.0}% consumed), sprt {:?} -> {}",
+                g.incident,
+                g.observed.count,
+                g.point,
+                g.budget,
+                g.consumed * 100.0,
+                g.sprt,
+                g.alert,
+            )?;
+        }
+        for c in &self.classes {
+            writeln!(
+                f,
+                "  {}: load {} / budget {} ({:.0}% consumed) -> {}",
+                c.class,
+                c.point_load,
+                c.budget,
+                c.consumed * 100.0,
+                c.alert,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes the burn-down of every incident-type and consequence-class
+/// budget against the live fleet state.
+///
+/// # Errors
+///
+/// Returns [`FleetError`] for an invalid configuration, a zero budget in
+/// the allocation (a zero budget cannot parametrise the SPRT), or a share
+/// matrix referencing classes outside the norm.
+pub fn burn_down(
+    norm: &QuantitativeRiskNorm,
+    allocation: &Allocation,
+    state: &FleetState,
+    config: &BurnDownConfig,
+) -> Result<FleetReport, FleetError> {
+    config.validate()?;
+    for class in allocation.shares().referenced_classes() {
+        if norm.class(class).is_none() {
+            return Err(FleetError::Core(qrn_core::CoreError::UnknownId {
+                kind: "consequence class",
+                id: class.as_str().to_string(),
+            }));
+        }
+    }
+    let exposure = state.exposure();
+    let mut goals = Vec::new();
+    let mut lower_bounds = Vec::new();
+    for (incident, budget) in allocation.budgets() {
+        if budget.as_per_hour() <= 0.0 {
+            return Err(FleetError::InvalidConfig(format!(
+                "incident {incident} has a zero budget; burn-down needs positive budgets"
+            )));
+        }
+        let observed = PoissonRate::new(state.count(incident), exposure);
+        // With zero exposure there is no evidence in either direction: the
+        // exact bounds are undefined (reported as zero) and only the SPRT's
+        // `Continue` carries meaning.
+        let (point, upper_bound, lower_bound) = if exposure.value() > 0.0 {
+            (
+                observed.point_estimate()?,
+                observed.upper_bound(config.confidence)?,
+                observed.lower_bound(config.confidence)?,
+            )
+        } else {
+            (Frequency::ZERO, Frequency::ZERO, Frequency::ZERO)
+        };
+        let sprt = PoissonSprt::new(
+            budget.scaled(config.sprt_fraction)?,
+            budget,
+            config.alpha,
+            config.beta,
+        )?
+        .decide(observed.count, exposure);
+        let consumed = point.ratio(budget).unwrap_or(0.0);
+        let alert = if sprt == SprtDecision::AcceptAlternative || lower_bound > budget {
+            AlertLevel::Burned
+        } else if consumed >= config.watch_ratio {
+            AlertLevel::Watch
+        } else {
+            AlertLevel::Ok
+        };
+        lower_bounds.push(lower_bound);
+        goals.push(GoalBurnDown {
+            incident: incident.clone(),
+            budget,
+            observed,
+            point,
+            upper_bound,
+            consumed,
+            sprt,
+            alert,
+        });
+    }
+    let classes = norm
+        .classes()
+        .map(|c| {
+            let budget = norm.budget(c.id()).expect("class is in norm");
+            let mut point_load = Frequency::ZERO;
+            let mut upper = Frequency::ZERO;
+            let mut lower = Frequency::ZERO;
+            for (g, lo) in goals.iter().zip(&lower_bounds) {
+                let share = allocation.shares().share(&g.incident, c.id());
+                point_load = point_load + g.point * share;
+                upper = upper + g.upper_bound * share;
+                lower = lower + *lo * share;
+            }
+            let consumed = point_load.ratio(budget).unwrap_or(0.0);
+            let alert = if lower > budget {
+                AlertLevel::Burned
+            } else if consumed >= config.watch_ratio {
+                AlertLevel::Watch
+            } else {
+                AlertLevel::Ok
+            };
+            ClassBurnDown {
+                class: c.id().clone(),
+                budget,
+                point_load,
+                load_upper_bound: upper,
+                consumed,
+                alert,
+            }
+        })
+        .collect();
+    Ok(FleetReport {
+        schema_version: crate::event::SCHEMA_VERSION,
+        config: *config,
+        exposure_hours: exposure.value(),
+        vehicles: state.vehicle_count(),
+        events: state.events(),
+        unclassified: state.unclassified(),
+        skipped: state.skipped(),
+        goals,
+        classes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{to_jsonl, FleetEvent};
+    use crate::ingest::ingest_str;
+    use qrn_core::examples::{paper_allocation, paper_classification, paper_norm};
+    use qrn_core::incident::IncidentRecord;
+    use qrn_core::object::{Involvement, ObjectType};
+    use qrn_units::{Hours, Speed};
+
+    fn clean_log(hours_total: f64) -> String {
+        let events: Vec<FleetEvent> = (0..13)
+            .map(|i| FleetEvent::Exposure {
+                vehicle: format!("V{i:03}"),
+                hours: Hours::new(hours_total / 13.0).unwrap(),
+            })
+            .collect();
+        to_jsonl(&events)
+    }
+
+    fn vru_crash_log(hours_total: f64, crashes: usize) -> String {
+        let mut events = vec![FleetEvent::Exposure {
+            vehicle: "V000".into(),
+            hours: Hours::new(hours_total).unwrap(),
+        }];
+        for i in 0..crashes {
+            events.push(FleetEvent::Incident {
+                vehicle: format!("V{:03}", i % 7),
+                record: IncidentRecord::collision(
+                    Involvement::ego_with(ObjectType::Vru),
+                    Speed::from_kmh(30.0).unwrap(),
+                ),
+            });
+        }
+        to_jsonl(&events)
+    }
+
+    fn setup(log: &str) -> FleetReport {
+        let norm = paper_norm().unwrap();
+        let classification = paper_classification().unwrap();
+        let allocation = paper_allocation(&classification).unwrap();
+        let state = ingest_str(log, &classification, 2).unwrap();
+        burn_down(&norm, &allocation, &state, &BurnDownConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn clean_fleet_is_ok_everywhere_eventually() {
+        // Long clean exposure: every SPRT accepts H0, nothing consumed.
+        // Needs to be astronomically long because zero-event acceptance of
+        // the *smallest* budget takes T ≳ ln((1-α)/β) / (0.9·f_{I_k}).
+        let report = setup(&clean_log(1.0e12));
+        assert!(!report.any_burned());
+        assert_eq!(report.worst_alert(), AlertLevel::Ok);
+        for g in &report.goals {
+            assert_eq!(g.sprt, SprtDecision::AcceptNull, "{}", g.incident);
+            assert_eq!(g.observed.count, 0);
+            assert_eq!(g.consumed, 0.0);
+        }
+    }
+
+    #[test]
+    fn young_fleet_is_ok_but_undecided() {
+        let report = setup(&clean_log(100.0));
+        assert!(!report.any_burned());
+        for g in &report.goals {
+            assert_eq!(g.sprt, SprtDecision::Continue, "{}", g.incident);
+        }
+    }
+
+    #[test]
+    fn over_budget_type_burns_with_accept_alternative() {
+        // 40 severe VRU collisions (I3) in 1000 h: astronomically above
+        // I3's ~1e-7/h budget.
+        let report = setup(&vru_crash_log(1000.0, 40));
+        let i3 = report.goal(&"I3".into()).unwrap();
+        assert_eq!(i3.alert, AlertLevel::Burned);
+        assert_eq!(i3.sprt, SprtDecision::AcceptAlternative);
+        assert!(i3.consumed > 1.0);
+        assert!(report.any_burned());
+        assert_eq!(report.worst_alert(), AlertLevel::Burned);
+        // The classes I3 feeds into burn too.
+        assert_eq!(report.class(&"vS3".into()).unwrap().alert, AlertLevel::Burned);
+    }
+
+    #[test]
+    fn zero_exposure_reports_without_panic() {
+        let report = setup("");
+        assert_eq!(report.exposure_hours, 0.0);
+        for g in &report.goals {
+            assert_eq!(g.point, Frequency::ZERO);
+            assert_eq!(g.consumed, 0.0);
+            // No evidence at all: the sequential test must keep observing.
+            assert_eq!(g.sprt, SprtDecision::Continue);
+            assert_ne!(g.alert, AlertLevel::Burned);
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let norm = paper_norm().unwrap();
+        let classification = paper_classification().unwrap();
+        let allocation = paper_allocation(&classification).unwrap();
+        let state = ingest_str("", &classification, 1).unwrap();
+        for bad in [
+            BurnDownConfig {
+                confidence: 1.0,
+                ..BurnDownConfig::default()
+            },
+            BurnDownConfig {
+                alpha: 0.0,
+                ..BurnDownConfig::default()
+            },
+            BurnDownConfig {
+                sprt_fraction: 1.5,
+                ..BurnDownConfig::default()
+            },
+            BurnDownConfig {
+                watch_ratio: -1.0,
+                ..BurnDownConfig::default()
+            },
+        ] {
+            assert!(burn_down(&norm, &allocation, &state, &bad).is_err());
+        }
+    }
+
+    #[test]
+    fn report_serde_round_trip_and_canonical_json() {
+        let report = setup(&vru_crash_log(5000.0, 3));
+        let json = report.to_canonical_json();
+        let back: FleetReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+        assert_eq!(back.to_canonical_json(), json);
+    }
+
+    #[test]
+    fn display_lists_goals_classes_and_alerts() {
+        let text = setup(&vru_crash_log(1000.0, 40)).to_string();
+        assert!(text.contains("I_I3"));
+        assert!(text.contains("BURNED"));
+        assert!(text.contains("vS3"));
+    }
+}

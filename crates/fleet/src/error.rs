@@ -1,0 +1,66 @@
+//! Error type shared across the fleet subsystem.
+
+use std::fmt;
+
+use qrn_core::error::CoreError;
+use qrn_stats::StatsError;
+use qrn_units::UnitError;
+
+/// Error raised by fleet ingestion, burn-down analysis or telemetry
+/// generation.
+///
+/// Note that *malformed event lines are not errors*: the tolerant parser
+/// skips and counts them (see [`crate::event::SkipCounts`]). An error here
+/// means the operation as a whole could not produce a result — an invalid
+/// configuration, an unwritable file, or a degenerate statistical input.
+#[derive(Debug)]
+pub enum FleetError {
+    /// An invalid configuration value.
+    InvalidConfig(String),
+    /// A unit-level failure (negative hours, non-finite rate, …).
+    Unit(UnitError),
+    /// A statistics-level failure (bad SPRT rates, bad confidence, …).
+    Stats(StatsError),
+    /// A core-model failure (unknown incident type, invalid allocation, …).
+    Core(CoreError),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::InvalidConfig(msg) => write!(f, "invalid fleet configuration: {msg}"),
+            FleetError::Unit(e) => write!(f, "unit error: {e}"),
+            FleetError::Stats(e) => write!(f, "statistics error: {e}"),
+            FleetError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::InvalidConfig(_) => None,
+            FleetError::Unit(e) => Some(e),
+            FleetError::Stats(e) => Some(e),
+            FleetError::Core(e) => Some(e),
+        }
+    }
+}
+
+impl From<UnitError> for FleetError {
+    fn from(e: UnitError) -> Self {
+        FleetError::Unit(e)
+    }
+}
+
+impl From<StatsError> for FleetError {
+    fn from(e: StatsError) -> Self {
+        FleetError::Stats(e)
+    }
+}
+
+impl From<CoreError> for FleetError {
+    fn from(e: CoreError) -> Self {
+        FleetError::Core(e)
+    }
+}

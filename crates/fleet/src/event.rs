@@ -1,0 +1,351 @@
+//! The fleet event model and its append-only JSONL wire format.
+//!
+//! A fleet emits a stream of observations, one JSON object per line:
+//!
+//! ```text
+//! {"v":1,"event":"exposure","vehicle":"V0001","hours":8.0}
+//! {"v":1,"event":"incident","vehicle":"V0001","record":{...IncidentRecord...}}
+//! ```
+//!
+//! * `exposure` — an odometer report: the vehicle accumulated `hours` of
+//!   operation since its previous report. Exposure is the denominator of
+//!   every rate the burn-down tracker computes, so vehicles report it
+//!   continuously rather than only when something happens.
+//! * `incident` — a raw [`IncidentRecord`] (collision or near-miss with
+//!   involvement), exactly the representation `qrn-sim` produces and
+//!   `qrn-core` classifies. Classification into `I_k` happens at ingest
+//!   time against the current [`IncidentClassification`](qrn_core::IncidentClassification),
+//!   so re-ingesting an old log under a revised classification is free.
+//!
+//! # Tolerance
+//!
+//! Real telemetry is dirty: truncated uploads, firmware speaking a newer
+//! schema, corrupted flash. A fleet monitor that aborts on the first bad
+//! line silently loses everything after it, so [`parse_line`] never fails
+//! the stream — it returns the reason a line was skipped and the engine
+//! counts skips per reason in [`SkipCounts`], which travel with every
+//! downstream report. A spike in skip counts is itself actionable evidence
+//! that the evidence pipeline (not the ADS) is degrading.
+//!
+//! # Versioning
+//!
+//! Every line carries a schema version `v`. Lines with `v` newer than
+//! [`SCHEMA_VERSION`] are skipped (and counted) instead of being
+//! mis-parsed: an old monitor must never misread new-firmware telemetry as
+//! zero incidents.
+
+use serde::json::Value;
+use serde::{Deserialize, Serialize};
+
+use qrn_core::incident::IncidentRecord;
+use qrn_units::Hours;
+
+/// Newest event-schema version this parser understands.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One observation from the fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FleetEvent {
+    /// An odometer report: `hours` of operation accumulated since the
+    /// vehicle's previous report.
+    Exposure {
+        /// Reporting vehicle.
+        vehicle: String,
+        /// Operating hours accumulated since the previous report.
+        hours: Hours,
+    },
+    /// A raw incident observation (classified at ingest time).
+    Incident {
+        /// Reporting vehicle.
+        vehicle: String,
+        /// What happened.
+        record: IncidentRecord,
+    },
+}
+
+impl FleetEvent {
+    /// The reporting vehicle's id.
+    pub fn vehicle(&self) -> &str {
+        match self {
+            FleetEvent::Exposure { vehicle, .. } | FleetEvent::Incident { vehicle, .. } => vehicle,
+        }
+    }
+
+    /// Renders the event as one compact JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut map = serde::json::Map::new();
+        map.insert("v".into(), Value::Number(serde::json::Number::PosInt(SCHEMA_VERSION)));
+        match self {
+            FleetEvent::Exposure { vehicle, hours } => {
+                map.insert("event".into(), Value::String("exposure".into()));
+                map.insert("vehicle".into(), Value::String(vehicle.clone()));
+                map.insert("hours".into(), serde_json::to_value(hours));
+            }
+            FleetEvent::Incident { vehicle, record } => {
+                map.insert("event".into(), Value::String("incident".into()));
+                map.insert("vehicle".into(), Value::String(vehicle.clone()));
+                map.insert("record".into(), serde_json::to_value(record));
+            }
+        }
+        Value::Object(map).to_json()
+    }
+}
+
+/// Why a line was skipped instead of parsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipReason {
+    /// The line is not valid JSON.
+    BadJson,
+    /// The line is valid JSON but not an object.
+    NotAnObject,
+    /// The `v` field is missing, non-integer, or newer than
+    /// [`SCHEMA_VERSION`].
+    UnsupportedVersion,
+    /// The `event` tag is missing or names an unknown event kind.
+    UnknownKind,
+    /// A required field of the event kind is missing.
+    MissingField,
+    /// A field is present but its value does not parse (wrong type,
+    /// negative hours, malformed incident record, …).
+    InvalidValue,
+}
+
+/// Per-reason tallies of skipped lines. Additive: partial counts from
+/// parallel shards merge by field-wise sum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SkipCounts {
+    /// Lines that were not valid JSON.
+    pub bad_json: u64,
+    /// Lines that were JSON but not an object.
+    pub not_an_object: u64,
+    /// Lines with a missing, non-integer, or too-new schema version.
+    pub unsupported_version: u64,
+    /// Lines with a missing or unknown `event` tag.
+    pub unknown_kind: u64,
+    /// Lines missing a required field.
+    pub missing_field: u64,
+    /// Lines whose field values do not parse.
+    pub invalid_value: u64,
+}
+
+impl SkipCounts {
+    /// Tallies one skip.
+    pub fn count(&mut self, reason: SkipReason) {
+        match reason {
+            SkipReason::BadJson => self.bad_json += 1,
+            SkipReason::NotAnObject => self.not_an_object += 1,
+            SkipReason::UnsupportedVersion => self.unsupported_version += 1,
+            SkipReason::UnknownKind => self.unknown_kind += 1,
+            SkipReason::MissingField => self.missing_field += 1,
+            SkipReason::InvalidValue => self.invalid_value += 1,
+        }
+    }
+
+    /// Adds another tally (shard merge).
+    pub fn merge(&mut self, other: &SkipCounts) {
+        self.bad_json += other.bad_json;
+        self.not_an_object += other.not_an_object;
+        self.unsupported_version += other.unsupported_version;
+        self.unknown_kind += other.unknown_kind;
+        self.missing_field += other.missing_field;
+        self.invalid_value += other.invalid_value;
+    }
+
+    /// Total skipped lines across all reasons.
+    pub fn total(&self) -> u64 {
+        self.bad_json
+            + self.not_an_object
+            + self.unsupported_version
+            + self.unknown_kind
+            + self.missing_field
+            + self.invalid_value
+    }
+}
+
+/// Parses one JSONL line. Blank lines (including whitespace-only) yield
+/// `Ok(None)` so logs may contain separators; malformed lines yield
+/// `Err(reason)` — never a stream abort.
+pub fn parse_line(line: &str) -> Result<Option<FleetEvent>, SkipReason> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let value = serde_json::parse(line).map_err(|_| SkipReason::BadJson)?;
+    let map = value.as_object().ok_or(SkipReason::NotAnObject)?;
+    match map.get("v").and_then(|v| match v {
+        Value::Number(n) => n.as_u64(),
+        _ => None,
+    }) {
+        Some(v) if v <= SCHEMA_VERSION => {}
+        _ => return Err(SkipReason::UnsupportedVersion),
+    }
+    let kind = map
+        .get("event")
+        .and_then(Value::as_str)
+        .ok_or(SkipReason::UnknownKind)?;
+    let vehicle = map
+        .get("vehicle")
+        .ok_or(SkipReason::MissingField)?
+        .as_str()
+        .ok_or(SkipReason::InvalidValue)?
+        .to_string();
+    match kind {
+        "exposure" => {
+            let hours = map.get("hours").ok_or(SkipReason::MissingField)?;
+            let hours: Hours =
+                serde_json::from_value(hours).map_err(|_| SkipReason::InvalidValue)?;
+            Ok(Some(FleetEvent::Exposure { vehicle, hours }))
+        }
+        "incident" => {
+            let record = map.get("record").ok_or(SkipReason::MissingField)?;
+            let record: IncidentRecord =
+                serde_json::from_value(record).map_err(|_| SkipReason::InvalidValue)?;
+            Ok(Some(FleetEvent::Incident { vehicle, record }))
+        }
+        _ => Err(SkipReason::UnknownKind),
+    }
+}
+
+/// Renders events as a JSONL document (one line per event, trailing
+/// newline).
+pub fn to_jsonl(events: &[FleetEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&event.to_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a whole JSONL document sequentially, collecting events and skip
+/// tallies. The sharded engine in [`crate::ingest`] supersedes this for
+/// large logs; this is the reference implementation the engine's output is
+/// tested against.
+pub fn parse_jsonl(text: &str) -> (Vec<FleetEvent>, SkipCounts) {
+    let mut events = Vec::new();
+    let mut skipped = SkipCounts::default();
+    for line in text.lines() {
+        match parse_line(line) {
+            Ok(Some(event)) => events.push(event),
+            Ok(None) => {}
+            Err(reason) => skipped.count(reason),
+        }
+    }
+    (events, skipped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrn_core::object::{Involvement, ObjectType};
+    use qrn_units::{Meters, Speed};
+
+    fn exposure(vehicle: &str, hours: f64) -> FleetEvent {
+        FleetEvent::Exposure {
+            vehicle: vehicle.into(),
+            hours: Hours::new(hours).unwrap(),
+        }
+    }
+
+    fn incident(vehicle: &str) -> FleetEvent {
+        FleetEvent::Incident {
+            vehicle: vehicle.into(),
+            record: IncidentRecord::collision(
+                Involvement::ego_with(ObjectType::Vru),
+                Speed::from_kmh(7.0).unwrap(),
+            ),
+        }
+    }
+
+    #[test]
+    fn events_round_trip_through_jsonl() {
+        let events = vec![
+            exposure("V0001", 8.0),
+            incident("V0001"),
+            FleetEvent::Incident {
+                vehicle: "V0002".into(),
+                record: IncidentRecord::near_miss(
+                    Involvement::ego_with(ObjectType::Car),
+                    Meters::new(0.4).unwrap(),
+                    Speed::from_kmh(22.0).unwrap(),
+                ),
+            },
+        ];
+        let text = to_jsonl(&events);
+        assert_eq!(text.lines().count(), 3);
+        let (back, skipped) = parse_jsonl(&text);
+        assert_eq!(back, events);
+        assert_eq!(skipped.total(), 0);
+    }
+
+    #[test]
+    fn lines_carry_the_schema_version() {
+        let line = exposure("V1", 1.0).to_line();
+        assert!(line.contains("\"v\":1"), "{line}");
+        assert!(line.contains("\"event\":\"exposure\""), "{line}");
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let text = format!("\n{}\n   \n{}\n\n", exposure("a", 1.0).to_line(), incident("b").to_line());
+        let (events, skipped) = parse_jsonl(&text);
+        assert_eq!(events.len(), 2);
+        assert_eq!(skipped.total(), 0);
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped_and_counted_by_reason() {
+        let good = exposure("V1", 2.0).to_line();
+        let text = [
+            "{broken json",                                              // bad_json
+            "[1, 2, 3]",                                                 // not_an_object
+            "{\"event\":\"exposure\",\"vehicle\":\"x\",\"hours\":1.0}",  // no version
+            "{\"v\":99,\"event\":\"exposure\",\"vehicle\":\"x\",\"hours\":1.0}", // future version
+            "{\"v\":1,\"vehicle\":\"x\",\"hours\":1.0}",                 // no event tag
+            "{\"v\":1,\"event\":\"teleport\",\"vehicle\":\"x\"}",        // unknown kind
+            "{\"v\":1,\"event\":\"exposure\",\"vehicle\":\"x\"}",        // missing hours
+            "{\"v\":1,\"event\":\"exposure\",\"vehicle\":\"x\",\"hours\":-4.0}", // negative hours
+            "{\"v\":1,\"event\":\"incident\",\"vehicle\":\"x\",\"record\":{\"bogus\":true}}",
+            &good,
+        ]
+        .join("\n");
+        let (events, skipped) = parse_jsonl(&text);
+        assert_eq!(events, vec![exposure("V1", 2.0)]);
+        assert_eq!(skipped.bad_json, 1);
+        assert_eq!(skipped.not_an_object, 1);
+        assert_eq!(skipped.unsupported_version, 2);
+        assert_eq!(skipped.unknown_kind, 2);
+        assert_eq!(skipped.missing_field, 1);
+        assert_eq!(skipped.invalid_value, 2);
+        assert_eq!(skipped.total(), 9);
+    }
+
+    #[test]
+    fn skip_counts_merge_fieldwise() {
+        let mut a = SkipCounts {
+            bad_json: 1,
+            ..SkipCounts::default()
+        };
+        let b = SkipCounts {
+            bad_json: 2,
+            invalid_value: 3,
+            ..SkipCounts::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.bad_json, 3);
+        assert_eq!(a.invalid_value, 3);
+        assert_eq!(a.total(), 6);
+    }
+
+    #[test]
+    fn skip_counts_serde_round_trip() {
+        let counts = SkipCounts {
+            bad_json: 1,
+            unsupported_version: 2,
+            ..SkipCounts::default()
+        };
+        let back: SkipCounts =
+            serde_json::from_str(&serde_json::to_string(&counts).unwrap()).unwrap();
+        assert_eq!(counts, back);
+    }
+}

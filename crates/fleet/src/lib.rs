@@ -1,0 +1,58 @@
+//! # qrn-fleet — streaming fleet evidence and budget burn-down monitoring
+//!
+//! The QRN paper's central move is to turn safety goals into *quantitative
+//! budgets* (`f_{I_k}`) that must be verified against operational evidence,
+//! not argued once at design time. The rest of the workspace can state
+//! budgets (`qrn-core`), bound rates (`qrn-stats`) and *simulate* fleets
+//! (`qrn-sim`); this crate closes the loop by *monitoring* them:
+//!
+//! 1. [`event`] — an append-only JSONL event log of incident observations
+//!    (vehicle id, odometer exposure, raw incident record) with a tolerant,
+//!    versioned parser that skips-and-counts malformed lines instead of
+//!    aborting the campaign.
+//! 2. [`ingest`] — a sharded streaming ingestion engine reusing the
+//!    work-stealing pattern of `qrn-sim::monte_carlo`: worker shards claim
+//!    fixed line blocks from an atomic queue and fold them into partial
+//!    accumulators that are merged in canonical block order, so the
+//!    resulting [`ingest::FleetState`] is byte-identical for any shard
+//!    count.
+//! 3. [`burndown`] — joins the live state against an
+//!    [`Allocation`](qrn_core::allocation::Allocation)/
+//!    [`QuantitativeRiskNorm`](qrn_core::norm::QuantitativeRiskNorm) pair
+//!    and emits per-`I_k` and per-`v_j` verdicts via Wald's SPRT plus exact
+//!    Poisson bounds, with [`burndown::AlertLevel`] escalation
+//!    (Ok → Watch → Burned) and a serialisable [`burndown::FleetReport`].
+//! 4. [`telemetry`] — a synthetic telemetry generator driving `qrn-sim`
+//!    campaigns to produce realistic event logs for rehearsing the
+//!    monitoring pipeline before real fleet data exists.
+//!
+//! # A monitoring loop in six lines
+//!
+//! ```
+//! use qrn_fleet::{burndown::{burn_down, BurnDownConfig}, ingest::ingest_str, telemetry};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let classification = qrn_core::examples::paper_classification()?;
+//! let events = telemetry::TelemetryConfig::new(4)
+//!     .hours(qrn_units::Hours::new(200.0)?)
+//!     .generate()?;
+//! let log = qrn_fleet::event::to_jsonl(&events);
+//! let state = ingest_str(&log, &classification, 2)?;
+//! assert!(state.exposure().value() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod burndown;
+pub mod error;
+pub mod event;
+pub mod ingest;
+pub mod telemetry;
+
+pub use burndown::{burn_down, AlertLevel, BurnDownConfig, FleetReport};
+pub use error::FleetError;
+pub use event::{parse_jsonl, to_jsonl, FleetEvent, SkipCounts, SCHEMA_VERSION};
+pub use ingest::{ingest_str, FleetState};
+pub use telemetry::TelemetryConfig;

@@ -1,0 +1,317 @@
+//! Synthetic fleet telemetry: `qrn-sim` campaigns rendered as event logs.
+//!
+//! Real fleet evidence arrives as an append-only stream of per-vehicle
+//! exposure and incident observations. Before any real fleet exists, the
+//! monitoring pipeline still has to be rehearsed end-to-end — parser,
+//! sharded ingest, burn-down, alerting. This module produces that stream
+//! synthetically: a [`qrn_sim::monte_carlo::Campaign`] simulates the
+//! driving, and the resulting raw [`IncidentRecord`]s are attributed to a
+//! fictitious fleet of vehicles whose exposure is reported in bounded
+//! shift-sized chunks, exactly as odometer uploads would be.
+//!
+//! Generation is deterministic: the same configuration always yields the
+//! same event list, byte-for-byte once serialised with
+//! [`crate::event::to_jsonl`].
+
+use qrn_core::incident::IncidentRecord;
+use qrn_sim::monte_carlo::Campaign;
+use qrn_sim::policy::{CautiousPolicy, ReactivePolicy};
+use qrn_sim::scenario::{highway_scenario, mixed_scenario, urban_scenario, WorldConfig};
+use qrn_units::Hours;
+
+use crate::error::FleetError;
+use crate::event::FleetEvent;
+
+/// Maximum exposure a single telemetry upload reports, hours. Real
+/// vehicles upload after each shift, not once per lifetime; chunking also
+/// exercises the ingest engine's per-vehicle accumulation.
+pub const MAX_CHUNK_HOURS: f64 = 10.0;
+
+/// Simulated driving environment of the synthetic fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Dense urban driving (VRU-heavy).
+    Urban,
+    /// Highway driving (high speed, no VRUs).
+    Highway,
+    /// Mixed urban/highway operation.
+    Mixed,
+}
+
+impl Scenario {
+    /// Parses a scenario name as used by the CLI (`urban|highway|mixed`).
+    pub fn from_name(name: &str) -> Option<Scenario> {
+        match name {
+            "urban" => Some(Scenario::Urban),
+            "highway" => Some(Scenario::Highway),
+            "mixed" => Some(Scenario::Mixed),
+            _ => None,
+        }
+    }
+
+    fn world(self) -> Result<WorldConfig, FleetError> {
+        let config = match self {
+            Scenario::Urban => urban_scenario(),
+            Scenario::Highway => highway_scenario(),
+            Scenario::Mixed => mixed_scenario(),
+        };
+        config.map_err(FleetError::from)
+    }
+}
+
+/// Tactical policy driving the synthetic fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// The defensive baseline ([`CautiousPolicy`]).
+    Cautious,
+    /// The assertive comparison policy ([`ReactivePolicy`]).
+    Reactive,
+}
+
+impl Policy {
+    /// Parses a policy name as used by the CLI (`cautious|reactive`).
+    pub fn from_name(name: &str) -> Option<Policy> {
+        match name {
+            "cautious" => Some(Policy::Cautious),
+            "reactive" => Some(Policy::Reactive),
+            _ => None,
+        }
+    }
+}
+
+/// Builder for a synthetic telemetry stream.
+///
+/// ```
+/// use qrn_fleet::telemetry::TelemetryConfig;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let events = TelemetryConfig::new(3)
+///     .hours(qrn_units::Hours::new(50.0)?)
+///     .seed(7)
+///     .generate()?;
+/// assert!(!events.is_empty());
+/// // Deterministic: same config, same stream.
+/// assert_eq!(events, TelemetryConfig::new(3)
+///     .hours(qrn_units::Hours::new(50.0)?)
+///     .seed(7)
+///     .generate()?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    vehicles: usize,
+    hours: Hours,
+    seed: u64,
+    scenario: Scenario,
+    policy: Policy,
+    workers: usize,
+    injected: Vec<(IncidentRecord, u64)>,
+}
+
+impl TelemetryConfig {
+    /// Creates a generator for a fleet of `vehicles` vehicles with 100 h
+    /// of total exposure, seed 0, the urban scenario and the cautious
+    /// policy.
+    pub fn new(vehicles: usize) -> Self {
+        TelemetryConfig {
+            vehicles,
+            hours: Hours::new(100.0).expect("static value"),
+            seed: 0,
+            scenario: Scenario::Urban,
+            policy: Policy::Cautious,
+            workers: 0,
+            injected: Vec::new(),
+        }
+    }
+
+    /// Sets the total fleet exposure (split over the vehicles).
+    pub fn hours(mut self, hours: Hours) -> Self {
+        self.hours = hours;
+        self
+    }
+
+    /// Sets the simulation master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the driving environment.
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = scenario;
+        self
+    }
+
+    /// Sets the tactical policy.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the simulation worker-thread count (0 = one per CPU). The
+    /// worker count never changes the generated events.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Injects `count` copies of a raw incident record on top of the
+    /// simulated stream — the knob for rehearsing alerting: inject enough
+    /// severe records and the corresponding budget *must* come out
+    /// [`Burned`](crate::burndown::AlertLevel::Burned).
+    pub fn inject(mut self, record: IncidentRecord, count: u64) -> Self {
+        self.injected.push((record, count));
+        self
+    }
+
+    /// Generates the telemetry stream.
+    ///
+    /// Exposure is reported first (per-vehicle chunks of at most
+    /// [`MAX_CHUNK_HOURS`]), then incident observations attributed
+    /// round-robin to the vehicles, then any injected records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError`] for a zero-vehicle fleet or a zero-hour
+    /// campaign.
+    pub fn generate(&self) -> Result<Vec<FleetEvent>, FleetError> {
+        if self.vehicles == 0 {
+            return Err(FleetError::InvalidConfig(
+                "a telemetry fleet needs at least one vehicle".to_string(),
+            ));
+        }
+        let world = self.scenario.world()?;
+        let records = match self.policy {
+            Policy::Cautious => self.run(Campaign::new(world, CautiousPolicy::default()))?,
+            Policy::Reactive => self.run(Campaign::new(world, ReactivePolicy::default()))?,
+        };
+
+        let mut events = Vec::new();
+        let per_vehicle = self.hours.value() / self.vehicles as f64;
+        for v in 0..self.vehicles {
+            let vehicle = vehicle_name(v);
+            let mut remaining = per_vehicle;
+            while remaining > 0.0 {
+                let chunk = remaining.min(MAX_CHUNK_HOURS);
+                events.push(FleetEvent::Exposure {
+                    vehicle: vehicle.clone(),
+                    hours: Hours::new(chunk)?,
+                });
+                remaining -= chunk;
+            }
+        }
+        for (i, record) in records.into_iter().enumerate() {
+            events.push(FleetEvent::Incident {
+                vehicle: vehicle_name(i % self.vehicles),
+                record,
+            });
+        }
+        let mut injected_index = 0usize;
+        for (record, count) in &self.injected {
+            for _ in 0..*count {
+                events.push(FleetEvent::Incident {
+                    vehicle: vehicle_name(injected_index % self.vehicles),
+                    record: record.clone(),
+                });
+                injected_index += 1;
+            }
+        }
+        Ok(events)
+    }
+
+    fn run<P: qrn_sim::policy::TacticalPolicy>(
+        &self,
+        campaign: Campaign<P>,
+    ) -> Result<Vec<IncidentRecord>, FleetError> {
+        let mut campaign = campaign.hours(self.hours).seed(self.seed);
+        if self.workers > 0 {
+            campaign = campaign.workers(self.workers);
+        }
+        Ok(campaign.run()?.records)
+    }
+}
+
+fn vehicle_name(index: usize) -> String {
+    format!("V{:04}", index + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::to_jsonl;
+    use crate::ingest::ingest_str;
+    use qrn_core::examples::paper_classification;
+    use qrn_core::object::{Involvement, ObjectType};
+    use qrn_units::Speed;
+
+    fn small() -> TelemetryConfig {
+        TelemetryConfig::new(3)
+            .hours(Hours::new(60.0).unwrap())
+            .seed(11)
+            .workers(2)
+    }
+
+    #[test]
+    fn exposure_is_chunked_and_complete() {
+        let events = small().generate().unwrap();
+        let mut total = 0.0;
+        for e in &events {
+            if let FleetEvent::Exposure { hours, .. } = e {
+                assert!(hours.value() <= MAX_CHUNK_HOURS);
+                total += hours.value();
+            }
+        }
+        assert!((total - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = to_jsonl(&small().generate().unwrap());
+        let b = to_jsonl(&small().generate().unwrap());
+        assert_eq!(a, b);
+        // The sim worker count must not leak into the stream.
+        let c = to_jsonl(&small().workers(5).generate().unwrap());
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn seeds_change_the_stream() {
+        let a = to_jsonl(&small().generate().unwrap());
+        let b = to_jsonl(&small().seed(12).generate().unwrap());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn injection_adds_exactly_count_records() {
+        let crash = IncidentRecord::collision(
+            Involvement::ego_with(ObjectType::Vru),
+            Speed::from_kmh(45.0).unwrap(),
+        );
+        let base = small().generate().unwrap().len();
+        let events = small().inject(crash, 17).generate().unwrap();
+        assert_eq!(events.len(), base + 17);
+    }
+
+    #[test]
+    fn generated_stream_round_trips_through_ingest() {
+        let events = small().generate().unwrap();
+        let classification = paper_classification().unwrap();
+        let state = ingest_str(&to_jsonl(&events), &classification, 3).unwrap();
+        assert!((state.exposure().value() - 60.0).abs() < 1e-9);
+        assert_eq!(state.vehicle_count(), 3);
+        assert_eq!(state.skipped().total(), 0);
+    }
+
+    #[test]
+    fn zero_vehicles_is_rejected() {
+        assert!(TelemetryConfig::new(0).generate().is_err());
+    }
+
+    #[test]
+    fn names_parse_back() {
+        assert_eq!(Scenario::from_name("urban"), Some(Scenario::Urban));
+        assert_eq!(Scenario::from_name("moon"), None);
+        assert_eq!(Policy::from_name("reactive"), Some(Policy::Reactive));
+        assert_eq!(Policy::from_name("none"), None);
+    }
+}

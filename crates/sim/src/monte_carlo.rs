@@ -29,7 +29,7 @@ use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
 use qrn_core::classification::IncidentClassification;
-use qrn_core::incident::IncidentRecord;
+use qrn_core::incident::{IncidentRecord, IncidentTypeId};
 use qrn_core::object::{Involvement, ObjectType};
 use qrn_core::verification::MeasuredIncidents;
 use qrn_stats::rng::{bernoulli, exponential, uniform, Substreams};
@@ -182,7 +182,7 @@ impl<P: TacticalPolicy> Campaign<P> {
         let make = || CountingAccumulator::new(classification, zones);
         let (mut partials, throughput) = self.execute(&[self.seed], &make)?;
         let acc = partials.pop().expect("one accumulator per seed");
-        Ok(self.finish_counting(acc, throughput))
+        Ok(self.finish_counting(acc, Some(throughput)))
     }
 
     /// Runs `n` independent replications (seeds `seed, seed+1, …`) and
@@ -232,6 +232,72 @@ impl<P: TacticalPolicy> Campaign<P> {
             encounter_rate,
             hard_brake_rate,
             raw_record_count,
+            results,
+            throughput,
+        })
+    }
+
+    /// The streaming counterpart of [`Campaign::run_replications`]: `n`
+    /// independent replications (seeds `seed, seed+1, …`) whose records
+    /// are classified and folded into [`MeasuredIncidents`] on the fly, so
+    /// memory stays O(replications × incident types) — no raw records are
+    /// ever kept, which is what makes replicated million-hour campaigns
+    /// feasible.
+    ///
+    /// Each replication's counts equal classifying the corresponding
+    /// [`Campaign::run`] records after the fact; the per-type spread
+    /// statistics cover every leaf of the classification, including types
+    /// that never occurred (their count contributes a zero, which is
+    /// exactly the information "this replication saw none").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] for a zero-hour campaign, zero workers, or
+    /// `n == 0`.
+    pub fn run_replications_counting(
+        &self,
+        classification: &IncidentClassification,
+        n: u64,
+    ) -> Result<CountingReplicationSummary, UnitError> {
+        if n == 0 {
+            return Err(UnitError::OutOfRange {
+                quantity: "replication count",
+                value: 0.0,
+                min: 1.0,
+                max: f64::MAX,
+            });
+        }
+        let seeds: Vec<u64> = (0..n).map(|i| self.seed + i).collect();
+        let zones = self.config.zones.len();
+        let make = || CountingAccumulator::new(classification, zones);
+        let (partials, throughput) = self.execute(&seeds, &make)?;
+
+        let mut encounter_rate = OnlineStats::new();
+        let mut hard_brake_rate = OnlineStats::new();
+        let mut incident_count = OnlineStats::new();
+        let mut incident_rates: BTreeMap<IncidentTypeId, OnlineStats> = classification
+            .leaves()
+            .iter()
+            .map(|leaf| (leaf.id().clone(), OnlineStats::new()))
+            .collect();
+        let mut results = Vec::with_capacity(n as usize);
+        for acc in partials {
+            let result = self.finish_counting(acc, None);
+            encounter_rate.push(result.encounter_rate()?.as_per_hour());
+            hard_brake_rate.push(result.hard_brake_rate()?.as_per_hour());
+            incident_count.push(result.measured.total() as f64);
+            for (id, stats) in &mut incident_rates {
+                let rate = Frequency::from_count(result.measured.count(id) as f64, self.hours)?;
+                stats.push(rate.as_per_hour());
+            }
+            results.push(result);
+        }
+        Ok(CountingReplicationSummary {
+            replications: n,
+            encounter_rate,
+            hard_brake_rate,
+            incident_count,
+            incident_rates,
             results,
             throughput,
         })
@@ -369,7 +435,11 @@ impl<P: TacticalPolicy> Campaign<P> {
         })
     }
 
-    fn finish_counting(&self, acc: CountingAccumulator, throughput: Throughput) -> CountingResult {
+    fn finish_counting(
+        &self,
+        acc: CountingAccumulator,
+        throughput: Option<Throughput>,
+    ) -> CountingResult {
         let CountingAccumulator {
             totals,
             measured,
@@ -908,8 +978,13 @@ pub struct CountingResult {
     zone_hours: BTreeMap<String, f64>,
     /// Challenges encountered per zone.
     zone_encounters: BTreeMap<String, u64>,
-    /// Wall-clock statistics of the run (excluded from equality).
-    pub throughput: Throughput,
+    /// Wall-clock statistics of the pool that produced this result,
+    /// excluded from equality. `Some` only when the run owned the pool
+    /// ([`Campaign::run_counting`]); `None` for results from
+    /// [`Campaign::run_replications_counting`], whose shared pool's
+    /// figures cover all replications at once and live on
+    /// [`CountingReplicationSummary`].
+    pub throughput: Option<Throughput>,
 }
 
 /// Equality covers the simulated outcome only, never the throughput.
@@ -1009,6 +1084,55 @@ impl fmt::Display for ReplicationSummary {
             self.encounter_rate.std_dev(),
             self.hard_brake_rate.mean(),
             self.hard_brake_rate.std_dev(),
+        )
+    }
+}
+
+/// Spread statistics over independent streaming (counting) replications:
+/// the error bars for classified incident rates, without ever holding raw
+/// records.
+#[derive(Debug, Clone)]
+pub struct CountingReplicationSummary {
+    /// Number of replications run.
+    pub replications: u64,
+    /// Per-replication encounter rate (events per hour).
+    pub encounter_rate: OnlineStats,
+    /// Per-replication hard-brake demand rate (events per hour).
+    pub hard_brake_rate: OnlineStats,
+    /// Per-replication classified incident count (all types together).
+    pub incident_count: OnlineStats,
+    /// Per-replication incident rate (events per hour) for every leaf of
+    /// the classification, in incident-id order.
+    pub incident_rates: BTreeMap<IncidentTypeId, OnlineStats>,
+    /// The individual replication results, in seed order.
+    pub results: Vec<CountingResult>,
+    /// Wall-clock statistics of the shared pool that ran every
+    /// replication; the individual [`CountingResult`]s carry `None`.
+    pub throughput: Throughput,
+}
+
+/// Equality covers the simulated outcomes only, never the throughput.
+impl PartialEq for CountingReplicationSummary {
+    fn eq(&self, other: &Self) -> bool {
+        self.replications == other.replications
+            && self.encounter_rate == other.encounter_rate
+            && self.hard_brake_rate == other.hard_brake_rate
+            && self.incident_count == other.incident_count
+            && self.incident_rates == other.incident_rates
+            && self.results == other.results
+    }
+}
+
+impl fmt::Display for CountingReplicationSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} counting replications: incidents {:.3} ± {:.3}, encounters {:.3} ± {:.3}/h",
+            self.replications,
+            self.incident_count.mean(),
+            self.incident_count.std_dev(),
+            self.encounter_rate.mean(),
+            self.encounter_rate.std_dev(),
         )
     }
 }
@@ -1291,6 +1415,63 @@ mod tests {
     }
 
     #[test]
+    fn counting_replications_match_recorded_replications() {
+        let c = qrn_core::examples::paper_classification().unwrap();
+        let campaign = || {
+            Campaign::new(urban_scenario().unwrap(), CautiousPolicy::default())
+                .hours(h(40.0))
+                .seed(30)
+        };
+        let counting = campaign().run_replications_counting(&c, 5).unwrap();
+        assert_eq!(counting.replications, 5);
+        assert_eq!(counting.results.len(), 5);
+        assert!(counting.results.iter().all(|r| r.throughput.is_none()));
+        assert_eq!(counting.throughput.shifts, 5 * 4);
+        assert!(counting.to_string().contains("5 counting replications"));
+        // Every leaf of the classification has a spread entry with one
+        // sample per replication — even never-observed types.
+        assert_eq!(counting.incident_rates.len(), c.leaves().len());
+        for stats in counting.incident_rates.values() {
+            assert_eq!(stats.count(), 5);
+        }
+        // Replication by replication, the streamed counts equal
+        // classifying the recorded campaign's records after the fact.
+        let recorded = campaign().run_replications(5).unwrap();
+        for (count_rep, record_rep) in counting.results.iter().zip(&recorded.results) {
+            let (measured, non_incidents) = record_rep.measured(&c);
+            assert_eq!(count_rep.measured, measured);
+            assert_eq!(count_rep.non_incidents as usize, non_incidents);
+            assert_eq!(count_rep.encounters, record_rep.encounters);
+        }
+        // The headline spreads agree with the recorded engine's.
+        assert_eq!(counting.encounter_rate, recorded.encounter_rate);
+        assert_eq!(counting.hard_brake_rate, recorded.hard_brake_rate);
+    }
+
+    #[test]
+    fn counting_replications_are_worker_count_independent() {
+        let c = qrn_core::examples::paper_classification().unwrap();
+        let run = |workers| {
+            Campaign::new(urban_scenario().unwrap(), CautiousPolicy::default())
+                .hours(h(60.0))
+                .seed(8)
+                .workers(workers)
+                .run_replications_counting(&c, 3)
+                .unwrap()
+        };
+        assert_eq!(run(1), run(7));
+    }
+
+    #[test]
+    fn zero_counting_replications_is_an_error() {
+        let c = qrn_core::examples::paper_classification().unwrap();
+        let err = Campaign::new(urban_scenario().unwrap(), CautiousPolicy::default())
+            .hours(h(10.0))
+            .run_replications_counting(&c, 0);
+        assert!(err.is_err());
+    }
+
+    #[test]
     fn per_zone_exposure_sums_to_total() {
         let result = Campaign::new(mixed_scenario().unwrap(), CautiousPolicy::default())
             .hours(h(100.0))
@@ -1367,7 +1548,10 @@ mod tests {
             .run_counting(&classification)
             .unwrap();
         assert!((result.exposure().value() - 1_000_000.0).abs() < 1e-3);
-        assert_eq!(result.throughput.shifts, 100_000);
+        assert_eq!(
+            result.throughput.as_ref().expect("run_counting owns its pool").shifts,
+            100_000
+        );
         assert!(result.measured.total() > 0);
     }
 }

@@ -143,6 +143,7 @@ impl PoissonSprt {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn sprt() -> PoissonSprt {
         PoissonSprt::new(
@@ -217,5 +218,71 @@ mod tests {
         let s = sprt();
         let back: PoissonSprt = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn equal_rates_are_rejected() {
+        // r0 == r1 gives a zero log-likelihood increment per event and a
+        // zero drift per hour: the test could never terminate. Must be a
+        // construction error, not a silent infinite loop.
+        let f = |x: f64| Frequency::per_hour(x).unwrap();
+        assert!(PoissonSprt::new(f(1e-5), f(1e-5), 0.05, 0.05).is_err());
+    }
+
+    #[test]
+    fn zero_exposure_without_events_continues() {
+        // No exposure and no events is exactly zero information.
+        assert_eq!(sprt().decide(0, Hours::ZERO), SprtDecision::Continue);
+    }
+
+    #[test]
+    fn zero_exposure_never_accepts_null() {
+        // Events without exposure can only push towards the alternative
+        // (the empirical rate is unbounded); accepting the null here would
+        // declare compliance on no driving at all.
+        let s = sprt();
+        for events in 0..100 {
+            assert_ne!(s.decide(events, Hours::ZERO), SprtDecision::AcceptNull);
+        }
+    }
+
+    /// Total order on decisions along the evidence axis: more events can
+    /// only move towards the alternative.
+    fn rank(d: SprtDecision) -> u8 {
+        match d {
+            SprtDecision::AcceptNull => 0,
+            SprtDecision::Continue => 1,
+            SprtDecision::AcceptAlternative => 2,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// For any valid test, the decision is monotone in the evidence:
+        /// an extra event never moves towards AcceptNull, and extra clean
+        /// exposure never moves towards AcceptAlternative.
+        #[test]
+        fn decision_is_monotone_in_evidence(
+            r0 in 1e-8f64..1e-3,
+            ratio in 1.1f64..50.0,
+            alpha in 0.01f64..0.2,
+            beta in 0.01f64..0.2,
+            events in 0u64..30,
+            exposure in 0.0f64..1e7,
+            extra in 1.0f64..1e6,
+        ) {
+            let s = PoissonSprt::new(
+                Frequency::per_hour(r0).unwrap(),
+                Frequency::per_hour(r0 * ratio).unwrap(),
+                alpha,
+                beta,
+            )
+            .unwrap();
+            let t = Hours::new(exposure).unwrap();
+            prop_assert!(rank(s.decide(events + 1, t)) >= rank(s.decide(events, t)));
+            let longer = Hours::new(exposure + extra).unwrap();
+            prop_assert!(rank(s.decide(events, longer)) <= rank(s.decide(events, t)));
+        }
     }
 }

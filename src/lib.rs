@@ -20,6 +20,7 @@
 //! | [`core`] | `qrn-core` | the QRN: norm, MECE classification, Eq. (1), safety goals, verification |
 //! | [`quant`] | `qrn-quant` | rate algebra, refinement, ASIL comparison |
 //! | [`sim`] | `qrn-sim` | tactical policies, encounters, Monte Carlo |
+//! | [`fleet`] | `qrn-fleet` | telemetry event logs, sharded ingest, budget burn-down monitoring |
 //!
 //! # The pipeline in five lines
 //!
@@ -40,6 +41,7 @@
 #![forbid(unsafe_code)]
 
 pub use qrn_core as core;
+pub use qrn_fleet as fleet;
 pub use qrn_hara as hara;
 pub use qrn_odd as odd;
 pub use qrn_quant as quant;
