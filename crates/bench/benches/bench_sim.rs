@@ -2,12 +2,22 @@
 //! per wall-clock second), worker scaling of the work-stealing engine, the
 //! streaming (counting) accumulator, and single-encounter cost.
 //!
+//! After the criterion groups run, the harness writes the machine-local
+//! perf baseline `results/BENCH_sim.json`: crude sim-hours/second per
+//! worker count plus the splitting engine's variance-reduction factor and
+//! the resulting *effective* sim-hours/second (crude throughput × matched-
+//! compute variance reduction — how fast splitting accumulates
+//! crude-equivalent evidence). Wall clock is the point here, unlike the
+//! `results/exp_*.json` artefacts, which stay machine-independent.
+//!
 //! `QRN_BENCH_CAMPAIGN_HOURS` overrides the scaling campaign's exposure
 //! (default 200 h; the acceptance measurement uses 10 000 h or more).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Instant;
 
+use qrn_bench::report::save_json;
 use qrn_core::examples::paper_classification;
 use qrn_sim::encounter::{run_encounter, Challenge};
 use qrn_sim::faults::ActiveFaults;
@@ -16,6 +26,7 @@ use qrn_sim::perception::PerceptionParams;
 use qrn_sim::policy::CautiousPolicy;
 use qrn_sim::scenario::urban_scenario;
 use qrn_sim::vehicle::VehicleParams;
+use qrn_sim::SplittingConfig;
 use qrn_stats::rng::seeded;
 use qrn_units::{Hours, Meters, Speed};
 
@@ -112,10 +123,100 @@ fn bench_encounter(c: &mut Criterion) {
     });
 }
 
+/// One timed crude campaign; returns (sim-hours/second, encounter-seconds
+/// per simulated hour).
+fn timed_crude(hours: f64, workers: usize) -> (f64, f64) {
+    let classification = paper_classification().expect("classification builds");
+    let start = Instant::now();
+    let result = Campaign::new(
+        urban_scenario().expect("scenario builds"),
+        CautiousPolicy::default(),
+    )
+    .hours(Hours::new(hours).expect("positive"))
+    .workers(workers)
+    .seed(1)
+    .run_counting(&classification)
+    .expect("campaign runs");
+    let secs = start.elapsed().as_secs_f64();
+    (hours / secs, result.encounter_seconds / hours)
+}
+
+/// Writes `results/BENCH_sim.json`, the machine-local perf baseline.
+fn emit_perf_baseline() {
+    let hours = campaign_hours();
+    let host_cpus = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+
+    let mut crude_rows = Vec::new();
+    let mut crude_full = (0.0, 0.0);
+    for workers in [1usize, 2, 4, 8] {
+        let (rate, cost) = timed_crude(hours, workers);
+        if workers == 8 {
+            crude_full = (rate, cost);
+        }
+        crude_rows.push(serde_json::json!({
+            "workers": workers,
+            "sim_hours_per_second": rate,
+        }));
+    }
+
+    let classification = paper_classification().expect("classification builds");
+    let config = SplittingConfig::geometric(5);
+    let start = Instant::now();
+    let split = Campaign::new(
+        urban_scenario().expect("scenario builds"),
+        CautiousPolicy::default(),
+    )
+    .hours(Hours::new(hours).expect("positive"))
+    .workers(8)
+    .seed(1)
+    .run_splitting(&classification, &config)
+    .expect("splitting campaign runs");
+    let split_secs = start.elapsed().as_secs_f64();
+
+    let (crude_rate, crude_cost) = crude_full;
+    let cost_ratio = (split.encounter_seconds / hours) / crude_cost;
+    // Report the leaf the ladder helps most; the bespoke rare-event world
+    // in exp_rare_event pushes this far higher (see that artefact).
+    let (target_leaf, vr_stat) = split
+        .counts()
+        .filter(|(_, count)| count.observations() > 0)
+        .map(|(id, count)| (id.to_string(), count.variance_reduction()))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap_or_else(|| ("none".to_string(), 1.0));
+    let vr_matched = vr_stat / cost_ratio;
+
+    save_json(
+        "BENCH_sim",
+        &serde_json::json!({
+            "campaign_hours": hours,
+            "host_cpus": host_cpus,
+            "scenario": "urban",
+            "policy": "cautious",
+            "crude": crude_rows,
+            "splitting": {
+                "levels": split.levels,
+                "effort": split.effort,
+                "sim_hours_per_second": hours / split_secs,
+                "cost_ratio_encounter_seconds": cost_ratio,
+                "target_leaf": target_leaf,
+                "variance_reduction_statistical": vr_stat,
+                "variance_reduction_matched_compute": vr_matched,
+                "effective_sim_hours_per_second": crude_rate * vr_matched,
+            },
+        }),
+    );
+}
+
 criterion_group!(
     benches,
     bench_worker_scaling,
     bench_counting_campaign,
     bench_encounter
 );
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    emit_perf_baseline();
+}

@@ -12,8 +12,9 @@ use qrn_core::safety_goal::derive_with_certificate;
 use qrn_core::verification::verify;
 use qrn_core::IncidentClassification;
 use qrn_sim::monte_carlo::Campaign;
-use qrn_sim::policy::{CautiousPolicy, ReactivePolicy};
+use qrn_sim::policy::{CautiousPolicy, ReactivePolicy, TacticalPolicy};
 use qrn_sim::scenario::{highway_scenario, mixed_scenario, urban_scenario, WorldConfig};
+use qrn_sim::SplittingConfig;
 use qrn_units::{Hours, Meters, Speed};
 
 use crate::io::{read_artefact, write_artefact, RecordsFile};
@@ -214,6 +215,109 @@ fn goals(classification_path: &Path, allocation_path: &Path) -> Result<CommandOu
     }
 }
 
+/// Parses the optional `--splitting-levels <N>` / `--splitting-effort <E>`
+/// pair into a splitting configuration.
+pub(crate) fn splitting_from(strs: &[&str]) -> Result<Option<SplittingConfig>, CliError> {
+    let Some(text) = flag(strs, "--splitting-levels") else {
+        if flag(strs, "--splitting-effort").is_some() {
+            return Err(CliError(
+                "--splitting-effort requires --splitting-levels".into(),
+            ));
+        }
+        return Ok(None);
+    };
+    let levels: usize = text.parse().map_err(|_| {
+        CliError(format!(
+            "--splitting-levels must be an integer, got {text:?}"
+        ))
+    })?;
+    if levels == 0 {
+        return Err(CliError("--splitting-levels must be at least 1".into()));
+    }
+    let mut config = SplittingConfig::geometric(levels);
+    if let Some(text) = flag(strs, "--splitting-effort") {
+        let effort: usize = text.parse().map_err(|_| {
+            CliError(format!(
+                "--splitting-effort must be an integer, got {text:?}"
+            ))
+        })?;
+        config = config.with_effort(effort)?;
+    }
+    Ok(Some(config))
+}
+
+/// Prints the per-leaf weighted rates of a splitting result: point
+/// estimate, 95 % Garwood interval on the effective counts, Kish
+/// effective sample size and the variance-reduction factor.
+pub(crate) fn print_splitting_rates(result: &qrn_sim::SplittingResult) -> Result<(), CliError> {
+    for (id, count) in result.counts() {
+        let rate = result
+            .rate(id)
+            .expect("counts() only yields ids the result knows");
+        if count.observations() == 0 {
+            let upper = rate.upper_bound(0.95)?;
+            println!("  {id}: no weighted mass; 95% upper bound {upper}");
+            continue;
+        }
+        let point = rate.point_estimate()?;
+        let interval = rate.confidence_interval(0.95)?;
+        let (k_eff, t_eff) = rate.effective();
+        println!(
+            "  {id}: {point} (95% CI {}..{}), {k_eff:.1} effective events over {:.0} effective h, variance reduction x{:.1}",
+            interval.lower,
+            interval.upper,
+            t_eff.value(),
+            count.variance_reduction(),
+        );
+    }
+    Ok(())
+}
+
+fn simulate_campaign<P: TacticalPolicy>(
+    config: WorldConfig,
+    policy: P,
+    hours: Hours,
+    seed: u64,
+    workers: Option<usize>,
+    splitting: Option<&SplittingConfig>,
+    out: &Path,
+) -> Result<CommandOutcome, CliError> {
+    let mut campaign = Campaign::new(config, policy).hours(hours).seed(seed);
+    if let Some(workers) = workers {
+        campaign = campaign.workers(workers);
+    }
+    match splitting {
+        Some(splitting) => {
+            let classification = paper_classification()?;
+            let mut result = campaign.run_splitting(&classification, splitting)?;
+            println!("{result}");
+            if let Some(throughput) = &result.throughput {
+                println!("{throughput}");
+            }
+            print_splitting_rates(&result)?;
+            // Artefacts must be reproducible from (config, policy, seed,
+            // hours) alone: wall clock goes to stdout, never to disk.
+            result.throughput = None;
+            write_artefact(out, &result)?;
+            println!("wrote splitting result to {}", out.display());
+        }
+        None => {
+            let result = campaign.run()?;
+            println!("{result}");
+            if let Some(throughput) = &result.throughput {
+                println!("{throughput}");
+            }
+            let file = RecordsFile {
+                exposure_hours: result.exposure().value(),
+                records: result.records.clone(),
+            };
+            write_artefact(out, &file)?;
+            println!("wrote {} records to {}", file.records.len(), out.display());
+        }
+    }
+    Ok(CommandOutcome::Ok)
+}
+
 fn simulate(rest: &[&str]) -> Result<CommandOutcome, CliError> {
     let strs: Vec<&str> = rest.to_vec();
     let scenario = required_flag(&strs, "--scenario")?;
@@ -232,6 +336,7 @@ fn simulate(rest: &[&str]) -> Result<CommandOutcome, CliError> {
                 .map_err(|_| CliError(format!("--workers must be an integer, got {s:?}")))
         })
         .transpose()?;
+    let splitting = splitting_from(&strs)?;
     let out = PathBuf::from(required_flag(&strs, "--out")?);
 
     let config: WorldConfig = match scenario {
@@ -247,42 +352,29 @@ fn simulate(rest: &[&str]) -> Result<CommandOutcome, CliError> {
     let hours = Hours::new(hours)?;
     // The worker count only changes wall-clock time, never the outcome, so
     // defaulting to all available CPUs is safe for reproducibility.
-    let result = match policy {
-        "cautious" => {
-            let mut campaign = Campaign::new(config, CautiousPolicy::default())
-                .hours(hours)
-                .seed(seed);
-            if let Some(workers) = workers {
-                campaign = campaign.workers(workers);
-            }
-            campaign.run()?
-        }
-        "reactive" => {
-            let mut campaign = Campaign::new(config, ReactivePolicy::default())
-                .hours(hours)
-                .seed(seed);
-            if let Some(workers) = workers {
-                campaign = campaign.workers(workers);
-            }
-            campaign.run()?
-        }
-        _ => {
-            return Err(CliError(format!(
-                "unknown policy {policy:?}; expected cautious|reactive"
-            )))
-        }
-    };
-    println!("{result}");
-    if let Some(throughput) = &result.throughput {
-        println!("{throughput}");
+    match policy {
+        "cautious" => simulate_campaign(
+            config,
+            CautiousPolicy::default(),
+            hours,
+            seed,
+            workers,
+            splitting.as_ref(),
+            &out,
+        ),
+        "reactive" => simulate_campaign(
+            config,
+            ReactivePolicy::default(),
+            hours,
+            seed,
+            workers,
+            splitting.as_ref(),
+            &out,
+        ),
+        _ => Err(CliError(format!(
+            "unknown policy {policy:?}; expected cautious|reactive"
+        ))),
     }
-    let file = RecordsFile {
-        exposure_hours: result.exposure().value(),
-        records: result.records.clone(),
-    };
-    write_artefact(&out, &file)?;
-    println!("wrote {} records to {}", file.records.len(), out.display());
-    Ok(CommandOutcome::Ok)
 }
 
 fn confidence_from(rest: &[&str]) -> Result<f64, CliError> {
@@ -608,6 +700,62 @@ mod tests {
             "/tmp/x.json"
         ])
         .is_err());
+        // Splitting flags: non-integer or zero levels, zero effort and a
+        // dangling --splitting-effort must all be usage errors.
+        for bad in [
+            &["--splitting-levels", "abc"][..],
+            &["--splitting-levels", "0"][..],
+            &["--splitting-levels", "3", "--splitting-effort", "0"][..],
+            &["--splitting-levels", "3", "--splitting-effort", "x"][..],
+            &["--splitting-effort", "4"][..],
+        ] {
+            let mut args = vec![
+                "simulate",
+                "--scenario",
+                "urban",
+                "--policy",
+                "cautious",
+                "--hours",
+                "10",
+                "--out",
+                "/tmp/x.json",
+            ];
+            args.extend_from_slice(bad);
+            assert!(run_strs(&args).is_err(), "expected error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn simulate_splitting_writes_weighted_result() {
+        let dir = temp_dir("splitting");
+        let out = dir.join("splitting.json");
+        assert_eq!(
+            run_strs(&[
+                "simulate",
+                "--scenario",
+                "urban",
+                "--policy",
+                "reactive",
+                "--hours",
+                "20",
+                "--seed",
+                "11",
+                "--splitting-levels",
+                "4",
+                "--splitting-effort",
+                "4",
+                "--out",
+                out.to_str().unwrap(),
+            ])
+            .unwrap(),
+            CommandOutcome::Ok
+        );
+        let text = std::fs::read_to_string(&out).unwrap();
+        let result: qrn_sim::SplittingResult = serde_json::from_str(&text).unwrap();
+        assert_eq!(result.levels.len(), 4);
+        assert_eq!(result.effort, 4);
+        assert!(result.exposure().value() >= 19.0);
+        assert!(result.particles >= result.encounters);
     }
 
     #[test]

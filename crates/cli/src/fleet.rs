@@ -15,6 +15,7 @@
 use std::path::{Path, PathBuf};
 
 use qrn_core::allocation::Allocation;
+use qrn_core::examples::paper_classification;
 use qrn_core::incident::IncidentRecord;
 use qrn_core::norm::QuantitativeRiskNorm;
 use qrn_core::object::{Involvement, ObjectType};
@@ -23,9 +24,13 @@ use qrn_fleet::burndown::{burn_down, BurnDownConfig};
 use qrn_fleet::event::to_jsonl;
 use qrn_fleet::ingest::{ingest_str, FleetState};
 use qrn_fleet::telemetry::{Policy, Scenario, TelemetryConfig};
+use qrn_sim::monte_carlo::Campaign;
+use qrn_sim::policy::{CautiousPolicy, ReactivePolicy, TacticalPolicy};
+use qrn_sim::scenario::{highway_scenario, mixed_scenario, urban_scenario, WorldConfig};
+use qrn_sim::{SplittingConfig, SplittingResult};
 use qrn_units::{Hours, Speed};
 
-use crate::commands::{flag, parse_f64, required_flag};
+use crate::commands::{flag, parse_f64, print_splitting_rates, required_flag, splitting_from};
 use crate::io::{read_artefact, write_artefact};
 use crate::{CliError, CommandOutcome};
 
@@ -99,17 +104,24 @@ fn generate(rest: &[&str]) -> Result<CommandOutcome, CliError> {
     })?;
     let hours = Hours::new(parse_f64(required_flag(rest, "--hours")?, "--hours")?)?;
     let vehicles = parse_usize(required_flag(rest, "--vehicles")?, "--vehicles")?;
+    let splitting = splitting_from(rest)?;
     let out = PathBuf::from(required_flag(rest, "--out")?);
+    let seed = flag(rest, "--seed")
+        .map(|text| parse_u64(text, "--seed"))
+        .transpose()?;
+    let workers = flag(rest, "--workers")
+        .map(|text| parse_usize(text, "--workers"))
+        .transpose()?;
 
     let mut config = TelemetryConfig::new(vehicles)
         .hours(hours)
         .scenario(scenario)
         .policy(policy);
-    if let Some(seed) = flag(rest, "--seed") {
-        config = config.seed(parse_u64(seed, "--seed")?);
+    if let Some(seed) = seed {
+        config = config.seed(seed);
     }
-    if let Some(workers) = flag(rest, "--workers") {
-        config = config.workers(parse_usize(workers, "--workers")?);
+    if let Some(workers) = workers {
+        config = config.workers(workers);
     }
     if let Some(count) = flag(rest, "--inject-collisions") {
         let crash = IncidentRecord::collision(
@@ -135,7 +147,78 @@ fn generate(rest: &[&str]) -> Result<CommandOutcome, CliError> {
         hours.value(),
         out.display()
     );
+    if let Some(splitting) = splitting {
+        let result = splitting_check(
+            scenario_name,
+            policy_name,
+            Hours::new(hours.value() * vehicles as f64)?,
+            seed.unwrap_or(0),
+            workers,
+            &splitting,
+        )?;
+        println!("tail-rate check: {result}");
+        print_splitting_rates(&result)?;
+    }
     Ok(CommandOutcome::Ok)
+}
+
+/// Runs a multilevel-splitting campaign over the same scenario, policy
+/// and total fleet exposure as the generated telemetry, so the crude log
+/// ships with a variance-reduced estimate of the tail rates the log is
+/// far too short to measure directly.
+fn splitting_check(
+    scenario_name: &str,
+    policy_name: &str,
+    total: Hours,
+    seed: u64,
+    workers: Option<usize>,
+    config: &SplittingConfig,
+) -> Result<SplittingResult, CliError> {
+    let world: WorldConfig = match scenario_name {
+        "urban" => urban_scenario()?,
+        "highway" => highway_scenario()?,
+        "mixed" => mixed_scenario()?,
+        _ => {
+            return Err(CliError(format!(
+                "unknown scenario {scenario_name:?}; expected urban|highway|mixed"
+            )))
+        }
+    };
+    fn run<P: TacticalPolicy>(
+        world: WorldConfig,
+        policy: P,
+        total: Hours,
+        seed: u64,
+        workers: Option<usize>,
+        config: &SplittingConfig,
+    ) -> Result<SplittingResult, CliError> {
+        let mut campaign = Campaign::new(world, policy).hours(total).seed(seed);
+        if let Some(workers) = workers {
+            campaign = campaign.workers(workers);
+        }
+        Ok(campaign.run_splitting(&paper_classification()?, config)?)
+    }
+    match policy_name {
+        "cautious" => run(
+            world,
+            CautiousPolicy::default(),
+            total,
+            seed,
+            workers,
+            config,
+        ),
+        "reactive" => run(
+            world,
+            ReactivePolicy::default(),
+            total,
+            seed,
+            workers,
+            config,
+        ),
+        _ => Err(CliError(format!(
+            "unknown policy {policy_name:?}; expected cautious|reactive"
+        ))),
+    }
 }
 
 fn ingest(classification_path: &Path, rest: &[&str]) -> Result<CommandOutcome, CliError> {
@@ -376,10 +459,58 @@ mod tests {
     }
 
     #[test]
+    fn generate_with_splitting_check_still_writes_log() {
+        let dir = temp_dir("splitcheck");
+        let log = dir.join("events.jsonl");
+        assert_eq!(
+            run_strs(&[
+                "fleet",
+                "generate",
+                "--scenario",
+                "urban",
+                "--policy",
+                "reactive",
+                "--hours",
+                "10",
+                "--vehicles",
+                "2",
+                "--seed",
+                "4",
+                "--splitting-levels",
+                "3",
+                "--splitting-effort",
+                "4",
+                "--out",
+                log.to_str().unwrap(),
+            ])
+            .unwrap(),
+            CommandOutcome::Ok
+        );
+        assert!(std::fs::read_to_string(&log).unwrap().lines().count() > 0);
+    }
+
+    #[test]
     fn fleet_validates_arguments() {
         assert!(run_strs(&["fleet"]).is_err());
         assert!(run_strs(&["fleet", "teleport"]).is_err());
         assert!(run_strs(&["fleet", "generate", "--scenario", "moon"]).is_err());
+        assert!(run_strs(&[
+            "fleet",
+            "generate",
+            "--scenario",
+            "urban",
+            "--policy",
+            "cautious",
+            "--hours",
+            "10",
+            "--vehicles",
+            "2",
+            "--splitting-levels",
+            "0",
+            "--out",
+            "/tmp/x.jsonl",
+        ])
+        .is_err());
         assert!(run_strs(&[
             "fleet",
             "generate",
@@ -395,6 +526,13 @@ mod tests {
             "/tmp/x.jsonl",
         ])
         .is_err());
-        assert!(run_strs(&["fleet", "ingest", "/nonexistent.json", "--log", "/nonexistent.jsonl"]).is_err());
+        assert!(run_strs(&[
+            "fleet",
+            "ingest",
+            "/nonexistent.json",
+            "--log",
+            "/nonexistent.jsonl"
+        ])
+        .is_err());
     }
 }

@@ -81,6 +81,12 @@ impl From<qrn_fleet::FleetError> for CliError {
     }
 }
 
+impl From<qrn_stats::StatsError> for CliError {
+    fn from(e: qrn_stats::StatsError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
 /// Usage text printed on `--help` or argument errors.
 pub const USAGE: &str = "\
 qrn — The Quantitative Risk Norm toolkit
@@ -109,9 +115,14 @@ COMMANDS:
         Derive the safety goals and the completeness certificate.
 
     simulate --scenario <urban|highway|mixed> --policy <cautious|reactive>
-             --hours <H> [--seed <N>] [--workers <N>] --out <records.json>
+             --hours <H> [--seed <N>] [--workers <N>]
+             [--splitting-levels <N> [--splitting-effort <E>]]
+             --out <records.json>
         Run a Monte-Carlo fleet campaign and write the incident records.
         Workers default to all CPUs; the count never changes the outcome.
+        With --splitting-levels the campaign runs the multilevel-splitting
+        rare-event engine over a geometric severity ladder and writes the
+        weighted splitting result instead of raw records.
 
     verify <norm.json> <classification.json> <allocation.json> <records.json>
            [--confidence <0..1>]
@@ -127,10 +138,13 @@ COMMANDS:
 
     fleet generate --scenario <urban|highway|mixed> --policy <cautious|reactive>
                    --hours <H> --vehicles <N> [--seed <K>] [--workers <W>]
-                   [--inject-collisions <N>] --out <events.jsonl>
+                   [--inject-collisions <N>] [--splitting-levels <N>]
+                   [--splitting-effort <E>] --out <events.jsonl>
         Generate a synthetic fleet telemetry log (JSONL) from a simulated
         campaign. --inject-collisions adds deliberate severe VRU collisions
-        for rehearsing the alerting path.
+        for rehearsing the alerting path. --splitting-levels additionally
+        runs a multilevel-splitting tail-rate check over the same fleet
+        exposure and prints the weighted rare-incident rates.
 
     fleet ingest <classification.json> --log <events.jsonl>
                  [--shards <N>] [--out <state.json>]

@@ -456,7 +456,10 @@ mod tests {
         assert!(report.any_burned());
         assert_eq!(report.worst_alert(), AlertLevel::Burned);
         // The classes I3 feeds into burn too.
-        assert_eq!(report.class(&"vS3".into()).unwrap().alert, AlertLevel::Burned);
+        assert_eq!(
+            report.class(&"vS3".into()).unwrap().alert,
+            AlertLevel::Burned
+        );
     }
 
     #[test]

@@ -74,7 +74,10 @@ impl FleetEvent {
     /// Renders the event as one compact JSONL line (no trailing newline).
     pub fn to_line(&self) -> String {
         let mut map = serde::json::Map::new();
-        map.insert("v".into(), Value::Number(serde::json::Number::PosInt(SCHEMA_VERSION)));
+        map.insert(
+            "v".into(),
+            Value::Number(serde::json::Number::PosInt(SCHEMA_VERSION)),
+        );
         match self {
             FleetEvent::Exposure { vehicle, hours } => {
                 map.insert("event".into(), Value::String("exposure".into()));
@@ -287,7 +290,11 @@ mod tests {
 
     #[test]
     fn blank_lines_are_ignored() {
-        let text = format!("\n{}\n   \n{}\n\n", exposure("a", 1.0).to_line(), incident("b").to_line());
+        let text = format!(
+            "\n{}\n   \n{}\n\n",
+            exposure("a", 1.0).to_line(),
+            incident("b").to_line()
+        );
         let (events, skipped) = parse_jsonl(&text);
         assert_eq!(events.len(), 2);
         assert_eq!(skipped.total(), 0);
@@ -297,13 +304,13 @@ mod tests {
     fn malformed_lines_are_skipped_and_counted_by_reason() {
         let good = exposure("V1", 2.0).to_line();
         let text = [
-            "{broken json",                                              // bad_json
-            "[1, 2, 3]",                                                 // not_an_object
-            "{\"event\":\"exposure\",\"vehicle\":\"x\",\"hours\":1.0}",  // no version
+            "{broken json",                                                      // bad_json
+            "[1, 2, 3]",                                                         // not_an_object
+            "{\"event\":\"exposure\",\"vehicle\":\"x\",\"hours\":1.0}",          // no version
             "{\"v\":99,\"event\":\"exposure\",\"vehicle\":\"x\",\"hours\":1.0}", // future version
-            "{\"v\":1,\"vehicle\":\"x\",\"hours\":1.0}",                 // no event tag
-            "{\"v\":1,\"event\":\"teleport\",\"vehicle\":\"x\"}",        // unknown kind
-            "{\"v\":1,\"event\":\"exposure\",\"vehicle\":\"x\"}",        // missing hours
+            "{\"v\":1,\"vehicle\":\"x\",\"hours\":1.0}",                         // no event tag
+            "{\"v\":1,\"event\":\"teleport\",\"vehicle\":\"x\"}",                // unknown kind
+            "{\"v\":1,\"event\":\"exposure\",\"vehicle\":\"x\"}",                // missing hours
             "{\"v\":1,\"event\":\"exposure\",\"vehicle\":\"x\",\"hours\":-4.0}", // negative hours
             "{\"v\":1,\"event\":\"incident\",\"vehicle\":\"x\",\"record\":{\"bogus\":true}}",
             &good,

@@ -135,8 +135,10 @@ impl ShardAccumulator {
                 match &event {
                     FleetEvent::Exposure { vehicle, hours } => {
                         s.exposure_hours += hours.value();
-                        s.vehicles.entry(vehicle.clone()).or_default().exposure_hours +=
-                            hours.value();
+                        s.vehicles
+                            .entry(vehicle.clone())
+                            .or_default()
+                            .exposure_hours += hours.value();
                     }
                     FleetEvent::Incident { vehicle, record } => {
                         s.vehicles.entry(vehicle.clone()).or_default().observations += 1;
@@ -235,8 +237,7 @@ pub fn ingest_str(
 
     // The reduce: ascending block order restores the sequential fold
     // regardless of which shard parsed which block.
-    let mut partials: Vec<(u64, ShardAccumulator)> =
-        shard_outputs.into_iter().flatten().collect();
+    let mut partials: Vec<(u64, ShardAccumulator)> = shard_outputs.into_iter().flatten().collect();
     partials.sort_unstable_by_key(|(block, _)| *block);
     let mut merged = ShardAccumulator::default();
     for (_, partial) in partials {
@@ -361,6 +362,9 @@ mod tests {
         let state = ingest_str(&log, &classification, 2).unwrap();
         let measured = state.measured();
         assert_eq!(measured.exposure(), state.exposure());
-        assert_eq!(measured.total(), state.counts().map(|(_, n)| n).sum::<u64>());
+        assert_eq!(
+            measured.total(),
+            state.counts().map(|(_, n)| n).sum::<u64>()
+        );
     }
 }

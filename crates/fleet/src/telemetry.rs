@@ -211,7 +211,7 @@ impl TelemetryConfig {
             for _ in 0..*count {
                 events.push(FleetEvent::Incident {
                     vehicle: vehicle_name(injected_index % self.vehicles),
-                    record: record.clone(),
+                    record: *record,
                 });
                 injected_index += 1;
             }

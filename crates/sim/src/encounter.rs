@@ -24,6 +24,9 @@ use crate::vehicle::VehicleParams;
 
 /// Integration step, seconds.
 const DT: f64 = 0.01;
+/// The integration step, exposed so cost accounting (one step = this many
+/// simulated seconds) stays in one place.
+pub const STEP_SECONDS: f64 = DT;
 /// Hard cap on encounter duration, seconds.
 const MAX_DURATION_S: f64 = 120.0;
 
@@ -129,11 +132,193 @@ pub struct EncounterStats {
     pub duration_s: f64,
 }
 
+/// One encounter as a steppable, cloneable state machine.
+///
+/// [`run_encounter`] drives it to completion in one call; the
+/// multilevel-splitting engine ([`crate::splitting`]) instead advances a
+/// simulation until its [severity](EncounterSim::severity) crosses a level,
+/// clones it, and continues the copies with independent RNG substreams.
+/// All randomness flows through the `rng` handed to [`step`](Self::step),
+/// so a clone is a complete snapshot of the trajectory.
+///
+/// Fault factors are folded in at construction; the *world* resolves
+/// physics with the degraded braking either way, while the policy also
+/// plans with the degraded capability (the ADS knows its actual
+/// capability, Sec. II-B.3).
+#[derive(Debug, Clone)]
+pub struct EncounterSim {
+    perception: PerceptionParams,
+    capability: Acceleration,
+    object_decel: f64,
+    clears_after_s: f64,
+    gap: f64,
+    ve: f64,
+    vo: f64,
+    t: f64,
+    next_scan: f64,
+    detected_at: Option<f64>,
+    max_cmd: f64,
+    min_gap: f64,
+    closing_at_min: f64,
+    danger: f64,
+}
+
+impl EncounterSim {
+    /// Prepares an encounter with the faults already applied.
+    pub fn new(
+        challenge: &Challenge,
+        ego_speed: Speed,
+        vehicle: &VehicleParams,
+        perception: &PerceptionParams,
+        faults: &ActiveFaults,
+    ) -> Self {
+        let perception = perception.with_range_factor(faults.sensor_factor);
+        let capability = vehicle
+            .max_brake
+            .scaled(faults.brake_factor)
+            .expect("fault factors are non-negative");
+        let gap = challenge.initial_gap.value();
+        let ve = ego_speed.as_mps();
+        let vo = challenge.object_speed.as_mps();
+        let mut sim = EncounterSim {
+            perception,
+            capability,
+            object_decel: challenge.object_decel,
+            clears_after_s: challenge.clears_after_s,
+            gap,
+            ve,
+            vo,
+            t: 0.0,
+            next_scan: 0.0,
+            detected_at: None,
+            max_cmd: 0.0,
+            min_gap: gap,
+            closing_at_min: (ve - vo).max(0.0),
+            danger: 0.0,
+        };
+        sim.danger = sim.danger_now();
+        sim
+    }
+
+    /// The instantaneous danger ratio: the deceleration needed to stop the
+    /// closing speed within the remaining gap, as a fraction of the
+    /// braking capability, `closing² / (2 · gap · capability)`.
+    fn danger_now(&self) -> f64 {
+        let closing = self.ve - self.vo;
+        if closing <= 0.0 || self.gap <= 0.0 {
+            return if self.gap <= 0.0 { f64::INFINITY } else { 0.0 };
+        }
+        closing * closing / (2.0 * self.gap * self.capability.value().max(0.1))
+    }
+
+    /// Trajectory severity: the running maximum of the danger ratio
+    /// `closing² / (2 · gap · capability)` — how much of the braking
+    /// capability a full stop within the remaining gap would have needed at
+    /// the worst moment so far. It is monotonically non-decreasing along a
+    /// trajectory by construction, stays well below 1 for comfortable
+    /// resolutions (the built-in policies plan with margin), exceeds 1
+    /// exactly when a stop became kinematically impossible, and diverges as
+    /// the gap closes at speed — which makes increasing severity levels
+    /// valid waypoints for multilevel splitting ([`crate::splitting`]):
+    /// every collision trajectory crosses every finite level first.
+    pub fn severity(&self) -> f64 {
+        self.danger
+    }
+
+    /// Whether perception has detected the object (detection latches, so
+    /// a detected trajectory has no scan randomness left — only its
+    /// deterministic dynamics and any post-terminal sampling).
+    pub fn is_detected(&self) -> bool {
+        self.detected_at.is_some()
+    }
+
+    /// Advances one `DT` step. Returns the outcome when the encounter
+    /// terminates on this step, `None` while it is still running.
+    pub fn step<R: Rng + ?Sized>(
+        &mut self,
+        policy: &dyn TacticalPolicy,
+        vehicle: &VehicleParams,
+        rng: &mut R,
+    ) -> Option<EncounterOutcome> {
+        // Perception scans at the configured period.
+        if self.t >= self.next_scan {
+            self.next_scan += self.perception.scan_period_s;
+            if self.detected_at.is_none()
+                && self.perception.in_range_raw(self.gap.max(0.0))
+                && self.perception.scan_detects(rng)
+            {
+                self.detected_at = Some(self.t);
+            }
+        }
+
+        // Braking is authorized after detection plus the reaction time.
+        let braking_authorized = self
+            .detected_at
+            .is_some_and(|t0| self.t >= t0 + vehicle.reaction_time_s);
+        let closing = self.ve - self.vo;
+        let cmd = if braking_authorized && closing > 0.0 {
+            policy.commanded_brake_raw(
+                self.gap.max(0.0),
+                self.ve,
+                self.vo,
+                vehicle,
+                self.capability,
+            )
+        } else {
+            0.0
+        };
+        self.max_cmd = self.max_cmd.max(cmd);
+
+        // Integrate one step (semi-implicit Euler).
+        self.ve = (self.ve - cmd * DT).max(0.0);
+        self.vo = (self.vo - self.object_decel * DT).max(0.0);
+        self.gap -= (self.ve - self.vo) * DT;
+        self.t += DT;
+
+        let closing_now = self.ve - self.vo;
+        if self.gap < self.min_gap {
+            self.min_gap = self.gap;
+            self.closing_at_min = closing_now.max(0.0);
+        }
+        self.danger = self.danger.max(self.danger_now());
+
+        // Collision?
+        if self.gap <= 0.0 {
+            return Some(EncounterOutcome::Collision {
+                impact_speed: Speed::from_mps(closing_now.max(0.0)).expect("non-negative"),
+            });
+        }
+
+        // Object cleared the corridor?
+        let resolved = self.t >= self.clears_after_s
+            // No longer closing and some gap left.
+            || (closing_now <= 0.0 && self.gap > 0.0)
+            // Both at rest.
+            || (self.ve == 0.0 && self.vo == 0.0)
+            || self.t >= MAX_DURATION_S;
+        if resolved {
+            return Some(EncounterOutcome::Resolved {
+                min_gap: Meters::new(self.min_gap.max(0.0)).expect("clamped"),
+                closing_at_min: Speed::from_mps(self.closing_at_min).expect("non-negative"),
+            });
+        }
+        None
+    }
+
+    /// Side measurements of the trajectory so far.
+    pub fn stats(&self) -> EncounterStats {
+        EncounterStats {
+            max_commanded_brake: Acceleration::new(self.max_cmd).expect("bounded"),
+            detected: self.detected_at.is_some(),
+            duration_s: self.t,
+        }
+    }
+}
+
 /// Runs one encounter to completion.
 ///
-/// `faults` must already be sampled; the *world* resolves physics with the
-/// degraded braking either way, while the policy also plans with the
-/// degraded capability (the ADS knows its actual capability, Sec. II-B.3).
+/// `faults` must already be sampled; see [`EncounterSim`] for how they are
+/// applied.
 pub fn run_encounter<R: Rng + ?Sized>(
     challenge: &Challenge,
     ego_speed: Speed,
@@ -143,100 +328,10 @@ pub fn run_encounter<R: Rng + ?Sized>(
     faults: &ActiveFaults,
     rng: &mut R,
 ) -> (EncounterOutcome, EncounterStats) {
-    let perception = perception.with_range_factor(faults.sensor_factor);
-    let capability = vehicle
-        .max_brake
-        .scaled(faults.brake_factor)
-        .expect("fault factors are non-negative");
-
-    let mut gap = challenge.initial_gap.value();
-    let mut ve = ego_speed.as_mps();
-    let mut vo = challenge.object_speed.as_mps();
-    let object_decel = challenge.object_decel;
-
-    let mut t = 0.0;
-    let mut next_scan = 0.0;
-    let mut detected_at: Option<f64> = None;
-    let mut max_cmd: f64 = 0.0;
-    let mut min_gap = gap;
-    let mut closing_at_min = (ve - vo).max(0.0);
-
+    let mut sim = EncounterSim::new(challenge, ego_speed, vehicle, perception, faults);
     loop {
-        // Perception scans at the configured period.
-        if t >= next_scan {
-            next_scan += perception.scan_period_s;
-            if detected_at.is_none()
-                && perception.in_range(Meters::new(gap.max(0.0)).expect("gap clamped"))
-                && perception.scan_detects(rng)
-            {
-                detected_at = Some(t);
-            }
-        }
-
-        // Braking is authorized after detection plus the reaction time.
-        let braking_authorized = detected_at.is_some_and(|t0| t >= t0 + vehicle.reaction_time_s);
-        let closing = ve - vo;
-        let cmd = if braking_authorized && closing > 0.0 {
-            policy
-                .commanded_brake(
-                    Meters::new(gap.max(0.0)).expect("gap clamped"),
-                    Speed::from_mps(ve).expect("speeds are non-negative"),
-                    Speed::from_mps(vo).expect("speeds are non-negative"),
-                    vehicle,
-                    capability,
-                )
-                .value()
-        } else {
-            0.0
-        };
-        max_cmd = max_cmd.max(cmd);
-
-        // Integrate one step (semi-implicit Euler).
-        ve = (ve - cmd * DT).max(0.0);
-        vo = (vo - object_decel * DT).max(0.0);
-        gap -= (ve - vo) * DT;
-        t += DT;
-
-        let closing_now = ve - vo;
-        if gap < min_gap {
-            min_gap = gap;
-            closing_at_min = closing_now.max(0.0);
-        }
-
-        // Collision?
-        if gap <= 0.0 {
-            let impact = Speed::from_mps(closing_now.max(0.0)).expect("non-negative");
-            return (
-                EncounterOutcome::Collision {
-                    impact_speed: impact,
-                },
-                EncounterStats {
-                    max_commanded_brake: Acceleration::new(max_cmd).expect("bounded"),
-                    detected: detected_at.is_some(),
-                    duration_s: t,
-                },
-            );
-        }
-
-        // Object cleared the corridor?
-        let resolved = t >= challenge.clears_after_s
-            // No longer closing and some gap left.
-            || (closing_now <= 0.0 && gap > 0.0)
-            // Both at rest.
-            || (ve == 0.0 && vo == 0.0)
-            || t >= MAX_DURATION_S;
-        if resolved {
-            return (
-                EncounterOutcome::Resolved {
-                    min_gap: Meters::new(min_gap.max(0.0)).expect("clamped"),
-                    closing_at_min: Speed::from_mps(closing_at_min).expect("non-negative"),
-                },
-                EncounterStats {
-                    max_commanded_brake: Acceleration::new(max_cmd).expect("bounded"),
-                    detected: detected_at.is_some(),
-                    duration_s: t,
-                },
-            );
+        if let Some(outcome) = sim.step(policy, vehicle, rng) {
+            return (outcome, sim.stats());
         }
     }
 }

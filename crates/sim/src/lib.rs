@@ -51,6 +51,7 @@ pub mod perception;
 pub mod policy;
 pub mod scenario;
 pub mod severity;
+pub mod splitting;
 pub mod vehicle;
 
 pub use encounter::{Challenge, EncounterOutcome};
@@ -60,6 +61,7 @@ pub use perception::PerceptionParams;
 pub use policy::{CautiousPolicy, ReactivePolicy, TacticalPolicy};
 pub use scenario::{WorldConfig, ZoneSpec};
 pub use severity::OutcomeModel;
+pub use splitting::{SplittingConfig, SplittingResult};
 pub use vehicle::VehicleParams;
 
 #[cfg(test)]

@@ -26,6 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use rand::rngs::StdRng;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use qrn_core::classification::IncidentClassification;
@@ -41,6 +42,9 @@ use crate::faults::FaultPlan;
 use crate::perception::PerceptionParams;
 use crate::policy::TacticalPolicy;
 use crate::scenario::WorldConfig;
+use crate::splitting::{
+    run_encounter_splitting, SplittingAccumulator, SplittingConfig, SplittingResult, SplittingShift,
+};
 use crate::vehicle::VehicleParams;
 
 /// Shifts per work-queue block. Small enough that even a short campaign
@@ -158,7 +162,7 @@ impl<P: TacticalPolicy> Campaign<P> {
     fn run_seeded(&self, seed: u64) -> Result<CampaignResult, UnitError> {
         let zones = self.config.zones.len();
         let make = || RecordingAccumulator::new(zones);
-        let (mut partials, throughput) = self.execute(&[seed], &make)?;
+        let (mut partials, throughput) = self.execute_crude(&[seed], &make)?;
         let acc = partials.pop().expect("one accumulator per seed");
         self.finish_recording(acc, Some(throughput))
     }
@@ -180,7 +184,7 @@ impl<P: TacticalPolicy> Campaign<P> {
     ) -> Result<CountingResult, UnitError> {
         let zones = self.config.zones.len();
         let make = || CountingAccumulator::new(classification, zones);
-        let (mut partials, throughput) = self.execute(&[self.seed], &make)?;
+        let (mut partials, throughput) = self.execute_crude(&[self.seed], &make)?;
         let acc = partials.pop().expect("one accumulator per seed");
         Ok(self.finish_counting(acc, Some(throughput)))
     }
@@ -210,7 +214,7 @@ impl<P: TacticalPolicy> Campaign<P> {
         let seeds: Vec<u64> = (0..n).map(|i| self.seed + i).collect();
         let zones = self.config.zones.len();
         let make = || RecordingAccumulator::new(zones);
-        let (partials, throughput) = self.execute(&seeds, &make)?;
+        let (partials, throughput) = self.execute_crude(&seeds, &make)?;
 
         let mut encounter_rate = OnlineStats::new();
         let mut hard_brake_rate = OnlineStats::new();
@@ -270,7 +274,7 @@ impl<P: TacticalPolicy> Campaign<P> {
         let seeds: Vec<u64> = (0..n).map(|i| self.seed + i).collect();
         let zones = self.config.zones.len();
         let make = || CountingAccumulator::new(classification, zones);
-        let (partials, throughput) = self.execute(&seeds, &make)?;
+        let (partials, throughput) = self.execute_crude(&seeds, &make)?;
 
         let mut encounter_rate = OnlineStats::new();
         let mut hard_brake_rate = OnlineStats::new();
@@ -303,13 +307,45 @@ impl<P: TacticalPolicy> Campaign<P> {
         })
     }
 
+    /// [`execute`](Self::execute) specialised to the crude
+    /// ([`ShiftOutcome`]-producing) shift simulation.
+    fn execute_crude<A, F>(
+        &self,
+        seeds: &[u64],
+        make: &F,
+    ) -> Result<(Vec<A>, Throughput), UnitError>
+    where
+        A: ShiftAccumulator<Shift = ShiftOutcome>,
+        F: Fn() -> A + Sync,
+    {
+        let zones = self.config.zones.len();
+        self.execute(
+            seeds,
+            make,
+            &move || ShiftOutcome::empty(zones),
+            &|hours, rng, out| self.run_shift(hours, rng, out),
+        )
+    }
+
     /// The work-stealing engine: simulates every `(seed, block)` task on a
     /// shared pool and returns one order-merged accumulator per seed, in
     /// seed order, plus the pool's throughput statistics.
-    fn execute<A, F>(&self, seeds: &[u64], make: &F) -> Result<(Vec<A>, Throughput), UnitError>
+    ///
+    /// `make_shift` creates one scratch shift buffer per worker thread;
+    /// `run_shift` must fully overwrite it (reset + refill), so the inner
+    /// loop reuses the buffers instead of allocating per shift.
+    fn execute<A, F, MS, RS>(
+        &self,
+        seeds: &[u64],
+        make: &F,
+        make_shift: &MS,
+        run_shift: &RS,
+    ) -> Result<(Vec<A>, Throughput), UnitError>
     where
         A: ShiftAccumulator,
         F: Fn() -> A + Sync,
+        MS: Fn() -> A::Shift + Sync,
+        RS: Fn(f64, &mut StdRng, &mut A::Shift) + Sync,
     {
         if self.workers == 0 {
             return Err(UnitError::OutOfRange {
@@ -346,6 +382,9 @@ impl<P: TacticalPolicy> Campaign<P> {
                     scope.spawn(|| {
                         let mut local = Vec::new();
                         let mut stats = WorkerThroughput::default();
+                        // One scratch shift buffer per worker, recycled
+                        // across every shift this worker claims.
+                        let mut scratch = make_shift();
                         loop {
                             let task = queue.fetch_add(1, Ordering::Relaxed);
                             if task >= total_tasks {
@@ -361,7 +400,8 @@ impl<P: TacticalPolicy> Campaign<P> {
                                 let remaining = hours - shift as f64 * shift_hours;
                                 let this_shift = shift_hours.min(remaining);
                                 let mut rng = substreams[rep].stream(shift);
-                                acc.absorb(self.run_shift(this_shift, &mut rng));
+                                run_shift(this_shift, &mut rng, &mut scratch);
+                                acc.absorb(&mut scratch);
                                 stats.sim_hours += this_shift;
                             }
                             stats.shifts += last - first;
@@ -429,6 +469,7 @@ impl<P: TacticalPolicy> Campaign<P> {
             hard_brake_demands: totals.hard_brake_demands,
             undetected_encounters: totals.undetected_encounters,
             mean_cruise_kmh: totals.mean_cruise_kmh(),
+            encounter_seconds: totals.encounter_seconds,
             zone_hours,
             zone_encounters,
             throughput,
@@ -457,15 +498,53 @@ impl<P: TacticalPolicy> Campaign<P> {
             hard_brake_demands: totals.hard_brake_demands,
             undetected_encounters: totals.undetected_encounters,
             mean_cruise_kmh: totals.mean_cruise_kmh(),
+            encounter_seconds: totals.encounter_seconds,
             zone_hours,
             zone_encounters,
             throughput,
         }
     }
 
-    /// Simulates one shift of `hours` driving.
-    fn run_shift(&self, hours: f64, rng: &mut StdRng) -> ShiftOutcome {
-        let mut result = ShiftOutcome::new(hours, self.config.zones.len());
+    /// Runs the campaign as a multilevel-splitting rare-event estimation
+    /// (see [`crate::splitting`]): encounters whose severity crosses the
+    /// configured levels are cloned with likelihood weights, and the
+    /// weighted masses are classified per incident type on the fly.
+    ///
+    /// Shares the exposure partition, substream layout and block-ordered
+    /// merge with the crude engine, so the result is bit-identical for any
+    /// worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] for a zero-hour campaign or zero workers.
+    pub fn run_splitting(
+        &self,
+        classification: &IncidentClassification,
+        config: &SplittingConfig,
+    ) -> Result<SplittingResult, UnitError> {
+        let make = || SplittingAccumulator::new(classification);
+        let run = |hours: f64, rng: &mut StdRng, out: &mut SplittingShift| {
+            self.run_splitting_shift(hours, rng, config, out);
+        };
+        let (mut partials, throughput) =
+            self.execute(&[self.seed], &make, &SplittingShift::empty, &run)?;
+        let acc = partials.pop().expect("one accumulator per seed");
+        acc.finish(self.policy.name(), config, Some(throughput))
+    }
+
+    /// The shared zone walk: advances through the zone cycle, draws
+    /// challenge arrivals, and hands every cruise segment and encounter to
+    /// the callbacks. Both engines (crude and splitting) drive their shifts
+    /// through this one function, so the exposure process — including its
+    /// RNG draw order — is identical by construction.
+    fn walk_shift<S>(
+        &self,
+        hours: f64,
+        rng: &mut StdRng,
+        out: &mut S,
+        mut on_segment: impl FnMut(&mut S, usize, f64, Speed),
+        mut on_encounter: impl FnMut(&mut S, usize, usize, Speed, &PerceptionParams, &mut StdRng),
+    ) {
         let mut t = 0.0; // hours into the shift
         let mut zone_idx = 0;
         let mut zone_left = self.config.zones[0].dwell.value();
@@ -503,22 +582,13 @@ impl<P: TacticalPolicy> Campaign<P> {
                 Some((dt, template_idx)) if dt < until_zone_end => {
                     t += dt;
                     zone_left -= dt;
-                    result.speed_time += cruise.as_kmh() * dt;
-                    result.zone_hours[zone_idx] += dt;
-                    result.zone_encounters[zone_idx] += 1;
-                    self.run_one_encounter(
-                        template_idx,
-                        cruise,
-                        &zone_perception,
-                        rng,
-                        &mut result,
-                    );
+                    on_segment(out, zone_idx, dt, cruise);
+                    on_encounter(out, zone_idx, template_idx, cruise, &zone_perception, rng);
                 }
                 _ => {
                     t += until_zone_end;
                     zone_left -= until_zone_end;
-                    result.speed_time += cruise.as_kmh() * until_zone_end;
-                    result.zone_hours[zone_idx] += until_zone_end;
+                    on_segment(out, zone_idx, until_zone_end, cruise);
                 }
             }
             if zone_left <= 1e-12 {
@@ -526,7 +596,64 @@ impl<P: TacticalPolicy> Campaign<P> {
                 zone_left = self.config.zones[zone_idx].dwell.value();
             }
         }
-        result
+    }
+
+    /// Simulates one shift of `hours` driving into the scratch buffer.
+    fn run_shift(&self, hours: f64, rng: &mut StdRng, result: &mut ShiftOutcome) {
+        result.reset(hours);
+        self.walk_shift(
+            hours,
+            rng,
+            result,
+            |out, zone_idx, dt, cruise| {
+                out.speed_time += cruise.as_kmh() * dt;
+                out.zone_hours[zone_idx] += dt;
+            },
+            |out, zone_idx, template_idx, cruise, zone_perception, rng| {
+                out.zone_encounters[zone_idx] += 1;
+                self.run_one_encounter(template_idx, cruise, zone_perception, rng, out);
+            },
+        );
+    }
+
+    /// Simulates one splitting shift into the scratch buffer: the same
+    /// exposure walk, but every encounter becomes a splitting cascade
+    /// seeded by one draw from the shift stream.
+    fn run_splitting_shift(
+        &self,
+        hours: f64,
+        rng: &mut StdRng,
+        config: &SplittingConfig,
+        out: &mut SplittingShift,
+    ) {
+        out.reset(hours);
+        self.walk_shift(
+            hours,
+            rng,
+            out,
+            |_, _, _, _| {},
+            |out, _zone_idx, template_idx, cruise, zone_perception, rng| {
+                let template = &self.config.challenges[template_idx];
+                let challenge = Challenge::sample(template, cruise, rng);
+                let faults = self.faults.sample(rng);
+                // One seed per encounter: the cascade below is a pure
+                // function of it, whatever the splitting does.
+                let encounter_seed = rng.next_u64();
+                run_encounter_splitting(
+                    &challenge,
+                    cruise,
+                    &self.policy,
+                    &self.vehicle,
+                    zone_perception,
+                    &faults,
+                    &self.induced,
+                    config,
+                    encounter_seed,
+                    Involvement::ego_with(template.object),
+                    out,
+                );
+            },
+        );
     }
 
     fn run_one_encounter(
@@ -550,6 +677,7 @@ impl<P: TacticalPolicy> Campaign<P> {
             rng,
         );
         result.encounters += 1;
+        result.encounter_seconds += stats.duration_s;
         if !stats.detected {
             result.undetected_encounters += 1;
         }
@@ -577,27 +705,38 @@ impl<P: TacticalPolicy> Campaign<P> {
             }
         }
         // Induced rear-end conflict behind hard ego braking.
-        if stats.max_commanded_brake > self.induced.hard_brake_threshold
-            && bernoulli(rng, self.induced.follower_probability)
-        {
-            let excess =
-                stats.max_commanded_brake.value() - self.induced.hard_brake_threshold.value();
-            let pair = Involvement::induced(ObjectType::Car, ObjectType::Car);
-            if bernoulli(rng, (0.1 * excess).min(0.3)) {
-                let impact = uniform(rng, 2.0, 5.0 + 10.0 * excess);
-                result.records.push(IncidentRecord::collision(
-                    pair,
-                    Speed::from_kmh(impact).expect("bounded"),
-                ));
-            } else {
-                result.records.push(IncidentRecord::near_miss(
-                    pair,
-                    Meters::new(uniform(rng, 0.1, 1.5)).expect("bounded"),
-                    Speed::from_kmh(uniform(rng, 5.0, 30.0)).expect("bounded"),
-                ));
-            }
+        if let Some(record) = sample_induced(stats.max_commanded_brake, &self.induced, rng) {
+            result.records.push(record);
         }
     }
+}
+
+/// Rolls the induced-incident model once: does the ego's hardest braking
+/// force a follower into a rear-end conflict, and how does it end? Draws
+/// from `rng` only as far as the short-circuit evaluation gets, exactly as
+/// the inline code it replaces, so crude campaigns stay bit-identical.
+pub(crate) fn sample_induced<R: rand::Rng + ?Sized>(
+    max_commanded_brake: Acceleration,
+    induced: &InducedParams,
+    rng: &mut R,
+) -> Option<IncidentRecord> {
+    if !(max_commanded_brake > induced.hard_brake_threshold
+        && bernoulli(rng, induced.follower_probability))
+    {
+        return None;
+    }
+    let excess = max_commanded_brake.value() - induced.hard_brake_threshold.value();
+    let pair = Involvement::induced(ObjectType::Car, ObjectType::Car);
+    Some(if bernoulli(rng, (0.1 * excess).min(0.3)) {
+        let impact = uniform(rng, 2.0, 5.0 + 10.0 * excess);
+        IncidentRecord::collision(pair, Speed::from_kmh(impact).expect("bounded"))
+    } else {
+        IncidentRecord::near_miss(
+            pair,
+            Meters::new(uniform(rng, 0.1, 1.5)).expect("bounded"),
+            Speed::from_kmh(uniform(rng, 5.0, 30.0)).expect("bounded"),
+        )
+    })
 }
 
 /// One worker count per available CPU, with a fallback of one.
@@ -624,6 +763,10 @@ pub struct ShiftOutcome {
     pub undetected_encounters: u64,
     /// Integral of cruise speed over time, km/h·h.
     pub speed_time: f64,
+    /// Integrated encounter-simulation time, seconds of 10 ms stepping —
+    /// the deterministic compute-cost proxy used for matched-compute
+    /// comparisons against splitting campaigns.
+    pub encounter_seconds: f64,
     /// Time spent per zone index, hours.
     pub zone_hours: Vec<f64>,
     /// Challenges encountered per zone index.
@@ -631,16 +774,37 @@ pub struct ShiftOutcome {
 }
 
 impl ShiftOutcome {
-    fn new(hours: f64, zones: usize) -> Self {
+    /// An empty outcome buffer for a world with `zones` zones. The engine
+    /// creates one per worker and recycles it across every shift the
+    /// worker simulates ([`reset`](ShiftOutcome::reset) + refill).
+    pub fn empty(zones: usize) -> Self {
         ShiftOutcome {
-            hours,
+            hours: 0.0,
             records: Vec::new(),
             encounters: 0,
             hard_brake_demands: 0,
             undetected_encounters: 0,
             speed_time: 0.0,
+            encounter_seconds: 0.0,
             zone_hours: vec![0.0; zones],
             zone_encounters: vec![0; zones],
+        }
+    }
+
+    /// Clears the buffer for the next shift, keeping allocations.
+    pub fn reset(&mut self, hours: f64) {
+        self.hours = hours;
+        self.records.clear();
+        self.encounters = 0;
+        self.hard_brake_demands = 0;
+        self.undetected_encounters = 0;
+        self.speed_time = 0.0;
+        self.encounter_seconds = 0.0;
+        for h in &mut self.zone_hours {
+            *h = 0.0;
+        }
+        for n in &mut self.zone_encounters {
+            *n = 0;
         }
     }
 }
@@ -653,9 +817,18 @@ impl ShiftOutcome {
 /// must equal absorbing the later partial's shifts directly — i.e. be the
 /// associative extension of `absorb` — which is what makes the campaign
 /// outcome independent of how blocks were scheduled across workers.
+///
+/// `absorb` receives the shift by `&mut` because the engine reuses one
+/// scratch [`Shift`](ShiftAccumulator::Shift) buffer per worker thread:
+/// the accumulator may drain it (move records out), and the engine resets
+/// it before the next shift — the hot loop allocates nothing once the
+/// buffers have warmed up.
 pub trait ShiftAccumulator: Send {
-    /// Folds one shift, in shift order within the block.
-    fn absorb(&mut self, shift: ShiftOutcome);
+    /// What one simulated shift produces for this accumulator.
+    type Shift: Send;
+    /// Folds one shift, in shift order within the block. May drain the
+    /// shift's buffers; the engine resets them before reuse.
+    fn absorb(&mut self, shift: &mut Self::Shift);
     /// Appends a partial that covers strictly later shifts.
     fn merge(&mut self, later: Self);
 }
@@ -668,6 +841,7 @@ struct CampaignTotals {
     hard_brake_demands: u64,
     undetected_encounters: u64,
     speed_time: f64,
+    encounter_seconds: f64,
     zone_hours: Vec<f64>,
     zone_encounters: Vec<u64>,
 }
@@ -687,6 +861,7 @@ impl CampaignTotals {
         self.hard_brake_demands += shift.hard_brake_demands;
         self.undetected_encounters += shift.undetected_encounters;
         self.speed_time += shift.speed_time;
+        self.encounter_seconds += shift.encounter_seconds;
         for (sum, h) in self.zone_hours.iter_mut().zip(&shift.zone_hours) {
             *sum += h;
         }
@@ -701,6 +876,7 @@ impl CampaignTotals {
         self.hard_brake_demands += later.hard_brake_demands;
         self.undetected_encounters += later.undetected_encounters;
         self.speed_time += later.speed_time;
+        self.encounter_seconds += later.encounter_seconds;
         for (sum, h) in self.zone_hours.iter_mut().zip(&later.zone_hours) {
             *sum += h;
         }
@@ -758,9 +934,11 @@ impl RecordingAccumulator {
 }
 
 impl ShiftAccumulator for RecordingAccumulator {
-    fn absorb(&mut self, shift: ShiftOutcome) {
-        self.totals.absorb(&shift);
-        self.records.extend(shift.records);
+    type Shift = ShiftOutcome;
+
+    fn absorb(&mut self, shift: &mut ShiftOutcome) {
+        self.totals.absorb(shift);
+        self.records.append(&mut shift.records);
     }
 
     fn merge(&mut self, later: Self) {
@@ -795,8 +973,10 @@ impl<'c> CountingAccumulator<'c> {
 }
 
 impl ShiftAccumulator for CountingAccumulator<'_> {
-    fn absorb(&mut self, shift: ShiftOutcome) {
-        self.totals.absorb(&shift);
+    type Shift = ShiftOutcome;
+
+    fn absorb(&mut self, shift: &mut ShiftOutcome) {
+        self.totals.absorb(shift);
         self.measured
             .add_exposure(Hours::new(shift.hours).expect("shift durations are positive"));
         self.records_per_shift.push(shift.records.len() as f64);
@@ -875,6 +1055,10 @@ pub struct CampaignResult {
     pub undetected_encounters: u64,
     /// Exposure-weighted mean cruise speed, km/h.
     pub mean_cruise_kmh: f64,
+    /// Integrated encounter-simulation time, seconds of 10 ms stepping —
+    /// the deterministic compute-cost proxy for matched-compute
+    /// comparisons against splitting campaigns.
+    pub encounter_seconds: f64,
     /// Time spent per zone, hours.
     zone_hours: BTreeMap<String, f64>,
     /// Challenges encountered per zone.
@@ -898,6 +1082,7 @@ impl PartialEq for CampaignResult {
             && self.hard_brake_demands == other.hard_brake_demands
             && self.undetected_encounters == other.undetected_encounters
             && self.mean_cruise_kmh == other.mean_cruise_kmh
+            && self.encounter_seconds == other.encounter_seconds
             && self.zone_hours == other.zone_hours
             && self.zone_encounters == other.zone_encounters
     }
@@ -974,6 +1159,10 @@ pub struct CountingResult {
     pub undetected_encounters: u64,
     /// Exposure-weighted mean cruise speed, km/h.
     pub mean_cruise_kmh: f64,
+    /// Integrated encounter-simulation time, seconds of 10 ms stepping —
+    /// the deterministic compute-cost proxy for matched-compute
+    /// comparisons against splitting campaigns.
+    pub encounter_seconds: f64,
     /// Time spent per zone, hours.
     zone_hours: BTreeMap<String, f64>,
     /// Challenges encountered per zone.
@@ -998,6 +1187,7 @@ impl PartialEq for CountingResult {
             && self.hard_brake_demands == other.hard_brake_demands
             && self.undetected_encounters == other.undetected_encounters
             && self.mean_cruise_kmh == other.mean_cruise_kmh
+            && self.encounter_seconds == other.encounter_seconds
             && self.zone_hours == other.zone_hours
             && self.zone_encounters == other.zone_encounters
     }
@@ -1549,7 +1739,11 @@ mod tests {
             .unwrap();
         assert!((result.exposure().value() - 1_000_000.0).abs() < 1e-3);
         assert_eq!(
-            result.throughput.as_ref().expect("run_counting owns its pool").shifts,
+            result
+                .throughput
+                .as_ref()
+                .expect("run_counting owns its pool")
+                .shifts,
             100_000
         );
         assert!(result.measured.total() > 0);

@@ -40,6 +40,15 @@ impl PerceptionParams {
         gap < self.detection_range
     }
 
+    /// Raw-`f64` twin of [`in_range`](Self::in_range) for the encounter
+    /// hot loop, which runs every 10 ms step and must not pay newtype
+    /// validation for a plain comparison. Same predicate, bit-identical
+    /// verdicts.
+    #[inline]
+    pub fn in_range_raw(&self, gap_m: f64) -> bool {
+        gap_m < self.detection_range.value()
+    }
+
     /// Rolls one scan: does the stack see a detectable object this scan?
     pub fn scan_detects<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
         !bernoulli(rng, self.miss_probability.value())

@@ -52,6 +52,30 @@ pub trait TacticalPolicy: Send + Sync {
         vehicle: &VehicleParams,
         capability: Acceleration,
     ) -> Acceleration;
+
+    /// Raw-`f64` twin of [`commanded_brake`](Self::commanded_brake) for the
+    /// encounter hot loop (one call per 10 ms step), returning the
+    /// commanded deceleration in m/s². The default forwards through the
+    /// validated newtypes, so external policies stay correct without
+    /// changes; the built-in policies override it with the identical
+    /// arithmetic on plain floats — same inputs, bit-identical command.
+    fn commanded_brake_raw(
+        &self,
+        gap_m: f64,
+        ego_mps: f64,
+        object_mps: f64,
+        vehicle: &VehicleParams,
+        capability: Acceleration,
+    ) -> f64 {
+        self.commanded_brake(
+            Meters::new(gap_m).expect("non-negative gap"),
+            Speed::from_mps(ego_mps).expect("non-negative ego speed"),
+            Speed::from_mps(object_mps).expect("non-negative object speed"),
+            vehicle,
+            capability,
+        )
+        .value()
+    }
 }
 
 /// Baseline policy: cruise at the limit, full braking below a fixed
@@ -103,6 +127,26 @@ impl TacticalPolicy for ReactivePolicy {
             capability
         } else {
             Acceleration::ZERO
+        }
+    }
+
+    fn commanded_brake_raw(
+        &self,
+        gap_m: f64,
+        ego_mps: f64,
+        object_mps: f64,
+        _vehicle: &VehicleParams,
+        capability: Acceleration,
+    ) -> f64 {
+        let closing = ego_mps - object_mps;
+        if closing <= 0.0 {
+            return 0.0;
+        }
+        let ttc = gap_m / closing;
+        if ttc < self.ttc_threshold_s {
+            capability.value()
+        } else {
+            0.0
         }
     }
 }
@@ -189,6 +233,34 @@ impl TacticalPolicy for CautiousPolicy {
             needed * 1.2
         };
         Acceleration::new(cmd.min(capability.value())).expect("bounded positive value")
+    }
+
+    fn commanded_brake_raw(
+        &self,
+        gap_m: f64,
+        ego_mps: f64,
+        object_mps: f64,
+        vehicle: &VehicleParams,
+        capability: Acceleration,
+    ) -> f64 {
+        let ve = ego_mps;
+        let vo = object_mps;
+        if ve <= vo || ve == 0.0 {
+            return 0.0;
+        }
+        let object_stop = vo * vo / (2.0 * capability.value().max(0.1));
+        let usable_gap = (gap_m + object_stop - self.buffer_m).max(0.05);
+        let needed = ve * ve / (2.0 * usable_gap);
+        let close_range = gap_m < 2.0 * self.buffer_m;
+        if needed < vehicle.comfort_brake.value() / 3.0 && !close_range {
+            return 0.0;
+        }
+        let cmd = if close_range {
+            (needed * 1.2).max(vehicle.comfort_brake.value())
+        } else {
+            needed * 1.2
+        };
+        cmd.min(capability.value())
     }
 }
 

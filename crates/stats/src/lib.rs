@@ -9,14 +9,17 @@
 //! * [`special`] — log-gamma, regularized incomplete gamma and beta
 //!   functions, and their inverses; the numerical bedrock.
 //! * [`poisson`] — exact (Garwood) confidence intervals for Poisson rates,
-//!   one-sided demonstration bounds, and required-exposure planning
-//!   ("how many fleet hours until we can claim the budget is met?").
+//!   one-sided demonstration bounds, required-exposure planning ("how many
+//!   fleet hours until we can claim the budget is met?"), and weighted
+//!   variants for variance-reduced campaigns (effective-sample-size
+//!   intervals over importance-weighted event masses).
 //! * [`binomial`] — Clopper–Pearson intervals for outcome shares (the
 //!   fraction of an incident type's occurrences landing in each consequence
 //!   class).
 //! * [`sequential`] — a sequential probability ratio test (SPRT) for rates,
 //!   for monitoring a fleet as evidence accumulates.
-//! * [`summary`] — online moments, quantiles and histograms.
+//! * [`summary`] — online moments (plain and importance-weighted),
+//!   quantiles and histograms.
 //! * [`rng`] — reproducible seeding, stream splitting and the Poisson /
 //!   exponential / Bernoulli samplers used by the simulator.
 //!

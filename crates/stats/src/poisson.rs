@@ -206,6 +206,230 @@ impl PoissonRate {
     }
 }
 
+/// A sum of importance-weighted event observations, as produced by a
+/// variance-reduced (e.g. multilevel-splitting) campaign.
+///
+/// Each observation is the weighted event mass one independent exposure
+/// unit (an encounter) contributed: `Σ w_particle · 1{event}` over the
+/// particles spawned from that unit. Tracking `Σw` and `Σw²` is enough to
+/// recover the unbiased total, Kish's effective sample size, and the
+/// variance-reduction factor relative to crude Monte Carlo at the same
+/// exposure.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WeightedCount {
+    total: f64,
+    total_sq: f64,
+    observations: u64,
+}
+
+impl WeightedCount {
+    /// Creates an empty weighted count.
+    pub fn new() -> Self {
+        WeightedCount::default()
+    }
+
+    /// Adds one observation of weighted event mass `weight`. Zero-weight
+    /// observations are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative or not finite.
+    pub fn push(&mut self, weight: f64) {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "weights must be finite and non-negative, got {weight}"
+        );
+        if weight == 0.0 {
+            return;
+        }
+        self.total += weight;
+        self.total_sq += weight * weight;
+        self.observations += 1;
+    }
+
+    /// Merges another weighted count into this one (parallel reduction).
+    pub fn merge(&mut self, other: &WeightedCount) {
+        self.total += other.total;
+        self.total_sq += other.total_sq;
+        self.observations += other.observations;
+    }
+
+    /// Unbiased estimate of the expected event count, `Σw`.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Sum of squared observation weights, `Σw²`.
+    pub fn total_sq(&self) -> f64 {
+        self.total_sq
+    }
+
+    /// Number of non-zero observations folded.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Kish's effective sample size `(Σw)² / Σw²` — how many *unit-weight*
+    /// events this weighted mass is statistically worth.
+    pub fn effective_count(&self) -> f64 {
+        if self.total_sq > 0.0 {
+            self.total * self.total / self.total_sq
+        } else {
+            0.0
+        }
+    }
+
+    /// Variance-reduction factor vs. crude Monte Carlo at the *same
+    /// exposure*: `Σw / Σw²`.
+    ///
+    /// A crude campaign observing the same expected mass `Σw` as unit-weight
+    /// events has estimator variance `∝ Σw`; the weighted estimator's is
+    /// `∝ Σw²`. Unit weights give exactly 1. This is a per-exposure factor —
+    /// multiply by (crude cost / weighted cost) to get the matched-compute
+    /// figure.
+    pub fn variance_reduction(&self) -> f64 {
+        if self.total_sq > 0.0 {
+            self.total / self.total_sq
+        } else {
+            1.0
+        }
+    }
+}
+
+/// A weighted event mass over an exposure: the splitting-aware analogue of
+/// [`PoissonRate`].
+///
+/// Confidence intervals use Garwood's construction on the *effective*
+/// observation: `k_eff = (Σw)²/Σw²` events over `T_eff = T·Σw/Σw²` hours.
+/// This pair preserves the point estimate (`k_eff/T_eff = Σw/T`) while the
+/// interval width reflects the information actually carried by the weighted
+/// sample ([`chi_square_quantile`] accepts the fractional degrees of freedom
+/// this produces). With unit weights it reduces exactly to [`PoissonRate`].
+///
+/// # Examples
+///
+/// ```
+/// use qrn_stats::poisson::{PoissonRate, WeightedCount, WeightedPoissonRate};
+/// use qrn_units::Hours;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut count = WeightedCount::new();
+/// for _ in 0..5 {
+///     count.push(1.0); // unit weights ≙ crude MC
+/// }
+/// let weighted = WeightedPoissonRate::new(count, Hours::new(1.0e4)?);
+/// let crude = PoissonRate::new(5, Hours::new(1.0e4)?);
+/// let a = weighted.confidence_interval(0.95)?;
+/// let b = crude.confidence_interval(0.95)?;
+/// assert!((a.upper.as_per_hour() - b.upper.as_per_hour()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightedPoissonRate {
+    /// The weighted event observations.
+    pub count: WeightedCount,
+    /// Exposure over which the observations were collected.
+    pub exposure: Hours,
+}
+
+impl WeightedPoissonRate {
+    /// Creates a weighted observation of `count` over `exposure`.
+    pub fn new(count: WeightedCount, exposure: Hours) -> Self {
+        WeightedPoissonRate { count, exposure }
+    }
+
+    /// Maximum-likelihood point estimate `Σw / T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if the exposure is zero.
+    pub fn point_estimate(&self) -> Result<Frequency, StatsError> {
+        Frequency::from_count(self.count.total(), self.exposure).map_err(StatsError::from)
+    }
+
+    /// Effective number of events and effective exposure `(k_eff, T_eff)`.
+    ///
+    /// With no events observed, falls back to `(0, T)` — the weights are
+    /// unknown, so the zero-event bound is taken at face (unit-weight)
+    /// exposure, which is the conservative choice.
+    pub fn effective(&self) -> (f64, Hours) {
+        if self.count.total_sq() == 0.0 {
+            return (0.0, self.exposure);
+        }
+        let scale = self.count.total() / self.count.total_sq();
+        let t_eff = Hours::new(self.exposure.value() * scale)
+            .expect("scaling a valid exposure by a positive finite factor");
+        (self.count.effective_count(), t_eff)
+    }
+
+    /// Exact two-sided Garwood interval on the effective observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] for zero exposure or a confidence level
+    /// outside `(0, 1)`.
+    pub fn confidence_interval(&self, confidence: f64) -> Result<RateInterval, StatsError> {
+        let confidence = check_confidence(confidence)?;
+        self.require_exposure()?;
+        let alpha = 1.0 - confidence;
+        let (k, t_eff) = self.effective();
+        let t = t_eff.value();
+        let lower = if k == 0.0 {
+            Frequency::ZERO
+        } else {
+            Frequency::per_hour(chi_square_quantile(2.0 * k, alpha / 2.0)? / (2.0 * t))?
+        };
+        let upper = Frequency::per_hour(
+            chi_square_quantile(2.0 * k + 2.0, 1.0 - alpha / 2.0)? / (2.0 * t),
+        )?;
+        Ok(RateInterval {
+            lower,
+            upper,
+            confidence,
+        })
+    }
+
+    /// One-sided upper confidence bound on the effective observation — the
+    /// bound a demonstration argument compares against a budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] for zero exposure or invalid confidence.
+    pub fn upper_bound(&self, confidence: f64) -> Result<Frequency, StatsError> {
+        let confidence = check_confidence(confidence)?;
+        self.require_exposure()?;
+        let (k, t_eff) = self.effective();
+        Frequency::per_hour(chi_square_quantile(2.0 * k + 2.0, confidence)? / (2.0 * t_eff.value()))
+            .map_err(StatsError::from)
+    }
+
+    /// Returns `true` when the weighted observation demonstrates the true
+    /// rate below `budget` with the given one-sided confidence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] for zero exposure or invalid confidence.
+    pub fn demonstrates_below(
+        &self,
+        budget: Frequency,
+        confidence: f64,
+    ) -> Result<bool, StatsError> {
+        Ok(self.upper_bound(confidence)? <= budget)
+    }
+
+    fn require_exposure(&self) -> Result<(), StatsError> {
+        if self.exposure.value() == 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "exposure",
+                value: 0.0,
+                expected: "a strictly positive exposure",
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Exposure (in hours) of *failure-free* operation needed to demonstrate a
 /// rate below `budget` with one-sided confidence `confidence`.
 ///
@@ -492,6 +716,136 @@ mod tests {
         assert!(rate_equality_p_value(a, b).is_err());
         let c = PoissonRate::new(5, Hours::ZERO);
         assert!(rate_equality_p_value(a, c).is_err());
+    }
+
+    #[test]
+    fn weighted_count_with_unit_weights_matches_plain_count() {
+        let mut w = WeightedCount::new();
+        for _ in 0..7 {
+            w.push(1.0);
+        }
+        assert_eq!(w.observations(), 7);
+        assert!((w.total() - 7.0).abs() < 1e-12);
+        assert!((w.effective_count() - 7.0).abs() < 1e-12);
+        assert!((w.variance_reduction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_rate_with_unit_weights_reduces_to_garwood() {
+        let mut count = WeightedCount::new();
+        for _ in 0..5 {
+            count.push(1.0);
+        }
+        let weighted = WeightedPoissonRate::new(count, hours(1e4));
+        let crude = PoissonRate::new(5, hours(1e4));
+        let a = weighted.confidence_interval(0.95).unwrap();
+        let b = crude.confidence_interval(0.95).unwrap();
+        assert!((a.lower.as_per_hour() - b.lower.as_per_hour()).abs() < 1e-15);
+        assert!((a.upper.as_per_hour() - b.upper.as_per_hour()).abs() < 1e-15);
+        let ua = weighted.upper_bound(0.99).unwrap();
+        let ub = crude.upper_bound(0.99).unwrap();
+        assert!((ua.as_per_hour() - ub.as_per_hour()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn small_weights_reduce_variance() {
+        // 100 observations of weight 1e-2 carry the same total mass as one
+        // unit event but the ESS of 100 events: the interval must be tighter.
+        let mut small = WeightedCount::new();
+        for _ in 0..100 {
+            small.push(1e-2);
+        }
+        assert!((small.total() - 1.0).abs() < 1e-9);
+        assert!((small.effective_count() - 100.0).abs() < 1e-6);
+        assert!((small.variance_reduction() - 100.0).abs() < 1e-6);
+        let weighted = WeightedPoissonRate::new(small, hours(1e3));
+        let crude = PoissonRate::new(1, hours(1e3));
+        let wi = weighted.confidence_interval(0.95).unwrap();
+        let ci = crude.confidence_interval(0.95).unwrap();
+        assert!(wi.width() < ci.width());
+        // Point estimates agree: both saw total mass 1 over 1e3 h.
+        assert!(
+            (weighted.point_estimate().unwrap().as_per_hour()
+                - crude.point_estimate().unwrap().as_per_hour())
+            .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn one_dominant_weight_collapses_ess() {
+        let mut w = WeightedCount::new();
+        w.push(1.0);
+        for _ in 0..50 {
+            w.push(1e-6);
+        }
+        assert!(w.effective_count() < 1.01);
+    }
+
+    #[test]
+    fn weighted_zero_events_matches_crude_zero_bound() {
+        let weighted = WeightedPoissonRate::new(WeightedCount::new(), hours(100.0));
+        let crude = PoissonRate::new(0, hours(100.0));
+        let a = weighted.upper_bound(0.95).unwrap();
+        let b = crude.upper_bound(0.95).unwrap();
+        assert!((a.as_per_hour() - b.as_per_hour()).abs() < 1e-15);
+        let ci = weighted.confidence_interval(0.95).unwrap();
+        assert_eq!(ci.lower, Frequency::ZERO);
+    }
+
+    #[test]
+    fn weighted_count_merge_is_associative_sum() {
+        let mut a = WeightedCount::new();
+        a.push(0.5);
+        a.push(0.25);
+        let mut b = WeightedCount::new();
+        b.push(1.0);
+        let mut m = a;
+        m.merge(&b);
+        assert!((m.total() - 1.75).abs() < 1e-12);
+        assert!((m.total_sq() - (0.25 + 0.0625 + 1.0)).abs() < 1e-12);
+        assert_eq!(m.observations(), 3);
+    }
+
+    #[test]
+    fn weighted_demonstration_flips_with_enough_effective_exposure() {
+        let budget = fph(1e-5);
+        // 10 observations of weight 1e-3 over 1e4 h: rate 1e-6, but the
+        // effective exposure is 1e4 * 1e3 = 1e7 h with k_eff = 10 events —
+        // enough to demonstrate a 1e-5 budget.
+        let mut count = WeightedCount::new();
+        for _ in 0..10 {
+            count.push(1e-3);
+        }
+        let weighted = WeightedPoissonRate::new(count, hours(1e4));
+        assert!(weighted.demonstrates_below(budget, 0.95).unwrap());
+        // The crude equivalent (10 events in 1e4 h → rate 1e-3) cannot.
+        assert!(!PoissonRate::new(10, hours(1e4))
+            .demonstrates_below(budget, 0.95)
+            .unwrap());
+    }
+
+    #[test]
+    fn weighted_rejects_degenerate_inputs() {
+        let weighted = WeightedPoissonRate::new(WeightedCount::new(), Hours::ZERO);
+        assert!(weighted.point_estimate().is_err());
+        assert!(weighted.confidence_interval(0.95).is_err());
+        let mut count = WeightedCount::new();
+        count.push(1.0);
+        let weighted = WeightedPoissonRate::new(count, hours(10.0));
+        assert!(weighted.confidence_interval(0.0).is_err());
+        assert!(weighted.confidence_interval(1.0).is_err());
+    }
+
+    #[test]
+    fn weighted_serde_round_trip() {
+        let mut count = WeightedCount::new();
+        count.push(0.125);
+        count.push(2.0);
+        let obs = WeightedPoissonRate::new(count, hours(123.0));
+        let back: WeightedPoissonRate =
+            serde_json::from_str(&serde_json::to_string(&obs).unwrap()).unwrap();
+        assert_eq!(obs, back);
     }
 
     #[test]

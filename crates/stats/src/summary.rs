@@ -116,6 +116,144 @@ impl OnlineStats {
     }
 }
 
+/// Online weighted mean/variance accumulator (West's incremental
+/// algorithm), for samples that carry importance weights.
+///
+/// Rare-event engines (multilevel splitting, importance sampling) produce
+/// observations whose weights are likelihood ratios rather than counts.
+/// This accumulator folds `(weight, value)` pairs without retaining them,
+/// tracks the sums needed for the effective sample size, and merges like
+/// [`OnlineStats`] so it can ride the same parallel reductions.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_stats::summary::WeightedOnlineStats;
+///
+/// let mut s = WeightedOnlineStats::new();
+/// s.push(1.0, 10.0);
+/// s.push(3.0, 20.0);
+/// assert!((s.mean() - 17.5).abs() < 1e-12);
+/// assert!((s.effective_sample_size() - 1.6).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WeightedOnlineStats {
+    count: u64,
+    sum_weights: f64,
+    sum_squared_weights: f64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl WeightedOnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        WeightedOnlineStats {
+            count: 0,
+            sum_weights: 0.0,
+            sum_squared_weights: 0.0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample with the given non-negative weight. Zero-weight
+    /// samples are ignored (they carry no information).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative or not finite.
+    pub fn push(&mut self, weight: f64, x: f64) {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "weights must be finite and non-negative, got {weight}"
+        );
+        if weight == 0.0 {
+            return;
+        }
+        self.count += 1;
+        self.sum_weights += weight;
+        self.sum_squared_weights += weight * weight;
+        let delta = x - self.mean;
+        self.mean += delta * weight / self.sum_weights;
+        self.m2 += weight * delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of (non-zero-weight) samples seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Total weight folded so far.
+    pub fn total_weight(&self) -> f64 {
+        self.sum_weights
+    }
+
+    /// Weighted mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Weighted population variance (`Σw·(x−μ)² / Σw`), or 0 when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.sum_weights > 0.0 {
+            self.m2 / self.sum_weights
+        } else {
+            0.0
+        }
+    }
+
+    /// Kish's effective sample size `(Σw)² / Σw²`: how many equal-weight
+    /// samples this weighted set is worth. Equals [`count`](Self::count)
+    /// when all weights are equal, and collapses toward 1 when a single
+    /// weight dominates.
+    pub fn effective_sample_size(&self) -> f64 {
+        if self.sum_squared_weights > 0.0 {
+            self.sum_weights * self.sum_weights / self.sum_squared_weights
+        } else {
+            0.0
+        }
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &WeightedOnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let w1 = self.sum_weights;
+        let w2 = other.sum_weights;
+        let total = w1 + w2;
+        let delta = other.mean - self.mean;
+        self.mean += delta * w2 / total;
+        self.m2 += other.m2 + delta * delta * w1 * w2 / total;
+        self.count += other.count;
+        self.sum_weights = total;
+        self.sum_squared_weights += other.sum_squared_weights;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
 /// Returns the `q`-quantile of a data set using linear interpolation
 /// (type-7, the default of R and NumPy).
 ///
@@ -309,5 +447,93 @@ mod tests {
     #[should_panic(expected = "at least one bin")]
     fn histogram_rejects_zero_bins() {
         Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn weighted_unit_weights_match_unweighted() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut plain = OnlineStats::new();
+        let mut weighted = WeightedOnlineStats::new();
+        for &x in &xs {
+            plain.push(x);
+            weighted.push(1.0, x);
+        }
+        assert!((plain.mean() - weighted.mean()).abs() < 1e-12);
+        assert!((plain.population_variance() - weighted.population_variance()).abs() < 1e-12);
+        assert!((weighted.effective_sample_size() - xs.len() as f64).abs() < 1e-12);
+        assert_eq!(weighted.min(), Some(1.0));
+        assert_eq!(weighted.max(), Some(9.0));
+    }
+
+    #[test]
+    fn weighted_matches_two_pass() {
+        let pairs = [(0.5, 2.0), (2.0, -1.0), (1.25, 7.5), (0.125, 3.0)];
+        let mut w = WeightedOnlineStats::new();
+        for &(weight, x) in &pairs {
+            w.push(weight, x);
+        }
+        let total: f64 = pairs.iter().map(|(wt, _)| wt).sum();
+        let mean: f64 = pairs.iter().map(|(wt, x)| wt * x).sum::<f64>() / total;
+        let var: f64 = pairs
+            .iter()
+            .map(|(wt, x)| wt * (x - mean) * (x - mean))
+            .sum::<f64>()
+            / total;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.population_variance() - var).abs() < 1e-12);
+        assert!((w.total_weight() - total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_merge_equals_sequential() {
+        let pairs = [
+            (0.5, 2.0),
+            (2.0, -1.0),
+            (1.25, 7.5),
+            (0.125, 3.0),
+            (3.0, 0.25),
+        ];
+        let mut sequential = WeightedOnlineStats::new();
+        for &(weight, x) in &pairs {
+            sequential.push(weight, x);
+        }
+        let (head, tail) = pairs.split_at(2);
+        let mut a = WeightedOnlineStats::new();
+        let mut b = WeightedOnlineStats::new();
+        for &(weight, x) in head {
+            a.push(weight, x);
+        }
+        for &(weight, x) in tail {
+            b.push(weight, x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - sequential.mean()).abs() < 1e-12);
+        assert!((a.population_variance() - sequential.population_variance()).abs() < 1e-12);
+        assert_eq!(a.count(), sequential.count());
+        // Merging into / from an empty accumulator is the identity.
+        let mut empty = WeightedOnlineStats::new();
+        empty.merge(&sequential);
+        assert_eq!(empty, sequential);
+        let mut copy = sequential;
+        copy.merge(&WeightedOnlineStats::new());
+        assert_eq!(copy, sequential);
+    }
+
+    #[test]
+    fn weighted_ignores_zero_weights_and_is_safe_when_empty() {
+        let mut w = WeightedOnlineStats::new();
+        w.push(0.0, 1e9);
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.population_variance(), 0.0);
+        assert_eq!(w.effective_sample_size(), 0.0);
+        assert_eq!(w.min(), None);
+        assert_eq!(w.max(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn weighted_rejects_negative_weights() {
+        WeightedOnlineStats::new().push(-1.0, 0.0);
     }
 }
