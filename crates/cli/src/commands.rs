@@ -79,6 +79,21 @@ pub(crate) fn flag<'a>(args: &'a [&str], name: &str) -> Option<&'a str> {
         .copied()
 }
 
+/// Extracts every `--name value` occurrence, in argument order.
+pub(crate) fn flag_values<'a>(args: &'a [&str], name: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| **a == name)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .copied()
+        .collect()
+}
+
+/// Returns `true` when the valueless `--name` switch is present.
+pub(crate) fn has_flag(args: &[&str], name: &str) -> bool {
+    args.contains(&name)
+}
+
 pub(crate) fn required_flag<'a>(args: &'a [&str], name: &str) -> Result<&'a str, CliError> {
     flag(args, name).ok_or_else(|| CliError(format!("missing required flag {name} <value>")))
 }
@@ -273,6 +288,13 @@ pub(crate) fn print_splitting_rates(result: &qrn_sim::SplittingResult) -> Result
     Ok(())
 }
 
+/// Where `simulate` writes its artefacts: the main result plus the
+/// optional evidence ledger.
+struct SimulateOutputs<'a> {
+    out: &'a Path,
+    evidence_out: Option<&'a Path>,
+}
+
 fn simulate_campaign<P: TacticalPolicy>(
     config: WorldConfig,
     policy: P,
@@ -280,8 +302,9 @@ fn simulate_campaign<P: TacticalPolicy>(
     seed: u64,
     workers: Option<usize>,
     splitting: Option<&SplittingConfig>,
-    out: &Path,
+    outputs: SimulateOutputs<'_>,
 ) -> Result<CommandOutcome, CliError> {
+    let SimulateOutputs { out, evidence_out } = outputs;
     let mut campaign = Campaign::new(config, policy).hours(hours).seed(seed);
     if let Some(workers) = workers {
         campaign = campaign.workers(workers);
@@ -300,6 +323,10 @@ fn simulate_campaign<P: TacticalPolicy>(
             result.throughput = None;
             write_artefact(out, &result)?;
             println!("wrote splitting result to {}", out.display());
+            if let Some(path) = evidence_out {
+                write_artefact(path, &result.evidence)?;
+                println!("wrote evidence ledger to {}", path.display());
+            }
         }
         None => {
             let result = campaign.run()?;
@@ -313,6 +340,11 @@ fn simulate_campaign<P: TacticalPolicy>(
             };
             write_artefact(out, &file)?;
             println!("wrote {} records to {}", file.records.len(), out.display());
+            if let Some(path) = evidence_out {
+                let ledger = result.evidence(&paper_classification()?);
+                write_artefact(path, &ledger)?;
+                println!("wrote evidence ledger to {}", path.display());
+            }
         }
     }
     Ok(CommandOutcome::Ok)
@@ -338,6 +370,7 @@ fn simulate(rest: &[&str]) -> Result<CommandOutcome, CliError> {
         .transpose()?;
     let splitting = splitting_from(&strs)?;
     let out = PathBuf::from(required_flag(&strs, "--out")?);
+    let evidence_out = flag(&strs, "--evidence-out").map(PathBuf::from);
 
     let config: WorldConfig = match scenario {
         "urban" => urban_scenario()?,
@@ -360,7 +393,10 @@ fn simulate(rest: &[&str]) -> Result<CommandOutcome, CliError> {
             seed,
             workers,
             splitting.as_ref(),
-            &out,
+            SimulateOutputs {
+                out: &out,
+                evidence_out: evidence_out.as_deref(),
+            },
         ),
         "reactive" => simulate_campaign(
             config,
@@ -369,7 +405,10 @@ fn simulate(rest: &[&str]) -> Result<CommandOutcome, CliError> {
             seed,
             workers,
             splitting.as_ref(),
-            &out,
+            SimulateOutputs {
+                out: &out,
+                evidence_out: evidence_out.as_deref(),
+            },
         ),
         _ => Err(CliError(format!(
             "unknown policy {policy:?}; expected cautious|reactive"
@@ -427,7 +466,25 @@ fn verify_cmd(
         non_incidents,
         records.exposure_hours
     );
-    let report = verify(&norm, &allocation, &measured, confidence)?;
+    // Extra `--evidence <ledger.json>` artefacts (campaign or fleet
+    // ledgers, possibly weighted) merge with the records' evidence into
+    // one combined verification; without them this is exactly `verify`.
+    let extra = flag_values(rest, "--evidence");
+    let report = if extra.is_empty() {
+        verify(&norm, &allocation, &measured, confidence)?
+    } else {
+        let mut combined = measured.to_ledger();
+        for path in &extra {
+            let ledger: qrn_stats::evidence::EvidenceLedger = read_artefact(Path::new(path))?;
+            combined.merge(&ledger);
+        }
+        println!(
+            "merged {} evidence ledger(s): combined exposure {} h",
+            extra.len(),
+            combined.exposure()
+        );
+        qrn_core::verification::verify_evidence(&norm, &allocation, &combined, confidence)?
+    };
     print!("{report}");
     if report.any_violated() {
         Ok(CommandOutcome::CheckFailed(
@@ -756,6 +813,57 @@ mod tests {
         assert_eq!(result.effort, 4);
         assert!(result.exposure().value() >= 19.0);
         assert!(result.particles >= result.encounters);
+    }
+
+    #[test]
+    fn simulate_writes_crude_evidence_ledger() {
+        let dir = temp_dir("evidence-out");
+        let dir_s = dir.to_str().unwrap();
+        run_strs(&["example", "emit", "--dir", dir_s]).unwrap();
+        let records = dir.join("records.json");
+        let ledger_path = dir.join("evidence.json");
+        assert_eq!(
+            run_strs(&[
+                "simulate",
+                "--scenario",
+                "urban",
+                "--policy",
+                "cautious",
+                "--hours",
+                "25",
+                "--seed",
+                "7",
+                "--out",
+                records.to_str().unwrap(),
+                "--evidence-out",
+                ledger_path.to_str().unwrap(),
+            ])
+            .unwrap(),
+            CommandOutcome::Ok
+        );
+        let ledger: qrn_stats::evidence::EvidenceLedger =
+            serde_json::from_str(&std::fs::read_to_string(&ledger_path).unwrap()).unwrap();
+        // Crude campaigns emit unit-weight evidence covering the full
+        // simulated exposure.
+        assert!((ledger.exposure() - 25.0).abs() < 1.0);
+        for kind in ledger.kinds() {
+            assert!(ledger.count(kind).is_unweighted(), "{kind}");
+        }
+        // The ledger is accepted back by `verify --evidence`.
+        let outcome = run_strs(&[
+            "verify",
+            dir.join("norm.json").to_str().unwrap(),
+            dir.join("classification.json").to_str().unwrap(),
+            dir.join("allocation.json").to_str().unwrap(),
+            records.to_str().unwrap(),
+            "--evidence",
+            ledger_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(matches!(
+            outcome,
+            CommandOutcome::Ok | CommandOutcome::CheckFailed(_)
+        ));
     }
 
     #[test]

@@ -20,17 +20,19 @@ use qrn_core::incident::IncidentRecord;
 use qrn_core::norm::QuantitativeRiskNorm;
 use qrn_core::object::{Involvement, ObjectType};
 use qrn_core::IncidentClassification;
-use qrn_fleet::burndown::{burn_down, BurnDownConfig};
-use qrn_fleet::event::to_jsonl;
+use qrn_fleet::burndown::{burn_down, burn_down_evidence, BurnDownConfig};
 use qrn_fleet::ingest::{ingest_str, FleetState};
-use qrn_fleet::telemetry::{Policy, Scenario, TelemetryConfig};
+use qrn_fleet::telemetry::{FaultPlan, Policy, Scenario, TelemetryConfig};
 use qrn_sim::monte_carlo::Campaign;
 use qrn_sim::policy::{CautiousPolicy, ReactivePolicy, TacticalPolicy};
 use qrn_sim::scenario::{highway_scenario, mixed_scenario, urban_scenario, WorldConfig};
 use qrn_sim::{SplittingConfig, SplittingResult};
+use qrn_stats::evidence::EvidenceLedger;
 use qrn_units::{Hours, Speed};
 
-use crate::commands::{flag, parse_f64, print_splitting_rates, required_flag, splitting_from};
+use crate::commands::{
+    flag, flag_values, has_flag, parse_f64, print_splitting_rates, required_flag, splitting_from,
+};
 use crate::io::{read_artefact, write_artefact};
 use crate::{CliError, CommandOutcome};
 
@@ -83,9 +85,21 @@ fn shards_from(rest: &[&str]) -> Result<usize, CliError> {
     }
 }
 
-fn read_log(rest: &[&str]) -> Result<String, CliError> {
-    let path = PathBuf::from(required_flag(rest, "--log")?);
-    std::fs::read_to_string(&path)
+/// All `--log <path>` segments, in argument order. At least one is
+/// required.
+fn log_paths(rest: &[&str]) -> Result<Vec<PathBuf>, CliError> {
+    let paths: Vec<PathBuf> = flag_values(rest, "--log")
+        .into_iter()
+        .map(PathBuf::from)
+        .collect();
+    if paths.is_empty() {
+        return Err(CliError("missing required flag --log <value>".into()));
+    }
+    Ok(paths)
+}
+
+fn read_log_file(path: &Path) -> Result<String, CliError> {
+    std::fs::read_to_string(path)
         .map_err(|e| CliError(format!("cannot read {}: {e}", path.display())))
 }
 
@@ -130,9 +144,19 @@ fn generate(rest: &[&str]) -> Result<CommandOutcome, CliError> {
         );
         config = config.inject(crash, parse_u64(count, "--inject-collisions")?);
     }
+    let mut faults = FaultPlan::default();
+    if let Some(text) = flag(rest, "--fault-truncate") {
+        faults.truncate_every = parse_u64(text, "--fault-truncate")?;
+    }
+    if let Some(text) = flag(rest, "--fault-future-version") {
+        faults.future_version_every = parse_u64(text, "--fault-future-version")?;
+    }
+    if let Some(text) = flag(rest, "--fault-unknown-kind") {
+        faults.unknown_kind_every = parse_u64(text, "--fault-unknown-kind")?;
+    }
+    config = config.faults(faults);
 
-    let events = config.generate()?;
-    let log = to_jsonl(&events);
+    let log = config.generate_jsonl()?;
     if let Some(parent) = out.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)?;
@@ -140,13 +164,22 @@ fn generate(rest: &[&str]) -> Result<CommandOutcome, CliError> {
     }
     std::fs::write(&out, &log)
         .map_err(|e| CliError(format!("cannot write {}: {e}", out.display())))?;
-    println!(
-        "wrote {} events ({} vehicles, {} h) to {}",
-        events.len(),
-        vehicles,
-        hours.value(),
-        out.display()
-    );
+    let lines = log.lines().count();
+    if faults.is_clean() {
+        println!(
+            "wrote {lines} events ({} vehicles, {} h) to {}",
+            vehicles,
+            hours.value(),
+            out.display()
+        );
+    } else {
+        println!(
+            "wrote {lines} lines ({} vehicles, {} h, fault plan active) to {}",
+            vehicles,
+            hours.value(),
+            out.display()
+        );
+    }
     if let Some(splitting) = splitting {
         let result = splitting_check(
             scenario_name,
@@ -223,9 +256,41 @@ fn splitting_check(
 
 fn ingest(classification_path: &Path, rest: &[&str]) -> Result<CommandOutcome, CliError> {
     let classification: IncidentClassification = read_artefact(classification_path)?;
-    let log = read_log(rest)?;
+    let logs = log_paths(rest)?;
     let shards = shards_from(rest)?;
-    let state = ingest_str(&log, &classification, shards)?;
+    let checkpoint = flag(rest, "--checkpoint").map(PathBuf::from);
+
+    // Checkpointed incremental ingest: resume from the persisted state (if
+    // any), fold each --log segment in argument order, and persist the
+    // merged state after every segment so an interrupted run loses at most
+    // the segment it was processing.
+    let mut state = match &checkpoint {
+        Some(path) if path.exists() => {
+            let resumed: FleetState = read_artefact(path)?;
+            println!(
+                "resuming from checkpoint {} ({} events over {:.1} h)",
+                path.display(),
+                resumed.events(),
+                resumed.exposure().value(),
+            );
+            resumed
+        }
+        _ => FleetState::default(),
+    };
+    for log_path in &logs {
+        let text = read_log_file(log_path)?;
+        let segment = ingest_str(&text, &classification, shards)?;
+        state.merge(&segment);
+        if let Some(path) = &checkpoint {
+            write_artefact(path, &state)?;
+            println!(
+                "checkpointed {} after {} ({} events total)",
+                path.display(),
+                log_path.display(),
+                state.events(),
+            );
+        }
+    }
     print_state(&state);
     if let Some(out) = flag(rest, "--out") {
         let path = PathBuf::from(out);
@@ -259,7 +324,6 @@ fn report(
     let norm: QuantitativeRiskNorm = read_artefact(norm_path)?;
     let classification: IncidentClassification = read_artefact(classification_path)?;
     let allocation: Allocation = read_artefact(allocation_path)?;
-    let log = read_log(rest)?;
     let shards = shards_from(rest)?;
 
     let mut config = BurnDownConfig::default();
@@ -278,9 +342,36 @@ fn report(
     if let Some(text) = flag(rest, "--sprt-fraction") {
         config.sprt_fraction = parse_f64(text, "--sprt-fraction")?;
     }
+    config.by_zone = has_flag(rest, "--by-zone");
 
-    let state = ingest_str(&log, &classification, shards)?;
-    let report = burn_down(&norm, &allocation, &state, &config)?;
+    let mut state = FleetState::default();
+    for log_path in &log_paths(rest)? {
+        let text = read_log_file(log_path)?;
+        state.merge(&ingest_str(&text, &classification, shards)?);
+    }
+
+    // Design-time campaign ledgers (`--evidence <ledger.json>`, possibly
+    // weighted and zone-refined) merge with the operational fleet
+    // evidence into one combined burn-down.
+    let evidence_paths = flag_values(rest, "--evidence");
+    let report = if evidence_paths.is_empty() {
+        burn_down(&norm, &allocation, &state, &config)?
+    } else {
+        let mut combined = state.evidence().clone();
+        for path in &evidence_paths {
+            let ledger: EvidenceLedger = read_artefact(Path::new(path))?;
+            combined.merge(&ledger);
+        }
+        println!(
+            "merged {} campaign evidence ledger(s) with the fleet log",
+            evidence_paths.len()
+        );
+        let mut report = burn_down_evidence(&norm, &allocation, &combined, &config)?;
+        report.vehicles = state.vehicle_count();
+        report.events = state.events();
+        report.skipped = state.skipped();
+        report
+    };
     print!("{report}");
     if let Some(out) = flag(rest, "--out") {
         let path = PathBuf::from(out);
@@ -487,6 +578,206 @@ mod tests {
             CommandOutcome::Ok
         );
         assert!(std::fs::read_to_string(&log).unwrap().lines().count() > 0);
+    }
+
+    #[test]
+    fn checkpointed_segment_ingest_equals_one_shot() {
+        let dir = temp_dir("checkpoint");
+        emit_artefacts(&dir);
+        let classification = dir.join("classification.json");
+        // Two telemetry segments (different seeds = disjoint streams).
+        for (seed, name) in [("3", "seg-a.jsonl"), ("4", "seg-b.jsonl")] {
+            run_strs(&[
+                "fleet",
+                "generate",
+                "--scenario",
+                "urban",
+                "--policy",
+                "cautious",
+                "--hours",
+                "32",
+                "--vehicles",
+                "4",
+                "--seed",
+                seed,
+                "--out",
+                dir.join(name).to_str().unwrap(),
+            ])
+            .unwrap();
+        }
+        let ckpt = dir.join("state.ckpt.json");
+        let _ = std::fs::remove_file(&ckpt);
+        // Segment-wise: two invocations resuming from the checkpoint.
+        for name in ["seg-a.jsonl", "seg-b.jsonl"] {
+            run_strs(&[
+                "fleet",
+                "ingest",
+                classification.to_str().unwrap(),
+                "--log",
+                dir.join(name).to_str().unwrap(),
+                "--checkpoint",
+                ckpt.to_str().unwrap(),
+                "--shards",
+                "2",
+            ])
+            .unwrap();
+        }
+        // One-shot: both segments in one invocation.
+        let oneshot = dir.join("state.oneshot.json");
+        run_strs(&[
+            "fleet",
+            "ingest",
+            classification.to_str().unwrap(),
+            "--log",
+            dir.join("seg-a.jsonl").to_str().unwrap(),
+            "--log",
+            dir.join("seg-b.jsonl").to_str().unwrap(),
+            "--shards",
+            "5",
+            "--out",
+            oneshot.to_str().unwrap(),
+        ])
+        .unwrap();
+        // Exposure chunks are dyadic-friendly (8 h and 10 h chunks), so
+        // the float folds agree exactly and the artefacts are
+        // byte-identical.
+        assert_eq!(
+            std::fs::read(&ckpt).unwrap(),
+            std::fs::read(&oneshot).unwrap()
+        );
+    }
+
+    #[test]
+    fn report_merges_campaign_evidence_with_fleet_log() {
+        let dir = temp_dir("combined");
+        emit_artefacts(&dir);
+        let log = dir.join("events.jsonl");
+        run_strs(&[
+            "fleet",
+            "generate",
+            "--scenario",
+            "urban",
+            "--policy",
+            "reactive",
+            "--hours",
+            "40",
+            "--vehicles",
+            "4",
+            "--seed",
+            "8",
+            "--out",
+            log.to_str().unwrap(),
+        ])
+        .unwrap();
+        // A weighted design-time campaign ledger from a splitting run.
+        let ledger = dir.join("campaign-evidence.json");
+        run_strs(&[
+            "simulate",
+            "--scenario",
+            "urban",
+            "--policy",
+            "reactive",
+            "--hours",
+            "25",
+            "--seed",
+            "12",
+            "--splitting-levels",
+            "4",
+            "--splitting-effort",
+            "4",
+            "--out",
+            dir.join("splitting.json").to_str().unwrap(),
+            "--evidence-out",
+            ledger.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = dir.join("combined-report.json");
+        let outcome = run_strs(&[
+            "fleet",
+            "report",
+            dir.join("norm.json").to_str().unwrap(),
+            dir.join("classification.json").to_str().unwrap(),
+            dir.join("allocation.json").to_str().unwrap(),
+            "--log",
+            log.to_str().unwrap(),
+            "--evidence",
+            ledger.to_str().unwrap(),
+            "--by-zone",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(matches!(
+            outcome,
+            CommandOutcome::Ok | CommandOutcome::CheckFailed(_)
+        ));
+        let report: qrn_fleet::burndown::FleetReport =
+            serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        // Combined exposure: 40 h of fleet log + 25 h of campaign.
+        assert!((report.exposure_hours - 65.0).abs() < 1e-6);
+        assert!(report.config.by_zone);
+        // The splitting campaign's zone refinement rows survive into the
+        // combined burn-down.
+        assert!(!report.zones.is_empty());
+        let zone_exposure: f64 = report.zones.iter().map(|z| z.exposure_hours).sum();
+        assert!((zone_exposure - 25.0).abs() < 1e-6);
+        // Weighted splitting mass makes at least one goal row weighted.
+        let ledger: EvidenceLedger =
+            serde_json::from_str(&std::fs::read_to_string(&ledger).unwrap()).unwrap();
+        let weighted_kinds: Vec<&str> = ledger
+            .kinds()
+            .into_iter()
+            .filter(|k| !ledger.count(k).is_unweighted() && ledger.count(k).observations() > 0)
+            .collect();
+        for kind in weighted_kinds {
+            if let Some(goal) = report.goals.iter().find(|g| g.incident == kind.into()) {
+                assert!(goal.weighted.is_some(), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn generated_fault_plan_exercises_skip_counting() {
+        let dir = temp_dir("faults");
+        emit_artefacts(&dir);
+        let log = dir.join("dirty.jsonl");
+        run_strs(&[
+            "fleet",
+            "generate",
+            "--scenario",
+            "urban",
+            "--policy",
+            "cautious",
+            "--hours",
+            "30",
+            "--vehicles",
+            "3",
+            "--seed",
+            "2",
+            "--fault-truncate",
+            "5",
+            "--fault-future-version",
+            "7",
+            "--out",
+            log.to_str().unwrap(),
+        ])
+        .unwrap();
+        let state_path = dir.join("dirty-state.json");
+        run_strs(&[
+            "fleet",
+            "ingest",
+            dir.join("classification.json").to_str().unwrap(),
+            "--log",
+            log.to_str().unwrap(),
+            "--out",
+            state_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let state: FleetState =
+            serde_json::from_str(&std::fs::read_to_string(&state_path).unwrap()).unwrap();
+        assert!(state.skipped().bad_json > 0);
+        assert!(state.skipped().unsupported_version > 0);
+        assert!(state.events() > 0);
     }
 
     #[test]

@@ -117,16 +117,22 @@ COMMANDS:
     simulate --scenario <urban|highway|mixed> --policy <cautious|reactive>
              --hours <H> [--seed <N>] [--workers <N>]
              [--splitting-levels <N> [--splitting-effort <E>]]
-             --out <records.json>
+             --out <records.json> [--evidence-out <ledger.json>]
         Run a Monte-Carlo fleet campaign and write the incident records.
         Workers default to all CPUs; the count never changes the outcome.
         With --splitting-levels the campaign runs the multilevel-splitting
         rare-event engine over a geometric severity ladder and writes the
-        weighted splitting result instead of raw records.
+        weighted splitting result instead of raw records. --evidence-out
+        additionally writes the campaign's evidence ledger (weighted
+        incident mass + exposure per context), mergeable downstream by
+        `verify --evidence` and `fleet report --evidence`.
 
     verify <norm.json> <classification.json> <allocation.json> <records.json>
-           [--confidence <0..1>]
+           [--confidence <0..1>] [--evidence <ledger.json>]...
         Verify measured records against goals and norm. Exits 1 on violation.
+        Each --evidence merges a campaign evidence ledger into the measured
+        records before verification, so weighted splitting mass and plain
+        counts are pooled into one Eq. (1) check.
 
     safety-case <item-name> <norm.json> <classification.json> <allocation.json>
                 <records.json> [--confidence <0..1>]
@@ -139,24 +145,38 @@ COMMANDS:
     fleet generate --scenario <urban|highway|mixed> --policy <cautious|reactive>
                    --hours <H> --vehicles <N> [--seed <K>] [--workers <W>]
                    [--inject-collisions <N>] [--splitting-levels <N>]
-                   [--splitting-effort <E>] --out <events.jsonl>
+                   [--splitting-effort <E>] [--fault-truncate <S>]
+                   [--fault-future-version <S>] [--fault-unknown-kind <S>]
+                   --out <events.jsonl>
         Generate a synthetic fleet telemetry log (JSONL) from a simulated
         campaign. --inject-collisions adds deliberate severe VRU collisions
         for rehearsing the alerting path. --splitting-levels additionally
         runs a multilevel-splitting tail-rate check over the same fleet
-        exposure and prints the weighted rare-incident rates.
+        exposure and prints the weighted rare-incident rates. The --fault-*
+        flags corrupt every S-th line (truncated JSON, future schema
+        version, unknown event kind) to rehearse the tolerant parser's
+        skip-and-count path.
 
-    fleet ingest <classification.json> --log <events.jsonl>
-                 [--shards <N>] [--out <state.json>]
-        Ingest a telemetry log with the sharded streaming engine and print
-        the fleet state. The shard count never changes the result.
+    fleet ingest <classification.json> --log <events.jsonl>...
+                 [--shards <N>] [--checkpoint <state.json>] [--out <state.json>]
+        Ingest telemetry logs with the sharded streaming engine and print
+        the fleet state. The shard count never changes the result. Repeat
+        --log for multiple segments; --checkpoint resumes from (and
+        persists after every segment) a merged fleet-state artefact, so
+        segment-wise ingest across invocations equals one-shot ingest.
 
     fleet report <norm.json> <classification.json> <allocation.json>
-                 --log <events.jsonl> [--shards <N>] [--confidence <0..1>]
+                 --log <events.jsonl>... [--evidence <ledger.json>]...
+                 [--by-zone] [--shards <N>] [--confidence <0..1>]
                  [--alpha <0..1>] [--beta <0..1>] [--sprt-fraction <0..1>]
                  [--watch-ratio <R>] [--out <report.json>]
         Compute the budget burn-down (SPRT + exact Poisson bounds) of the
         logged evidence against the norm. Exits 1 when a budget is burned.
+        Each --evidence merges a design-time campaign evidence ledger
+        (e.g. from `simulate --evidence-out`) into the operational fleet
+        evidence for one combined burn-down; weighted splitting mass uses
+        effective-count statistics. --by-zone adds per-zone refinement
+        rows for the named contexts present in the evidence.
 
 EXIT CODES:
     0 success / compliant    1 check failed    2 usage or artefact error

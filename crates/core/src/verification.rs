@@ -6,13 +6,20 @@
 //! rate; if the bound lies below the budget, the goal is demonstrated at
 //! that confidence. Class-level verdicts propagate the per-type bounds
 //! through the share matrix — conservatively, by summing upper bounds.
+//!
+//! Evidence arrives as a unified [`EvidenceLedger`] ([`verify_evidence`]):
+//! crude campaigns, splitting campaigns and fleet logs all produce one,
+//! and ledgers merge, so design-time and operational evidence combine
+//! into a single Eq. (1) check. [`verify`] is the integer-count
+//! compatibility wrapper over the same logic.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use qrn_stats::poisson::PoissonRate;
+use qrn_stats::evidence::EvidenceLedger;
+use qrn_stats::poisson::{PoissonRate, WeightedCount, WeightedPoissonRate};
 use qrn_stats::special::chi_square_quantile;
 use qrn_units::{Frequency, Hours};
 
@@ -69,6 +76,27 @@ impl MeasuredIncidents {
     /// Extends the exposure under which the counts were observed.
     pub fn add_exposure(&mut self, exposure: Hours) {
         self.exposure = self.exposure + exposure;
+    }
+
+    /// Tallies one *already classified* incident in place — the counterpart
+    /// of [`MeasuredIncidents::observe`] for callers that classified the
+    /// record themselves (to feed several tallies from one classification
+    /// pass).
+    pub fn tally(&mut self, id: &IncidentTypeId) {
+        *self.counts.entry(id.clone()).or_insert(0) += 1;
+    }
+
+    /// Converts the measurement into the unified evidence representation:
+    /// a global-row-only [`EvidenceLedger`] whose per-kind masses are the
+    /// exact unit-weight counts ([`WeightedCount::unit`]). Verifying the
+    /// ledger reproduces verifying the measurement bit-for-bit.
+    pub fn to_ledger(&self) -> EvidenceLedger {
+        let mut ledger = EvidenceLedger::new();
+        ledger.add_exposure(None, self.exposure.value());
+        for (id, &n) in &self.counts {
+            ledger.add_count(None, id.as_str(), &WeightedCount::unit(n));
+        }
+        ledger
     }
 
     /// Classifies raw records and tallies them per incident type. Returns
@@ -161,8 +189,14 @@ pub struct GoalVerdict {
     pub incident: IncidentTypeId,
     /// Its frequency budget.
     pub budget: Frequency,
-    /// Observed count and exposure.
+    /// Observed count and exposure. For weighted evidence the count is the
+    /// number of weighted observations; the bounds then come from
+    /// [`GoalVerdict::weighted`] instead.
     pub observed: PoissonRate,
+    /// The weighted observation behind the bounds, when the evidence
+    /// carried non-unit weights (`None` for exact integer counts, whose
+    /// bounds are the classic Garwood ones on `observed`).
+    pub weighted: Option<WeightedPoissonRate>,
     /// One-sided upper confidence bound on the true rate.
     pub upper_bound: Frequency,
     /// The verdict.
@@ -329,6 +363,13 @@ impl VerificationReport {
 /// Verifies measured incident data against the allocation's safety goals
 /// and the norm's consequence-class budgets.
 ///
+/// This is the integer-count compatibility path, kept for callers that
+/// still hold a [`MeasuredIncidents`]; it simply converts to the unified
+/// evidence representation and delegates to [`verify_evidence`], which is
+/// what new code should call directly (it accepts weighted evidence and
+/// merged ledgers too). The delegation is exact: identical reports,
+/// bit-for-bit.
+///
 /// # Errors
 ///
 /// Returns [`CoreError`] for invalid confidence, zero exposure, or share
@@ -359,6 +400,32 @@ pub fn verify(
     measured: &MeasuredIncidents,
     confidence: f64,
 ) -> Result<VerificationReport, CoreError> {
+    verify_evidence(norm, allocation, &measured.to_ledger(), confidence)
+}
+
+/// Verifies a unified [`EvidenceLedger`] against the allocation's safety
+/// goals and the norm's consequence-class budgets — the Eq. (1) check for
+/// evidence from *any* producer: crude campaigns, multilevel-splitting
+/// campaigns, operational fleet logs, or any merge of them.
+///
+/// Per safety goal, the ledger's global weighted mass for the incident
+/// kind is bounded over the global exposure. Unit-weight masses (the crude
+/// and fleet case, [`WeightedCount::is_unweighted`]) take the exact
+/// integer Garwood path and reproduce [`verify`] on the corresponding
+/// [`MeasuredIncidents`] bit-for-bit; weighted masses use effective-count
+/// (Kish) intervals via [`WeightedPoissonRate`], reported in the verdict's
+/// [`GoalVerdict::weighted`] field.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] for invalid confidence, zero exposure, or share
+/// matrices referencing classes outside the norm.
+pub fn verify_evidence(
+    norm: &QuantitativeRiskNorm,
+    allocation: &Allocation,
+    evidence: &EvidenceLedger,
+    confidence: f64,
+) -> Result<VerificationReport, CoreError> {
     for class in allocation.shares().referenced_classes() {
         if norm.class(class).is_none() {
             return Err(CoreError::UnknownId {
@@ -367,13 +434,30 @@ pub fn verify(
             });
         }
     }
+    let exposure = Hours::new(evidence.exposure()).map_err(CoreError::from)?;
     let mut goals = Vec::new();
     let mut upper_bounds: BTreeMap<IncidentTypeId, Frequency> = BTreeMap::new();
     let mut point_rates: BTreeMap<IncidentTypeId, Frequency> = BTreeMap::new();
+    let mut lower_bounds: BTreeMap<IncidentTypeId, Frequency> = BTreeMap::new();
     for (incident, budget) in allocation.budgets() {
-        let observed = measured.observation(incident);
-        let upper = observed.upper_bound(confidence)?;
-        let lower = observed.lower_bound(confidence)?;
+        let count = evidence.count(incident.as_str());
+        let observed = PoissonRate::new(count.observations(), exposure);
+        let (weighted, point, upper, lower) = if count.is_unweighted() {
+            (
+                None,
+                observed.point_estimate()?,
+                observed.upper_bound(confidence)?,
+                observed.lower_bound(confidence)?,
+            )
+        } else {
+            let w = WeightedPoissonRate::new(count, exposure);
+            (
+                Some(w),
+                w.point_estimate()?,
+                w.upper_bound(confidence)?,
+                w.lower_bound(confidence)?,
+            )
+        };
         let verdict = if upper <= budget {
             Verdict::Demonstrated
         } else if lower > budget {
@@ -382,11 +466,13 @@ pub fn verify(
             Verdict::Inconclusive
         };
         upper_bounds.insert(incident.clone(), upper);
-        point_rates.insert(incident.clone(), observed.point_estimate()?);
+        point_rates.insert(incident.clone(), point);
+        lower_bounds.insert(incident.clone(), lower);
         goals.push(GoalVerdict {
             incident: incident.clone(),
             budget,
             observed,
+            weighted,
             upper_bound: upper,
             verdict,
         });
@@ -402,11 +488,7 @@ pub fn verify(
                 let share = allocation.shares().share(incident, c.id());
                 upper = upper + upper_bounds[incident] * share;
                 point = point + point_rates[incident] * share;
-                let lo = measured
-                    .observation(incident)
-                    .lower_bound(confidence)
-                    .expect("validated above");
-                lower = lower + lo * share;
+                lower = lower + lower_bounds[incident] * share;
             }
             let verdict = if upper <= budget {
                 Verdict::Demonstrated
@@ -593,6 +675,71 @@ mod tests {
         assert!(additional_clean_exposure(observed, Frequency::ZERO, 0.95).is_err());
         let budget = Frequency::per_hour(1e-6).unwrap();
         assert!(additional_clean_exposure(observed, budget, 1.0).is_err());
+    }
+
+    #[test]
+    fn ledger_verification_is_byte_identical_to_measured_path() {
+        let (norm, _, a) = setup();
+        let cases: Vec<(BTreeMap<IncidentTypeId, u64>, f64)> = vec![
+            (Default::default(), 1e12),
+            (Default::default(), 10.0),
+            ([("I2".into(), 3u64)].into(), 1e7),
+            ([("I3".into(), 1000u64)].into(), 1000.0),
+        ];
+        for (counts, hours) in cases {
+            let measured = MeasuredIncidents::new(counts, h(hours));
+            let direct = verify(&norm, &a, &measured, 0.95).unwrap();
+            let via_ledger = verify_evidence(&norm, &a, &measured.to_ledger(), 0.95).unwrap();
+            assert_eq!(direct, via_ledger);
+            assert_eq!(
+                serde_json::to_string(&direct).unwrap(),
+                serde_json::to_string(&via_ledger).unwrap()
+            );
+            // unit-weight evidence takes the exact integer path
+            assert!(via_ledger.goals.iter().all(|g| g.weighted.is_none()));
+        }
+    }
+
+    #[test]
+    fn weighted_evidence_uses_effective_bounds() {
+        let (norm, _, a) = setup();
+        let mut ledger = EvidenceLedger::new();
+        ledger.add_exposure(None, 1.0e6);
+        // Importance-weighted splitting mass: 16 observations of 1/8 each.
+        for _ in 0..16 {
+            ledger.add_incident(None, "I3", 0.125);
+        }
+        let report = verify_evidence(&norm, &a, &ledger, 0.95).unwrap();
+        let goal = report.goal(&"I3".into()).unwrap();
+        let w = goal
+            .weighted
+            .expect("non-unit weights take the weighted path");
+        assert_eq!(goal.observed.count, 16);
+        assert!((w.count.total() - 2.0).abs() < 1e-12);
+        // The effective bound is driven by mass 2 over 1e6 h, not by 16
+        // integer events.
+        assert!(goal.upper_bound < PoissonRate::new(16, h(1.0e6)).upper_bound(0.95).unwrap());
+    }
+
+    #[test]
+    fn merged_sim_and_fleet_evidence_verifies_combined_exposure() {
+        let (norm, _, a) = setup();
+        // Design-time campaign: weighted, with zone refinements.
+        let mut sim = EvidenceLedger::new();
+        sim.add_exposure(None, 5.0e5);
+        sim.add_exposure(Some("urban"), 2.0e5);
+        sim.add_incident(None, "I2", 0.25);
+        sim.add_incident(Some("urban"), "I2", 0.25);
+        // Operational fleet: unit weights, global row only.
+        let fleet = MeasuredIncidents::new([("I2".into(), 1u64)].into(), h(5.0e5)).to_ledger();
+        let combined = sim.merged(&fleet);
+        assert_eq!(combined.exposure(), 1.0e6);
+        let report = verify_evidence(&norm, &a, &combined, 0.95).unwrap();
+        let goal = report.goal(&"I2".into()).unwrap();
+        // Mixed unit + fractional weights: the weighted path.
+        assert!(goal.weighted.is_some());
+        assert_eq!(goal.observed.exposure, h(1.0e6));
+        assert_eq!(goal.observed.count, 2);
     }
 
     #[test]

@@ -36,13 +36,19 @@ use qrn_core::allocation::Allocation;
 use qrn_core::consequence::ConsequenceClassId;
 use qrn_core::incident::IncidentTypeId;
 use qrn_core::norm::QuantitativeRiskNorm;
-use qrn_stats::poisson::PoissonRate;
+use qrn_stats::evidence::EvidenceLedger;
+use qrn_stats::poisson::{PoissonRate, WeightedCount, WeightedPoissonRate};
 use qrn_stats::sequential::{PoissonSprt, SprtDecision};
-use qrn_units::Frequency;
+use qrn_units::{Frequency, Hours};
 
 use crate::error::FleetError;
 use crate::event::SkipCounts;
 use crate::ingest::FleetState;
+
+/// Version of the [`FleetReport`] artefact schema. Version 2 added the
+/// `weighted` goal field, the `zones` rows and the `by_zone` config flag
+/// when burn-down moved onto [`EvidenceLedger`] evidence.
+pub const REPORT_SCHEMA_VERSION: u64 = 2;
 
 /// Escalation level of one budget row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -83,6 +89,9 @@ pub struct BurnDownConfig {
     /// Point-estimate share of budget above which a row escalates to
     /// [`AlertLevel::Watch`].
     pub watch_ratio: f64,
+    /// Emit per-zone (per-ODD-context) burn-down rows for every named
+    /// context in the evidence ledger.
+    pub by_zone: bool,
 }
 
 impl Default for BurnDownConfig {
@@ -93,6 +102,7 @@ impl Default for BurnDownConfig {
             beta: 0.05,
             sprt_fraction: 0.1,
             watch_ratio: 0.5,
+            by_zone: false,
         }
     }
 }
@@ -128,8 +138,16 @@ pub struct GoalBurnDown {
     pub incident: IncidentTypeId,
     /// Its frequency budget `f_{I_k}`.
     pub budget: Frequency,
-    /// Observed count over the fleet exposure.
+    /// Observed count over the fleet exposure (number of weighted
+    /// observations; equal to the raw event count for unit-weight
+    /// evidence).
     pub observed: PoissonRate,
+    /// The weighted view of the same evidence, present only when the
+    /// evidence actually carries non-unit likelihood weights (e.g. merged
+    /// multilevel-splitting campaign ledgers). When set, `point`,
+    /// `upper_bound` and the SPRT decision are computed from the Kish
+    /// effective count `k_eff` over the effective exposure `T_eff`.
+    pub weighted: Option<WeightedPoissonRate>,
     /// Point estimate of the rate (count / exposure; zero at zero
     /// exposure).
     pub point: Frequency,
@@ -163,11 +181,28 @@ pub struct ClassBurnDown {
     pub alert: AlertLevel,
 }
 
+/// Burn-down rows of one named evidence context (ODD zone): the zone's
+/// share of the exposure and its per-goal budget consumption, computed
+/// from the zone's refinement row in the [`EvidenceLedger`].
+///
+/// Zone rows are *refinements*: per-goal alerts here localise where a
+/// budget is being spent, while the authoritative global verdict stays
+/// with [`FleetReport::goals`] (computed from the exact global row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZoneBurnDown {
+    /// The zone (ledger context) name.
+    pub zone: String,
+    /// Exposure attributed to this zone, hours.
+    pub exposure_hours: f64,
+    /// Per-safety-goal rows within this zone, in incident-id order.
+    pub goals: Vec<GoalBurnDown>,
+}
+
 /// The serialisable burn-down artefact: one snapshot of "how fast is the
 /// fleet spending its risk budgets".
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetReport {
-    /// Event-schema version of the log this report was computed from.
+    /// Version of this report schema (see [`REPORT_SCHEMA_VERSION`]).
     pub schema_version: u64,
     /// Analysis parameters.
     pub config: BurnDownConfig,
@@ -185,6 +220,9 @@ pub struct FleetReport {
     pub goals: Vec<GoalBurnDown>,
     /// Per-consequence-class rows, in severity order.
     pub classes: Vec<ClassBurnDown>,
+    /// Per-zone refinement rows (empty unless
+    /// [`BurnDownConfig::by_zone`] is set), in zone-name order.
+    pub zones: Vec<ZoneBurnDown>,
 }
 
 impl FleetReport {
@@ -255,34 +293,34 @@ impl fmt::Display for FleetReport {
                 c.alert,
             )?;
         }
+        for z in &self.zones {
+            writeln!(f, "  zone {} ({:.1} h):", z.zone, z.exposure_hours)?;
+            for g in &z.goals {
+                writeln!(
+                    f,
+                    "    I_{}: {} events, point {} / budget {} ({:.0}% consumed) -> {}",
+                    g.incident,
+                    g.observed.count,
+                    g.point,
+                    g.budget,
+                    g.consumed * 100.0,
+                    g.alert,
+                )?;
+            }
+        }
         Ok(())
     }
 }
 
-/// Computes the burn-down of every incident-type and consequence-class
-/// budget against the live fleet state.
-///
-/// # Errors
-///
-/// Returns [`FleetError`] for an invalid configuration, a zero budget in
-/// the allocation (a zero budget cannot parametrise the SPRT), or a share
-/// matrix referencing classes outside the norm.
-pub fn burn_down(
-    norm: &QuantitativeRiskNorm,
+/// Per-goal rows over one evidence slice (the global row or one zone's
+/// refinement row). Returns the rows and the per-goal lower bounds the
+/// class propagation needs.
+fn goal_rows(
     allocation: &Allocation,
-    state: &FleetState,
+    exposure: Hours,
+    count_of: &dyn Fn(&str) -> WeightedCount,
     config: &BurnDownConfig,
-) -> Result<FleetReport, FleetError> {
-    config.validate()?;
-    for class in allocation.shares().referenced_classes() {
-        if norm.class(class).is_none() {
-            return Err(FleetError::Core(qrn_core::CoreError::UnknownId {
-                kind: "consequence class",
-                id: class.as_str().to_string(),
-            }));
-        }
-    }
-    let exposure = state.exposure();
+) -> Result<(Vec<GoalBurnDown>, Vec<Frequency>), FleetError> {
     let mut goals = Vec::new();
     let mut lower_bounds = Vec::new();
     for (incident, budget) in allocation.budgets() {
@@ -291,26 +329,48 @@ pub fn burn_down(
                 "incident {incident} has a zero budget; burn-down needs positive budgets"
             )));
         }
-        let observed = PoissonRate::new(state.count(incident), exposure);
+        let count = count_of(incident.as_str());
+        let observed = PoissonRate::new(count.observations(), exposure);
+        // Unit-weight evidence takes the exact integer path — identical
+        // numbers to pre-ledger burn-down. Weighted evidence is monitored
+        // as its Kish effective count over the effective exposure.
+        let weighted = if count.is_unweighted() {
+            None
+        } else {
+            Some(WeightedPoissonRate::new(count, exposure))
+        };
         // With zero exposure there is no evidence in either direction: the
         // exact bounds are undefined (reported as zero) and only the SPRT's
         // `Continue` carries meaning.
         let (point, upper_bound, lower_bound) = if exposure.value() > 0.0 {
-            (
-                observed.point_estimate()?,
-                observed.upper_bound(config.confidence)?,
-                observed.lower_bound(config.confidence)?,
-            )
+            match &weighted {
+                Some(w) => (
+                    w.point_estimate()?,
+                    w.upper_bound(config.confidence)?,
+                    w.lower_bound(config.confidence)?,
+                ),
+                None => (
+                    observed.point_estimate()?,
+                    observed.upper_bound(config.confidence)?,
+                    observed.lower_bound(config.confidence)?,
+                ),
+            }
         } else {
             (Frequency::ZERO, Frequency::ZERO, Frequency::ZERO)
         };
-        let sprt = PoissonSprt::new(
+        let sprt_test = PoissonSprt::new(
             budget.scaled(config.sprt_fraction)?,
             budget,
             config.alpha,
             config.beta,
-        )?
-        .decide(observed.count, exposure);
+        )?;
+        let sprt = match &weighted {
+            Some(w) => {
+                let (k_eff, t_eff) = w.effective();
+                sprt_test.decide_effective(k_eff, t_eff)
+            }
+            None => sprt_test.decide(observed.count, exposure),
+        };
         let consumed = point.ratio(budget).unwrap_or(0.0);
         let alert = if sprt == SprtDecision::AcceptAlternative || lower_bound > budget {
             AlertLevel::Burned
@@ -324,6 +384,7 @@ pub fn burn_down(
             incident: incident.clone(),
             budget,
             observed,
+            weighted,
             point,
             upper_bound,
             consumed,
@@ -331,6 +392,41 @@ pub fn burn_down(
             alert,
         });
     }
+    Ok((goals, lower_bounds))
+}
+
+/// Computes the burn-down of every budget directly against an
+/// [`EvidenceLedger`] — the evidence-currency entry point. The ledger may
+/// be pure fleet evidence ([`FleetState::evidence`]), a design-time
+/// campaign ledger (weighted or not), or any merge of the two; weighted
+/// counts are monitored via their Kish effective statistics while
+/// unit-weight evidence reproduces the exact integer-count analysis.
+///
+/// Fleet-operational metadata (vehicles, events, skip tallies) is zeroed
+/// here; [`burn_down`] fills it from a [`FleetState`].
+///
+/// # Errors
+///
+/// Returns [`FleetError`] for an invalid configuration, a zero budget in
+/// the allocation (a zero budget cannot parametrise the SPRT), or a share
+/// matrix referencing classes outside the norm.
+pub fn burn_down_evidence(
+    norm: &QuantitativeRiskNorm,
+    allocation: &Allocation,
+    evidence: &EvidenceLedger,
+    config: &BurnDownConfig,
+) -> Result<FleetReport, FleetError> {
+    config.validate()?;
+    for class in allocation.shares().referenced_classes() {
+        if norm.class(class).is_none() {
+            return Err(FleetError::Core(qrn_core::CoreError::UnknownId {
+                kind: "consequence class",
+                id: class.as_str().to_string(),
+            }));
+        }
+    }
+    let exposure = Hours::new(evidence.exposure())?;
+    let (goals, lower_bounds) = goal_rows(allocation, exposure, &|k| evidence.count(k), config)?;
     let classes = norm
         .classes()
         .map(|c| {
@@ -362,17 +458,51 @@ pub fn burn_down(
             }
         })
         .collect();
+    let mut zones = Vec::new();
+    if config.by_zone {
+        for (name, row) in evidence.named_contexts() {
+            let zone_exposure = Hours::new(row.exposure_hours())?;
+            let (zone_goals, _) = goal_rows(allocation, zone_exposure, &|k| row.count(k), config)?;
+            zones.push(ZoneBurnDown {
+                zone: name.to_string(),
+                exposure_hours: row.exposure_hours(),
+                goals: zone_goals,
+            });
+        }
+    }
     Ok(FleetReport {
-        schema_version: crate::event::SCHEMA_VERSION,
+        schema_version: REPORT_SCHEMA_VERSION,
         config: *config,
-        exposure_hours: exposure.value(),
-        vehicles: state.vehicle_count(),
-        events: state.events(),
-        unclassified: state.unclassified(),
-        skipped: state.skipped(),
+        exposure_hours: evidence.exposure(),
+        vehicles: 0,
+        events: 0,
+        unclassified: evidence.unclassified().observations(),
+        skipped: SkipCounts::default(),
         goals,
         classes,
+        zones,
     })
+}
+
+/// Computes the burn-down of every incident-type and consequence-class
+/// budget against the live fleet state.
+///
+/// # Errors
+///
+/// Returns [`FleetError`] for an invalid configuration, a zero budget in
+/// the allocation (a zero budget cannot parametrise the SPRT), or a share
+/// matrix referencing classes outside the norm.
+pub fn burn_down(
+    norm: &QuantitativeRiskNorm,
+    allocation: &Allocation,
+    state: &FleetState,
+    config: &BurnDownConfig,
+) -> Result<FleetReport, FleetError> {
+    let mut report = burn_down_evidence(norm, allocation, state.evidence(), config)?;
+    report.vehicles = state.vehicle_count();
+    report.events = state.events();
+    report.skipped = state.skipped();
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -501,6 +631,158 @@ mod tests {
         ] {
             assert!(burn_down(&norm, &allocation, &state, &bad).is_err());
         }
+    }
+
+    #[test]
+    fn report_carries_schema_version_2_and_no_zone_rows_by_default() {
+        let report = setup(&clean_log(100.0));
+        assert_eq!(report.schema_version, REPORT_SCHEMA_VERSION);
+        assert!(report.zones.is_empty());
+        assert!(report.goals.iter().all(|g| g.weighted.is_none()));
+    }
+
+    #[test]
+    fn ledger_burn_down_matches_state_burn_down() {
+        // The FleetState path is the evidence path plus operational
+        // metadata: rows must be identical.
+        let norm = paper_norm().unwrap();
+        let classification = paper_classification().unwrap();
+        let allocation = paper_allocation(&classification).unwrap();
+        let state = ingest_str(&vru_crash_log(5000.0, 3), &classification, 2).unwrap();
+        let config = BurnDownConfig::default();
+        let from_state = burn_down(&norm, &allocation, &state, &config).unwrap();
+        let from_ledger =
+            burn_down_evidence(&norm, &allocation, state.evidence(), &config).unwrap();
+        assert_eq!(from_state.goals, from_ledger.goals);
+        assert_eq!(from_state.classes, from_ledger.classes);
+        assert_eq!(from_state.exposure_hours, from_ledger.exposure_hours);
+        assert_eq!(from_ledger.vehicles, 0);
+        assert_eq!(from_state.vehicles, state.vehicle_count());
+    }
+
+    /// A weighted campaign-style ledger: 16 observations of weight 0.125
+    /// on I3 over a million hours, with an "urban" refinement row.
+    fn weighted_ledger() -> EvidenceLedger {
+        let mut ledger = EvidenceLedger::new();
+        ledger.add_exposure(None, 1.0e6);
+        ledger.add_exposure(Some("urban"), 4.0e5);
+        for _ in 0..16 {
+            ledger.add_incident(None, "I3", 0.125);
+            ledger.add_incident(Some("urban"), "I3", 0.125);
+        }
+        ledger
+    }
+
+    #[test]
+    fn weighted_evidence_uses_effective_statistics() {
+        let norm = paper_norm().unwrap();
+        let classification = paper_classification().unwrap();
+        let allocation = paper_allocation(&classification).unwrap();
+        let config = BurnDownConfig::default();
+        let report = burn_down_evidence(&norm, &allocation, &weighted_ledger(), &config).unwrap();
+
+        let i3 = report.goal(&"I3".into()).unwrap();
+        let w = i3
+            .weighted
+            .as_ref()
+            .expect("weighted evidence sets the weighted view");
+        assert_eq!(i3.observed.count, 16);
+        assert!((w.count.total() - 2.0).abs() < 1e-12);
+        // Point estimate is the weighted mass over the exposure, not the
+        // observation count.
+        let exposure = Hours::new(1.0e6).unwrap();
+        let expected_point = w.point_estimate().unwrap();
+        assert_eq!(i3.point, expected_point);
+        assert!(
+            i3.point.as_per_hour()
+                < PoissonRate::new(16, exposure)
+                    .point_estimate()
+                    .unwrap()
+                    .as_per_hour()
+        );
+        // The upper bound comes from k_eff = 2 effective events, so it is
+        // far below the integer-16 Garwood bound.
+        let integer_upper = PoissonRate::new(16, exposure)
+            .upper_bound(config.confidence)
+            .unwrap();
+        assert!(i3.upper_bound < integer_upper);
+        // SPRT runs on (k_eff, T_eff), and must agree with calling the
+        // test directly.
+        let (k_eff, t_eff) = w.effective();
+        let expected_sprt = PoissonSprt::new(
+            i3.budget.scaled(config.sprt_fraction).unwrap(),
+            i3.budget,
+            config.alpha,
+            config.beta,
+        )
+        .unwrap()
+        .decide_effective(k_eff, t_eff);
+        assert_eq!(i3.sprt, expected_sprt);
+        // Unweighted goals in the same report stay on the exact path.
+        assert!(report
+            .goals
+            .iter()
+            .filter(|g| g.incident != "I3".into())
+            .all(|g| g.weighted.is_none()));
+    }
+
+    #[test]
+    fn by_zone_reports_refinement_rows() {
+        let norm = paper_norm().unwrap();
+        let classification = paper_classification().unwrap();
+        let allocation = paper_allocation(&classification).unwrap();
+        let config = BurnDownConfig {
+            by_zone: true,
+            ..BurnDownConfig::default()
+        };
+        let report = burn_down_evidence(&norm, &allocation, &weighted_ledger(), &config).unwrap();
+        assert_eq!(report.zones.len(), 1);
+        let zone = &report.zones[0];
+        assert_eq!(zone.zone, "urban");
+        assert_eq!(zone.exposure_hours, 4.0e5);
+        assert_eq!(zone.goals.len(), report.goals.len());
+        let i3 = zone
+            .goals
+            .iter()
+            .find(|g| g.incident == "I3".into())
+            .unwrap();
+        assert_eq!(i3.observed.count, 16);
+        assert!(i3.weighted.is_some());
+        // Same mass over less exposure: the zone's point estimate exceeds
+        // the global one.
+        let global_i3 = report.goal(&"I3".into()).unwrap();
+        assert!(i3.point > global_i3.point);
+        // The zone rows render in the text report.
+        let text = report.to_string();
+        assert!(text.contains("zone urban"), "{text}");
+    }
+
+    #[test]
+    fn fleet_and_campaign_ledgers_merge_into_combined_burn_down() {
+        // The acceptance scenario: operational fleet evidence (unit
+        // weight, global row) merged with a weighted design-time campaign
+        // ledger (weighted counts + zone refinement) drives one combined
+        // burn-down.
+        let norm = paper_norm().unwrap();
+        let classification = paper_classification().unwrap();
+        let allocation = paper_allocation(&classification).unwrap();
+        let state = ingest_str(&vru_crash_log(2.0e5, 1), &classification, 2).unwrap();
+
+        let combined = state.evidence().clone().merged(&weighted_ledger());
+        let config = BurnDownConfig {
+            by_zone: true,
+            ..BurnDownConfig::default()
+        };
+        let report = burn_down_evidence(&norm, &allocation, &combined, &config).unwrap();
+        assert!((report.exposure_hours - 1.2e6).abs() < 1e-3);
+        let i3 = report.goal(&"I3".into()).unwrap();
+        // 1 fleet crash (weight 1) + 16 campaign observations (0.125 each).
+        assert_eq!(i3.observed.count, 17);
+        let w = i3.weighted.as_ref().expect("merged evidence is weighted");
+        assert!((w.count.total() - 3.0).abs() < 1e-12);
+        // Zone refinement survives the merge.
+        assert_eq!(report.zones.len(), 1);
+        assert_eq!(report.zones[0].zone, "urban");
     }
 
     #[test]

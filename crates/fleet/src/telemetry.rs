@@ -79,6 +79,70 @@ impl Policy {
     }
 }
 
+/// Deterministic log-corruption plan: strides at which generated JSONL
+/// lines are damaged before being emitted.
+///
+/// Real telemetry is dirty — truncated uploads, newer-firmware schemas,
+/// flash corruption — and the ingest engine's tolerance for it
+/// (skip-and-count, never abort) needs rehearsing just like the happy
+/// path. Each field corrupts every `n`-th line (1-based; `0` disables
+/// that fault) in a way that trips exactly one
+/// [`SkipReason`](crate::event::SkipReason), so the expected
+/// [`SkipCounts`](crate::event::SkipCounts) of a generated log are
+/// computable in advance. When several strides hit the same line, the
+/// first fault in field order wins.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Truncate every `n`-th line mid-JSON (counted as `bad_json`).
+    pub truncate_every: u64,
+    /// Stamp every `n`-th line with a far-future schema version (counted
+    /// as `unsupported_version`).
+    pub future_version_every: u64,
+    /// Rewrite every `n`-th line's event tag to an unknown kind (counted
+    /// as `unknown_kind`).
+    pub unknown_kind_every: u64,
+}
+
+impl FaultPlan {
+    /// A plan that corrupts nothing (the default).
+    pub fn clean() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Returns `true` when no fault is enabled.
+    pub fn is_clean(&self) -> bool {
+        self.truncate_every == 0 && self.future_version_every == 0 && self.unknown_kind_every == 0
+    }
+
+    fn hits(stride: u64, line_number: u64) -> bool {
+        stride != 0 && line_number.is_multiple_of(stride)
+    }
+
+    /// Applies the plan to the 1-based `line_number`-th line.
+    fn corrupt(&self, line_number: u64, line: &str) -> Option<String> {
+        if Self::hits(self.truncate_every, line_number) {
+            Some(line[..line.len() / 2].to_string())
+        } else if Self::hits(self.future_version_every, line_number) {
+            Some(line.replacen("\"v\":1", "\"v\":999", 1))
+        } else if Self::hits(self.unknown_kind_every, line_number) {
+            Some(
+                line.replacen(
+                    "\"event\":\"exposure\"",
+                    "\"event\":\"telemetry-selftest\"",
+                    1,
+                )
+                .replacen(
+                    "\"event\":\"incident\"",
+                    "\"event\":\"telemetry-selftest\"",
+                    1,
+                ),
+            )
+        } else {
+            None
+        }
+    }
+}
+
 /// Builder for a synthetic telemetry stream.
 ///
 /// ```
@@ -106,6 +170,7 @@ pub struct TelemetryConfig {
     policy: Policy,
     workers: usize,
     injected: Vec<(IncidentRecord, u64)>,
+    faults: FaultPlan,
 }
 
 impl TelemetryConfig {
@@ -121,6 +186,7 @@ impl TelemetryConfig {
             policy: Policy::Cautious,
             workers: 0,
             injected: Vec::new(),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -161,6 +227,15 @@ impl TelemetryConfig {
     /// [`Burned`](crate::burndown::AlertLevel::Burned).
     pub fn inject(mut self, record: IncidentRecord, count: u64) -> Self {
         self.injected.push((record, count));
+        self
+    }
+
+    /// Sets the log-corruption plan applied by
+    /// [`TelemetryConfig::generate_jsonl`]. Faults damage the *serialised
+    /// lines*, not the events, so [`TelemetryConfig::generate`] is
+    /// unaffected — corruption is a wire-format phenomenon.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 
@@ -217,6 +292,34 @@ impl TelemetryConfig {
             }
         }
         Ok(events)
+    }
+
+    /// Generates the telemetry stream rendered as a JSONL document, with
+    /// the configured [`FaultPlan`] applied line by line.
+    ///
+    /// This is what `qrn fleet generate` writes: with a clean plan it is
+    /// exactly `to_jsonl(generate()?)`; with faults enabled, the damaged
+    /// lines exercise the ingest engine's skip-and-count tolerance while
+    /// every undamaged line still parses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError`] for a zero-vehicle fleet or a zero-hour
+    /// campaign.
+    pub fn generate_jsonl(&self) -> Result<String, FleetError> {
+        let clean = crate::event::to_jsonl(&self.generate()?);
+        if self.faults.is_clean() {
+            return Ok(clean);
+        }
+        let mut out = String::with_capacity(clean.len());
+        for (i, line) in clean.lines().enumerate() {
+            match self.faults.corrupt(i as u64 + 1, line) {
+                Some(damaged) => out.push_str(&damaged),
+                None => out.push_str(line),
+            }
+            out.push('\n');
+        }
+        Ok(out)
     }
 
     fn run<P: qrn_sim::policy::TacticalPolicy>(
@@ -300,6 +403,55 @@ mod tests {
         assert!((state.exposure().value() - 60.0).abs() < 1e-9);
         assert_eq!(state.vehicle_count(), 3);
         assert_eq!(state.skipped().total(), 0);
+    }
+
+    #[test]
+    fn clean_fault_plan_is_a_no_op() {
+        let config = small();
+        assert_eq!(
+            config.generate_jsonl().unwrap(),
+            to_jsonl(&config.generate().unwrap())
+        );
+    }
+
+    #[test]
+    fn fault_plan_trips_each_skip_reason_at_its_stride() {
+        let plan = FaultPlan {
+            truncate_every: 11,
+            future_version_every: 13,
+            unknown_kind_every: 17,
+        };
+        let text = small().faults(plan).generate_jsonl().unwrap();
+        let lines = text.lines().count() as u64;
+        let classification = paper_classification().unwrap();
+        let state = ingest_str(&text, &classification, 3).unwrap();
+        // First-fault-wins precedence makes the expected tallies exact.
+        let mut expected = crate::event::SkipCounts::default();
+        for n in 1..=lines {
+            if n % 11 == 0 {
+                expected.bad_json += 1;
+            } else if n % 13 == 0 {
+                expected.unsupported_version += 1;
+            } else if n % 17 == 0 {
+                expected.unknown_kind += 1;
+            }
+        }
+        assert!(expected.total() > 0, "stream too short to exercise faults");
+        assert_eq!(state.skipped(), expected);
+        assert_eq!(state.events() + expected.total(), lines);
+        // The surviving lines still carry usable evidence.
+        assert!(state.exposure().value() > 0.0);
+    }
+
+    #[test]
+    fn faulty_generation_is_deterministic() {
+        let plan = FaultPlan {
+            truncate_every: 7,
+            ..FaultPlan::default()
+        };
+        let a = small().faults(plan).generate_jsonl().unwrap();
+        let b = small().faults(plan).generate_jsonl().unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

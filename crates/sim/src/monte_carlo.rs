@@ -33,6 +33,8 @@ use qrn_core::classification::IncidentClassification;
 use qrn_core::incident::{IncidentRecord, IncidentTypeId};
 use qrn_core::object::{Involvement, ObjectType};
 use qrn_core::verification::MeasuredIncidents;
+use qrn_stats::evidence::EvidenceLedger;
+use qrn_stats::poisson::WeightedCount;
 use qrn_stats::rng::{bernoulli, exponential, uniform, Substreams};
 use qrn_stats::summary::OnlineStats;
 use qrn_units::{Acceleration, Frequency, Hours, Meters, Speed, UnitError};
@@ -482,18 +484,53 @@ impl<P: TacticalPolicy> Campaign<P> {
         throughput: Option<Throughput>,
     ) -> CountingResult {
         let CountingAccumulator {
+            classification,
             totals,
             measured,
             non_incidents,
             records_per_shift,
-            ..
+            zone_counts,
+            zone_unclassified,
         } = acc;
+        // The campaign's unified evidence: the global row carries the exact
+        // integer counts and the exposure as accumulated (so downstream
+        // verification reproduces the `measured` numbers bit-for-bit);
+        // visited zones contribute refinement rows pre-seeded with every
+        // leaf of the classification.
+        let mut evidence = EvidenceLedger::new();
+        evidence.add_exposure(None, measured.exposure().value());
+        for leaf in classification.leaves() {
+            evidence.add_count(
+                None,
+                leaf.id().as_str(),
+                &WeightedCount::unit(measured.count(leaf.id())),
+            );
+        }
+        evidence.add_unclassified_count(None, &WeightedCount::unit(non_incidents));
+        for (idx, zone) in self.config.zones.iter().enumerate() {
+            if totals.zone_hours[idx] > 0.0 {
+                evidence.add_exposure(Some(&zone.name), totals.zone_hours[idx]);
+                for leaf in classification.leaves() {
+                    let n = zone_counts[idx].get(leaf.id()).copied().unwrap_or(0);
+                    evidence.add_count(
+                        Some(&zone.name),
+                        leaf.id().as_str(),
+                        &WeightedCount::unit(n),
+                    );
+                }
+                evidence.add_unclassified_count(
+                    Some(&zone.name),
+                    &WeightedCount::unit(zone_unclassified[idx]),
+                );
+            }
+        }
         let (zone_hours, zone_encounters) = totals.named_zones(&self.config);
         CountingResult {
             policy_name: self.policy.name().to_string(),
             measured,
             non_incidents,
             records_per_shift,
+            evidence,
             encounters: totals.encounters,
             hard_brake_demands: totals.hard_brake_demands,
             undetected_encounters: totals.undetected_encounters,
@@ -522,14 +559,20 @@ impl<P: TacticalPolicy> Campaign<P> {
         classification: &IncidentClassification,
         config: &SplittingConfig,
     ) -> Result<SplittingResult, UnitError> {
-        let make = || SplittingAccumulator::new(classification);
+        let zones = self.config.zones.len();
+        let make = || SplittingAccumulator::new(classification, zones);
         let run = |hours: f64, rng: &mut StdRng, out: &mut SplittingShift| {
             self.run_splitting_shift(hours, rng, config, out);
         };
-        let (mut partials, throughput) =
-            self.execute(&[self.seed], &make, &SplittingShift::empty, &run)?;
+        let (mut partials, throughput) = self.execute(
+            &[self.seed],
+            &make,
+            &move || SplittingShift::empty(zones),
+            &run,
+        )?;
         let acc = partials.pop().expect("one accumulator per seed");
-        acc.finish(self.policy.name(), config, Some(throughput))
+        let zone_names: Vec<&str> = self.config.zones.iter().map(|z| z.name.as_str()).collect();
+        acc.finish(self.policy.name(), config, &zone_names, Some(throughput))
     }
 
     /// The shared zone walk: advances through the zone cycle, draws
@@ -611,7 +654,7 @@ impl<P: TacticalPolicy> Campaign<P> {
             },
             |out, zone_idx, template_idx, cruise, zone_perception, rng| {
                 out.zone_encounters[zone_idx] += 1;
-                self.run_one_encounter(template_idx, cruise, zone_perception, rng, out);
+                self.run_one_encounter(zone_idx, template_idx, cruise, zone_perception, rng, out);
             },
         );
     }
@@ -631,8 +674,10 @@ impl<P: TacticalPolicy> Campaign<P> {
             hours,
             rng,
             out,
-            |_, _, _, _| {},
-            |out, _zone_idx, template_idx, cruise, zone_perception, rng| {
+            |out, zone_idx, dt, _cruise| {
+                out.zone_hours[zone_idx] += dt;
+            },
+            |out, zone_idx, template_idx, cruise, zone_perception, rng| {
                 let template = &self.config.challenges[template_idx];
                 let challenge = Challenge::sample(template, cruise, rng);
                 let faults = self.faults.sample(rng);
@@ -650,6 +695,7 @@ impl<P: TacticalPolicy> Campaign<P> {
                     config,
                     encounter_seed,
                     Involvement::ego_with(template.object),
+                    zone_idx,
                     out,
                 );
             },
@@ -658,6 +704,7 @@ impl<P: TacticalPolicy> Campaign<P> {
 
     fn run_one_encounter(
         &self,
+        zone_idx: usize,
         template_idx: usize,
         cruise: Speed,
         perception: &PerceptionParams,
@@ -704,9 +751,11 @@ impl<P: TacticalPolicy> Campaign<P> {
                 ));
             }
         }
+        result.record_zones.push(zone_idx);
         // Induced rear-end conflict behind hard ego braking.
         if let Some(record) = sample_induced(stats.max_commanded_brake, &self.induced, rng) {
             result.records.push(record);
+            result.record_zones.push(zone_idx);
         }
     }
 }
@@ -755,6 +804,9 @@ pub struct ShiftOutcome {
     pub hours: f64,
     /// Raw events, in simulation order.
     pub records: Vec<IncidentRecord>,
+    /// Zone index each record was produced in, parallel to `records` —
+    /// what lets evidence consumers attribute incidents to ODD contexts.
+    pub record_zones: Vec<usize>,
     /// Challenges encountered.
     pub encounters: u64,
     /// Encounters demanding braking harder than 4 m/s².
@@ -781,6 +833,7 @@ impl ShiftOutcome {
         ShiftOutcome {
             hours: 0.0,
             records: Vec::new(),
+            record_zones: Vec::new(),
             encounters: 0,
             hard_brake_demands: 0,
             undetected_encounters: 0,
@@ -795,6 +848,7 @@ impl ShiftOutcome {
     pub fn reset(&mut self, hours: f64) {
         self.hours = hours;
         self.records.clear();
+        self.record_zones.clear();
         self.encounters = 0;
         self.hard_brake_demands = 0;
         self.undetected_encounters = 0;
@@ -957,6 +1011,11 @@ pub struct CountingAccumulator<'c> {
     measured: MeasuredIncidents,
     non_incidents: u64,
     records_per_shift: OnlineStats,
+    /// Classified incident counts per zone index — the refinement rows of
+    /// the campaign's [`EvidenceLedger`].
+    zone_counts: Vec<BTreeMap<IncidentTypeId, u64>>,
+    /// Unclassified record counts per zone index.
+    zone_unclassified: Vec<u64>,
 }
 
 impl<'c> CountingAccumulator<'c> {
@@ -968,6 +1027,8 @@ impl<'c> CountingAccumulator<'c> {
             measured: MeasuredIncidents::empty(),
             non_incidents: 0,
             records_per_shift: OnlineStats::new(),
+            zone_counts: vec![BTreeMap::new(); zones],
+            zone_unclassified: vec![0; zones],
         }
     }
 }
@@ -980,9 +1041,16 @@ impl ShiftAccumulator for CountingAccumulator<'_> {
         self.measured
             .add_exposure(Hours::new(shift.hours).expect("shift durations are positive"));
         self.records_per_shift.push(shift.records.len() as f64);
-        for record in &shift.records {
-            if !self.measured.observe(self.classification, record) {
-                self.non_incidents += 1;
+        for (record, &zone) in shift.records.iter().zip(&shift.record_zones) {
+            match self.classification.classify(record) {
+                Some(leaf) => {
+                    self.measured.tally(leaf.id());
+                    *self.zone_counts[zone].entry(leaf.id().clone()).or_insert(0) += 1;
+                }
+                None => {
+                    self.non_incidents += 1;
+                    self.zone_unclassified[zone] += 1;
+                }
             }
         }
     }
@@ -992,6 +1060,18 @@ impl ShiftAccumulator for CountingAccumulator<'_> {
         self.measured.merge(&later.measured);
         self.non_incidents += later.non_incidents;
         self.records_per_shift.merge(&later.records_per_shift);
+        for (sum, zone) in self.zone_counts.iter_mut().zip(&later.zone_counts) {
+            for (id, n) in zone {
+                *sum.entry(id.clone()).or_insert(0) += n;
+            }
+        }
+        for (sum, n) in self
+            .zone_unclassified
+            .iter_mut()
+            .zip(&later.zone_unclassified)
+        {
+            *sum += n;
+        }
     }
 }
 
@@ -1099,6 +1179,26 @@ impl CampaignResult {
         MeasuredIncidents::from_records(classification, &self.records, self.exposure)
     }
 
+    /// Classifies the raw records into the unified evidence representation:
+    /// a global-row-only [`EvidenceLedger`] with exact unit-weight masses,
+    /// pre-seeded with every leaf of the classification. (The recording
+    /// engine does not retain per-record zones; campaigns that need zone
+    /// refinement rows should use [`Campaign::run_counting`].)
+    pub fn evidence(&self, classification: &IncidentClassification) -> EvidenceLedger {
+        let (measured, non_incidents) = self.measured(classification);
+        let mut ledger = EvidenceLedger::new();
+        ledger.add_exposure(None, self.exposure.value());
+        for leaf in classification.leaves() {
+            ledger.add_count(
+                None,
+                leaf.id().as_str(),
+                &WeightedCount::unit(measured.count(leaf.id())),
+            );
+        }
+        ledger.add_unclassified_count(None, &WeightedCount::unit(non_incidents as u64));
+        ledger
+    }
+
     /// Rate of hard-braking demands (> 4 m/s²) per operating hour — the
     /// paper's policy-dependence yardstick.
     ///
@@ -1151,6 +1251,11 @@ pub struct CountingResult {
     pub non_incidents: u64,
     /// Distribution of raw record counts per shift.
     pub records_per_shift: OnlineStats,
+    /// The campaign's unified evidence: global row with the exact integer
+    /// counts (weight-1.0 masses) over the campaign exposure, plus one
+    /// refinement row per visited zone — what downstream Eq. (1)
+    /// verification and fleet burn-down merge and consume.
+    pub evidence: EvidenceLedger,
     /// Number of challenges encountered.
     pub encounters: u64,
     /// Encounters that demanded braking harder than 4 m/s².
@@ -1183,6 +1288,7 @@ impl PartialEq for CountingResult {
             && self.measured == other.measured
             && self.non_incidents == other.non_incidents
             && self.records_per_shift == other.records_per_shift
+            && self.evidence == other.evidence
             && self.encounters == other.encounters
             && self.hard_brake_demands == other.hard_brake_demands
             && self.undetected_encounters == other.undetected_encounters
@@ -1299,6 +1405,19 @@ pub struct CountingReplicationSummary {
     /// Wall-clock statistics of the shared pool that ran every
     /// replication; the individual [`CountingResult`]s carry `None`.
     pub throughput: Throughput,
+}
+
+impl CountingReplicationSummary {
+    /// The merge of every replication's [`EvidenceLedger`] — the pooled
+    /// evidence of the whole batch, ready for Eq. (1) verification or
+    /// fleet burn-down. Deterministic: replication order is seed order.
+    pub fn combined_evidence(&self) -> EvidenceLedger {
+        let mut combined = EvidenceLedger::new();
+        for result in &self.results {
+            combined.merge(&result.evidence);
+        }
+        combined
+    }
 }
 
 /// Equality covers the simulated outcomes only, never the throughput.
@@ -1659,6 +1778,94 @@ mod tests {
             .hours(h(10.0))
             .run_replications_counting(&c, 0);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn counting_evidence_mirrors_measured_counts() {
+        let c = qrn_core::examples::paper_classification().unwrap();
+        let result = Campaign::new(mixed_scenario().unwrap(), ReactivePolicy::default())
+            .hours(h(200.0))
+            .seed(13)
+            .run_counting(&c)
+            .unwrap();
+        let ev = &result.evidence;
+        // Global row: exact unit-weight counts over the exact exposure.
+        assert_eq!(ev.exposure().to_bits(), result.exposure().value().to_bits());
+        for leaf in c.leaves() {
+            let count = ev.count(leaf.id().as_str());
+            assert!(count.is_unweighted(), "{}", leaf.id());
+            assert_eq!(count.observations(), result.measured.count(leaf.id()));
+        }
+        assert_eq!(ev.unclassified().observations(), result.non_incidents);
+        // Zone refinement rows partition the exposure and the counts.
+        let zone_exposure: f64 = ev
+            .named_contexts()
+            .map(|(_, row)| row.exposure_hours())
+            .sum();
+        assert!((zone_exposure - result.exposure().value()).abs() < 1e-6);
+        for leaf in c.leaves() {
+            let zone_sum: u64 = ev
+                .named_contexts()
+                .map(|(_, row)| row.count(leaf.id().as_str()).observations())
+                .sum();
+            assert_eq!(zone_sum, result.measured.count(leaf.id()), "{}", leaf.id());
+        }
+        let zone_unclassified: u64 = ev
+            .named_contexts()
+            .map(|(_, row)| row.unclassified().observations())
+            .sum();
+        assert_eq!(zone_unclassified, result.non_incidents);
+    }
+
+    #[test]
+    fn recording_evidence_matches_counting_global_row() {
+        let c = qrn_core::examples::paper_classification().unwrap();
+        let campaign = || {
+            Campaign::new(urban_scenario().unwrap(), CautiousPolicy::default())
+                .hours(h(120.0))
+                .seed(13)
+                .workers(5)
+        };
+        let recorded = campaign().run().unwrap().evidence(&c);
+        let counted = campaign().run_counting(&c).unwrap().evidence;
+        assert_eq!(recorded.exposure().to_bits(), counted.exposure().to_bits());
+        for kind in counted.kinds() {
+            assert_eq!(
+                recorded.count(kind).observations(),
+                counted.count(kind).observations(),
+                "{kind}"
+            );
+        }
+        assert_eq!(
+            recorded.unclassified().observations(),
+            counted.unclassified().observations()
+        );
+    }
+
+    #[test]
+    fn replication_evidence_merges_across_seeds() {
+        let c = qrn_core::examples::paper_classification().unwrap();
+        let summary = Campaign::new(urban_scenario().unwrap(), CautiousPolicy::default())
+            .hours(h(40.0))
+            .seed(30)
+            .run_replications_counting(&c, 3)
+            .unwrap();
+        let combined = summary.combined_evidence();
+        assert!((combined.exposure() - 120.0).abs() < 1e-9);
+        for leaf in c.leaves() {
+            let per_rep: u64 = summary
+                .results
+                .iter()
+                .map(|r| r.measured.count(leaf.id()))
+                .sum();
+            assert_eq!(combined.count(leaf.id().as_str()).observations(), per_rep);
+        }
+        // Eq. (1) verification consumes the pooled ledger directly.
+        let norm = qrn_core::examples::paper_norm().unwrap();
+        let allocation = qrn_core::examples::paper_allocation(&c).unwrap();
+        let report =
+            qrn_core::verification::verify_evidence(&norm, &allocation, &combined, 0.95).unwrap();
+        assert_eq!(report.goals.len(), allocation.budgets().count());
     }
 
     #[test]

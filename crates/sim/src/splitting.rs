@@ -72,6 +72,7 @@ use serde::{Deserialize, Serialize};
 use qrn_core::classification::IncidentClassification;
 use qrn_core::incident::{IncidentKind, IncidentRecord, IncidentTypeId};
 use qrn_core::object::Involvement;
+use qrn_stats::evidence::EvidenceLedger;
 use qrn_stats::poisson::{WeightedCount, WeightedPoissonRate};
 use qrn_stats::rng::Substreams;
 use qrn_stats::summary::WeightedOnlineStats;
@@ -174,6 +175,9 @@ pub struct WeightedRecord {
     pub encounter: u64,
     /// Likelihood weight of the emitting particle.
     pub weight: f64,
+    /// Zone index the originating encounter happened in — the evidence
+    /// context of the record.
+    pub zone: usize,
     /// The event, exactly as the crude engine would have recorded it.
     pub record: IncidentRecord,
 }
@@ -195,12 +199,18 @@ pub struct SplittingShift {
     pub encounter_seconds: f64,
     /// Weighted events, grouped by encounter ordinal in simulation order.
     pub records: Vec<WeightedRecord>,
+    /// Time spent per zone index, hours — the exposure refinement the
+    /// campaign's evidence ledger attributes to each zone.
+    pub zone_hours: Vec<f64>,
 }
 
 impl SplittingShift {
-    /// An empty shift buffer.
-    pub fn empty() -> Self {
-        SplittingShift::default()
+    /// An empty shift buffer for a world with `zones` zones.
+    pub fn empty(zones: usize) -> Self {
+        SplittingShift {
+            zone_hours: vec![0.0; zones],
+            ..SplittingShift::default()
+        }
     }
 
     /// Clears the buffer for the next shift, keeping allocations.
@@ -210,6 +220,9 @@ impl SplittingShift {
         self.particles = 0;
         self.encounter_seconds = 0.0;
         self.records.clear();
+        for h in &mut self.zone_hours {
+            *h = 0.0;
+        }
     }
 }
 
@@ -239,6 +252,7 @@ pub(crate) fn run_encounter_splitting(
     config: &SplittingConfig,
     encounter_seed: u64,
     involvement: Involvement,
+    zone: usize,
     out: &mut SplittingShift,
 ) {
     let streams = Substreams::new(encounter_seed);
@@ -274,7 +288,7 @@ pub(crate) fn run_encounter_splitting(
                 let stepped = p.sim.step(policy, vehicle, &mut p.rng);
                 out.encounter_seconds += STEP_SECONDS;
                 if let Some(outcome) = stepped {
-                    terminate(p, outcome, induced, involvement, encounter, out);
+                    terminate(p, outcome, induced, involvement, encounter, zone, out);
                     break;
                 }
             }
@@ -317,6 +331,7 @@ fn terminate(
     induced: &InducedParams,
     involvement: Involvement,
     encounter: u64,
+    zone: usize,
     out: &mut SplittingShift,
 ) {
     let stats = p.sim.stats();
@@ -332,12 +347,14 @@ fn terminate(
     out.records.push(WeightedRecord {
         encounter,
         weight: p.weight,
+        zone,
         record,
     });
     if let Some(record) = sample_induced(stats.max_commanded_brake, induced, &mut p.rng) {
         out.records.push(WeightedRecord {
             encounter,
             weight: p.weight,
+            zone,
             record,
         });
     }
@@ -360,14 +377,21 @@ pub struct SplittingAccumulator<'c> {
     // Per-encounter mass staging, drained on every encounter boundary.
     // Indexed by leaf position; the last slot is the unclassified mass.
     staging: Vec<f64>,
+    // Zone of the encounter currently staged (a cascade happens entirely
+    // inside one zone, so one zone per staging flush suffices).
+    staging_zone: usize,
     leaf_order: Vec<IncidentTypeId>,
+    // Zone refinements: exposure per zone index, and weighted masses per
+    // (zone, staging slot) — the last slot is the unclassified mass.
+    zone_hours: Vec<f64>,
+    zone_counts: Vec<Vec<WeightedCount>>,
 }
 
 impl<'c> SplittingAccumulator<'c> {
-    /// An empty partial classifying with `classification`. Every leaf gets
-    /// a (possibly empty) count, so never-observed types still report
-    /// zero-event upper bounds.
-    pub fn new(classification: &'c IncidentClassification) -> Self {
+    /// An empty partial classifying with `classification`, for a world
+    /// with `zones` zones. Every leaf gets a (possibly empty) count, so
+    /// never-observed types still report zero-event upper bounds.
+    pub fn new(classification: &'c IncidentClassification, zones: usize) -> Self {
         let leaf_order: Vec<IncidentTypeId> = classification
             .leaves()
             .iter()
@@ -387,6 +411,9 @@ impl<'c> SplittingAccumulator<'c> {
             unclassified: WeightedCount::new(),
             impact_speed_kmh: WeightedOnlineStats::new(),
             staging: vec![0.0; leaf_order.len() + 1],
+            staging_zone: 0,
+            zone_hours: vec![0.0; zones],
+            zone_counts: vec![vec![WeightedCount::new(); leaf_order.len() + 1]; zones],
             leaf_order,
         }
     }
@@ -403,18 +430,41 @@ impl<'c> SplittingAccumulator<'c> {
                         .expect("staging slots mirror the leaf order")
                         .push(*mass);
                 }
+                self.zone_counts[self.staging_zone][slot].push(*mass);
                 *mass = 0.0;
             }
         }
     }
 
-    /// Finalises into a result.
+    /// Finalises into a result. `zone_names` maps zone indices to the
+    /// world's zone names for the evidence ledger's refinement rows.
     pub(crate) fn finish(
         self,
         policy_name: &str,
         config: &SplittingConfig,
+        zone_names: &[&str],
         throughput: Option<Throughput>,
     ) -> Result<SplittingResult, UnitError> {
+        // The campaign's unified evidence: weighted per-encounter masses
+        // in the global row (pre-seeded with every leaf), plus refinement
+        // rows for every visited zone.
+        let mut evidence = EvidenceLedger::new();
+        evidence.add_exposure(None, self.hours);
+        for (id, count) in &self.counts {
+            evidence.add_count(None, id.as_str(), count);
+        }
+        evidence.add_unclassified_count(None, &self.unclassified);
+        let unclassified_slot = self.leaf_order.len();
+        for (idx, &name) in zone_names.iter().enumerate() {
+            if self.zone_hours[idx] > 0.0 {
+                evidence.add_exposure(Some(name), self.zone_hours[idx]);
+                for (slot, id) in self.leaf_order.iter().enumerate() {
+                    evidence.add_count(Some(name), id.as_str(), &self.zone_counts[idx][slot]);
+                }
+                evidence
+                    .add_unclassified_count(Some(name), &self.zone_counts[idx][unclassified_slot]);
+            }
+        }
         Ok(SplittingResult {
             policy_name: policy_name.to_string(),
             exposure: Hours::new(self.hours)?,
@@ -422,6 +472,7 @@ impl<'c> SplittingAccumulator<'c> {
             effort: config.effort,
             counts: self.counts,
             unclassified: self.unclassified,
+            evidence,
             encounters: self.encounters,
             particles: self.particles,
             encounter_seconds: self.encounter_seconds,
@@ -439,6 +490,9 @@ impl ShiftAccumulator for SplittingAccumulator<'_> {
         self.encounters += shift.encounters;
         self.particles += shift.particles;
         self.encounter_seconds += shift.encounter_seconds;
+        for (sum, h) in self.zone_hours.iter_mut().zip(&shift.zone_hours) {
+            *sum += h;
+        }
         // Records arrive grouped by encounter ordinal; fold one weighted
         // observation per (encounter, type) — particles of one cascade are
         // correlated, so they must not count as independent events.
@@ -447,6 +501,7 @@ impl ShiftAccumulator for SplittingAccumulator<'_> {
             if current != Some(wr.encounter) {
                 self.flush_staging();
                 current = Some(wr.encounter);
+                self.staging_zone = wr.zone;
             }
             match self.classification.classify(&wr.record) {
                 Some(leaf) => {
@@ -482,6 +537,14 @@ impl ShiftAccumulator for SplittingAccumulator<'_> {
         }
         self.unclassified.merge(&later.unclassified);
         self.impact_speed_kmh.merge(&later.impact_speed_kmh);
+        for (sum, h) in self.zone_hours.iter_mut().zip(&later.zone_hours) {
+            *sum += h;
+        }
+        for (mine, theirs) in self.zone_counts.iter_mut().zip(&later.zone_counts) {
+            for (count, other) in mine.iter_mut().zip(theirs) {
+                count.merge(other);
+            }
+        }
     }
 }
 
@@ -502,6 +565,11 @@ pub struct SplittingResult {
     counts: BTreeMap<IncidentTypeId, WeightedCount>,
     /// Weighted mass of records no leaf claims.
     pub unclassified: WeightedCount,
+    /// The campaign's unified evidence: the same weighted masses and
+    /// exposure as above in ledger form (global row plus one refinement
+    /// row per visited zone) — what fleet burn-down and Eq. (1)
+    /// verification merge and consume.
+    pub evidence: EvidenceLedger,
     /// Challenges encountered (root cascades).
     pub encounters: u64,
     /// Particles simulated (roots + clones).
@@ -529,6 +597,7 @@ impl PartialEq for SplittingResult {
             && self.effort == other.effort
             && self.counts == other.counts
             && self.unclassified == other.unclassified
+            && self.evidence == other.evidence
             && self.encounters == other.encounters
             && self.particles == other.particles
             && self.encounter_seconds == other.encounter_seconds
@@ -638,6 +707,7 @@ mod tests {
             config,
             seed,
             Involvement::ego_with(ObjectType::Vru),
+            0,
             out,
         );
     }
@@ -682,7 +752,7 @@ mod tests {
     #[test]
     fn cascade_conserves_total_weight() {
         let config = SplittingConfig::geometric(5);
-        let mut shift = SplittingShift::empty();
+        let mut shift = SplittingShift::empty(1);
         shift.reset(1.0);
         for seed in 0..200 {
             run_cascade(&config, &flaky_perception(), seed, &mut shift);
@@ -701,7 +771,7 @@ mod tests {
     fn cascade_is_pure_function_of_seed() {
         let config = SplittingConfig::geometric(4);
         let run = |seed| {
-            let mut shift = SplittingShift::empty();
+            let mut shift = SplittingShift::empty(1);
             shift.reset(1.0);
             run_cascade(&config, &flaky_perception(), seed, &mut shift);
             shift
@@ -730,7 +800,7 @@ mod tests {
         let config = SplittingConfig::new(vec![], 1).unwrap();
         let induced = InducedParams::default();
         for seed in 0..50u64 {
-            let mut shift = SplittingShift::empty();
+            let mut shift = SplittingShift::empty(1);
             shift.reset(1.0);
             run_cascade(&config, &flaky_perception(), seed, &mut shift);
             assert_eq!(shift.particles, 1);
@@ -782,7 +852,7 @@ mod tests {
         // detected reactive stop — so 0.2 is crossed at t = 0 and 0.45
         // only after detection.
         let config = SplittingConfig::new(vec![0.2, 0.45], 8).unwrap();
-        let mut shift = SplittingShift::empty();
+        let mut shift = SplittingShift::empty(1);
         shift.reset(1.0);
         run_cascade(&config, &perfect_perception(), 3, &mut shift);
         assert_eq!(shift.particles, 1 + 8 + 8);
@@ -854,6 +924,78 @@ mod tests {
         let back: SplittingResult =
             serde_json::from_str(&serde_json::to_string(&result).unwrap()).unwrap();
         assert_eq!(back, result);
+    }
+
+    #[test]
+    fn splitting_evidence_mirrors_weighted_counts() {
+        let result = splitting_campaign(5, 2, 60.0);
+        let ev = &result.evidence;
+        assert_eq!(ev.exposure().to_bits(), result.exposure().value().to_bits());
+        for (id, count) in result.counts() {
+            let ledger_count = ev.count(id.as_str());
+            assert_eq!(ledger_count.total().to_bits(), count.total().to_bits());
+            assert_eq!(
+                ledger_count.total_sq().to_bits(),
+                count.total_sq().to_bits()
+            );
+            assert_eq!(ledger_count.observations(), count.observations());
+        }
+        // Zone refinement rows partition the exposure and (up to f64
+        // summation order) the incident mass.
+        let zone_exposure: f64 = ev
+            .named_contexts()
+            .map(|(_, row)| row.exposure_hours())
+            .sum();
+        assert!((zone_exposure - result.exposure().value()).abs() < 1e-6);
+        for (id, count) in result.counts() {
+            let zone_mass: f64 = ev
+                .named_contexts()
+                .map(|(_, row)| row.count(id.as_str()).total())
+                .sum();
+            let err = (zone_mass - count.total()).abs();
+            assert!(err <= 1e-9 * count.total().max(1.0), "type={id:?}");
+        }
+    }
+
+    #[test]
+    fn empty_ladder_evidence_is_exact_unit_weight() {
+        // With no splitting levels every particle carries weight 1.0, so the
+        // ledger must collapse to crude, unit-weight evidence: integer
+        // observation counts whose mass equals the count exactly, which is
+        // what routes downstream consumers onto the exact Garwood path.
+        let classification = qrn_core::examples::paper_classification().unwrap();
+        let split = Campaign::new(urban_scenario().unwrap(), ReactivePolicy::default())
+            .perception(flaky_perception())
+            .hours(Hours::new(150.0).unwrap())
+            .seed(21)
+            .workers(3)
+            .run_splitting(&classification, &SplittingConfig::new(vec![], 1).unwrap())
+            .unwrap();
+        assert!(split.encounters > 0);
+        assert_eq!(split.particles, split.encounters);
+        for leaf in classification.leaves() {
+            let count = split.evidence.count(leaf.id().as_str());
+            assert!(count.is_unweighted(), "{}", leaf.id());
+            assert_eq!(
+                count.total().to_bits(),
+                split.count(leaf.id()).unwrap().total().to_bits(),
+                "{}",
+                leaf.id()
+            );
+        }
+        // Unclassified records fold per encounter (primary + induced may
+        // share one staging slot), so the mass is a whole number of weight-1
+        // particles even where the observation grouping differs.
+        let unclassified = split.evidence.unclassified();
+        assert_eq!(unclassified.total().fract(), 0.0);
+        assert!(unclassified.total() >= unclassified.observations() as f64);
+        // The verification consumer takes the exact integer branch.
+        let norm = qrn_core::examples::paper_norm().unwrap();
+        let allocation = qrn_core::examples::paper_allocation(&classification).unwrap();
+        let report =
+            qrn_core::verification::verify_evidence(&norm, &allocation, &split.evidence, 0.95)
+                .unwrap();
+        assert!(report.goals.iter().all(|g| g.weighted.is_none()));
     }
 
     /// Crude reference rates for the unbiasedness check, computed once at

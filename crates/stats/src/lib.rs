@@ -13,6 +13,10 @@
 //!   fleet hours until we can claim the budget is met?"), and weighted
 //!   variants for variance-reduced campaigns (effective-sample-size
 //!   intervals over importance-weighted event masses).
+//! * [`evidence`] — the unified [`evidence::EvidenceLedger`]: a mergeable,
+//!   serializable accounting of weighted incident mass and exposure per
+//!   incident kind and optional context, shared by simulation campaigns,
+//!   splitting campaigns and fleet logs alike.
 //! * [`binomial`] — Clopper–Pearson intervals for outcome shares (the
 //!   fraction of an incident type's occurrences landing in each consequence
 //!   class).
@@ -44,6 +48,7 @@
 
 pub mod binomial;
 mod error;
+pub mod evidence;
 pub mod poisson;
 pub mod rng;
 pub mod sequential;

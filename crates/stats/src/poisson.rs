@@ -228,6 +228,26 @@ impl WeightedCount {
         WeightedCount::default()
     }
 
+    /// Creates a count of `count` unit-weight observations — the crude
+    /// Monte-Carlo / operational-fleet special case. For such counts
+    /// [`WeightedCount::is_unweighted`] holds and the effective count
+    /// equals `count` exactly (for counts below 2⁵³).
+    pub fn unit(count: u64) -> Self {
+        WeightedCount {
+            total: count as f64,
+            total_sq: count as f64,
+            observations: count,
+        }
+    }
+
+    /// True when every folded observation carried weight exactly 1.0 (or
+    /// the count is empty): the evidence is statistically equivalent to a
+    /// plain integer event count, and consumers may take the exact
+    /// [`PoissonRate`] path instead of the effective-sample-size one.
+    pub fn is_unweighted(&self) -> bool {
+        self.total == self.observations as f64 && self.total_sq == self.total
+    }
+
     /// Adds one observation of weighted event mass `weight`. Zero-weight
     /// observations are ignored.
     ///
@@ -404,6 +424,26 @@ impl WeightedPoissonRate {
             .map_err(StatsError::from)
     }
 
+    /// One-sided lower confidence bound on the effective observation.
+    ///
+    /// Useful for showing that a *violation* is statistically established
+    /// even by weighted evidence (the lower bound already exceeds the
+    /// budget).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] for zero exposure or invalid confidence.
+    pub fn lower_bound(&self, confidence: f64) -> Result<Frequency, StatsError> {
+        let confidence = check_confidence(confidence)?;
+        self.require_exposure()?;
+        let (k, t_eff) = self.effective();
+        if k == 0.0 {
+            return Ok(Frequency::ZERO);
+        }
+        Frequency::per_hour(chi_square_quantile(2.0 * k, 1.0 - confidence)? / (2.0 * t_eff.value()))
+            .map_err(StatsError::from)
+    }
+
     /// Returns `true` when the weighted observation demonstrates the true
     /// rate below `budget` with the given one-sided confidence.
     ///
@@ -416,6 +456,20 @@ impl WeightedPoissonRate {
         confidence: f64,
     ) -> Result<bool, StatsError> {
         Ok(self.upper_bound(confidence)? <= budget)
+    }
+
+    /// Returns `true` when the weighted observation establishes that the
+    /// true rate *exceeds* `budget` with the given one-sided confidence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] for zero exposure or invalid confidence.
+    pub fn establishes_violation(
+        &self,
+        budget: Frequency,
+        confidence: f64,
+    ) -> Result<bool, StatsError> {
+        Ok(self.lower_bound(confidence)? > budget)
     }
 
     fn require_exposure(&self) -> Result<(), StatsError> {
@@ -823,6 +877,46 @@ mod tests {
         assert!(!PoissonRate::new(10, hours(1e4))
             .demonstrates_below(budget, 0.95)
             .unwrap());
+    }
+
+    #[test]
+    fn unit_count_is_unweighted_and_exact() {
+        let unit = WeightedCount::unit(7);
+        assert!(unit.is_unweighted());
+        assert_eq!(unit.observations(), 7);
+        assert_eq!(unit.total(), 7.0);
+        assert_eq!(unit.effective_count(), 7.0);
+        let mut pushed = WeightedCount::new();
+        for _ in 0..7 {
+            pushed.push(1.0);
+        }
+        assert_eq!(unit, pushed);
+        assert!(WeightedCount::unit(0).is_unweighted());
+        let mut weighted = WeightedCount::new();
+        weighted.push(0.5);
+        assert!(!weighted.is_unweighted());
+    }
+
+    #[test]
+    fn weighted_lower_bound_with_unit_weights_reduces_to_garwood() {
+        let weighted = WeightedPoissonRate::new(WeightedCount::unit(5), hours(1e4));
+        let crude = PoissonRate::new(5, hours(1e4));
+        let a = weighted.lower_bound(0.95).unwrap();
+        let b = crude.lower_bound(0.95).unwrap();
+        assert!((a.as_per_hour() - b.as_per_hour()).abs() < 1e-15);
+        // Zero events: lower bound is exactly zero.
+        let none = WeightedPoissonRate::new(WeightedCount::new(), hours(1e4));
+        assert_eq!(none.lower_bound(0.95).unwrap(), Frequency::ZERO);
+    }
+
+    #[test]
+    fn weighted_violation_established_with_heavy_mass() {
+        let budget = fph(1e-5);
+        // 100 unit events in 1e5 hours -> rate ~1e-3 >> budget.
+        let obs = WeightedPoissonRate::new(WeightedCount::unit(100), hours(1e5));
+        assert!(obs.establishes_violation(budget, 0.95).unwrap());
+        let obs = WeightedPoissonRate::new(WeightedCount::unit(1), hours(1e5));
+        assert!(!obs.establishes_violation(budget, 0.95).unwrap());
     }
 
     #[test]

@@ -107,16 +107,31 @@ impl PoissonSprt {
 
     /// Log-likelihood ratio of H1 against H0 for `events` over `exposure`.
     pub fn log_likelihood_ratio(&self, events: u64, exposure: Hours) -> f64 {
-        let k = events as f64;
+        self.log_likelihood_ratio_effective(events as f64, exposure)
+    }
+
+    /// Log-likelihood ratio for a *fractional* event count — the entry
+    /// point for importance-weighted evidence, monitored as its Kish
+    /// effective count `k_eff` over the effective exposure `T_eff`
+    /// (see [`crate::poisson::WeightedPoissonRate::effective`]). With an
+    /// integer count this is exactly [`PoissonSprt::log_likelihood_ratio`].
+    pub fn log_likelihood_ratio_effective(&self, events: f64, exposure: Hours) -> f64 {
         let t = exposure.value();
         let r0 = self.r0.as_per_hour();
         let r1 = self.r1.as_per_hour();
-        k * (r1 / r0).ln() - (r1 - r0) * t
+        events * (r1 / r0).ln() - (r1 - r0) * t
     }
 
     /// Decision after observing `events` over `exposure`.
     pub fn decide(&self, events: u64, exposure: Hours) -> SprtDecision {
-        let llr = self.log_likelihood_ratio(events, exposure);
+        self.decide_effective(events as f64, exposure)
+    }
+
+    /// Decision for a fractional (effective) event count over an
+    /// (effective) exposure — the weighted-evidence counterpart of
+    /// [`PoissonSprt::decide`].
+    pub fn decide_effective(&self, events: f64, exposure: Hours) -> SprtDecision {
+        let llr = self.log_likelihood_ratio_effective(events, exposure);
         if llr >= self.upper {
             SprtDecision::AcceptAlternative
         } else if llr <= self.lower {
@@ -201,6 +216,26 @@ mod tests {
         assert!(
             s.log_likelihood_ratio(2, Hours::new(2e5).unwrap())
                 < s.log_likelihood_ratio(2, Hours::new(1e5).unwrap())
+        );
+    }
+
+    #[test]
+    fn effective_decision_agrees_with_integer_counts() {
+        let s = sprt();
+        for events in [0u64, 1, 5, 20] {
+            for t in [1e3, 1e5, 1e6] {
+                let t = Hours::new(t).unwrap();
+                assert_eq!(s.decide(events, t), s.decide_effective(events as f64, t));
+            }
+        }
+    }
+
+    #[test]
+    fn effective_llr_is_monotone_in_fractional_events() {
+        let s = sprt();
+        let t = Hours::new(1e5).unwrap();
+        assert!(
+            s.log_likelihood_ratio_effective(4.5, t) < s.log_likelihood_ratio_effective(4.6, t)
         );
     }
 
