@@ -1,0 +1,82 @@
+//! Criterion bench of the live evidence server: end-to-end HTTP
+//! round-trips against a real listener on 127.0.0.1 — segment ingest
+//! throughput, burn-down query latency and the metrics scrape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use qrn_core::examples::{paper_allocation, paper_classification, paper_norm};
+use qrn_fleet::telemetry::TelemetryConfig;
+use qrn_serve::{ServeConfig, Server, ServerHandle};
+use qrn_units::Hours;
+
+fn start_server() -> ServerHandle {
+    let classification = paper_classification().expect("paper example");
+    let allocation = paper_allocation(&classification).expect("paper example");
+    let mut config = ServeConfig::new(
+        paper_norm().expect("paper example"),
+        classification,
+        allocation,
+    );
+    config.port = 0;
+    config.workers = 2;
+    config.shards = 2;
+    Server::start(config).expect("bind 127.0.0.1:0")
+}
+
+fn roundtrip(addr: SocketAddr, raw: &[u8]) -> usize {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw).expect("send");
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("recv");
+    assert!(reply.starts_with(b"HTTP/1.1 200 "), "non-200 reply");
+    reply.len()
+}
+
+fn segment_jsonl() -> String {
+    TelemetryConfig::new(8)
+        .hours(Hours::new(64.0).expect("positive"))
+        .seed(11)
+        .generate_jsonl()
+        .expect("telemetry generates")
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let handle = start_server();
+    let addr = handle.addr();
+    let segment = segment_jsonl();
+    let request = format!(
+        "POST /v1/ingest HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{segment}",
+        segment.len()
+    );
+    let lines = segment.lines().count();
+    c.bench_function(format!("serve/ingest_{lines}_lines").as_str(), |b| {
+        b.iter(|| roundtrip(addr, black_box(request.as_bytes())))
+    });
+    handle.stop().expect("drain");
+}
+
+fn bench_burndown_query(c: &mut Criterion) {
+    let handle = start_server();
+    let addr = handle.addr();
+    let segment = segment_jsonl();
+    let ingest = format!(
+        "POST /v1/ingest HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{segment}",
+        segment.len()
+    );
+    roundtrip(addr, ingest.as_bytes());
+    let query = b"GET /v1/burndown HTTP/1.1\r\nHost: x\r\n\r\n";
+    c.bench_function("serve/burndown_query", |b| {
+        b.iter(|| roundtrip(addr, black_box(query)))
+    });
+    let scrape = b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+    c.bench_function("serve/metrics_scrape", |b| {
+        b.iter(|| roundtrip(addr, black_box(scrape)))
+    });
+    handle.stop().expect("drain");
+}
+
+criterion_group!(benches, bench_ingest, bench_burndown_query);
+criterion_main!(benches);

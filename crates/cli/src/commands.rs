@@ -65,6 +65,16 @@ pub fn run(args: &[String]) -> Result<CommandOutcome, CliError> {
             rest,
         ),
         ["fleet", rest @ ..] => crate::fleet::run(rest),
+        ["evidence", rest @ ..] => crate::evidence::run(rest),
+        ["serve", norm, classification, allocation, rest @ ..] => crate::serve::run(
+            Path::new(norm),
+            Path::new(classification),
+            Path::new(allocation),
+            rest,
+        ),
+        ["serve", ..] => Err(CliError(
+            "serve needs <norm.json> <classification.json> <allocation.json>".into(),
+        )),
         [cmd, ..] => Err(CliError(format!(
             "unknown command {cmd:?}; run `qrn --help` for usage"
         ))),

@@ -1,0 +1,324 @@
+//! The `qrn evidence` subcommand family: offline tooling for
+//! [`EvidenceLedger`] artefacts.
+//!
+//! Campaign ledgers (from `simulate --evidence-out`), fleet evidence and
+//! served checkpoints all speak the same ledger artefact; this family
+//! gives operators the three verbs they need without writing code:
+//!
+//! ```text
+//! qrn evidence inspect ledger.json
+//! qrn evidence merge a.json b.json c.json --out pooled.json
+//! qrn evidence diff before.json after.json
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use qrn_stats::evidence::EvidenceLedger;
+use qrn_stats::poisson::WeightedCount;
+
+use crate::commands::required_flag;
+use crate::io::{read_artefact, write_artefact};
+use crate::{CliError, CommandOutcome};
+
+/// Dispatches an `evidence …` argument vector (without the leading
+/// `evidence`).
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown subcommands, malformed flags, or
+/// unreadable artefacts.
+pub fn run(rest: &[&str]) -> Result<CommandOutcome, CliError> {
+    match rest {
+        ["inspect", path, ..] => inspect(Path::new(path)),
+        ["merge", rest @ ..] => merge(rest),
+        ["diff", a, b, ..] => diff(Path::new(a), Path::new(b)),
+        [cmd, ..] => Err(CliError(format!(
+            "unknown evidence subcommand {cmd:?}; expected inspect|merge|diff"
+        ))),
+        [] => Err(CliError(
+            "evidence needs a subcommand: inspect|merge|diff".into(),
+        )),
+    }
+}
+
+fn context_label(name: &str) -> String {
+    if name.is_empty() {
+        "(global)".to_string()
+    } else {
+        format!("zone {name}")
+    }
+}
+
+fn describe_count(count: &WeightedCount) -> String {
+    if count.is_unweighted() {
+        format!("{} events", count.observations())
+    } else {
+        format!(
+            "mass {:.6} over {} weighted observations",
+            count.total(),
+            count.observations()
+        )
+    }
+}
+
+fn inspect(path: &Path) -> Result<CommandOutcome, CliError> {
+    let ledger: EvidenceLedger = read_artefact(path)?;
+    println!("evidence ledger {}:", path.display());
+    if ledger.is_empty() {
+        println!("  (empty)");
+        return Ok(CommandOutcome::Ok);
+    }
+    for (name, row) in ledger.contexts() {
+        println!(
+            "  {}: {:.3} h exposure",
+            context_label(name),
+            row.exposure_hours()
+        );
+        for (kind, count) in row.counts() {
+            println!("    {kind}: {}", describe_count(count));
+        }
+        if count_nonzero(&row.unclassified()) {
+            println!(
+                "    (unclassified: {})",
+                describe_count(&row.unclassified())
+            );
+        }
+    }
+    let weighted = ledger
+        .kinds()
+        .into_iter()
+        .any(|k| !ledger.count(k).is_unweighted());
+    println!(
+        "  evidence is {}",
+        if weighted {
+            "importance-weighted (effective-count statistics apply)"
+        } else {
+            "unit-weight (exact Poisson statistics apply)"
+        }
+    );
+    Ok(CommandOutcome::Ok)
+}
+
+fn count_nonzero(count: &WeightedCount) -> bool {
+    count.observations() > 0
+}
+
+fn merge(rest: &[&str]) -> Result<CommandOutcome, CliError> {
+    let out = PathBuf::from(required_flag(rest, "--out")?);
+    let inputs: Vec<&str> = rest
+        .iter()
+        .take_while(|a| **a != "--out")
+        .copied()
+        .collect();
+    if inputs.len() < 2 {
+        return Err(CliError(
+            "evidence merge needs at least two input ledgers before --out".into(),
+        ));
+    }
+    let mut merged = EvidenceLedger::new();
+    for path in &inputs {
+        let ledger: EvidenceLedger = read_artefact(Path::new(path))?;
+        merged.merge(&ledger);
+    }
+    write_artefact(&out, &merged)?;
+    println!(
+        "merged {} ledgers ({:.3} h total exposure) into {}",
+        inputs.len(),
+        merged.exposure(),
+        out.display()
+    );
+    Ok(CommandOutcome::Ok)
+}
+
+/// Prints per-context deltas `b − a`. Exits 0 when the ledgers are
+/// identical, 1 (check-failed) when they differ — so `evidence diff`
+/// doubles as an artefact-drift gate in CI.
+fn diff(path_a: &Path, path_b: &Path) -> Result<CommandOutcome, CliError> {
+    let a: EvidenceLedger = read_artefact(path_a)?;
+    let b: EvidenceLedger = read_artefact(path_b)?;
+    if a == b {
+        println!("ledgers are identical ({:.3} h exposure)", a.exposure());
+        return Ok(CommandOutcome::Ok);
+    }
+    // Union of context names, global row first (BTreeMap order already
+    // sorts "" first).
+    let mut contexts: Vec<&str> = a.contexts().map(|(name, _)| name).collect();
+    for (name, _) in b.contexts() {
+        if !contexts.contains(&name) {
+            contexts.push(name);
+        }
+    }
+    contexts.sort_unstable();
+    println!(
+        "evidence delta {} -> {}:",
+        path_a.display(),
+        path_b.display()
+    );
+    for name in contexts {
+        let exposure_a = a.exposure_in(name);
+        let exposure_b = b.exposure_in(name);
+        let mut kinds: Vec<&str> = Vec::new();
+        for source in [&a, &b] {
+            if let Some(row) = source.context(name) {
+                for (kind, _) in row.counts() {
+                    if !kinds.contains(&kind) {
+                        kinds.push(kind);
+                    }
+                }
+            }
+        }
+        kinds.sort_unstable();
+        let kind_deltas: Vec<String> = kinds
+            .into_iter()
+            .filter_map(|kind| {
+                let ca = a.count_in(name, kind);
+                let cb = b.count_in(name, kind);
+                let d_mass = cb.total() - ca.total();
+                let d_obs = cb.observations() as i128 - ca.observations() as i128;
+                if d_mass == 0.0 && d_obs == 0 {
+                    None
+                } else {
+                    Some(format!("{kind}: {d_mass:+.6} mass ({d_obs:+} obs)"))
+                }
+            })
+            .collect();
+        if exposure_a == exposure_b && kind_deltas.is_empty() {
+            continue;
+        }
+        println!(
+            "  {}: {:+.3} h exposure",
+            context_label(name),
+            exposure_b - exposure_a
+        );
+        for line in kind_deltas {
+            println!("    {line}");
+        }
+    }
+    Ok(CommandOutcome::CheckFailed("ledgers differ".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::run as run_cli;
+
+    fn run_strs(args: &[&str]) -> Result<CommandOutcome, CliError> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run_cli(&owned)
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qrn-evidence-cli-{tag}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_ledger(path: &Path, build: impl FnOnce(&mut EvidenceLedger)) {
+        let mut ledger = EvidenceLedger::new();
+        build(&mut ledger);
+        write_artefact(path, &ledger).unwrap();
+    }
+
+    #[test]
+    fn inspect_reports_contexts_and_weights() {
+        let dir = temp_dir("inspect");
+        let path = dir.join("ledger.json");
+        write_ledger(&path, |l| {
+            l.add_exposure(None, 100.0);
+            l.add_exposure(Some("urban"), 40.0);
+            l.add_incident(None, "I2", 1.0);
+            l.add_incident(Some("urban"), "I3", 0.25);
+        });
+        assert_eq!(
+            run_strs(&["evidence", "inspect", path.to_str().unwrap()]).unwrap(),
+            CommandOutcome::Ok
+        );
+    }
+
+    #[test]
+    fn merge_pools_ledgers_and_equals_programmatic_merge() {
+        let dir = temp_dir("merge");
+        let a = dir.join("a.json");
+        let b = dir.join("b.json");
+        let out = dir.join("merged.json");
+        write_ledger(&a, |l| {
+            l.add_exposure(None, 64.0);
+            l.add_incident(None, "I2", 1.0);
+        });
+        write_ledger(&b, |l| {
+            l.add_exposure(None, 32.0);
+            l.add_incident(None, "I2", 1.0);
+            l.add_incident(Some("urban"), "I3", 0.5);
+        });
+        assert_eq!(
+            run_strs(&[
+                "evidence",
+                "merge",
+                a.to_str().unwrap(),
+                b.to_str().unwrap(),
+                "--out",
+                out.to_str().unwrap(),
+            ])
+            .unwrap(),
+            CommandOutcome::Ok
+        );
+        let merged: EvidenceLedger = read_artefact(&out).unwrap();
+        let expected: EvidenceLedger = {
+            let la: EvidenceLedger = read_artefact(&a).unwrap();
+            let lb: EvidenceLedger = read_artefact(&b).unwrap();
+            la.merged(&lb)
+        };
+        assert_eq!(merged, expected);
+        assert_eq!(merged.exposure(), 96.0);
+        assert_eq!(merged.count("I2").observations(), 2);
+    }
+
+    #[test]
+    fn merge_requires_two_inputs_and_out() {
+        let dir = temp_dir("merge-args");
+        let a = dir.join("a.json");
+        write_ledger(&a, |l| l.add_exposure(None, 1.0));
+        assert!(run_strs(&["evidence", "merge", a.to_str().unwrap()]).is_err());
+        assert!(run_strs(&[
+            "evidence",
+            "merge",
+            a.to_str().unwrap(),
+            "--out",
+            dir.join("out.json").to_str().unwrap(),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn diff_is_clean_for_identical_and_flags_deltas() {
+        let dir = temp_dir("diff");
+        let a = dir.join("a.json");
+        let b = dir.join("b.json");
+        write_ledger(&a, |l| {
+            l.add_exposure(None, 10.0);
+            l.add_incident(None, "I2", 1.0);
+        });
+        std::fs::copy(&a, &b).unwrap();
+        assert_eq!(
+            run_strs(&["evidence", "diff", a.to_str().unwrap(), b.to_str().unwrap()]).unwrap(),
+            CommandOutcome::Ok
+        );
+        write_ledger(&b, |l| {
+            l.add_exposure(None, 12.0);
+            l.add_incident(None, "I2", 1.0);
+            l.add_incident(None, "I2", 1.0);
+            l.add_incident(Some("urban"), "I3", 0.5);
+        });
+        assert!(matches!(
+            run_strs(&["evidence", "diff", a.to_str().unwrap(), b.to_str().unwrap()]).unwrap(),
+            CommandOutcome::CheckFailed(_)
+        ));
+    }
+
+    #[test]
+    fn evidence_validates_arguments() {
+        assert!(run_strs(&["evidence"]).is_err());
+        assert!(run_strs(&["evidence", "teleport"]).is_err());
+        assert!(run_strs(&["evidence", "inspect", "/nonexistent.json"]).is_err());
+    }
+}

@@ -263,26 +263,30 @@ fn ingest(classification_path: &Path, rest: &[&str]) -> Result<CommandOutcome, C
     // Checkpointed incremental ingest: resume from the persisted state (if
     // any), fold each --log segment in argument order, and persist the
     // merged state after every segment so an interrupted run loses at most
-    // the segment it was processing.
+    // the segment it was processing. Checkpoint writes are crash-safe
+    // (write-to-temp + fsync + atomic rename) and a corrupt/truncated
+    // checkpoint is a clear error, never a silent fresh start.
     let mut state = match &checkpoint {
-        Some(path) if path.exists() => {
-            let resumed: FleetState = read_artefact(path)?;
-            println!(
-                "resuming from checkpoint {} ({} events over {:.1} h)",
-                path.display(),
-                resumed.events(),
-                resumed.exposure().value(),
-            );
-            resumed
-        }
-        _ => FleetState::default(),
+        Some(path) => match qrn_fleet::checkpoint::load_state_if_exists(path)? {
+            Some(resumed) => {
+                println!(
+                    "resuming from checkpoint {} ({} events over {:.1} h)",
+                    path.display(),
+                    resumed.events(),
+                    resumed.exposure().value(),
+                );
+                resumed
+            }
+            None => FleetState::default(),
+        },
+        None => FleetState::default(),
     };
     for log_path in &logs {
         let text = read_log_file(log_path)?;
         let segment = ingest_str(&text, &classification, shards)?;
         state.merge(&segment);
         if let Some(path) = &checkpoint {
-            write_artefact(path, &state)?;
+            qrn_fleet::checkpoint::save_state(path, &state)?;
             println!(
                 "checkpointed {} after {} ({} events total)",
                 path.display(),

@@ -24,8 +24,10 @@
 #![warn(missing_docs)]
 
 pub mod commands;
+pub mod evidence;
 pub mod fleet;
 pub mod io;
+pub mod serve;
 
 use std::fmt;
 
@@ -83,6 +85,12 @@ impl From<qrn_fleet::FleetError> for CliError {
 
 impl From<qrn_stats::StatsError> for CliError {
     fn from(e: qrn_stats::StatsError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<qrn_serve::ServeError> for CliError {
+    fn from(e: qrn_serve::ServeError) -> Self {
         CliError(e.to_string())
     }
 }
@@ -177,6 +185,37 @@ COMMANDS:
         evidence for one combined burn-down; weighted splitting mass uses
         effective-count statistics. --by-zone adds per-zone refinement
         rows for the named contexts present in the evidence.
+
+    evidence inspect <ledger.json>
+        Print an evidence ledger: exposure, per-kind incident mass and
+        observations, globally and per zone, and whether the evidence is
+        importance-weighted.
+
+    evidence merge <ledger.json> <ledger.json>... --out <merged.json>
+        Pool two or more evidence ledgers into one (bit-exact commutative
+        merge), e.g. campaign evidence from several seeds.
+
+    evidence diff <a.json> <b.json>
+        Print per-context deltas (b - a) of exposure and incident mass.
+        Exits 0 when identical, 1 when the ledgers differ.
+
+    serve <norm.json> <classification.json> <allocation.json>
+          [--port <P>] [--workers <N>] [--queue-depth <N>]
+          [--max-body-bytes <B>] [--io-timeout-secs <S>] [--shards <N>]
+          [--checkpoint <state.json>] [--checkpoint-every <N>]
+          [--evidence <ledger.json>]... [--by-zone] [--confidence <0..1>]
+          [--alpha <0..1>] [--beta <0..1>] [--sprt-fraction <0..1>]
+          [--watch-ratio <R>]
+        Run the live evidence server on 127.0.0.1 (default port 7878):
+        POST /v1/ingest takes JSONL telemetry segments, GET /v1/burndown
+        returns the current burn-down report (add ?zone=<name> for one
+        zone's refinement rows), GET /metrics exposes Prometheus text
+        metrics, GET /healthz is liveness and POST /v1/shutdown drains
+        in-flight requests and writes a final checkpoint. With
+        --checkpoint the state is resumed at start and atomically
+        checkpointed every --checkpoint-every segments (default 1), so
+        the server's checkpoint is byte-identical to `fleet ingest` of
+        the same segments offline. A full request queue answers 429.
 
 EXIT CODES:
     0 success / compliant    1 check failed    2 usage or artefact error

@@ -1,0 +1,111 @@
+//! The `qrn serve` subcommand: the live evidence server.
+//!
+//! ```text
+//! qrn serve case/norm.json case/classification.json case/allocation.json \
+//!     --port 7878 --checkpoint case/live-state.json
+//! curl -X POST --data-binary @segment.jsonl http://127.0.0.1:7878/v1/ingest
+//! curl http://127.0.0.1:7878/v1/burndown
+//! curl http://127.0.0.1:7878/metrics
+//! curl -X POST http://127.0.0.1:7878/v1/shutdown
+//! ```
+//!
+//! The process blocks until `POST /v1/shutdown`, then drains in-flight
+//! requests and writes a final crash-safe checkpoint.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use qrn_core::allocation::Allocation;
+use qrn_core::norm::QuantitativeRiskNorm;
+use qrn_core::IncidentClassification;
+use qrn_serve::{ServeConfig, Server};
+use qrn_stats::evidence::EvidenceLedger;
+
+use crate::commands::{flag, flag_values, has_flag, parse_f64};
+use crate::io::read_artefact;
+use crate::{CliError, CommandOutcome};
+
+fn parse_num<T: std::str::FromStr>(text: &str, what: &str) -> Result<T, CliError> {
+    text.parse()
+        .map_err(|_| CliError(format!("{what} must be a number, got {text:?}")))
+}
+
+/// Runs `serve <norm> <classification> <allocation> [flags]`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for malformed flags, unreadable artefacts, an
+/// unbindable port or a corrupt checkpoint.
+pub fn run(
+    norm_path: &Path,
+    classification_path: &Path,
+    allocation_path: &Path,
+    rest: &[&str],
+) -> Result<CommandOutcome, CliError> {
+    let norm: QuantitativeRiskNorm = read_artefact(norm_path)?;
+    let classification: IncidentClassification = read_artefact(classification_path)?;
+    let allocation: Allocation = read_artefact(allocation_path)?;
+
+    let mut config = ServeConfig::new(norm, classification, allocation);
+    if let Some(text) = flag(rest, "--port") {
+        config.port = parse_num(text, "--port")?;
+    }
+    if let Some(text) = flag(rest, "--workers") {
+        config.workers = parse_num(text, "--workers")?;
+    }
+    if let Some(text) = flag(rest, "--queue-depth") {
+        config.queue_depth = parse_num(text, "--queue-depth")?;
+    }
+    if let Some(text) = flag(rest, "--max-body-bytes") {
+        config.max_body_bytes = parse_num(text, "--max-body-bytes")?;
+    }
+    if let Some(text) = flag(rest, "--io-timeout-secs") {
+        config.io_timeout = Duration::from_secs(parse_num(text, "--io-timeout-secs")?);
+    }
+    if let Some(text) = flag(rest, "--shards") {
+        config.shards = parse_num(text, "--shards")?;
+    }
+    if let Some(text) = flag(rest, "--checkpoint") {
+        config.checkpoint = Some(PathBuf::from(text));
+    }
+    if let Some(text) = flag(rest, "--checkpoint-every") {
+        config.checkpoint_every = parse_num(text, "--checkpoint-every")?;
+    }
+    for path in flag_values(rest, "--evidence") {
+        let ledger: EvidenceLedger = read_artefact(Path::new(path))?;
+        config.extra_evidence.push(ledger);
+    }
+    if let Some(text) = flag(rest, "--confidence") {
+        config.burndown.confidence = parse_f64(text, "--confidence")?;
+    }
+    if let Some(text) = flag(rest, "--alpha") {
+        config.burndown.alpha = parse_f64(text, "--alpha")?;
+    }
+    if let Some(text) = flag(rest, "--beta") {
+        config.burndown.beta = parse_f64(text, "--beta")?;
+    }
+    if let Some(text) = flag(rest, "--sprt-fraction") {
+        config.burndown.sprt_fraction = parse_f64(text, "--sprt-fraction")?;
+    }
+    if let Some(text) = flag(rest, "--watch-ratio") {
+        config.burndown.watch_ratio = parse_f64(text, "--watch-ratio")?;
+    }
+    config.burndown.by_zone = has_flag(rest, "--by-zone");
+
+    let checkpoint = config.checkpoint.clone();
+    let handle = Server::start(config)?;
+    println!(
+        "serving on http://{} — POST /v1/ingest, GET /v1/burndown[?zone=..], \
+         GET /metrics, GET /healthz, POST /v1/shutdown",
+        handle.addr()
+    );
+    if let Some(path) = &checkpoint {
+        println!("checkpointing to {}", path.display());
+    }
+    handle.wait()?;
+    match &checkpoint {
+        Some(path) => println!("drained; final checkpoint written to {}", path.display()),
+        None => println!("drained; no checkpoint configured"),
+    }
+    Ok(CommandOutcome::Ok)
+}

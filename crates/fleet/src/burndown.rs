@@ -47,8 +47,9 @@ use crate::ingest::FleetState;
 
 /// Version of the [`FleetReport`] artefact schema. Version 2 added the
 /// `weighted` goal field, the `zones` rows and the `by_zone` config flag
-/// when burn-down moved onto [`EvidenceLedger`] evidence.
-pub const REPORT_SCHEMA_VERSION: u64 = 2;
+/// when burn-down moved onto [`EvidenceLedger`] evidence. Version 3 added
+/// the per-goal `looks` counter for repeated-SPRT-look accounting.
+pub const REPORT_SCHEMA_VERSION: u64 = 3;
 
 /// Escalation level of one budget row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -158,6 +159,18 @@ pub struct GoalBurnDown {
     pub consumed: f64,
     /// The sequential test's current decision.
     pub sprt: SprtDecision,
+    /// How many times this goal's SPRT has been consulted against this
+    /// (growing) evidence stream, **including this report**. A one-shot
+    /// offline report is its own first look, so [`burn_down`] and
+    /// [`burn_down_evidence`] always report `1`; the `qrn-serve` live
+    /// server stamps its persisted per-goal look counter instead. Wald's
+    /// SPRT is sequentially valid — its error guarantees survive
+    /// continuous monitoring — but the exact Poisson bounds are
+    /// snapshot statistics: consulting them repeatedly at every look
+    /// inflates their effective error rate, which is why the counter is
+    /// carried in the artefact (see DESIGN §10; full alpha-spending is
+    /// future work).
+    pub looks: u64,
     /// The escalation level.
     pub alert: AlertLevel,
 }
@@ -389,6 +402,7 @@ fn goal_rows(
             upper_bound,
             consumed,
             sprt,
+            looks: 1,
             alert,
         });
     }
@@ -634,11 +648,13 @@ mod tests {
     }
 
     #[test]
-    fn report_carries_schema_version_2_and_no_zone_rows_by_default() {
+    fn report_carries_schema_version_3_and_no_zone_rows_by_default() {
         let report = setup(&clean_log(100.0));
         assert_eq!(report.schema_version, REPORT_SCHEMA_VERSION);
         assert!(report.zones.is_empty());
         assert!(report.goals.iter().all(|g| g.weighted.is_none()));
+        // An offline one-shot report is its own first SPRT look.
+        assert!(report.goals.iter().all(|g| g.looks == 1));
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Crash-safe persistence of checkpointed fleet state.
+//!
+//! A checkpoint exists precisely so that a crash loses at most the
+//! segment being processed — which makes the checkpoint file itself the
+//! one artefact that must never be corrupted by a crash. A naive
+//! `fs::write` truncates the destination before writing, so a kill
+//! mid-write leaves a half-file that silently poisons the next resume.
+//! [`save_state`] therefore writes through the classic atomic protocol:
+//!
+//! 1. serialise to `<path>.tmp` in the **same directory** (rename must
+//!    not cross filesystems),
+//! 2. `fsync` the temp file so the bytes are durable before they become
+//!    visible,
+//! 3. atomically `rename` over the destination — readers see either the
+//!    old complete checkpoint or the new complete checkpoint, never a
+//!    mixture,
+//! 4. best-effort `fsync` of the containing directory so the rename
+//!    itself survives a power cut.
+//!
+//! The serialised bytes are exactly
+//! [`serde_json::to_string_pretty`] of the [`FleetState`] — the same
+//! bytes `qrn fleet ingest --out/--checkpoint` has always produced — so
+//! switching to atomic writes changes durability, not artefact content:
+//! checkpoint byte-identity guarantees (segment-wise ≡ one-shot, server
+//! ≡ offline) are unaffected.
+//!
+//! [`load_state`] is the tolerant mirror: a missing file is `Ok(None)`
+//! via [`load_state_if_exists`], while an unparseable file is a
+//! [`FleetError::Corrupt`] with the path and the parse failure — a clear
+//! error, never a panic, so an operator immediately knows which file to
+//! delete or restore.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+use crate::error::FleetError;
+use crate::ingest::FleetState;
+
+/// Serialises `state` and atomically replaces the checkpoint at `path`
+/// (write-to-temp + fsync + rename).
+///
+/// # Errors
+///
+/// Returns [`FleetError::Io`] when the temp file cannot be created,
+/// written, synced or renamed.
+pub fn save_state(path: &Path, state: &FleetState) -> Result<(), FleetError> {
+    let json = serde_json::to_string_pretty(state).expect("fleet state is serialisable");
+    save_bytes(path, json.as_bytes())
+}
+
+/// Atomically replaces the file at `path` with `bytes` (write-to-temp +
+/// fsync + rename). The temp file is `<file-name>.tmp` in the same
+/// directory.
+///
+/// # Errors
+///
+/// Returns [`FleetError::Io`] when any step of the protocol fails; the
+/// destination is left untouched in that case.
+pub fn save_bytes(path: &Path, bytes: &[u8]) -> Result<(), FleetError> {
+    let io_err = |what: &str, p: &Path, e: std::io::Error| {
+        FleetError::Io(format!("cannot {what} {}: {e}", p.display()))
+    };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent).map_err(|e| io_err("create directory", parent, e))?;
+        }
+    }
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| FleetError::Io(format!("{} has no file name", path.display())))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+
+    let mut file = fs::File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+    file.write_all(bytes)
+        .map_err(|e| io_err("write", &tmp, e))?;
+    // Durability point: the bytes must be on stable storage *before* the
+    // rename makes them the checkpoint, or a crash could expose a named
+    // but empty file.
+    file.sync_all().map_err(|e| io_err("sync", &tmp, e))?;
+    drop(file);
+    fs::rename(&tmp, path).map_err(|e| io_err("rename into place", &tmp, e))?;
+    // The rename is only durable once the directory entry is synced.
+    // Opening a directory read-only works on every unix; elsewhere this
+    // is best-effort (the data itself is already synced).
+    if let Some(parent) = path.parent() {
+        let dir = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Loads a checkpointed [`FleetState`] from `path`.
+///
+/// # Errors
+///
+/// Returns [`FleetError::Io`] when the file cannot be read and
+/// [`FleetError::Corrupt`] — with the path and the underlying parse
+/// failure — when it reads but does not parse as a fleet state (for
+/// example a write truncated by a crash before checkpointing became
+/// atomic).
+pub fn load_state(path: &Path) -> Result<FleetState, FleetError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| FleetError::Io(format!("cannot read {}: {e}", path.display())))?;
+    serde_json::from_str(&text).map_err(|e| {
+        FleetError::Corrupt(format!(
+            "{} is not a valid fleet-state checkpoint ({e}); \
+             the file may be a truncated write from an interrupted run — \
+             delete it to start fresh or restore it from a backup",
+            path.display()
+        ))
+    })
+}
+
+/// Loads the checkpoint at `path` when it exists, `None` when it does
+/// not.
+///
+/// # Errors
+///
+/// Propagates [`load_state`]'s errors for files that exist but cannot be
+/// read or parsed.
+pub fn load_state_if_exists(path: &Path) -> Result<Option<FleetState>, FleetError> {
+    if path.exists() {
+        load_state(path).map(Some)
+    } else {
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::ingest_str;
+    use qrn_core::examples::paper_classification;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("qrn-checkpoint-{tag}"));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_state() -> FleetState {
+        let classification = paper_classification().unwrap();
+        let log = r#"{"v":1,"event":"exposure","vehicle":"V1","hours":8.0}"#;
+        ingest_str(log, &classification, 1).unwrap()
+    }
+
+    #[test]
+    fn save_load_round_trips_and_matches_plain_pretty_json() {
+        let dir = temp_dir("roundtrip");
+        let path = dir.join("state.json");
+        let state = sample_state();
+        save_state(&path, &state).unwrap();
+        // Byte-compatibility with the historical non-atomic writer: the
+        // determinism contracts elsewhere compare these files byte for
+        // byte.
+        assert_eq!(
+            fs::read_to_string(&path).unwrap(),
+            serde_json::to_string_pretty(&state).unwrap()
+        );
+        let back = load_state(&path).unwrap();
+        assert_eq!(back, state);
+        assert_eq!(load_state_if_exists(&path).unwrap(), Some(state));
+        // No temp file left behind.
+        assert!(!dir.join("state.json.tmp").exists());
+    }
+
+    #[test]
+    fn missing_checkpoint_is_none_not_an_error() {
+        let dir = temp_dir("missing");
+        assert_eq!(
+            load_state_if_exists(&dir.join("never-written.json")).unwrap(),
+            None
+        );
+        assert!(matches!(
+            load_state(&dir.join("never-written.json")),
+            Err(FleetError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_a_clear_error_not_a_panic() {
+        let dir = temp_dir("truncated");
+        let path = dir.join("state.json");
+        let state = sample_state();
+        let whole = serde_json::to_string_pretty(&state).unwrap();
+        // A prefix of a valid checkpoint: what a killed non-atomic write
+        // would have left behind.
+        fs::write(&path, &whole[..whole.len() / 2]).unwrap();
+        let err = load_state(&path).unwrap_err();
+        match &err {
+            FleetError::Corrupt(msg) => {
+                assert!(msg.contains("state.json"), "{msg}");
+                assert!(msg.contains("truncated"), "{msg}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // load_state_if_exists propagates (a corrupt file must never be
+        // silently treated as a fresh start).
+        assert!(load_state_if_exists(&path).is_err());
+    }
+
+    #[test]
+    fn save_replaces_existing_checkpoint_atomically() {
+        let dir = temp_dir("replace");
+        let path = dir.join("state.json");
+        let a = FleetState::default();
+        let b = sample_state();
+        save_state(&path, &a).unwrap();
+        save_state(&path, &b).unwrap();
+        assert_eq!(load_state(&path).unwrap(), b);
+    }
+
+    #[test]
+    fn save_creates_missing_parent_directories() {
+        let dir = temp_dir("parents").join("a").join("b");
+        let path = dir.join("state.json");
+        save_state(&path, &FleetState::default()).unwrap();
+        assert!(path.exists());
+    }
+}

@@ -23,6 +23,12 @@ pub enum FleetError {
     Stats(StatsError),
     /// A core-model failure (unknown incident type, invalid allocation, …).
     Core(CoreError),
+    /// An i/o failure while persisting or loading a checkpoint.
+    Io(String),
+    /// A checkpoint file exists but does not parse — typically a write
+    /// that was interrupted before checkpointing became atomic, or a file
+    /// that was never a checkpoint.
+    Corrupt(String),
 }
 
 impl fmt::Display for FleetError {
@@ -32,6 +38,8 @@ impl fmt::Display for FleetError {
             FleetError::Unit(e) => write!(f, "unit error: {e}"),
             FleetError::Stats(e) => write!(f, "statistics error: {e}"),
             FleetError::Core(e) => write!(f, "core error: {e}"),
+            FleetError::Io(msg) => write!(f, "checkpoint i/o error: {msg}"),
+            FleetError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
         }
     }
 }
@@ -39,7 +47,7 @@ impl fmt::Display for FleetError {
 impl std::error::Error for FleetError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            FleetError::InvalidConfig(_) => None,
+            FleetError::InvalidConfig(_) | FleetError::Io(_) | FleetError::Corrupt(_) => None,
             FleetError::Unit(e) => Some(e),
             FleetError::Stats(e) => Some(e),
             FleetError::Core(e) => Some(e),

@@ -25,6 +25,10 @@
 //! 4. [`telemetry`] — a synthetic telemetry generator driving `qrn-sim`
 //!    campaigns to produce realistic event logs for rehearsing the
 //!    monitoring pipeline before real fleet data exists.
+//! 5. [`checkpoint`] — crash-safe (write-to-temp + fsync + atomic rename)
+//!    persistence of [`ingest::FleetState`], shared by the CLI's
+//!    `fleet ingest --checkpoint` and the `qrn-serve` live server so both
+//!    produce byte-identical checkpoint artefacts.
 //!
 //! # A monitoring loop in six lines
 //!
@@ -46,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod burndown;
+pub mod checkpoint;
 pub mod error;
 pub mod event;
 pub mod ingest;

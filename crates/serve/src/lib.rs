@@ -1,0 +1,81 @@
+//! # qrn-serve — a live evidence server for the QRN monitoring loop
+//!
+//! The offline loop (`qrn fleet generate → ingest → report`) treats fleet
+//! evidence as files. In operation the evidence is a *stream*: vehicles
+//! upload telemetry segments continuously and the safety organisation
+//! wants the current burn-down — not tomorrow's batch job. This crate
+//! closes that gap with a dependency-free (std-only) HTTP/1.1 service
+//! holding a live [`FleetState`](qrn_fleet::ingest::FleetState) in memory:
+//!
+//! * `POST /v1/ingest` — JSONL telemetry segments through the tolerant
+//!   parser; malformed lines are skipped-and-counted, never fatal.
+//! * `GET /v1/burndown` (and `?zone=<name>`) — the current
+//!   [`FleetReport`](qrn_fleet::burndown::FleetReport) against the loaded
+//!   norm, byte-identical to what `qrn fleet report` would produce
+//!   offline from the same segments.
+//! * `GET /metrics` — Prometheus text exposition: exposure, per-kind
+//!   incident mass, per-goal budget consumption, ingest/skip counters and
+//!   request latency histograms.
+//! * `GET /healthz` — liveness.
+//! * `POST /v1/shutdown` — graceful drain (the SIGTERM-equivalent a
+//!   std-only binary can actually receive): in-flight requests finish,
+//!   then a final crash-safe checkpoint is written.
+//!
+//! # Engineering shape
+//!
+//! The server is deliberately boring: a fixed accept thread feeding a
+//! *bounded* connection queue ([`server`]), a fixed worker pool draining
+//! it, and explicit `429 Too Many Requests` when the queue is full —
+//! load-shedding is a protocol answer, not an OS accept-backlog mystery.
+//! Connections carry read/write timeouts and a request-body cap
+//! ([`http`]), so one stalled or abusive client cannot wedge a worker.
+//! State checkpoints reuse `qrn-fleet`'s atomic write-to-temp + fsync +
+//! rename protocol, so the checkpoint after N ingested segments is
+//! byte-identical to `qrn fleet ingest` of the same segments offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub mod http;
+pub mod metrics;
+pub mod server;
+
+pub use server::{ServeConfig, Server, ServerHandle};
+
+/// Errors starting or operating the evidence server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Invalid server configuration.
+    Config(String),
+    /// A socket or filesystem operation failed.
+    Io(String),
+    /// A fleet-layer operation (ingest, burn-down, checkpoint) failed.
+    Fleet(qrn_fleet::FleetError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Config(msg) => write!(f, "invalid server config: {msg}"),
+            ServeError::Io(msg) => write!(f, "server i/o error: {msg}"),
+            ServeError::Fleet(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Fleet(e) => Some(e),
+            ServeError::Config(_) | ServeError::Io(_) => None,
+        }
+    }
+}
+
+impl From<qrn_fleet::FleetError> for ServeError {
+    fn from(e: qrn_fleet::FleetError) -> Self {
+        ServeError::Fleet(e)
+    }
+}

@@ -1,0 +1,285 @@
+//! Server-side operational counters and the request-latency histogram.
+//!
+//! Everything here is updated on the hot path, so the counters are plain
+//! relaxed atomics and the per-route/per-status maps sit behind a mutex
+//! touched once per request — contention is bounded by the worker-pool
+//! size, not the connection rate. Rendering reuses the shared
+//! [`qrn_stats::prometheus`] writer so `/metrics` output is structurally
+//! valid by construction.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use qrn_stats::prometheus::{MetricKind, TextFamilies};
+
+/// Upper bounds (seconds) of the request-latency histogram buckets. The
+/// final implicit bucket is `+Inf`.
+pub const LATENCY_BUCKETS: [f64; 8] = [0.001, 0.005, 0.025, 0.1, 0.25, 1.0, 5.0, 30.0];
+
+/// Operational counters of one running server.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Requests fully read and routed, by route label.
+    requests_by_route: Mutex<BTreeMap<&'static str, u64>>,
+    /// Responses written, by status code.
+    responses_by_status: Mutex<BTreeMap<u16, u64>>,
+    /// Connections shed with `429` because the queue was full.
+    rejected_queue_full: AtomicU64,
+    /// Connections dropped without a response (client vanished).
+    connections_dropped: AtomicU64,
+    /// Ingest requests accepted (segments merged into the live state).
+    segments_ingested: AtomicU64,
+    /// Checkpoints successfully written.
+    checkpoints_written: AtomicU64,
+    /// Latency histogram: cumulative counts per bucket of
+    /// [`LATENCY_BUCKETS`] plus the `+Inf` bucket.
+    latency_counts: [AtomicU64; LATENCY_BUCKETS.len() + 1],
+    /// Sum of observed latencies, nanoseconds.
+    latency_sum_nanos: AtomicU64,
+    /// Number of observed requests.
+    latency_observations: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        ServerMetrics::default()
+    }
+
+    /// Counts one routed request.
+    pub fn count_request(&self, route: &'static str) {
+        *self
+            .requests_by_route
+            .lock()
+            .expect("metrics mutex poisoned")
+            .entry(route)
+            .or_insert(0) += 1;
+    }
+
+    /// Counts one written response.
+    pub fn count_response(&self, status: u16) {
+        *self
+            .responses_by_status
+            .lock()
+            .expect("metrics mutex poisoned")
+            .entry(status)
+            .or_insert(0) += 1;
+    }
+
+    /// Counts one connection shed with `429` at the accept stage.
+    pub fn count_queue_full(&self) {
+        self.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one connection dropped without a response.
+    pub fn count_dropped(&self) {
+        self.connections_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one accepted ingest segment.
+    pub fn count_segment(&self) {
+        self.segments_ingested.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one written checkpoint.
+    pub fn count_checkpoint(&self) {
+        self.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of checkpoints written so far.
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints_written.load(Ordering::Relaxed)
+    }
+
+    /// Records one request's wall-clock service time.
+    pub fn observe_latency(&self, elapsed: Duration) {
+        let seconds = elapsed.as_secs_f64();
+        let bucket = LATENCY_BUCKETS
+            .iter()
+            .position(|&le| seconds <= le)
+            .unwrap_or(LATENCY_BUCKETS.len());
+        self.latency_counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_nanos.fetch_add(
+            u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        self.latency_observations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders every family under the `qrn_http` / `qrn_server` prefixes.
+    pub fn render(&self, out: &mut TextFamilies) {
+        out.family(
+            "qrn_http_requests_total",
+            "Requests fully read and routed, by route",
+            MetricKind::Counter,
+        );
+        for (route, count) in self
+            .requests_by_route
+            .lock()
+            .expect("metrics mutex poisoned")
+            .iter()
+        {
+            out.sample_u64("qrn_http_requests_total", &[("route", route)], *count);
+        }
+
+        out.family(
+            "qrn_http_responses_total",
+            "Responses written, by status code",
+            MetricKind::Counter,
+        );
+        for (status, count) in self
+            .responses_by_status
+            .lock()
+            .expect("metrics mutex poisoned")
+            .iter()
+        {
+            out.sample_u64(
+                "qrn_http_responses_total",
+                &[("status", &status.to_string())],
+                *count,
+            );
+        }
+
+        out.family(
+            "qrn_http_rejected_total",
+            "Connections shed or dropped before routing, by reason",
+            MetricKind::Counter,
+        );
+        out.sample_u64(
+            "qrn_http_rejected_total",
+            &[("reason", "queue_full")],
+            self.rejected_queue_full.load(Ordering::Relaxed),
+        );
+        out.sample_u64(
+            "qrn_http_rejected_total",
+            &[("reason", "client_gone")],
+            self.connections_dropped.load(Ordering::Relaxed),
+        );
+
+        out.family(
+            "qrn_server_segments_ingested_total",
+            "Telemetry segments merged into the live fleet state",
+            MetricKind::Counter,
+        );
+        out.sample_u64(
+            "qrn_server_segments_ingested_total",
+            &[],
+            self.segments_ingested.load(Ordering::Relaxed),
+        );
+
+        out.family(
+            "qrn_server_checkpoints_written_total",
+            "Crash-safe checkpoints written",
+            MetricKind::Counter,
+        );
+        out.sample_u64(
+            "qrn_server_checkpoints_written_total",
+            &[],
+            self.checkpoints_written.load(Ordering::Relaxed),
+        );
+
+        out.family(
+            "qrn_http_request_seconds",
+            "Request service time, accept to response written",
+            MetricKind::Histogram,
+        );
+        let mut cumulative = 0;
+        for (i, le) in LATENCY_BUCKETS.iter().enumerate() {
+            cumulative += self.latency_counts[i].load(Ordering::Relaxed);
+            out.sample_u64(
+                "qrn_http_request_seconds_bucket",
+                &[("le", &format!("{le}"))],
+                cumulative,
+            );
+        }
+        cumulative += self.latency_counts[LATENCY_BUCKETS.len()].load(Ordering::Relaxed);
+        out.sample_u64(
+            "qrn_http_request_seconds_bucket",
+            &[("le", "+Inf")],
+            cumulative,
+        );
+        out.sample(
+            "qrn_http_request_seconds_sum",
+            &[],
+            self.latency_sum_nanos.load(Ordering::Relaxed) as f64 / 1.0e9,
+        );
+        out.sample_u64(
+            "qrn_http_request_seconds_count",
+            &[],
+            self.latency_observations.load(Ordering::Relaxed),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let m = ServerMetrics::new();
+        m.count_request("/healthz");
+        m.count_request("/healthz");
+        m.count_request("/v1/ingest");
+        m.count_response(200);
+        m.count_response(429);
+        m.count_queue_full();
+        m.count_segment();
+        m.count_checkpoint();
+        m.observe_latency(Duration::from_millis(3));
+        m.observe_latency(Duration::from_secs(120));
+
+        let mut out = TextFamilies::new();
+        m.render(&mut out);
+        let body = out.finish();
+        assert!(
+            body.contains("qrn_http_requests_total{route=\"/healthz\"} 2"),
+            "{body}"
+        );
+        assert!(
+            body.contains("qrn_http_responses_total{status=\"429\"} 1"),
+            "{body}"
+        );
+        assert!(
+            body.contains("qrn_http_rejected_total{reason=\"queue_full\"} 1"),
+            "{body}"
+        );
+        assert!(
+            body.contains("qrn_server_checkpoints_written_total 1"),
+            "{body}"
+        );
+        // 3 ms lands in the 0.005 bucket; 120 s only in +Inf. Buckets are
+        // cumulative.
+        assert!(
+            body.contains("qrn_http_request_seconds_bucket{le=\"0.005\"} 1"),
+            "{body}"
+        );
+        assert!(
+            body.contains("qrn_http_request_seconds_bucket{le=\"+Inf\"} 2"),
+            "{body}"
+        );
+        assert!(body.contains("qrn_http_request_seconds_count 2"), "{body}");
+        assert_eq!(m.checkpoints(), 1);
+    }
+
+    #[test]
+    fn latency_histogram_is_monotone() {
+        let m = ServerMetrics::new();
+        for ms in [0, 1, 2, 10, 50, 400, 2000, 60_000] {
+            m.observe_latency(Duration::from_millis(ms));
+        }
+        let mut out = TextFamilies::new();
+        m.render(&mut out);
+        let body = out.finish();
+        let counts: Vec<u64> = body
+            .lines()
+            .filter(|l| l.starts_with("qrn_http_request_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(counts.len(), LATENCY_BUCKETS.len() + 1);
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        assert_eq!(*counts.last().unwrap(), 8);
+    }
+}

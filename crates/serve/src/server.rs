@@ -1,0 +1,922 @@
+//! The server proper: bounded accept queue, worker pool, routing, live
+//! state, look accounting and crash-safe checkpointing.
+//!
+//! # Threading model
+//!
+//! One **accept thread** owns the listener. Every accepted connection is
+//! offered to a *bounded* queue; when the queue is full the accept thread
+//! itself answers `429 Too Many Requests` and closes — overload becomes
+//! an explicit protocol answer instead of unbounded memory growth or a
+//! mysterious kernel backlog stall. A fixed pool of **worker threads**
+//! drains the queue: read one request (with socket timeouts and a body
+//! cap), route it, write the response, close. One request per
+//! connection keeps the worker loop allocation-light and trivially
+//! correct.
+//!
+//! # State and determinism
+//!
+//! All live state — the [`FleetState`] and the per-goal SPRT look
+//! counters — sits behind a single mutex. Ingested segments are parsed
+//! *outside* the lock (the expensive part) and merged *inside* it, so
+//! the fold order is the arrival order of merges. Because
+//! [`FleetState::merge`] is bit-exactly commutative for the dyadic
+//! exposure chunks the telemetry layer emits, the resulting state — and
+//! therefore every checkpoint and burn-down artefact — is byte-identical
+//! to an offline `qrn fleet ingest` of the same segments in any order.
+//!
+//! # Look accounting
+//!
+//! Every `/v1/burndown` evaluation is one more *look* at the sequential
+//! test. The server counts looks per goal, stamps them into served
+//! reports ([`GoalBurnDown::looks`](qrn_fleet::burndown::GoalBurnDown)),
+//! and persists them in a sidecar next to the checkpoint
+//! (`<checkpoint>.looks.json`) so the count survives restarts. The
+//! sidecar is deliberately *not* part of the [`FleetState`] checkpoint:
+//! the main checkpoint must stay byte-identical to offline ingest, which
+//! never consults the test. The first look of a fresh server therefore
+//! reports `looks = 1` — exactly what a one-shot offline report states.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use qrn_core::allocation::Allocation;
+use qrn_core::norm::QuantitativeRiskNorm;
+use qrn_core::IncidentClassification;
+use qrn_fleet::burndown::{burn_down, burn_down_evidence, BurnDownConfig, FleetReport};
+use qrn_fleet::checkpoint;
+use qrn_fleet::event::SkipCounts;
+use qrn_fleet::ingest::{ingest_str, FleetState};
+use qrn_stats::evidence::EvidenceLedger;
+use qrn_stats::prometheus::{render_ledger, MetricKind, TextFamilies};
+
+use crate::http::{read_request, Request, Response};
+use crate::metrics::ServerMetrics;
+use crate::ServeError;
+
+/// Configuration of one [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The risk norm served reports are checked against.
+    pub norm: QuantitativeRiskNorm,
+    /// Incident classification applied to ingested telemetry.
+    pub classification: IncidentClassification,
+    /// Budget allocation the burn-down rows are computed from.
+    pub allocation: Allocation,
+    /// TCP port to bind on 127.0.0.1 (`0` = ephemeral, for tests).
+    pub port: u16,
+    /// Worker threads serving requests.
+    pub workers: usize,
+    /// Bounded connection-queue depth; overflow answers `429`.
+    pub queue_depth: usize,
+    /// Maximum accepted request-body size in bytes; larger uploads
+    /// answer `413` before the body is read.
+    pub max_body_bytes: usize,
+    /// Per-connection socket read/write timeout.
+    pub io_timeout: Duration,
+    /// Ingest shard count (see [`ingest_str`]).
+    pub shards: usize,
+    /// Checkpoint file; state is resumed from it at start and
+    /// atomically rewritten during operation and at shutdown.
+    pub checkpoint: Option<PathBuf>,
+    /// Write a checkpoint every this many ingested segments (≥ 1).
+    pub checkpoint_every: u64,
+    /// Design-time campaign evidence ledgers merged into burn-down and
+    /// metrics queries (never into the checkpointed fleet state).
+    pub extra_evidence: Vec<EvidenceLedger>,
+    /// Burn-down analysis parameters for `/v1/burndown` and `/metrics`.
+    pub burndown: BurnDownConfig,
+}
+
+impl ServeConfig {
+    /// A configuration with production-shaped defaults: port 7878,
+    /// 4 workers, queue depth 64, 4 MiB body cap, 10 s socket timeouts,
+    /// checkpoint after every segment.
+    pub fn new(
+        norm: QuantitativeRiskNorm,
+        classification: IncidentClassification,
+        allocation: Allocation,
+    ) -> Self {
+        ServeConfig {
+            norm,
+            classification,
+            allocation,
+            port: 7878,
+            workers: 4,
+            queue_depth: 64,
+            max_body_bytes: 4 * 1024 * 1024,
+            io_timeout: Duration::from_secs(10),
+            shards: std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1),
+            checkpoint: None,
+            checkpoint_every: 1,
+            extra_evidence: Vec::new(),
+            burndown: BurnDownConfig::default(),
+        }
+    }
+
+    fn validate(&self) -> Result<(), ServeError> {
+        if self.workers == 0 {
+            return Err(ServeError::Config("workers must be at least 1".into()));
+        }
+        if self.queue_depth == 0 {
+            return Err(ServeError::Config("queue depth must be at least 1".into()));
+        }
+        if self.max_body_bytes == 0 {
+            return Err(ServeError::Config("max body size must be positive".into()));
+        }
+        if self.checkpoint_every == 0 {
+            return Err(ServeError::Config(
+                "checkpoint interval must be at least 1 segment".into(),
+            ));
+        }
+        if self.shards == 0 {
+            return Err(ServeError::Config("shards must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// A queued unit of worker work.
+enum Job {
+    /// Serve one accepted connection.
+    Conn(TcpStream),
+    /// Drain sentinel: the worker exits.
+    Stop,
+}
+
+/// The bounded connection queue: a `Mutex<VecDeque>` + `Condvar`,
+/// `try_push` refuses when full (the caller sheds load with `429`),
+/// `push_unbounded` bypasses the cap for drain sentinels.
+struct ConnQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> Self {
+        ConnQueue {
+            jobs: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues unless the queue is at capacity; returns the job back to
+    /// the caller when full.
+    fn try_push(&self, job: Job) -> Result<(), Job> {
+        let mut jobs = self.jobs.lock().expect("queue mutex poisoned");
+        if jobs.len() >= self.capacity {
+            return Err(job);
+        }
+        jobs.push_back(job);
+        drop(jobs);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues regardless of capacity (drain sentinels only).
+    fn push_unbounded(&self, job: Job) {
+        self.jobs
+            .lock()
+            .expect("queue mutex poisoned")
+            .push_back(job);
+        self.available.notify_one();
+    }
+
+    /// Blocks until a job is available.
+    fn pop(&self) -> Job {
+        let mut jobs = self.jobs.lock().expect("queue mutex poisoned");
+        loop {
+            if let Some(job) = jobs.pop_front() {
+                return job;
+            }
+            jobs = self.available.wait(jobs).expect("queue mutex poisoned");
+        }
+    }
+}
+
+/// Mutable server state behind the one state mutex.
+struct Shared {
+    fleet: FleetState,
+    /// Per-goal SPRT look counters (completed looks so far).
+    looks: BTreeMap<String, u64>,
+    /// Segments merged since the last checkpoint write.
+    segments_since_checkpoint: u64,
+}
+
+/// Everything threads share.
+struct Inner {
+    config: ServeConfig,
+    addr: SocketAddr,
+    shared: Mutex<Shared>,
+    metrics: ServerMetrics,
+    shutdown: AtomicBool,
+    started: Instant,
+    queue: ConnQueue,
+}
+
+/// JSON body answered by `POST /v1/ingest`.
+#[derive(Debug, Serialize, Deserialize)]
+struct IngestReply {
+    /// Lines in the posted segment.
+    segment_lines: u64,
+    /// Events accepted from the posted segment.
+    segment_events: u64,
+    /// Per-reason skip tallies of the posted segment.
+    segment_skipped: SkipCounts,
+    /// Lines folded into the live state so far (all segments).
+    total_lines: u64,
+    /// Events folded into the live state so far.
+    total_events: u64,
+    /// Total fleet exposure hours in the live state.
+    total_exposure_hours: f64,
+    /// Distinct vehicles seen so far.
+    vehicles: u64,
+    /// Whether this request triggered a checkpoint write.
+    checkpointed: bool,
+}
+
+impl Inner {
+    /// Path of the look-counter sidecar: `<checkpoint>.looks.json`.
+    fn looks_path(checkpoint: &Path) -> PathBuf {
+        let mut name = checkpoint.as_os_str().to_os_string();
+        name.push(".looks.json");
+        PathBuf::from(name)
+    }
+
+    /// Writes the checkpoint pair (state + look sidecar) atomically.
+    /// Callers hold the state lock, so the serialised state is a
+    /// consistent snapshot.
+    fn write_checkpoint(&self, path: &Path, shared: &Shared) -> Result<(), ServeError> {
+        checkpoint::save_state(path, &shared.fleet)?;
+        let looks_json =
+            serde_json::to_string_pretty(&shared.looks).expect("look counters are serialisable");
+        checkpoint::save_bytes(&Self::looks_path(path), looks_json.as_bytes())?;
+        self.metrics.count_checkpoint();
+        Ok(())
+    }
+
+    fn handle_ingest(&self, req: &Request) -> Response {
+        let text = match std::str::from_utf8(&req.body) {
+            Ok(text) => text,
+            Err(_) => return Response::text(400, "Bad Request", "body is not valid UTF-8"),
+        };
+        // Parse outside the state lock: sharded ingest is the expensive
+        // part and must not serialise concurrent uploads.
+        let segment = match ingest_str(text, &self.config.classification, self.config.shards) {
+            Ok(segment) => segment,
+            Err(e) => return Response::text(400, "Bad Request", &format!("ingest failed: {e}")),
+        };
+        let mut shared = self.shared.lock().expect("state mutex poisoned");
+        shared.fleet.merge(&segment);
+        self.metrics.count_segment();
+        let mut checkpointed = false;
+        if let Some(path) = &self.config.checkpoint {
+            shared.segments_since_checkpoint += 1;
+            if shared.segments_since_checkpoint >= self.config.checkpoint_every {
+                if let Err(e) = self.write_checkpoint(path, &shared) {
+                    return Response::text(
+                        500,
+                        "Internal Server Error",
+                        &format!("checkpoint write failed: {e}"),
+                    );
+                }
+                shared.segments_since_checkpoint = 0;
+                checkpointed = true;
+            }
+        }
+        let reply = IngestReply {
+            segment_lines: segment.lines(),
+            segment_events: segment.events(),
+            segment_skipped: segment.skipped(),
+            total_lines: shared.fleet.lines(),
+            total_events: shared.fleet.events(),
+            total_exposure_hours: shared.fleet.exposure().value(),
+            vehicles: shared.fleet.vehicle_count(),
+            checkpointed,
+        };
+        drop(shared);
+        Response::json(serde_json::to_string_pretty(&reply).expect("reply is serialisable"))
+    }
+
+    /// Computes a burn-down report from a state snapshot, merging any
+    /// configured design-time evidence — the same join `qrn fleet
+    /// report --evidence` performs offline.
+    fn compute_report(
+        &self,
+        fleet: &FleetState,
+        config: &BurnDownConfig,
+    ) -> Result<FleetReport, qrn_fleet::FleetError> {
+        if self.config.extra_evidence.is_empty() {
+            burn_down(&self.config.norm, &self.config.allocation, fleet, config)
+        } else {
+            let mut combined = fleet.evidence().clone();
+            for ledger in &self.config.extra_evidence {
+                combined.merge(ledger);
+            }
+            let mut report = burn_down_evidence(
+                &self.config.norm,
+                &self.config.allocation,
+                &combined,
+                config,
+            )?;
+            report.vehicles = fleet.vehicle_count();
+            report.events = fleet.events();
+            report.skipped = fleet.skipped();
+            Ok(report)
+        }
+    }
+
+    fn handle_burndown(&self, req: &Request) -> Response {
+        let zone = req.query_param("zone");
+        // Take the snapshot and spend the look in one critical section,
+        // then compute outside the lock.
+        let (fleet, looks) = {
+            let mut shared = self.shared.lock().expect("state mutex poisoned");
+            for (incident, _) in self.config.allocation.budgets() {
+                *shared
+                    .looks
+                    .entry(incident.as_str().to_string())
+                    .or_insert(0) += 1;
+            }
+            (shared.fleet.clone(), shared.looks.clone())
+        };
+        let mut config = self.config.burndown;
+        if zone.is_some() {
+            config.by_zone = true;
+        }
+        let mut report = match self.compute_report(&fleet, &config) {
+            Ok(report) => report,
+            Err(e) => {
+                return Response::text(
+                    500,
+                    "Internal Server Error",
+                    &format!("burn-down failed: {e}"),
+                )
+            }
+        };
+        let stamp = |goals: &mut Vec<qrn_fleet::burndown::GoalBurnDown>| {
+            for goal in goals {
+                goal.looks = looks.get(goal.incident.as_str()).copied().unwrap_or(1);
+            }
+        };
+        stamp(&mut report.goals);
+        for zone_row in &mut report.zones {
+            stamp(&mut zone_row.goals);
+        }
+        match zone {
+            None => Response::json(report.to_canonical_json()),
+            Some(name) => match report.zones.iter().find(|z| z.zone == name) {
+                Some(row) => Response::json(
+                    serde_json::to_string_pretty(row).expect("zone rows are serialisable"),
+                ),
+                None => Response::text(
+                    404,
+                    "Not Found",
+                    &format!("no evidence context named {name:?}"),
+                ),
+            },
+        }
+    }
+
+    fn handle_metrics(&self) -> Response {
+        let (fleet, looks) = {
+            let shared = self.shared.lock().expect("state mutex poisoned");
+            (shared.fleet.clone(), shared.looks.clone())
+        };
+        let mut out = TextFamilies::new();
+
+        out.family(
+            "qrn_server_uptime_seconds",
+            "Seconds since the server started",
+            MetricKind::Gauge,
+        );
+        out.sample(
+            "qrn_server_uptime_seconds",
+            &[],
+            self.started.elapsed().as_secs_f64(),
+        );
+
+        self.metrics.render(&mut out);
+
+        out.family(
+            "qrn_fleet_lines_total",
+            "Telemetry lines offered to the parser",
+            MetricKind::Counter,
+        );
+        out.sample_u64("qrn_fleet_lines_total", &[], fleet.lines());
+        out.family(
+            "qrn_fleet_events_total",
+            "Telemetry events accepted",
+            MetricKind::Counter,
+        );
+        out.sample_u64("qrn_fleet_events_total", &[], fleet.events());
+        out.family(
+            "qrn_fleet_vehicles",
+            "Distinct vehicles that reported",
+            MetricKind::Gauge,
+        );
+        out.sample_u64("qrn_fleet_vehicles", &[], fleet.vehicle_count());
+        let skipped = fleet.skipped();
+        out.family(
+            "qrn_fleet_skipped_lines_total",
+            "Telemetry lines skipped by the tolerant parser, by reason",
+            MetricKind::Counter,
+        );
+        for (reason, count) in [
+            ("bad_json", skipped.bad_json),
+            ("not_an_object", skipped.not_an_object),
+            ("unsupported_version", skipped.unsupported_version),
+            ("unknown_kind", skipped.unknown_kind),
+            ("missing_field", skipped.missing_field),
+            ("invalid_value", skipped.invalid_value),
+        ] {
+            out.sample_u64(
+                "qrn_fleet_skipped_lines_total",
+                &[("reason", reason)],
+                count,
+            );
+        }
+
+        // Evidence gauges over the same merged view burn-down sees.
+        let mut combined = fleet.evidence().clone();
+        for ledger in &self.config.extra_evidence {
+            combined.merge(ledger);
+        }
+        render_ledger(&mut out, "qrn_evidence", &combined);
+
+        // Goal/class burn-down gauges. Reading metrics is *not* a look:
+        // the SPRT is not consulted for a decision here, the last
+        // burn-down's counters are simply re-exposed.
+        let report = match self.compute_report(&fleet, &self.config.burndown) {
+            Ok(report) => report,
+            Err(e) => {
+                return Response::text(
+                    500,
+                    "Internal Server Error",
+                    &format!("metrics failed: {e}"),
+                )
+            }
+        };
+        out.family(
+            "qrn_goal_budget_consumed",
+            "Point-estimate share of each safety goal's frequency budget",
+            MetricKind::Gauge,
+        );
+        for goal in &report.goals {
+            out.sample(
+                "qrn_goal_budget_consumed",
+                &[("goal", goal.incident.as_str())],
+                goal.consumed,
+            );
+        }
+        out.family(
+            "qrn_goal_alert_level",
+            "Alert level per goal: 0 ok, 1 watch, 2 burned",
+            MetricKind::Gauge,
+        );
+        for goal in &report.goals {
+            let level = match goal.alert {
+                qrn_fleet::AlertLevel::Ok => 0,
+                qrn_fleet::AlertLevel::Watch => 1,
+                qrn_fleet::AlertLevel::Burned => 2,
+            };
+            out.sample_u64(
+                "qrn_goal_alert_level",
+                &[("goal", goal.incident.as_str())],
+                level,
+            );
+        }
+        out.family(
+            "qrn_goal_sprt_looks_total",
+            "Completed SPRT looks per goal (burn-down evaluations served)",
+            MetricKind::Counter,
+        );
+        for goal in &report.goals {
+            out.sample_u64(
+                "qrn_goal_sprt_looks_total",
+                &[("goal", goal.incident.as_str())],
+                looks.get(goal.incident.as_str()).copied().unwrap_or(0),
+            );
+        }
+        out.family(
+            "qrn_class_budget_consumed",
+            "Point-estimate share of each consequence-class budget",
+            MetricKind::Gauge,
+        );
+        for class in &report.classes {
+            out.sample(
+                "qrn_class_budget_consumed",
+                &[("class", class.class.as_str())],
+                class.consumed,
+            );
+        }
+        Response::prometheus(out.finish())
+    }
+
+    fn handle_shutdown(&self) -> Response {
+        self.request_shutdown();
+        Response::text(200, "OK", "shutting down: draining in-flight requests")
+    }
+
+    /// Raises the shutdown flag and nudges the accept loop awake with a
+    /// throwaway connection (the std listener has no other wakeup).
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn route(&self, req: &Request) -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => Response::text(200, "OK", "ok"),
+            ("GET", "/metrics") => self.handle_metrics(),
+            ("GET", "/v1/burndown") => self.handle_burndown(req),
+            ("POST", "/v1/ingest") => self.handle_ingest(req),
+            ("POST", "/v1/shutdown") => self.handle_shutdown(),
+            (_, "/healthz" | "/metrics" | "/v1/burndown" | "/v1/ingest" | "/v1/shutdown") => {
+                Response::text(405, "Method Not Allowed", "wrong method for this endpoint")
+            }
+            (_, path) => Response::text(404, "Not Found", &format!("no route for {path}")),
+        }
+    }
+
+    fn route_label(path: &str) -> &'static str {
+        match path {
+            "/healthz" => "/healthz",
+            "/metrics" => "/metrics",
+            "/v1/burndown" => "/v1/burndown",
+            "/v1/ingest" => "/v1/ingest",
+            "/v1/shutdown" => "/v1/shutdown",
+            _ => "other",
+        }
+    }
+
+    fn worker_loop(self: &Arc<Self>) {
+        loop {
+            match self.queue.pop() {
+                Job::Stop => break,
+                Job::Conn(mut stream) => {
+                    let start = Instant::now();
+                    let response = match read_request(&mut stream, self.config.max_body_bytes) {
+                        Ok(req) => {
+                            self.metrics.count_request(Self::route_label(&req.path));
+                            self.route(&req)
+                        }
+                        Err(e) => match e.response() {
+                            Some(response) => response,
+                            None => {
+                                self.metrics.count_dropped();
+                                continue;
+                            }
+                        },
+                    };
+                    self.metrics.count_response(response.status);
+                    let _ = response.write_to(&mut stream);
+                    self.metrics.observe_latency(start.elapsed());
+                }
+            }
+        }
+    }
+
+    fn accept_loop(self: &Arc<Self>, listener: &TcpListener) {
+        for conn in listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(stream) => stream,
+                Err(_) => continue,
+            };
+            let _ = stream.set_read_timeout(Some(self.config.io_timeout));
+            let _ = stream.set_write_timeout(Some(self.config.io_timeout));
+            if let Err(Job::Conn(mut stream)) = self.queue.try_push(Job::Conn(stream)) {
+                // Back-pressure: the queue is full, shed this connection
+                // with an explicit protocol answer from the accept
+                // thread itself.
+                self.metrics.count_queue_full();
+                let response = Response::text(
+                    429,
+                    "Too Many Requests",
+                    "request queue is full, retry later",
+                );
+                self.metrics.count_response(429);
+                let _ = response.write_to(&mut stream);
+            }
+        }
+    }
+}
+
+/// The evidence server. [`Server::start`] binds, resumes any checkpoint
+/// and spawns the thread pool; the returned [`ServerHandle`] owns the
+/// threads.
+pub struct Server;
+
+impl Server {
+    /// Starts a server on `127.0.0.1:{config.port}`.
+    ///
+    /// When a checkpoint path is configured and the file exists, the
+    /// fleet state (and the look-counter sidecar, if present) is resumed
+    /// from it; a corrupt checkpoint is a startup error, never a silent
+    /// fresh start.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] for invalid configuration, an unbindable
+    /// port, or an unreadable/corrupt checkpoint.
+    pub fn start(config: ServeConfig) -> Result<ServerHandle, ServeError> {
+        config.validate()?;
+        let fleet = match &config.checkpoint {
+            Some(path) => checkpoint::load_state_if_exists(path)?.unwrap_or_default(),
+            None => FleetState::default(),
+        };
+        let looks: BTreeMap<String, u64> = match &config.checkpoint {
+            Some(path) => {
+                let sidecar = Inner::looks_path(path);
+                if sidecar.exists() {
+                    let text = std::fs::read_to_string(&sidecar).map_err(|e| {
+                        ServeError::Io(format!("cannot read {}: {e}", sidecar.display()))
+                    })?;
+                    serde_json::from_str(&text).map_err(|e| {
+                        ServeError::Io(format!(
+                            "{} is not a valid look-counter sidecar ({e}); \
+                             delete it to reset look accounting",
+                            sidecar.display()
+                        ))
+                    })?
+                } else {
+                    BTreeMap::new()
+                }
+            }
+            None => BTreeMap::new(),
+        };
+
+        let listener = TcpListener::bind(("127.0.0.1", config.port))
+            .map_err(|e| ServeError::Io(format!("cannot bind 127.0.0.1:{}: {e}", config.port)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Io(format!("cannot read bound address: {e}")))?;
+
+        let workers = config.workers;
+        let queue_depth = config.queue_depth;
+        let inner = Arc::new(Inner {
+            addr,
+            shared: Mutex::new(Shared {
+                fleet,
+                looks,
+                segments_since_checkpoint: 0,
+            }),
+            metrics: ServerMetrics::new(),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            queue: ConnQueue::new(queue_depth),
+            config,
+        });
+
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let inner = Arc::clone(&inner);
+            let handle = std::thread::Builder::new()
+                .name(format!("qrn-serve-worker-{i}"))
+                .spawn(move || inner.worker_loop())
+                .map_err(|e| ServeError::Io(format!("cannot spawn worker thread: {e}")))?;
+            worker_handles.push(handle);
+        }
+        let accept_handle = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("qrn-serve-accept".into())
+                .spawn(move || inner.accept_loop(&listener))
+                .map_err(|e| ServeError::Io(format!("cannot spawn accept thread: {e}")))?
+        };
+
+        Ok(ServerHandle {
+            inner,
+            accept_thread: Some(accept_handle),
+            workers: worker_handles,
+        })
+    }
+}
+
+/// Handle to a running server: its address, a shutdown trigger, and the
+/// join point that drains and checkpoints.
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.inner.addr.port()
+    }
+
+    /// Raises the shutdown flag, as `POST /v1/shutdown` does. Returns
+    /// immediately; pair with [`ServerHandle::wait`].
+    pub fn request_shutdown(&self) {
+        self.inner.request_shutdown();
+    }
+
+    /// Blocks until shutdown is requested (via [`request_shutdown`] or
+    /// `POST /v1/shutdown`), then drains: queued connections are served,
+    /// workers joined, and — when a checkpoint is configured — a final
+    /// atomic checkpoint (state + look sidecar) written.
+    ///
+    /// [`request_shutdown`]: ServerHandle::request_shutdown
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] when the final checkpoint cannot be
+    /// written.
+    pub fn wait(mut self) -> Result<(), ServeError> {
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+        // The accept thread is gone: nothing enqueues conns any more.
+        // One sentinel per worker lets each drain the backlog and exit.
+        for _ in 0..self.workers.len() {
+            self.inner.queue.push_unbounded(Job::Stop);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(path) = &self.inner.config.checkpoint {
+            let shared = self.inner.shared.lock().expect("state mutex poisoned");
+            self.inner.write_checkpoint(path, &shared)?;
+        }
+        Ok(())
+    }
+
+    /// [`request_shutdown`](ServerHandle::request_shutdown) +
+    /// [`wait`](ServerHandle::wait).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] when the final checkpoint cannot be
+    /// written.
+    pub fn stop(self) -> Result<(), ServeError> {
+        self.request_shutdown();
+        self.wait()
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // A dropped handle must not leave threads parked forever; raise
+        // the flag and let them unwind detached (no join in drop).
+        if self.accept_thread.is_some() {
+            self.inner.request_shutdown();
+            for _ in 0..self.workers.len() {
+                self.inner.queue.push_unbounded(Job::Stop);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrn_core::examples::{paper_allocation, paper_classification, paper_norm};
+    use std::io::{Read, Write};
+
+    fn test_config() -> ServeConfig {
+        let classification = paper_classification().unwrap();
+        let allocation = paper_allocation(&classification).unwrap();
+        let mut config = ServeConfig::new(paper_norm().unwrap(), classification, allocation);
+        config.port = 0;
+        config.workers = 2;
+        config.io_timeout = Duration::from_secs(2);
+        config.shards = 2;
+        config
+    }
+
+    fn request(addr: SocketAddr, head_and_body: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(head_and_body.as_bytes()).unwrap();
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).unwrap();
+        let status: u16 = reply
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = reply
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+        request(addr, &format!("GET {target} HTTP/1.1\r\nHost: x\r\n\r\n"))
+    }
+
+    fn post(addr: SocketAddr, target: &str, body: &str) -> (u16, String) {
+        request(
+            addr,
+            &format!(
+                "POST {target} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        )
+    }
+
+    #[test]
+    fn healthz_and_404_and_405() {
+        let handle = Server::start(test_config()).unwrap();
+        let addr = handle.addr();
+        assert_eq!(get(addr, "/healthz"), (200, "ok\n".to_string()));
+        assert_eq!(get(addr, "/nope").0, 404);
+        assert_eq!(post(addr, "/healthz", "").0, 405);
+        assert_eq!(get(addr, "/v1/ingest").0, 405);
+        handle.stop().unwrap();
+    }
+
+    #[test]
+    fn ingest_then_burndown_and_metrics() {
+        let handle = Server::start(test_config()).unwrap();
+        let addr = handle.addr();
+        let log = "{\"v\":1,\"event\":\"exposure\",\"vehicle\":\"V1\",\"hours\":8.0}\n\
+                   not json at all\n";
+        let (status, body) = post(addr, "/v1/ingest", log);
+        assert_eq!(status, 200, "{body}");
+        let reply: IngestReply = serde_json::from_str(&body).unwrap();
+        assert_eq!(reply.segment_lines, 2);
+        assert_eq!(reply.segment_events, 1);
+        assert_eq!(reply.segment_skipped.bad_json, 1);
+        assert_eq!(reply.total_exposure_hours, 8.0);
+        assert!(!reply.checkpointed);
+
+        let (status, body) = get(addr, "/v1/burndown");
+        assert_eq!(status, 200);
+        let report: FleetReport = serde_json::from_str(&body).unwrap();
+        assert_eq!(report.exposure_hours, 8.0);
+        assert!(report.goals.iter().all(|g| g.looks == 1));
+
+        // A second look increments the counters.
+        let (_, body) = get(addr, "/v1/burndown");
+        let report: FleetReport = serde_json::from_str(&body).unwrap();
+        assert!(report.goals.iter().all(|g| g.looks == 2));
+
+        let (status, metrics) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(
+            metrics.contains("qrn_evidence_exposure_hours 8"),
+            "{metrics}"
+        );
+        assert!(metrics.contains("qrn_fleet_skipped_lines_total{reason=\"bad_json\"} 1"));
+        assert!(
+            metrics.contains("qrn_goal_sprt_looks_total{goal=\"I1\"} 2"),
+            "{metrics}"
+        );
+        handle.stop().unwrap();
+    }
+
+    #[test]
+    fn unknown_zone_is_404() {
+        let handle = Server::start(test_config()).unwrap();
+        let addr = handle.addr();
+        assert_eq!(get(addr, "/v1/burndown?zone=atlantis").0, 404);
+        handle.stop().unwrap();
+    }
+
+    #[test]
+    fn post_shutdown_drains_and_wait_returns() {
+        let handle = Server::start(test_config()).unwrap();
+        let addr = handle.addr();
+        let (status, body) = post(addr, "/v1/shutdown", "");
+        assert_eq!(status, 200, "{body}");
+        handle.wait().unwrap();
+        // The port is released after the drain.
+        assert!(TcpListener::bind(addr).is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        for mutate in [
+            (|c: &mut ServeConfig| c.workers = 0) as fn(&mut ServeConfig),
+            |c| c.queue_depth = 0,
+            |c| c.max_body_bytes = 0,
+            |c| c.checkpoint_every = 0,
+            |c| c.shards = 0,
+        ] {
+            let mut config = test_config();
+            mutate(&mut config);
+            assert!(matches!(Server::start(config), Err(ServeError::Config(_))));
+        }
+    }
+}

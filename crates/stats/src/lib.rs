@@ -17,6 +17,9 @@
 //!   serializable accounting of weighted incident mass and exposure per
 //!   incident kind and optional context, shared by simulation campaigns,
 //!   splitting campaigns and fleet logs alike.
+//! * [`prometheus`] — a minimal Prometheus text-exposition writer and the
+//!   standard rendering of an evidence ledger as metric families, shared by
+//!   `qrn-serve`'s `/metrics` endpoint and any future exporters.
 //! * [`binomial`] — Clopper–Pearson intervals for outcome shares (the
 //!   fraction of an incident type's occurrences landing in each consequence
 //!   class).
@@ -50,6 +53,7 @@ pub mod binomial;
 mod error;
 pub mod evidence;
 pub mod poisson;
+pub mod prometheus;
 pub mod rng;
 pub mod sequential;
 pub mod special;

@@ -21,6 +21,7 @@
 //! | [`quant`] | `qrn-quant` | rate algebra, refinement, ASIL comparison |
 //! | [`sim`] | `qrn-sim` | tactical policies, encounters, Monte Carlo |
 //! | [`fleet`] | `qrn-fleet` | telemetry event logs, sharded ingest, budget burn-down monitoring |
+//! | [`serve`] | `qrn-serve` | live evidence server: streaming ingest, burn-down queries, Prometheus metrics |
 //!
 //! # The pipeline in five lines
 //!
@@ -45,6 +46,7 @@ pub use qrn_fleet as fleet;
 pub use qrn_hara as hara;
 pub use qrn_odd as odd;
 pub use qrn_quant as quant;
+pub use qrn_serve as serve;
 pub use qrn_sim as sim;
 pub use qrn_stats as stats;
 pub use qrn_units as units;
