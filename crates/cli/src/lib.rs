@@ -200,22 +200,31 @@ COMMANDS:
         Exits 0 when identical, 1 when the ledgers differ.
 
     serve <norm.json> <classification.json> <allocation.json>
-          [--port <P>] [--workers <N>] [--queue-depth <N>]
+          [--item <name>=<norm.json>,<classification.json>,<allocation.json>]...
+          [--bind <addr>] [--port <P>] [--workers <N>] [--queue-depth <N>]
           [--max-body-bytes <B>] [--io-timeout-secs <S>] [--shards <N>]
-          [--checkpoint <state.json>] [--checkpoint-every <N>]
-          [--evidence <ledger.json>]... [--by-zone] [--confidence <0..1>]
-          [--alpha <0..1>] [--beta <0..1>] [--sprt-fraction <0..1>]
-          [--watch-ratio <R>]
-        Run the live evidence server on 127.0.0.1 (default port 7878):
-        POST /v1/ingest takes JSONL telemetry segments, GET /v1/burndown
+          [--state-shards <N>] [--checkpoint <state.json>]
+          [--checkpoint-every <N>] [--evidence <ledger.json>]... [--by-zone]
+          [--confidence <0..1>] [--alpha <0..1>] [--beta <0..1>]
+          [--sprt-fraction <0..1>] [--watch-ratio <R>]
+        Run the live evidence server (default 127.0.0.1:7878): POST
+        /v1/ingest takes JSONL telemetry segments, GET /v1/burndown
         returns the current burn-down report (add ?zone=<name> for one
         zone's refinement rows), GET /metrics exposes Prometheus text
-        metrics, GET /healthz is liveness and POST /v1/shutdown drains
-        in-flight requests and writes a final checkpoint. With
-        --checkpoint the state is resumed at start and atomically
-        checkpointed every --checkpoint-every segments (default 1), so
-        the server's checkpoint is byte-identical to `fleet ingest` of
-        the same segments offline. A full request queue answers 429.
+        metrics (item-labelled), GET /healthz is liveness and POST
+        /v1/shutdown drains in-flight requests and writes a final
+        checkpoint per item. The positional artefacts are the item named
+        'default'; each --item adds another served item, addressed as
+        /v1/<name>/ingest and /v1/<name>/burndown with its own state and
+        checkpoint file. Each item's live state is spread over
+        --state-shards shards (default: CPU count) so concurrent ingests
+        don't serialise; queries and checkpoints fold the shards
+        deterministically, keeping every checkpoint byte-identical to
+        `fleet ingest` of the same segments offline. With --checkpoint
+        the state is resumed at start and atomically checkpointed every
+        --checkpoint-every segments (default 1). --bind accepts a
+        non-loopback address but warns loudly: the server is plaintext
+        HTTP without authentication. A full request queue answers 429.
 
 EXIT CODES:
     0 success / compliant    1 check failed    2 usage or artefact error

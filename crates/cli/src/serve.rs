@@ -2,15 +2,21 @@
 //!
 //! ```text
 //! qrn serve case/norm.json case/classification.json case/allocation.json \
-//!     --port 7878 --checkpoint case/live-state.json
+//!     --port 7878 --state-shards 4 --checkpoint case/live-state.json \
+//!     --item vru=vru-norm.json,vru-classification.json,vru-allocation.json
 //! curl -X POST --data-binary @segment.jsonl http://127.0.0.1:7878/v1/ingest
 //! curl http://127.0.0.1:7878/v1/burndown
+//! curl http://127.0.0.1:7878/v1/vru/burndown
 //! curl http://127.0.0.1:7878/metrics
 //! curl -X POST http://127.0.0.1:7878/v1/shutdown
 //! ```
 //!
-//! The process blocks until `POST /v1/shutdown`, then drains in-flight
-//! requests and writes a final crash-safe checkpoint.
+//! The positional artefacts define the item named `default`, reachable
+//! through the bare `/v1/ingest` and `/v1/burndown` routes; each
+//! `--item <name>=<norm>,<classification>,<allocation>` adds another
+//! independently served item. The process blocks until
+//! `POST /v1/shutdown`, then drains in-flight requests and writes a
+//! final crash-safe checkpoint per item.
 
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -47,6 +53,29 @@ pub fn run(
     let allocation: Allocation = read_artefact(allocation_path)?;
 
     let mut config = ServeConfig::new(norm, classification, allocation);
+    for spec in flag_values(rest, "--item") {
+        let (name, artefacts) = spec.split_once('=').ok_or_else(|| {
+            CliError(format!(
+                "--item must be <name>=<norm.json>,<classification.json>,<allocation.json>, \
+                 got {spec:?}"
+            ))
+        })?;
+        let paths: Vec<&str> = artefacts.split(',').collect();
+        let [norm_path, classification_path, allocation_path] = paths.as_slice() else {
+            return Err(CliError(format!(
+                "--item {name} needs exactly three comma-separated artefacts \
+                 (norm, classification, allocation), got {}",
+                paths.len()
+            )));
+        };
+        let norm: QuantitativeRiskNorm = read_artefact(Path::new(norm_path))?;
+        let classification: IncidentClassification = read_artefact(Path::new(classification_path))?;
+        let allocation: Allocation = read_artefact(Path::new(allocation_path))?;
+        config.add_item(name, norm, classification, allocation);
+    }
+    if let Some(text) = flag(rest, "--bind") {
+        config.bind = text.to_string();
+    }
     if let Some(text) = flag(rest, "--port") {
         config.port = parse_num(text, "--port")?;
     }
@@ -65,6 +94,9 @@ pub fn run(
     if let Some(text) = flag(rest, "--shards") {
         config.shards = parse_num(text, "--shards")?;
     }
+    if let Some(text) = flag(rest, "--state-shards") {
+        config.state_shards = parse_num(text, "--state-shards")?;
+    }
     if let Some(text) = flag(rest, "--checkpoint") {
         config.checkpoint = Some(PathBuf::from(text));
     }
@@ -73,7 +105,7 @@ pub fn run(
     }
     for path in flag_values(rest, "--evidence") {
         let ledger: EvidenceLedger = read_artefact(Path::new(path))?;
-        config.extra_evidence.push(ledger);
+        config.push_evidence(ledger);
     }
     if let Some(text) = flag(rest, "--confidence") {
         config.burndown.confidence = parse_f64(text, "--confidence")?;
@@ -93,14 +125,25 @@ pub fn run(
     config.burndown.by_zone = has_flag(rest, "--by-zone");
 
     let checkpoint = config.checkpoint.clone();
+    let item_names: Vec<String> = config.items.iter().map(|item| item.name.clone()).collect();
+    let state_shards = config.state_shards;
     let handle = Server::start(config)?;
     println!(
-        "serving on http://{} — POST /v1/ingest, GET /v1/burndown[?zone=..], \
+        "serving on http://{} — POST /v1/[<item>/]ingest, GET /v1/[<item>/]burndown[?zone=..], \
          GET /metrics, GET /healthz, POST /v1/shutdown",
         handle.addr()
     );
+    println!(
+        "items: {} ({} state shard{} each)",
+        item_names.join(", "),
+        state_shards,
+        if state_shards == 1 { "" } else { "s" }
+    );
     if let Some(path) = &checkpoint {
-        println!("checkpointing to {}", path.display());
+        println!(
+            "checkpointing to {} (non-default items get per-item files)",
+            path.display()
+        );
     }
     handle.wait()?;
     match &checkpoint {

@@ -32,7 +32,7 @@
 
 use std::fs;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use crate::error::FleetError;
 use crate::ingest::FleetState;
@@ -96,6 +96,28 @@ pub fn save_bytes(path: &Path, bytes: &[u8]) -> Result<(), FleetError> {
         }
     }
     Ok(())
+}
+
+/// Derives the checkpoint path of one named norm/allocation *item* from
+/// a base checkpoint path, for servers hosting several items: the item
+/// name is inserted before the file extension, so `live-state.json` +
+/// item `vru` → `live-state.vru.json` (and `state` + `vru` →
+/// `state.vru`). Sidecars derived from the returned path (for example
+/// the `.looks.json` look counters) are therefore per-item too.
+///
+/// Callers keep the *default* item on the bare base path so a
+/// single-item deployment's artefacts stay byte- and name-compatible
+/// with `qrn fleet ingest --checkpoint`.
+pub fn item_checkpoint_path(base: &Path, item: &str) -> PathBuf {
+    let stem = base
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let name = match base.extension() {
+        Some(ext) => format!("{stem}.{item}.{}", ext.to_string_lossy()),
+        None => format!("{stem}.{item}"),
+    };
+    base.with_file_name(name)
 }
 
 /// Loads a checkpointed [`FleetState`] from `path`.
@@ -217,6 +239,23 @@ mod tests {
         save_state(&path, &a).unwrap();
         save_state(&path, &b).unwrap();
         assert_eq!(load_state(&path).unwrap(), b);
+    }
+
+    #[test]
+    fn item_checkpoint_paths_key_by_item_and_keep_directory() {
+        assert_eq!(
+            item_checkpoint_path(Path::new("case/live-state.json"), "vru"),
+            Path::new("case/live-state.vru.json")
+        );
+        assert_eq!(
+            item_checkpoint_path(Path::new("state"), "highway_ads"),
+            Path::new("state.highway_ads")
+        );
+        // Distinct items never collide on disk.
+        assert_ne!(
+            item_checkpoint_path(Path::new("s.json"), "a"),
+            item_checkpoint_path(Path::new("s.json"), "b")
+        );
     }
 
     #[test]

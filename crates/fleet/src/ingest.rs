@@ -158,6 +158,33 @@ impl FleetState {
     }
 }
 
+/// Folds a sequence of partial [`FleetState`]s into one, merging in
+/// **iteration order** — the exact reduce [`ingest_str`] applies to its
+/// per-block partials, exposed so other layers (checkpointed segment
+/// ingest, the sharded live server's cross-shard fold) perform the same
+/// fold and inherit the same determinism argument.
+///
+/// Integer tallies merge associatively and commutatively without
+/// qualification. The floating-point exposure sums are exact — and the
+/// fold therefore independent of grouping *and* order, byte for byte —
+/// whenever the summands are dyadic rationals of bounded magnitude, which
+/// is what the telemetry layer emits (bounded chunks in multiples of
+/// 0.25 h). For arbitrary floats the fold is still deterministic for a
+/// fixed iteration order, which is why every caller fixes one (block
+/// index, segment arrival, shard index).
+pub fn fold_states<I>(states: I) -> FleetState
+where
+    I: IntoIterator,
+    I::Item: std::borrow::Borrow<FleetState>,
+{
+    use std::borrow::Borrow;
+    let mut merged = FleetState::default();
+    for state in states {
+        merged.merge(state.borrow());
+    }
+    merged
+}
+
 /// One shard's partial state over a contiguous run of blocks.
 #[derive(Debug, Default)]
 struct ShardAccumulator {
@@ -194,14 +221,6 @@ impl ShardAccumulator {
             Ok(None) => {}
             Err(reason) => s.skipped.count(reason),
         }
-    }
-
-    /// Appends a partial covering strictly later lines. Must equal having
-    /// absorbed the later partial's lines directly (the associative
-    /// extension of `absorb_line`), which is what makes the merged state
-    /// independent of shard scheduling.
-    fn merge(&mut self, later: ShardAccumulator) {
-        self.state.merge(&later.state);
     }
 }
 
@@ -265,11 +284,9 @@ pub fn ingest_str(
     // regardless of which shard parsed which block.
     let mut partials: Vec<(u64, ShardAccumulator)> = shard_outputs.into_iter().flatten().collect();
     partials.sort_unstable_by_key(|(block, _)| *block);
-    let mut merged = ShardAccumulator::default();
-    for (_, partial) in partials {
-        merged.merge(partial);
-    }
-    Ok(merged.state)
+    Ok(fold_states(
+        partials.into_iter().map(|(_, partial)| partial.state),
+    ))
 }
 
 #[cfg(test)]
@@ -459,6 +476,31 @@ mod tests {
                 serde_json::to_string(&whole).unwrap()
             );
         }
+    }
+
+    #[test]
+    fn fold_states_equals_pairwise_merge_and_accepts_refs_and_owned() {
+        let classification = paper_classification().unwrap();
+        let log = sample_log(3, 120);
+        let lines: Vec<&str> = log.lines().collect();
+        let thirds: Vec<FleetState> = lines
+            .chunks(lines.len() / 3 + 1)
+            .map(|chunk| ingest_str(&chunk.join("\n"), &classification, 2).unwrap())
+            .collect();
+
+        let mut reference = FleetState::default();
+        for part in &thirds {
+            reference.merge(part);
+        }
+        // By reference and by value, the fold is the same left-to-right
+        // merge.
+        assert_eq!(fold_states(thirds.iter()), reference);
+        assert_eq!(fold_states(thirds), reference);
+        // The empty fold is the identity state.
+        assert_eq!(
+            fold_states(std::iter::empty::<FleetState>()),
+            FleetState::default()
+        );
     }
 
     #[test]

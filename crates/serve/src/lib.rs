@@ -5,21 +5,31 @@
 //! upload telemetry segments continuously and the safety organisation
 //! wants the current burn-down — not tomorrow's batch job. This crate
 //! closes that gap with a dependency-free (std-only) HTTP/1.1 service
-//! holding a live [`FleetState`](qrn_fleet::ingest::FleetState) in memory:
+//! holding live [`FleetState`](qrn_fleet::ingest::FleetState)s in memory:
 //!
-//! * `POST /v1/ingest` — JSONL telemetry segments through the tolerant
-//!   parser; malformed lines are skipped-and-counted, never fatal.
-//! * `GET /v1/burndown` (and `?zone=<name>`) — the current
-//!   [`FleetReport`](qrn_fleet::burndown::FleetReport) against the loaded
+//! * `POST /v1/ingest` and `POST /v1/<item>/ingest` — JSONL telemetry
+//!   segments through the tolerant parser; malformed lines are
+//!   skipped-and-counted, never fatal.
+//! * `GET /v1/burndown` and `GET /v1/<item>/burndown` (and
+//!   `?zone=<name>`) — the current
+//!   [`FleetReport`](qrn_fleet::burndown::FleetReport) against the item's
 //!   norm, byte-identical to what `qrn fleet report` would produce
 //!   offline from the same segments.
 //! * `GET /metrics` — Prometheus text exposition: exposure, per-kind
-//!   incident mass, per-goal budget consumption, ingest/skip counters and
-//!   request latency histograms.
+//!   incident mass, per-goal budget consumption (all labelled by item),
+//!   ingest/skip counters and request latency histograms.
 //! * `GET /healthz` — liveness.
 //! * `POST /v1/shutdown` — graceful drain (the SIGTERM-equivalent a
 //!   std-only binary can actually receive): in-flight requests finish,
-//!   then a final crash-safe checkpoint is written.
+//!   then a final crash-safe checkpoint is written per item.
+//!
+//! One server can host several *items* — named norm/classification/
+//! allocation triples, each with its own sharded live state, look
+//! counters and checkpoint — so one deployment monitors one fleet
+//! against several verification targets. The bare `/v1/ingest` and
+//! `/v1/burndown` routes alias the item named
+//! [`DEFAULT_ITEM`](server::DEFAULT_ITEM), keeping single-item
+//! deployments wire-compatible.
 //!
 //! # Engineering shape
 //!
@@ -29,8 +39,14 @@
 //! load-shedding is a protocol answer, not an OS accept-backlog mystery.
 //! Connections carry read/write timeouts and a request-body cap
 //! ([`http`]), so one stalled or abusive client cannot wedge a worker.
-//! State checkpoints reuse `qrn-fleet`'s atomic write-to-temp + fsync +
-//! rename protocol, so the checkpoint after N ingested segments is
+//! Each item's live state is sharded ([`state`]): segments are parsed
+//! outside any lock and handed to one of N per-item
+//! [`FleetState`](qrn_fleet::ingest::FleetState) shards, so concurrent
+//! uploads don't serialise on a global state mutex; queries and
+//! checkpoints fold the shards with the exact dyadic merge `ingest_str`
+//! uses, keeping every artefact byte-identical to offline ingest. State
+//! checkpoints reuse `qrn-fleet`'s atomic write-to-temp + fsync + rename
+//! protocol, so the checkpoint after N ingested segments is
 //! byte-identical to `qrn fleet ingest` of the same segments offline.
 
 #![forbid(unsafe_code)]
@@ -41,8 +57,10 @@ use std::fmt;
 pub mod http;
 pub mod metrics;
 pub mod server;
+pub mod state;
 
-pub use server::{ServeConfig, Server, ServerHandle};
+pub use server::{ItemConfig, ServeConfig, Server, ServerHandle, DEFAULT_ITEM};
+pub use state::ShardedState;
 
 /// Errors starting or operating the evidence server.
 #[derive(Debug)]

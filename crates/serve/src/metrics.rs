@@ -1,15 +1,15 @@
 //! Server-side operational counters and the request-latency histogram.
 //!
-//! Everything here is updated on the hot path, so the counters are plain
-//! relaxed atomics and the per-route/per-status maps sit behind a mutex
-//! touched once per request — contention is bounded by the worker-pool
-//! size, not the connection rate. Rendering reuses the shared
-//! [`qrn_stats::prometheus`] writer so `/metrics` output is structurally
-//! valid by construction.
+//! Everything here is updated on the hot path, so *every* counter is a
+//! plain relaxed atomic: the route and status label spaces are small
+//! and known at compile time ([`ROUTE_LABELS`], [`STATUS_CODES`]), so a
+//! fixed atomic slot per label replaces the mutex-guarded maps the
+//! first server version used — `/metrics` scrapes and concurrent
+//! ingests no longer serialise on telemetry bookkeeping. Rendering
+//! reuses the shared [`qrn_stats::prometheus`] writer so `/metrics`
+//! output is structurally valid by construction.
 
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
 
 use qrn_stats::prometheus::{MetricKind, TextFamilies};
@@ -18,13 +18,62 @@ use qrn_stats::prometheus::{MetricKind, TextFamilies};
 /// final implicit bucket is `+Inf`.
 pub const LATENCY_BUCKETS: [f64; 8] = [0.001, 0.005, 0.025, 0.1, 0.25, 1.0, 5.0, 30.0];
 
-/// Operational counters of one running server.
+/// The route label space: every request is counted under exactly one of
+/// these. Item-addressed routes collapse onto `{item}` placeholders so
+/// the label cardinality stays fixed no matter how many items a server
+/// hosts.
+pub const ROUTE_LABELS: [&str; 8] = [
+    "/healthz",
+    "/metrics",
+    "/v1/ingest",
+    "/v1/burndown",
+    "/v1/shutdown",
+    "/v1/{item}/ingest",
+    "/v1/{item}/burndown",
+    "other",
+];
+
+/// Status codes the server emits; anything else lands in the final
+/// `other` slot.
+pub const STATUS_CODES: [u16; 10] = [200, 400, 404, 405, 408, 411, 413, 429, 431, 500];
+
+/// Maps a request path to its [`ROUTE_LABELS`] index.
+fn route_index(path: &str) -> usize {
+    if let Some(exact) = ROUTE_LABELS[..5].iter().position(|&label| label == path) {
+        return exact;
+    }
+    if let Some(rest) = path.strip_prefix("/v1/") {
+        if let Some((item, endpoint)) = rest.split_once('/') {
+            if !item.is_empty() {
+                match endpoint {
+                    "ingest" => return 5,
+                    "burndown" => return 6,
+                    _ => {}
+                }
+            }
+        }
+    }
+    ROUTE_LABELS.len() - 1
+}
+
+/// Maps a status code to its slot in the per-status array (the last slot
+/// is `other`).
+fn status_index(status: u16) -> usize {
+    STATUS_CODES
+        .iter()
+        .position(|&code| code == status)
+        .unwrap_or(STATUS_CODES.len())
+}
+
+/// Operational counters of one running server. All lock-free.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
-    /// Requests fully read and routed, by route label.
-    requests_by_route: Mutex<BTreeMap<&'static str, u64>>,
-    /// Responses written, by status code.
-    responses_by_status: Mutex<BTreeMap<u16, u64>>,
+    /// Requests fully read and routed, one slot per [`ROUTE_LABELS`]
+    /// entry.
+    requests_by_route: [AtomicU64; ROUTE_LABELS.len()],
+    /// Responses written, one slot per [`STATUS_CODES`] entry plus a
+    /// final `other`.
+    responses_by_status: [AtomicU64; STATUS_CODES.len() + 1],
     /// Connections shed with `429` because the queue was full.
     rejected_queue_full: AtomicU64,
     /// Connections dropped without a response (client vanished).
@@ -33,8 +82,8 @@ pub struct ServerMetrics {
     segments_ingested: AtomicU64,
     /// Checkpoints successfully written.
     checkpoints_written: AtomicU64,
-    /// Latency histogram: cumulative counts per bucket of
-    /// [`LATENCY_BUCKETS`] plus the `+Inf` bucket.
+    /// Latency histogram: counts per bucket of [`LATENCY_BUCKETS`] plus
+    /// the `+Inf` bucket.
     latency_counts: [AtomicU64; LATENCY_BUCKETS.len() + 1],
     /// Sum of observed latencies, nanoseconds.
     latency_sum_nanos: AtomicU64,
@@ -48,24 +97,14 @@ impl ServerMetrics {
         ServerMetrics::default()
     }
 
-    /// Counts one routed request.
-    pub fn count_request(&self, route: &'static str) {
-        *self
-            .requests_by_route
-            .lock()
-            .expect("metrics mutex poisoned")
-            .entry(route)
-            .or_insert(0) += 1;
+    /// Counts one routed request by its path.
+    pub fn count_request(&self, path: &str) {
+        self.requests_by_route[route_index(path)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts one written response.
     pub fn count_response(&self, status: u16) {
-        *self
-            .responses_by_status
-            .lock()
-            .expect("metrics mutex poisoned")
-            .entry(status)
-            .or_insert(0) += 1;
+        self.responses_by_status[status_index(status)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts one connection shed with `429` at the accept stage.
@@ -108,20 +147,20 @@ impl ServerMetrics {
         self.latency_observations.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Renders every family under the `qrn_http` / `qrn_server` prefixes.
+    /// Renders every family under the `qrn_http` / `qrn_server`
+    /// prefixes. Zero-valued route/status slots are skipped, matching
+    /// the sparse output of the old map-based counters.
     pub fn render(&self, out: &mut TextFamilies) {
         out.family(
             "qrn_http_requests_total",
             "Requests fully read and routed, by route",
             MetricKind::Counter,
         );
-        for (route, count) in self
-            .requests_by_route
-            .lock()
-            .expect("metrics mutex poisoned")
-            .iter()
-        {
-            out.sample_u64("qrn_http_requests_total", &[("route", route)], *count);
+        for (route, slot) in ROUTE_LABELS.iter().zip(&self.requests_by_route) {
+            let count = slot.load(Ordering::Relaxed);
+            if count > 0 {
+                out.sample_u64("qrn_http_requests_total", &[("route", route)], count);
+            }
         }
 
         out.family(
@@ -129,17 +168,15 @@ impl ServerMetrics {
             "Responses written, by status code",
             MetricKind::Counter,
         );
-        for (status, count) in self
-            .responses_by_status
-            .lock()
-            .expect("metrics mutex poisoned")
-            .iter()
-        {
-            out.sample_u64(
-                "qrn_http_responses_total",
-                &[("status", &status.to_string())],
-                *count,
-            );
+        for (i, slot) in self.responses_by_status.iter().enumerate() {
+            let count = slot.load(Ordering::Relaxed);
+            if count > 0 {
+                let label = match STATUS_CODES.get(i) {
+                    Some(code) => code.to_string(),
+                    None => "other".to_string(),
+                };
+                out.sample_u64("qrn_http_responses_total", &[("status", &label)], count);
+            }
         }
 
         out.family(
@@ -223,6 +260,7 @@ mod tests {
         m.count_request("/healthz");
         m.count_request("/healthz");
         m.count_request("/v1/ingest");
+        m.count_request("/v1/vru/ingest");
         m.count_response(200);
         m.count_response(429);
         m.count_queue_full();
@@ -236,6 +274,10 @@ mod tests {
         let body = out.finish();
         assert!(
             body.contains("qrn_http_requests_total{route=\"/healthz\"} 2"),
+            "{body}"
+        );
+        assert!(
+            body.contains("qrn_http_requests_total{route=\"/v1/{item}/ingest\"} 1"),
             "{body}"
         );
         assert!(
@@ -261,7 +303,43 @@ mod tests {
             "{body}"
         );
         assert!(body.contains("qrn_http_request_seconds_count 2"), "{body}");
+        // Unseen routes and statuses render nothing, as the old
+        // map-based counters did.
+        assert!(!body.contains("route=\"/metrics\""), "{body}");
+        assert!(!body.contains("status=\"500\""), "{body}");
         assert_eq!(m.checkpoints(), 1);
+    }
+
+    #[test]
+    fn every_path_maps_to_a_fixed_route_label() {
+        assert_eq!(ROUTE_LABELS[route_index("/healthz")], "/healthz");
+        assert_eq!(ROUTE_LABELS[route_index("/v1/ingest")], "/v1/ingest");
+        assert_eq!(
+            ROUTE_LABELS[route_index("/v1/vru/ingest")],
+            "/v1/{item}/ingest"
+        );
+        assert_eq!(
+            ROUTE_LABELS[route_index("/v1/highway/burndown")],
+            "/v1/{item}/burndown"
+        );
+        assert_eq!(ROUTE_LABELS[route_index("/v1//ingest")], "other");
+        assert_eq!(ROUTE_LABELS[route_index("/v1/a/b/ingest")], "other");
+        assert_eq!(ROUTE_LABELS[route_index("/favicon.ico")], "other");
+        assert_eq!(status_index(200), 0);
+        assert_eq!(status_index(599), STATUS_CODES.len());
+    }
+
+    #[test]
+    fn unknown_status_renders_as_other() {
+        let m = ServerMetrics::new();
+        m.count_response(599);
+        let mut out = TextFamilies::new();
+        m.render(&mut out);
+        let body = out.finish();
+        assert!(
+            body.contains("qrn_http_responses_total{status=\"other\"} 1"),
+            "{body}"
+        );
     }
 
     #[test]

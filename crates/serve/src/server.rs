@@ -1,5 +1,5 @@
-//! The server proper: bounded accept queue, worker pool, routing, live
-//! state, look accounting and crash-safe checkpointing.
+//! The server proper: bounded accept queue, worker pool, routing, the
+//! sharded live state, look accounting and crash-safe checkpointing.
 //!
 //! # Threading model
 //!
@@ -15,31 +15,43 @@
 //!
 //! # State and determinism
 //!
-//! All live state — the [`FleetState`] and the per-goal SPRT look
-//! counters — sits behind a single mutex. Ingested segments are parsed
-//! *outside* the lock (the expensive part) and merged *inside* it, so
-//! the fold order is the arrival order of merges. Because
-//! [`FleetState::merge`] is bit-exactly commutative for the dyadic
-//! exposure chunks the telemetry layer emits, the resulting state — and
-//! therefore every checkpoint and burn-down artefact — is byte-identical
-//! to an offline `qrn fleet ingest` of the same segments in any order.
+//! Each served *item* (a norm + classification + allocation triple) owns
+//! a [`ShardedState`]: N independent [`FleetState`] shards behind their
+//! own locks. Ingested segments are parsed *outside* any lock (the
+//! expensive part) and handed to one shard, so concurrent uploads only
+//! contend when every shard is busy. Queries and checkpoints fold the
+//! shards in ascending index order with the exact dyadic merge
+//! `ingest_str` uses for its block partials, so the folded state — and
+//! therefore every checkpoint and burn-down artefact — stays
+//! byte-identical to an offline `qrn fleet ingest` of the same segments
+//! (see [`crate::state`] for the argument and the property test).
+//!
+//! # Multi-item serving
+//!
+//! One server can host several items: `/v1/<item>/ingest` and
+//! `/v1/<item>/burndown` address them by name, the bare `/v1/ingest` and
+//! `/v1/burndown` routes alias the item named [`DEFAULT_ITEM`], metrics
+//! carry an `item` label, and each item checkpoints to its own file
+//! (the default item on the bare configured path — name-compatible with
+//! a single-item deployment — and every other item on
+//! [`checkpoint::item_checkpoint_path`]).
 //!
 //! # Look accounting
 //!
-//! Every `/v1/burndown` evaluation is one more *look* at the sequential
-//! test. The server counts looks per goal, stamps them into served
-//! reports ([`GoalBurnDown::looks`](qrn_fleet::burndown::GoalBurnDown)),
-//! and persists them in a sidecar next to the checkpoint
+//! Every burn-down evaluation is one more *look* at that item's
+//! sequential test. The server counts looks per goal per item, stamps
+//! them into served reports
+//! ([`GoalBurnDown::looks`](qrn_fleet::burndown::GoalBurnDown)), and
+//! persists them in a sidecar next to the item's checkpoint
 //! (`<checkpoint>.looks.json`) so the count survives restarts. The
 //! sidecar is deliberately *not* part of the [`FleetState`] checkpoint:
 //! the main checkpoint must stay byte-identical to offline ingest, which
-//! never consults the test. The first look of a fresh server therefore
-//! reports `looks = 1` — exactly what a one-shot offline report states.
+//! never consults the test.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -54,22 +66,77 @@ use qrn_fleet::checkpoint;
 use qrn_fleet::event::SkipCounts;
 use qrn_fleet::ingest::{ingest_str, FleetState};
 use qrn_stats::evidence::EvidenceLedger;
-use qrn_stats::prometheus::{render_ledger, MetricKind, TextFamilies};
+use qrn_stats::prometheus::{render_ledgers, MetricKind, TextFamilies};
 
 use crate::http::{read_request, Request, Response};
 use crate::metrics::ServerMetrics;
+use crate::state::ShardedState;
 use crate::ServeError;
 
-/// Configuration of one [`Server`].
+/// Name of the item the bare `/v1/ingest` and `/v1/burndown` routes
+/// address, and the item [`ServeConfig::new`] creates.
+pub const DEFAULT_ITEM: &str = "default";
+
+/// One served norm/allocation item: the verification target a stream of
+/// telemetry is checked against.
 #[derive(Debug, Clone)]
-pub struct ServeConfig {
+pub struct ItemConfig {
+    /// Item name, as it appears in routes (`/v1/<name>/…`), metric
+    /// labels and checkpoint file names. Restricted to
+    /// `[A-Za-z0-9_-]+` so it is always safe in all three places.
+    pub name: String,
     /// The risk norm served reports are checked against.
     pub norm: QuantitativeRiskNorm,
     /// Incident classification applied to ingested telemetry.
     pub classification: IncidentClassification,
     /// Budget allocation the burn-down rows are computed from.
     pub allocation: Allocation,
-    /// TCP port to bind on 127.0.0.1 (`0` = ephemeral, for tests).
+    /// Design-time campaign evidence ledgers merged into burn-down and
+    /// metrics queries (never into the checkpointed fleet state).
+    pub extra_evidence: Vec<EvidenceLedger>,
+}
+
+/// Route endpoints that can never be item names: an item named `ingest`
+/// would make `/v1/ingest` ambiguous.
+const RESERVED_ITEM_NAMES: [&str; 3] = ["ingest", "burndown", "shutdown"];
+
+impl ItemConfig {
+    fn validate(&self) -> Result<(), ServeError> {
+        if self.name.is_empty() {
+            return Err(ServeError::Config("item name must not be empty".into()));
+        }
+        if !self
+            .name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+        {
+            return Err(ServeError::Config(format!(
+                "item name {:?} is invalid: only ASCII letters, digits, '_' and '-' are allowed",
+                self.name
+            )));
+        }
+        if RESERVED_ITEM_NAMES.contains(&self.name.as_str()) {
+            return Err(ServeError::Config(format!(
+                "item name {:?} is reserved (it is a route endpoint)",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of one [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The served items, in declaration order (at least one). The item
+    /// named [`DEFAULT_ITEM`], when present, is also reachable through
+    /// the bare un-prefixed routes.
+    pub items: Vec<ItemConfig>,
+    /// Address to bind (default `127.0.0.1`). Binding anything
+    /// non-loopback logs a loud warning: the server speaks plaintext
+    /// HTTP with no authentication.
+    pub bind: String,
+    /// TCP port to bind (`0` = ephemeral, for tests).
     pub port: u16,
     /// Worker threads serving requests.
     pub workers: usize,
@@ -80,46 +147,83 @@ pub struct ServeConfig {
     pub max_body_bytes: usize,
     /// Per-connection socket read/write timeout.
     pub io_timeout: Duration,
-    /// Ingest shard count (see [`ingest_str`]).
+    /// Parse shard count for each uploaded segment (see [`ingest_str`]).
     pub shards: usize,
-    /// Checkpoint file; state is resumed from it at start and
-    /// atomically rewritten during operation and at shutdown.
+    /// Live-state shards per item: independent [`FleetState`]s the
+    /// ingest handoff distributes over, folded deterministically for
+    /// queries and checkpoints.
+    pub state_shards: usize,
+    /// Base checkpoint file; each item's state is resumed from its
+    /// per-item path at start and atomically rewritten during operation
+    /// and at shutdown.
     pub checkpoint: Option<PathBuf>,
-    /// Write a checkpoint every this many ingested segments (≥ 1).
+    /// Write a checkpoint every this many ingested segments (≥ 1),
+    /// per item.
     pub checkpoint_every: u64,
-    /// Design-time campaign evidence ledgers merged into burn-down and
-    /// metrics queries (never into the checkpointed fleet state).
-    pub extra_evidence: Vec<EvidenceLedger>,
-    /// Burn-down analysis parameters for `/v1/burndown` and `/metrics`.
+    /// Burn-down analysis parameters for burn-down and metrics queries.
     pub burndown: BurnDownConfig,
 }
 
 impl ServeConfig {
-    /// A configuration with production-shaped defaults: port 7878,
-    /// 4 workers, queue depth 64, 4 MiB body cap, 10 s socket timeouts,
-    /// checkpoint after every segment.
+    /// A configuration serving one item named [`DEFAULT_ITEM`], with
+    /// production-shaped defaults: loopback bind, port 7878, 4 workers,
+    /// queue depth 64, 4 MiB body cap, 10 s socket timeouts, checkpoint
+    /// after every segment, one state shard per available core.
     pub fn new(
         norm: QuantitativeRiskNorm,
         classification: IncidentClassification,
         allocation: Allocation,
     ) -> Self {
+        let parallelism = std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1);
         ServeConfig {
-            norm,
-            classification,
-            allocation,
+            items: vec![ItemConfig {
+                name: DEFAULT_ITEM.to_string(),
+                norm,
+                classification,
+                allocation,
+                extra_evidence: Vec::new(),
+            }],
+            bind: "127.0.0.1".to_string(),
             port: 7878,
             workers: 4,
             queue_depth: 64,
             max_body_bytes: 4 * 1024 * 1024,
             io_timeout: Duration::from_secs(10),
-            shards: std::thread::available_parallelism()
-                .map(usize::from)
-                .unwrap_or(1),
+            shards: parallelism,
+            state_shards: parallelism,
             checkpoint: None,
             checkpoint_every: 1,
-            extra_evidence: Vec::new(),
             burndown: BurnDownConfig::default(),
         }
+    }
+
+    /// Adds a design-time evidence ledger to the *first* item (the
+    /// default item of a [`ServeConfig::new`] configuration).
+    pub fn push_evidence(&mut self, ledger: EvidenceLedger) {
+        self.items
+            .first_mut()
+            .expect("ServeConfig::new always creates one item")
+            .extra_evidence
+            .push(ledger);
+    }
+
+    /// Adds another served item.
+    pub fn add_item(
+        &mut self,
+        name: impl Into<String>,
+        norm: QuantitativeRiskNorm,
+        classification: IncidentClassification,
+        allocation: Allocation,
+    ) {
+        self.items.push(ItemConfig {
+            name: name.into(),
+            norm,
+            classification,
+            allocation,
+            extra_evidence: Vec::new(),
+        });
     }
 
     fn validate(&self) -> Result<(), ServeError> {
@@ -139,6 +243,28 @@ impl ServeConfig {
         }
         if self.shards == 0 {
             return Err(ServeError::Config("shards must be at least 1".into()));
+        }
+        if self.state_shards == 0 {
+            return Err(ServeError::Config("state shards must be at least 1".into()));
+        }
+        if self.bind.is_empty() {
+            return Err(ServeError::Config("bind address must not be empty".into()));
+        }
+        if self.items.is_empty() {
+            return Err(ServeError::Config(
+                "at least one served item is required".into(),
+            ));
+        }
+        for item in &self.items {
+            item.validate()?;
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if self.items[..i].iter().any(|other| other.name == item.name) {
+                return Err(ServeError::Config(format!(
+                    "duplicate item name {:?}",
+                    item.name
+                )));
+            }
         }
         Ok(())
     }
@@ -204,42 +330,52 @@ impl ConnQueue {
     }
 }
 
-/// Mutable server state behind the one state mutex.
-struct Shared {
-    fleet: FleetState,
+/// One served item at runtime: its configuration, sharded live state,
+/// look counters and checkpoint plumbing.
+struct Item {
+    config: ItemConfig,
+    state: ShardedState,
     /// Per-goal SPRT look counters (completed looks so far).
-    looks: BTreeMap<String, u64>,
-    /// Segments merged since the last checkpoint write.
-    segments_since_checkpoint: u64,
+    looks: Mutex<BTreeMap<String, u64>>,
+    /// Segments ingested since the last checkpoint write.
+    segments_since_checkpoint: AtomicU64,
+    /// This item's checkpoint file (the default item keeps the bare
+    /// configured base path).
+    checkpoint: Option<PathBuf>,
+    /// Serialises checkpoint writes so two threshold-crossing ingests
+    /// don't interleave their write-temp/rename protocols.
+    checkpoint_lock: Mutex<()>,
 }
 
 /// Everything threads share.
 struct Inner {
     config: ServeConfig,
+    items: Vec<Item>,
     addr: SocketAddr,
-    shared: Mutex<Shared>,
     metrics: ServerMetrics,
     shutdown: AtomicBool,
     started: Instant,
     queue: ConnQueue,
 }
 
-/// JSON body answered by `POST /v1/ingest`.
+/// JSON body answered by `POST /v1/ingest` and `POST /v1/<item>/ingest`.
 #[derive(Debug, Serialize, Deserialize)]
 struct IngestReply {
+    /// Item the segment was ingested into.
+    item: String,
     /// Lines in the posted segment.
     segment_lines: u64,
     /// Events accepted from the posted segment.
     segment_events: u64,
     /// Per-reason skip tallies of the posted segment.
     segment_skipped: SkipCounts,
-    /// Lines folded into the live state so far (all segments).
+    /// Lines folded into this item's live state so far (all segments).
     total_lines: u64,
-    /// Events folded into the live state so far.
+    /// Events folded into this item's live state so far.
     total_events: u64,
-    /// Total fleet exposure hours in the live state.
+    /// Total fleet exposure hours in this item's live state.
     total_exposure_hours: f64,
-    /// Distinct vehicles seen so far.
+    /// Distinct vehicles seen by this item so far.
     vehicles: u64,
     /// Whether this request triggered a checkpoint write.
     checkpointed: bool,
@@ -253,79 +389,94 @@ impl Inner {
         PathBuf::from(name)
     }
 
-    /// Writes the checkpoint pair (state + look sidecar) atomically.
-    /// Callers hold the state lock, so the serialised state is a
-    /// consistent snapshot.
-    fn write_checkpoint(&self, path: &Path, shared: &Shared) -> Result<(), ServeError> {
-        checkpoint::save_state(path, &shared.fleet)?;
+    fn item(&self, name: &str) -> Option<&Item> {
+        self.items.iter().find(|item| item.config.name == name)
+    }
+
+    /// Folds the item's shards and writes its checkpoint pair (state +
+    /// look sidecar) atomically, under the item's checkpoint lock.
+    fn write_checkpoint(&self, path: &Path, item: &Item) -> Result<(), ServeError> {
+        let _serialised = item
+            .checkpoint_lock
+            .lock()
+            .expect("checkpoint mutex poisoned");
+        let snapshot = item.state.fold();
+        checkpoint::save_state(path, &snapshot)?;
+        let looks = item.looks.lock().expect("look mutex poisoned").clone();
         let looks_json =
-            serde_json::to_string_pretty(&shared.looks).expect("look counters are serialisable");
+            serde_json::to_string_pretty(&looks).expect("look counters are serialisable");
         checkpoint::save_bytes(&Self::looks_path(path), looks_json.as_bytes())?;
         self.metrics.count_checkpoint();
         Ok(())
     }
 
-    fn handle_ingest(&self, req: &Request) -> Response {
+    fn handle_ingest(&self, item: &Item, req: &Request) -> Response {
         let text = match std::str::from_utf8(&req.body) {
             Ok(text) => text,
             Err(_) => return Response::text(400, "Bad Request", "body is not valid UTF-8"),
         };
-        // Parse outside the state lock: sharded ingest is the expensive
+        // Parse outside any state lock: sharded parsing is the expensive
         // part and must not serialise concurrent uploads.
-        let segment = match ingest_str(text, &self.config.classification, self.config.shards) {
+        let segment = match ingest_str(text, &item.config.classification, self.config.shards) {
             Ok(segment) => segment,
             Err(e) => return Response::text(400, "Bad Request", &format!("ingest failed: {e}")),
         };
-        let mut shared = self.shared.lock().expect("state mutex poisoned");
-        shared.fleet.merge(&segment);
+        item.state.ingest(&segment);
         self.metrics.count_segment();
         let mut checkpointed = false;
-        if let Some(path) = &self.config.checkpoint {
-            shared.segments_since_checkpoint += 1;
-            if shared.segments_since_checkpoint >= self.config.checkpoint_every {
-                if let Err(e) = self.write_checkpoint(path, &shared) {
+        if let Some(path) = &item.checkpoint {
+            // The counter is advisory: two racing ingests can both cross
+            // the threshold (one extra checkpoint) or a reset can absorb
+            // a neighbour's increment (one checkpoint a few segments
+            // late). Either way the final drain checkpoint is exact.
+            let since = item
+                .segments_since_checkpoint
+                .fetch_add(1, Ordering::AcqRel)
+                + 1;
+            if since >= self.config.checkpoint_every {
+                item.segments_since_checkpoint.store(0, Ordering::Release);
+                if let Err(e) = self.write_checkpoint(path, item) {
                     return Response::text(
                         500,
                         "Internal Server Error",
                         &format!("checkpoint write failed: {e}"),
                     );
                 }
-                shared.segments_since_checkpoint = 0;
                 checkpointed = true;
             }
         }
         let reply = IngestReply {
+            item: item.config.name.clone(),
             segment_lines: segment.lines(),
             segment_events: segment.events(),
             segment_skipped: segment.skipped(),
-            total_lines: shared.fleet.lines(),
-            total_events: shared.fleet.events(),
-            total_exposure_hours: shared.fleet.exposure().value(),
-            vehicles: shared.fleet.vehicle_count(),
+            total_lines: item.state.lines(),
+            total_events: item.state.events(),
+            total_exposure_hours: item.state.exposure_hours(),
+            vehicles: item.state.vehicle_count(),
             checkpointed,
         };
-        drop(shared);
         Response::json(serde_json::to_string_pretty(&reply).expect("reply is serialisable"))
     }
 
-    /// Computes a burn-down report from a state snapshot, merging any
-    /// configured design-time evidence — the same join `qrn fleet
-    /// report --evidence` performs offline.
+    /// Computes one item's burn-down report from a state snapshot,
+    /// merging any configured design-time evidence — the same join `qrn
+    /// fleet report --evidence` performs offline.
     fn compute_report(
-        &self,
+        item: &Item,
         fleet: &FleetState,
         config: &BurnDownConfig,
     ) -> Result<FleetReport, qrn_fleet::FleetError> {
-        if self.config.extra_evidence.is_empty() {
-            burn_down(&self.config.norm, &self.config.allocation, fleet, config)
+        if item.config.extra_evidence.is_empty() {
+            burn_down(&item.config.norm, &item.config.allocation, fleet, config)
         } else {
             let mut combined = fleet.evidence().clone();
-            for ledger in &self.config.extra_evidence {
+            for ledger in &item.config.extra_evidence {
                 combined.merge(ledger);
             }
             let mut report = burn_down_evidence(
-                &self.config.norm,
-                &self.config.allocation,
+                &item.config.norm,
+                &item.config.allocation,
                 &combined,
                 config,
             )?;
@@ -336,25 +487,23 @@ impl Inner {
         }
     }
 
-    fn handle_burndown(&self, req: &Request) -> Response {
+    fn handle_burndown(&self, item: &Item, req: &Request) -> Response {
         let zone = req.query_param("zone");
-        // Take the snapshot and spend the look in one critical section,
-        // then compute outside the lock.
-        let (fleet, looks) = {
-            let mut shared = self.shared.lock().expect("state mutex poisoned");
-            for (incident, _) in self.config.allocation.budgets() {
-                *shared
-                    .looks
-                    .entry(incident.as_str().to_string())
-                    .or_insert(0) += 1;
+        // Spend the look, then fold a consistent snapshot and compute
+        // outside the look lock.
+        let looks = {
+            let mut looks = item.looks.lock().expect("look mutex poisoned");
+            for (incident, _) in item.config.allocation.budgets() {
+                *looks.entry(incident.as_str().to_string()).or_insert(0) += 1;
             }
-            (shared.fleet.clone(), shared.looks.clone())
+            looks.clone()
         };
+        let fleet = item.state.fold();
         let mut config = self.config.burndown;
         if zone.is_some() {
             config.by_zone = true;
         }
-        let mut report = match self.compute_report(&fleet, &config) {
+        let mut report = match Self::compute_report(item, &fleet, &config) {
             Ok(report) => report,
             Err(e) => {
                 return Response::text(
@@ -389,12 +538,45 @@ impl Inner {
     }
 
     fn handle_metrics(&self) -> Response {
-        let (fleet, looks) = {
-            let shared = self.shared.lock().expect("state mutex poisoned");
-            (shared.fleet.clone(), shared.looks.clone())
-        };
-        let mut out = TextFamilies::new();
+        // One fold per item, then every family rendered once with the
+        // item label varying inside it — the exposition format requires
+        // a family's samples to be contiguous.
+        struct ItemView<'a> {
+            item: &'a Item,
+            fleet: FleetState,
+            looks: BTreeMap<String, u64>,
+            combined: EvidenceLedger,
+        }
+        let mut views = Vec::with_capacity(self.items.len());
+        for item in &self.items {
+            let fleet = item.state.fold();
+            let looks = item.looks.lock().expect("look mutex poisoned").clone();
+            let mut combined = fleet.evidence().clone();
+            for ledger in &item.config.extra_evidence {
+                combined.merge(ledger);
+            }
+            views.push(ItemView {
+                item,
+                fleet,
+                looks,
+                combined,
+            });
+        }
+        let mut reports = Vec::with_capacity(views.len());
+        for view in &views {
+            match Self::compute_report(view.item, &view.fleet, &self.config.burndown) {
+                Ok(report) => reports.push(report),
+                Err(e) => {
+                    return Response::text(
+                        500,
+                        "Internal Server Error",
+                        &format!("metrics failed: {e}"),
+                    )
+                }
+            }
+        }
 
+        let mut out = TextFamilies::new();
         out.family(
             "qrn_server_uptime_seconds",
             "Seconds since the server started",
@@ -413,112 +595,143 @@ impl Inner {
             "Telemetry lines offered to the parser",
             MetricKind::Counter,
         );
-        out.sample_u64("qrn_fleet_lines_total", &[], fleet.lines());
+        for view in &views {
+            out.sample_u64(
+                "qrn_fleet_lines_total",
+                &[("item", &view.item.config.name)],
+                view.fleet.lines(),
+            );
+        }
         out.family(
             "qrn_fleet_events_total",
             "Telemetry events accepted",
             MetricKind::Counter,
         );
-        out.sample_u64("qrn_fleet_events_total", &[], fleet.events());
+        for view in &views {
+            out.sample_u64(
+                "qrn_fleet_events_total",
+                &[("item", &view.item.config.name)],
+                view.fleet.events(),
+            );
+        }
         out.family(
             "qrn_fleet_vehicles",
             "Distinct vehicles that reported",
             MetricKind::Gauge,
         );
-        out.sample_u64("qrn_fleet_vehicles", &[], fleet.vehicle_count());
-        let skipped = fleet.skipped();
+        for view in &views {
+            out.sample_u64(
+                "qrn_fleet_vehicles",
+                &[("item", &view.item.config.name)],
+                view.fleet.vehicle_count(),
+            );
+        }
         out.family(
             "qrn_fleet_skipped_lines_total",
             "Telemetry lines skipped by the tolerant parser, by reason",
             MetricKind::Counter,
         );
-        for (reason, count) in [
-            ("bad_json", skipped.bad_json),
-            ("not_an_object", skipped.not_an_object),
-            ("unsupported_version", skipped.unsupported_version),
-            ("unknown_kind", skipped.unknown_kind),
-            ("missing_field", skipped.missing_field),
-            ("invalid_value", skipped.invalid_value),
-        ] {
-            out.sample_u64(
-                "qrn_fleet_skipped_lines_total",
-                &[("reason", reason)],
-                count,
-            );
+        for view in &views {
+            let skipped = view.fleet.skipped();
+            for (reason, count) in [
+                ("bad_json", skipped.bad_json),
+                ("not_an_object", skipped.not_an_object),
+                ("unsupported_version", skipped.unsupported_version),
+                ("unknown_kind", skipped.unknown_kind),
+                ("missing_field", skipped.missing_field),
+                ("invalid_value", skipped.invalid_value),
+            ] {
+                out.sample_u64(
+                    "qrn_fleet_skipped_lines_total",
+                    &[("item", &view.item.config.name), ("reason", reason)],
+                    count,
+                );
+            }
         }
 
-        // Evidence gauges over the same merged view burn-down sees.
-        let mut combined = fleet.evidence().clone();
-        for ledger in &self.config.extra_evidence {
-            combined.merge(ledger);
-        }
-        render_ledger(&mut out, "qrn_evidence", &combined);
+        // Evidence gauges over the same merged view burn-down sees, one
+        // `item` label per served item.
+        let ledgers: Vec<(&str, &EvidenceLedger)> = views
+            .iter()
+            .map(|view| (view.item.config.name.as_str(), &view.combined))
+            .collect();
+        render_ledgers(&mut out, "qrn_evidence", &ledgers);
 
         // Goal/class burn-down gauges. Reading metrics is *not* a look:
         // the SPRT is not consulted for a decision here, the last
         // burn-down's counters are simply re-exposed.
-        let report = match self.compute_report(&fleet, &self.config.burndown) {
-            Ok(report) => report,
-            Err(e) => {
-                return Response::text(
-                    500,
-                    "Internal Server Error",
-                    &format!("metrics failed: {e}"),
-                )
-            }
-        };
         out.family(
             "qrn_goal_budget_consumed",
             "Point-estimate share of each safety goal's frequency budget",
             MetricKind::Gauge,
         );
-        for goal in &report.goals {
-            out.sample(
-                "qrn_goal_budget_consumed",
-                &[("goal", goal.incident.as_str())],
-                goal.consumed,
-            );
+        for (view, report) in views.iter().zip(&reports) {
+            for goal in &report.goals {
+                out.sample(
+                    "qrn_goal_budget_consumed",
+                    &[
+                        ("item", &view.item.config.name),
+                        ("goal", goal.incident.as_str()),
+                    ],
+                    goal.consumed,
+                );
+            }
         }
         out.family(
             "qrn_goal_alert_level",
             "Alert level per goal: 0 ok, 1 watch, 2 burned",
             MetricKind::Gauge,
         );
-        for goal in &report.goals {
-            let level = match goal.alert {
-                qrn_fleet::AlertLevel::Ok => 0,
-                qrn_fleet::AlertLevel::Watch => 1,
-                qrn_fleet::AlertLevel::Burned => 2,
-            };
-            out.sample_u64(
-                "qrn_goal_alert_level",
-                &[("goal", goal.incident.as_str())],
-                level,
-            );
+        for (view, report) in views.iter().zip(&reports) {
+            for goal in &report.goals {
+                let level = match goal.alert {
+                    qrn_fleet::AlertLevel::Ok => 0,
+                    qrn_fleet::AlertLevel::Watch => 1,
+                    qrn_fleet::AlertLevel::Burned => 2,
+                };
+                out.sample_u64(
+                    "qrn_goal_alert_level",
+                    &[
+                        ("item", &view.item.config.name),
+                        ("goal", goal.incident.as_str()),
+                    ],
+                    level,
+                );
+            }
         }
         out.family(
             "qrn_goal_sprt_looks_total",
             "Completed SPRT looks per goal (burn-down evaluations served)",
             MetricKind::Counter,
         );
-        for goal in &report.goals {
-            out.sample_u64(
-                "qrn_goal_sprt_looks_total",
-                &[("goal", goal.incident.as_str())],
-                looks.get(goal.incident.as_str()).copied().unwrap_or(0),
-            );
+        for (view, report) in views.iter().zip(&reports) {
+            for goal in &report.goals {
+                out.sample_u64(
+                    "qrn_goal_sprt_looks_total",
+                    &[
+                        ("item", &view.item.config.name),
+                        ("goal", goal.incident.as_str()),
+                    ],
+                    view.looks.get(goal.incident.as_str()).copied().unwrap_or(0),
+                );
+            }
         }
         out.family(
             "qrn_class_budget_consumed",
             "Point-estimate share of each consequence-class budget",
             MetricKind::Gauge,
         );
-        for class in &report.classes {
-            out.sample(
-                "qrn_class_budget_consumed",
-                &[("class", class.class.as_str())],
-                class.consumed,
-            );
+        for (view, report) in views.iter().zip(&reports) {
+            for class in &report.classes {
+                out.sample(
+                    "qrn_class_budget_consumed",
+                    &[
+                        ("item", &view.item.config.name),
+                        ("class", class.class.as_str()),
+                    ],
+                    class.consumed,
+                );
+            }
         }
         Response::prometheus(out.finish())
     }
@@ -535,28 +748,46 @@ impl Inner {
         let _ = TcpStream::connect(self.addr);
     }
 
+    /// Splits a path into its item routing: `/v1/ingest` →
+    /// `(DEFAULT_ITEM, "ingest")`, `/v1/<item>/burndown` →
+    /// `(<item>, "burndown")`, anything else → `None`.
+    fn parse_item_route(path: &str) -> Option<(&str, &str)> {
+        let rest = path.strip_prefix("/v1/")?;
+        match rest.split_once('/') {
+            None => match rest {
+                "ingest" | "burndown" => Some((DEFAULT_ITEM, rest)),
+                _ => None,
+            },
+            Some((item, endpoint)) => match endpoint {
+                "ingest" | "burndown" if !item.is_empty() => Some((item, endpoint)),
+                _ => None,
+            },
+        }
+    }
+
     fn route(&self, req: &Request) -> Response {
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => Response::text(200, "OK", "ok"),
             ("GET", "/metrics") => self.handle_metrics(),
-            ("GET", "/v1/burndown") => self.handle_burndown(req),
-            ("POST", "/v1/ingest") => self.handle_ingest(req),
             ("POST", "/v1/shutdown") => self.handle_shutdown(),
-            (_, "/healthz" | "/metrics" | "/v1/burndown" | "/v1/ingest" | "/v1/shutdown") => {
+            (_, "/healthz" | "/metrics" | "/v1/shutdown") => {
                 Response::text(405, "Method Not Allowed", "wrong method for this endpoint")
             }
-            (_, path) => Response::text(404, "Not Found", &format!("no route for {path}")),
-        }
-    }
-
-    fn route_label(path: &str) -> &'static str {
-        match path {
-            "/healthz" => "/healthz",
-            "/metrics" => "/metrics",
-            "/v1/burndown" => "/v1/burndown",
-            "/v1/ingest" => "/v1/ingest",
-            "/v1/shutdown" => "/v1/shutdown",
-            _ => "other",
+            (method, path) => match Self::parse_item_route(path) {
+                Some((name, endpoint)) => match self.item(name) {
+                    None => Response::text(404, "Not Found", &format!("no item named {name:?}")),
+                    Some(item) => match (method, endpoint) {
+                        ("POST", "ingest") => self.handle_ingest(item, req),
+                        ("GET", "burndown") => self.handle_burndown(item, req),
+                        _ => Response::text(
+                            405,
+                            "Method Not Allowed",
+                            "wrong method for this endpoint",
+                        ),
+                    },
+                },
+                None => Response::text(404, "Not Found", &format!("no route for {path}")),
+            },
         }
     }
 
@@ -568,7 +799,7 @@ impl Inner {
                     let start = Instant::now();
                     let response = match read_request(&mut stream, self.config.max_body_bytes) {
                         Ok(req) => {
-                            self.metrics.count_request(Self::route_label(&req.path));
+                            self.metrics.count_request(&req.path);
                             self.route(&req)
                         }
                         Err(e) => match e.response() {
@@ -615,52 +846,89 @@ impl Inner {
     }
 }
 
-/// The evidence server. [`Server::start`] binds, resumes any checkpoint
+/// Whether an address string names the loopback interface.
+fn is_loopback(bind: &str) -> bool {
+    if bind == "localhost" {
+        return true;
+    }
+    bind.parse::<std::net::IpAddr>()
+        .map(|ip| ip.is_loopback())
+        .unwrap_or(false)
+}
+
+/// The evidence server. [`Server::start`] binds, resumes any checkpoints
 /// and spawns the thread pool; the returned [`ServerHandle`] owns the
 /// threads.
 pub struct Server;
 
 impl Server {
-    /// Starts a server on `127.0.0.1:{config.port}`.
+    /// Starts a server on `{config.bind}:{config.port}`.
     ///
-    /// When a checkpoint path is configured and the file exists, the
-    /// fleet state (and the look-counter sidecar, if present) is resumed
-    /// from it; a corrupt checkpoint is a startup error, never a silent
-    /// fresh start.
+    /// When a checkpoint path is configured, each item's fleet state
+    /// (and its look-counter sidecar, if present) is resumed from the
+    /// item's checkpoint file; a corrupt checkpoint is a startup error,
+    /// never a silent fresh start. Binding a non-loopback address logs a
+    /// loud warning to stderr.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError`] for invalid configuration, an unbindable
-    /// port, or an unreadable/corrupt checkpoint.
+    /// address, or an unreadable/corrupt checkpoint.
     pub fn start(config: ServeConfig) -> Result<ServerHandle, ServeError> {
         config.validate()?;
-        let fleet = match &config.checkpoint {
-            Some(path) => checkpoint::load_state_if_exists(path)?.unwrap_or_default(),
-            None => FleetState::default(),
-        };
-        let looks: BTreeMap<String, u64> = match &config.checkpoint {
-            Some(path) => {
-                let sidecar = Inner::looks_path(path);
-                if sidecar.exists() {
-                    let text = std::fs::read_to_string(&sidecar).map_err(|e| {
-                        ServeError::Io(format!("cannot read {}: {e}", sidecar.display()))
-                    })?;
-                    serde_json::from_str(&text).map_err(|e| {
-                        ServeError::Io(format!(
-                            "{} is not a valid look-counter sidecar ({e}); \
-                             delete it to reset look accounting",
-                            sidecar.display()
-                        ))
-                    })?
+        let mut items = Vec::with_capacity(config.items.len());
+        for item_config in &config.items {
+            let path = config.checkpoint.as_ref().map(|base| {
+                if item_config.name == DEFAULT_ITEM {
+                    base.clone()
                 } else {
-                    BTreeMap::new()
+                    checkpoint::item_checkpoint_path(base, &item_config.name)
                 }
-            }
-            None => BTreeMap::new(),
-        };
+            });
+            let fleet = match &path {
+                Some(path) => checkpoint::load_state_if_exists(path)?.unwrap_or_default(),
+                None => FleetState::default(),
+            };
+            let looks: BTreeMap<String, u64> = match &path {
+                Some(path) => {
+                    let sidecar = Inner::looks_path(path);
+                    if sidecar.exists() {
+                        let text = std::fs::read_to_string(&sidecar).map_err(|e| {
+                            ServeError::Io(format!("cannot read {}: {e}", sidecar.display()))
+                        })?;
+                        serde_json::from_str(&text).map_err(|e| {
+                            ServeError::Io(format!(
+                                "{} is not a valid look-counter sidecar ({e}); \
+                                 delete it to reset look accounting",
+                                sidecar.display()
+                            ))
+                        })?
+                    } else {
+                        BTreeMap::new()
+                    }
+                }
+                None => BTreeMap::new(),
+            };
+            items.push(Item {
+                config: item_config.clone(),
+                state: ShardedState::new(config.state_shards, fleet),
+                looks: Mutex::new(looks),
+                segments_since_checkpoint: AtomicU64::new(0),
+                checkpoint: path,
+                checkpoint_lock: Mutex::new(()),
+            });
+        }
 
-        let listener = TcpListener::bind(("127.0.0.1", config.port))
-            .map_err(|e| ServeError::Io(format!("cannot bind 127.0.0.1:{}: {e}", config.port)))?;
+        if !is_loopback(&config.bind) {
+            eprintln!(
+                "qrn-serve: WARNING: binding non-loopback address {}:{} — the server speaks \
+                 plaintext HTTP with no authentication; restrict access at the network layer",
+                config.bind, config.port
+            );
+        }
+        let listener = TcpListener::bind((config.bind.as_str(), config.port)).map_err(|e| {
+            ServeError::Io(format!("cannot bind {}:{}: {e}", config.bind, config.port))
+        })?;
         let addr = listener
             .local_addr()
             .map_err(|e| ServeError::Io(format!("cannot read bound address: {e}")))?;
@@ -669,11 +937,7 @@ impl Server {
         let queue_depth = config.queue_depth;
         let inner = Arc::new(Inner {
             addr,
-            shared: Mutex::new(Shared {
-                fleet,
-                looks,
-                segments_since_checkpoint: 0,
-            }),
+            items,
             metrics: ServerMetrics::new(),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
@@ -734,14 +998,13 @@ impl ServerHandle {
     /// Blocks until shutdown is requested (via [`request_shutdown`] or
     /// `POST /v1/shutdown`), then drains: queued connections are served,
     /// workers joined, and — when a checkpoint is configured — a final
-    /// atomic checkpoint (state + look sidecar) written.
+    /// atomic checkpoint (state + look sidecar) written per item.
     ///
     /// [`request_shutdown`]: ServerHandle::request_shutdown
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError`] when the final checkpoint cannot be
-    /// written.
+    /// Returns [`ServeError`] when a final checkpoint cannot be written.
     pub fn wait(mut self) -> Result<(), ServeError> {
         if let Some(accept) = self.accept_thread.take() {
             let _ = accept.join();
@@ -754,9 +1017,10 @@ impl ServerHandle {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
-        if let Some(path) = &self.inner.config.checkpoint {
-            let shared = self.inner.shared.lock().expect("state mutex poisoned");
-            self.inner.write_checkpoint(path, &shared)?;
+        for item in &self.inner.items {
+            if let Some(path) = &item.checkpoint {
+                self.inner.write_checkpoint(path, item)?;
+            }
         }
         Ok(())
     }
@@ -766,8 +1030,7 @@ impl ServerHandle {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError`] when the final checkpoint cannot be
-    /// written.
+    /// Returns [`ServeError`] when a final checkpoint cannot be written.
     pub fn stop(self) -> Result<(), ServeError> {
         self.request_shutdown();
         self.wait()
@@ -801,6 +1064,7 @@ mod tests {
         config.workers = 2;
         config.io_timeout = Duration::from_secs(2);
         config.shards = 2;
+        config.state_shards = 2;
         config
     }
 
@@ -843,6 +1107,10 @@ mod tests {
         assert_eq!(get(addr, "/nope").0, 404);
         assert_eq!(post(addr, "/healthz", "").0, 405);
         assert_eq!(get(addr, "/v1/ingest").0, 405);
+        // Item routes: wrong method is 405, unknown item is 404.
+        assert_eq!(get(addr, "/v1/default/ingest").0, 405);
+        assert_eq!(post(addr, "/v1/ghost/ingest", "").0, 404);
+        assert_eq!(get(addr, "/v1/ghost/burndown").0, 404);
         handle.stop().unwrap();
     }
 
@@ -855,6 +1123,7 @@ mod tests {
         let (status, body) = post(addr, "/v1/ingest", log);
         assert_eq!(status, 200, "{body}");
         let reply: IngestReply = serde_json::from_str(&body).unwrap();
+        assert_eq!(reply.item, DEFAULT_ITEM);
         assert_eq!(reply.segment_lines, 2);
         assert_eq!(reply.segment_events, 1);
         assert_eq!(reply.segment_skipped.bad_json, 1);
@@ -867,20 +1136,60 @@ mod tests {
         assert_eq!(report.exposure_hours, 8.0);
         assert!(report.goals.iter().all(|g| g.looks == 1));
 
-        // A second look increments the counters.
-        let (_, body) = get(addr, "/v1/burndown");
+        // The named route aliases the same item: one more look.
+        let (status, body) = get(addr, "/v1/default/burndown");
+        assert_eq!(status, 200);
         let report: FleetReport = serde_json::from_str(&body).unwrap();
         assert!(report.goals.iter().all(|g| g.looks == 2));
 
         let (status, metrics) = get(addr, "/metrics");
         assert_eq!(status, 200);
         assert!(
-            metrics.contains("qrn_evidence_exposure_hours 8"),
+            metrics.contains("qrn_evidence_exposure_hours{item=\"default\"} 8"),
             "{metrics}"
         );
-        assert!(metrics.contains("qrn_fleet_skipped_lines_total{reason=\"bad_json\"} 1"));
+        assert!(metrics
+            .contains("qrn_fleet_skipped_lines_total{item=\"default\",reason=\"bad_json\"} 1"));
         assert!(
-            metrics.contains("qrn_goal_sprt_looks_total{goal=\"I1\"} 2"),
+            metrics.contains("qrn_goal_sprt_looks_total{item=\"default\",goal=\"I1\"} 2"),
+            "{metrics}"
+        );
+        handle.stop().unwrap();
+    }
+
+    #[test]
+    fn named_ingest_reaches_the_named_item_only() {
+        let mut config = test_config();
+        let classification = paper_classification().unwrap();
+        let allocation = paper_allocation(&classification).unwrap();
+        config.add_item("vru", paper_norm().unwrap(), classification, allocation);
+        let handle = Server::start(config).unwrap();
+        let addr = handle.addr();
+
+        let log = "{\"v\":1,\"event\":\"exposure\",\"vehicle\":\"V1\",\"hours\":4.0}";
+        let (status, body) = post(addr, "/v1/vru/ingest", log);
+        assert_eq!(status, 200, "{body}");
+        let reply: IngestReply = serde_json::from_str(&body).unwrap();
+        assert_eq!(reply.item, "vru");
+        assert_eq!(reply.total_exposure_hours, 4.0);
+
+        // The default item saw nothing.
+        let (_, body) = get(addr, "/v1/burndown");
+        let report: FleetReport = serde_json::from_str(&body).unwrap();
+        assert_eq!(report.exposure_hours, 0.0);
+        // The named item serves its own burn-down.
+        let (_, body) = get(addr, "/v1/vru/burndown");
+        let report: FleetReport = serde_json::from_str(&body).unwrap();
+        assert_eq!(report.exposure_hours, 4.0);
+
+        // Both items are present, separately labelled, in the metrics.
+        let (_, metrics) = get(addr, "/metrics");
+        assert!(
+            metrics.contains("qrn_evidence_exposure_hours{item=\"default\"} 0"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("qrn_evidence_exposure_hours{item=\"vru\"} 4"),
             "{metrics}"
         );
         handle.stop().unwrap();
@@ -913,10 +1222,53 @@ mod tests {
             |c| c.max_body_bytes = 0,
             |c| c.checkpoint_every = 0,
             |c| c.shards = 0,
+            |c| c.state_shards = 0,
+            |c| c.bind = String::new(),
+            |c| c.items.clear(),
+            |c| c.items[0].name = String::new(),
+            |c| c.items[0].name = "has space".into(),
+            |c| c.items[0].name = "ingest".into(),
+            |c| {
+                let dup = c.items[0].clone();
+                c.items.push(dup);
+            },
         ] {
             let mut config = test_config();
             mutate(&mut config);
             assert!(matches!(Server::start(config), Err(ServeError::Config(_))));
         }
+    }
+
+    #[test]
+    fn item_routes_parse() {
+        assert_eq!(
+            Inner::parse_item_route("/v1/ingest"),
+            Some((DEFAULT_ITEM, "ingest"))
+        );
+        assert_eq!(
+            Inner::parse_item_route("/v1/burndown"),
+            Some((DEFAULT_ITEM, "burndown"))
+        );
+        assert_eq!(
+            Inner::parse_item_route("/v1/vru/ingest"),
+            Some(("vru", "ingest"))
+        );
+        assert_eq!(
+            Inner::parse_item_route("/v1/vru/burndown"),
+            Some(("vru", "burndown"))
+        );
+        assert_eq!(Inner::parse_item_route("/v1/shutdown"), None);
+        assert_eq!(Inner::parse_item_route("/v1//ingest"), None);
+        assert_eq!(Inner::parse_item_route("/v1/a/b/ingest"), None);
+        assert_eq!(Inner::parse_item_route("/v2/ingest"), None);
+    }
+
+    #[test]
+    fn loopback_detection() {
+        assert!(is_loopback("127.0.0.1"));
+        assert!(is_loopback("::1"));
+        assert!(is_loopback("localhost"));
+        assert!(!is_loopback("0.0.0.0"));
+        assert!(!is_loopback("192.168.1.10"));
     }
 }

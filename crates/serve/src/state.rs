@@ -1,0 +1,385 @@
+//! The sharded live state: N independent [`FleetState`] shards behind
+//! their own locks, a lock-free ingest handoff, and a deterministic
+//! cross-shard fold.
+//!
+//! # Why sharding preserves byte-identity
+//!
+//! `ingest_str` already parses in parallel and merges its per-block
+//! partials in ascending block order; the server used to funnel every
+//! merged segment through one `Mutex<FleetState>`, so a fleet's worth of
+//! concurrent uploads serialised on a single lock. This module removes
+//! the funnel: each ingested segment lands in *one* of N shard states,
+//! chosen round-robin with a `try_lock` fallback scan, so two uploads
+//! only contend when every shard is busy.
+//!
+//! Correctness rests on the same contract the parallel parser uses
+//! (DESIGN §10): [`FleetState::merge`] is bit-exactly commutative and
+//! associative for integer tallies, and its floating-point exposure sums
+//! are exact — hence order- and grouping-insensitive byte for byte —
+//! whenever the summands are dyadic rationals of bounded magnitude,
+//! which is what the telemetry layer emits (bounded chunks in multiples
+//! of 0.25 h). Routing a segment to *any* shard and folding the shards
+//! in ascending index order ([`ShardedState::fold`], built on
+//! [`fold_states`]) therefore yields the same bytes as merging the
+//! segments in arrival order — which is itself byte-identical to offline
+//! `qrn fleet ingest` of the same segments. The property test at the
+//! bottom machine-checks this for arbitrary segmentations and shard
+//! counts.
+//!
+//! # Totals without a fold
+//!
+//! The ingest reply reports running totals (lines, events, exposure,
+//! distinct vehicles). Folding N shards per upload would reintroduce the
+//! serialisation the shards exist to remove, so totals are maintained
+//! separately: plain atomic adds for lines/events, a compare-exchange
+//! loop over the f64 bit pattern for exposure (exact for the same dyadic
+//! chunks, so it agrees with the fold once quiescent), and a striped
+//! vehicle registry for the distinct-vehicle count. Totals are monotone
+//! and exact; mid-upload they may momentarily run ahead of a concurrent
+//! fold, which is the usual meaning of a live counter.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use qrn_fleet::ingest::{fold_states, FleetState};
+
+/// Stripes in the distinct-vehicle registry. Enough that concurrent
+/// uploads from different vehicles rarely share a stripe lock; small
+/// enough to be negligible memory.
+const VEHICLE_STRIPES: usize = 16;
+
+/// FNV-1a over the vehicle id: a stable, dependency-free hash to pick a
+/// registry stripe. Only intra-process stability matters here.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Distinct-vehicle tracking off the fold path: vehicle ids are striped
+/// across [`VEHICLE_STRIPES`] locked sets by hash, and a shared atomic
+/// counts first sightings, so reading the distinct count never locks
+/// anything.
+#[derive(Debug)]
+struct VehicleRegistry {
+    stripes: Vec<Mutex<BTreeSet<String>>>,
+    distinct: AtomicU64,
+}
+
+impl VehicleRegistry {
+    fn new() -> Self {
+        VehicleRegistry {
+            stripes: (0..VEHICLE_STRIPES)
+                .map(|_| Mutex::new(BTreeSet::new()))
+                .collect(),
+            distinct: AtomicU64::new(0),
+        }
+    }
+
+    fn insert(&self, vehicle: &str) {
+        let stripe = (fnv1a(vehicle.as_bytes()) as usize) % self.stripes.len();
+        let mut set = self.stripes[stripe]
+            .lock()
+            .expect("vehicle registry mutex poisoned");
+        if !set.contains(vehicle) {
+            set.insert(vehicle.to_string());
+            self.distinct.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn count(&self) -> u64 {
+        self.distinct.load(Ordering::Relaxed)
+    }
+}
+
+/// N [`FleetState`] shards behind independent locks, plus the atomic
+/// running totals served in ingest replies. See the module docs for the
+/// determinism argument.
+#[derive(Debug)]
+pub struct ShardedState {
+    shards: Vec<Mutex<FleetState>>,
+    /// Round-robin start shard for the next ingest handoff.
+    cursor: AtomicUsize,
+    lines: AtomicU64,
+    events: AtomicU64,
+    /// Total exposure hours as an f64 bit pattern, accumulated with a
+    /// compare-exchange loop — exact for dyadic chunk sums.
+    exposure_bits: AtomicU64,
+    vehicles: VehicleRegistry,
+}
+
+impl ShardedState {
+    /// Creates `shard_count` shards seeded with `resume` (a checkpointed
+    /// state, or [`FleetState::default`] for a fresh server). The
+    /// resumed state occupies shard 0, so the ascending-index fold
+    /// merges it first — the same append-order position it has in
+    /// offline checkpointed ingest.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard_count` is zero (configs validate this before
+    /// construction).
+    pub fn new(shard_count: usize, resume: FleetState) -> Self {
+        assert!(shard_count >= 1, "shard count must be at least 1");
+        let vehicles = VehicleRegistry::new();
+        for (vehicle, _) in resume.vehicles() {
+            vehicles.insert(vehicle);
+        }
+        let lines = AtomicU64::new(resume.lines());
+        let events = AtomicU64::new(resume.events());
+        let exposure_bits = AtomicU64::new(resume.exposure().value().to_bits());
+        let mut shards = Vec::with_capacity(shard_count);
+        shards.push(Mutex::new(resume));
+        for _ in 1..shard_count {
+            shards.push(Mutex::new(FleetState::default()));
+        }
+        ShardedState {
+            shards,
+            cursor: AtomicUsize::new(0),
+            lines,
+            events,
+            exposure_bits,
+            vehicles,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Hands a parsed segment to one shard. The shard is picked round-
+    /// robin; if that shard's lock is held the scan moves on to the next
+    /// free one, so concurrent ingests only block when *every* shard is
+    /// busy — and then on the original pick, keeping the wait set small.
+    pub fn ingest(&self, segment: &FleetState) {
+        self.lines.fetch_add(segment.lines(), Ordering::Relaxed);
+        self.events.fetch_add(segment.events(), Ordering::Relaxed);
+        self.add_exposure(segment.exposure().value());
+        for (vehicle, _) in segment.vehicles() {
+            self.vehicles.insert(vehicle);
+        }
+        let n = self.shards.len();
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed) % n;
+        for i in 0..n {
+            if let Ok(mut shard) = self.shards[(start + i) % n].try_lock() {
+                shard.merge(segment);
+                return;
+            }
+        }
+        self.shards[start]
+            .lock()
+            .expect("shard mutex poisoned")
+            .merge(segment);
+    }
+
+    /// Folds every shard into one [`FleetState`], locking the shards in
+    /// ascending index order and merging with [`fold_states`] — the
+    /// exact reduce `ingest_str` applies to its block partials. Holding
+    /// all shard locks at once makes the snapshot consistent (no segment
+    /// is half-visible); lock order is always ascending and ingest holds
+    /// at most one shard lock, so no deadlock is possible.
+    pub fn fold(&self) -> FleetState {
+        let guards: Vec<MutexGuard<'_, FleetState>> = self
+            .shards
+            .iter()
+            .map(|shard| shard.lock().expect("shard mutex poisoned"))
+            .collect();
+        fold_states(guards.iter().map(|guard| &**guard))
+    }
+
+    /// Total lines across all ingested segments (including the resumed
+    /// checkpoint).
+    pub fn lines(&self) -> u64 {
+        self.lines.load(Ordering::Relaxed)
+    }
+
+    /// Total accepted events across all ingested segments.
+    pub fn events(&self) -> u64 {
+        self.events.load(Ordering::Relaxed)
+    }
+
+    /// Total exposure hours across all ingested segments; agrees with
+    /// [`ShardedState::fold`] exactly for dyadic telemetry chunks.
+    pub fn exposure_hours(&self) -> f64 {
+        f64::from_bits(self.exposure_bits.load(Ordering::Relaxed))
+    }
+
+    /// Distinct vehicles seen across all ingested segments.
+    pub fn vehicle_count(&self) -> u64 {
+        self.vehicles.count()
+    }
+
+    fn add_exposure(&self, hours: f64) {
+        let mut current = self.exposure_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + hours).to_bits();
+            match self.exposure_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrn_core::examples::paper_classification;
+    use qrn_core::incident::IncidentRecord;
+    use qrn_core::object::{Involvement, ObjectType};
+    use qrn_fleet::event::FleetEvent;
+    use qrn_fleet::ingest::ingest_str;
+    use qrn_units::{Hours, Speed};
+
+    fn to_jsonl(events: &[FleetEvent]) -> String {
+        let mut out = String::new();
+        for event in events {
+            out.push_str(&event.to_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A deterministic log of `n` events with dyadic exposure chunks and
+    /// periodic VRU collisions, spread over five vehicles.
+    fn sample_events(n: usize) -> Vec<FleetEvent> {
+        (0..n)
+            .map(|i| {
+                let vehicle = format!("V{:03}", i % 5);
+                if i % 7 == 0 {
+                    FleetEvent::Incident {
+                        vehicle,
+                        record: IncidentRecord::collision(
+                            Involvement::ego_with(ObjectType::Vru),
+                            Speed::from_kmh(5.0 + (i % 40) as f64).unwrap(),
+                        ),
+                    }
+                } else {
+                    FleetEvent::Exposure {
+                        vehicle,
+                        hours: Hours::new(((i % 13) + 1) as f64 * 0.25).unwrap(),
+                    }
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn resume_state_seeds_shard_zero_and_totals() {
+        let classification = paper_classification().unwrap();
+        let log = to_jsonl(&sample_events(50));
+        let resume = ingest_str(&log, &classification, 2).unwrap();
+        let expected_json = serde_json::to_string(&resume).unwrap();
+
+        let state = ShardedState::new(4, resume.clone());
+        assert_eq!(state.shard_count(), 4);
+        assert_eq!(state.lines(), resume.lines());
+        assert_eq!(state.events(), resume.events());
+        assert_eq!(state.exposure_hours(), resume.exposure().value());
+        assert_eq!(state.vehicle_count(), resume.vehicle_count());
+        // An ingest-free fold returns the resumed state byte-identically.
+        assert_eq!(serde_json::to_string(&state.fold()).unwrap(), expected_json);
+    }
+
+    #[test]
+    fn concurrent_ingest_totals_are_exact() {
+        let classification = paper_classification().unwrap();
+        let segments: Vec<FleetState> = (0..8)
+            .map(|i| {
+                let events = sample_events(40 + i);
+                ingest_str(&to_jsonl(&events), &classification, 2).unwrap()
+            })
+            .collect();
+        let mut reference = FleetState::default();
+        for segment in &segments {
+            reference.merge(segment);
+        }
+
+        let state = std::sync::Arc::new(ShardedState::new(4, FleetState::default()));
+        let handles: Vec<_> = segments
+            .into_iter()
+            .map(|segment| {
+                let state = std::sync::Arc::clone(&state);
+                std::thread::spawn(move || state.ingest(&segment))
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+
+        assert_eq!(state.lines(), reference.lines());
+        assert_eq!(state.events(), reference.events());
+        assert_eq!(state.exposure_hours(), reference.exposure().value());
+        assert_eq!(state.vehicle_count(), reference.vehicle_count());
+        // The fold has the same bytes as the in-order merge.
+        assert_eq!(
+            serde_json::to_string(&state.fold()).unwrap(),
+            serde_json::to_string(&reference).unwrap()
+        );
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The sharding contract, machine-checked: for any event log with
+        /// dyadic exposure chunks, any segmentation, and any shard count,
+        /// routing the segments across shards and folding is
+        /// byte-identical to one-shot offline `ingest_str` of the whole
+        /// log. The round-robin cursor plus `try_lock` scan means the
+        /// actual shard each segment lands in is scheduler-dependent —
+        /// the property holds regardless, which is the whole point.
+        #[test]
+        fn any_sharding_folds_byte_identical_to_one_shot_ingest(
+            event_count in 1usize..300,
+            cut_permilles in proptest::collection::vec(0usize..=1000, 0..6),
+            shard_count in 1usize..9,
+            parse_shards in 1usize..5,
+        ) {
+            let classification = paper_classification().unwrap();
+            let log = to_jsonl(&sample_events(event_count));
+            let whole = ingest_str(&log, &classification, parse_shards).unwrap();
+
+            // Split the log at the requested permille marks into
+            // contiguous segments (empty segments allowed).
+            let lines: Vec<&str> = log.lines().collect();
+            let mut cuts: Vec<usize> = cut_permilles
+                .iter()
+                .map(|p| lines.len() * p / 1000)
+                .collect();
+            cuts.sort_unstable();
+            let mut segments = Vec::new();
+            let mut prev = 0;
+            for cut in cuts.into_iter().chain(std::iter::once(lines.len())) {
+                segments.push(lines[prev..cut].join("\n"));
+                prev = cut;
+            }
+
+            let state = ShardedState::new(shard_count, FleetState::default());
+            for segment in &segments {
+                let parsed = ingest_str(segment, &classification, parse_shards).unwrap();
+                state.ingest(&parsed);
+            }
+
+            prop_assert_eq!(
+                serde_json::to_string(&state.fold()).unwrap(),
+                serde_json::to_string(&whole).unwrap()
+            );
+            prop_assert_eq!(state.lines(), whole.lines());
+            prop_assert_eq!(state.events(), whole.events());
+            prop_assert_eq!(state.exposure_hours(), whole.exposure().value());
+            prop_assert_eq!(state.vehicle_count(), whole.vehicle_count());
+        }
+    }
+}

@@ -202,7 +202,45 @@ impl TextFamilies {
 /// * `<prefix>_unclassified_mass` — weighted mass no incident kind
 ///   claimed.
 pub fn render_ledger(out: &mut TextFamilies, prefix: &str, ledger: &EvidenceLedger) {
+    ledger_families(out, prefix, &[(None, ledger)]);
+}
+
+/// Renders several [`EvidenceLedger`]s — one per served norm/allocation
+/// *item* — as the same gauge families [`render_ledger`] emits, with an
+/// `item` label distinguishing the series. All samples of each family
+/// stay contiguous across items, as the exposition format requires, which
+/// is why a multi-item exporter must call this once rather than
+/// [`render_ledger`] per item.
+pub fn render_ledgers(out: &mut TextFamilies, prefix: &str, items: &[(&str, &EvidenceLedger)]) {
+    let rows: Vec<(Option<&str>, &EvidenceLedger)> = items
+        .iter()
+        .map(|(item, ledger)| (Some(*item), *ledger))
+        .collect();
+    ledger_families(out, prefix, &rows);
+}
+
+/// The shared family layout behind [`render_ledger`] (no `item` label)
+/// and [`render_ledgers`] (one `item` label per served item).
+fn ledger_families(
+    out: &mut TextFamilies,
+    prefix: &str,
+    items: &[(Option<&str>, &EvidenceLedger)],
+) {
     let name = |suffix: &str| format!("{prefix}_{suffix}");
+    let labels =
+        |item: Option<&str>, extra: &[(&'static str, &str)]| -> Vec<(&'static str, String)> {
+            let mut out: Vec<(&'static str, String)> = Vec::with_capacity(extra.len() + 1);
+            if let Some(item) = item {
+                out.push(("item", item.to_string()));
+            }
+            for (k, v) in extra {
+                out.push((*k, (*v).to_string()));
+            }
+            out
+        };
+    fn as_refs<'a>(owned: &'a [(&'static str, String)]) -> Vec<(&'a str, &'a str)> {
+        owned.iter().map(|(k, v)| (*k, v.as_str())).collect()
+    }
 
     let exposure = name("exposure_hours");
     out.family(
@@ -210,9 +248,13 @@ pub fn render_ledger(out: &mut TextFamilies, prefix: &str, ledger: &EvidenceLedg
         "Exposure hours accumulated in the evidence ledger",
         MetricKind::Gauge,
     );
-    out.sample(&exposure, &[], ledger.exposure());
-    for (zone, row) in ledger.named_contexts() {
-        out.sample(&exposure, &[("zone", zone)], row.exposure_hours());
+    for (item, ledger) in items {
+        let owned = labels(*item, &[]);
+        out.sample(&exposure, &as_refs(&owned), ledger.exposure());
+        for (zone, row) in ledger.named_contexts() {
+            let owned = labels(*item, &[("zone", zone)]);
+            out.sample(&exposure, &as_refs(&owned), row.exposure_hours());
+        }
     }
 
     let mass = name("incident_mass");
@@ -221,12 +263,16 @@ pub fn render_ledger(out: &mut TextFamilies, prefix: &str, ledger: &EvidenceLedg
         "Weighted incident mass per incident kind",
         MetricKind::Gauge,
     );
-    for kind in ledger.kinds() {
-        out.sample(&mass, &[("kind", kind)], ledger.count(kind).total());
-    }
-    for (zone, row) in ledger.named_contexts() {
-        for (kind, count) in row.counts() {
-            out.sample(&mass, &[("kind", kind), ("zone", zone)], count.total());
+    for (item, ledger) in items {
+        for kind in ledger.kinds() {
+            let owned = labels(*item, &[("kind", kind)]);
+            out.sample(&mass, &as_refs(&owned), ledger.count(kind).total());
+        }
+        for (zone, row) in ledger.named_contexts() {
+            for (kind, count) in row.counts() {
+                let owned = labels(*item, &[("kind", kind), ("zone", zone)]);
+                out.sample(&mass, &as_refs(&owned), count.total());
+            }
         }
     }
 
@@ -236,20 +282,20 @@ pub fn render_ledger(out: &mut TextFamilies, prefix: &str, ledger: &EvidenceLedg
         "Raw incident observations per incident kind",
         MetricKind::Gauge,
     );
-    for kind in ledger.kinds() {
-        out.sample_u64(
-            &observations,
-            &[("kind", kind)],
-            ledger.count(kind).observations(),
-        );
-    }
-    for (zone, row) in ledger.named_contexts() {
-        for (kind, count) in row.counts() {
+    for (item, ledger) in items {
+        for kind in ledger.kinds() {
+            let owned = labels(*item, &[("kind", kind)]);
             out.sample_u64(
                 &observations,
-                &[("kind", kind), ("zone", zone)],
-                count.observations(),
+                &as_refs(&owned),
+                ledger.count(kind).observations(),
             );
+        }
+        for (zone, row) in ledger.named_contexts() {
+            for (kind, count) in row.counts() {
+                let owned = labels(*item, &[("kind", kind), ("zone", zone)]);
+                out.sample_u64(&observations, &as_refs(&owned), count.observations());
+            }
         }
     }
 
@@ -259,7 +305,14 @@ pub fn render_ledger(out: &mut TextFamilies, prefix: &str, ledger: &EvidenceLedg
         "Weighted mass of observations no incident kind claimed",
         MetricKind::Gauge,
     );
-    out.sample(&unclassified, &[], ledger.unclassified().total());
+    for (item, ledger) in items {
+        let owned = labels(*item, &[]);
+        out.sample(
+            &unclassified,
+            &as_refs(&owned),
+            ledger.unclassified().total(),
+        );
+    }
 }
 
 /// A strict-enough validator of the exposition format, for tests and CI
@@ -429,6 +482,53 @@ mod tests {
         assert!(body.contains("g -Inf"));
         assert!(body.contains("g NaN"));
         validate_exposition(&body).unwrap();
+    }
+
+    #[test]
+    fn multi_item_ledgers_render_contiguous_families_with_item_labels() {
+        let mut a = EvidenceLedger::new();
+        a.add_exposure(None, 100.0);
+        a.add_incident(None, "I2", 1.0);
+        let mut b = EvidenceLedger::new();
+        b.add_exposure(None, 50.0);
+        b.add_exposure(Some("urban"), 10.0);
+        b.add_incident(Some("urban"), "I3", 0.5);
+        b.add_incident(None, "I3", 0.5);
+
+        let mut text = TextFamilies::new();
+        render_ledgers(&mut text, "qrn_evidence", &[("ads_a", &a), ("ads_b", &b)]);
+        let body = text.finish();
+        // Families stay contiguous across items — the structural rule a
+        // scraper relies on and validate_exposition enforces.
+        validate_exposition(&body).unwrap();
+        assert!(
+            body.contains("qrn_evidence_exposure_hours{item=\"ads_a\"} 100"),
+            "{body}"
+        );
+        assert!(
+            body.contains("qrn_evidence_exposure_hours{item=\"ads_b\"} 50"),
+            "{body}"
+        );
+        assert!(
+            body.contains("qrn_evidence_exposure_hours{item=\"ads_b\",zone=\"urban\"} 10"),
+            "{body}"
+        );
+        assert!(
+            body.contains("qrn_evidence_incident_mass{item=\"ads_a\",kind=\"I2\"} 1"),
+            "{body}"
+        );
+        assert!(
+            body.contains(
+                "qrn_evidence_incident_mass{item=\"ads_b\",kind=\"I3\",zone=\"urban\"} 0.5"
+            ),
+            "{body}"
+        );
+        // Exactly one HELP/TYPE pair per family despite two items.
+        assert_eq!(
+            body.matches("# TYPE qrn_evidence_exposure_hours gauge")
+                .count(),
+            1
+        );
     }
 
     #[test]

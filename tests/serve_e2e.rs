@@ -96,48 +96,122 @@ fn offline_state(segments: &[String]) -> FleetState {
 
 #[test]
 fn concurrent_ingest_matches_offline_pipeline_byte_for_byte() {
-    let (config, checkpoint) = test_config("determinism");
+    // The state-shard count must never change a single byte of any
+    // served or checkpointed artefact: the cross-shard fold reuses the
+    // dyadic merge order of offline ingest, and this sweep enforces it
+    // for the shard counts named in the acceptance criteria.
+    for state_shards in [1usize, 2, 4, 8] {
+        let tag = format!("determinism-{state_shards}");
+        let (mut config, checkpoint) = test_config(&tag);
+        config.state_shards = state_shards;
+        let handle = Server::start(config).unwrap();
+        let addr = handle.addr();
+
+        // Concurrent clients upload disjoint segments in whatever order
+        // the scheduler produces.
+        let segments = segments();
+        let uploads: Vec<_> = segments
+            .iter()
+            .cloned()
+            .map(|segment| {
+                std::thread::spawn(move || {
+                    let (status, body) = post(addr, "/v1/ingest", &segment);
+                    assert_eq!(status, 200, "{body}");
+                })
+            })
+            .collect();
+        for upload in uploads {
+            upload.join().unwrap();
+        }
+
+        // The served burn-down must be byte-identical to the offline
+        // pipeline: ingest the same segments, run the same analysis,
+        // print canonical JSON. (First server look == offline's one and
+        // only look.)
+        let offline = offline_state(&segments);
+        let norm = paper_norm().unwrap();
+        let classification = paper_classification().unwrap();
+        let allocation = paper_allocation(&classification).unwrap();
+        let offline_report =
+            burn_down(&norm, &allocation, &offline, &BurnDownConfig::default()).unwrap();
+        let (status, served) = get(addr, "/v1/burndown");
+        assert_eq!(status, 200);
+        assert_eq!(
+            served,
+            offline_report.to_canonical_json(),
+            "state_shards={state_shards}"
+        );
+
+        // Graceful shutdown writes the final checkpoint; its bytes equal
+        // the offline `fleet ingest --checkpoint` artefact of the same
+        // segments.
+        let (status, _) = post(addr, "/v1/shutdown", "");
+        assert_eq!(status, 200);
+        handle.wait().unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&checkpoint).unwrap(),
+            serde_json::to_string_pretty(&offline).unwrap(),
+            "state_shards={state_shards}"
+        );
+    }
+}
+
+#[test]
+fn multi_item_server_keeps_items_fully_isolated() {
+    let (mut config, checkpoint) = test_config("multi-item");
+    let classification = paper_classification().unwrap();
+    let allocation = paper_allocation(&classification).unwrap();
+    config.add_item("vru", paper_norm().unwrap(), classification, allocation);
+    let vru_checkpoint = qrn::fleet::checkpoint::item_checkpoint_path(&checkpoint, "vru");
+    let _ = std::fs::remove_file(&vru_checkpoint);
+    let mut vru_sidecar = vru_checkpoint.clone().into_os_string();
+    vru_sidecar.push(".looks.json");
+    let _ = std::fs::remove_file(PathBuf::from(vru_sidecar));
     let handle = Server::start(config).unwrap();
     let addr = handle.addr();
 
-    // Concurrent clients upload disjoint segments in whatever order the
-    // scheduler produces.
     let segments = segments();
-    let uploads: Vec<_> = segments
-        .iter()
-        .cloned()
-        .map(|segment| {
-            std::thread::spawn(move || {
-                let (status, body) = post(addr, "/v1/ingest", &segment);
-                assert_eq!(status, 200, "{body}");
-            })
-        })
-        .collect();
-    for upload in uploads {
-        upload.join().unwrap();
-    }
+    // Default item gets segments 0 and 1; the vru item gets segment 2.
+    assert_eq!(post(addr, "/v1/ingest", &segments[0]).0, 200);
+    assert_eq!(post(addr, "/v1/default/ingest", &segments[1]).0, 200);
+    assert_eq!(post(addr, "/v1/vru/ingest", &segments[2]).0, 200);
 
-    // The served burn-down must be byte-identical to the offline
-    // pipeline: ingest the same segments, run the same analysis, print
-    // canonical JSON. (First server look == offline's one and only look.)
-    let offline = offline_state(&segments);
-    let norm = paper_norm().unwrap();
-    let classification = paper_classification().unwrap();
-    let allocation = paper_allocation(&classification).unwrap();
-    let offline_report =
-        burn_down(&norm, &allocation, &offline, &BurnDownConfig::default()).unwrap();
-    let (status, served) = get(addr, "/v1/burndown");
-    assert_eq!(status, 200);
-    assert_eq!(served, offline_report.to_canonical_json());
+    // Each item's burn-down sees only its own evidence, and looks are
+    // counted per item: the vru look below must not move the default
+    // item's counters.
+    let (status, body) = get(addr, "/v1/vru/burndown");
+    assert_eq!(status, 200, "{body}");
+    let vru_report: FleetReport = serde_json::from_str(&body).unwrap();
+    assert_eq!(vru_report.exposure_hours, 32.0);
+    assert!(vru_report.goals.iter().all(|g| g.looks == 1), "{body}");
 
-    // Graceful shutdown writes the final checkpoint; its bytes equal the
-    // offline `fleet ingest --checkpoint` artefact of the same segments.
-    let (status, _) = post(addr, "/v1/shutdown", "");
-    assert_eq!(status, 200);
-    handle.wait().unwrap();
+    let (_, body) = get(addr, "/v1/burndown");
+    let default_report: FleetReport = serde_json::from_str(&body).unwrap();
+    assert_eq!(default_report.exposure_hours, 64.0);
+    assert!(default_report.goals.iter().all(|g| g.looks == 1), "{body}");
+
+    // Metrics label both items and keep the exposition valid.
+    let (_, metrics) = get(addr, "/metrics");
+    validate_exposition(&metrics).unwrap_or_else(|e| panic!("invalid exposition: {e}\n{metrics}"));
+    assert!(
+        metrics.contains("qrn_evidence_exposure_hours{item=\"default\"} 64"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("qrn_evidence_exposure_hours{item=\"vru\"} 32"),
+        "{metrics}"
+    );
+
+    // The drain writes one checkpoint per item; each matches the offline
+    // ingest of only that item's segments, byte for byte.
+    handle.stop().unwrap();
     assert_eq!(
         std::fs::read_to_string(&checkpoint).unwrap(),
-        serde_json::to_string_pretty(&offline).unwrap()
+        serde_json::to_string_pretty(&offline_state(&segments[..2])).unwrap()
+    );
+    assert_eq!(
+        std::fs::read_to_string(&vru_checkpoint).unwrap(),
+        serde_json::to_string_pretty(&offline_state(&segments[2..])).unwrap()
     );
 }
 
@@ -181,7 +255,10 @@ fn metrics_are_valid_prometheus_exposition() {
     let (status, body) = get(addr, "/metrics");
     assert_eq!(status, 200);
     validate_exposition(&body).unwrap_or_else(|e| panic!("invalid exposition: {e}\n{body}"));
-    assert!(body.contains("qrn_evidence_exposure_hours 32"), "{body}");
+    assert!(
+        body.contains("qrn_evidence_exposure_hours{item=\"default\"} 32"),
+        "{body}"
+    );
     assert!(body.contains("qrn_http_request_seconds_bucket"), "{body}");
     assert!(body.contains("qrn_goal_budget_consumed"), "{body}");
     handle.stop().unwrap();
@@ -281,7 +358,7 @@ fn zone_queries_serve_refinement_rows() {
     ledger.add_exposure(Some("urban"), 256.0);
     ledger.add_incident(None, "I2", 0.5);
     ledger.add_incident(Some("urban"), "I2", 0.5);
-    config.extra_evidence.push(ledger);
+    config.push_evidence(ledger);
     let handle = Server::start(config).unwrap();
     let addr = handle.addr();
 
