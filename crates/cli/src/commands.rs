@@ -66,6 +66,7 @@ pub fn run(args: &[String]) -> Result<CommandOutcome, CliError> {
         ),
         ["fleet", rest @ ..] => crate::fleet::run(rest),
         ["evidence", rest @ ..] => crate::evidence::run(rest),
+        ["store", rest @ ..] => crate::store::run(rest),
         ["serve", norm, classification, allocation, rest @ ..] => crate::serve::run(
             Path::new(norm),
             Path::new(classification),

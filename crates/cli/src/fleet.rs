@@ -144,7 +144,15 @@ fn generate(rest: &[&str]) -> Result<CommandOutcome, CliError> {
         );
         config = config.inject(crash, parse_u64(count, "--inject-collisions")?);
     }
+    // --stamp-seq numbers each vehicle's lines monotonically so a store
+    // or server downstream can reject duplicates and detect holes.
+    if has_flag(rest, "--stamp-seq") {
+        config = config.stamp_seq(true);
+    }
     let mut faults = FaultPlan::default();
+    if let Some(text) = flag(rest, "--fault-drop-stride") {
+        faults.drop_every = parse_u64(text, "--fault-drop-stride")?;
+    }
     if let Some(text) = flag(rest, "--fault-truncate") {
         faults.truncate_every = parse_u64(text, "--fault-truncate")?;
     }
@@ -304,7 +312,7 @@ fn ingest(classification_path: &Path, rest: &[&str]) -> Result<CommandOutcome, C
     Ok(CommandOutcome::Ok)
 }
 
-fn print_state(state: &FleetState) {
+pub(crate) fn print_state(state: &FleetState) {
     println!(
         "{} lines -> {} events from {} vehicles over {:.1} h ({} lines skipped)",
         state.lines(),

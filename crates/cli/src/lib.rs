@@ -28,6 +28,7 @@ pub mod evidence;
 pub mod fleet;
 pub mod io;
 pub mod serve;
+pub mod store;
 
 use std::fmt;
 
@@ -95,6 +96,12 @@ impl From<qrn_serve::ServeError> for CliError {
     }
 }
 
+impl From<qrn_store::StoreError> for CliError {
+    fn from(e: qrn_store::StoreError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
 /// Usage text printed on `--help` or argument errors.
 pub const USAGE: &str = "\
 qrn — The Quantitative Risk Norm toolkit
@@ -152,18 +159,22 @@ COMMANDS:
 
     fleet generate --scenario <urban|highway|mixed> --policy <cautious|reactive>
                    --hours <H> --vehicles <N> [--seed <K>] [--workers <W>]
-                   [--inject-collisions <N>] [--splitting-levels <N>]
-                   [--splitting-effort <E>] [--fault-truncate <S>]
-                   [--fault-future-version <S>] [--fault-unknown-kind <S>]
+                   [--stamp-seq] [--inject-collisions <N>]
+                   [--splitting-levels <N>] [--splitting-effort <E>]
+                   [--fault-truncate <S>] [--fault-future-version <S>]
+                   [--fault-unknown-kind <S>] [--fault-drop-stride <S>]
                    --out <events.jsonl>
         Generate a synthetic fleet telemetry log (JSONL) from a simulated
-        campaign. --inject-collisions adds deliberate severe VRU collisions
+        campaign. --stamp-seq numbers each vehicle's lines with a monotone
+        'seq' field so the evidence store can reject duplicates and detect
+        holes. --inject-collisions adds deliberate severe VRU collisions
         for rehearsing the alerting path. --splitting-levels additionally
         runs a multilevel-splitting tail-rate check over the same fleet
         exposure and prints the weighted rare-incident rates. The --fault-*
         flags corrupt every S-th line (truncated JSON, future schema
-        version, unknown event kind) to rehearse the tolerant parser's
-        skip-and-count path.
+        version, unknown event kind); --fault-drop-stride silently drops
+        every S-th line instead — undetectable without --stamp-seq,
+        detected as sequence gaps with it.
 
     fleet ingest <classification.json> --log <events.jsonl>...
                  [--shards <N>] [--checkpoint <state.json>] [--out <state.json>]
@@ -199,12 +210,39 @@ COMMANDS:
         Print per-context deltas (b - a) of exposure and incident mass.
         Exits 0 when identical, 1 when the ledgers differ.
 
+    store inspect <classification.json> --dir <DIR> [--shards <N>]
+        Print an evidence store's segment shape and snapshot timeline.
+        <DIR> is one item's store directory (<--store>/<item> of a
+        `qrn serve --store` deployment).
+
+    store replay <classification.json> --dir <DIR> [--as-of <MILLIS>]
+                 [--shards <N>] [--out <state.json>]
+                 [--dump-log <events.jsonl>]
+        Fold the store's records — optionally only up to --as-of — into a
+        fleet state, print it with the screening tallies (duplicates
+        rejected, gaps, missing sequence numbers) and optionally write
+        the state and/or the accepted telemetry lines. The written state
+        is byte-identical to `fleet ingest` of the accepted lines.
+
+    store compact <classification.json> --dir <DIR>
+        Seal the open segment and rewrite all closed segments into one
+        snapshot segment. Compaction never changes a queryable byte
+        (property-tested); run it only against a stopped server — it
+        takes the writer role.
+
+    store verify <classification.json> --dir <DIR> [--shards <N>]
+        Re-fold every record and check each stored snapshot against an
+        independent replay. Exits 1 when any snapshot disagrees.
+
     serve <norm.json> <classification.json> <allocation.json>
           [--item <name>=<norm.json>,<classification.json>,<allocation.json>]...
           [--bind <addr>] [--port <P>] [--workers <N>] [--queue-depth <N>]
           [--max-body-bytes <B>] [--io-timeout-secs <S>] [--shards <N>]
           [--state-shards <N>] [--checkpoint <state.json>]
-          [--checkpoint-every <N>] [--evidence <ledger.json>]... [--by-zone]
+          [--checkpoint-every <N>] [--store <DIR>]
+          [--store-snapshot-every <EVENTS>] [--store-roll-bytes <B>]
+          [--store-compact-after <SEGMENTS>]
+          [--evidence <ledger.json>]... [--by-zone]
           [--confidence <0..1>] [--alpha <0..1>] [--beta <0..1>]
           [--sprt-fraction <0..1>] [--watch-ratio <R>]
         Run the live evidence server (default 127.0.0.1:7878): POST
@@ -222,9 +260,15 @@ COMMANDS:
         deterministically, keeping every checkpoint byte-identical to
         `fleet ingest` of the same segments offline. With --checkpoint
         the state is resumed at start and atomically checkpointed every
-        --checkpoint-every segments (default 1). --bind accepts a
-        non-loopback address but warns loudly: the server is plaintext
-        HTTP without authentication. A full request queue answers 429.
+        --checkpoint-every segments (default 1). With --store every
+        accepted segment is first appended — durably, screened for
+        duplicate and missing sequence numbers — to a per-item
+        append-only log under <DIR>; the live state is recovered from
+        the store on restart and GET /v1/[<item>/]burndown?as_of=<millis>
+        (a historical replay that spends no SPRT look) and GET
+        /v1/[<item>/]history come alive. --bind accepts a non-loopback
+        address but warns loudly: the server is plaintext HTTP without
+        authentication. A full request queue answers 429.
 
 EXIT CODES:
     0 success / compliant    1 check failed    2 usage or artefact error

@@ -103,6 +103,18 @@ pub fn run(
     if let Some(text) = flag(rest, "--checkpoint-every") {
         config.checkpoint_every = parse_num(text, "--checkpoint-every")?;
     }
+    if let Some(text) = flag(rest, "--store") {
+        config.store = Some(PathBuf::from(text));
+    }
+    if let Some(text) = flag(rest, "--store-snapshot-every") {
+        config.store_snapshot_every = parse_num(text, "--store-snapshot-every")?;
+    }
+    if let Some(text) = flag(rest, "--store-roll-bytes") {
+        config.store_roll_bytes = parse_num(text, "--store-roll-bytes")?;
+    }
+    if let Some(text) = flag(rest, "--store-compact-after") {
+        config.store_compact_after = parse_num(text, "--store-compact-after")?;
+    }
     for path in flag_values(rest, "--evidence") {
         let ledger: EvidenceLedger = read_artefact(Path::new(path))?;
         config.push_evidence(ledger);
@@ -125,6 +137,7 @@ pub fn run(
     config.burndown.by_zone = has_flag(rest, "--by-zone");
 
     let checkpoint = config.checkpoint.clone();
+    let store = config.store.clone();
     let item_names: Vec<String> = config.items.iter().map(|item| item.name.clone()).collect();
     let state_shards = config.state_shards;
     let handle = Server::start(config)?;
@@ -142,6 +155,13 @@ pub fn run(
     if let Some(path) = &checkpoint {
         println!(
             "checkpointing to {} (non-default items get per-item files)",
+            path.display()
+        );
+    }
+    if let Some(path) = &store {
+        println!(
+            "evidence store at {} (per-item append-only logs; GET \
+             /v1/[<item>/]burndown?as_of=<millis> and /v1/[<item>/]history enabled)",
             path.display()
         );
     }

@@ -14,7 +14,7 @@
 //! 3. atomically `rename` over the destination — readers see either the
 //!    old complete checkpoint or the new complete checkpoint, never a
 //!    mixture,
-//! 4. best-effort `fsync` of the containing directory so the rename
+//! 4. `fsync` of the containing directory ([`fsync_dir`]) so the rename
 //!    itself survives a power cut.
 //!
 //! The serialised bytes are exactly
@@ -83,17 +83,38 @@ pub fn save_bytes(path: &Path, bytes: &[u8]) -> Result<(), FleetError> {
     drop(file);
     fs::rename(&tmp, path).map_err(|e| io_err("rename into place", &tmp, e))?;
     // The rename is only durable once the directory entry is synced.
-    // Opening a directory read-only works on every unix; elsewhere this
-    // is best-effort (the data itself is already synced).
     if let Some(parent) = path.parent() {
-        let dir = if parent.as_os_str().is_empty() {
-            Path::new(".")
-        } else {
-            parent
-        };
-        if let Ok(d) = fs::File::open(dir) {
-            let _ = d.sync_all();
-        }
+        fsync_dir(parent)?;
+    }
+    Ok(())
+}
+
+/// Syncs the directory entry metadata of `dir` to stable storage, so a
+/// rename or file creation inside it survives a power cut. An empty path
+/// is treated as the current directory.
+///
+/// Opening a directory read-only works on every unix; on platforms where
+/// it does not, the open failure is tolerated (the file data itself is
+/// already synced by the caller). A directory that *opens* but fails to
+/// sync is a real durability problem and is reported.
+///
+/// Shared by checkpoint writes and by `qrn-store`'s segment roll and
+/// compaction, so every rename-into-place in the workspace carries the
+/// same durability guarantee.
+///
+/// # Errors
+///
+/// Returns [`FleetError::Io`] when the directory opens but `sync_all`
+/// fails.
+pub fn fsync_dir(dir: &Path) -> Result<(), FleetError> {
+    let dir = if dir.as_os_str().is_empty() {
+        Path::new(".")
+    } else {
+        dir
+    };
+    if let Ok(d) = fs::File::open(dir) {
+        d.sync_all()
+            .map_err(|e| FleetError::Io(format!("cannot sync directory {}: {e}", dir.display())))?;
     }
     Ok(())
 }
@@ -256,6 +277,18 @@ mod tests {
             item_checkpoint_path(Path::new("s.json"), "a"),
             item_checkpoint_path(Path::new("s.json"), "b")
         );
+    }
+
+    #[test]
+    fn fsync_dir_accepts_real_empty_and_missing_directories() {
+        // A real directory syncs cleanly.
+        fsync_dir(&temp_dir("fsync")).unwrap();
+        // The empty path means "current directory".
+        fsync_dir(Path::new("")).unwrap();
+        // A directory that cannot be opened is tolerated (portability:
+        // opening directories is not universally supported), never an
+        // error — the caller's file data is already synced.
+        fsync_dir(Path::new("/definitely/not/a/real/dir")).unwrap();
     }
 
     #[test]

@@ -73,11 +73,31 @@ impl FleetEvent {
 
     /// Renders the event as one compact JSONL line (no trailing newline).
     pub fn to_line(&self) -> String {
+        self.render_line(None)
+    }
+
+    /// Renders the event as one compact JSONL line carrying a per-source
+    /// monotone sequence number `seq`. Sequence numbers start at 1 and
+    /// increase by one per event *per vehicle*; consumers that track them
+    /// (the `qrn-store` gap detector) reject duplicates and count holes.
+    /// [`parse_line`] ignores the field, so sequenced telemetry stays
+    /// readable by every existing consumer under [`SCHEMA_VERSION`] 1.
+    pub fn to_line_with_seq(&self, seq: u64) -> String {
+        self.render_line(Some(seq))
+    }
+
+    fn render_line(&self, seq: Option<u64>) -> String {
         let mut map = serde::json::Map::new();
         map.insert(
             "v".into(),
             Value::Number(serde::json::Number::PosInt(SCHEMA_VERSION)),
         );
+        if let Some(seq) = seq {
+            map.insert(
+                "seq".into(),
+                Value::Number(serde::json::Number::PosInt(seq)),
+            );
+        }
         match self {
             FleetEvent::Exposure { vehicle, hours } => {
                 map.insert("event".into(), Value::String("exposure".into()));
@@ -167,8 +187,21 @@ impl SkipCounts {
 
 /// Parses one JSONL line. Blank lines (including whitespace-only) yield
 /// `Ok(None)` so logs may contain separators; malformed lines yield
-/// `Err(reason)` — never a stream abort.
+/// `Err(reason)` — never a stream abort. A `seq` field, when present, is
+/// ignored; use [`parse_line_with_seq`] to observe it.
 pub fn parse_line(line: &str) -> Result<Option<FleetEvent>, SkipReason> {
+    parse_line_with_seq(line).map(|parsed| parsed.map(|(event, _seq)| event))
+}
+
+/// Parses one JSONL line like [`parse_line`], additionally surfacing the
+/// optional per-source sequence number stamped by
+/// [`FleetEvent::to_line_with_seq`]. Unsequenced lines parse to
+/// `(event, None)` — `seq` was introduced within schema version 1, so
+/// both shapes coexist in one log. A `seq` field that is present but is
+/// not an unsigned integer is [`SkipReason::InvalidValue`]: a mangled
+/// sequence number must never be silently treated as "unsequenced",
+/// because that would exempt the line from duplicate rejection.
+pub fn parse_line_with_seq(line: &str) -> Result<Option<(FleetEvent, Option<u64>)>, SkipReason> {
     let line = line.trim();
     if line.is_empty() {
         return Ok(None);
@@ -182,6 +215,11 @@ pub fn parse_line(line: &str) -> Result<Option<FleetEvent>, SkipReason> {
         Some(v) if v <= SCHEMA_VERSION => {}
         _ => return Err(SkipReason::UnsupportedVersion),
     }
+    let seq = match map.get("seq") {
+        None => None,
+        Some(Value::Number(n)) => Some(n.as_u64().ok_or(SkipReason::InvalidValue)?),
+        Some(_) => return Err(SkipReason::InvalidValue),
+    };
     let kind = map
         .get("event")
         .and_then(Value::as_str)
@@ -192,21 +230,22 @@ pub fn parse_line(line: &str) -> Result<Option<FleetEvent>, SkipReason> {
         .as_str()
         .ok_or(SkipReason::InvalidValue)?
         .to_string();
-    match kind {
+    let event = match kind {
         "exposure" => {
             let hours = map.get("hours").ok_or(SkipReason::MissingField)?;
             let hours: Hours =
                 serde_json::from_value(hours).map_err(|_| SkipReason::InvalidValue)?;
-            Ok(Some(FleetEvent::Exposure { vehicle, hours }))
+            FleetEvent::Exposure { vehicle, hours }
         }
         "incident" => {
             let record = map.get("record").ok_or(SkipReason::MissingField)?;
             let record: IncidentRecord =
                 serde_json::from_value(record).map_err(|_| SkipReason::InvalidValue)?;
-            Ok(Some(FleetEvent::Incident { vehicle, record }))
+            FleetEvent::Incident { vehicle, record }
         }
-        _ => Err(SkipReason::UnknownKind),
-    }
+        _ => return Err(SkipReason::UnknownKind),
+    };
+    Ok(Some((event, seq)))
 }
 
 /// Renders events as a JSONL document (one line per event, trailing
@@ -298,6 +337,41 @@ mod tests {
         let (events, skipped) = parse_jsonl(&text);
         assert_eq!(events.len(), 2);
         assert_eq!(skipped.total(), 0);
+    }
+
+    #[test]
+    fn seq_stamped_lines_round_trip_and_stay_readable_without_seq() {
+        let event = exposure("V0001", 4.0);
+        let line = event.to_line_with_seq(7);
+        assert!(line.contains("\"seq\":7"), "{line}");
+        // Sequence-aware parsing surfaces the number…
+        assert_eq!(
+            parse_line_with_seq(&line).unwrap(),
+            Some((event.clone(), Some(7)))
+        );
+        // …while the plain parser reads the same line, ignoring it.
+        assert_eq!(parse_line(&line).unwrap(), Some(event.clone()));
+        // Unsequenced lines parse to seq = None.
+        assert_eq!(
+            parse_line_with_seq(&event.to_line()).unwrap(),
+            Some((event, None))
+        );
+    }
+
+    #[test]
+    fn mangled_seq_is_invalid_value_not_unsequenced() {
+        for line in [
+            "{\"v\":1,\"seq\":\"7\",\"event\":\"exposure\",\"vehicle\":\"x\",\"hours\":1.0}",
+            "{\"v\":1,\"seq\":-3,\"event\":\"exposure\",\"vehicle\":\"x\",\"hours\":1.0}",
+            "{\"v\":1,\"seq\":1.5,\"event\":\"exposure\",\"vehicle\":\"x\",\"hours\":1.0}",
+        ] {
+            assert_eq!(
+                parse_line_with_seq(line),
+                Err(SkipReason::InvalidValue),
+                "{line}"
+            );
+            assert_eq!(parse_line(line), Err(SkipReason::InvalidValue), "{line}");
+        }
     }
 
     #[test]

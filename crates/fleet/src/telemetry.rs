@@ -93,6 +93,13 @@ impl Policy {
 /// first fault in field order wins.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultPlan {
+    /// Silently omit every `n`-th line from the output entirely. Unlike
+    /// the corruption faults below, a dropped line leaves *no trace* the
+    /// parser could count — exactly the failure a lossy uplink produces —
+    /// so it is only detectable downstream through sequence-number gaps
+    /// (see [`TelemetryConfig::stamp_seq`] and the `qrn-store` gap
+    /// detector). Dropping takes precedence over every corruption fault.
+    pub drop_every: u64,
     /// Truncate every `n`-th line mid-JSON (counted as `bad_json`).
     pub truncate_every: u64,
     /// Stamp every `n`-th line with a far-future schema version (counted
@@ -111,7 +118,10 @@ impl FaultPlan {
 
     /// Returns `true` when no fault is enabled.
     pub fn is_clean(&self) -> bool {
-        self.truncate_every == 0 && self.future_version_every == 0 && self.unknown_kind_every == 0
+        self.drop_every == 0
+            && self.truncate_every == 0
+            && self.future_version_every == 0
+            && self.unknown_kind_every == 0
     }
 
     fn hits(stride: u64, line_number: u64) -> bool {
@@ -171,6 +181,7 @@ pub struct TelemetryConfig {
     workers: usize,
     injected: Vec<(IncidentRecord, u64)>,
     faults: FaultPlan,
+    stamp_seq: bool,
 }
 
 impl TelemetryConfig {
@@ -187,6 +198,7 @@ impl TelemetryConfig {
             workers: 0,
             injected: Vec::new(),
             faults: FaultPlan::default(),
+            stamp_seq: false,
         }
     }
 
@@ -236,6 +248,19 @@ impl TelemetryConfig {
     /// unaffected — corruption is a wire-format phenomenon.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = plan;
+        self
+    }
+
+    /// Stamps every serialised line with a per-vehicle monotone `seq`
+    /// number (starting at 1, incremented per event of that vehicle), via
+    /// [`FleetEvent::to_line_with_seq`]. Only
+    /// [`TelemetryConfig::generate_jsonl`] is affected — sequence numbers
+    /// are a wire-format concern, like faults. Combined with
+    /// [`FaultPlan::drop_every`] this produces logs whose silent losses
+    /// are provably detectable: every dropped sequenced line is a hole in
+    /// some vehicle's sequence.
+    pub fn stamp_seq(mut self, stamp: bool) -> Self {
+        self.stamp_seq = stamp;
         self
     }
 
@@ -295,25 +320,42 @@ impl TelemetryConfig {
     }
 
     /// Generates the telemetry stream rendered as a JSONL document, with
-    /// the configured [`FaultPlan`] applied line by line.
+    /// optional per-vehicle `seq` stamping and the configured
+    /// [`FaultPlan`] applied line by line.
     ///
-    /// This is what `qrn fleet generate` writes: with a clean plan it is
-    /// exactly `to_jsonl(generate()?)`; with faults enabled, the damaged
-    /// lines exercise the ingest engine's skip-and-count tolerance while
-    /// every undamaged line still parses.
+    /// This is what `qrn fleet generate` writes: with a clean plan and no
+    /// seq stamping it is exactly `to_jsonl(generate()?)`; with faults
+    /// enabled, the damaged lines exercise the ingest engine's
+    /// skip-and-count tolerance while every undamaged line still parses.
+    /// [`FaultPlan::drop_every`] omits lines *after* seq stamping, so a
+    /// dropped line is a sequence hole, never a renumbering.
     ///
     /// # Errors
     ///
     /// Returns [`FleetError`] for a zero-vehicle fleet or a zero-hour
     /// campaign.
     pub fn generate_jsonl(&self) -> Result<String, FleetError> {
-        let clean = crate::event::to_jsonl(&self.generate()?);
-        if self.faults.is_clean() {
-            return Ok(clean);
+        let events = self.generate()?;
+        let mut lines = Vec::with_capacity(events.len());
+        if self.stamp_seq {
+            let mut counters: std::collections::BTreeMap<&str, u64> = Default::default();
+            for event in &events {
+                let seq = counters.entry(event.vehicle()).or_insert(0);
+                *seq += 1;
+                lines.push(event.to_line_with_seq(*seq));
+            }
+        } else {
+            for event in &events {
+                lines.push(event.to_line());
+            }
         }
-        let mut out = String::with_capacity(clean.len());
-        for (i, line) in clean.lines().enumerate() {
-            match self.faults.corrupt(i as u64 + 1, line) {
+        let mut out = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+        for (i, line) in lines.iter().enumerate() {
+            let n = i as u64 + 1;
+            if FaultPlan::hits(self.faults.drop_every, n) {
+                continue;
+            }
+            match self.faults.corrupt(n, line) {
                 Some(damaged) => out.push_str(&damaged),
                 None => out.push_str(line),
             }
@@ -420,6 +462,7 @@ mod tests {
             truncate_every: 11,
             future_version_every: 13,
             unknown_kind_every: 17,
+            ..FaultPlan::default()
         };
         let text = small().faults(plan).generate_jsonl().unwrap();
         let lines = text.lines().count() as u64;
@@ -452,6 +495,77 @@ mod tests {
         let a = small().faults(plan).generate_jsonl().unwrap();
         let b = small().faults(plan).generate_jsonl().unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seq_stamping_numbers_each_vehicle_monotonically() {
+        let text = small().stamp_seq(true).generate_jsonl().unwrap();
+        let mut counters = std::collections::BTreeMap::new();
+        for line in text.lines() {
+            let (event, seq) = crate::event::parse_line_with_seq(line).unwrap().unwrap();
+            let expected = counters.entry(event.vehicle().to_string()).or_insert(0u64);
+            *expected += 1;
+            assert_eq!(seq, Some(*expected), "{line}");
+        }
+        assert_eq!(counters.len(), 3);
+        // Stamping is purely additive: stripping the seq field recovers
+        // the unstamped document's events.
+        let unstamped = small().generate_jsonl().unwrap();
+        assert_eq!(
+            crate::event::parse_jsonl(&text).0,
+            crate::event::parse_jsonl(&unstamped).0
+        );
+    }
+
+    #[test]
+    fn drop_stride_omits_lines_without_a_parseable_trace() {
+        let clean = small().generate_jsonl().unwrap();
+        let total = clean.lines().count() as u64;
+        let plan = FaultPlan {
+            drop_every: 5,
+            ..FaultPlan::default()
+        };
+        let dropped = small().faults(plan).generate_jsonl().unwrap();
+        assert_eq!(dropped.lines().count() as u64, total - total / 5);
+        // Every surviving line parses: a drop is silent, not corrupting.
+        let (_, skipped) = crate::event::parse_jsonl(&dropped);
+        assert_eq!(skipped.total(), 0);
+        // Dropping wins over corruption on the same line: line 10 would
+        // also be truncated by stride 10, but it is simply gone.
+        let both = FaultPlan {
+            drop_every: 5,
+            truncate_every: 10,
+            ..FaultPlan::default()
+        };
+        let text = small().faults(both).generate_jsonl().unwrap();
+        let (_, skipped) = crate::event::parse_jsonl(&text);
+        assert_eq!(skipped.bad_json, 0);
+    }
+
+    #[test]
+    fn dropped_sequenced_lines_leave_detectable_seq_holes() {
+        let plan = FaultPlan {
+            drop_every: 7,
+            ..FaultPlan::default()
+        };
+        let text = small()
+            .stamp_seq(true)
+            .faults(plan)
+            .generate_jsonl()
+            .unwrap();
+        // Per-vehicle seqs must now contain at least one hole, and every
+        // hole corresponds to a dropped line.
+        let mut holes = 0u64;
+        let mut cursors: std::collections::BTreeMap<String, u64> = Default::default();
+        for line in text.lines() {
+            let (event, seq) = crate::event::parse_line_with_seq(line).unwrap().unwrap();
+            let seq = seq.unwrap();
+            let cursor = cursors.entry(event.vehicle().to_string()).or_insert(0);
+            assert!(seq > *cursor, "seq must stay monotone per vehicle");
+            holes += seq - *cursor - 1;
+            *cursor = seq;
+        }
+        assert!(holes > 0, "drop stride produced no detectable gaps");
     }
 
     #[test]

@@ -15,6 +15,12 @@
 //!   [`FleetReport`](qrn_fleet::burndown::FleetReport) against the item's
 //!   norm, byte-identical to what `qrn fleet report` would produce
 //!   offline from the same segments.
+//! * `GET /v1/<item>/burndown?as_of=<unix-millis>` — when an evidence
+//!   store is configured, the burn-down *as of* a past instant, folded
+//!   from the append-only [`qrn_store`] log. Historical replays are
+//!   audits, not decisions: they never spend an SPRT look.
+//! * `GET /v1/<item>/history` — the store's segment shape and snapshot
+//!   timeline (store deployments only).
 //! * `GET /metrics` — Prometheus text exposition: exposure, per-kind
 //!   incident mass, per-goal budget consumption (all labelled by item),
 //!   ingest/skip counters and request latency histograms.
@@ -71,6 +77,8 @@ pub enum ServeError {
     Io(String),
     /// A fleet-layer operation (ingest, burn-down, checkpoint) failed.
     Fleet(qrn_fleet::FleetError),
+    /// An evidence-store operation (open, append, replay) failed.
+    Store(qrn_store::StoreError),
 }
 
 impl fmt::Display for ServeError {
@@ -79,6 +87,7 @@ impl fmt::Display for ServeError {
             ServeError::Config(msg) => write!(f, "invalid server config: {msg}"),
             ServeError::Io(msg) => write!(f, "server i/o error: {msg}"),
             ServeError::Fleet(e) => write!(f, "{e}"),
+            ServeError::Store(e) => write!(f, "{e}"),
         }
     }
 }
@@ -87,6 +96,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Fleet(e) => Some(e),
+            ServeError::Store(e) => Some(e),
             ServeError::Config(_) | ServeError::Io(_) => None,
         }
     }
@@ -95,5 +105,11 @@ impl std::error::Error for ServeError {
 impl From<qrn_fleet::FleetError> for ServeError {
     fn from(e: qrn_fleet::FleetError) -> Self {
         ServeError::Fleet(e)
+    }
+}
+
+impl From<qrn_store::StoreError> for ServeError {
+    fn from(e: qrn_store::StoreError) -> Self {
+        ServeError::Store(e)
     }
 }

@@ -67,6 +67,7 @@ use qrn_fleet::event::SkipCounts;
 use qrn_fleet::ingest::{ingest_str, FleetState};
 use qrn_stats::evidence::EvidenceLedger;
 use qrn_stats::prometheus::{render_ledgers, MetricKind, TextFamilies};
+use qrn_store::{Store, StoreConfig, StoreReader, StoreWriterHandle};
 
 use crate::http::{read_request, Request, Response};
 use crate::metrics::ServerMetrics;
@@ -98,7 +99,7 @@ pub struct ItemConfig {
 
 /// Route endpoints that can never be item names: an item named `ingest`
 /// would make `/v1/ingest` ambiguous.
-const RESERVED_ITEM_NAMES: [&str; 3] = ["ingest", "burndown", "shutdown"];
+const RESERVED_ITEM_NAMES: [&str; 4] = ["ingest", "burndown", "history", "shutdown"];
 
 impl ItemConfig {
     fn validate(&self) -> Result<(), ServeError> {
@@ -162,6 +163,21 @@ pub struct ServeConfig {
     pub checkpoint_every: u64,
     /// Burn-down analysis parameters for burn-down and metrics queries.
     pub burndown: BurnDownConfig,
+    /// Evidence-store base directory. When set, every ingested segment
+    /// is first appended — durably, with per-source sequence screening —
+    /// to `<store>/<item>`'s append-only log, the live state is recovered
+    /// from the store on restart (the store has fsynced every accepted
+    /// batch, so it supersedes the periodic checkpoint), and the
+    /// `?as_of=` and `/history` routes come alive.
+    pub store: Option<PathBuf>,
+    /// Store snapshot cadence: write a snapshot record after this many
+    /// ingested events (0 = only at compaction).
+    pub store_snapshot_every: u64,
+    /// Store segment roll threshold in bytes (≥ 1).
+    pub store_roll_bytes: u64,
+    /// Compact automatically once this many closed segments accumulate
+    /// (0 = never compact automatically).
+    pub store_compact_after: u64,
 }
 
 impl ServeConfig {
@@ -196,6 +212,10 @@ impl ServeConfig {
             checkpoint: None,
             checkpoint_every: 1,
             burndown: BurnDownConfig::default(),
+            store: None,
+            store_snapshot_every: StoreConfig::default().snapshot_every_events,
+            store_roll_bytes: StoreConfig::default().roll_bytes,
+            store_compact_after: 0,
         }
     }
 
@@ -246,6 +266,11 @@ impl ServeConfig {
         }
         if self.state_shards == 0 {
             return Err(ServeError::Config("state shards must be at least 1".into()));
+        }
+        if self.store.is_some() && self.store_roll_bytes == 0 {
+            return Err(ServeError::Config(
+                "store roll threshold must be at least 1 byte".into(),
+            ));
         }
         if self.bind.is_empty() {
             return Err(ServeError::Config("bind address must not be empty".into()));
@@ -345,6 +370,10 @@ struct Item {
     /// Serialises checkpoint writes so two threshold-crossing ingests
     /// don't interleave their write-temp/rename protocols.
     checkpoint_lock: Mutex<()>,
+    /// This item's evidence-store directory (`<store>/<item name>`),
+    /// when a store is configured. Readers for `?as_of=` and `/history`
+    /// open it directly; only the writer thread ever writes to it.
+    store_dir: Option<PathBuf>,
 }
 
 /// Everything threads share.
@@ -356,6 +385,10 @@ struct Inner {
     shutdown: AtomicBool,
     started: Instant,
     queue: ConnQueue,
+    /// The single-writer evidence-store thread, when `--store` is
+    /// configured. Workers append through it; metrics sample its
+    /// lock-free per-item stats.
+    store: Option<StoreWriterHandle>,
 }
 
 /// JSON body answered by `POST /v1/ingest` and `POST /v1/<item>/ingest`.
@@ -369,6 +402,17 @@ struct IngestReply {
     segment_events: u64,
     /// Per-reason skip tallies of the posted segment.
     segment_skipped: SkipCounts,
+    /// Duplicate sequenced lines the store's screening rejected from
+    /// this segment (always 0 without a configured store).
+    duplicates_rejected: u64,
+    /// Sequence gaps the store detected in this segment (0 without a
+    /// store).
+    gaps_detected: u64,
+    /// Sequence numbers missing across those gaps (0 without a store).
+    missing_seqs: u64,
+    /// Whether the segment was durably appended to the evidence store
+    /// before this reply.
+    stored: bool,
     /// Lines folded into this item's live state so far (all segments).
     total_lines: u64,
     /// Events folded into this item's live state so far.
@@ -415,11 +459,41 @@ impl Inner {
             Ok(text) => text,
             Err(_) => return Response::text(400, "Bad Request", "body is not valid UTF-8"),
         };
-        // Parse outside any state lock: sharded parsing is the expensive
-        // part and must not serialise concurrent uploads.
-        let segment = match ingest_str(text, &item.config.classification, self.config.shards) {
-            Ok(segment) => segment,
-            Err(e) => return Response::text(400, "Bad Request", &format!("ingest failed: {e}")),
+        // With a store, the batch goes through the writer thread first:
+        // screened for duplicates/gaps, appended and fsynced, and only
+        // then folded into the live state — an acknowledged segment is
+        // always recoverable. Without one, parse outside any state lock
+        // as before: sharded parsing is the expensive part and must not
+        // serialise concurrent uploads.
+        let (segment, duplicates_rejected, gaps_detected, missing_seqs, stored) = match &self.store
+        {
+            Some(writer) => {
+                match writer.append(&item.config.name, text.to_string(), now_millis()) {
+                    Ok(receipt) => (
+                        receipt.segment,
+                        receipt.duplicates,
+                        receipt.gap_events,
+                        receipt.missing_seqs,
+                        true,
+                    ),
+                    Err(qrn_store::StoreError::Fleet(e)) => {
+                        return Response::text(400, "Bad Request", &format!("ingest failed: {e}"))
+                    }
+                    Err(e) => {
+                        return Response::text(
+                            500,
+                            "Internal Server Error",
+                            &format!("store append failed: {e}"),
+                        )
+                    }
+                }
+            }
+            None => match ingest_str(text, &item.config.classification, self.config.shards) {
+                Ok(segment) => (segment, 0, 0, 0, false),
+                Err(e) => {
+                    return Response::text(400, "Bad Request", &format!("ingest failed: {e}"))
+                }
+            },
         };
         item.state.ingest(&segment);
         self.metrics.count_segment();
@@ -450,6 +524,10 @@ impl Inner {
             segment_lines: segment.lines(),
             segment_events: segment.events(),
             segment_skipped: segment.skipped(),
+            duplicates_rejected,
+            gaps_detected,
+            missing_seqs,
+            stored,
             total_lines: item.state.lines(),
             total_events: item.state.events(),
             total_exposure_hours: item.state.exposure_hours(),
@@ -487,7 +565,107 @@ impl Inner {
         }
     }
 
+    /// Serves `burndown?as_of=T`: the report against the state replayed
+    /// from the evidence store up to T. A historical replay is an audit,
+    /// not a sequential-test decision, so — unlike the live route — it
+    /// spends no look and stamps no look counters, which also keeps the
+    /// body byte-identical to an offline `qrn fleet report` over the
+    /// same accepted prefix.
+    fn handle_burndown_as_of(&self, item: &Item, req: &Request, as_of: &str) -> Response {
+        let dir = match &item.store_dir {
+            Some(dir) => dir,
+            None => {
+                return Response::text(
+                    400,
+                    "Bad Request",
+                    "as_of queries need a server started with an evidence store (--store)",
+                )
+            }
+        };
+        let cut: u64 = match as_of.parse() {
+            Ok(cut) => cut,
+            Err(_) => {
+                return Response::text(
+                    400,
+                    "Bad Request",
+                    "as_of must be a unix timestamp in milliseconds",
+                )
+            }
+        };
+        let summary =
+            match StoreReader::open(dir, item.config.classification.clone(), self.config.shards)
+                .and_then(|reader| reader.fold_as_of(Some(cut)))
+            {
+                Ok(summary) => summary,
+                Err(e) => {
+                    return Response::text(
+                        500,
+                        "Internal Server Error",
+                        &format!("store replay failed: {e}"),
+                    )
+                }
+            };
+        let zone = req.query_param("zone");
+        let mut config = self.config.burndown;
+        if zone.is_some() {
+            config.by_zone = true;
+        }
+        let report = match Self::compute_report(item, &summary.state, &config) {
+            Ok(report) => report,
+            Err(e) => {
+                return Response::text(
+                    500,
+                    "Internal Server Error",
+                    &format!("burn-down failed: {e}"),
+                )
+            }
+        };
+        match zone {
+            None => Response::json(report.to_canonical_json()),
+            Some(name) => match report.zones.iter().find(|z| z.zone == name) {
+                Some(row) => Response::json(
+                    serde_json::to_string_pretty(row).expect("zone rows are serialisable"),
+                ),
+                None => Response::text(
+                    404,
+                    "Not Found",
+                    &format!("no evidence context named {name:?}"),
+                ),
+            },
+        }
+    }
+
+    /// Serves `GET /v1/<item>/history`: the store's segment shape and
+    /// snapshot timeline. Like `as_of`, reading history is not a look.
+    fn handle_history(&self, item: &Item) -> Response {
+        let dir = match &item.store_dir {
+            Some(dir) => dir,
+            None => {
+                return Response::text(
+                    400,
+                    "Bad Request",
+                    "history needs a server started with an evidence store (--store)",
+                )
+            }
+        };
+        match StoreReader::open(dir, item.config.classification.clone(), self.config.shards)
+            .and_then(|reader| reader.history())
+        {
+            Ok(history) => Response::json(
+                serde_json::to_string_pretty(&history).expect("store history is serialisable"),
+            ),
+            Err(e) => Response::text(
+                500,
+                "Internal Server Error",
+                &format!("store history failed: {e}"),
+            ),
+        }
+    }
+
     fn handle_burndown(&self, item: &Item, req: &Request) -> Response {
+        if let Some(as_of) = req.query_param("as_of") {
+            return self.handle_burndown_as_of(item, req, &as_of);
+        }
         let zone = req.query_param("zone");
         // Spend the look, then fold a consistent snapshot and compute
         // outside the look lock.
@@ -649,6 +827,61 @@ impl Inner {
             }
         }
 
+        // Evidence-store counters, sampled from the writer thread's
+        // lock-free published stats (absent without --store).
+        if let Some(writer) = &self.store {
+            let sample_all =
+                |out: &mut TextFamilies,
+                 name: &str,
+                 value: fn(&qrn_store::StoreStats) -> &AtomicU64| {
+                    for view in &views {
+                        if let Some(stats) = writer.stats(&view.item.config.name) {
+                            out.sample_u64(
+                                name,
+                                &[("item", &view.item.config.name)],
+                                value(stats).load(Ordering::Relaxed),
+                            );
+                        }
+                    }
+                };
+            out.family(
+                "qrn_store_segments_total",
+                "Evidence-store segment files created (rolls and compactions)",
+                MetricKind::Counter,
+            );
+            sample_all(&mut out, "qrn_store_segments_total", |s| {
+                &s.segments_created
+            });
+            out.family(
+                "qrn_store_appended_bytes_total",
+                "Record bytes appended to the evidence store",
+                MetricKind::Counter,
+            );
+            sample_all(&mut out, "qrn_store_appended_bytes_total", |s| {
+                &s.appended_bytes
+            });
+            out.family(
+                "qrn_store_duplicates_rejected_total",
+                "Duplicate sequenced telemetry lines rejected by store screening",
+                MetricKind::Counter,
+            );
+            sample_all(&mut out, "qrn_store_duplicates_rejected_total", |s| {
+                &s.duplicates
+            });
+            out.family(
+                "qrn_store_gaps_detected_total",
+                "Sequence gaps detected in ingested telemetry",
+                MetricKind::Counter,
+            );
+            sample_all(&mut out, "qrn_store_gaps_detected_total", |s| &s.gap_events);
+            out.family(
+                "qrn_store_compactions_total",
+                "Evidence-store compactions performed",
+                MetricKind::Counter,
+            );
+            sample_all(&mut out, "qrn_store_compactions_total", |s| &s.compactions);
+        }
+
         // Evidence gauges over the same merged view burn-down sees, one
         // `item` label per served item.
         let ledgers: Vec<(&str, &EvidenceLedger)> = views
@@ -755,11 +988,11 @@ impl Inner {
         let rest = path.strip_prefix("/v1/")?;
         match rest.split_once('/') {
             None => match rest {
-                "ingest" | "burndown" => Some((DEFAULT_ITEM, rest)),
+                "ingest" | "burndown" | "history" => Some((DEFAULT_ITEM, rest)),
                 _ => None,
             },
             Some((item, endpoint)) => match endpoint {
-                "ingest" | "burndown" if !item.is_empty() => Some((item, endpoint)),
+                "ingest" | "burndown" | "history" if !item.is_empty() => Some((item, endpoint)),
                 _ => None,
             },
         }
@@ -779,6 +1012,7 @@ impl Inner {
                     Some(item) => match (method, endpoint) {
                         ("POST", "ingest") => self.handle_ingest(item, req),
                         ("GET", "burndown") => self.handle_burndown(item, req),
+                        ("GET", "history") => self.handle_history(item),
                         _ => Response::text(
                             405,
                             "Method Not Allowed",
@@ -846,6 +1080,16 @@ impl Inner {
     }
 }
 
+/// Milliseconds since the Unix epoch, for stamping store records. The
+/// store writer forces record times non-decreasing, so a clock stepping
+/// backwards cannot break the `as_of` prefix property.
+fn now_millis() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
 /// Whether an address string names the loopback interface.
 fn is_loopback(bind: &str) -> bool {
     if bind == "localhost" {
@@ -876,7 +1120,14 @@ impl Server {
     /// address, or an unreadable/corrupt checkpoint.
     pub fn start(config: ServeConfig) -> Result<ServerHandle, ServeError> {
         config.validate()?;
+        let store_config = StoreConfig {
+            snapshot_every_events: config.store_snapshot_every,
+            roll_bytes: config.store_roll_bytes,
+            compact_after_segments: config.store_compact_after,
+            parse_shards: config.shards,
+        };
         let mut items = Vec::with_capacity(config.items.len());
+        let mut stores = Vec::new();
         for item_config in &config.items {
             let path = config.checkpoint.as_ref().map(|base| {
                 if item_config.name == DEFAULT_ITEM {
@@ -885,9 +1136,24 @@ impl Server {
                     checkpoint::item_checkpoint_path(base, &item_config.name)
                 }
             });
-            let fleet = match &path {
-                Some(path) => checkpoint::load_state_if_exists(path)?.unwrap_or_default(),
-                None => FleetState::default(),
+            let store_dir = config
+                .store
+                .as_ref()
+                .map(|base| base.join(&item_config.name));
+            // Recovery precedence: the store fsyncs every accepted batch
+            // while checkpoints are periodic, so when both exist the
+            // store's replayed state is at least as new — it wins. The
+            // look sidecar stays with the checkpoint: looks are test
+            // metadata, never part of the evidence fold.
+            let fleet = match (&store_dir, &path) {
+                (Some(dir), _) => {
+                    let store = Store::open(dir, item_config.classification.clone(), store_config)?;
+                    let recovered = store.state().clone();
+                    stores.push((item_config.name.clone(), store));
+                    recovered
+                }
+                (None, Some(path)) => checkpoint::load_state_if_exists(path)?.unwrap_or_default(),
+                (None, None) => FleetState::default(),
             };
             let looks: BTreeMap<String, u64> = match &path {
                 Some(path) => {
@@ -916,8 +1182,14 @@ impl Server {
                 segments_since_checkpoint: AtomicU64::new(0),
                 checkpoint: path,
                 checkpoint_lock: Mutex::new(()),
+                store_dir,
             });
         }
+        let store = if stores.is_empty() {
+            None
+        } else {
+            Some(qrn_store::writer::spawn(stores)?)
+        };
 
         if !is_loopback(&config.bind) {
             eprintln!(
@@ -942,6 +1214,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             queue: ConnQueue::new(queue_depth),
+            store,
             config,
         });
 
@@ -1021,6 +1294,12 @@ impl ServerHandle {
             if let Some(path) = &item.checkpoint {
                 self.inner.write_checkpoint(path, item)?;
             }
+        }
+        // Every acknowledged append is already durable; closing just
+        // joins the writer thread so the store directory is quiescent
+        // when wait() returns.
+        if let Some(writer) = &self.inner.store {
+            writer.close();
         }
         Ok(())
     }
@@ -1196,6 +1475,92 @@ mod tests {
     }
 
     #[test]
+    fn store_backed_server_screens_recovers_and_time_travels() {
+        let dir = std::env::temp_dir().join(format!("qrn-serve-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = test_config();
+        config.store = Some(dir.clone());
+        let handle = Server::start(config.clone()).unwrap();
+        let addr = handle.addr();
+
+        // Sequenced batch; one duplicate line; one gap (seq 2 → 4).
+        let log = "{\"v\":1,\"event\":\"exposure\",\"vehicle\":\"V1\",\"hours\":8.0,\"seq\":1}\n\
+                   {\"v\":1,\"event\":\"exposure\",\"vehicle\":\"V1\",\"hours\":2.0,\"seq\":1}\n\
+                   {\"v\":1,\"event\":\"exposure\",\"vehicle\":\"V1\",\"hours\":4.0,\"seq\":2}\n\
+                   {\"v\":1,\"event\":\"exposure\",\"vehicle\":\"V1\",\"hours\":1.0,\"seq\":4}\n";
+        let (status, body) = post(addr, "/v1/ingest", log);
+        assert_eq!(status, 200, "{body}");
+        let reply: IngestReply = serde_json::from_str(&body).unwrap();
+        assert!(reply.stored);
+        assert_eq!(reply.duplicates_rejected, 1);
+        assert_eq!(reply.gaps_detected, 1);
+        assert_eq!(reply.missing_seqs, 1);
+        assert_eq!(reply.total_exposure_hours, 13.0);
+
+        // Historical query: everything so far, no look spent.
+        let (status, body) = get(addr, &format!("/v1/burndown?as_of={}", u64::MAX));
+        assert_eq!(status, 200, "{body}");
+        let report: FleetReport = serde_json::from_str(&body).unwrap();
+        assert_eq!(report.exposure_hours, 13.0);
+        // The live route afterwards sees its *first* look: as_of spent
+        // none.
+        let (_, body) = get(addr, "/v1/burndown");
+        let report: FleetReport = serde_json::from_str(&body).unwrap();
+        assert!(report.goals.iter().all(|g| g.looks == 1));
+
+        let (status, body) = get(addr, "/v1/history");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"segments\""), "{body}");
+
+        let (status, metrics) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        qrn_stats::prometheus::validate_exposition(&metrics).unwrap();
+        assert!(
+            metrics.contains("qrn_store_segments_total{item=\"default\"} 1"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("qrn_store_duplicates_rejected_total{item=\"default\"} 1"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("qrn_store_gaps_detected_total{item=\"default\"} 1"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("qrn_store_appended_bytes_total"),
+            "{metrics}"
+        );
+        assert!(metrics.contains("qrn_store_compactions_total"), "{metrics}");
+        handle.stop().unwrap();
+
+        // Restart on the same store: the state is recovered from the log
+        // and the duplicate screen still remembers every cursor.
+        let handle = Server::start(config).unwrap();
+        let addr = handle.addr();
+        let (_, body) = get(addr, "/v1/burndown");
+        let report: FleetReport = serde_json::from_str(&body).unwrap();
+        assert_eq!(report.exposure_hours, 13.0);
+        let replayed =
+            "{\"v\":1,\"event\":\"exposure\",\"vehicle\":\"V1\",\"hours\":4.0,\"seq\":2}\n";
+        let (_, body) = post(addr, "/v1/ingest", replayed);
+        let reply: IngestReply = serde_json::from_str(&body).unwrap();
+        assert_eq!(reply.duplicates_rejected, 1);
+        assert_eq!(reply.total_exposure_hours, 13.0);
+        handle.stop().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn as_of_and_history_without_a_store_are_400() {
+        let handle = Server::start(test_config()).unwrap();
+        let addr = handle.addr();
+        assert_eq!(get(addr, "/v1/burndown?as_of=123").0, 400);
+        assert_eq!(get(addr, "/v1/history").0, 400);
+        handle.stop().unwrap();
+    }
+
+    #[test]
     fn unknown_zone_is_404() {
         let handle = Server::start(test_config()).unwrap();
         let addr = handle.addr();
@@ -1232,6 +1597,11 @@ mod tests {
                 let dup = c.items[0].clone();
                 c.items.push(dup);
             },
+            |c| {
+                c.store = Some(std::env::temp_dir());
+                c.store_roll_bytes = 0;
+            },
+            |c| c.items[0].name = "history".into(),
         ] {
             let mut config = test_config();
             mutate(&mut config);
@@ -1256,6 +1626,14 @@ mod tests {
         assert_eq!(
             Inner::parse_item_route("/v1/vru/burndown"),
             Some(("vru", "burndown"))
+        );
+        assert_eq!(
+            Inner::parse_item_route("/v1/history"),
+            Some((DEFAULT_ITEM, "history"))
+        );
+        assert_eq!(
+            Inner::parse_item_route("/v1/vru/history"),
+            Some(("vru", "history"))
         );
         assert_eq!(Inner::parse_item_route("/v1/shutdown"), None);
         assert_eq!(Inner::parse_item_route("/v1//ingest"), None);

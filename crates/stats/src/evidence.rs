@@ -300,6 +300,17 @@ impl EvidenceLedger {
         self.contexts.values().all(ContextEvidence::is_empty)
     }
 
+    /// The ledger's canonical byte representation: compact JSON with
+    /// contexts and kinds in key order (the ledger's maps are ordered)
+    /// and floats rendered round-trip exactly. Two ledgers are equal as
+    /// evidence if and only if their canonical JSON is byte-identical,
+    /// which is what snapshot stores (`qrn-store`) compare when
+    /// verifying that a stored ledger snapshot matches an independent
+    /// replay.
+    pub fn canonical_json(&self) -> String {
+        serde_json::to_string(self).expect("evidence ledger is serialisable")
+    }
+
     fn row(&mut self, context: Option<&str>) -> &mut ContextEvidence {
         self.contexts
             .entry(context_key(context).to_string())
@@ -392,6 +403,23 @@ mod tests {
         let back: EvidenceLedger = serde_json::from_str(&json).unwrap();
         assert_eq!(back, ledger);
         assert_eq!(back.kinds(), vec!["I3"]);
+    }
+
+    #[test]
+    fn canonical_json_is_deterministic_and_separates_distinct_evidence() {
+        let mut ledger = EvidenceLedger::new();
+        ledger.add_exposure(Some("urban"), 0.1 + 0.2); // non-dyadic float
+        ledger.add_incident(None, "I2", 1.0);
+        // Deterministic: same ledger, same bytes — and round-trippable,
+        // so the representation loses nothing (floats included).
+        assert_eq!(ledger.canonical_json(), ledger.canonical_json());
+        let back: EvidenceLedger = serde_json::from_str(&ledger.canonical_json()).unwrap();
+        assert_eq!(back, ledger);
+        assert_eq!(back.canonical_json(), ledger.canonical_json());
+        // Distinct evidence has distinct bytes.
+        let mut other = ledger.clone();
+        other.add_incident(None, "I2", 1.0);
+        assert_ne!(other.canonical_json(), ledger.canonical_json());
     }
 
     #[test]

@@ -1,0 +1,879 @@
+//! The single-writer store: append, screen, snapshot, roll, compact.
+//!
+//! A [`Store`] owns one directory of segment files and is the only
+//! writer to it — multi-threaded servers funnel through
+//! [`crate::writer::StoreWriterHandle`]. Appending a batch is:
+//!
+//! 1. **Screen** the batch line-by-line against per-source sequence
+//!    cursors: duplicate `seq`s are dropped (counted), gaps are counted
+//!    but the jumped-to line is kept, unsequenced and malformed lines
+//!    pass through verbatim so replay re-derives the exact skip tallies.
+//! 2. **Ingest** the surviving text into a [`FleetState`] segment and
+//!    **append** it — screened text, screening deltas and a monotone
+//!    timestamp — as one checksummed record, fsynced before the call
+//!    returns. What is acknowledged is durable.
+//! 3. **Fold** the segment into the in-memory replica (the same
+//!    `merge` fold every other layer uses), and, on cadence, write a
+//!    snapshot record, roll the open segment, and compact closed ones.
+//!
+//! # Durability discipline
+//!
+//! Records are appended then `fsync`ed; segment rolls and compactions go
+//! through `qrn_fleet::checkpoint`'s write-temp + fsync + rename +
+//! [`directory-fsync`](qrn_fleet::checkpoint::fsync_dir) protocol, so a
+//! power cut never drops a just-closed segment and never exposes a
+//! half-written one. The open segment is the only file a crash can
+//! damage, and only by tearing its tail — which reopen detects,
+//! truncates and reports.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use qrn_core::IncidentClassification;
+use qrn_fleet::checkpoint::fsync_dir;
+use qrn_fleet::event::parse_line_with_seq;
+use qrn_fleet::ingest::{ingest_str, FleetState};
+
+use crate::record::{Record, RecordKind, MAGIC};
+use crate::segment::{
+    closed_segment_name, decode_closed, list_closed, scan_open, ReplayState, SnapshotPayload,
+    OPEN_SEGMENT,
+};
+use crate::StoreError;
+
+/// Tuning knobs of a [`Store`]. The defaults suit a live server; tests
+/// shrink them to force rolls and snapshots quickly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Write a snapshot record after this many folded events
+    /// (0 = never). Snapshots bound the tail a historical query must
+    /// replay.
+    pub snapshot_every_events: u64,
+    /// Roll the open segment once it reaches this many bytes.
+    pub roll_bytes: u64,
+    /// Compact once this many closed segments accumulate (0 = only on
+    /// explicit request).
+    pub compact_after_segments: u64,
+    /// Shard count for parsing batch payloads (never affects results,
+    /// only wall-clock time).
+    pub parse_shards: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            snapshot_every_events: 4096,
+            roll_bytes: 8 * 1024 * 1024,
+            compact_after_segments: 0,
+            parse_shards: 1,
+        }
+    }
+}
+
+impl StoreConfig {
+    fn validate(&self) -> Result<(), StoreError> {
+        if self.roll_bytes == 0 {
+            return Err(StoreError::Config(
+                "roll_bytes must be at least 1".to_string(),
+            ));
+        }
+        if self.parse_shards == 0 {
+            return Err(StoreError::Config(
+                "parse_shards must be at least 1".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// What one [`Store::append_batch`] did.
+#[derive(Debug, Clone)]
+pub struct AppendReceipt {
+    /// The folded state of this batch alone (after screening) — callers
+    /// merge it into their own live views so server and store agree
+    /// byte for byte.
+    pub segment: FleetState,
+    /// Duplicate sequenced lines rejected from this batch.
+    pub duplicates: u64,
+    /// Sequence gaps detected in this batch.
+    pub gap_events: u64,
+    /// Sequence numbers missing across those gaps.
+    pub missing_seqs: u64,
+    /// The timestamp stored on the record (caller-supplied, forced
+    /// non-decreasing).
+    pub ts: u64,
+    /// Whether this append also wrote a snapshot record.
+    pub snapshot_written: bool,
+    /// Whether this append rolled the open segment.
+    pub rolled: bool,
+    /// Bytes this batch's record occupies on disk.
+    pub stored_bytes: u64,
+}
+
+/// A point-in-time summary of a [`Store`]'s shape and tallies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStatus {
+    /// Closed segments currently on disk.
+    pub closed_segments: u64,
+    /// Bytes in the open segment (magic included).
+    pub open_bytes: u64,
+    /// Total record bytes appended or replayed this process (monotone).
+    pub appended_bytes: u64,
+    /// Batch records written or replayed.
+    pub batches: u64,
+    /// Snapshot records written or replayed.
+    pub snapshots: u64,
+    /// Duplicate sequenced lines rejected, cumulatively.
+    pub duplicates: u64,
+    /// Sequence gaps detected, cumulatively.
+    pub gap_events: u64,
+    /// Sequence numbers missing, cumulatively.
+    pub missing_seqs: u64,
+    /// Timestamp of the newest record.
+    pub last_ts: u64,
+    /// Segments created this process (monotone: counts rolls and
+    /// compaction outputs, never decreases when compaction deletes).
+    pub segments_created: u64,
+    /// Compactions performed this process.
+    pub compactions: u64,
+}
+
+/// Bookkeeping captured at the most recent closed-segment boundary, so
+/// compaction can snapshot *exactly* the state the closed segments
+/// replay to — never the open segment's uncommitted progress.
+#[derive(Debug, Clone)]
+struct SealedBoundary {
+    state: FleetState,
+    cursors: BTreeMap<String, u64>,
+    duplicates: u64,
+    gap_events: u64,
+    missing_seqs: u64,
+    ts: u64,
+}
+
+/// Per-batch outcome of sequence screening.
+struct Screened {
+    kept: String,
+    duplicates: u32,
+    gap_events: u32,
+    missing_seqs: u32,
+}
+
+/// Screens one batch against the per-source cursors, advancing them.
+///
+/// * a sequenced line with `seq` at or below its vehicle's cursor is a
+///   **duplicate**: dropped and counted — at-least-once delivery must
+///   never double-count evidence;
+/// * a sequenced line jumping past `cursor + 1` is a **gap**: kept (its
+///   evidence is real) but counted, with the number of skipped `seq`s
+///   added to `missing_seqs` — silent loss becomes an audited number;
+/// * unsequenced, blank and malformed lines pass through verbatim, so
+///   replaying the stored text re-derives the same line, event and
+///   skip tallies the live ingest saw.
+///
+/// Sequence numbers start at 1; a first sighting that starts above 1 is
+/// itself a gap (the source lost data before we ever heard from it), and
+/// `seq` 0 is always a duplicate by construction.
+fn screen(text: &str, cursors: &mut BTreeMap<String, u64>) -> Screened {
+    let mut kept = String::with_capacity(text.len());
+    let mut duplicates = 0u32;
+    let mut gap_events = 0u32;
+    let mut missing = 0u64;
+    for line in text.lines() {
+        if let Ok(Some((event, Some(seq)))) = parse_line_with_seq(line) {
+            let cursor = cursors.entry(event.vehicle().to_string()).or_insert(0);
+            if seq <= *cursor {
+                duplicates = duplicates.saturating_add(1);
+                continue;
+            }
+            if seq > *cursor + 1 {
+                gap_events = gap_events.saturating_add(1);
+                missing += seq - *cursor - 1;
+            }
+            *cursor = seq;
+        }
+        kept.push_str(line);
+        kept.push('\n');
+    }
+    Screened {
+        kept,
+        duplicates,
+        gap_events,
+        missing_seqs: u32::try_from(missing).unwrap_or(u32::MAX),
+    }
+}
+
+/// The single-writer segment store of one item's evidence history.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    classification: IncidentClassification,
+    config: StoreConfig,
+    open_file: fs::File,
+    open_bytes: u64,
+    /// Index the *next* roll will assign; closed segments on disk are
+    /// `first_closed..next_segment`.
+    next_segment: u64,
+    first_closed: u64,
+    replay: ReplayState,
+    sealed: SealedBoundary,
+    appended_bytes: u64,
+    segments_created: u64,
+    compactions: u64,
+}
+
+impl Store {
+    /// Opens (or creates) the store at `dir`, replaying its segments to
+    /// recover the live replica: closed segments strictly, the open
+    /// segment tolerantly with its torn tail (if any) truncated away.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Config`] for an invalid configuration,
+    /// [`StoreError::Io`] for filesystem failures and
+    /// [`StoreError::Corrupt`] for damage outside the open segment's
+    /// tail.
+    pub fn open(
+        dir: &Path,
+        classification: IncidentClassification,
+        config: StoreConfig,
+    ) -> Result<Store, StoreError> {
+        config.validate()?;
+        fs::create_dir_all(dir)
+            .map_err(|e| StoreError::Io(format!("cannot create {}: {e}", dir.display())))?;
+
+        let closed = list_closed(dir)?;
+        let mut replay = ReplayState::default();
+        let mut appended_bytes = 0u64;
+        for (_, path) in &closed {
+            let bytes = fs::read(path)
+                .map_err(|e| StoreError::Io(format!("cannot read {}: {e}", path.display())))?;
+            appended_bytes += (bytes.len() - MAGIC.len()) as u64;
+            for record in decode_closed(&bytes, path)? {
+                replay.apply(&record, &classification, config.parse_shards)?;
+            }
+        }
+        // The sealed boundary is the state the *closed* segments replay
+        // to — captured before the open segment's records are folded.
+        let sealed = SealedBoundary {
+            state: replay.state.clone(),
+            cursors: replay.cursors.clone(),
+            duplicates: replay.duplicates,
+            gap_events: replay.gap_events,
+            missing_seqs: replay.missing_seqs,
+            ts: replay.last_ts,
+        };
+        let (first_closed, next_segment) = match (closed.first(), closed.last()) {
+            (Some((first, _)), Some((last, _))) => (*first, *last + 1),
+            _ => (1, 1),
+        };
+
+        let open_path = dir.join(OPEN_SEGMENT);
+        let mut open_bytes = MAGIC.len() as u64;
+        if open_path.exists() {
+            let bytes = fs::read(&open_path)
+                .map_err(|e| StoreError::Io(format!("cannot read {}: {e}", open_path.display())))?;
+            let scan = scan_open(&bytes, &open_path)?;
+            if scan.valid_len < MAGIC.len() as u64 {
+                // A crash during segment creation: no records can exist,
+                // re-initialise the file below.
+                write_fresh_segment(&open_path)?;
+            } else if scan.torn_bytes > 0 {
+                // Truncate the torn tail in place so the append position
+                // is exactly past the last intact record.
+                let file = fs::OpenOptions::new()
+                    .write(true)
+                    .open(&open_path)
+                    .map_err(|e| {
+                        StoreError::Io(format!("cannot open {}: {e}", open_path.display()))
+                    })?;
+                file.set_len(scan.valid_len).map_err(|e| {
+                    StoreError::Io(format!("cannot truncate {}: {e}", open_path.display()))
+                })?;
+                file.sync_all().map_err(|e| {
+                    StoreError::Io(format!("cannot sync {}: {e}", open_path.display()))
+                })?;
+            }
+            if scan.valid_len >= MAGIC.len() as u64 {
+                open_bytes = scan.valid_len;
+                appended_bytes += scan.valid_len - MAGIC.len() as u64;
+            }
+            for record in &scan.records {
+                replay.apply(record, &classification, config.parse_shards)?;
+            }
+        } else {
+            write_fresh_segment(&open_path)?;
+        }
+        let open_file = fs::OpenOptions::new()
+            .append(true)
+            .open(&open_path)
+            .map_err(|e| StoreError::Io(format!("cannot open {}: {e}", open_path.display())))?;
+
+        Ok(Store {
+            dir: dir.to_path_buf(),
+            classification,
+            config,
+            open_file,
+            open_bytes,
+            next_segment,
+            first_closed,
+            replay,
+            sealed,
+            appended_bytes,
+            segments_created: closed.len() as u64 + 1,
+            compactions: 0,
+        })
+    }
+
+    /// The recovered (and since-appended) cumulative fold state.
+    pub fn state(&self) -> &FleetState {
+        &self.replay.state
+    }
+
+    /// Per-source sequence cursors (highest accepted `seq` per vehicle).
+    pub fn cursors(&self) -> &BTreeMap<String, u64> {
+        &self.replay.cursors
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current shape and tallies.
+    pub fn status(&self) -> StoreStatus {
+        StoreStatus {
+            closed_segments: self.next_segment - self.first_closed,
+            open_bytes: self.open_bytes,
+            appended_bytes: self.appended_bytes,
+            batches: self.replay.batches,
+            snapshots: self.replay.snapshots,
+            duplicates: self.replay.duplicates,
+            gap_events: self.replay.gap_events,
+            missing_seqs: self.replay.missing_seqs,
+            last_ts: self.replay.last_ts,
+            segments_created: self.segments_created,
+            compactions: self.compactions,
+        }
+    }
+
+    /// Screens, ingests and durably appends one telemetry batch stamped
+    /// `ts_millis` (forced non-decreasing against the store's newest
+    /// record), then applies the configured snapshot, roll and
+    /// compaction cadences.
+    ///
+    /// The append is fsynced before this returns: an acknowledged batch
+    /// survives any crash. An empty post-screening batch still writes a
+    /// record — the duplicate/gap tallies must be as durable as the
+    /// evidence they audit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the append cannot be made
+    /// durable. After an i/o error the store's screening cursors may be
+    /// ahead of disk; callers must stop using the store (the writer
+    /// thread does exactly that by propagating the error and refusing no
+    /// further work — a reopen re-derives consistent cursors from disk).
+    pub fn append_batch(
+        &mut self,
+        text: &str,
+        ts_millis: u64,
+    ) -> Result<AppendReceipt, StoreError> {
+        let ts = ts_millis.max(self.replay.last_ts);
+        let screened = screen(text, &mut self.replay.cursors);
+        let segment = ingest_str(
+            &screened.kept,
+            &self.classification,
+            self.config.parse_shards,
+        )?;
+        let record = Record {
+            kind: RecordKind::Batch,
+            ts,
+            duplicates: screened.duplicates,
+            gap_events: screened.gap_events,
+            missing_seqs: screened.missing_seqs,
+            payload: screened.kept.into_bytes(),
+        };
+        let stored_bytes = self.write_record(&record)?;
+
+        self.replay.state.merge(&segment);
+        self.replay.duplicates += u64::from(screened.duplicates);
+        self.replay.gap_events += u64::from(screened.gap_events);
+        self.replay.missing_seqs += u64::from(screened.missing_seqs);
+        self.replay.last_ts = ts;
+        self.replay.batches += 1;
+        self.replay.events_since_snapshot += segment.events();
+
+        let mut snapshot_written = false;
+        if self.config.snapshot_every_events > 0
+            && self.replay.events_since_snapshot >= self.config.snapshot_every_events
+        {
+            self.write_snapshot(ts)?;
+            snapshot_written = true;
+        }
+        let mut rolled = false;
+        if self.open_bytes >= self.config.roll_bytes {
+            self.roll()?;
+            rolled = true;
+            if self.config.compact_after_segments > 0
+                && self.next_segment - self.first_closed >= self.config.compact_after_segments
+            {
+                self.compact_closed()?;
+            }
+        }
+        Ok(AppendReceipt {
+            segment,
+            duplicates: u64::from(screened.duplicates),
+            gap_events: u64::from(screened.gap_events),
+            missing_seqs: u64::from(screened.missing_seqs),
+            ts,
+            snapshot_written,
+            rolled,
+            stored_bytes,
+        })
+    }
+
+    /// Writes a snapshot record of the current cumulative state. Called
+    /// on cadence by [`Store::append_batch`]; also useful before a
+    /// planned shutdown to make the next open O(tail).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the record cannot be made
+    /// durable.
+    pub fn write_snapshot(&mut self, ts: u64) -> Result<(), StoreError> {
+        let payload = SnapshotPayload {
+            state: self.replay.state.clone(),
+            cursors: self.replay.cursors.clone(),
+            duplicates: self.replay.duplicates,
+            gap_events: self.replay.gap_events,
+            missing_seqs: self.replay.missing_seqs,
+        };
+        let record = Record {
+            kind: RecordKind::Snapshot,
+            ts: ts.max(self.replay.last_ts),
+            duplicates: 0,
+            gap_events: 0,
+            missing_seqs: 0,
+            payload: serde_json::to_string(&payload)
+                .expect("snapshot payload is serialisable")
+                .into_bytes(),
+        };
+        self.write_record(&record)?;
+        self.replay.snapshots += 1;
+        self.replay.events_since_snapshot = 0;
+        self.replay.last_ts = record.ts;
+        Ok(())
+    }
+
+    /// Compacts the store: seals the open segment (if it holds records)
+    /// and rewrites all closed segments into one snapshot segment.
+    /// Returns `false` when there was nothing to compact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when sealing or rewriting fails.
+    pub fn compact(&mut self) -> Result<bool, StoreError> {
+        if self.open_bytes > MAGIC.len() as u64 {
+            self.roll()?;
+        }
+        if self.next_segment - self.first_closed < 1 {
+            return Ok(false);
+        }
+        self.compact_closed()?;
+        Ok(true)
+    }
+
+    /// Appends `record` to the open segment and fsyncs it.
+    fn write_record(&mut self, record: &Record) -> Result<u64, StoreError> {
+        let bytes = record.encode();
+        let io_err = |what: &str, e: std::io::Error| {
+            StoreError::Io(format!("cannot {what} open segment: {e}"))
+        };
+        self.open_file
+            .write_all(&bytes)
+            .map_err(|e| io_err("append to", e))?;
+        self.open_file.sync_all().map_err(|e| io_err("sync", e))?;
+        self.open_bytes += bytes.len() as u64;
+        self.appended_bytes += bytes.len() as u64;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Closes the open segment under the next index and starts a fresh
+    /// one. The rename + directory-fsync makes the closed segment
+    /// durable under its final name before any new record can land.
+    fn roll(&mut self) -> Result<(), StoreError> {
+        let open_path = self.dir.join(OPEN_SEGMENT);
+        let closed_path = self.dir.join(closed_segment_name(self.next_segment));
+        // Every record was already fsynced on append; the rename itself
+        // is made durable by the directory fsync.
+        fs::rename(&open_path, &closed_path).map_err(|e| {
+            StoreError::Io(format!(
+                "cannot close segment as {}: {e}",
+                closed_path.display()
+            ))
+        })?;
+        fsync_dir(&self.dir).map_err(|e| StoreError::Io(e.to_string()))?;
+        write_fresh_segment(&open_path)?;
+        self.open_file = fs::OpenOptions::new()
+            .append(true)
+            .open(&open_path)
+            .map_err(|e| StoreError::Io(format!("cannot open {}: {e}", open_path.display())))?;
+        self.open_bytes = MAGIC.len() as u64;
+        self.next_segment += 1;
+        self.segments_created += 1;
+        self.sealed = SealedBoundary {
+            state: self.replay.state.clone(),
+            cursors: self.replay.cursors.clone(),
+            duplicates: self.replay.duplicates,
+            gap_events: self.replay.gap_events,
+            missing_seqs: self.replay.missing_seqs,
+            ts: self.replay.last_ts,
+        };
+        Ok(())
+    }
+
+    /// Rewrites all closed segments into a single snapshot segment under
+    /// the *newest* closed index, then deletes the older ones
+    /// oldest-first. Readers racing this see either the old batch
+    /// segments, or the snapshot preceded by some not-yet-deleted batch
+    /// segments — both replay to the same state, because the snapshot
+    /// *replaces* whatever folded before it.
+    fn compact_closed(&mut self) -> Result<(), StoreError> {
+        let last = self.next_segment - 1;
+        if last < self.first_closed {
+            return Ok(());
+        }
+        let payload = SnapshotPayload {
+            state: self.sealed.state.clone(),
+            cursors: self.sealed.cursors.clone(),
+            duplicates: self.sealed.duplicates,
+            gap_events: self.sealed.gap_events,
+            missing_seqs: self.sealed.missing_seqs,
+        };
+        let record = Record {
+            kind: RecordKind::Snapshot,
+            ts: self.sealed.ts,
+            duplicates: 0,
+            gap_events: 0,
+            missing_seqs: 0,
+            payload: serde_json::to_string(&payload)
+                .expect("snapshot payload is serialisable")
+                .into_bytes(),
+        };
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&record.encode());
+        let target = self.dir.join(closed_segment_name(last));
+        // Atomic replace with the checkpoint discipline (its `.tmp`
+        // suffix never parses as a segment name, so a crash mid-write
+        // leaves no phantom segment).
+        qrn_fleet::checkpoint::save_bytes(&target, &bytes)
+            .map_err(|e| StoreError::Io(e.to_string()))?;
+        self.appended_bytes += (bytes.len() - MAGIC.len()) as u64;
+        // Oldest-first, so a crash part-way leaves a contiguous suffix
+        // whose replay still REPLACEs into the same state.
+        for index in self.first_closed..last {
+            let path = self.dir.join(closed_segment_name(index));
+            fs::remove_file(&path)
+                .map_err(|e| StoreError::Io(format!("cannot remove {}: {e}", path.display())))?;
+        }
+        fsync_dir(&self.dir).map_err(|e| StoreError::Io(e.to_string()))?;
+        self.first_closed = last;
+        self.compactions += 1;
+        Ok(())
+    }
+}
+
+/// Creates (or truncates) a segment file holding just the magic, synced
+/// and with its directory entry synced.
+fn write_fresh_segment(path: &Path) -> Result<(), StoreError> {
+    let io_err = |what: &str, e: std::io::Error| {
+        StoreError::Io(format!("cannot {what} {}: {e}", path.display()))
+    };
+    let mut file = fs::File::create(path).map_err(|e| io_err("create", e))?;
+    file.write_all(MAGIC).map_err(|e| io_err("write", e))?;
+    file.sync_all().map_err(|e| io_err("sync", e))?;
+    if let Some(parent) = path.parent() {
+        fsync_dir(parent).map_err(|e| StoreError::Io(e.to_string()))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrn_core::examples::paper_classification;
+    use qrn_fleet::event::FleetEvent;
+    use qrn_units::Hours;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qrn-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn line(vehicle: &str, hours: f64, seq: Option<u64>) -> String {
+        let event = FleetEvent::Exposure {
+            vehicle: vehicle.into(),
+            hours: Hours::new(hours).unwrap(),
+        };
+        match seq {
+            Some(seq) => event.to_line_with_seq(seq),
+            None => event.to_line(),
+        }
+    }
+
+    fn open(dir: &Path, config: StoreConfig) -> Store {
+        Store::open(dir, paper_classification().unwrap(), config).unwrap()
+    }
+
+    #[test]
+    fn screening_rejects_duplicates_and_counts_gaps() {
+        let mut cursors = BTreeMap::new();
+        let text = format!(
+            "{}\n{}\n{}\n{}\n{}\n",
+            line("A", 1.0, Some(1)),
+            line("A", 1.0, Some(1)), // duplicate
+            line("A", 1.0, Some(4)), // gap: 2 and 3 missing
+            line("B", 1.0, Some(3)), // first sighting above 1: gap of 2
+            line("C", 1.0, None),    // unsequenced: passes through
+        );
+        let screened = screen(&text, &mut cursors);
+        assert_eq!(screened.duplicates, 1);
+        assert_eq!(screened.gap_events, 2);
+        assert_eq!(screened.missing_seqs, 4);
+        assert_eq!(cursors.get("A"), Some(&4));
+        assert_eq!(cursors.get("B"), Some(&3));
+        assert_eq!(cursors.get("C"), None);
+        assert_eq!(screened.kept.lines().count(), 4);
+        // seq 0 can never be accepted: cursors start at 0.
+        let screened = screen(&line("D", 1.0, Some(0)), &mut cursors);
+        assert_eq!(screened.duplicates, 1);
+        assert_eq!(screened.kept, "");
+    }
+
+    #[test]
+    fn screening_keeps_malformed_lines_verbatim() {
+        let mut cursors = BTreeMap::new();
+        let text = "{broken json\n\n{\"v\":99,\"event\":\"exposure\"}\n";
+        let screened = screen(text, &mut cursors);
+        assert_eq!(screened.kept, text);
+        assert_eq!(screened.duplicates, 0);
+    }
+
+    #[test]
+    fn append_then_reopen_recovers_identical_state() {
+        let dir = temp_dir("reopen");
+        let mut store = open(&dir, StoreConfig::default());
+        store
+            .append_batch(
+                &format!(
+                    "{}\n{}\n",
+                    line("A", 2.5, Some(1)),
+                    line("B", 1.25, Some(1))
+                ),
+                100,
+            )
+            .unwrap();
+        store
+            .append_batch(&format!("{}\n", line("A", 0.25, Some(2))), 200)
+            .unwrap();
+        let live = serde_json::to_string(store.state()).unwrap();
+        let cursors = store.cursors().clone();
+        drop(store);
+        let store = open(&dir, StoreConfig::default());
+        assert_eq!(serde_json::to_string(store.state()).unwrap(), live);
+        assert_eq!(store.cursors(), &cursors);
+        assert_eq!(store.status().batches, 2);
+        assert_eq!(store.status().last_ts, 200);
+    }
+
+    #[test]
+    fn duplicates_across_batches_and_restarts_are_rejected() {
+        let dir = temp_dir("dups");
+        let mut store = open(&dir, StoreConfig::default());
+        let receipt = store
+            .append_batch(&format!("{}\n", line("A", 1.0, Some(1))), 10)
+            .unwrap();
+        assert_eq!(receipt.duplicates, 0);
+        // Same seq again in a later batch.
+        let receipt = store
+            .append_batch(&format!("{}\n", line("A", 9.0, Some(1))), 20)
+            .unwrap();
+        assert_eq!(receipt.duplicates, 1);
+        assert_eq!(receipt.segment.events(), 0);
+        drop(store);
+        // And again after a restart: cursors are recovered from disk.
+        let mut store = open(&dir, StoreConfig::default());
+        let receipt = store
+            .append_batch(&format!("{}\n", line("A", 9.0, Some(1))), 30)
+            .unwrap();
+        assert_eq!(receipt.duplicates, 1);
+        assert!((store.state().exposure().value() - 1.0).abs() < 1e-12);
+        assert_eq!(store.status().duplicates, 2);
+    }
+
+    #[test]
+    fn timestamps_are_forced_monotone() {
+        let dir = temp_dir("monotone-ts");
+        let mut store = open(&dir, StoreConfig::default());
+        let a = store.append_batch(&line("A", 1.0, Some(1)), 500).unwrap();
+        assert_eq!(a.ts, 500);
+        let b = store.append_batch(&line("A", 1.0, Some(2)), 400).unwrap();
+        assert_eq!(
+            b.ts, 500,
+            "a clock going backwards must not reorder history"
+        );
+        assert_eq!(store.status().last_ts, 500);
+    }
+
+    #[test]
+    fn rolls_close_segments_and_survive_reopen() {
+        let dir = temp_dir("roll");
+        let config = StoreConfig {
+            roll_bytes: 1, // every append rolls
+            snapshot_every_events: 0,
+            ..StoreConfig::default()
+        };
+        let mut store = open(&dir, config);
+        for seq in 1..=3u64 {
+            let receipt = store
+                .append_batch(&line("A", 0.5, Some(seq)), seq * 10)
+                .unwrap();
+            assert!(receipt.rolled);
+        }
+        assert_eq!(store.status().closed_segments, 3);
+        assert!(dir.join(closed_segment_name(3)).exists());
+        let live = serde_json::to_string(store.state()).unwrap();
+        drop(store);
+        let store = open(&dir, config);
+        assert_eq!(serde_json::to_string(store.state()).unwrap(), live);
+        assert_eq!(store.status().closed_segments, 3);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_replay_keeps_the_intact_prefix() {
+        let dir = temp_dir("torn");
+        let mut store = open(&dir, StoreConfig::default());
+        store.append_batch(&line("A", 1.0, Some(1)), 10).unwrap();
+        let intact = serde_json::to_string(store.state()).unwrap();
+        store.append_batch(&line("A", 1.0, Some(2)), 20).unwrap();
+        drop(store);
+        // Tear the last record: keep all but its final byte.
+        let open_path = dir.join(OPEN_SEGMENT);
+        let bytes = fs::read(&open_path).unwrap();
+        fs::write(&open_path, &bytes[..bytes.len() - 1]).unwrap();
+        let store = open(&dir, StoreConfig::default());
+        assert_eq!(serde_json::to_string(store.state()).unwrap(), intact);
+        assert_eq!(store.status().batches, 1);
+        // The tear is gone from disk: a further reopen sees a clean file.
+        assert_eq!(
+            fs::read(&open_path).unwrap().len() as u64,
+            store.status().open_bytes
+        );
+        // And the freed seq is accepted again — it was never durable.
+        let mut store = open(&dir, StoreConfig::default());
+        let receipt = store.append_batch(&line("A", 1.0, Some(2)), 30).unwrap();
+        assert_eq!(receipt.duplicates, 0);
+    }
+
+    #[test]
+    fn compaction_rewrites_closed_segments_and_preserves_state() {
+        let dir = temp_dir("compact");
+        let config = StoreConfig {
+            roll_bytes: 1,
+            snapshot_every_events: 0,
+            ..StoreConfig::default()
+        };
+        let mut store = open(&dir, config);
+        for seq in 1..=4u64 {
+            store
+                .append_batch(&line("A", 0.25, Some(seq)), seq)
+                .unwrap();
+        }
+        let live = serde_json::to_string(store.state()).unwrap();
+        assert_eq!(store.status().closed_segments, 4);
+        assert!(store.compact().unwrap());
+        let status = store.status();
+        assert_eq!(status.closed_segments, 1);
+        assert_eq!(status.compactions, 1);
+        assert!(!dir.join(closed_segment_name(1)).exists());
+        assert!(dir.join(closed_segment_name(4)).exists());
+        // State unchanged by compaction, and recovered identically.
+        assert_eq!(serde_json::to_string(store.state()).unwrap(), live);
+        drop(store);
+        let store = open(&dir, config);
+        assert_eq!(serde_json::to_string(store.state()).unwrap(), live);
+        // Appending after compaction continues the numbering.
+        let mut store = store;
+        store.append_batch(&line("A", 0.25, Some(5)), 50).unwrap();
+        assert_eq!(store.status().closed_segments, 2);
+    }
+
+    #[test]
+    fn auto_compaction_triggers_on_the_configured_cadence() {
+        let dir = temp_dir("auto-compact");
+        let config = StoreConfig {
+            roll_bytes: 1,
+            snapshot_every_events: 0,
+            compact_after_segments: 3,
+            ..StoreConfig::default()
+        };
+        let mut store = open(&dir, config);
+        for seq in 1..=7u64 {
+            store
+                .append_batch(&line("A", 0.25, Some(seq)), seq)
+                .unwrap();
+        }
+        let status = store.status();
+        assert!(status.compactions >= 2, "{status:?}");
+        assert!(status.closed_segments < 3);
+        assert!((store.state().exposure().value() - 7.0 * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_cadence_resets_and_is_recovered() {
+        let dir = temp_dir("snapshot");
+        let config = StoreConfig {
+            snapshot_every_events: 2,
+            ..StoreConfig::default()
+        };
+        let mut store = open(&dir, config);
+        let receipt = store
+            .append_batch(
+                &format!("{}\n{}\n", line("A", 1.0, Some(1)), line("A", 1.0, Some(2))),
+                10,
+            )
+            .unwrap();
+        assert!(receipt.snapshot_written);
+        let receipt = store.append_batch(&line("A", 1.0, Some(3)), 20).unwrap();
+        assert!(!receipt.snapshot_written);
+        let live = serde_json::to_string(store.state()).unwrap();
+        drop(store);
+        let store = open(&dir, config);
+        assert_eq!(store.status().snapshots, 1);
+        assert_eq!(serde_json::to_string(store.state()).unwrap(), live);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let dir = temp_dir("bad-config");
+        for config in [
+            StoreConfig {
+                roll_bytes: 0,
+                ..StoreConfig::default()
+            },
+            StoreConfig {
+                parse_shards: 0,
+                ..StoreConfig::default()
+            },
+        ] {
+            assert!(matches!(
+                Store::open(&dir, paper_classification().unwrap(), config),
+                Err(StoreError::Config(_))
+            ));
+        }
+    }
+}

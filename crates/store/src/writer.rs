@@ -1,0 +1,309 @@
+//! The writer thread: serialising a multi-threaded server onto the
+//! single-writer [`Store`]s.
+//!
+//! A [`Store`] is deliberately `&mut self` for every mutation — one
+//! owner, one append order, one fold. A server with a worker pool gets
+//! that owner here: [`spawn`] moves the stores of all items into one
+//! background thread, and [`StoreWriterHandle::append`] sends each
+//! batch over a channel and blocks on a per-call reply. Workers
+//! therefore pay one channel round-trip per batch (the disk fsync
+//! dominates it), appends across items interleave in one total order,
+//! and no segment file is ever touched from two threads.
+//!
+//! Read paths never go through the writer: metrics sample the
+//! lock-free [`StoreStats`] the writer publishes after every append,
+//! and historical queries use [`crate::StoreReader`] directly against
+//! the directory.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::store::{AppendReceipt, Store};
+use crate::StoreError;
+
+/// Lock-free, monotone counters one store's writer publishes for
+/// observability (the `/metrics` families). Loaded with relaxed
+/// ordering: metrics tolerate a stale read, appends must not pay a
+/// fence.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    /// Segments created this process (rolls and compaction outputs).
+    pub segments_created: AtomicU64,
+    /// Record bytes appended or replayed this process.
+    pub appended_bytes: AtomicU64,
+    /// Batch records written or replayed.
+    pub batches: AtomicU64,
+    /// Snapshot records written or replayed.
+    pub snapshots: AtomicU64,
+    /// Duplicate sequenced lines rejected, cumulatively.
+    pub duplicates: AtomicU64,
+    /// Sequence gaps detected, cumulatively.
+    pub gap_events: AtomicU64,
+    /// Sequence numbers missing across those gaps, cumulatively.
+    pub missing_seqs: AtomicU64,
+    /// Compactions performed this process.
+    pub compactions: AtomicU64,
+}
+
+impl StoreStats {
+    fn publish(&self, store: &Store) {
+        let status = store.status();
+        self.segments_created
+            .store(status.segments_created, Ordering::Relaxed);
+        self.appended_bytes
+            .store(status.appended_bytes, Ordering::Relaxed);
+        self.batches.store(status.batches, Ordering::Relaxed);
+        self.snapshots.store(status.snapshots, Ordering::Relaxed);
+        self.duplicates.store(status.duplicates, Ordering::Relaxed);
+        self.gap_events.store(status.gap_events, Ordering::Relaxed);
+        self.missing_seqs
+            .store(status.missing_seqs, Ordering::Relaxed);
+        self.compactions
+            .store(status.compactions, Ordering::Relaxed);
+    }
+}
+
+enum Command {
+    Append {
+        item: String,
+        text: String,
+        ts_millis: u64,
+        reply: mpsc::Sender<Result<AppendReceipt, StoreError>>,
+    },
+    Shutdown,
+}
+
+/// Handle to the writer thread owning every item's [`Store`]. Cloneable
+/// across workers via `Arc`; dropping the last handle shuts the thread
+/// down.
+#[derive(Debug)]
+pub struct StoreWriterHandle {
+    tx: Mutex<mpsc::Sender<Command>>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+    stats: BTreeMap<String, Arc<StoreStats>>,
+}
+
+/// Moves `stores` (item name → opened store) into a background writer
+/// thread and returns the handle the server appends through.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Config`] for an empty store list.
+pub fn spawn(stores: Vec<(String, Store)>) -> Result<StoreWriterHandle, StoreError> {
+    if stores.is_empty() {
+        return Err(StoreError::Config(
+            "the store writer needs at least one store".to_string(),
+        ));
+    }
+    let mut stats = BTreeMap::new();
+    let mut owned: BTreeMap<String, (Store, Arc<StoreStats>)> = BTreeMap::new();
+    for (item, store) in stores {
+        let shared = Arc::new(StoreStats::default());
+        shared.publish(&store);
+        stats.insert(item.clone(), Arc::clone(&shared));
+        owned.insert(item, (store, shared));
+    }
+    let (tx, rx) = mpsc::channel::<Command>();
+    let thread = std::thread::Builder::new()
+        .name("qrn-store-writer".to_string())
+        .spawn(move || {
+            while let Ok(command) = rx.recv() {
+                match command {
+                    Command::Append {
+                        item,
+                        text,
+                        ts_millis,
+                        reply,
+                    } => {
+                        let result = match owned.get_mut(&item) {
+                            Some((store, shared)) => {
+                                let result = store.append_batch(&text, ts_millis);
+                                shared.publish(store);
+                                result
+                            }
+                            None => Err(StoreError::Config(format!("no store for item {item:?}"))),
+                        };
+                        // A dropped receiver means the requesting worker
+                        // gave up (shutdown); nothing to do.
+                        let _ = reply.send(result);
+                    }
+                    Command::Shutdown => break,
+                }
+            }
+            // Stores drop here: every append was already fsynced, so
+            // shutdown needs no final flush.
+        })
+        .map_err(|e| StoreError::Io(format!("cannot spawn store writer thread: {e}")))?;
+    Ok(StoreWriterHandle {
+        tx: Mutex::new(tx),
+        thread: Mutex::new(Some(thread)),
+        stats,
+    })
+}
+
+impl StoreWriterHandle {
+    /// Appends one batch to `item`'s store, blocking until it is durable
+    /// (or failed). Safe to call from any number of threads; appends are
+    /// serialised in channel order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Config`] for an unknown item,
+    /// [`StoreError::Io`] when the writer thread is gone, and whatever
+    /// [`Store::append_batch`] returned otherwise.
+    pub fn append(
+        &self,
+        item: &str,
+        text: String,
+        ts_millis: u64,
+    ) -> Result<AppendReceipt, StoreError> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let command = Command::Append {
+            item: item.to_string(),
+            text,
+            ts_millis,
+            reply: reply_tx,
+        };
+        self.tx
+            .lock()
+            .expect("store writer sender lock never poisoned")
+            .send(command)
+            .map_err(|_| StoreError::Io("store writer thread is gone".to_string()))?;
+        reply_rx
+            .recv()
+            .map_err(|_| StoreError::Io("store writer thread dropped the reply".to_string()))?
+    }
+
+    /// The live stats of `item`'s store, or `None` for an unknown item.
+    pub fn stats(&self, item: &str) -> Option<&Arc<StoreStats>> {
+        self.stats.get(item)
+    }
+
+    /// Item names with stores, in name order.
+    pub fn items(&self) -> impl Iterator<Item = &str> {
+        self.stats.keys().map(String::as_str)
+    }
+
+    /// Stops the writer thread and waits for it to finish. Idempotent;
+    /// also invoked by `Drop`. Every acknowledged append is already
+    /// durable, so close loses nothing.
+    pub fn close(&self) {
+        let _ = self
+            .tx
+            .lock()
+            .expect("store writer sender lock never poisoned")
+            .send(Command::Shutdown);
+        if let Some(thread) = self
+            .thread
+            .lock()
+            .expect("store writer thread lock never poisoned")
+            .take()
+        {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for StoreWriterHandle {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use qrn_core::examples::paper_classification;
+    use qrn_fleet::event::FleetEvent;
+    use qrn_units::Hours;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("qrn-writer-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn line(vehicle: &str, seq: u64) -> String {
+        FleetEvent::Exposure {
+            vehicle: vehicle.into(),
+            hours: Hours::new(0.25).unwrap(),
+        }
+        .to_line_with_seq(seq)
+    }
+
+    fn spawn_one(dir: &std::path::Path) -> StoreWriterHandle {
+        let store =
+            Store::open(dir, paper_classification().unwrap(), StoreConfig::default()).unwrap();
+        spawn(vec![("default".to_string(), store)]).unwrap()
+    }
+
+    #[test]
+    fn concurrent_appends_serialise_and_persist() {
+        let dir = temp_dir("concurrent");
+        let handle = Arc::new(spawn_one(&dir));
+        let workers: Vec<_> = (0..4u64)
+            .map(|w| {
+                let handle = Arc::clone(&handle);
+                std::thread::spawn(move || {
+                    for i in 0..8u64 {
+                        let vehicle = format!("W{w}");
+                        handle
+                            .append("default", format!("{}\n", line(&vehicle, i + 1)), 1000 + i)
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let stats = handle.stats("default").unwrap();
+        assert_eq!(stats.batches.load(Ordering::Relaxed), 32);
+        assert_eq!(stats.duplicates.load(Ordering::Relaxed), 0);
+        handle.close();
+        // All 32 batches are on disk.
+        let store = Store::open(
+            &dir,
+            paper_classification().unwrap(),
+            StoreConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(store.status().batches, 32);
+        assert!((store.state().exposure().value() - 32.0 * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_items_are_a_config_error() {
+        let dir = temp_dir("unknown");
+        let handle = spawn_one(&dir);
+        assert!(matches!(
+            handle.append("nope", String::new(), 0),
+            Err(StoreError::Config(_))
+        ));
+        assert!(handle.stats("nope").is_none());
+        assert_eq!(handle.items().collect::<Vec<_>>(), vec!["default"]);
+    }
+
+    #[test]
+    fn close_is_idempotent_and_appends_after_close_fail_cleanly() {
+        let dir = temp_dir("close");
+        let handle = spawn_one(&dir);
+        handle
+            .append("default", format!("{}\n", line("A", 1)), 1)
+            .unwrap();
+        handle.close();
+        handle.close();
+        assert!(matches!(
+            handle.append("default", String::new(), 2),
+            Err(StoreError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn spawning_without_stores_is_rejected() {
+        assert!(matches!(spawn(Vec::new()), Err(StoreError::Config(_))));
+    }
+}

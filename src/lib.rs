@@ -22,6 +22,7 @@
 //! | [`sim`] | `qrn-sim` | tactical policies, encounters, Monte Carlo |
 //! | [`fleet`] | `qrn-fleet` | telemetry event logs, sharded ingest, budget burn-down monitoring |
 //! | [`serve`] | `qrn-serve` | live evidence server: streaming ingest, burn-down queries, Prometheus metrics |
+//! | [`store`] | `qrn-store` | append-only evidence store: durable segments, snapshots, time-travel replay |
 //!
 //! # The pipeline in five lines
 //!
@@ -49,4 +50,5 @@ pub use qrn_quant as quant;
 pub use qrn_serve as serve;
 pub use qrn_sim as sim;
 pub use qrn_stats as stats;
+pub use qrn_store as store;
 pub use qrn_units as units;
