@@ -12,8 +12,8 @@
 //! All four commands operate on one item's store directory
 //! (`<--store>/<item>` of a `qrn serve --store` deployment). `inspect`,
 //! `replay` and `verify` are pure readers, safe against a live server;
-//! `compact` takes the writer role and must only run against a stopped
-//! one.
+//! `compact` takes the writer role, so the store's advisory `.lock`
+//! makes it refuse to run while a live server holds the directory.
 
 use std::path::{Path, PathBuf};
 

@@ -26,6 +26,13 @@
 //! byte-identical to an offline `qrn fleet ingest` of the same segments
 //! (see [`crate::state`] for the argument and the property test).
 //!
+//! With an evidence store configured, ingest instead funnels through the
+//! store's single writer thread, whose append hook merges each segment
+//! into the live state *in append order* before the upload is
+//! acknowledged — so the live state agrees byte for byte with a store
+//! replay even under concurrent uploads of arbitrary (non-dyadic) float
+//! payloads.
+//!
 //! # Multi-item serving
 //!
 //! One server can host several items: `/v1/<item>/ingest` and
@@ -67,7 +74,7 @@ use qrn_fleet::event::SkipCounts;
 use qrn_fleet::ingest::{ingest_str, FleetState};
 use qrn_stats::evidence::EvidenceLedger;
 use qrn_stats::prometheus::{render_ledgers, MetricKind, TextFamilies};
-use qrn_store::{Store, StoreConfig, StoreReader, StoreWriterHandle};
+use qrn_store::{AppendHook, AppendReceipt, Store, StoreConfig, StoreReader, StoreWriterHandle};
 
 use crate::http::{read_request, Request, Response};
 use crate::metrics::ServerMetrics;
@@ -359,7 +366,11 @@ impl ConnQueue {
 /// look counters and checkpoint plumbing.
 struct Item {
     config: ItemConfig,
-    state: ShardedState,
+    /// The live sharded state. Shared (`Arc`) with the store writer
+    /// thread's append hook when a store is configured: the hook merges
+    /// each durably-appended segment in append order, so the live state
+    /// stays byte-identical to a store replay under concurrent ingest.
+    state: Arc<ShardedState>,
     /// Per-goal SPRT look counters (completed looks so far).
     looks: Mutex<BTreeMap<String, u64>>,
     /// Segments ingested since the last checkpoint write.
@@ -459,12 +470,13 @@ impl Inner {
             Ok(text) => text,
             Err(_) => return Response::text(400, "Bad Request", "body is not valid UTF-8"),
         };
-        // With a store, the batch goes through the writer thread first:
-        // screened for duplicates/gaps, appended and fsynced, and only
-        // then folded into the live state — an acknowledged segment is
-        // always recoverable. Without one, parse outside any state lock
-        // as before: sharded parsing is the expensive part and must not
-        // serialise concurrent uploads.
+        // With a store, the batch goes through the writer thread:
+        // screened for duplicates/gaps, appended and fsynced, and merged
+        // into the live state by the append hook — still on the writer
+        // thread, so live merges happen in exact append order and an
+        // acknowledged segment is always recoverable. Without one, parse
+        // outside any state lock as before: sharded parsing is the
+        // expensive part and must not serialise concurrent uploads.
         let (segment, duplicates_rejected, gaps_detected, missing_seqs, stored) = match &self.store
         {
             Some(writer) => {
@@ -489,13 +501,15 @@ impl Inner {
                 }
             }
             None => match ingest_str(text, &item.config.classification, self.config.shards) {
-                Ok(segment) => (segment, 0, 0, 0, false),
+                Ok(segment) => {
+                    item.state.ingest(&segment);
+                    (segment, 0, 0, 0, false)
+                }
                 Err(e) => {
                     return Response::text(400, "Bad Request", &format!("ingest failed: {e}"))
                 }
             },
         };
-        item.state.ingest(&segment);
         self.metrics.count_segment();
         let mut checkpointed = false;
         if let Some(path) = &item.checkpoint {
@@ -1127,7 +1141,7 @@ impl Server {
             parse_shards: config.shards,
         };
         let mut items = Vec::with_capacity(config.items.len());
-        let mut stores = Vec::new();
+        let mut stores: Vec<(String, Store, Option<AppendHook>)> = Vec::new();
         for item_config in &config.items {
             let path = config.checkpoint.as_ref().map(|base| {
                 if item_config.name == DEFAULT_ITEM {
@@ -1145,16 +1159,30 @@ impl Server {
             // store's replayed state is at least as new — it wins. The
             // look sidecar stays with the checkpoint: looks are test
             // metadata, never part of the evidence fold.
-            let fleet = match (&store_dir, &path) {
+            let (fleet, opened_store) = match (&store_dir, &path) {
                 (Some(dir), _) => {
                     let store = Store::open(dir, item_config.classification.clone(), store_config)?;
                     let recovered = store.state().clone();
-                    stores.push((item_config.name.clone(), store));
-                    recovered
+                    (recovered, Some(store))
                 }
-                (None, Some(path)) => checkpoint::load_state_if_exists(path)?.unwrap_or_default(),
-                (None, None) => FleetState::default(),
+                (None, Some(path)) => (
+                    checkpoint::load_state_if_exists(path)?.unwrap_or_default(),
+                    None,
+                ),
+                (None, None) => (FleetState::default(), None),
             };
+            let state = Arc::new(ShardedState::new(config.state_shards, fleet));
+            if let Some(store) = opened_store {
+                // The append hook runs on the writer thread before each
+                // append is acknowledged, so live merges happen in the
+                // log's append order — the determinism argument in
+                // [`crate::state`] then makes the live fold byte-equal
+                // to a store replay, for any float payloads.
+                let live = Arc::clone(&state);
+                let hook: AppendHook =
+                    Box::new(move |receipt: &AppendReceipt| live.ingest(&receipt.segment));
+                stores.push((item_config.name.clone(), store, Some(hook)));
+            }
             let looks: BTreeMap<String, u64> = match &path {
                 Some(path) => {
                     let sidecar = Inner::looks_path(path);
@@ -1177,7 +1205,7 @@ impl Server {
             };
             items.push(Item {
                 config: item_config.clone(),
-                state: ShardedState::new(config.state_shards, fleet),
+                state,
                 looks: Mutex::new(looks),
                 segments_since_checkpoint: AtomicU64::new(0),
                 checkpoint: path,

@@ -15,10 +15,12 @@
 //! * **One writer, many readers.** A [`Store`] is single-writer by
 //!   construction: exactly one owner appends, rolls and compacts segment
 //!   files ([`writer::StoreWriterHandle`] serialises a multi-threaded
-//!   server onto that owner). Readers ([`StoreReader`]) never take a lock
-//!   the writer holds — they list and read closed segments (immutable
-//!   once renamed into place) plus the open segment's record prefix, so
-//!   historical queries never block ingest.
+//!   server onto that owner), and cross-process exclusivity is enforced
+//!   by an advisory [`LOCK_FILE`] lock taken at [`Store::open`] and
+//!   released on drop or process death. Readers ([`StoreReader`]) never
+//!   take a lock the writer holds — they list and read closed segments
+//!   (immutable once renamed into place) plus the open segment's record
+//!   prefix, so historical queries never block ingest.
 //! * **Length-prefixed, checksummed records.** Each record frames its
 //!   payload with a CRC32 and a millisecond timestamp
 //!   ([`record`]-module docs give the exact layout). A torn tail —
@@ -61,8 +63,8 @@ pub mod writer;
 pub use reader::{
     HistoryPoint, ReplaySummary, SegmentInfo, StoreHistory, StoreReader, VerifyReport,
 };
-pub use store::{AppendReceipt, Store, StoreConfig, StoreStatus};
-pub use writer::{StoreStats, StoreWriterHandle};
+pub use store::{AppendReceipt, Store, StoreConfig, StoreStatus, LOCK_FILE};
+pub use writer::{AppendHook, StoreStats, StoreWriterHandle};
 
 use std::fmt;
 

@@ -25,6 +25,17 @@
 //! half-written one. The open segment is the only file a crash can
 //! damage, and only by tearing its tail — which reopen detects,
 //! truncates and reports.
+//!
+//! # Writer exclusivity
+//!
+//! [`Store::open`] takes an exclusive advisory lock on a `.lock` file in
+//! the store directory and holds it for the store's lifetime, so two
+//! writers (say, `qrn store compact` against a live `qrn serve --store`)
+//! can never interleave appends or renames in one directory. The lock is
+//! released when the store drops — and by the OS when the process dies,
+//! even by SIGKILL or power loss, so crash recovery is never wedged by a
+//! stale lock. Readers ([`crate::StoreReader`]) take no lock: closed
+//! segments are immutable and the open segment is scanned tolerantly.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -42,6 +53,9 @@ use crate::segment::{
     OPEN_SEGMENT,
 };
 use crate::StoreError;
+
+/// File name of the advisory writer lock inside a store directory.
+pub const LOCK_FILE: &str = ".lock";
 
 /// Tuning knobs of a [`Store`]. The defaults suit a live server; tests
 /// shrink them to force rolls and snapshots quickly.
@@ -91,9 +105,10 @@ impl StoreConfig {
 /// What one [`Store::append_batch`] did.
 #[derive(Debug, Clone)]
 pub struct AppendReceipt {
-    /// The folded state of this batch alone (after screening) — callers
-    /// merge it into their own live views so server and store agree
-    /// byte for byte.
+    /// The folded state of this batch alone (after screening). The
+    /// serving layer merges it into its live view — via the writer
+    /// thread's append hook, in append order — so the live state and a
+    /// store replay agree byte for byte.
     pub segment: FleetState,
     /// Duplicate sequenced lines rejected from this batch.
     pub duplicates: u64,
@@ -211,6 +226,9 @@ pub struct Store {
     dir: PathBuf,
     classification: IncidentClassification,
     config: StoreConfig,
+    /// Holds the exclusive advisory lock on [`LOCK_FILE`] for the
+    /// store's lifetime; dropping it (or process death) releases it.
+    _lock: fs::File,
     open_file: fs::File,
     open_bytes: u64,
     /// Index the *next* roll will assign; closed segments on disk are
@@ -231,7 +249,8 @@ impl Store {
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError::Config`] for an invalid configuration,
+    /// Returns [`StoreError::Config`] for an invalid configuration or a
+    /// directory another process holds the writer lock on,
     /// [`StoreError::Io`] for filesystem failures and
     /// [`StoreError::Corrupt`] for damage outside the open segment's
     /// tail.
@@ -243,6 +262,7 @@ impl Store {
         config.validate()?;
         fs::create_dir_all(dir)
             .map_err(|e| StoreError::Io(format!("cannot create {}: {e}", dir.display())))?;
+        let lock = acquire_lock(dir)?;
 
         let closed = list_closed(dir)?;
         let mut replay = ReplayState::default();
@@ -250,10 +270,13 @@ impl Store {
         for (_, path) in &closed {
             let bytes = fs::read(path)
                 .map_err(|e| StoreError::Io(format!("cannot read {}: {e}", path.display())))?;
-            appended_bytes += (bytes.len() - MAGIC.len()) as u64;
             for record in decode_closed(&bytes, path)? {
                 replay.apply(&record, &classification, config.parse_shards)?;
             }
+            // Accounted only after decode_closed validated the segment,
+            // so a short corrupt file reports Corrupt instead of
+            // underflowing the tally.
+            appended_bytes += (bytes.len() - MAGIC.len()) as u64;
         }
         // The sealed boundary is the state the *closed* segments replay
         // to — captured before the open segment's records are folded.
@@ -315,6 +338,7 @@ impl Store {
             dir: dir.to_path_buf(),
             classification,
             config,
+            _lock: lock,
             open_file,
             open_bytes,
             next_segment,
@@ -371,18 +395,26 @@ impl Store {
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError::Io`] when the append cannot be made
-    /// durable. After an i/o error the store's screening cursors may be
-    /// ahead of disk; callers must stop using the store (the writer
-    /// thread does exactly that by propagating the error and refusing no
-    /// further work — a reopen re-derives consistent cursors from disk).
+    /// Returns [`StoreError::Fleet`] when the screened batch does not
+    /// ingest — nothing was staged or written, the store stays fully
+    /// usable — and [`StoreError::Io`] when the append cannot be made
+    /// durable. After an i/o error the open segment may hold a torn
+    /// record, so callers must stop using the store
+    /// ([`crate::writer::StoreWriterHandle`] poisons the item until a
+    /// reopen re-derives consistent state from disk).
     pub fn append_batch(
         &mut self,
         text: &str,
         ts_millis: u64,
     ) -> Result<AppendReceipt, StoreError> {
         let ts = ts_millis.max(self.replay.last_ts);
-        let screened = screen(text, &mut self.replay.cursors);
+        // Screening stages its cursor advances on a copy: they commit
+        // only once the record is durably on disk, so a failed append
+        // can never leave cursors ahead of what was persisted — a
+        // retried batch after an ingest error is screened exactly as if
+        // the failed attempt never happened.
+        let mut cursors = self.replay.cursors.clone();
+        let screened = screen(text, &mut cursors);
         let segment = ingest_str(
             &screened.kept,
             &self.classification,
@@ -398,6 +430,7 @@ impl Store {
         };
         let stored_bytes = self.write_record(&record)?;
 
+        self.replay.cursors = cursors;
         self.replay.state.merge(&segment);
         self.replay.duplicates += u64::from(screened.duplicates);
         self.replay.gap_events += u64::from(screened.gap_events);
@@ -583,6 +616,32 @@ impl Store {
         self.first_closed = last;
         self.compactions += 1;
         Ok(())
+    }
+}
+
+/// Takes the exclusive advisory writer lock on `dir`'s [`LOCK_FILE`].
+/// The lock is bound to the returned handle: dropping it — or the
+/// process dying, however abruptly — releases it, so a crashed writer
+/// never wedges reopen.
+fn acquire_lock(dir: &Path) -> Result<fs::File, StoreError> {
+    let path = dir.join(LOCK_FILE);
+    let file = fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(false)
+        .open(&path)
+        .map_err(|e| StoreError::Io(format!("cannot open {}: {e}", path.display())))?;
+    match file.try_lock() {
+        Ok(()) => Ok(file),
+        Err(fs::TryLockError::WouldBlock) => Err(StoreError::Config(format!(
+            "store {} is locked by another writer (a live `qrn serve --store`?); \
+             stop it before opening this store for writing",
+            dir.display()
+        ))),
+        Err(fs::TryLockError::Error(e)) => Err(StoreError::Io(format!(
+            "cannot lock {}: {e}",
+            path.display()
+        ))),
     }
 }
 
@@ -774,6 +833,7 @@ mod tests {
             store.status().open_bytes
         );
         // And the freed seq is accepted again — it was never durable.
+        drop(store); // release the writer lock before reopening
         let mut store = open(&dir, StoreConfig::default());
         let receipt = store.append_batch(&line("A", 1.0, Some(2)), 30).unwrap();
         assert_eq!(receipt.duplicates, 0);
@@ -855,6 +915,22 @@ mod tests {
         let store = open(&dir, config);
         assert_eq!(store.status().snapshots, 1);
         assert_eq!(serde_json::to_string(store.state()).unwrap(), live);
+    }
+
+    #[test]
+    fn second_writer_is_locked_out_until_the_first_drops() {
+        let dir = temp_dir("lock");
+        let store = open(&dir, StoreConfig::default());
+        // A concurrent writer (e.g. `qrn store compact` against a live
+        // server) is refused while the first holds the lock.
+        match Store::open(&dir, paper_classification().unwrap(), StoreConfig::default()) {
+            Err(StoreError::Config(msg)) => assert!(msg.contains("locked"), "{msg}"),
+            other => panic!("expected a lock refusal, got {other:?}"),
+        }
+        // Readers are never locked out.
+        crate::StoreReader::open(&dir, paper_classification().unwrap(), 1).unwrap();
+        drop(store);
+        open(&dir, StoreConfig::default());
     }
 
     #[test]

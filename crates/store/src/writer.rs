@@ -14,6 +14,19 @@
 //! lock-free [`StoreStats`] the writer publishes after every append,
 //! and historical queries use [`crate::StoreReader`] directly against
 //! the directory.
+//!
+//! Each store may carry an [`AppendHook`] the writer invokes after every
+//! durable append — on the writer thread, before the worker's reply is
+//! sent, hence in exact append order. The server merges each receipt's
+//! segment into its live state there, which keeps the live state
+//! byte-identical to a store replay even under concurrent ingest.
+//!
+//! An append that fails with an i/o or corruption error **poisons** its
+//! item: the failed write may have left a torn record in the open
+//! segment, so every later append for that item is refused with a clear
+//! error instead of being screened (and possibly acknowledged) against
+//! state the disk never saw. A process restart reopens the store and
+//! re-derives consistent cursors from what was actually persisted.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -65,6 +78,14 @@ impl StoreStats {
     }
 }
 
+/// A callback the writer thread invokes after each durable append —
+/// still on the writer thread, before the caller's reply is sent, so
+/// invocations across all callers happen in exact append order. Servers
+/// use it to merge the receipt's segment into their live state: ordering
+/// the live merge identically to the on-disk log is what keeps the live
+/// state and a store replay byte-identical under concurrent ingest.
+pub type AppendHook = Box<dyn Fn(&AppendReceipt) + Send>;
+
 enum Command {
     Append {
         item: String,
@@ -73,6 +94,16 @@ enum Command {
         reply: mpsc::Sender<Result<AppendReceipt, StoreError>>,
     },
     Shutdown,
+}
+
+/// One item's store as the writer thread owns it.
+struct OwnedStore {
+    /// `None` once an i/o or corruption error poisoned the store: the
+    /// failed write may have torn the open segment, so appends are
+    /// refused until a process restart reopens and recovers from disk.
+    store: Option<Store>,
+    hook: Option<AppendHook>,
+    stats: Arc<StoreStats>,
 }
 
 /// Handle to the writer thread owning every item's [`Store`]. Cloneable
@@ -85,25 +116,35 @@ pub struct StoreWriterHandle {
     stats: BTreeMap<String, Arc<StoreStats>>,
 }
 
-/// Moves `stores` (item name → opened store) into a background writer
-/// thread and returns the handle the server appends through.
+/// Moves `stores` (item name → opened store, plus an optional per-item
+/// [`AppendHook`]) into a background writer thread and returns the
+/// handle the server appends through.
 ///
 /// # Errors
 ///
 /// Returns [`StoreError::Config`] for an empty store list.
-pub fn spawn(stores: Vec<(String, Store)>) -> Result<StoreWriterHandle, StoreError> {
+pub fn spawn(
+    stores: Vec<(String, Store, Option<AppendHook>)>,
+) -> Result<StoreWriterHandle, StoreError> {
     if stores.is_empty() {
         return Err(StoreError::Config(
             "the store writer needs at least one store".to_string(),
         ));
     }
     let mut stats = BTreeMap::new();
-    let mut owned: BTreeMap<String, (Store, Arc<StoreStats>)> = BTreeMap::new();
-    for (item, store) in stores {
+    let mut owned: BTreeMap<String, OwnedStore> = BTreeMap::new();
+    for (item, store, hook) in stores {
         let shared = Arc::new(StoreStats::default());
         shared.publish(&store);
         stats.insert(item.clone(), Arc::clone(&shared));
-        owned.insert(item, (store, shared));
+        owned.insert(
+            item,
+            OwnedStore {
+                store: Some(store),
+                hook,
+                stats: shared,
+            },
+        );
     }
     let (tx, rx) = mpsc::channel::<Command>();
     let thread = std::thread::Builder::new()
@@ -118,11 +159,38 @@ pub fn spawn(stores: Vec<(String, Store)>) -> Result<StoreWriterHandle, StoreErr
                         reply,
                     } => {
                         let result = match owned.get_mut(&item) {
-                            Some((store, shared)) => {
-                                let result = store.append_batch(&text, ts_millis);
-                                shared.publish(store);
-                                result
-                            }
+                            Some(entry) => match entry.store.as_mut() {
+                                Some(store) => {
+                                    let result = store.append_batch(&text, ts_millis);
+                                    entry.stats.publish(store);
+                                    match &result {
+                                        Ok(receipt) => {
+                                            if let Some(hook) = &entry.hook {
+                                                hook(receipt);
+                                            }
+                                        }
+                                        // The failed write may have torn
+                                        // the open segment: poison the
+                                        // store so no later append is
+                                        // screened against state disk
+                                        // never saw. Reopen recovers.
+                                        Err(StoreError::Io(_) | StoreError::Corrupt(_)) => {
+                                            entry.store = None;
+                                        }
+                                        // Config/Fleet errors reject the
+                                        // batch before anything is
+                                        // staged or written; the store
+                                        // stays consistent.
+                                        Err(_) => {}
+                                    }
+                                    result
+                                }
+                                None => Err(StoreError::Io(format!(
+                                    "the store for item {item:?} is poisoned by an earlier \
+                                     write failure; restart the server to reopen it and \
+                                     recover from disk"
+                                ))),
+                            },
                             None => Err(StoreError::Config(format!("no store for item {item:?}"))),
                         };
                         // A dropped receiver means the requesting worker
@@ -151,7 +219,8 @@ impl StoreWriterHandle {
     /// # Errors
     ///
     /// Returns [`StoreError::Config`] for an unknown item,
-    /// [`StoreError::Io`] when the writer thread is gone, and whatever
+    /// [`StoreError::Io`] when the writer thread is gone or the item's
+    /// store was poisoned by an earlier write failure, and whatever
     /// [`Store::append_batch`] returned otherwise.
     pub fn append(
         &self,
@@ -237,7 +306,7 @@ mod tests {
     fn spawn_one(dir: &std::path::Path) -> StoreWriterHandle {
         let store =
             Store::open(dir, paper_classification().unwrap(), StoreConfig::default()).unwrap();
-        spawn(vec![("default".to_string(), store)]).unwrap()
+        spawn(vec![("default".to_string(), store, None)]).unwrap()
     }
 
     #[test]
@@ -305,5 +374,72 @@ mod tests {
     #[test]
     fn spawning_without_stores_is_rejected() {
         assert!(matches!(spawn(Vec::new()), Err(StoreError::Config(_))));
+    }
+
+    #[test]
+    fn io_errors_poison_the_store_until_reopen() {
+        let dir = temp_dir("poison");
+        let store = Store::open(
+            &dir,
+            paper_classification().unwrap(),
+            StoreConfig {
+                roll_bytes: 1, // every append rolls
+                snapshot_every_events: 0,
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+        let handle = spawn(vec![("default".to_string(), store, None)]).unwrap();
+        handle
+            .append("default", format!("{}\n", line("A", 1)), 1)
+            .unwrap();
+        // Sabotage the next roll: with the open segment gone, the rename
+        // that closes it fails with an i/o error.
+        std::fs::remove_file(dir.join(crate::segment::OPEN_SEGMENT)).unwrap();
+        assert!(matches!(
+            handle.append("default", format!("{}\n", line("A", 2)), 2),
+            Err(StoreError::Io(_))
+        ));
+        // Poisoned: even a clean later batch is refused — it must not be
+        // screened (and acknowledged) against cursors disk never saw.
+        match handle.append("default", format!("{}\n", line("A", 3)), 3) {
+            Err(StoreError::Io(msg)) => assert!(msg.contains("poisoned"), "{msg}"),
+            other => panic!("expected a poisoned-store error, got {other:?}"),
+        }
+        handle.close();
+        // A reopen recovers from what was actually persisted, and the
+        // never-acknowledged seq 2 is accepted again.
+        let mut store = Store::open(
+            &dir,
+            paper_classification().unwrap(),
+            StoreConfig::default(),
+        )
+        .unwrap();
+        let receipt = store
+            .append_batch(&format!("{}\n", line("A", 2)), 10)
+            .unwrap();
+        assert_eq!(receipt.duplicates, 0);
+    }
+
+    #[test]
+    fn append_hooks_run_in_append_order_before_the_reply() {
+        let dir = temp_dir("hook");
+        let store =
+            Store::open(&dir, paper_classification().unwrap(), StoreConfig::default()).unwrap();
+        let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let hook_seen = Arc::clone(&seen);
+        let hook: AppendHook = Box::new(move |receipt| {
+            hook_seen.lock().unwrap().push(receipt.ts);
+        });
+        let handle = spawn(vec![("default".to_string(), store, Some(hook))]).unwrap();
+        for i in 1..=3u64 {
+            handle
+                .append("default", format!("{}\n", line("A", i)), i * 100)
+                .unwrap();
+            // The hook ran before the reply was sent.
+            assert_eq!(seen.lock().unwrap().len() as u64, i);
+        }
+        assert_eq!(*seen.lock().unwrap(), vec![100, 200, 300]);
+        handle.close();
     }
 }
