@@ -242,6 +242,7 @@ COMMANDS:
           [--checkpoint-every <N>] [--store <DIR>]
           [--store-snapshot-every <EVENTS>] [--store-roll-bytes <B>]
           [--store-compact-after <SEGMENTS>]
+          [--store-group-commit <BATCHES>]
           [--evidence <ledger.json>]... [--by-zone]
           [--confidence <0..1>] [--alpha <0..1>] [--beta <0..1>]
           [--sprt-fraction <0..1>] [--watch-ratio <R>]
@@ -266,7 +267,11 @@ COMMANDS:
         append-only log under <DIR>; the live state is recovered from
         the store on restart and GET /v1/[<item>/]burndown?as_of=<millis>
         (a historical replay that spends no SPRT look) and GET
-        /v1/[<item>/]history come alive. --bind accepts a non-loopback
+        /v1/[<item>/]history come alive. Concurrent ingests are
+        group-committed: up to --store-group-commit queued batches
+        (default 64) share one fsync, with no request acknowledged
+        before the fsync covering its batch. --bind accepts a
+        non-loopback
         address but warns loudly: the server is plaintext HTTP without
         authentication. A full request queue answers 429.
 

@@ -115,6 +115,9 @@ pub fn run(
     if let Some(text) = flag(rest, "--store-compact-after") {
         config.store_compact_after = parse_num(text, "--store-compact-after")?;
     }
+    if let Some(text) = flag(rest, "--store-group-commit") {
+        config.store_group_commit = parse_num(text, "--store-group-commit")?;
+    }
     for path in flag_values(rest, "--evidence") {
         let ledger: EvidenceLedger = read_artefact(Path::new(path))?;
         config.push_evidence(ledger);

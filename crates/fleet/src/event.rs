@@ -37,8 +37,11 @@
 use serde::json::Value;
 use serde::{Deserialize, Serialize};
 
-use qrn_core::incident::IncidentRecord;
+use qrn_core::incident::{IncidentKind, IncidentRecord};
+use qrn_core::object::{Involvement, ObjectType};
 use qrn_units::Hours;
+
+pub mod fastpath;
 
 /// Newest event-schema version this parser understands.
 pub const SCHEMA_VERSION: u64 = 1;
@@ -86,32 +89,142 @@ impl FleetEvent {
         self.render_line(Some(seq))
     }
 
-    fn render_line(&self, seq: Option<u64>) -> String {
-        let mut map = serde::json::Map::new();
-        map.insert(
-            "v".into(),
-            Value::Number(serde::json::Number::PosInt(SCHEMA_VERSION)),
-        );
-        if let Some(seq) = seq {
-            map.insert(
-                "seq".into(),
-                Value::Number(serde::json::Number::PosInt(seq)),
-            );
-        }
+    /// Renders the event into `out` (appending; callers clear between
+    /// lines to reuse the buffer). Byte-identical to [`Self::to_line`] /
+    /// [`Self::to_line_with_seq`] — the keys are emitted in the sorted
+    /// order the `Value` map would produce, floats use the same
+    /// shortest-roundtrip formatting, and strings the same escaping — but
+    /// without building a `Value` tree or allocating per line, so the
+    /// telemetry generator can render millions of lines into one buffer.
+    pub fn render_line_into(&self, out: &mut String, seq: Option<u64>) {
+        use std::fmt::Write as _;
+        out.push_str("{\"event\":\"");
         match self {
-            FleetEvent::Exposure { vehicle, hours } => {
-                map.insert("event".into(), Value::String("exposure".into()));
-                map.insert("vehicle".into(), Value::String(vehicle.clone()));
-                map.insert("hours".into(), serde_json::to_value(hours));
+            FleetEvent::Exposure { hours, .. } => {
+                out.push_str("exposure\",\"hours\":");
+                push_json_f64(out, f64::from(*hours));
             }
-            FleetEvent::Incident { vehicle, record } => {
-                map.insert("event".into(), Value::String("incident".into()));
-                map.insert("vehicle".into(), Value::String(vehicle.clone()));
-                map.insert("record".into(), serde_json::to_value(record));
+            FleetEvent::Incident { record, .. } => {
+                out.push_str("incident\",\"record\":");
+                push_json_record(out, record);
             }
         }
-        Value::Object(map).to_json()
+        if let Some(seq) = seq {
+            out.push_str(",\"seq\":");
+            let _ = write!(out, "{seq}");
+        }
+        out.push_str(",\"v\":");
+        let _ = write!(out, "{SCHEMA_VERSION}");
+        out.push_str(",\"vehicle\":");
+        push_json_str(out, self.vehicle());
+        out.push('}');
     }
+
+    fn render_line(&self, seq: Option<u64>) -> String {
+        let mut out = String::with_capacity(96);
+        self.render_line_into(&mut out, seq);
+        out
+    }
+}
+
+/// Appends a float with the vendored serializer's exact formatting:
+/// shortest-roundtrip `{:?}` for finite values, `null` otherwise.
+fn push_json_f64(out: &mut String, x: f64) {
+    use std::fmt::Write as _;
+    if x.is_finite() {
+        let _ = write!(out, "{x:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends a JSON string with the vendored serializer's exact escaping.
+fn push_json_str(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if c < '\u{20}' => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an [`IncidentRecord`] exactly as the derived serializer does
+/// through the sorted `Value` map: `involvement` before `kind`, variant
+/// payload fields in sorted key order.
+fn push_json_record(out: &mut String, record: &IncidentRecord) {
+    out.push_str("{\"involvement\":");
+    match record.involvement {
+        Involvement::EgoWith(object) => {
+            out.push_str("{\"EgoWith\":");
+            push_json_str(out, object_variant_name(object));
+            out.push('}');
+        }
+        Involvement::Induced(a, b) => {
+            out.push_str("{\"Induced\":[");
+            push_json_str(out, object_variant_name(a));
+            out.push(',');
+            push_json_str(out, object_variant_name(b));
+            out.push_str("]}");
+        }
+    }
+    out.push_str(",\"kind\":");
+    match record.kind {
+        IncidentKind::Collision { impact_speed } => {
+            out.push_str("{\"Collision\":{\"impact_speed\":");
+            push_json_f64(out, f64::from(impact_speed));
+            out.push_str("}}");
+        }
+        IncidentKind::NearMiss {
+            distance,
+            relative_speed,
+        } => {
+            out.push_str("{\"NearMiss\":{\"distance\":");
+            push_json_f64(out, f64::from(distance));
+            out.push_str(",\"relative_speed\":");
+            push_json_f64(out, f64::from(relative_speed));
+            out.push_str("}}");
+        }
+    }
+    out.push('}');
+}
+
+/// The serde *variant name* of an [`ObjectType`] — what the derived
+/// serializer emits (note: distinct from `Display`, which renders
+/// `Vru` as `"VRU"`).
+pub(crate) fn object_variant_name(object: ObjectType) -> &'static str {
+    match object {
+        ObjectType::Vru => "Vru",
+        ObjectType::Car => "Car",
+        ObjectType::Truck => "Truck",
+        ObjectType::Animal => "Animal",
+        ObjectType::StaticObject => "StaticObject",
+        ObjectType::Other => "Other",
+    }
+}
+
+/// The inverse of [`object_variant_name`] — used by the fast-path parser.
+pub(crate) fn object_from_variant_name(name: &str) -> Option<ObjectType> {
+    Some(match name {
+        "Vru" => ObjectType::Vru,
+        "Car" => ObjectType::Car,
+        "Truck" => ObjectType::Truck,
+        "Animal" => ObjectType::Animal,
+        "StaticObject" => ObjectType::StaticObject,
+        "Other" => ObjectType::Other,
+        _ => return None,
+    })
 }
 
 /// Why a line was skipped instead of parsed.
@@ -416,6 +529,87 @@ mod tests {
         assert_eq!(a.bad_json, 3);
         assert_eq!(a.invalid_value, 3);
         assert_eq!(a.total(), 6);
+    }
+
+    /// The renderer this PR replaced: a sorted `Value` map serialized via
+    /// `to_json`. Kept as the reference the direct writer is asserted
+    /// byte-identical against, so `--stamp-seq` artefacts and golden logs
+    /// cannot drift.
+    fn render_line_via_value_map(event: &FleetEvent, seq: Option<u64>) -> String {
+        let mut map = serde::json::Map::new();
+        map.insert(
+            "v".into(),
+            Value::Number(serde::json::Number::PosInt(SCHEMA_VERSION)),
+        );
+        if let Some(seq) = seq {
+            map.insert(
+                "seq".into(),
+                Value::Number(serde::json::Number::PosInt(seq)),
+            );
+        }
+        match event {
+            FleetEvent::Exposure { vehicle, hours } => {
+                map.insert("event".into(), Value::String("exposure".into()));
+                map.insert("vehicle".into(), Value::String(vehicle.clone()));
+                map.insert("hours".into(), serde_json::to_value(hours));
+            }
+            FleetEvent::Incident { vehicle, record } => {
+                map.insert("event".into(), Value::String("incident".into()));
+                map.insert("vehicle".into(), Value::String(vehicle.clone()));
+                map.insert("record".into(), serde_json::to_value(record));
+            }
+        }
+        Value::Object(map).to_json()
+    }
+
+    #[test]
+    fn direct_renderer_is_byte_identical_to_the_value_map_renderer() {
+        let mut events = vec![
+            exposure("V0001", 8.0),
+            exposure("V9999", 0.123456789012345),
+            exposure("весёлый-транспорт", 1e-9),
+            exposure(
+                "quote\" slash\\ tab\t nl\n cr\r bell\u{7} bs\u{8} ff\u{c}",
+                2.5,
+            ),
+            incident("V0002"),
+        ];
+        // Every involvement shape × kind, including un-normalised Induced
+        // pairs (deserialization does not normalise, so the renderer must
+        // reproduce whatever order the record carries).
+        for a in ObjectType::ALL {
+            for b in ObjectType::ALL {
+                events.push(FleetEvent::Incident {
+                    vehicle: format!("I-{a:?}-{b:?}"),
+                    record: IncidentRecord {
+                        involvement: Involvement::Induced(a, b),
+                        kind: IncidentKind::NearMiss {
+                            distance: Meters::new(0.25).unwrap(),
+                            relative_speed: Speed::from_kmh(33.3).unwrap(),
+                        },
+                    },
+                });
+            }
+            events.push(FleetEvent::Incident {
+                vehicle: format!("E-{a:?}"),
+                record: IncidentRecord {
+                    involvement: Involvement::EgoWith(a),
+                    kind: IncidentKind::Collision {
+                        impact_speed: Speed::from_kmh(17.0).unwrap(),
+                    },
+                },
+            });
+        }
+        let mut buf = String::new();
+        for event in &events {
+            for seq in [None, Some(1), Some(7), Some(u64::MAX)] {
+                // A single reused buffer, as the generator uses it.
+                buf.clear();
+                event.render_line_into(&mut buf, seq);
+                assert_eq!(buf, render_line_via_value_map(event, seq), "{event:?}");
+                assert_eq!(buf, event.render_line(seq), "{event:?}");
+            }
+        }
     }
 
     #[test]

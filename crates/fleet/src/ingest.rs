@@ -22,14 +22,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
-use qrn_core::incident::IncidentTypeId;
+use qrn_core::incident::{IncidentRecord, IncidentTypeId};
 use qrn_core::verification::MeasuredIncidents;
 use qrn_core::IncidentClassification;
 use qrn_stats::evidence::EvidenceLedger;
 use qrn_units::Hours;
 
 use crate::error::FleetError;
-use crate::event::{parse_line, FleetEvent, SkipCounts};
+use crate::event::fastpath::{self, FastEvent, ParsedLine, ScratchParser};
+use crate::event::{FleetEvent, SkipCounts};
 
 /// Lines per work-queue block. Large enough to amortise the atomic claim
 /// over real parsing work, small enough that short logs still spread over
@@ -113,13 +114,48 @@ impl FleetState {
     pub fn merge(&mut self, later: &FleetState) {
         self.evidence.merge(&later.evidence);
         for (vehicle, v) in &later.vehicles {
-            let entry = self.vehicles.entry(vehicle.clone()).or_default();
+            let entry = self.vehicle_entry(vehicle);
             entry.exposure_hours += v.exposure_hours;
             entry.observations += v.observations;
         }
         self.lines += later.lines;
         self.events += later.events;
         self.skipped.merge(&later.skipped);
+    }
+
+    /// Looks up a vehicle's state without cloning the id, interning (and
+    /// allocating) the key only on first sight of a new vehicle — the hot
+    /// path for a known vehicle performs zero allocations.
+    fn vehicle_entry(&mut self, vehicle: &str) -> &mut VehicleState {
+        if !self.vehicles.contains_key(vehicle) {
+            self.vehicles
+                .insert(vehicle.to_string(), VehicleState::default());
+        }
+        self.vehicles
+            .get_mut(vehicle)
+            .expect("vehicle was just ensured")
+    }
+
+    /// Folds one exposure report, preserving the exact arithmetic of the
+    /// sequential reference (`0.0 + h` on first sight).
+    fn fold_exposure(&mut self, vehicle: &str, hours: Hours) {
+        self.evidence.add_exposure(None, hours.value());
+        self.vehicle_entry(vehicle).exposure_hours += hours.value();
+    }
+
+    /// Folds one incident observation, classifying against
+    /// `classification`.
+    fn fold_incident(
+        &mut self,
+        vehicle: &str,
+        record: &IncidentRecord,
+        classification: &IncidentClassification,
+    ) {
+        self.vehicle_entry(vehicle).observations += 1;
+        match classification.classify(record) {
+            Some(leaf) => self.evidence.add_incident(None, leaf.id().as_str(), 1.0),
+            None => self.evidence.add_unclassified(None, 1.0),
+        }
     }
 
     /// Number of distinct vehicles that reported at least one event.
@@ -192,34 +228,34 @@ struct ShardAccumulator {
 }
 
 impl ShardAccumulator {
-    /// Folds one line, in line order within the block.
+    /// Folds one line, in line order within the block. Canonical lines
+    /// take the zero-allocation fast path — the vehicle id borrows from
+    /// the input all the way into the interned lookup — and everything
+    /// else goes through the tolerant fallback with identical semantics.
     fn absorb_line(&mut self, line: &str, classification: &IncidentClassification) {
         let s = &mut self.state;
         s.lines += 1;
-        match parse_line(line) {
-            Ok(Some(event)) => {
+        match fastpath::parse_line_hybrid(line) {
+            ParsedLine::Blank => {}
+            ParsedLine::Fast(event, _seq) => {
                 s.events += 1;
-                match &event {
-                    FleetEvent::Exposure { vehicle, hours } => {
-                        s.evidence.add_exposure(None, hours.value());
-                        s.vehicles
-                            .entry(vehicle.clone())
-                            .or_default()
-                            .exposure_hours += hours.value();
-                    }
-                    FleetEvent::Incident { vehicle, record } => {
-                        s.vehicles.entry(vehicle.clone()).or_default().observations += 1;
-                        match classification.classify(record) {
-                            Some(leaf) => {
-                                s.evidence.add_incident(None, leaf.id().as_str(), 1.0);
-                            }
-                            None => s.evidence.add_unclassified(None, 1.0),
-                        }
+                match event {
+                    FastEvent::Exposure { vehicle, hours } => s.fold_exposure(vehicle, hours),
+                    FastEvent::Incident { vehicle, record } => {
+                        s.fold_incident(vehicle, &record, classification);
                     }
                 }
             }
-            Ok(None) => {}
-            Err(reason) => s.skipped.count(reason),
+            ParsedLine::Owned(event, _seq) => {
+                s.events += 1;
+                match &event {
+                    FleetEvent::Exposure { vehicle, hours } => s.fold_exposure(vehicle, *hours),
+                    FleetEvent::Incident { vehicle, record } => {
+                        s.fold_incident(vehicle, record, classification);
+                    }
+                }
+            }
+            ParsedLine::Skip(reason) => s.skipped.count(reason),
         }
     }
 }
@@ -241,18 +277,44 @@ pub fn ingest_str(
     classification: &IncidentClassification,
     shards: usize,
 ) -> Result<FleetState, FleetError> {
+    SPLIT_SCRATCH.with(|scratch| {
+        ingest_str_with_scratch(text, classification, shards, &mut scratch.borrow_mut())
+    })
+}
+
+thread_local! {
+    /// Per-thread splitter scratch for [`ingest_str`], reused across
+    /// segments so steady-state callers in a loop (the serve workers, the
+    /// store writer thread, replay) stop allocating a fresh line table
+    /// per segment.
+    static SPLIT_SCRATCH: std::cell::RefCell<ScratchParser> =
+        std::cell::RefCell::new(ScratchParser::new());
+}
+
+/// Like [`ingest_str`] with an explicit, caller-owned [`ScratchParser`] —
+/// for callers that manage per-worker scratch reuse themselves instead of
+/// relying on the thread-local.
+pub fn ingest_str_with_scratch(
+    text: &str,
+    classification: &IncidentClassification,
+    shards: usize,
+    scratch: &mut ScratchParser,
+) -> Result<FleetState, FleetError> {
     if shards == 0 {
         return Err(FleetError::InvalidConfig(
             "ingestion needs at least one shard".into(),
         ));
     }
-    let lines: Vec<&str> = text.lines().collect();
-    let blocks = lines.len().div_ceil(LINES_PER_BLOCK).max(1) as u64;
+    // Line spans are computed from `text.lines()` itself, so the block
+    // partition by line index — and with it the float fold grouping — is
+    // exactly what collecting `Vec<&str>` produced before.
+    let spans = scratch.split_lines(text);
+    let blocks = spans.len().div_ceil(LINES_PER_BLOCK).max(1) as u64;
 
     let queue = AtomicU64::new(0);
     let workers = shards.min(blocks as usize);
     let shard_outputs: Vec<Vec<(u64, ShardAccumulator)>> = std::thread::scope(|scope| {
-        let lines = &lines;
+        let spans: &[(usize, usize)] = spans;
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
@@ -263,10 +325,10 @@ pub fn ingest_str(
                             break;
                         }
                         let first = block as usize * LINES_PER_BLOCK;
-                        let last = (first + LINES_PER_BLOCK).min(lines.len());
+                        let last = (first + LINES_PER_BLOCK).min(spans.len());
                         let mut acc = ShardAccumulator::default();
-                        for line in &lines[first..last] {
-                            acc.absorb_line(line, classification);
+                        for &(start, end) in &spans[first..last] {
+                            acc.absorb_line(&text[start..end], classification);
                         }
                         local.push((block, acc));
                     }
@@ -501,6 +563,22 @@ mod tests {
             fold_states(std::iter::empty::<FleetState>()),
             FleetState::default()
         );
+    }
+
+    #[test]
+    fn explicit_scratch_reuse_is_byte_identical_across_segments() {
+        let classification = paper_classification().unwrap();
+        let mut scratch = crate::event::fastpath::ScratchParser::new();
+        let logs = [sample_log(3, 90), sample_log(5, 40), String::new()];
+        for log in &logs {
+            let reused = ingest_str_with_scratch(log, &classification, 3, &mut scratch).unwrap();
+            let fresh = ingest_str(log, &classification, 3).unwrap();
+            assert_eq!(reused, fresh);
+            assert_eq!(
+                serde_json::to_string(&reused).unwrap(),
+                serde_json::to_string(&fresh).unwrap()
+            );
+        }
     }
 
     #[test]

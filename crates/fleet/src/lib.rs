@@ -58,6 +58,7 @@ pub mod telemetry;
 
 pub use burndown::{burn_down, AlertLevel, BurnDownConfig, FleetReport};
 pub use error::FleetError;
+pub use event::fastpath::{parse_line_hybrid, FastEvent, ParsedLine, ScratchParser};
 pub use event::{parse_jsonl, to_jsonl, FleetEvent, SkipCounts, SCHEMA_VERSION};
-pub use ingest::{ingest_str, FleetState};
+pub use ingest::{ingest_str, ingest_str_with_scratch, FleetState};
 pub use telemetry::TelemetryConfig;

@@ -336,28 +336,32 @@ impl TelemetryConfig {
     /// campaign.
     pub fn generate_jsonl(&self) -> Result<String, FleetError> {
         let events = self.generate()?;
-        let mut lines = Vec::with_capacity(events.len());
-        if self.stamp_seq {
-            let mut counters: std::collections::BTreeMap<&str, u64> = Default::default();
-            for event in &events {
+        let mut out = String::with_capacity(events.len() * 64);
+        // One reusable render buffer instead of a `Vec<String>` of every
+        // line: [`FleetEvent::render_line_into`] is byte-identical to
+        // `to_line`/`to_line_with_seq`, so the emitted document cannot
+        // drift while the generator stops allocating per line.
+        let mut buf = String::with_capacity(96);
+        let mut counters: std::collections::BTreeMap<&str, u64> = Default::default();
+        for (i, event) in events.iter().enumerate() {
+            let seq = if self.stamp_seq {
                 let seq = counters.entry(event.vehicle()).or_insert(0);
                 *seq += 1;
-                lines.push(event.to_line_with_seq(*seq));
-            }
-        } else {
-            for event in &events {
-                lines.push(event.to_line());
-            }
-        }
-        let mut out = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
-        for (i, line) in lines.iter().enumerate() {
+                Some(*seq)
+            } else {
+                None
+            };
+            // Seq stamping happens before the drop check, so a dropped
+            // line is a sequence hole, never a renumbering.
             let n = i as u64 + 1;
             if FaultPlan::hits(self.faults.drop_every, n) {
                 continue;
             }
-            match self.faults.corrupt(n, line) {
+            buf.clear();
+            event.render_line_into(&mut buf, seq);
+            match self.faults.corrupt(n, &buf) {
                 Some(damaged) => out.push_str(&damaged),
-                None => out.push_str(line),
+                None => out.push_str(&buf),
             }
             out.push('\n');
         }

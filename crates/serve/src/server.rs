@@ -185,6 +185,11 @@ pub struct ServeConfig {
     /// Compact automatically once this many closed segments accumulate
     /// (0 = never compact automatically).
     pub store_compact_after: u64,
+    /// Store group-commit cap (≥ 1): how many queued ingest batches the
+    /// writer thread may cover with one fsync per drain cycle. `1`
+    /// restores one fsync per batch; durability is identical either way
+    /// (no request is acknowledged before the fsync covering its batch).
+    pub store_group_commit: usize,
 }
 
 impl ServeConfig {
@@ -223,6 +228,7 @@ impl ServeConfig {
             store_snapshot_every: StoreConfig::default().snapshot_every_events,
             store_roll_bytes: StoreConfig::default().roll_bytes,
             store_compact_after: 0,
+            store_group_commit: qrn_store::writer::DEFAULT_GROUP_COMMIT,
         }
     }
 
@@ -277,6 +283,11 @@ impl ServeConfig {
         if self.store.is_some() && self.store_roll_bytes == 0 {
             return Err(ServeError::Config(
                 "store roll threshold must be at least 1 byte".into(),
+            ));
+        }
+        if self.store.is_some() && self.store_group_commit == 0 {
+            return Err(ServeError::Config(
+                "store group commit cap must be at least 1 batch".into(),
             ));
         }
         if self.bind.is_empty() {
@@ -894,6 +905,22 @@ impl Inner {
                 MetricKind::Counter,
             );
             sample_all(&mut out, "qrn_store_compactions_total", |s| &s.compactions);
+            out.family(
+                "qrn_store_group_commits_total",
+                "Evidence-store group commits (one fsync each, per item)",
+                MetricKind::Counter,
+            );
+            sample_all(&mut out, "qrn_store_group_commits_total", |s| {
+                &s.group_commits
+            });
+            out.family(
+                "qrn_store_group_commit_size",
+                "Batches covered by the most recent group commit",
+                MetricKind::Gauge,
+            );
+            sample_all(&mut out, "qrn_store_group_commit_size", |s| {
+                &s.last_group_commit_size
+            });
         }
 
         // Evidence gauges over the same merged view burn-down sees, one
@@ -1216,7 +1243,10 @@ impl Server {
         let store = if stores.is_empty() {
             None
         } else {
-            Some(qrn_store::writer::spawn(stores)?)
+            Some(qrn_store::writer::spawn_with(
+                stores,
+                config.store_group_commit,
+            )?)
         };
 
         if !is_loopback(&config.bind) {
@@ -1560,6 +1590,15 @@ mod tests {
             "{metrics}"
         );
         assert!(metrics.contains("qrn_store_compactions_total"), "{metrics}");
+        // One sequential ingest → one group commit of one batch.
+        assert!(
+            metrics.contains("qrn_store_group_commits_total{item=\"default\"} 1"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("qrn_store_group_commit_size{item=\"default\"} 1"),
+            "{metrics}"
+        );
         handle.stop().unwrap();
 
         // Restart on the same store: the state is recovered from the log
@@ -1628,6 +1667,10 @@ mod tests {
             |c| {
                 c.store = Some(std::env::temp_dir());
                 c.store_roll_bytes = 0;
+            },
+            |c| {
+                c.store = Some(std::env::temp_dir());
+                c.store_group_commit = 0;
             },
             |c| c.items[0].name = "history".into(),
         ] {

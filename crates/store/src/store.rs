@@ -44,7 +44,7 @@ use std::path::{Path, PathBuf};
 
 use qrn_core::IncidentClassification;
 use qrn_fleet::checkpoint::fsync_dir;
-use qrn_fleet::event::parse_line_with_seq;
+use qrn_fleet::event::fastpath::{parse_line_hybrid, ParsedLine};
 use qrn_fleet::ingest::{ingest_str, FleetState};
 
 use crate::record::{Record, RecordKind, MAGIC};
@@ -196,21 +196,37 @@ fn screen(text: &str, cursors: &mut BTreeMap<String, u64>) -> Screened {
     let mut duplicates = 0u32;
     let mut gap_events = 0u32;
     let mut missing = 0u64;
-    for line in text.lines() {
-        if let Ok(Some((event, Some(seq)))) = parse_line_with_seq(line) {
-            let cursor = cursors.entry(event.vehicle().to_string()).or_insert(0);
-            if seq <= *cursor {
-                duplicates = duplicates.saturating_add(1);
-                continue;
-            }
-            if seq > *cursor + 1 {
-                gap_events = gap_events.saturating_add(1);
-                missing += seq - *cursor - 1;
-            }
-            *cursor = seq;
+    // Advances one vehicle's cursor (interned on first sighting only —
+    // steady-state screening allocates no id strings) and reports
+    // whether the line should be kept.
+    let mut advance = |vehicle: &str, seq: u64| -> bool {
+        if !cursors.contains_key(vehicle) {
+            cursors.insert(vehicle.to_string(), 0);
         }
-        kept.push_str(line);
-        kept.push('\n');
+        let cursor = cursors.get_mut(vehicle).expect("cursor was just ensured");
+        if seq <= *cursor {
+            duplicates = duplicates.saturating_add(1);
+            return false;
+        }
+        if seq > *cursor + 1 {
+            gap_events = gap_events.saturating_add(1);
+            missing += seq - *cursor - 1;
+        }
+        *cursor = seq;
+        true
+    };
+    for line in text.lines() {
+        let keep = match parse_line_hybrid(line) {
+            ParsedLine::Fast(event, Some(seq)) => advance(event.vehicle(), seq),
+            ParsedLine::Owned(ref event, Some(seq)) => advance(event.vehicle(), seq),
+            // Unsequenced, blank and malformed lines pass through
+            // verbatim, exactly as the tolerant-only screen did.
+            _ => true,
+        };
+        if keep {
+            kept.push_str(line);
+            kept.push('\n');
+        }
     }
     Screened {
         kept,
@@ -240,6 +256,10 @@ pub struct Store {
     appended_bytes: u64,
     segments_created: u64,
     compactions: u64,
+    /// Whether the open segment holds records written with deferred
+    /// durability ([`Store::append_batch_deferred`]) that have not been
+    /// fsynced yet. [`Store::sync`] clears it.
+    dirty: bool,
 }
 
 impl Store {
@@ -348,6 +368,7 @@ impl Store {
             appended_bytes,
             segments_created: closed.len() as u64 + 1,
             compactions: 0,
+            dirty: false,
         })
     }
 
@@ -407,6 +428,57 @@ impl Store {
         text: &str,
         ts_millis: u64,
     ) -> Result<AppendReceipt, StoreError> {
+        self.append_batch_inner(text, ts_millis, true)
+    }
+
+    /// Like [`Store::append_batch`] but with the fsync *deferred*: the
+    /// record (and any cadence snapshot) is written to the open segment
+    /// without syncing, and becomes durable only at the next
+    /// [`Store::sync`] (or at a roll, which syncs first). The group-commit
+    /// writer ([`crate::writer`]) uses this to write a whole queue of
+    /// batches and pay one fsync for the group — callers must not
+    /// acknowledge a batch before its covering `sync` succeeds.
+    ///
+    /// In-memory state (cursors, fold, tallies) commits immediately, as
+    /// with the durable variant; if the covering sync later fails, the
+    /// store must be abandoned until a reopen re-derives state from disk
+    /// — exactly the existing i/o-error poisoning contract.
+    ///
+    /// # Errors
+    ///
+    /// As [`Store::append_batch`].
+    pub fn append_batch_deferred(
+        &mut self,
+        text: &str,
+        ts_millis: u64,
+    ) -> Result<AppendReceipt, StoreError> {
+        self.append_batch_inner(text, ts_millis, false)
+    }
+
+    /// Fsyncs the open segment if deferred appends left it dirty. No-op
+    /// on a clean store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the fsync fails; the deferred
+    /// records' durability is then unknown and the store must be
+    /// abandoned until reopen.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        if self.dirty {
+            self.open_file
+                .sync_all()
+                .map_err(|e| StoreError::Io(format!("cannot sync open segment: {e}")))?;
+            self.dirty = false;
+        }
+        Ok(())
+    }
+
+    fn append_batch_inner(
+        &mut self,
+        text: &str,
+        ts_millis: u64,
+        sync_now: bool,
+    ) -> Result<AppendReceipt, StoreError> {
         let ts = ts_millis.max(self.replay.last_ts);
         // Screening stages its cursor advances on a copy: they commit
         // only once the record is durably on disk, so a failed append
@@ -428,7 +500,7 @@ impl Store {
             missing_seqs: screened.missing_seqs,
             payload: screened.kept.into_bytes(),
         };
-        let stored_bytes = self.write_record(&record)?;
+        let stored_bytes = self.write_record(&record, sync_now)?;
 
         self.replay.cursors = cursors;
         self.replay.state.merge(&segment);
@@ -443,7 +515,7 @@ impl Store {
         if self.config.snapshot_every_events > 0
             && self.replay.events_since_snapshot >= self.config.snapshot_every_events
         {
-            self.write_snapshot(ts)?;
+            self.write_snapshot_inner(ts, sync_now)?;
             snapshot_written = true;
         }
         let mut rolled = false;
@@ -477,6 +549,10 @@ impl Store {
     /// Returns [`StoreError::Io`] when the record cannot be made
     /// durable.
     pub fn write_snapshot(&mut self, ts: u64) -> Result<(), StoreError> {
+        self.write_snapshot_inner(ts, true)
+    }
+
+    fn write_snapshot_inner(&mut self, ts: u64, sync_now: bool) -> Result<(), StoreError> {
         let payload = SnapshotPayload {
             state: self.replay.state.clone(),
             cursors: self.replay.cursors.clone(),
@@ -494,7 +570,7 @@ impl Store {
                 .expect("snapshot payload is serialisable")
                 .into_bytes(),
         };
-        self.write_record(&record)?;
+        self.write_record(&record, sync_now)?;
         self.replay.snapshots += 1;
         self.replay.events_since_snapshot = 0;
         self.replay.last_ts = record.ts;
@@ -519,8 +595,10 @@ impl Store {
         Ok(true)
     }
 
-    /// Appends `record` to the open segment and fsyncs it.
-    fn write_record(&mut self, record: &Record) -> Result<u64, StoreError> {
+    /// Appends `record` to the open segment, fsyncing it immediately
+    /// when `sync_now` and marking the store dirty for a later
+    /// [`Store::sync`] otherwise.
+    fn write_record(&mut self, record: &Record, sync_now: bool) -> Result<u64, StoreError> {
         let bytes = record.encode();
         let io_err = |what: &str, e: std::io::Error| {
             StoreError::Io(format!("cannot {what} open segment: {e}"))
@@ -528,7 +606,12 @@ impl Store {
         self.open_file
             .write_all(&bytes)
             .map_err(|e| io_err("append to", e))?;
-        self.open_file.sync_all().map_err(|e| io_err("sync", e))?;
+        if sync_now {
+            self.open_file.sync_all().map_err(|e| io_err("sync", e))?;
+            self.dirty = false;
+        } else {
+            self.dirty = true;
+        }
         self.open_bytes += bytes.len() as u64;
         self.appended_bytes += bytes.len() as u64;
         Ok(bytes.len() as u64)
@@ -538,10 +621,13 @@ impl Store {
     /// one. The rename + directory-fsync makes the closed segment
     /// durable under its final name before any new record can land.
     fn roll(&mut self) -> Result<(), StoreError> {
+        // Deferred appends must be durable before the segment is sealed
+        // under its closed name; for immediate-sync appends this is a
+        // no-op. The rename itself is made durable by the directory
+        // fsync.
+        self.sync()?;
         let open_path = self.dir.join(OPEN_SEGMENT);
         let closed_path = self.dir.join(closed_segment_name(self.next_segment));
-        // Every record was already fsynced on append; the rename itself
-        // is made durable by the directory fsync.
         fs::rename(&open_path, &closed_path).map_err(|e| {
             StoreError::Io(format!(
                 "cannot close segment as {}: {e}",
@@ -923,7 +1009,11 @@ mod tests {
         let store = open(&dir, StoreConfig::default());
         // A concurrent writer (e.g. `qrn store compact` against a live
         // server) is refused while the first holds the lock.
-        match Store::open(&dir, paper_classification().unwrap(), StoreConfig::default()) {
+        match Store::open(
+            &dir,
+            paper_classification().unwrap(),
+            StoreConfig::default(),
+        ) {
             Err(StoreError::Config(msg)) => assert!(msg.contains("locked"), "{msg}"),
             other => panic!("expected a lock refusal, got {other:?}"),
         }
@@ -931,6 +1021,63 @@ mod tests {
         crate::StoreReader::open(&dir, paper_classification().unwrap(), 1).unwrap();
         drop(store);
         open(&dir, StoreConfig::default());
+    }
+
+    #[test]
+    fn deferred_appends_replay_identically_after_sync_and_reopen() {
+        let dir = temp_dir("deferred");
+        let reference_dir = temp_dir("deferred-ref");
+        {
+            let mut store = open(&dir, StoreConfig::default());
+            let mut reference = open(&reference_dir, StoreConfig::default());
+            for i in 0..20u64 {
+                let text = format!("{}\n", line("A", 0.25, Some(i + 1)));
+                store.append_batch_deferred(&text, 1000 + i).unwrap();
+                reference.append_batch(&text, 1000 + i).unwrap();
+            }
+            store.sync().unwrap();
+            // sync is idempotent on a clean store.
+            store.sync().unwrap();
+            assert_eq!(
+                serde_json::to_string(store.state()).unwrap(),
+                serde_json::to_string(reference.state()).unwrap()
+            );
+        }
+        // Both directories replay to the same state byte for byte.
+        let store = open(&dir, StoreConfig::default());
+        let reference = open(&reference_dir, StoreConfig::default());
+        assert_eq!(
+            serde_json::to_string(store.state()).unwrap(),
+            serde_json::to_string(reference.state()).unwrap()
+        );
+        assert_eq!(store.cursors(), reference.cursors());
+        assert_eq!(store.status().batches, reference.status().batches);
+    }
+
+    #[test]
+    fn a_roll_syncs_deferred_appends_before_sealing() {
+        let dir = temp_dir("deferred-roll");
+        let mut store = open(
+            &dir,
+            StoreConfig {
+                roll_bytes: 256,
+                snapshot_every_events: 0,
+                ..StoreConfig::default()
+            },
+        );
+        let mut rolled = false;
+        for i in 0..50u64 {
+            let text = format!("{}\n", line("A", 0.25, Some(i + 1)));
+            let receipt = store.append_batch_deferred(&text, 1000 + i).unwrap();
+            rolled |= receipt.rolled;
+        }
+        assert!(rolled, "the roll cadence should have triggered");
+        store.sync().unwrap();
+        let expected = serde_json::to_string(store.state()).unwrap();
+        drop(store);
+        let store = open(&dir, StoreConfig::default());
+        assert_eq!(serde_json::to_string(store.state()).unwrap(), expected);
+        assert_eq!(store.cursors().get("A"), Some(&50));
     }
 
     #[test]

@@ -1,32 +1,49 @@
 //! The writer thread: serialising a multi-threaded server onto the
-//! single-writer [`Store`]s.
+//! single-writer [`Store`]s, with group commit.
 //!
 //! A [`Store`] is deliberately `&mut self` for every mutation — one
 //! owner, one append order, one fold. A server with a worker pool gets
 //! that owner here: [`spawn`] moves the stores of all items into one
 //! background thread, and [`StoreWriterHandle::append`] sends each
-//! batch over a channel and blocks on a per-call reply. Workers
-//! therefore pay one channel round-trip per batch (the disk fsync
-//! dominates it), appends across items interleave in one total order,
-//! and no segment file is ever touched from two threads.
+//! batch over a channel and blocks on a per-call reply. Appends across
+//! items interleave in one total order, and no segment file is ever
+//! touched from two threads.
+//!
+//! # Group commit
+//!
+//! The fsync at the end of each append dominates its cost, and under
+//! concurrent producers the queue holds several batches by the time one
+//! fsync finishes. The writer therefore *group-commits*: it drains every
+//! queued append (up to the cap passed to [`spawn_with`]), writes each
+//! batch in arrival order with the sync deferred
+//! ([`Store::append_batch_deferred`]), then issues **one fsync per item**
+//! for the whole group and only then replies to each caller — in arrival
+//! order, hooks first. Durability is unchanged: no caller is ever
+//! acknowledged before the fsync covering its batch returned. Append
+//! order is unchanged: batches hit the log, the hooks and the replies in
+//! exactly the order they left the channel. Only the *number* of fsyncs
+//! drops, from one per batch to one per group per item.
 //!
 //! Read paths never go through the writer: metrics sample the
-//! lock-free [`StoreStats`] the writer publishes after every append,
-//! and historical queries use [`crate::StoreReader`] directly against
-//! the directory.
+//! lock-free [`StoreStats`] the writer publishes after every group
+//! fsync, and historical queries use [`crate::StoreReader`] directly
+//! against the directory.
 //!
-//! Each store may carry an [`AppendHook`] the writer invokes after every
-//! durable append — on the writer thread, before the worker's reply is
-//! sent, hence in exact append order. The server merges each receipt's
-//! segment into its live state there, which keeps the live state
-//! byte-identical to a store replay even under concurrent ingest.
+//! Each store may carry an [`AppendHook`] the writer invokes after each
+//! batch's covering fsync — on the writer thread, before the caller's
+//! reply is sent, hence in exact append order. The server merges each
+//! receipt's segment into its live state there, which keeps the live
+//! state byte-identical to a store replay even under concurrent ingest.
 //!
 //! An append that fails with an i/o or corruption error **poisons** its
 //! item: the failed write may have left a torn record in the open
 //! segment, so every later append for that item is refused with a clear
 //! error instead of being screened (and possibly acknowledged) against
-//! state the disk never saw. A process restart reopens the store and
-//! re-derives consistent cursors from what was actually persisted.
+//! state the disk never saw. Batches of the same group staged earlier on
+//! the poisoned item were written but never covered by an fsync and
+//! never will be, so they fail too — none of them was acknowledged. A
+//! process restart reopens the store and re-derives consistent cursors
+//! from what was actually persisted.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -35,6 +52,14 @@ use std::thread::JoinHandle;
 
 use crate::store::{AppendReceipt, Store};
 use crate::StoreError;
+
+/// The default cap on how many queued appends one group commit may
+/// cover. Each group costs one fsync per item it touches, so the cap
+/// bounds the worst-case latency a queued batch can accrue behind a
+/// large group; 64 batches is far past the point where the fsync stops
+/// dominating. [`spawn`] uses this; [`spawn_with`] takes an explicit
+/// cap (the server exposes it as `--store-group-commit`).
+pub const DEFAULT_GROUP_COMMIT: usize = 64;
 
 /// Lock-free, monotone counters one store's writer publishes for
 /// observability (the `/metrics` families). Loaded with relaxed
@@ -58,6 +83,16 @@ pub struct StoreStats {
     pub missing_seqs: AtomicU64,
     /// Compactions performed this process.
     pub compactions: AtomicU64,
+    /// Group commits performed this process: one per item per writer
+    /// drain cycle that synced at least one batch. Maintained by the
+    /// writer thread directly (the store does not know about groups).
+    pub group_commits: AtomicU64,
+    /// Batches covered by those group commits, cumulatively. Divided by
+    /// [`StoreStats::group_commits`] this gives the mean batches
+    /// amortised per fsync.
+    pub group_commit_batches: AtomicU64,
+    /// Batches covered by the most recent group commit.
+    pub last_group_commit_size: AtomicU64,
 }
 
 impl StoreStats {
@@ -78,12 +113,13 @@ impl StoreStats {
     }
 }
 
-/// A callback the writer thread invokes after each durable append —
-/// still on the writer thread, before the caller's reply is sent, so
-/// invocations across all callers happen in exact append order. Servers
-/// use it to merge the receipt's segment into their live state: ordering
-/// the live merge identically to the on-disk log is what keeps the live
-/// state and a store replay byte-identical under concurrent ingest.
+/// A callback the writer thread invokes after each batch's covering
+/// group fsync — still on the writer thread, before the caller's reply
+/// is sent, so invocations across all callers happen in exact append
+/// order. Servers use it to merge the receipt's segment into their live
+/// state: ordering the live merge identically to the on-disk log is
+/// what keeps the live state and a store replay byte-identical under
+/// concurrent ingest.
 pub type AppendHook = Box<dyn Fn(&AppendReceipt) + Send>;
 
 enum Command {
@@ -106,6 +142,14 @@ struct OwnedStore {
     stats: Arc<StoreStats>,
 }
 
+/// A batch written (sync deferred) but not yet covered by its group's
+/// fsync. The caller is still blocked on `reply`.
+struct PendingAppend {
+    item: String,
+    receipt: AppendReceipt,
+    reply: mpsc::Sender<Result<AppendReceipt, StoreError>>,
+}
+
 /// Handle to the writer thread owning every item's [`Store`]. Cloneable
 /// across workers via `Arc`; dropping the last handle shuts the thread
 /// down.
@@ -116,9 +160,7 @@ pub struct StoreWriterHandle {
     stats: BTreeMap<String, Arc<StoreStats>>,
 }
 
-/// Moves `stores` (item name → opened store, plus an optional per-item
-/// [`AppendHook`]) into a background writer thread and returns the
-/// handle the server appends through.
+/// [`spawn_with`] using [`DEFAULT_GROUP_COMMIT`] as the group cap.
 ///
 /// # Errors
 ///
@@ -126,9 +168,32 @@ pub struct StoreWriterHandle {
 pub fn spawn(
     stores: Vec<(String, Store, Option<AppendHook>)>,
 ) -> Result<StoreWriterHandle, StoreError> {
+    spawn_with(stores, DEFAULT_GROUP_COMMIT)
+}
+
+/// Moves `stores` (item name → opened store, plus an optional per-item
+/// [`AppendHook`]) into a background writer thread and returns the
+/// handle the server appends through. Each drain cycle group-commits up
+/// to `group_commit_max` queued batches under one fsync per item (see
+/// the module docs); `1` disables grouping and restores one fsync per
+/// batch.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Config`] for an empty store list or a zero
+/// `group_commit_max`.
+pub fn spawn_with(
+    stores: Vec<(String, Store, Option<AppendHook>)>,
+    group_commit_max: usize,
+) -> Result<StoreWriterHandle, StoreError> {
     if stores.is_empty() {
         return Err(StoreError::Config(
             "the store writer needs at least one store".to_string(),
+        ));
+    }
+    if group_commit_max == 0 {
+        return Err(StoreError::Config(
+            "the store group commit cap must be at least 1".to_string(),
         ));
     }
     let mut stats = BTreeMap::new();
@@ -150,58 +215,47 @@ pub fn spawn(
     let thread = std::thread::Builder::new()
         .name("qrn-store-writer".to_string())
         .spawn(move || {
-            while let Ok(command) = rx.recv() {
-                match command {
-                    Command::Append {
-                        item,
-                        text,
-                        ts_millis,
-                        reply,
-                    } => {
-                        let result = match owned.get_mut(&item) {
-                            Some(entry) => match entry.store.as_mut() {
-                                Some(store) => {
-                                    let result = store.append_batch(&text, ts_millis);
-                                    entry.stats.publish(store);
-                                    match &result {
-                                        Ok(receipt) => {
-                                            if let Some(hook) = &entry.hook {
-                                                hook(receipt);
-                                            }
-                                        }
-                                        // The failed write may have torn
-                                        // the open segment: poison the
-                                        // store so no later append is
-                                        // screened against state disk
-                                        // never saw. Reopen recovers.
-                                        Err(StoreError::Io(_) | StoreError::Corrupt(_)) => {
-                                            entry.store = None;
-                                        }
-                                        // Config/Fleet errors reject the
-                                        // batch before anything is
-                                        // staged or written; the store
-                                        // stays consistent.
-                                        Err(_) => {}
-                                    }
-                                    result
-                                }
-                                None => Err(StoreError::Io(format!(
-                                    "the store for item {item:?} is poisoned by an earlier \
-                                     write failure; restart the server to reopen it and \
-                                     recover from disk"
-                                ))),
-                            },
-                            None => Err(StoreError::Config(format!("no store for item {item:?}"))),
-                        };
-                        // A dropped receiver means the requesting worker
-                        // gave up (shutdown); nothing to do.
-                        let _ = reply.send(result);
+            let mut staged: Vec<PendingAppend> = Vec::new();
+            'writer: loop {
+                // Block for the first command of the group, then drain
+                // whatever else is already queued, up to the cap.
+                let first = match rx.recv() {
+                    Ok(command) => command,
+                    Err(_) => break,
+                };
+                let mut shutdown = false;
+                let mut next = Some(first);
+                loop {
+                    let command = match next.take() {
+                        Some(command) => command,
+                        None if staged.len() < group_commit_max => match rx.try_recv() {
+                            Ok(command) => command,
+                            Err(_) => break,
+                        },
+                        None => break,
+                    };
+                    match command {
+                        Command::Append {
+                            item,
+                            text,
+                            ts_millis,
+                            reply,
+                        } => stage_append(&mut owned, &mut staged, item, &text, ts_millis, reply),
+                        // A shutdown mid-drain still commits the group:
+                        // those callers are blocked on their replies.
+                        Command::Shutdown => {
+                            shutdown = true;
+                            break;
+                        }
                     }
-                    Command::Shutdown => break,
+                }
+                commit_group(&mut owned, &mut staged);
+                if shutdown {
+                    break 'writer;
                 }
             }
-            // Stores drop here: every append was already fsynced, so
-            // shutdown needs no final flush.
+            // Stores drop here: every acknowledged append was covered
+            // by a group fsync, so shutdown needs no final flush.
         })
         .map_err(|e| StoreError::Io(format!("cannot spawn store writer thread: {e}")))?;
     Ok(StoreWriterHandle {
@@ -211,17 +265,157 @@ pub fn spawn(
     })
 }
 
+fn poisoned_error(item: &str) -> StoreError {
+    StoreError::Io(format!(
+        "the store for item {item:?} is poisoned by an earlier write failure; \
+         restart the server to reopen it and recover from disk"
+    ))
+}
+
+/// Pass 1 of a group commit: write one batch with its sync deferred and
+/// stage the pending reply, or fail the caller (and, on a poisoning
+/// error, every batch of this group staged earlier on the same item —
+/// their records were written but will never be covered by an fsync).
+fn stage_append(
+    owned: &mut BTreeMap<String, OwnedStore>,
+    staged: &mut Vec<PendingAppend>,
+    item: String,
+    text: &str,
+    ts_millis: u64,
+    reply: mpsc::Sender<Result<AppendReceipt, StoreError>>,
+) {
+    let entry = match owned.get_mut(&item) {
+        Some(entry) => entry,
+        None => {
+            // A dropped receiver means the requesting worker gave up
+            // (shutdown); nothing to do — here and below.
+            let _ = reply.send(Err(StoreError::Config(format!(
+                "no store for item {item:?}"
+            ))));
+            return;
+        }
+    };
+    let store = match entry.store.as_mut() {
+        Some(store) => store,
+        None => {
+            let _ = reply.send(Err(poisoned_error(&item)));
+            return;
+        }
+    };
+    match store.append_batch_deferred(text, ts_millis) {
+        Ok(receipt) => staged.push(PendingAppend {
+            item,
+            receipt,
+            reply,
+        }),
+        Err(error) => {
+            // The failed write may have torn the open segment: poison
+            // the store so no later append is screened against state
+            // disk never saw. Config/Fleet errors reject the batch
+            // before anything is written; the store stays consistent.
+            if matches!(error, StoreError::Io(_) | StoreError::Corrupt(_)) {
+                entry.store = None;
+                let mut index = 0;
+                while index < staged.len() {
+                    if staged[index].item == item {
+                        let failed = staged.remove(index);
+                        let _ = failed.reply.send(Err(StoreError::Io(format!(
+                            "a later append in the same commit group failed before the \
+                             fsync covering this batch; the store for item {item:?} is \
+                             poisoned until a restart reopens it"
+                        ))));
+                    } else {
+                        index += 1;
+                    }
+                }
+            }
+            let _ = reply.send(Err(error));
+        }
+    }
+}
+
+/// Pass 2 of a group commit: one fsync per distinct staged item (in
+/// first-appearance order), then hooks and replies in exact arrival
+/// order. No caller is acknowledged before the fsync covering its batch
+/// succeeded; a failed fsync poisons the item and fails its whole group
+/// (hooks not run — the live state must not get ahead of the disk).
+fn commit_group(owned: &mut BTreeMap<String, OwnedStore>, staged: &mut Vec<PendingAppend>) {
+    if staged.is_empty() {
+        return;
+    }
+    let mut outcomes: BTreeMap<String, Result<(), String>> = BTreeMap::new();
+    for index in 0..staged.len() {
+        let item = staged[index].item.clone();
+        if outcomes.contains_key(&item) {
+            continue;
+        }
+        let entry = owned
+            .get_mut(&item)
+            .expect("staged appends only exist for known items");
+        let outcome = match entry.store.as_mut() {
+            Some(store) => match store.sync() {
+                Ok(()) => {
+                    entry.stats.publish(store);
+                    Ok(())
+                }
+                Err(error) => {
+                    entry.store = None;
+                    Err(error.to_string())
+                }
+            },
+            // Unreachable: a pass-1 poisoning already drained this
+            // item's staged batches. Refuse defensively anyway.
+            None => Err(format!("the store for item {item:?} is poisoned")),
+        };
+        if outcome.is_ok() {
+            let size = staged.iter().filter(|p| p.item == item).count() as u64;
+            entry.stats.group_commits.fetch_add(1, Ordering::Relaxed);
+            entry
+                .stats
+                .group_commit_batches
+                .fetch_add(size, Ordering::Relaxed);
+            entry
+                .stats
+                .last_group_commit_size
+                .store(size, Ordering::Relaxed);
+        }
+        outcomes.insert(item, outcome);
+    }
+    for pending in staged.drain(..) {
+        match &outcomes[&pending.item] {
+            Ok(()) => {
+                let entry = owned
+                    .get(&pending.item)
+                    .expect("staged appends only exist for known items");
+                if let Some(hook) = &entry.hook {
+                    hook(&pending.receipt);
+                }
+                let _ = pending.reply.send(Ok(pending.receipt));
+            }
+            Err(message) => {
+                let _ = pending.reply.send(Err(StoreError::Io(format!(
+                    "the group fsync covering this batch failed ({message}); the store \
+                     for item {:?} is poisoned until a restart reopens it",
+                    pending.item
+                ))));
+            }
+        }
+    }
+}
+
 impl StoreWriterHandle {
     /// Appends one batch to `item`'s store, blocking until it is durable
     /// (or failed). Safe to call from any number of threads; appends are
-    /// serialised in channel order.
+    /// serialised in channel order, and the reply only arrives after the
+    /// group fsync covering this batch returned.
     ///
     /// # Errors
     ///
     /// Returns [`StoreError::Config`] for an unknown item,
-    /// [`StoreError::Io`] when the writer thread is gone or the item's
-    /// store was poisoned by an earlier write failure, and whatever
-    /// [`Store::append_batch`] returned otherwise.
+    /// [`StoreError::Io`] when the writer thread is gone, the item's
+    /// store was poisoned by an earlier write failure, or this batch's
+    /// covering fsync failed, and whatever [`Store::append_batch`]
+    /// returned otherwise.
     pub fn append(
         &self,
         item: &str,
@@ -257,7 +451,7 @@ impl StoreWriterHandle {
 
     /// Stops the writer thread and waits for it to finish. Idempotent;
     /// also invoked by `Drop`. Every acknowledged append is already
-    /// durable, so close loses nothing.
+    /// covered by its group fsync, so close loses nothing.
     pub fn close(&self) {
         let _ = self
             .tx
@@ -287,6 +481,7 @@ mod tests {
     use crate::store::StoreConfig;
     use qrn_core::examples::paper_classification;
     use qrn_fleet::event::FleetEvent;
+    use qrn_fleet::FleetState;
     use qrn_units::Hours;
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {
@@ -332,6 +527,9 @@ mod tests {
         let stats = handle.stats("default").unwrap();
         assert_eq!(stats.batches.load(Ordering::Relaxed), 32);
         assert_eq!(stats.duplicates.load(Ordering::Relaxed), 0);
+        // Every batch was covered by some group commit.
+        assert_eq!(stats.group_commit_batches.load(Ordering::Relaxed), 32);
+        assert!(stats.group_commits.load(Ordering::Relaxed) >= 1);
         handle.close();
         // All 32 batches are on disk.
         let store = Store::open(
@@ -374,6 +572,21 @@ mod tests {
     #[test]
     fn spawning_without_stores_is_rejected() {
         assert!(matches!(spawn(Vec::new()), Err(StoreError::Config(_))));
+    }
+
+    #[test]
+    fn a_zero_group_commit_cap_is_rejected() {
+        let dir = temp_dir("zero-cap");
+        let store = Store::open(
+            &dir,
+            paper_classification().unwrap(),
+            StoreConfig::default(),
+        )
+        .unwrap();
+        assert!(matches!(
+            spawn_with(vec![("default".to_string(), store, None)], 0),
+            Err(StoreError::Config(_))
+        ));
     }
 
     #[test]
@@ -424,8 +637,12 @@ mod tests {
     #[test]
     fn append_hooks_run_in_append_order_before_the_reply() {
         let dir = temp_dir("hook");
-        let store =
-            Store::open(&dir, paper_classification().unwrap(), StoreConfig::default()).unwrap();
+        let store = Store::open(
+            &dir,
+            paper_classification().unwrap(),
+            StoreConfig::default(),
+        )
+        .unwrap();
         let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
         let hook_seen = Arc::clone(&seen);
         let hook: AppendHook = Box::new(move |receipt| {
@@ -441,5 +658,76 @@ mod tests {
         }
         assert_eq!(*seen.lock().unwrap(), vec![100, 200, 300]);
         handle.close();
+    }
+
+    #[test]
+    fn group_commit_preserves_append_order_durability_and_live_identity() {
+        let dir = temp_dir("group");
+        let store = Store::open(
+            &dir,
+            paper_classification().unwrap(),
+            StoreConfig::default(),
+        )
+        .unwrap();
+        // The hook records each durable batch's folded segment in hook
+        // order, standing in for the server's live merge.
+        let segments: Arc<Mutex<Vec<FleetState>>> = Arc::new(Mutex::new(Vec::new()));
+        let hook_segments = Arc::clone(&segments);
+        let hook: AppendHook = Box::new(move |receipt| {
+            hook_segments.lock().unwrap().push(receipt.segment.clone());
+        });
+        let handle =
+            Arc::new(spawn_with(vec![("default".to_string(), store, Some(hook))], 8).unwrap());
+        let workers: Vec<_> = (0..4u64)
+            .map(|w| {
+                let handle = Arc::clone(&handle);
+                let segments = Arc::clone(&segments);
+                std::thread::spawn(move || {
+                    for i in 0..8u64 {
+                        let vehicle = format!("W{w}");
+                        let receipt = handle
+                            .append("default", format!("{}\n", line(&vehicle, i + 1)), 1000 + i)
+                            .unwrap();
+                        // At reply time this batch's hook has already
+                        // fired: its segment is in the recorded list.
+                        let json = serde_json::to_string(&receipt.segment).unwrap();
+                        let seen = segments.lock().unwrap();
+                        assert!(
+                            seen.iter()
+                                .any(|s| serde_json::to_string(s).unwrap() == json),
+                            "reply arrived before the batch's hook ran"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let stats = handle.stats("default").unwrap();
+        assert_eq!(stats.batches.load(Ordering::Relaxed), 32);
+        assert_eq!(stats.group_commit_batches.load(Ordering::Relaxed), 32);
+        let groups = stats.group_commits.load(Ordering::Relaxed);
+        assert!((1..=32).contains(&groups), "groups: {groups}");
+        assert!(stats.last_group_commit_size.load(Ordering::Relaxed) >= 1);
+        handle.close();
+        // Folding the hook's segments in hook order reproduces the
+        // reopened (replayed) store state byte for byte: the live view
+        // a server maintains through the hook agrees with disk.
+        let mut live = FleetState::default();
+        for segment in segments.lock().unwrap().iter() {
+            live.merge(segment);
+        }
+        let store = Store::open(
+            &dir,
+            paper_classification().unwrap(),
+            StoreConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(store.status().batches, 32);
+        assert_eq!(
+            serde_json::to_string(&live).unwrap(),
+            serde_json::to_string(store.state()).unwrap()
+        );
     }
 }
