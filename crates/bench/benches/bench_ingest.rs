@@ -22,9 +22,9 @@ use std::time::Instant;
 use qrn_bench::report::save_json;
 use qrn_core::examples::{paper_allocation, paper_classification, paper_norm};
 use qrn_fleet::event::fastpath::try_parse_strict;
-use qrn_fleet::event::parse_line_with_seq;
+use qrn_fleet::event::{parse_line_with_meta, parse_line_with_seq};
 use qrn_fleet::ingest_str;
-use qrn_fleet::telemetry::TelemetryConfig;
+use qrn_fleet::telemetry::{Scenario, TelemetryConfig};
 use qrn_serve::{ServeConfig, Server};
 use qrn_units::Hours;
 
@@ -37,6 +37,18 @@ fn quick() -> bool {
 fn canonical_log(vehicles: usize, hours: f64) -> String {
     TelemetryConfig::new(vehicles)
         .hours(Hours::new(hours).expect("positive"))
+        .seed(17)
+        .generate_jsonl()
+        .expect("telemetry generates")
+}
+
+/// A clean ODD-banded log: every line carries a canonical `ctx` context
+/// key (schema v2), so the fast path also validates and borrows the key
+/// bytes on every line.
+fn banded_log(vehicles: usize, hours: f64) -> String {
+    TelemetryConfig::new(vehicles)
+        .hours(Hours::new(hours).expect("positive"))
+        .scenario(Scenario::Banded)
         .seed(17)
         .generate_jsonl()
         .expect("telemetry generates")
@@ -63,6 +75,22 @@ fn bench_parse(c: &mut Criterion) {
                 let mut parsed = 0u64;
                 for line in black_box(&log).lines() {
                     if matches!(parse_line_with_seq(line), Ok(Some(_))) {
+                        parsed += 1;
+                    }
+                }
+                parsed
+            })
+        },
+    );
+    let banded = banded_log(8, 64.0);
+    let banded_lines = banded.lines().count();
+    c.bench_function(
+        format!("ingest/parse_fast_ctx_{banded_lines}_lines").as_str(),
+        |b| {
+            b.iter(|| {
+                let mut parsed = 0u64;
+                for line in black_box(&banded).lines() {
+                    if try_parse_strict(line).is_some() {
                         parsed += 1;
                     }
                 }
@@ -216,6 +244,23 @@ fn emit_ingest_baseline() {
         "ingest/parse fast: {fast:.0} lines/s, fallback: {fallback:.0} lines/s ({speedup:.2}x)"
     );
 
+    // Ctx-stamped (schema v2) lines: the fast path additionally
+    // validates and borrows the canonical context key, and must still
+    // beat the tolerant fallback.
+    let banded = banded_log(8, 64.0);
+    let banded_lines = banded.lines().count();
+    let ctx_fast = timed_parse(&banded, parse_iters, |line| {
+        try_parse_strict(line).is_some()
+    });
+    let ctx_fallback = timed_parse(&banded, parse_iters, |line| {
+        matches!(parse_line_with_meta(line), Ok(Some(_)))
+    });
+    let ctx_speedup = ctx_fast / ctx_fallback;
+    println!(
+        "ingest/parse_ctx fast: {ctx_fast:.0} lines/s, fallback: {ctx_fallback:.0} lines/s \
+         ({ctx_speedup:.2}x)"
+    );
+
     let classification = paper_classification().expect("paper example");
     let events = log.lines().count();
     let start = Instant::now();
@@ -247,6 +292,12 @@ fn emit_ingest_baseline() {
                 "fallback_lines_per_second": fallback,
                 "speedup": speedup,
             },
+            "parse_ctx": {
+                "lines": banded_lines,
+                "fast_lines_per_second": ctx_fast,
+                "fallback_lines_per_second": ctx_fallback,
+                "speedup": ctx_speedup,
+            },
             "fold": {
                 "events_per_second": fold_rate,
             },
@@ -269,6 +320,11 @@ fn emit_ingest_baseline() {
         fast >= fallback,
         "the fast parser ({fast:.0} lines/s) is slower than the tolerant \
          fallback ({fallback:.0} lines/s)"
+    );
+    assert!(
+        ctx_fast >= ctx_fallback,
+        "the fast parser on ctx-stamped lines ({ctx_fast:.0} lines/s) is slower \
+         than the tolerant fallback ({ctx_fallback:.0} lines/s)"
     );
 }
 

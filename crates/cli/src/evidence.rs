@@ -16,7 +16,7 @@ use std::path::{Path, PathBuf};
 use qrn_stats::evidence::EvidenceLedger;
 use qrn_stats::poisson::WeightedCount;
 
-use crate::commands::required_flag;
+use crate::commands::{has_flag, required_flag};
 use crate::io::{read_artefact, write_artefact};
 use crate::{CliError, CommandOutcome};
 
@@ -29,7 +29,7 @@ use crate::{CliError, CommandOutcome};
 /// unreadable artefacts.
 pub fn run(rest: &[&str]) -> Result<CommandOutcome, CliError> {
     match rest {
-        ["inspect", path, ..] => inspect(Path::new(path)),
+        ["inspect", path, rest @ ..] => inspect(Path::new(path), rest),
         ["merge", rest @ ..] => merge(rest),
         ["diff", a, b, ..] => diff(Path::new(a), Path::new(b)),
         [cmd, ..] => Err(CliError(format!(
@@ -61,12 +61,12 @@ fn describe_count(count: &WeightedCount) -> String {
     }
 }
 
-fn inspect(path: &Path) -> Result<CommandOutcome, CliError> {
+fn inspect(path: &Path, rest: &[&str]) -> Result<CommandOutcome, CliError> {
     let ledger: EvidenceLedger = read_artefact(path)?;
     println!("evidence ledger {}:", path.display());
     if ledger.is_empty() {
         println!("  (empty)");
-        return Ok(CommandOutcome::Ok);
+        return check_mece(&ledger, rest);
     }
     for (name, row) in ledger.contexts() {
         println!(
@@ -96,7 +96,34 @@ fn inspect(path: &Path) -> Result<CommandOutcome, CliError> {
             "unit-weight (exact Poisson statistics apply)"
         }
     );
-    Ok(CommandOutcome::Ok)
+    check_mece(&ledger, rest)
+}
+
+/// `--check-mece`: asserts the named context rows form a mutually
+/// exclusive, collectively exhaustive partition of the total exposure —
+/// their sum must equal the global row *bit-exactly*. Generators that
+/// quantise band durations (the `banded` telemetry scenario uses 0.25 h
+/// quanta) make this an equality test, not a tolerance test: any
+/// mismatch means unattributed (or double-attributed) exposure.
+fn check_mece(ledger: &EvidenceLedger, rest: &[&str]) -> Result<CommandOutcome, CliError> {
+    if !has_flag(rest, "--check-mece") {
+        return Ok(CommandOutcome::Ok);
+    }
+    let named = ledger.named_exposure_total();
+    let total = ledger.exposure();
+    if named == total {
+        println!(
+            "  MECE check: {} context rows partition {total:.3} h exactly",
+            ledger.named_contexts().count()
+        );
+        Ok(CommandOutcome::Ok)
+    } else {
+        Ok(CommandOutcome::CheckFailed(format!(
+            "MECE check failed: named contexts sum to {named} h but the ledger holds {total} h \
+             ({:+e} h unattributed)",
+            total - named
+        )))
+    }
 }
 
 fn count_nonzero(count: &WeightedCount) -> bool {
@@ -313,6 +340,103 @@ mod tests {
             run_strs(&["evidence", "diff", a.to_str().unwrap(), b.to_str().unwrap()]).unwrap(),
             CommandOutcome::CheckFailed(_)
         ));
+    }
+
+    #[test]
+    fn inspect_check_mece_accepts_partitions_and_flags_gaps() {
+        let dir = temp_dir("mece");
+        let path = dir.join("partition.json");
+        // Dyadic band quanta (multiples of 0.25 h) partition the global
+        // exposure bit-exactly.
+        write_ledger(&path, |l| {
+            l.add_exposure(None, 2.0);
+            l.add_exposure(Some("weather=clear,zone=urban"), 0.75);
+            l.add_exposure(Some("weather=fog,zone=urban"), 1.25);
+            l.add_incident(Some("weather=fog,zone=urban"), "I2", 1.0);
+        });
+        assert_eq!(
+            run_strs(&[
+                "evidence",
+                "inspect",
+                path.to_str().unwrap(),
+                "--check-mece"
+            ])
+            .unwrap(),
+            CommandOutcome::Ok
+        );
+        // Without the flag, inspect never fails on the same ledger it
+        // would flag.
+        let gap = dir.join("gap.json");
+        write_ledger(&gap, |l| {
+            l.add_exposure(None, 2.5);
+            l.add_exposure(Some("weather=clear,zone=urban"), 2.0);
+        });
+        assert_eq!(
+            run_strs(&["evidence", "inspect", gap.to_str().unwrap()]).unwrap(),
+            CommandOutcome::Ok
+        );
+        assert!(matches!(
+            run_strs(&["evidence", "inspect", gap.to_str().unwrap(), "--check-mece"]).unwrap(),
+            CommandOutcome::CheckFailed(_)
+        ));
+        // An empty ledger is a (vacuous) partition.
+        let empty = dir.join("empty.json");
+        write_ledger(&empty, |_| {});
+        assert_eq!(
+            run_strs(&[
+                "evidence",
+                "inspect",
+                empty.to_str().unwrap(),
+                "--check-mece"
+            ])
+            .unwrap(),
+            CommandOutcome::Ok
+        );
+    }
+
+    #[test]
+    fn check_mece_holds_for_an_ingested_banded_fleet_log() {
+        let dir = temp_dir("mece-banded");
+        run_strs(&["example", "emit", "--dir", dir.to_str().unwrap()]).unwrap();
+        let log = dir.join("banded.jsonl");
+        run_strs(&[
+            "fleet",
+            "generate",
+            "--scenario",
+            "banded",
+            "--policy",
+            "cautious",
+            "--hours",
+            "24",
+            "--vehicles",
+            "2",
+            "--seed",
+            "5",
+            "--out",
+            log.to_str().unwrap(),
+        ])
+        .unwrap();
+        let ledger = dir.join("banded-evidence.json");
+        run_strs(&[
+            "fleet",
+            "ingest",
+            dir.join("classification.json").to_str().unwrap(),
+            "--log",
+            log.to_str().unwrap(),
+            "--evidence-out",
+            ledger.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(
+            run_strs(&[
+                "evidence",
+                "inspect",
+                ledger.to_str().unwrap(),
+                "--check-mece"
+            ])
+            .unwrap(),
+            CommandOutcome::Ok
+        );
     }
 
     #[test]

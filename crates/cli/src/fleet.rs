@@ -20,12 +20,16 @@ use qrn_core::incident::IncidentRecord;
 use qrn_core::norm::QuantitativeRiskNorm;
 use qrn_core::object::{Involvement, ObjectType};
 use qrn_core::IncidentClassification;
-use qrn_fleet::burndown::{burn_down, burn_down_evidence, BurnDownConfig};
+use qrn_fleet::burndown::{
+    burn_down_evidence_filtered, burn_down_filtered, BurnDownConfig, ContextFilter,
+};
 use qrn_fleet::ingest::{ingest_str, FleetState};
 use qrn_fleet::telemetry::{FaultPlan, Policy, Scenario, TelemetryConfig};
 use qrn_sim::monte_carlo::Campaign;
 use qrn_sim::policy::{CautiousPolicy, ReactivePolicy, TacticalPolicy};
-use qrn_sim::scenario::{highway_scenario, mixed_scenario, urban_scenario, WorldConfig};
+use qrn_sim::scenario::{
+    banded_scenario, highway_scenario, mixed_scenario, urban_scenario, WorldConfig,
+};
 use qrn_sim::{SplittingConfig, SplittingResult};
 use qrn_stats::evidence::EvidenceLedger;
 use qrn_units::{Hours, Speed};
@@ -107,7 +111,7 @@ fn generate(rest: &[&str]) -> Result<CommandOutcome, CliError> {
     let scenario_name = required_flag(rest, "--scenario")?;
     let scenario = Scenario::from_name(scenario_name).ok_or_else(|| {
         CliError(format!(
-            "unknown scenario {scenario_name:?}; expected urban|highway|mixed"
+            "unknown scenario {scenario_name:?}; expected urban|highway|mixed|banded"
         ))
     })?;
     let policy_name = required_flag(rest, "--policy")?;
@@ -219,9 +223,10 @@ fn splitting_check(
         "urban" => urban_scenario()?,
         "highway" => highway_scenario()?,
         "mixed" => mixed_scenario()?,
+        "banded" => banded_scenario()?,
         _ => {
             return Err(CliError(format!(
-                "unknown scenario {scenario_name:?}; expected urban|highway|mixed"
+                "unknown scenario {scenario_name:?}; expected urban|highway|mixed|banded"
             )))
         }
     };
@@ -309,6 +314,14 @@ fn ingest(classification_path: &Path, rest: &[&str]) -> Result<CommandOutcome, C
         write_artefact(&path, &state)?;
         println!("wrote fleet state to {}", path.display());
     }
+    // The evidence ledger alone, as the artefact `qrn evidence
+    // inspect|merge|diff` consume — e.g. to run `--check-mece` over a
+    // banded fleet log.
+    if let Some(out) = flag(rest, "--evidence-out") {
+        let path = PathBuf::from(out);
+        write_artefact(&path, state.evidence())?;
+        println!("wrote evidence ledger to {}", path.display());
+    }
     Ok(CommandOutcome::Ok)
 }
 
@@ -354,7 +367,12 @@ fn report(
     if let Some(text) = flag(rest, "--sprt-fraction") {
         config.sprt_fraction = parse_f64(text, "--sprt-fraction")?;
     }
-    config.by_zone = has_flag(rest, "--by-zone");
+    // `--where dim=value` (repeatable) restricts the refinement rows to
+    // contexts matching every clause; any filter implies per-context
+    // rows. `--by-zone` is the pre-0.8 alias of `--by-context`.
+    let filter = ContextFilter::parse(flag_values(rest, "--where"))?;
+    config.by_zone =
+        has_flag(rest, "--by-context") || has_flag(rest, "--by-zone") || !filter.is_empty();
 
     let mut state = FleetState::default();
     for log_path in &log_paths(rest)? {
@@ -367,7 +385,7 @@ fn report(
     // evidence into one combined burn-down.
     let evidence_paths = flag_values(rest, "--evidence");
     let report = if evidence_paths.is_empty() {
-        burn_down(&norm, &allocation, &state, &config)?
+        burn_down_filtered(&norm, &allocation, &state, &config, &filter)?
     } else {
         let mut combined = state.evidence().clone();
         for path in &evidence_paths {
@@ -378,7 +396,8 @@ fn report(
             "merged {} campaign evidence ledger(s) with the fleet log",
             evidence_paths.len()
         );
-        let mut report = burn_down_evidence(&norm, &allocation, &combined, &config)?;
+        let mut report =
+            burn_down_evidence_filtered(&norm, &allocation, &combined, &config, &filter)?;
         report.vehicles = state.vehicle_count();
         report.events = state.events();
         report.skipped = state.skipped();
@@ -746,6 +765,114 @@ mod tests {
                 assert!(goal.weighted.is_some(), "{kind}");
             }
         }
+    }
+
+    #[test]
+    fn banded_generate_reports_by_context_and_filters() {
+        let dir = temp_dir("banded");
+        emit_artefacts(&dir);
+        let log = dir.join("banded.jsonl");
+        run_strs(&[
+            "fleet",
+            "generate",
+            "--scenario",
+            "banded",
+            "--policy",
+            "cautious",
+            "--hours",
+            "48",
+            "--vehicles",
+            "3",
+            "--seed",
+            "11",
+            "--out",
+            log.to_str().unwrap(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&log).unwrap();
+        assert!(text.contains("\"ctx\":\""), "{text}");
+
+        let full = dir.join("by-context.json");
+        let _ = run_strs(&[
+            "fleet",
+            "report",
+            dir.join("norm.json").to_str().unwrap(),
+            dir.join("classification.json").to_str().unwrap(),
+            dir.join("allocation.json").to_str().unwrap(),
+            "--log",
+            log.to_str().unwrap(),
+            "--by-context",
+            "--out",
+            full.to_str().unwrap(),
+        ])
+        .unwrap();
+        let report: qrn_fleet::burndown::FleetReport =
+            serde_json::from_str(&std::fs::read_to_string(&full).unwrap()).unwrap();
+        assert!(report.zones.len() >= 3, "{:?}", report.zones.len());
+        // Band quotas are quantised to 0.25 h so the per-context rows
+        // partition the fleet exposure bit-exactly (MECE).
+        let banded: f64 = report.zones.iter().map(|z| z.exposure_hours).sum();
+        assert_eq!(banded, report.exposure_hours);
+
+        // `--where` keeps only matching rows; `--by-zone` still works as
+        // the alias for the unfiltered per-context report.
+        let filtered = dir.join("fog-only.json");
+        let _ = run_strs(&[
+            "fleet",
+            "report",
+            dir.join("norm.json").to_str().unwrap(),
+            dir.join("classification.json").to_str().unwrap(),
+            dir.join("allocation.json").to_str().unwrap(),
+            "--log",
+            log.to_str().unwrap(),
+            "--where",
+            "weather=fog",
+            "--out",
+            filtered.to_str().unwrap(),
+        ])
+        .unwrap();
+        let fog: qrn_fleet::burndown::FleetReport =
+            serde_json::from_str(&std::fs::read_to_string(&filtered).unwrap()).unwrap();
+        assert!(!fog.zones.is_empty());
+        assert!(
+            fog.zones.iter().all(|z| z.zone.contains("weather=fog")),
+            "{:?}",
+            fog.zones
+        );
+        assert_eq!(fog.exposure_hours, report.exposure_hours);
+
+        let aliased = dir.join("by-zone.json");
+        let _ = run_strs(&[
+            "fleet",
+            "report",
+            dir.join("norm.json").to_str().unwrap(),
+            dir.join("classification.json").to_str().unwrap(),
+            dir.join("allocation.json").to_str().unwrap(),
+            "--log",
+            log.to_str().unwrap(),
+            "--by-zone",
+            "--out",
+            aliased.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&full).unwrap(),
+            std::fs::read(&aliased).unwrap()
+        );
+
+        // A malformed where clause is a CLI error, not a silent no-op.
+        assert!(run_strs(&[
+            "fleet",
+            "report",
+            dir.join("norm.json").to_str().unwrap(),
+            dir.join("classification.json").to_str().unwrap(),
+            dir.join("allocation.json").to_str().unwrap(),
+            "--log",
+            log.to_str().unwrap(),
+            "--where",
+            "weather",
+        ])
+        .is_err());
     }
 
     #[test]

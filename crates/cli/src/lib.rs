@@ -157,7 +157,7 @@ COMMANDS:
            [--records <records.json>] [--confidence <0..1>] [--out <report.md>]
         Render the full safety documentation as markdown.
 
-    fleet generate --scenario <urban|highway|mixed> --policy <cautious|reactive>
+    fleet generate --scenario <urban|highway|mixed|banded> --policy <cautious|reactive>
                    --hours <H> --vehicles <N> [--seed <K>] [--workers <W>]
                    [--stamp-seq] [--inject-collisions <N>]
                    [--splitting-levels <N>] [--splitting-effort <E>]
@@ -165,28 +165,36 @@ COMMANDS:
                    [--fault-unknown-kind <S>] [--fault-drop-stride <S>]
                    --out <events.jsonl>
         Generate a synthetic fleet telemetry log (JSONL) from a simulated
-        campaign. --stamp-seq numbers each vehicle's lines with a monotone
-        'seq' field so the evidence store can reject duplicates and detect
-        holes. --inject-collisions adds deliberate severe VRU collisions
-        for rehearsing the alerting path. --splitting-levels additionally
-        runs a multilevel-splitting tail-rate check over the same fleet
-        exposure and prints the weighted rare-incident rates. The --fault-*
-        flags corrupt every S-th line (truncated JSON, future schema
-        version, unknown event kind); --fault-drop-stride silently drops
-        every S-th line instead — undetectable without --stamp-seq,
-        detected as sequence gaps with it.
+        campaign. The 'banded' scenario spans zone x weather x lighting x
+        time-of-day ODD bands and stamps each line with its canonical
+        context key ('ctx', schema v2); the other scenarios emit v1 lines
+        byte-identical to earlier releases. --stamp-seq numbers each
+        vehicle's lines with a monotone 'seq' field so the evidence store
+        can reject duplicates and detect holes. --inject-collisions adds
+        deliberate severe VRU collisions for rehearsing the alerting
+        path. --splitting-levels additionally runs a multilevel-splitting
+        tail-rate check over the same fleet exposure and prints the
+        weighted rare-incident rates. The --fault-* flags corrupt every
+        S-th line (truncated JSON, future schema version, unknown event
+        kind); --fault-drop-stride silently drops every S-th line instead
+        — undetectable without --stamp-seq, detected as sequence gaps
+        with it.
 
     fleet ingest <classification.json> --log <events.jsonl>...
                  [--shards <N>] [--checkpoint <state.json>] [--out <state.json>]
+                 [--evidence-out <ledger.json>]
         Ingest telemetry logs with the sharded streaming engine and print
         the fleet state. The shard count never changes the result. Repeat
         --log for multiple segments; --checkpoint resumes from (and
         persists after every segment) a merged fleet-state artefact, so
         segment-wise ingest across invocations equals one-shot ingest.
+        --evidence-out writes the state's evidence ledger alone, the
+        artefact `evidence inspect|merge|diff` consume.
 
     fleet report <norm.json> <classification.json> <allocation.json>
                  --log <events.jsonl>... [--evidence <ledger.json>]...
-                 [--by-zone] [--shards <N>] [--confidence <0..1>]
+                 [--by-context] [--where <dim>=<value>]... [--by-zone]
+                 [--shards <N>] [--confidence <0..1>]
                  [--alpha <0..1>] [--beta <0..1>] [--sprt-fraction <0..1>]
                  [--watch-ratio <R>] [--out <report.json>]
         Compute the budget burn-down (SPRT + exact Poisson bounds) of the
@@ -194,13 +202,18 @@ COMMANDS:
         Each --evidence merges a design-time campaign evidence ledger
         (e.g. from `simulate --evidence-out`) into the operational fleet
         evidence for one combined burn-down; weighted splitting mass uses
-        effective-count statistics. --by-zone adds per-zone refinement
-        rows for the named contexts present in the evidence.
+        effective-count statistics. --by-context adds per-context
+        refinement rows for the named ODD-band contexts present in the
+        evidence (--by-zone is the deprecated pre-0.8 spelling, kept as
+        an alias); each --where keeps only the rows whose canonical key
+        carries that dim=value pair, and implies --by-context.
 
-    evidence inspect <ledger.json>
+    evidence inspect <ledger.json> [--check-mece]
         Print an evidence ledger: exposure, per-kind incident mass and
         observations, globally and per zone, and whether the evidence is
-        importance-weighted.
+        importance-weighted. --check-mece additionally asserts the named
+        context rows partition the total exposure bit-exactly (exits 1
+        on unattributed or double-attributed hours).
 
     evidence merge <ledger.json> <ledger.json>... --out <merged.json>
         Pool two or more evidence ledgers into one (bit-exact commutative
@@ -243,13 +256,16 @@ COMMANDS:
           [--store-snapshot-every <EVENTS>] [--store-roll-bytes <B>]
           [--store-compact-after <SEGMENTS>]
           [--store-group-commit <BATCHES>]
-          [--evidence <ledger.json>]... [--by-zone]
+          [--evidence <ledger.json>]... [--by-context|--by-zone]
           [--confidence <0..1>] [--alpha <0..1>] [--beta <0..1>]
           [--sprt-fraction <0..1>] [--watch-ratio <R>]
         Run the live evidence server (default 127.0.0.1:7878): POST
         /v1/ingest takes JSONL telemetry segments, GET /v1/burndown
-        returns the current burn-down report (add ?zone=<name> for one
-        zone's refinement rows), GET /metrics exposes Prometheus text
+        returns the current burn-down report (add ?context=<key> for one
+        context's refinement rows — ?zone= is the deprecated alias — and
+        ?where=<dim>=<value>[,<dim>=<value>...] to keep only matching
+        rows; unknown query parameters are a 400 naming the offending
+        key), GET /metrics exposes Prometheus text
         metrics (item-labelled), GET /healthz is liveness and POST
         /v1/shutdown drains in-flight requests and writes a final
         checkpoint per item. The positional artefacts are the item named

@@ -137,7 +137,7 @@ pub fn run(
     if let Some(text) = flag(rest, "--watch-ratio") {
         config.burndown.watch_ratio = parse_f64(text, "--watch-ratio")?;
     }
-    config.burndown.by_zone = has_flag(rest, "--by-zone");
+    config.burndown.by_zone = has_flag(rest, "--by-context") || has_flag(rest, "--by-zone");
 
     let checkpoint = config.checkpoint.clone();
     let store = config.store.clone();
@@ -145,7 +145,8 @@ pub fn run(
     let state_shards = config.state_shards;
     let handle = Server::start(config)?;
     println!(
-        "serving on http://{} — POST /v1/[<item>/]ingest, GET /v1/[<item>/]burndown[?zone=..], \
+        "serving on http://{} — POST /v1/[<item>/]ingest, \
+         GET /v1/[<item>/]burndown[?context=..][&where=..], \
          GET /metrics, GET /healthz, POST /v1/shutdown",
         handle.addr()
     );

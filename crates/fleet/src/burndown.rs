@@ -90,9 +90,73 @@ pub struct BurnDownConfig {
     /// Point-estimate share of budget above which a row escalates to
     /// [`AlertLevel::Watch`].
     pub watch_ratio: f64,
-    /// Emit per-zone (per-ODD-context) burn-down rows for every named
-    /// context in the evidence ledger.
+    /// Emit per-context burn-down rows for every named context in the
+    /// evidence ledger. Named contexts are canonical ODD-band keys
+    /// (`lighting=dusk,weather=fog,zone=school`) for banded logs, or bare
+    /// zone names for legacy campaign ledgers — the field keeps its
+    /// historical `by_zone` name (and serialised spelling) from the days
+    /// when zones were the only contexts.
     pub by_zone: bool,
+}
+
+/// Dimension filter over named evidence contexts: the parsed form of one
+/// or more `--where dim=value` clauses. A context key matches when every
+/// clause's `dim=value` pair appears among the key's pairs; the empty
+/// filter matches everything. Legacy bare-name contexts (no `=`) only
+/// match the empty filter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ContextFilter {
+    clauses: Vec<(String, String)>,
+}
+
+impl ContextFilter {
+    /// The filter matching every context.
+    pub fn all() -> Self {
+        ContextFilter::default()
+    }
+
+    /// Parses `dim=value` clauses (e.g. from repeated `--where` flags).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] for a clause without `=` or
+    /// with an empty dimension or value.
+    pub fn parse<I, S>(clauses: I) -> Result<Self, FleetError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut parsed = Vec::new();
+        for clause in clauses {
+            let clause = clause.as_ref();
+            let (dim, value) = clause.split_once('=').ok_or_else(|| {
+                FleetError::InvalidConfig(format!(
+                    "context filter clause {clause:?} is not of the form dim=value"
+                ))
+            })?;
+            if dim.is_empty() || value.is_empty() {
+                return Err(FleetError::InvalidConfig(format!(
+                    "context filter clause {clause:?} has an empty dimension or value"
+                )));
+            }
+            parsed.push((dim.to_string(), value.to_string()));
+        }
+        Ok(ContextFilter { clauses: parsed })
+    }
+
+    /// True when the filter has no clauses (matches everything).
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// True when the named context satisfies every clause.
+    pub fn wants(&self, context: &str) -> bool {
+        self.clauses.iter().all(|(dim, value)| {
+            context
+                .split(',')
+                .any(|pair| pair.split_once('=') == Some((dim.as_str(), value.as_str())))
+        })
+    }
 }
 
 impl Default for BurnDownConfig {
@@ -194,16 +258,21 @@ pub struct ClassBurnDown {
     pub alert: AlertLevel,
 }
 
-/// Burn-down rows of one named evidence context (ODD zone): the zone's
-/// share of the exposure and its per-goal budget consumption, computed
-/// from the zone's refinement row in the [`EvidenceLedger`].
+/// Burn-down rows of one named evidence context: the context's share of
+/// the exposure and its per-goal budget consumption, computed from its
+/// refinement row in the [`EvidenceLedger`]. The context name is a
+/// canonical ODD-band key for banded fleet logs (any number of
+/// dimensions), or a bare zone name for legacy campaign ledgers — the
+/// struct and its `zone` field keep their historical names for artefact
+/// compatibility.
 ///
-/// Zone rows are *refinements*: per-goal alerts here localise where a
+/// Context rows are *refinements*: per-goal alerts here localise where a
 /// budget is being spent, while the authoritative global verdict stays
 /// with [`FleetReport::goals`] (computed from the exact global row).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ZoneBurnDown {
-    /// The zone (ledger context) name.
+    /// The context name (serialised as `zone` for artefact
+    /// compatibility).
     pub zone: String,
     /// Exposure attributed to this zone, hours.
     pub exposure_hours: f64,
@@ -307,7 +376,12 @@ impl fmt::Display for FleetReport {
             )?;
         }
         for z in &self.zones {
-            writeln!(f, "  zone {} ({:.1} h):", z.zone, z.exposure_hours)?;
+            let label = if z.zone.contains('=') {
+                "context"
+            } else {
+                "zone"
+            };
+            writeln!(f, "  {label} {} ({:.1} h):", z.zone, z.exposure_hours)?;
             for g in &z.goals {
                 writeln!(
                     f,
@@ -430,6 +504,25 @@ pub fn burn_down_evidence(
     evidence: &EvidenceLedger,
     config: &BurnDownConfig,
 ) -> Result<FleetReport, FleetError> {
+    burn_down_evidence_filtered(norm, allocation, evidence, config, &ContextFilter::all())
+}
+
+/// [`burn_down_evidence`] with a [`ContextFilter`] restricting which
+/// named contexts get refinement rows (when [`BurnDownConfig::by_zone`]
+/// is set). The filter only selects rows — the global goal and class
+/// verdicts always cover the whole ledger, so filtering can never hide a
+/// burned budget.
+///
+/// # Errors
+///
+/// As [`burn_down_evidence`].
+pub fn burn_down_evidence_filtered(
+    norm: &QuantitativeRiskNorm,
+    allocation: &Allocation,
+    evidence: &EvidenceLedger,
+    config: &BurnDownConfig,
+    filter: &ContextFilter,
+) -> Result<FleetReport, FleetError> {
     config.validate()?;
     for class in allocation.shares().referenced_classes() {
         if norm.class(class).is_none() {
@@ -475,6 +568,9 @@ pub fn burn_down_evidence(
     let mut zones = Vec::new();
     if config.by_zone {
         for (name, row) in evidence.named_contexts() {
+            if !filter.wants(name) {
+                continue;
+            }
             let zone_exposure = Hours::new(row.exposure_hours())?;
             let (zone_goals, _) = goal_rows(allocation, zone_exposure, &|k| row.count(k), config)?;
             zones.push(ZoneBurnDown {
@@ -512,7 +608,24 @@ pub fn burn_down(
     state: &FleetState,
     config: &BurnDownConfig,
 ) -> Result<FleetReport, FleetError> {
-    let mut report = burn_down_evidence(norm, allocation, state.evidence(), config)?;
+    burn_down_filtered(norm, allocation, state, config, &ContextFilter::all())
+}
+
+/// [`burn_down`] with a [`ContextFilter`] restricting the per-context
+/// refinement rows.
+///
+/// # Errors
+///
+/// As [`burn_down`].
+pub fn burn_down_filtered(
+    norm: &QuantitativeRiskNorm,
+    allocation: &Allocation,
+    state: &FleetState,
+    config: &BurnDownConfig,
+    filter: &ContextFilter,
+) -> Result<FleetReport, FleetError> {
+    let mut report =
+        burn_down_evidence_filtered(norm, allocation, state.evidence(), config, filter)?;
     report.vehicles = state.vehicle_count();
     report.events = state.events();
     report.skipped = state.skipped();
@@ -799,6 +912,76 @@ mod tests {
         // Zone refinement survives the merge.
         assert_eq!(report.zones.len(), 1);
         assert_eq!(report.zones[0].zone, "urban");
+    }
+
+    /// A banded ledger with context-key rows across three dimensions.
+    fn banded_ledger() -> EvidenceLedger {
+        let mut ledger = EvidenceLedger::new();
+        for (key, hours) in [
+            ("lighting=day,weather=clear,zone=urban", 50.0),
+            ("lighting=day,weather=fog,zone=urban", 20.0),
+            ("lighting=night,weather=fog,zone=highway", 30.0),
+        ] {
+            ledger.add_exposure(None, hours);
+            ledger.add_exposure(Some(key), hours);
+        }
+        ledger.add_incident(None, "I3", 1.0);
+        ledger.add_incident(Some("lighting=day,weather=fog,zone=urban"), "I3", 1.0);
+        ledger
+    }
+
+    #[test]
+    fn context_filter_parses_and_matches_key_pairs() {
+        let fog = ContextFilter::parse(["weather=fog"]).unwrap();
+        assert!(fog.wants("lighting=day,weather=fog,zone=urban"));
+        assert!(!fog.wants("lighting=day,weather=clear,zone=urban"));
+        // bare legacy names match only the empty filter
+        assert!(!fog.wants("urban"));
+        assert!(ContextFilter::all().wants("urban"));
+        let both = ContextFilter::parse(["weather=fog", "zone=urban"]).unwrap();
+        assert!(both.wants("lighting=day,weather=fog,zone=urban"));
+        assert!(!both.wants("lighting=night,weather=fog,zone=highway"));
+        // a clause value must match the whole token, not a prefix
+        let urban = ContextFilter::parse(["zone=urban"]).unwrap();
+        assert!(!urban.wants("zone=urbanish"));
+        assert!(ContextFilter::parse(["weather"]).is_err());
+        assert!(ContextFilter::parse(["=fog"]).is_err());
+        assert!(ContextFilter::parse(["weather="]).is_err());
+    }
+
+    #[test]
+    fn by_context_rows_respect_the_dimension_filter() {
+        let norm = paper_norm().unwrap();
+        let classification = paper_classification().unwrap();
+        let allocation = paper_allocation(&classification).unwrap();
+        let config = BurnDownConfig {
+            by_zone: true,
+            ..BurnDownConfig::default()
+        };
+        let ledger = banded_ledger();
+        let all = burn_down_evidence(&norm, &allocation, &ledger, &config).unwrap();
+        assert_eq!(all.zones.len(), 3);
+        let fog = burn_down_evidence_filtered(
+            &norm,
+            &allocation,
+            &ledger,
+            &config,
+            &ContextFilter::parse(["weather=fog"]).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(fog.zones.len(), 2);
+        assert!(fog.zones.iter().all(|z| z.zone.contains("weather=fog")));
+        // filtering selects rows; it never changes the global verdict
+        assert_eq!(fog.goals, all.goals);
+        assert_eq!(fog.classes, all.classes);
+        assert_eq!(fog.exposure_hours, all.exposure_hours);
+        // filtered rows are the matching subset of the unfiltered rows
+        for z in &fog.zones {
+            assert!(all.zones.contains(z));
+        }
+        // context-key rows render with the "context" label
+        let text = fog.to_string();
+        assert!(text.contains("context lighting=day,weather=fog,zone=urban"));
     }
 
     #[test]

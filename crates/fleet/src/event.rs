@@ -33,6 +33,21 @@
 //! [`SCHEMA_VERSION`] are skipped (and counted) instead of being
 //! mis-parsed: an old monitor must never misread new-firmware telemetry as
 //! zero incidents.
+//!
+//! Schema version 2 adds one optional field: `ctx`, a canonical ODD-band
+//! context key (see [`qrn_odd::key`]) attributing the exposure or incident
+//! to the band it was observed in:
+//!
+//! ```text
+//! {"ctx":"weather=fog,zone=school","event":"exposure","hours":0.25,"v":2,"vehicle":"V0001"}
+//! ```
+//!
+//! The writer is conservative: lines without a context are still emitted
+//! as version 1, byte-identical to every pre-v2 writer, so ctx-less logs,
+//! checkpoints and store segments cannot drift. Only ctx-stamped lines
+//! carry `"v":2`. A `ctx` field that is present but is not a string
+//! holding a grammar-valid canonical key is [`SkipReason::InvalidValue`]:
+//! a mangled context must never silently degrade into global evidence.
 
 use serde::json::Value;
 use serde::{Deserialize, Serialize};
@@ -44,7 +59,16 @@ use qrn_units::Hours;
 pub mod fastpath;
 
 /// Newest event-schema version this parser understands.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// The version a rendered line declares: 1 for ctx-less lines (the exact
+/// bytes every pre-v2 writer produced), 2 once a context key is stamped.
+pub fn line_version(ctx: Option<&str>) -> u64 {
+    match ctx {
+        Some(_) => 2,
+        None => 1,
+    }
+}
 
 /// One observation from the fleet.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -89,6 +113,16 @@ impl FleetEvent {
         self.render_line(Some(seq))
     }
 
+    /// Renders the event as one compact JSONL line attributing it to the
+    /// ODD-band context `ctx` (a canonical key from
+    /// [`qrn_odd::key::ContextKey`]). Context-stamped lines declare
+    /// schema version 2.
+    pub fn to_line_with_meta(&self, seq: Option<u64>, ctx: Option<&str>) -> String {
+        let mut out = String::with_capacity(96);
+        self.render_line_meta_into(&mut out, seq, ctx);
+        out
+    }
+
     /// Renders the event into `out` (appending; callers clear between
     /// lines to reuse the buffer). Byte-identical to [`Self::to_line`] /
     /// [`Self::to_line_with_seq`] — the keys are emitted in the sorted
@@ -97,8 +131,22 @@ impl FleetEvent {
     /// without building a `Value` tree or allocating per line, so the
     /// telemetry generator can render millions of lines into one buffer.
     pub fn render_line_into(&self, out: &mut String, seq: Option<u64>) {
+        self.render_line_meta_into(out, seq, None);
+    }
+
+    /// Renders the event into `out` like [`Self::render_line_into`], with
+    /// an optional ODD-band context key. `ctx` leads the line (`"ctx"`
+    /// sorts before `"event"`) and flips the declared version to 2;
+    /// without it the bytes are exactly the version-1 wire format.
+    pub fn render_line_meta_into(&self, out: &mut String, seq: Option<u64>, ctx: Option<&str>) {
         use std::fmt::Write as _;
-        out.push_str("{\"event\":\"");
+        out.push('{');
+        if let Some(ctx) = ctx {
+            out.push_str("\"ctx\":");
+            push_json_str(out, ctx);
+            out.push(',');
+        }
+        out.push_str("\"event\":\"");
         match self {
             FleetEvent::Exposure { hours, .. } => {
                 out.push_str("exposure\",\"hours\":");
@@ -114,7 +162,7 @@ impl FleetEvent {
             let _ = write!(out, "{seq}");
         }
         out.push_str(",\"v\":");
-        let _ = write!(out, "{SCHEMA_VERSION}");
+        let _ = write!(out, "{}", line_version(ctx));
         out.push_str(",\"vehicle\":");
         push_json_str(out, self.vehicle());
         out.push('}');
@@ -315,6 +363,22 @@ pub fn parse_line(line: &str) -> Result<Option<FleetEvent>, SkipReason> {
 /// sequence number must never be silently treated as "unsequenced",
 /// because that would exempt the line from duplicate rejection.
 pub fn parse_line_with_seq(line: &str) -> Result<Option<(FleetEvent, Option<u64>)>, SkipReason> {
+    parse_line_with_meta(line).map(|parsed| parsed.map(|(event, seq, _ctx)| (event, seq)))
+}
+
+/// One parsed telemetry line with its optional line metadata: the
+/// per-vehicle sequence number and the ODD-band context key.
+pub type EventMeta = (FleetEvent, Option<u64>, Option<String>);
+
+/// Parses one JSONL line like [`parse_line_with_seq`], additionally
+/// surfacing the optional ODD-band context key stamped by
+/// [`FleetEvent::to_line_with_meta`]. Unstamped lines parse to
+/// `ctx = None` (global evidence). A `ctx` field that is present but is
+/// not a string carrying a grammar-valid canonical key (see
+/// [`qrn_odd::key::is_canonical_key`]) is [`SkipReason::InvalidValue`]:
+/// mangled context must be counted, never silently folded into the
+/// global row.
+pub fn parse_line_with_meta(line: &str) -> Result<Option<EventMeta>, SkipReason> {
     let line = line.trim();
     if line.is_empty() {
         return Ok(None);
@@ -331,6 +395,11 @@ pub fn parse_line_with_seq(line: &str) -> Result<Option<(FleetEvent, Option<u64>
     let seq = match map.get("seq") {
         None => None,
         Some(Value::Number(n)) => Some(n.as_u64().ok_or(SkipReason::InvalidValue)?),
+        Some(_) => return Err(SkipReason::InvalidValue),
+    };
+    let ctx = match map.get("ctx") {
+        None => None,
+        Some(Value::String(key)) if qrn_odd::key::is_canonical_key(key) => Some(key.clone()),
         Some(_) => return Err(SkipReason::InvalidValue),
     };
     let kind = map
@@ -358,7 +427,7 @@ pub fn parse_line_with_seq(line: &str) -> Result<Option<(FleetEvent, Option<u64>
         }
         _ => return Err(SkipReason::UnknownKind),
     };
-    Ok(Some((event, seq)))
+    Ok(Some((event, seq, ctx)))
 }
 
 /// Renders events as a JSONL document (one line per event, trailing
@@ -535,12 +604,19 @@ mod tests {
     /// `to_json`. Kept as the reference the direct writer is asserted
     /// byte-identical against, so `--stamp-seq` artefacts and golden logs
     /// cannot drift.
-    fn render_line_via_value_map(event: &FleetEvent, seq: Option<u64>) -> String {
+    fn render_line_via_value_map(
+        event: &FleetEvent,
+        seq: Option<u64>,
+        ctx: Option<&str>,
+    ) -> String {
         let mut map = serde::json::Map::new();
         map.insert(
             "v".into(),
-            Value::Number(serde::json::Number::PosInt(SCHEMA_VERSION)),
+            Value::Number(serde::json::Number::PosInt(line_version(ctx))),
         );
+        if let Some(ctx) = ctx {
+            map.insert("ctx".into(), Value::String(ctx.into()));
+        }
         if let Some(seq) = seq {
             map.insert(
                 "seq".into(),
@@ -603,13 +679,81 @@ mod tests {
         let mut buf = String::new();
         for event in &events {
             for seq in [None, Some(1), Some(7), Some(u64::MAX)] {
-                // A single reused buffer, as the generator uses it.
-                buf.clear();
-                event.render_line_into(&mut buf, seq);
-                assert_eq!(buf, render_line_via_value_map(event, seq), "{event:?}");
-                assert_eq!(buf, event.render_line(seq), "{event:?}");
+                for ctx in [None, Some("zone=urban"), Some("lighting=dusk,weather=fog")] {
+                    // A single reused buffer, as the generator uses it.
+                    buf.clear();
+                    event.render_line_meta_into(&mut buf, seq, ctx);
+                    assert_eq!(buf, render_line_via_value_map(event, seq, ctx), "{event:?}");
+                    assert_eq!(buf, event.to_line_with_meta(seq, ctx), "{event:?}");
+                }
+                assert_eq!(
+                    event.render_line(seq),
+                    render_line_via_value_map(event, seq, None),
+                    "{event:?}"
+                );
             }
         }
+    }
+
+    #[test]
+    fn ctx_stamped_lines_declare_version_2_and_round_trip() {
+        let event = exposure("V0001", 0.25);
+        let line = event.to_line_with_meta(Some(3), Some("weather=fog,zone=school"));
+        assert!(
+            line.starts_with("{\"ctx\":\"weather=fog,zone=school\","),
+            "{line}"
+        );
+        assert!(line.contains("\"v\":2"), "{line}");
+        assert_eq!(
+            parse_line_with_meta(&line).unwrap(),
+            Some((
+                event.clone(),
+                Some(3),
+                Some("weather=fog,zone=school".to_string())
+            ))
+        );
+        // Meta-blind parsers still read the same event.
+        assert_eq!(parse_line(&line).unwrap(), Some(event.clone()));
+        assert_eq!(
+            parse_line_with_seq(&line).unwrap(),
+            Some((event.clone(), Some(3)))
+        );
+        // Unstamped lines keep the version-1 bytes and parse to ctx=None.
+        let plain = event.to_line_with_meta(None, None);
+        assert_eq!(plain, event.to_line());
+        assert!(plain.contains("\"v\":1"), "{plain}");
+        assert_eq!(
+            parse_line_with_meta(&plain).unwrap(),
+            Some((event, None, None))
+        );
+    }
+
+    #[test]
+    fn mangled_ctx_is_invalid_value_not_global() {
+        for line in [
+            // not a string
+            "{\"ctx\":7,\"event\":\"exposure\",\"hours\":1.0,\"v\":2,\"vehicle\":\"x\"}",
+            // empty key
+            "{\"ctx\":\"\",\"event\":\"exposure\",\"hours\":1.0,\"v\":2,\"vehicle\":\"x\"}",
+            // grammar violations: missing '=', unsorted dims, bad charset
+            "{\"ctx\":\"zone\",\"event\":\"exposure\",\"hours\":1.0,\"v\":2,\"vehicle\":\"x\"}",
+            "{\"ctx\":\"zone=urban,lighting=day\",\"event\":\"exposure\",\"hours\":1.0,\"v\":2,\"vehicle\":\"x\"}",
+            "{\"ctx\":\"Zone=urban\",\"event\":\"exposure\",\"hours\":1.0,\"v\":2,\"vehicle\":\"x\"}",
+        ] {
+            assert_eq!(
+                parse_line_with_meta(line),
+                Err(SkipReason::InvalidValue),
+                "{line}"
+            );
+        }
+        // A ctx on a version-1 line is tolerated (ctx arrived mid-stream
+        // before the firmware bumped its declared version).
+        let v1_ctx =
+            "{\"ctx\":\"zone=urban\",\"event\":\"exposure\",\"hours\":1.0,\"v\":1,\"vehicle\":\"x\"}";
+        assert_eq!(
+            parse_line_with_meta(v1_ctx).unwrap().unwrap().2,
+            Some("zone=urban".to_string())
+        );
     }
 
     #[test]

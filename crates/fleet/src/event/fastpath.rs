@@ -1,11 +1,13 @@
-//! Zero-allocation fast path for the v1 wire format.
+//! Zero-allocation fast path for the canonical wire format (v1 and
+//! ctx-stamped v2 lines).
 //!
-//! [`FleetEvent::to_line`] emits exactly one canonical byte shape per
-//! event: compact JSON, keys in sorted order, no escape sequences in the
-//! strings it generates, digits-only `seq`/`v`. This module scans that
-//! shape directly — borrowing the vehicle id from the input line,
-//! building no `Value` tree, allocating nothing — and *refuses*
-//! everything else. Any deviation (reordered keys, whitespace, an escaped
+//! [`FleetEvent::to_line`] / [`FleetEvent::to_line_with_meta`] emit
+//! exactly one canonical byte shape per event: compact JSON, keys in
+//! sorted order (an optional leading `ctx`), no escape sequences in the
+//! strings they generate, digits-only `seq`/`v`. This module scans that
+//! shape directly — borrowing the vehicle id and the context key from
+//! the input line, building no `Value` tree, allocating nothing — and
+//! *refuses* everything else. Any deviation (reordered keys, whitespace, an escaped
 //! string, an unknown field, a newer version, a semantic error such as
 //! negative hours) makes the strict scanner bail, and
 //! [`parse_line_hybrid`] falls back to the tolerant `Value`-based
@@ -27,7 +29,7 @@ use qrn_core::object::{Involvement, ObjectType};
 use qrn_units::{Hours, Meters, Speed};
 
 use super::{
-    object_from_variant_name, parse_line_with_seq, FleetEvent, SkipReason, SCHEMA_VERSION,
+    object_from_variant_name, parse_line_with_meta, FleetEvent, SkipReason, SCHEMA_VERSION,
 };
 
 /// A parsed event whose vehicle id borrows from the input line — the
@@ -80,12 +82,12 @@ impl FastEvent<'_> {
 pub enum ParsedLine<'a> {
     /// Blank or whitespace-only line (a log separator).
     Blank,
-    /// Parsed on the strict fast path; the vehicle id borrows from the
-    /// line.
-    Fast(FastEvent<'a>, Option<u64>),
+    /// Parsed on the strict fast path; the vehicle id and the optional
+    /// ODD-band context key both borrow from the line.
+    Fast(FastEvent<'a>, Option<u64>, Option<&'a str>),
     /// Parsed by the tolerant fallback; semantically identical to what
     /// the fast path would have produced had the line been canonical.
-    Owned(FleetEvent, Option<u64>),
+    Owned(FleetEvent, Option<u64>, Option<String>),
     /// Skipped, with the tolerant parser's reason.
     Skip(SkipReason),
 }
@@ -94,18 +96,28 @@ impl ParsedLine<'_> {
     /// The owned `(event, seq)` this outcome denotes, if any — the shape
     /// [`parse_line_with_seq`] returns, used by the differential tests.
     pub fn to_owned_event(&self) -> Result<Option<(FleetEvent, Option<u64>)>, SkipReason> {
+        self.to_owned_meta()
+            .map(|parsed| parsed.map(|(event, seq, _ctx)| (event, seq)))
+    }
+
+    /// The owned `(event, seq, ctx)` this outcome denotes, if any — the
+    /// shape [`parse_line_with_meta`] returns, used by the differential
+    /// tests and the context-attributing fold.
+    pub fn to_owned_meta(&self) -> Result<Option<super::EventMeta>, SkipReason> {
         match self {
             ParsedLine::Blank => Ok(None),
-            ParsedLine::Fast(event, seq) => Ok(Some((event.to_event(), *seq))),
-            ParsedLine::Owned(event, seq) => Ok(Some((event.clone(), *seq))),
+            ParsedLine::Fast(event, seq, ctx) => {
+                Ok(Some((event.to_event(), *seq, ctx.map(str::to_string))))
+            }
+            ParsedLine::Owned(event, seq, ctx) => Ok(Some((event.clone(), *seq, ctx.clone()))),
             ParsedLine::Skip(reason) => Err(*reason),
         }
     }
 }
 
 /// Parses one JSONL line: strict fast path first, tolerant
-/// [`parse_line_with_seq`] on any anomaly. Semantics are bit-identical to
-/// the tolerant parser alone; the only observable difference is which
+/// [`parse_line_with_meta`] on any anomaly. Semantics are bit-identical
+/// to the tolerant parser alone; the only observable difference is which
 /// variant ([`ParsedLine::Fast`] vs [`ParsedLine::Owned`]) carries a
 /// successful parse.
 pub fn parse_line_hybrid(line: &str) -> ParsedLine<'_> {
@@ -113,12 +125,12 @@ pub fn parse_line_hybrid(line: &str) -> ParsedLine<'_> {
     if trimmed.is_empty() {
         return ParsedLine::Blank;
     }
-    if let Some((event, seq)) = try_parse_strict(trimmed) {
-        return ParsedLine::Fast(event, seq);
+    if let Some((event, seq, ctx)) = try_parse_strict(trimmed) {
+        return ParsedLine::Fast(event, seq, ctx);
     }
-    match parse_line_with_seq(trimmed) {
+    match parse_line_with_meta(trimmed) {
         Ok(None) => ParsedLine::Blank,
-        Ok(Some((event, seq))) => ParsedLine::Owned(event, seq),
+        Ok(Some((event, seq, ctx))) => ParsedLine::Owned(event, seq, ctx),
         Err(reason) => ParsedLine::Skip(reason),
     }
 }
@@ -164,17 +176,33 @@ impl ScratchParser {
 /// well-formed lines this scanner does not cover (non-canonical key
 /// order, escaped strings, extra fields, `v:0`, semantic errors), so a
 /// `None` carries no verdict about the line.
-pub fn try_parse_strict(line: &str) -> Option<(FastEvent<'_>, Option<u64>)> {
+pub fn try_parse_strict(line: &str) -> Option<(FastEvent<'_>, Option<u64>, Option<&str>)> {
     let mut scan = Scan::new(line);
-    scan.lit("{\"event\":\"")?;
+    scan.lit("{")?;
+    // The optional leading ODD-band context key: `"ctx"` sorts before
+    // `"event"`, so a canonical ctx-stamped line leads with it. The key
+    // bytes are borrowed, and the grammar check is allocation-free; a
+    // ctx that is not a canonical key bails so the tolerant parser can
+    // classify it (InvalidValue).
+    let ctx = if scan.lit("\"ctx\":").is_some() {
+        let key = scan.plain_string()?;
+        if !qrn_odd::key::is_canonical_key(key) {
+            return None;
+        }
+        scan.lit(",")?;
+        Some(key)
+    } else {
+        None
+    };
+    scan.lit("\"event\":\"")?;
     if scan.lit("exposure\",\"hours\":").is_some() {
         let hours = Hours::try_from(scan.number()?).ok()?;
         let (seq, vehicle) = scan.tail()?;
-        Some((FastEvent::Exposure { vehicle, hours }, seq))
+        Some((FastEvent::Exposure { vehicle, hours }, seq, ctx))
     } else if scan.lit("incident\",\"record\":").is_some() {
         let record = scan.record()?;
         let (seq, vehicle) = scan.tail()?;
-        Some((FastEvent::Incident { vehicle, record }, seq))
+        Some((FastEvent::Incident { vehicle, record }, seq, ctx))
     } else {
         None
     }
@@ -380,11 +408,11 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    /// Asserts fast ≡ slow on one line: same event, same seq, same
-    /// `SkipReason` — the whole observable surface.
+    /// Asserts fast ≡ slow on one line: same event, same seq, same ctx,
+    /// same `SkipReason` — the whole observable surface.
     fn assert_differential(line: &str) {
-        let hybrid = parse_line_hybrid(line).to_owned_event();
-        let slow = parse_line_with_seq(line);
+        let hybrid = parse_line_hybrid(line).to_owned_meta();
+        let slow = parse_line_with_meta(line);
         assert_eq!(hybrid, slow, "line: {line:?}");
     }
 
@@ -400,7 +428,7 @@ mod tests {
     fn canonical_lines_take_the_fast_path() {
         let line = canonical_exposure("V0001", 8.0, Some(7));
         match parse_line_hybrid(&line) {
-            ParsedLine::Fast(FastEvent::Exposure { vehicle, hours }, Some(7)) => {
+            ParsedLine::Fast(FastEvent::Exposure { vehicle, hours }, Some(7), None) => {
                 assert_eq!(vehicle, "V0001");
                 assert_eq!(hours, Hours::new(8.0).unwrap());
             }
@@ -418,13 +446,36 @@ mod tests {
         };
         let line = incident.to_line();
         match parse_line_hybrid(&line) {
-            ParsedLine::Fast(event, None) => {
+            ParsedLine::Fast(event, None, None) => {
                 // The un-normalised Induced order survives, exactly as it
                 // does through the derived deserializer.
                 assert_eq!(event.to_event(), incident);
             }
             other => panic!("expected fast incident, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn ctx_stamped_lines_take_the_fast_path_and_borrow_the_key() {
+        let event = FleetEvent::Exposure {
+            vehicle: "V0007".to_string(),
+            hours: Hours::new(0.25).unwrap(),
+        };
+        let line = event.to_line_with_meta(Some(9), Some("lighting=dusk,weather=fog,zone=school"));
+        match parse_line_hybrid(&line) {
+            ParsedLine::Fast(fast, Some(9), Some(ctx)) => {
+                assert_eq!(fast.to_event(), event);
+                assert_eq!(ctx, "lighting=dusk,weather=fog,zone=school");
+                // Borrowed, not copied: the key points into the line.
+                let line_range = line.as_ptr() as usize..line.as_ptr() as usize + line.len();
+                assert!(line_range.contains(&(ctx.as_ptr() as usize)));
+            }
+            other => panic!("expected fast ctx exposure, got {other:?}"),
+        }
+        // A non-canonical ctx bails to the tolerant parser, which skips.
+        let mangled = line.replace("lighting=dusk", "lighting=");
+        assert!(try_parse_strict(&mangled).is_none());
+        assert_differential(&mangled);
     }
 
     #[test]
@@ -496,8 +547,24 @@ mod tests {
         proptest::sample::select(ObjectType::ALL.to_vec())
     }
 
+    /// Canonical ODD-band context keys over three-plus dimensions, as the
+    /// banded telemetry generator stamps them.
+    fn arb_ctx() -> impl Strategy<Value = Option<&'static str>> {
+        prop_oneof![
+            Just(None),
+            proptest::sample::select(vec![
+                "zone=school",
+                "weather=fog,zone=urban",
+                "lighting=dusk,weather=rain,zone=highway",
+                "lighting=day,time_of_day=rush,weather=clear,zone=arterial",
+                "speed_limit_kmh=50.0,zone=urban",
+            ])
+            .prop_map(Some),
+        ]
+    }
+
     /// A generator of canonical event lines covering both kinds, all
-    /// involvement shapes, and optional seq stamping.
+    /// involvement shapes, and optional seq and ctx stamping.
     fn arb_canonical_line() -> impl Strategy<Value = String> {
         let involvement = prop_oneof![
             arb_object().prop_map(Involvement::EgoWith),
@@ -525,7 +592,7 @@ mod tests {
                 }
             }),
         ];
-        (event, seq).prop_map(|(event, seq)| event.render_line(seq))
+        (event, seq, arb_ctx()).prop_map(|(event, seq, ctx)| event.to_line_with_meta(seq, ctx))
     }
 
     proptest! {
@@ -540,8 +607,8 @@ mod tests {
                 try_parse_strict(&line).is_some(),
                 "canonical line must take the fast path: {line:?}"
             );
-            let hybrid = parse_line_hybrid(&line).to_owned_event();
-            let slow = parse_line_with_seq(&line);
+            let hybrid = parse_line_hybrid(&line).to_owned_meta();
+            let slow = parse_line_with_meta(&line);
             prop_assert_eq!(hybrid, slow, "line: {:?}", line);
         }
 
@@ -558,8 +625,8 @@ mod tests {
             let at = index % bytes.len();
             bytes[at] = byte;
             if let Ok(mutated) = String::from_utf8(bytes) {
-                let hybrid = parse_line_hybrid(&mutated).to_owned_event();
-                let slow = parse_line_with_seq(&mutated);
+                let hybrid = parse_line_hybrid(&mutated).to_owned_meta();
+                let slow = parse_line_with_meta(&mutated);
                 prop_assert_eq!(hybrid, slow, "mutated: {:?}", mutated);
             }
         }
@@ -573,8 +640,8 @@ mod tests {
             let at = cut % (line.len() + 1);
             if line.is_char_boundary(at) {
                 let truncated = &line[..at];
-                let hybrid = parse_line_hybrid(truncated).to_owned_event();
-                let slow = parse_line_with_seq(truncated);
+                let hybrid = parse_line_hybrid(truncated).to_owned_meta();
+                let slow = parse_line_with_meta(truncated);
                 prop_assert_eq!(hybrid, slow, "truncated: {:?}", truncated);
             }
         }
@@ -586,8 +653,8 @@ mod tests {
             bytes in proptest::collection::vec(0x20u8..0x7f, 0..120),
         ) {
             let line = String::from_utf8(bytes).expect("printable ASCII");
-            let hybrid = parse_line_hybrid(&line).to_owned_event();
-            let slow = parse_line_with_seq(&line);
+            let hybrid = parse_line_hybrid(&line).to_owned_meta();
+            let slow = parse_line_with_meta(&line);
             prop_assert_eq!(hybrid, slow, "fuzzed: {:?}", line);
         }
     }

@@ -137,24 +137,43 @@ impl FleetState {
     }
 
     /// Folds one exposure report, preserving the exact arithmetic of the
-    /// sequential reference (`0.0 + h` on first sight).
-    fn fold_exposure(&mut self, vehicle: &str, hours: Hours) {
+    /// sequential reference (`0.0 + h` on first sight). Context-stamped
+    /// reports are double-entry: the global row keeps the fleet total
+    /// (so ctx-less consumers see unchanged sums) and the named row
+    /// attributes the same hours to their ODD band.
+    fn fold_exposure(&mut self, vehicle: &str, hours: Hours, ctx: Option<&str>) {
         self.evidence.add_exposure(None, hours.value());
+        if let Some(ctx) = ctx {
+            self.evidence.add_exposure(Some(ctx), hours.value());
+        }
         self.vehicle_entry(vehicle).exposure_hours += hours.value();
     }
 
     /// Folds one incident observation, classifying against
-    /// `classification`.
+    /// `classification`. Like exposure, a context-stamped incident counts
+    /// in the global row and in its band's refinement row.
     fn fold_incident(
         &mut self,
         vehicle: &str,
         record: &IncidentRecord,
         classification: &IncidentClassification,
+        ctx: Option<&str>,
     ) {
         self.vehicle_entry(vehicle).observations += 1;
         match classification.classify(record) {
-            Some(leaf) => self.evidence.add_incident(None, leaf.id().as_str(), 1.0),
-            None => self.evidence.add_unclassified(None, 1.0),
+            Some(leaf) => {
+                self.evidence.add_incident(None, leaf.id().as_str(), 1.0);
+                if let Some(ctx) = ctx {
+                    self.evidence
+                        .add_incident(Some(ctx), leaf.id().as_str(), 1.0);
+                }
+            }
+            None => {
+                self.evidence.add_unclassified(None, 1.0);
+                if let Some(ctx) = ctx {
+                    self.evidence.add_unclassified(Some(ctx), 1.0);
+                }
+            }
         }
     }
 
@@ -237,21 +256,24 @@ impl ShardAccumulator {
         s.lines += 1;
         match fastpath::parse_line_hybrid(line) {
             ParsedLine::Blank => {}
-            ParsedLine::Fast(event, _seq) => {
+            ParsedLine::Fast(event, _seq, ctx) => {
                 s.events += 1;
                 match event {
-                    FastEvent::Exposure { vehicle, hours } => s.fold_exposure(vehicle, hours),
+                    FastEvent::Exposure { vehicle, hours } => s.fold_exposure(vehicle, hours, ctx),
                     FastEvent::Incident { vehicle, record } => {
-                        s.fold_incident(vehicle, &record, classification);
+                        s.fold_incident(vehicle, &record, classification, ctx);
                     }
                 }
             }
-            ParsedLine::Owned(event, _seq) => {
+            ParsedLine::Owned(event, _seq, ctx) => {
                 s.events += 1;
+                let ctx = ctx.as_deref();
                 match &event {
-                    FleetEvent::Exposure { vehicle, hours } => s.fold_exposure(vehicle, *hours),
+                    FleetEvent::Exposure { vehicle, hours } => {
+                        s.fold_exposure(vehicle, *hours, ctx);
+                    }
                     FleetEvent::Incident { vehicle, record } => {
-                        s.fold_incident(vehicle, record, classification);
+                        s.fold_incident(vehicle, record, classification, ctx);
                     }
                 }
             }
@@ -442,6 +464,76 @@ mod tests {
         let state = ingest_str(&log, &classification, 4).unwrap();
         assert_eq!(state.skipped().bad_json, 1);
         assert_eq!(state.events(), 200);
+    }
+
+    /// A ctx-less (schema v1) log must leave no trace of context
+    /// attribution: the ledger carries only the global row, so the
+    /// serialized state is byte-identical to what the pre-context
+    /// ingester produced.
+    #[test]
+    fn ctx_less_logs_fold_only_the_global_ledger_row() {
+        let classification = paper_classification().unwrap();
+        let log = sample_log(3, 100);
+        let state = ingest_str(&log, &classification, 4).unwrap();
+        assert_eq!(state.evidence().named_contexts().count(), 0);
+        assert!((state.evidence().exposure() - state.exposure().value()).abs() < 1e-12);
+    }
+
+    /// Ctx-stamped lines fold double-entry: the global row keeps the
+    /// fleet total while each canonical key accumulates its own
+    /// refinement row, and the named rows partition the total exactly
+    /// (the MECE invariant — exposures are 0.25 h multiples, so the
+    /// dyadic sums are bit-exact).
+    #[test]
+    fn ctx_stamped_lines_fold_named_ledger_rows() {
+        let classification = paper_classification().unwrap();
+        let bands = ["weather=clear,zone=urban", "weather=fog,zone=urban"];
+        let mut log = String::new();
+        let mut per_band = [0.0f64; 2];
+        for i in 0..40 {
+            let band = i % 2;
+            let event = FleetEvent::Exposure {
+                vehicle: format!("V{:04}", i % 4),
+                hours: Hours::new(0.25 * (1 + i % 3) as f64).unwrap(),
+            };
+            per_band[band] += 0.25 * (1 + i % 3) as f64;
+            log.push_str(&event.to_line_with_meta(None, Some(bands[band])));
+            log.push('\n');
+        }
+        let incident = FleetEvent::Incident {
+            vehicle: "V0000".into(),
+            record: IncidentRecord::collision(
+                Involvement::ego_with(ObjectType::Vru),
+                Speed::from_kmh(30.0).unwrap(),
+            ),
+        };
+        log.push_str(&incident.to_line_with_meta(None, Some(bands[1])));
+        log.push('\n');
+
+        for shards in [1, 4] {
+            let state = ingest_str(&log, &classification, shards).unwrap();
+            let named: Vec<&str> = state.evidence().named_contexts().map(|(n, _)| n).collect();
+            assert_eq!(named, bands.to_vec(), "shards={shards}");
+            for (band, expected) in bands.iter().zip(per_band) {
+                assert_eq!(state.evidence().exposure_in(band), expected);
+            }
+            // double entry: the global row still carries the fleet total,
+            // and the named rows sum to it exactly
+            let total: f64 = bands.iter().map(|b| state.evidence().exposure_in(b)).sum();
+            assert_eq!(state.evidence().exposure(), total);
+            assert_eq!(state.exposure().value(), total);
+            // the incident lands in the global row and its band row
+            let kind = state
+                .evidence()
+                .kinds()
+                .first()
+                .copied()
+                .unwrap()
+                .to_string();
+            assert_eq!(state.evidence().count(&kind).total(), 1.0);
+            assert_eq!(state.evidence().count_in(bands[1], &kind).total(), 1.0);
+            assert_eq!(state.evidence().count_in(bands[0], &kind).total(), 0.0);
+        }
     }
 
     #[test]

@@ -56,7 +56,9 @@ pub mod event;
 pub mod ingest;
 pub mod telemetry;
 
-pub use burndown::{burn_down, AlertLevel, BurnDownConfig, FleetReport};
+pub use burndown::{
+    burn_down, burn_down_filtered, AlertLevel, BurnDownConfig, ContextFilter, FleetReport,
+};
 pub use error::FleetError;
 pub use event::fastpath::{parse_line_hybrid, FastEvent, ParsedLine, ScratchParser};
 pub use event::{parse_jsonl, to_jsonl, FleetEvent, SkipCounts, SCHEMA_VERSION};

@@ -14,9 +14,12 @@
 //! [`crate::event::to_jsonl`].
 
 use qrn_core::incident::IncidentRecord;
+use qrn_odd::ContextKey;
 use qrn_sim::monte_carlo::Campaign;
 use qrn_sim::policy::{CautiousPolicy, ReactivePolicy};
-use qrn_sim::scenario::{highway_scenario, mixed_scenario, urban_scenario, WorldConfig};
+use qrn_sim::scenario::{
+    banded_scenario, highway_scenario, mixed_scenario, urban_scenario, WorldConfig,
+};
 use qrn_units::Hours;
 
 use crate::error::FleetError;
@@ -27,6 +30,12 @@ use crate::event::FleetEvent;
 /// exercises the ingest engine's per-vehicle accumulation.
 pub const MAX_CHUNK_HOURS: f64 = 10.0;
 
+/// Exposure quantum of the banded generator, hours. Band quotas are
+/// rounded down to multiples of this, so per-band sums of generated
+/// dyadic chunks stay bit-exact under any summation order — the property
+/// the `--check-mece` guard relies on.
+pub const BAND_QUANTUM_HOURS: f64 = 0.25;
+
 /// Simulated driving environment of the synthetic fleet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scenario {
@@ -36,17 +45,27 @@ pub enum Scenario {
     Highway,
     /// Mixed urban/highway operation.
     Mixed,
+    /// ODD bands over zone × weather × lighting × time-of-day, with the
+    /// canonical band key stamped onto every generated line (schema v2).
+    Banded,
 }
 
 impl Scenario {
-    /// Parses a scenario name as used by the CLI (`urban|highway|mixed`).
+    /// Parses a scenario name as used by the CLI
+    /// (`urban|highway|mixed|banded`).
     pub fn from_name(name: &str) -> Option<Scenario> {
         match name {
             "urban" => Some(Scenario::Urban),
             "highway" => Some(Scenario::Highway),
             "mixed" => Some(Scenario::Mixed),
+            "banded" => Some(Scenario::Banded),
             _ => None,
         }
+    }
+
+    /// True when generated lines carry a canonical ODD-band context key.
+    pub fn is_banded(self) -> bool {
+        self == Scenario::Banded
     }
 
     fn world(self) -> Result<WorldConfig, FleetError> {
@@ -54,6 +73,7 @@ impl Scenario {
             Scenario::Urban => urban_scenario(),
             Scenario::Highway => highway_scenario(),
             Scenario::Mixed => mixed_scenario(),
+            Scenario::Banded => banded_scenario(),
         };
         config.map_err(FleetError::from)
     }
@@ -133,7 +153,15 @@ impl FaultPlan {
         if Self::hits(self.truncate_every, line_number) {
             Some(line[..line.len() / 2].to_string())
         } else if Self::hits(self.future_version_every, line_number) {
-            Some(line.replacen("\"v\":1", "\"v\":999", 1))
+            // Ctx-stamped lines declare "v":2; ctx-less lines "v":1. The
+            // ctx value's charset excludes quotes and colons, so neither
+            // needle can occur inside the context key.
+            let damaged = line.replacen("\"v\":1", "\"v\":999", 1);
+            Some(if damaged == line {
+                line.replacen("\"v\":2", "\"v\":999", 1)
+            } else {
+                damaged
+            })
         } else if Self::hits(self.unknown_kind_every, line_number) {
             Some(
                 line.replacen(
@@ -275,12 +303,48 @@ impl TelemetryConfig {
     /// Returns [`FleetError`] for a zero-vehicle fleet or a zero-hour
     /// campaign.
     pub fn generate(&self) -> Result<Vec<FleetEvent>, FleetError> {
+        Ok(self
+            .generate_with_bands()?
+            .into_iter()
+            .map(|(event, _)| event)
+            .collect())
+    }
+
+    /// Generates the telemetry stream with each event's ODD-band context
+    /// key (`None` everywhere except the banded scenario).
+    ///
+    /// For the banded scenario, each vehicle's exposure is split over the
+    /// world's bands in dwell proportion — quantised down to
+    /// [`BAND_QUANTUM_HOURS`] multiples, the first band absorbing the
+    /// remainder — and simulated incidents are attributed to bands
+    /// round-robin. Injected records stay unstamped (global): they are
+    /// alert-rehearsal synthetics, not band observations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError`] for a zero-vehicle fleet, a zero-hour
+    /// campaign, or a band context that does not render to a canonical
+    /// context key.
+    pub fn generate_with_bands(&self) -> Result<Vec<(FleetEvent, Option<String>)>, FleetError> {
         if self.vehicles == 0 {
             return Err(FleetError::InvalidConfig(
                 "a telemetry fleet needs at least one vehicle".to_string(),
             ));
         }
         let world = self.scenario.world()?;
+        let band_keys: Option<Vec<String>> = if self.scenario.is_banded() {
+            let mut keys = Vec::with_capacity(world.zones.len());
+            for z in &world.zones {
+                let key = ContextKey::from_context(&z.context).map_err(|e| {
+                    FleetError::InvalidConfig(format!("band {} has no canonical key: {e}", z.name))
+                })?;
+                keys.push(key.into_string());
+            }
+            Some(keys)
+        } else {
+            None
+        };
+        let dwell_weights: Vec<f64> = world.zones.iter().map(|z| z.dwell.value()).collect();
         let records = match self.policy {
             Policy::Cautious => self.run(Campaign::new(world, CautiousPolicy::default()))?,
             Policy::Reactive => self.run(Campaign::new(world, ReactivePolicy::default()))?,
@@ -290,29 +354,59 @@ impl TelemetryConfig {
         let per_vehicle = self.hours.value() / self.vehicles as f64;
         for v in 0..self.vehicles {
             let vehicle = vehicle_name(v);
-            let mut remaining = per_vehicle;
-            while remaining > 0.0 {
-                let chunk = remaining.min(MAX_CHUNK_HOURS);
-                events.push(FleetEvent::Exposure {
-                    vehicle: vehicle.clone(),
-                    hours: Hours::new(chunk)?,
-                });
-                remaining -= chunk;
+            match &band_keys {
+                None => {
+                    let mut remaining = per_vehicle;
+                    while remaining > 0.0 {
+                        let chunk = remaining.min(MAX_CHUNK_HOURS);
+                        events.push((
+                            FleetEvent::Exposure {
+                                vehicle: vehicle.clone(),
+                                hours: Hours::new(chunk)?,
+                            },
+                            None,
+                        ));
+                        remaining -= chunk;
+                    }
+                }
+                Some(keys) => {
+                    for (band, hours) in band_quotas(per_vehicle, &dwell_weights) {
+                        let mut remaining = hours;
+                        while remaining > 0.0 {
+                            let chunk = remaining.min(MAX_CHUNK_HOURS);
+                            events.push((
+                                FleetEvent::Exposure {
+                                    vehicle: vehicle.clone(),
+                                    hours: Hours::new(chunk)?,
+                                },
+                                Some(keys[band].clone()),
+                            ));
+                            remaining -= chunk;
+                        }
+                    }
+                }
             }
         }
         for (i, record) in records.into_iter().enumerate() {
-            events.push(FleetEvent::Incident {
-                vehicle: vehicle_name(i % self.vehicles),
-                record,
-            });
+            let ctx = band_keys.as_ref().map(|keys| keys[i % keys.len()].clone());
+            events.push((
+                FleetEvent::Incident {
+                    vehicle: vehicle_name(i % self.vehicles),
+                    record,
+                },
+                ctx,
+            ));
         }
         let mut injected_index = 0usize;
         for (record, count) in &self.injected {
             for _ in 0..*count {
-                events.push(FleetEvent::Incident {
-                    vehicle: vehicle_name(injected_index % self.vehicles),
-                    record: *record,
-                });
+                events.push((
+                    FleetEvent::Incident {
+                        vehicle: vehicle_name(injected_index % self.vehicles),
+                        record: *record,
+                    },
+                    None,
+                ));
                 injected_index += 1;
             }
         }
@@ -335,15 +429,16 @@ impl TelemetryConfig {
     /// Returns [`FleetError`] for a zero-vehicle fleet or a zero-hour
     /// campaign.
     pub fn generate_jsonl(&self) -> Result<String, FleetError> {
-        let events = self.generate()?;
+        let events = self.generate_with_bands()?;
         let mut out = String::with_capacity(events.len() * 64);
         // One reusable render buffer instead of a `Vec<String>` of every
-        // line: [`FleetEvent::render_line_into`] is byte-identical to
-        // `to_line`/`to_line_with_seq`, so the emitted document cannot
-        // drift while the generator stops allocating per line.
+        // line: [`FleetEvent::render_line_meta_into`] is byte-identical
+        // to `to_line`/`to_line_with_seq`/`to_line_with_meta`, so the
+        // emitted document cannot drift while the generator stops
+        // allocating per line.
         let mut buf = String::with_capacity(96);
         let mut counters: std::collections::BTreeMap<&str, u64> = Default::default();
-        for (i, event) in events.iter().enumerate() {
+        for (i, (event, ctx)) in events.iter().enumerate() {
             let seq = if self.stamp_seq {
                 let seq = counters.entry(event.vehicle()).or_insert(0);
                 *seq += 1;
@@ -358,7 +453,7 @@ impl TelemetryConfig {
                 continue;
             }
             buf.clear();
-            event.render_line_into(&mut buf, seq);
+            event.render_line_meta_into(&mut buf, seq, ctx.as_deref());
             match self.faults.corrupt(n, &buf) {
                 Some(damaged) => out.push_str(&damaged),
                 None => out.push_str(&buf),
@@ -382,6 +477,38 @@ impl TelemetryConfig {
 
 fn vehicle_name(index: usize) -> String {
     format!("V{:04}", index + 1)
+}
+
+/// Splits `total` hours over bands in `weights` proportion. Every band
+/// but the first is rounded *down* to a [`BAND_QUANTUM_HOURS`] multiple;
+/// the first band absorbs the remainder, so the quotas always sum to
+/// `total` exactly. Bands whose quota rounds to zero are omitted.
+fn band_quotas(total: f64, weights: &[f64]) -> Vec<(usize, f64)> {
+    let weight_sum: f64 = weights.iter().sum();
+    // `weight_sum > 0.0` is false for NaN too: degenerate weights send
+    // everything to band 0 rather than dividing by a junk sum.
+    let usable = weight_sum > 0.0;
+    if !usable || total <= 0.0 {
+        return if total > 0.0 {
+            vec![(0, total)]
+        } else {
+            Vec::new()
+        };
+    }
+    let mut quotas = Vec::with_capacity(weights.len());
+    let mut tail = 0.0;
+    for (band, w) in weights.iter().enumerate().skip(1) {
+        let quota = (total * w / weight_sum / BAND_QUANTUM_HOURS).floor() * BAND_QUANTUM_HOURS;
+        if quota > 0.0 {
+            quotas.push((band, quota));
+            tail += quota;
+        }
+    }
+    let first = total - tail;
+    if first > 0.0 {
+        quotas.insert(0, (0, first));
+    }
+    quotas
 }
 
 #[cfg(test)]
@@ -580,8 +707,100 @@ mod tests {
     #[test]
     fn names_parse_back() {
         assert_eq!(Scenario::from_name("urban"), Some(Scenario::Urban));
+        assert_eq!(Scenario::from_name("banded"), Some(Scenario::Banded));
         assert_eq!(Scenario::from_name("moon"), None);
         assert_eq!(Policy::from_name("reactive"), Some(Policy::Reactive));
         assert_eq!(Policy::from_name("none"), None);
+    }
+
+    fn banded() -> TelemetryConfig {
+        small().scenario(Scenario::Banded)
+    }
+
+    #[test]
+    fn unbanded_scenarios_never_stamp_ctx_and_keep_their_bytes() {
+        // The banded refactor must not move a single byte of the
+        // existing scenarios' output.
+        let text = small().generate_jsonl().unwrap();
+        assert!(!text.contains("\"ctx\""));
+        assert!(!text.contains("\"v\":2"));
+        assert_eq!(text, to_jsonl(&small().generate().unwrap()));
+        for (_, ctx) in small().generate_with_bands().unwrap() {
+            assert!(ctx.is_none());
+        }
+    }
+
+    #[test]
+    fn banded_lines_carry_canonical_keys_over_three_plus_dimensions() {
+        let text = banded().generate_jsonl().unwrap();
+        let mut dims = std::collections::BTreeSet::new();
+        let mut keys = std::collections::BTreeSet::new();
+        let mut stamped = 0u64;
+        for line in text.lines() {
+            let (_event, _seq, ctx) = crate::event::parse_line_with_meta(line).unwrap().unwrap();
+            let ctx = ctx.expect("every banded simulated line is stamped");
+            assert!(qrn_odd::key::is_canonical_key(&ctx), "{ctx}");
+            for pair in ctx.split(',') {
+                dims.insert(pair.split_once('=').unwrap().0.to_string());
+            }
+            keys.insert(ctx);
+            stamped += 1;
+        }
+        assert!(stamped > 0);
+        assert!(keys.len() >= 3, "expected several bands, got {keys:?}");
+        for dim in ["zone", "weather", "lighting", "time_of_day"] {
+            assert!(dims.contains(dim), "missing dimension {dim}");
+        }
+    }
+
+    #[test]
+    fn banded_generation_is_deterministic_and_conserves_exposure() {
+        let a = banded().generate_jsonl().unwrap();
+        let b = banded().workers(5).generate_jsonl().unwrap();
+        assert_eq!(a, b);
+        // Per-band exposures are dyadic multiples of the quantum except
+        // in the remainder band, and they sum to the fleet total
+        // bit-exactly (the MECE invariant the generator guarantees).
+        let classification = paper_classification().unwrap();
+        let state = ingest_str(&a, &classification, 4).unwrap();
+        assert_eq!(state.skipped().total(), 0);
+        let named: f64 = state
+            .evidence()
+            .named_contexts()
+            .map(|(_, c)| c.exposure_hours())
+            .sum();
+        assert_eq!(named, state.evidence().exposure());
+        assert!((state.exposure().value() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn band_quotas_sum_exactly_and_respect_weights() {
+        let weights = [0.2, 0.1, 0.25, 0.15, 0.35, 0.25];
+        let quotas = band_quotas(20.0, &weights);
+        let total: f64 = quotas.iter().map(|(_, h)| h).sum();
+        assert_eq!(total, 20.0);
+        for (band, h) in &quotas {
+            if *band != 0 {
+                let q = h / BAND_QUANTUM_HOURS;
+                assert_eq!(q, q.trunc(), "band {band} quota {h} not dyadic");
+            }
+        }
+        // degenerate inputs collapse to the first band or nothing
+        assert_eq!(band_quotas(5.0, &[]), vec![(0, 5.0)]);
+        assert_eq!(band_quotas(0.0, &weights), vec![]);
+    }
+
+    #[test]
+    fn future_version_fault_hits_ctx_stamped_lines_too() {
+        let plan = FaultPlan {
+            future_version_every: 13,
+            ..FaultPlan::default()
+        };
+        let text = banded().faults(plan).generate_jsonl().unwrap();
+        let classification = paper_classification().unwrap();
+        let state = ingest_str(&text, &classification, 3).unwrap();
+        let lines = text.lines().count() as u64;
+        assert_eq!(state.skipped().unsupported_version, lines / 13);
+        assert!(state.skipped().unsupported_version > 0);
     }
 }

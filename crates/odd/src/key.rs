@@ -1,0 +1,498 @@
+//! Canonical context keys: the single string form of a [`Context`] that
+//! every pipeline layer shares — telemetry lines stamp it, the evidence
+//! ledger keys refinement rows on it, burn-down rows and HTTP filters
+//! parse it back.
+//!
+//! # Grammar
+//!
+//! ```text
+//! key   = pair ("," pair)*          ; at least one pair, dims strictly increasing
+//! pair  = dim "=" value
+//! dim   = [a-z][a-z0-9_]*
+//! value = [A-Za-z0-9._+-]+
+//! ```
+//!
+//! A value token denotes a [`Value::Number`] exactly when it is the
+//! canonical rendering of a finite `f64` (the shortest round-trip form
+//! produced by `{:?}`, e.g. `50.0` or `1e-3`); every other token is a
+//! [`Value::Category`]. This makes each grammar-valid key the canonical
+//! form of exactly one context: parsing and re-rendering is the identity
+//! on key bytes, and rendering a context twice yields identical bytes.
+//!
+//! The empty key is not a key — "no context" is represented out of band
+//! (e.g. `Option<ContextKey>`), never as `""`.
+
+use std::fmt;
+
+use crate::attribute::Dimension;
+use crate::context::{Context, Value};
+
+/// A validated canonical context key.
+///
+/// Ordering is the byte order of the canonical string, which is total and
+/// stable across parse/render round-trips.
+///
+/// # Examples
+///
+/// ```
+/// use qrn_odd::context::{Context, Value};
+/// use qrn_odd::key::ContextKey;
+/// use qrn_odd::attribute::Dimension;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ctx = Context::builder()
+///     .set(Dimension::new("zone"), Value::category("school"))
+///     .set(Dimension::new("weather"), Value::category("fog"))
+///     .set(Dimension::new("speed_limit_kmh"), Value::number(30.0))
+///     .build();
+/// let key = ContextKey::from_context(&ctx)?;
+/// assert_eq!(key.as_str(), "speed_limit_kmh=30.0,weather=fog,zone=school");
+/// assert_eq!(key.to_context(), ctx);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContextKey(String);
+
+/// Error constructing or parsing a canonical context key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContextKeyError {
+    /// The context had no dimensions, or the key text was empty.
+    Empty,
+    /// A dimension name violates `[a-z][a-z0-9_]*`.
+    BadDimension(String),
+    /// A value token was empty or used characters outside
+    /// `[A-Za-z0-9._+-]`.
+    BadValue(String),
+    /// Dimension names were not strictly increasing.
+    OutOfOrder(String),
+    /// A numeric value (or a token classifying as one) was NaN or
+    /// infinite.
+    NonFinite(String),
+    /// A categorical value spelled exactly like a canonical number and
+    /// would change type on re-parse.
+    AmbiguousCategory(String),
+}
+
+impl fmt::Display for ContextKeyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContextKeyError::Empty => f.write_str("context key must have at least one dimension"),
+            ContextKeyError::BadDimension(d) => {
+                write!(f, "bad dimension {d:?}: expected [a-z][a-z0-9_]*")
+            }
+            ContextKeyError::BadValue(v) => {
+                write!(f, "bad value {v:?}: expected non-empty [A-Za-z0-9._+-]+")
+            }
+            ContextKeyError::OutOfOrder(d) => {
+                write!(
+                    f,
+                    "dimension {d:?} out of order: dims must strictly increase"
+                )
+            }
+            ContextKeyError::NonFinite(v) => {
+                write!(f, "non-finite number {v:?} cannot appear in a context key")
+            }
+            ContextKeyError::AmbiguousCategory(v) => {
+                write!(f, "category {v:?} reads back as a number; rename it")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ContextKeyError {}
+
+/// A `fmt::Write` sink over a fixed stack buffer, so number
+/// canonicalisation never allocates (the fast-path line scanner runs this
+/// on every ctx-stamped telemetry line).
+struct StackBuf {
+    buf: [u8; 40],
+    len: usize,
+}
+
+impl StackBuf {
+    fn new() -> Self {
+        StackBuf {
+            buf: [0; 40],
+            len: 0,
+        }
+    }
+
+    fn as_bytes(&self) -> &[u8] {
+        &self.buf[..self.len]
+    }
+}
+
+impl fmt::Write for StackBuf {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        let bytes = s.as_bytes();
+        if self.len + bytes.len() > self.buf.len() {
+            return Err(fmt::Error);
+        }
+        self.buf[self.len..self.len + bytes.len()].copy_from_slice(bytes);
+        self.len += bytes.len();
+        Ok(())
+    }
+}
+
+/// Classifies a value token: `Some(x)` when the token is the canonical
+/// `{:?}` rendering of the `f64` it parses to (this is what makes the
+/// number/category split unambiguous), `None` for everything else.
+///
+/// Allocation-free: the re-rendering goes through a stack buffer.
+pub fn canonical_number(token: &str) -> Option<f64> {
+    // Cheap pre-filter: canonical f64 renderings start with a digit or a
+    // minus sign, or are the literals `NaN`/`inf`/`-inf`.
+    let first = *token.as_bytes().first()?;
+    if !(first.is_ascii_digit() || first == b'-' || first == b'N' || first == b'i') {
+        return None;
+    }
+    let x: f64 = token.parse().ok()?;
+    let mut buf = StackBuf::new();
+    use fmt::Write as _;
+    write!(buf, "{x:?}").ok()?;
+    (buf.as_bytes() == token.as_bytes()).then_some(x)
+}
+
+fn valid_dim(dim: &str) -> bool {
+    let mut bytes = dim.bytes();
+    match bytes.next() {
+        Some(b) if b.is_ascii_lowercase() => {}
+        _ => return false,
+    }
+    bytes.all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+}
+
+fn valid_value_charset(value: &str) -> bool {
+    !value.is_empty()
+        && value
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'+' | b'-'))
+}
+
+/// Validates `text` against the canonical key grammar without allocating.
+///
+/// # Errors
+///
+/// Returns the first grammar violation found, scanning left to right.
+pub fn validate_key(text: &str) -> Result<(), ContextKeyError> {
+    if text.is_empty() {
+        return Err(ContextKeyError::Empty);
+    }
+    let mut prev_dim: Option<&str> = None;
+    for pair in text.split(',') {
+        let Some((dim, value)) = pair.split_once('=') else {
+            return Err(ContextKeyError::BadValue(pair.to_string()));
+        };
+        if !valid_dim(dim) {
+            return Err(ContextKeyError::BadDimension(dim.to_string()));
+        }
+        if let Some(prev) = prev_dim {
+            if dim <= prev {
+                return Err(ContextKeyError::OutOfOrder(dim.to_string()));
+            }
+        }
+        prev_dim = Some(dim);
+        if !valid_value_charset(value) {
+            return Err(ContextKeyError::BadValue(value.to_string()));
+        }
+        if canonical_number(value).is_some_and(|x| !x.is_finite()) {
+            return Err(ContextKeyError::NonFinite(value.to_string()));
+        }
+    }
+    Ok(())
+}
+
+/// Returns `true` when `text` is a grammar-valid canonical key.
+/// Allocation-free; this is the check the zero-allocation line scanner
+/// borrows.
+pub fn is_canonical_key(text: &str) -> bool {
+    if text.is_empty() {
+        return false;
+    }
+    let mut prev_dim: Option<&str> = None;
+    for pair in text.split(',') {
+        let Some((dim, value)) = pair.split_once('=') else {
+            return false;
+        };
+        if !valid_dim(dim) || prev_dim.is_some_and(|prev| dim <= prev) {
+            return false;
+        }
+        prev_dim = Some(dim);
+        if !valid_value_charset(value) {
+            return false;
+        }
+        if canonical_number(value).is_some_and(|x| !x.is_finite()) {
+            return false;
+        }
+    }
+    true
+}
+
+impl ContextKey {
+    /// Renders a context into its canonical key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ContextKeyError`] for an empty context, a dimension or
+    /// category outside the grammar, a non-finite number, or a category
+    /// that spells a canonical number (which would change type on
+    /// re-parse).
+    pub fn from_context(ctx: &Context) -> Result<Self, ContextKeyError> {
+        if ctx.is_empty() {
+            return Err(ContextKeyError::Empty);
+        }
+        let mut out = String::new();
+        for (dim, value) in ctx.iter() {
+            if !valid_dim(dim.name()) {
+                return Err(ContextKeyError::BadDimension(dim.name().to_string()));
+            }
+            if !out.is_empty() {
+                out.push(',');
+            }
+            out.push_str(dim.name());
+            out.push('=');
+            match value {
+                Value::Category(c) => {
+                    if !valid_value_charset(c) {
+                        return Err(ContextKeyError::BadValue(c.clone()));
+                    }
+                    if canonical_number(c).is_some() {
+                        return Err(ContextKeyError::AmbiguousCategory(c.clone()));
+                    }
+                    out.push_str(c);
+                }
+                Value::Number(x) => {
+                    if !x.is_finite() {
+                        return Err(ContextKeyError::NonFinite(format!("{x}")));
+                    }
+                    use fmt::Write as _;
+                    write!(out, "{x:?}").expect("writing to String cannot fail");
+                }
+            }
+        }
+        Ok(ContextKey(out))
+    }
+
+    /// Parses and validates a key from its text form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ContextKeyError`] when `text` violates the grammar.
+    pub fn parse(text: &str) -> Result<Self, ContextKeyError> {
+        validate_key(text)?;
+        Ok(ContextKey(text.to_string()))
+    }
+
+    /// The canonical key text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Consumes the key, returning the canonical string.
+    pub fn into_string(self) -> String {
+        self.0
+    }
+
+    /// Iterates over `(dimension, value-token)` pairs in key order.
+    pub fn pairs(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.0
+            .split(',')
+            .map(|pair| pair.split_once('=').expect("validated on construction"))
+    }
+
+    /// The value token assigned to `dim`, if present.
+    pub fn get(&self, dim: &str) -> Option<&str> {
+        self.pairs().find(|(d, _)| *d == dim).map(|(_, v)| v)
+    }
+
+    /// Rebuilds the structured context this key canonicalises.
+    pub fn to_context(&self) -> Context {
+        self.pairs()
+            .map(|(dim, token)| {
+                let value = match canonical_number(token) {
+                    Some(x) => Value::number(x),
+                    None => Value::category(token),
+                };
+                (Dimension::new(dim), value)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for ContextKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl AsRef<str> for ContextKey {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::str::FromStr for ContextKey {
+    type Err = ContextKeyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ContextKey::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(pairs: &[(&str, Value)]) -> Context {
+        pairs
+            .iter()
+            .map(|(d, v)| (Dimension::new(*d), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn renders_sorted_pairs() {
+        let key = ContextKey::from_context(&ctx(&[
+            ("zone", Value::category("school")),
+            ("lighting", Value::category("dusk")),
+            ("weather", Value::category("fog")),
+        ]))
+        .unwrap();
+        assert_eq!(key.as_str(), "lighting=dusk,weather=fog,zone=school");
+    }
+
+    #[test]
+    fn numbers_render_shortest_round_trip() {
+        let key = ContextKey::from_context(&ctx(&[("speed", Value::number(50.0))])).unwrap();
+        assert_eq!(key.as_str(), "speed=50.0");
+        assert_eq!(
+            key.to_context().get(&Dimension::new("speed")),
+            Some(&Value::number(50.0))
+        );
+    }
+
+    #[test]
+    fn parse_distinguishes_number_from_category() {
+        let key = ContextKey::parse("a=50.0,b=50,c=v2.0").unwrap();
+        assert_eq!(
+            key.to_context().get(&Dimension::new("a")),
+            Some(&Value::number(50.0))
+        );
+        // "50" is not the canonical rendering of 50.0, so it stays text.
+        assert_eq!(
+            key.to_context().get(&Dimension::new("b")),
+            Some(&Value::category("50"))
+        );
+        assert_eq!(
+            key.to_context().get(&Dimension::new("c")),
+            Some(&Value::category("v2.0"))
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_keys() {
+        assert_eq!(ContextKey::parse(""), Err(ContextKeyError::Empty));
+        assert!(matches!(
+            ContextKey::parse("zone"),
+            Err(ContextKeyError::BadValue(_))
+        ));
+        assert!(matches!(
+            ContextKey::parse("Zone=urban"),
+            Err(ContextKeyError::BadDimension(_))
+        ));
+        assert!(matches!(
+            ContextKey::parse("zone=ur ban"),
+            Err(ContextKeyError::BadValue(_))
+        ));
+        assert!(matches!(
+            ContextKey::parse("zone="),
+            Err(ContextKeyError::BadValue(_))
+        ));
+        assert!(matches!(
+            ContextKey::parse("zone=urban,lighting=day"),
+            Err(ContextKeyError::OutOfOrder(_))
+        ));
+        assert!(matches!(
+            ContextKey::parse("zone=urban,zone=school"),
+            Err(ContextKeyError::OutOfOrder(_))
+        ));
+        assert!(matches!(
+            ContextKey::parse("x=NaN"),
+            Err(ContextKeyError::NonFinite(_))
+        ));
+        assert!(matches!(
+            ContextKey::parse("x=inf"),
+            Err(ContextKeyError::NonFinite(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unrepresentable_contexts() {
+        assert_eq!(
+            ContextKey::from_context(&Context::new()),
+            Err(ContextKeyError::Empty)
+        );
+        assert!(matches!(
+            ContextKey::from_context(&ctx(&[("x", Value::number(f64::NAN))])),
+            Err(ContextKeyError::NonFinite(_))
+        ));
+        assert!(matches!(
+            ContextKey::from_context(&ctx(&[("x", Value::category("50.0"))])),
+            Err(ContextKeyError::AmbiguousCategory(_))
+        ));
+        assert!(matches!(
+            ContextKey::from_context(&ctx(&[("x", Value::category("no spaces"))])),
+            Err(ContextKeyError::BadValue(_))
+        ));
+        assert!(matches!(
+            ContextKey::from_context(&ctx(&[("UPPER", Value::category("x"))])),
+            Err(ContextKeyError::BadDimension(_))
+        ));
+    }
+
+    #[test]
+    fn is_canonical_key_agrees_with_parse() {
+        for text in [
+            "zone=urban",
+            "lighting=dusk,weather=fog,zone=school",
+            "speed=50.0",
+            "",
+            "zone",
+            "zone=",
+            "b=2,a=1",
+            "x=NaN",
+            "Zone=urban",
+        ] {
+            assert_eq!(
+                is_canonical_key(text),
+                ContextKey::parse(text).is_ok(),
+                "{text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let a = ContextKey::parse("zone=arterial").unwrap();
+        let b = ContextKey::parse("zone=school").unwrap();
+        let c = ContextKey::parse("weather=fog,zone=school").unwrap();
+        assert!(a < b);
+        assert!(c < a, "byte order: 'w' < 'z'");
+        let mut sorted = vec![b.clone(), a.clone(), c.clone()];
+        sorted.sort();
+        assert_eq!(sorted, vec![c, a, b]);
+    }
+
+    #[test]
+    fn get_and_pairs_expose_tokens() {
+        let key = ContextKey::parse("weather=fog,zone=school").unwrap();
+        assert_eq!(key.get("weather"), Some("fog"));
+        assert_eq!(key.get("zone"), Some("school"));
+        assert_eq!(key.get("lighting"), None);
+        assert_eq!(
+            key.pairs().collect::<Vec<_>>(),
+            vec![("weather", "fog"), ("zone", "school")]
+        );
+    }
+}

@@ -46,12 +46,14 @@
 pub mod attribute;
 pub mod context;
 pub mod exposure;
+pub mod key;
 pub mod monitor;
 pub mod spec;
 
 pub use attribute::{Constraint, Dimension};
 pub use context::{Context, Value};
 pub use exposure::{ExposureModel, SituationalFactor};
+pub use key::{ContextKey, ContextKeyError};
 pub use monitor::OddMonitor;
 pub use spec::{Containment, OddSpec};
 

@@ -4,6 +4,7 @@ use proptest::prelude::*;
 
 use crate::attribute::{Constraint, Dimension};
 use crate::context::{Context, Value};
+use crate::key::{canonical_number, ContextKey};
 use crate::spec::OddSpec;
 
 const CATEGORIES: [&str; 5] = ["urban", "suburban", "rural", "highway", "school"];
@@ -112,6 +113,92 @@ proptest! {
             for (_, v) in ctx.iter() {
                 if a.allows(v) {
                     prop_assert!(b.allows(v));
+                }
+            }
+        }
+    }
+}
+
+const KEY_DIMS: [&str; 5] = [
+    "lighting",
+    "speed_limit_kmh",
+    "time_of_day",
+    "weather",
+    "zone",
+];
+const KEY_CATEGORIES: [&str; 6] = ["urban", "school", "fog", "rain", "night", "dawn"];
+
+/// Contexts whose dimensions and values all lie inside the canonical key
+/// grammar (what the sim presets and telemetry generator produce).
+fn keyable_context() -> impl Strategy<Value = Context> {
+    proptest::collection::vec(
+        (
+            proptest::sample::select(KEY_DIMS.to_vec()),
+            prop_oneof![
+                proptest::sample::select(KEY_CATEGORIES.to_vec()).prop_map(Value::category),
+                (-1.0e6f64..1.0e6).prop_map(Value::number),
+            ],
+        ),
+        1..5,
+    )
+    .prop_map(|entries| {
+        entries
+            .into_iter()
+            .map(|(dim, value)| (Dimension::new(dim), value))
+            .collect()
+    })
+}
+
+/// Fuzz alphabet for raw key text: grammar characters plus the usual
+/// troublemakers (uppercase dims, spaces, slashes, stray separators).
+fn key_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        proptest::sample::select(vec![
+            'a', 'z', '0', '9', '_', '=', ',', '.', '-', '+', 'A', 'N', 'i', 'n', 'f', ' ', '/',
+        ]),
+        0..24,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+proptest! {
+    /// `Context` -> key -> `Context` is the identity on keyable contexts.
+    #[test]
+    fn context_key_round_trips(ctx in keyable_context()) {
+        let key = ContextKey::from_context(&ctx).expect("keyable by construction");
+        let reparsed = ContextKey::parse(key.as_str()).expect("rendered keys parse");
+        prop_assert_eq!(reparsed.to_context(), ctx.clone());
+        prop_assert_eq!(ContextKey::from_context(&ctx).unwrap(), key);
+    }
+
+    /// Key ordering is a total order that survives a parse/render round
+    /// trip: equal keys mean equal contexts, and comparisons agree before
+    /// and after round-tripping.
+    #[test]
+    fn context_key_order_is_stable(a in keyable_context(), b in keyable_context()) {
+        let ka = ContextKey::from_context(&a).unwrap();
+        let kb = ContextKey::from_context(&b).unwrap();
+        prop_assert_eq!(ka == kb, a == b);
+        prop_assert_eq!(ka.cmp(&kb), ka.as_str().cmp(kb.as_str()));
+        let ra = ContextKey::from_context(&ka.to_context()).unwrap();
+        let rb = ContextKey::from_context(&kb.to_context()).unwrap();
+        prop_assert_eq!(ra.cmp(&rb), ka.cmp(&kb));
+    }
+
+    /// Any text the parser accepts is already canonical: rebuilding the
+    /// key from its parsed context reproduces the input bytes, and the
+    /// allocation-free validator agrees with the parser.
+    #[test]
+    fn accepted_key_text_is_canonical(text in key_text()) {
+        let accepted = ContextKey::parse(&text).is_ok();
+        prop_assert_eq!(crate::key::is_canonical_key(&text), accepted);
+        if accepted {
+            let key = ContextKey::parse(&text).unwrap();
+            let rebuilt = ContextKey::from_context(&key.to_context()).unwrap();
+            prop_assert_eq!(rebuilt.as_str(), text.as_str());
+            for (_, token) in key.pairs() {
+                if let Some(x) = canonical_number(token) {
+                    prop_assert!(x.is_finite());
                 }
             }
         }

@@ -33,7 +33,8 @@ pub struct Request {
 impl Request {
     /// The value of one `key=value` query parameter, when present.
     /// Minimal percent-decoding (`%xx` and `+` for space) is applied to
-    /// the value — zone names are the only realistic use.
+    /// the value — context keys and zone names are the only realistic
+    /// use.
     pub fn query_param(&self, key: &str) -> Option<String> {
         let query = self.query.as_deref()?;
         for pair in query.split('&') {
@@ -43,6 +44,23 @@ impl Request {
             }
         }
         None
+    }
+
+    /// The keys of every query parameter, in query order (duplicates
+    /// preserved). Lets handlers reject unknown parameters instead of
+    /// silently ignoring a typo like `?zonee=urban`.
+    pub fn query_keys(&self) -> Vec<String> {
+        match self.query.as_deref() {
+            None => Vec::new(),
+            Some("") => Vec::new(),
+            Some(query) => query
+                .split('&')
+                .map(|pair| {
+                    let (k, _) = pair.split_once('=').unwrap_or((pair, ""));
+                    percent_decode(k)
+                })
+                .collect(),
+        }
     }
 }
 

@@ -68,7 +68,9 @@ use serde::{Deserialize, Serialize};
 use qrn_core::allocation::Allocation;
 use qrn_core::norm::QuantitativeRiskNorm;
 use qrn_core::IncidentClassification;
-use qrn_fleet::burndown::{burn_down, burn_down_evidence, BurnDownConfig, FleetReport};
+use qrn_fleet::burndown::{
+    burn_down_evidence_filtered, burn_down_filtered, BurnDownConfig, ContextFilter, FleetReport,
+};
 use qrn_fleet::checkpoint;
 use qrn_fleet::event::SkipCounts;
 use qrn_fleet::ingest::{ingest_str, FleetState};
@@ -398,6 +400,15 @@ struct Item {
     store_dir: Option<PathBuf>,
 }
 
+/// Validated query of a burn-down route: the optional historical cut,
+/// the optional single-row selector (`?context=`, or its pre-0.8 alias
+/// `?zone=`), and the dimension filter parsed from `?where=`.
+struct BurndownQuery {
+    as_of: Option<String>,
+    selector: Option<String>,
+    filter: ContextFilter,
+}
+
 /// Everything threads share.
 struct Inner {
     config: ServeConfig,
@@ -564,29 +575,109 @@ impl Inner {
 
     /// Computes one item's burn-down report from a state snapshot,
     /// merging any configured design-time evidence — the same join `qrn
-    /// fleet report --evidence` performs offline.
+    /// fleet report --evidence` performs offline. The filter restricts
+    /// which named contexts get refinement rows; pass
+    /// [`ContextFilter::all`] for the unfiltered report.
     fn compute_report(
         item: &Item,
         fleet: &FleetState,
         config: &BurnDownConfig,
+        filter: &ContextFilter,
     ) -> Result<FleetReport, qrn_fleet::FleetError> {
         if item.config.extra_evidence.is_empty() {
-            burn_down(&item.config.norm, &item.config.allocation, fleet, config)
+            burn_down_filtered(
+                &item.config.norm,
+                &item.config.allocation,
+                fleet,
+                config,
+                filter,
+            )
         } else {
             let mut combined = fleet.evidence().clone();
             for ledger in &item.config.extra_evidence {
                 combined.merge(ledger);
             }
-            let mut report = burn_down_evidence(
+            let mut report = burn_down_evidence_filtered(
                 &item.config.norm,
                 &item.config.allocation,
                 &combined,
                 config,
+                filter,
             )?;
             report.vehicles = fleet.vehicle_count();
             report.events = fleet.events();
             report.skipped = fleet.skipped();
             Ok(report)
+        }
+    }
+
+    /// Parses the query string shared by both burn-down routes. Unknown
+    /// keys are a hard 400 naming the offender, so a typo like
+    /// `?whre=weather=fog` fails loudly instead of silently returning
+    /// the unfiltered report. `context` selects a single refinement row;
+    /// `zone` remains as its documented pre-0.8 alias. `where` restricts
+    /// the refinement rows to contexts matching every comma-separated
+    /// `dim=value` clause.
+    fn parse_burndown_query(req: &Request) -> Result<BurndownQuery, Response> {
+        for key in req.query_keys() {
+            if !matches!(key.as_str(), "as_of" | "context" | "zone" | "where") {
+                return Err(Response::text(
+                    400,
+                    "Bad Request",
+                    &format!(
+                        "unknown query parameter {key:?}; supported: as_of, context, zone, where"
+                    ),
+                ));
+            }
+        }
+        let context = req.query_param("context");
+        let zone = req.query_param("zone");
+        let selector = match (context, zone) {
+            (Some(context), Some(zone)) if context != zone => {
+                return Err(Response::text(
+                    400,
+                    "Bad Request",
+                    "context and zone select different rows; pass only one (zone is an alias)",
+                ))
+            }
+            (Some(context), _) => Some(context),
+            (None, zone) => zone,
+        };
+        let filter = match req.query_param("where") {
+            None => ContextFilter::all(),
+            Some(clauses) => match ContextFilter::parse(clauses.split(',')) {
+                Ok(filter) => filter,
+                Err(e) => {
+                    return Err(Response::text(
+                        400,
+                        "Bad Request",
+                        &format!("bad where filter: {e}"),
+                    ))
+                }
+            },
+        };
+        Ok(BurndownQuery {
+            as_of: req.query_param("as_of"),
+            selector,
+            filter,
+        })
+    }
+
+    /// Renders the report body: the full report, or — when a selector
+    /// was given — just the named refinement row, 404 if absent.
+    fn render_burndown(report: &FleetReport, selector: Option<&str>) -> Response {
+        match selector {
+            None => Response::json(report.to_canonical_json()),
+            Some(name) => match report.zones.iter().find(|z| z.zone == name) {
+                Some(row) => Response::json(
+                    serde_json::to_string_pretty(row).expect("zone rows are serialisable"),
+                ),
+                None => Response::text(
+                    404,
+                    "Not Found",
+                    &format!("no evidence context named {name:?}"),
+                ),
+            },
         }
     }
 
@@ -596,7 +687,7 @@ impl Inner {
     /// spends no look and stamps no look counters, which also keeps the
     /// body byte-identical to an offline `qrn fleet report` over the
     /// same accepted prefix.
-    fn handle_burndown_as_of(&self, item: &Item, req: &Request, as_of: &str) -> Response {
+    fn handle_burndown_as_of(&self, item: &Item, query: &BurndownQuery, as_of: &str) -> Response {
         let dir = match &item.store_dir {
             Some(dir) => dir,
             None => {
@@ -630,12 +721,11 @@ impl Inner {
                     )
                 }
             };
-        let zone = req.query_param("zone");
         let mut config = self.config.burndown;
-        if zone.is_some() {
+        if query.selector.is_some() || !query.filter.is_empty() {
             config.by_zone = true;
         }
-        let report = match Self::compute_report(item, &summary.state, &config) {
+        let report = match Self::compute_report(item, &summary.state, &config, &query.filter) {
             Ok(report) => report,
             Err(e) => {
                 return Response::text(
@@ -645,19 +735,7 @@ impl Inner {
                 )
             }
         };
-        match zone {
-            None => Response::json(report.to_canonical_json()),
-            Some(name) => match report.zones.iter().find(|z| z.zone == name) {
-                Some(row) => Response::json(
-                    serde_json::to_string_pretty(row).expect("zone rows are serialisable"),
-                ),
-                None => Response::text(
-                    404,
-                    "Not Found",
-                    &format!("no evidence context named {name:?}"),
-                ),
-            },
-        }
+        Self::render_burndown(&report, query.selector.as_deref())
     }
 
     /// Serves `GET /v1/<item>/history`: the store's segment shape and
@@ -688,10 +766,13 @@ impl Inner {
     }
 
     fn handle_burndown(&self, item: &Item, req: &Request) -> Response {
-        if let Some(as_of) = req.query_param("as_of") {
-            return self.handle_burndown_as_of(item, req, &as_of);
+        let query = match Self::parse_burndown_query(req) {
+            Ok(query) => query,
+            Err(response) => return response,
+        };
+        if let Some(as_of) = query.as_of.clone() {
+            return self.handle_burndown_as_of(item, &query, &as_of);
         }
-        let zone = req.query_param("zone");
         // Spend the look, then fold a consistent snapshot and compute
         // outside the look lock.
         let looks = {
@@ -703,10 +784,10 @@ impl Inner {
         };
         let fleet = item.state.fold();
         let mut config = self.config.burndown;
-        if zone.is_some() {
+        if query.selector.is_some() || !query.filter.is_empty() {
             config.by_zone = true;
         }
-        let mut report = match Self::compute_report(item, &fleet, &config) {
+        let mut report = match Self::compute_report(item, &fleet, &config, &query.filter) {
             Ok(report) => report,
             Err(e) => {
                 return Response::text(
@@ -725,19 +806,7 @@ impl Inner {
         for zone_row in &mut report.zones {
             stamp(&mut zone_row.goals);
         }
-        match zone {
-            None => Response::json(report.to_canonical_json()),
-            Some(name) => match report.zones.iter().find(|z| z.zone == name) {
-                Some(row) => Response::json(
-                    serde_json::to_string_pretty(row).expect("zone rows are serialisable"),
-                ),
-                None => Response::text(
-                    404,
-                    "Not Found",
-                    &format!("no evidence context named {name:?}"),
-                ),
-            },
-        }
+        Self::render_burndown(&report, query.selector.as_deref())
     }
 
     fn handle_metrics(&self) -> Response {
@@ -767,7 +836,12 @@ impl Inner {
         }
         let mut reports = Vec::with_capacity(views.len());
         for view in &views {
-            match Self::compute_report(view.item, &view.fleet, &self.config.burndown) {
+            match Self::compute_report(
+                view.item,
+                &view.fleet,
+                &self.config.burndown,
+                &ContextFilter::all(),
+            ) {
                 Ok(report) => reports.push(report),
                 Err(e) => {
                     return Response::text(
@@ -1632,6 +1706,89 @@ mod tests {
         let handle = Server::start(test_config()).unwrap();
         let addr = handle.addr();
         assert_eq!(get(addr, "/v1/burndown?zone=atlantis").0, 404);
+        handle.stop().unwrap();
+    }
+
+    #[test]
+    fn unknown_query_params_are_400_naming_the_key() {
+        let handle = Server::start(test_config()).unwrap();
+        let addr = handle.addr();
+        let (status, body) = get(addr, "/v1/burndown?foo=bar");
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("\"foo\""), "{body}");
+        // A typo'd filter key fails loudly instead of silently serving
+        // the unfiltered report.
+        let (status, body) = get(addr, "/v1/burndown?whre=weather%3Dfog");
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("\"whre\""), "{body}");
+        // Conflicting selector spellings are a client error too.
+        let (status, body) = get(addr, "/v1/burndown?context=a=b&zone=c");
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("alias"), "{body}");
+        // A malformed where clause names the route's own parameter.
+        let (status, body) = get(addr, "/v1/burndown?where=nonsense");
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("where"), "{body}");
+        handle.stop().unwrap();
+    }
+
+    #[test]
+    fn context_selector_zone_alias_and_where_filter() {
+        let handle = Server::start(test_config()).unwrap();
+        let addr = handle.addr();
+        let log = "{\"ctx\":\"weather=clear,zone=urban\",\"event\":\"exposure\",\"hours\":2.0,\"v\":2,\"vehicle\":\"V1\"}\n\
+                   {\"ctx\":\"weather=fog,zone=urban\",\"event\":\"exposure\",\"hours\":1.0,\"v\":2,\"vehicle\":\"V1\"}\n\
+                   {\"ctx\":\"weather=fog,zone=highway\",\"event\":\"exposure\",\"hours\":4.0,\"v\":2,\"vehicle\":\"V2\"}\n";
+        let (status, body) = post(addr, "/v1/ingest", log);
+        assert_eq!(status, 200, "{body}");
+
+        // `?context=` selects one refinement row by its canonical key.
+        let (status, body) = get(addr, "/v1/burndown?context=weather=fog,zone=urban");
+        assert_eq!(status, 200, "{body}");
+        let row: qrn_fleet::burndown::ZoneBurnDown = serde_json::from_str(&body).unwrap();
+        assert_eq!(row.zone, "weather=fog,zone=urban");
+        assert_eq!(row.exposure_hours, 1.0);
+
+        // `?zone=` is the documented pre-0.8 alias: same row (only the
+        // look counters advance between the two requests).
+        let (status, body) = get(addr, "/v1/burndown?zone=weather=fog,zone=urban");
+        assert_eq!(status, 200, "{body}");
+        let aliased: qrn_fleet::burndown::ZoneBurnDown = serde_json::from_str(&body).unwrap();
+        assert_eq!(aliased.zone, row.zone);
+        assert_eq!(aliased.exposure_hours, row.exposure_hours);
+
+        // `?where=` keeps the global report but restricts refinement
+        // rows to matching contexts across *both* zones.
+        let (status, body) = get(addr, "/v1/burndown?where=weather%3Dfog");
+        assert_eq!(status, 200, "{body}");
+        let report: FleetReport = serde_json::from_str(&body).unwrap();
+        assert_eq!(report.exposure_hours, 7.0);
+        let names: Vec<&str> = report.zones.iter().map(|z| z.zone.as_str()).collect();
+        assert_eq!(
+            names,
+            ["weather=fog,zone=highway", "weather=fog,zone=urban"],
+            "{body}"
+        );
+
+        // Two clauses intersect; an unmatched filter yields no rows.
+        let (_, body) = get(addr, "/v1/burndown?where=weather%3Dfog,zone%3Durban");
+        let report: FleetReport = serde_json::from_str(&body).unwrap();
+        assert_eq!(report.zones.len(), 1);
+        let (_, body) = get(addr, "/v1/burndown?where=weather%3Dsnow");
+        let report: FleetReport = serde_json::from_str(&body).unwrap();
+        assert!(report.zones.is_empty());
+
+        // The metrics page labels every named context (the `zone` label
+        // carries the full canonical key).
+        let (status, metrics) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        qrn_stats::prometheus::validate_exposition(&metrics).unwrap();
+        assert!(
+            metrics.contains(
+                "qrn_evidence_exposure_hours{item=\"default\",zone=\"weather=fog,zone=highway\"} 4"
+            ),
+            "{metrics}"
+        );
         handle.stop().unwrap();
     }
 

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use qrn_core::object::ObjectType;
 use qrn_odd::attribute::{Constraint, Dimension};
 use qrn_odd::context::{Context, Value};
-use qrn_odd::exposure::{ExposureModel, SituationalFactor};
+use qrn_odd::exposure::{ExposureModel, ExposureModelBuilder, SituationalFactor};
 use qrn_units::{Frequency, Hours, Speed, UnitError};
 
 /// How the conflicting object moves during an encounter.
@@ -86,6 +86,21 @@ pub fn zone_dimension() -> Dimension {
     Dimension::new("zone")
 }
 
+/// Dimension the banded preset uses for weather bands.
+pub fn weather_dimension() -> Dimension {
+    Dimension::new("weather")
+}
+
+/// Dimension the banded preset uses for lighting bands.
+pub fn lighting_dimension() -> Dimension {
+    Dimension::new("lighting")
+}
+
+/// Dimension the banded preset uses for time-of-day bands.
+pub fn time_of_day_dimension() -> Dimension {
+    Dimension::new("time_of_day")
+}
+
 fn zone(name: &str, limit_kmh: f64, dwell_h: f64) -> Result<ZoneSpec, UnitError> {
     Ok(ZoneSpec {
         name: name.to_string(),
@@ -148,10 +163,43 @@ fn standard_challenges() -> Vec<ChallengeTemplate> {
     ]
 }
 
+/// Builds a ZoneSpec whose context spans all four band dimensions. The
+/// zone name stays the plain road-type name; the full ODD band lives in
+/// the structured context (and hence in the canonical context key the
+/// telemetry generator stamps).
+fn band(
+    zone_name: &str,
+    weather: &str,
+    lighting: &str,
+    time_of_day: &str,
+    limit_kmh: f64,
+    dwell_h: f64,
+    perception_factor: f64,
+) -> Result<ZoneSpec, UnitError> {
+    Ok(ZoneSpec {
+        name: format!("{zone_name}/{weather}/{lighting}/{time_of_day}"),
+        context: Context::builder()
+            .set(zone_dimension(), Value::category(zone_name))
+            .set(weather_dimension(), Value::category(weather))
+            .set(lighting_dimension(), Value::category(lighting))
+            .set(time_of_day_dimension(), Value::category(time_of_day))
+            .build(),
+        speed_limit: Speed::from_kmh(limit_kmh)?,
+        dwell: Hours::new(dwell_h)?,
+        perception_factor,
+    })
+}
+
 fn standard_exposure() -> Result<ExposureModel, UnitError> {
+    Ok(standard_exposure_builder()?
+        .build()
+        .expect("all modifiers have base rates"))
+}
+
+fn standard_exposure_builder() -> Result<ExposureModelBuilder, UnitError> {
     let f = SituationalFactor::new;
     let cat = |names: &[&str]| Constraint::any_of(names.iter().copied());
-    let model = ExposureModel::builder()
+    let builder = ExposureModel::builder()
         // Base rates per operating hour (illustrative, not real statistics).
         .base_rate(f("pedestrian_crossing"), Frequency::per_hour(2.0)?)
         .base_rate(f("lead_hard_brake"), Frequency::per_hour(1.0)?)
@@ -187,6 +235,63 @@ fn standard_exposure() -> Result<ExposureModel, UnitError> {
             f("cut_in"),
             [(zone_dimension(), cat(&["highway", "arterial"]))],
             3.0,
+        )
+        .expect("finite multiplier");
+    Ok(builder)
+}
+
+/// The standard exposure model extended with weather, lighting and
+/// time-of-day modifiers — Sec. II-B.4 generalised beyond place: arrival
+/// rates vary with *conditions*, and the QRN context key carries which
+/// band each exposure hour was spent in.
+fn banded_exposure() -> Result<ExposureModel, UnitError> {
+    let f = SituationalFactor::new;
+    let cat = |names: &[&str]| Constraint::any_of(names.iter().copied());
+    let model = standard_exposure_builder()?
+        // Fewer pedestrians out in fog and rain, but harder braking
+        // from traffic around the ego.
+        .modifier(
+            f("pedestrian_crossing"),
+            [(weather_dimension(), cat(&["fog", "rain"]))],
+            0.5,
+        )
+        .expect("finite multiplier")
+        .modifier(
+            f("lead_hard_brake"),
+            [(weather_dimension(), cat(&["fog"]))],
+            2.5,
+        )
+        .expect("finite multiplier")
+        .modifier(
+            f("lead_hard_brake"),
+            [(weather_dimension(), cat(&["rain"]))],
+            1.5,
+        )
+        .expect("finite multiplier")
+        // Animals move at night; pedestrians mostly do not.
+        .modifier(
+            f("animal_crossing"),
+            [(lighting_dimension(), cat(&["night", "dusk"]))],
+            4.0,
+        )
+        .expect("finite multiplier")
+        .modifier(
+            f("pedestrian_crossing"),
+            [(lighting_dimension(), cat(&["night"]))],
+            0.3,
+        )
+        .expect("finite multiplier")
+        // Rush hour densifies traffic interactions.
+        .modifier(
+            f("cut_in"),
+            [(time_of_day_dimension(), cat(&["rush"]))],
+            2.0,
+        )
+        .expect("finite multiplier")
+        .modifier(
+            f("pedestrian_crossing"),
+            [(time_of_day_dimension(), cat(&["rush"]))],
+            1.5,
         )
         .expect("finite multiplier")
         .build()
@@ -258,6 +363,30 @@ pub fn foggy_urban_scenario(perception_factor: f64) -> Result<WorldConfig, UnitE
     let mut zones = base.zones.clone();
     zones.push(foggy(zone("arterial", 60.0, 0.25)?, perception_factor));
     Ok(WorldConfig { zones, ..base })
+}
+
+/// A route cycling ODD bands over four dimensions — zone × weather ×
+/// lighting × time-of-day — with band-dependent arrival rates and
+/// perception (detection-range) factors. Each band's context renders to a
+/// canonical context key, which the fleet telemetry generator stamps onto
+/// every line so burn-down can be reported per band.
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` propagates constructor checks.
+pub fn banded_scenario() -> Result<WorldConfig, UnitError> {
+    Ok(WorldConfig {
+        zones: vec![
+            band("residential", "clear", "day", "off_peak", 30.0, 0.20, 1.0)?,
+            band("school", "clear", "day", "rush", 30.0, 0.10, 1.0)?,
+            band("arterial", "rain", "dusk", "rush", 60.0, 0.25, 0.8)?,
+            band("arterial", "fog", "night", "off_peak", 60.0, 0.15, 0.5)?,
+            band("highway", "clear", "night", "off_peak", 110.0, 0.35, 0.85)?,
+            band("highway", "rain", "day", "rush", 110.0, 0.25, 0.75)?,
+        ],
+        exposure: banded_exposure()?,
+        challenges: standard_challenges(),
+    })
 }
 
 #[cfg(test)]
@@ -335,6 +464,70 @@ mod tests {
         for c in &foggy.challenges {
             assert!(foggy.exposure.rate(&c.factor, &fog_zone.context).is_some());
         }
+    }
+
+    #[test]
+    fn banded_scenario_spans_four_dimensions_with_canonical_keys() {
+        use qrn_odd::ContextKey;
+        let config = banded_scenario().unwrap();
+        assert!(config.zones.len() >= 3);
+        let mut keys = Vec::new();
+        for z in &config.zones {
+            assert_eq!(z.context.len(), 4);
+            for dim in [
+                zone_dimension(),
+                weather_dimension(),
+                lighting_dimension(),
+                time_of_day_dimension(),
+            ] {
+                assert!(
+                    z.context.get(&dim).is_some(),
+                    "band {} misses {dim}",
+                    z.name
+                );
+            }
+            // every band context renders to a valid canonical key...
+            let key = ContextKey::from_context(&z.context).unwrap();
+            assert!(qrn_odd::key::is_canonical_key(key.as_str()));
+            keys.push(key);
+        }
+        // ...and the keys are pairwise distinct (bands are disjoint)
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), config.zones.len());
+        // every factor has a rate in every band
+        for z in &config.zones {
+            for c in &config.challenges {
+                assert!(config.exposure.rate(&c.factor, &z.context).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn banded_rates_and_perception_depend_on_conditions() {
+        let config = banded_scenario().unwrap();
+        let fog_band = config
+            .zones
+            .iter()
+            .find(|z| z.name == "arterial/fog/night/off_peak")
+            .unwrap();
+        let rain_band = config
+            .zones
+            .iter()
+            .find(|z| z.name == "arterial/rain/dusk/rush")
+            .unwrap();
+        // fog degrades detection more than rain
+        assert!(fog_band.perception_factor < rain_band.perception_factor);
+        // and amplifies hard-braking leads more
+        let brake = SituationalFactor::new("lead_hard_brake");
+        let r_fog = config.exposure.rate(&brake, &fog_band.context).unwrap();
+        let r_rain = config.exposure.rate(&brake, &rain_band.context).unwrap();
+        assert!(r_fog > r_rain);
+        // banded modifiers do not disturb the standard model used by the
+        // existing presets
+        let standard = standard_exposure().unwrap();
+        let urban = urban_scenario().unwrap();
+        assert_eq!(urban.exposure, standard);
     }
 
     #[test]

@@ -283,6 +283,21 @@ impl EvidenceLedger {
         self.contexts().filter(|(name, _)| !name.is_empty())
     }
 
+    /// Sum of the named (non-global) rows' exposures, in name order.
+    ///
+    /// When every observation was attributed to exactly one named context
+    /// (a MECE band partition, as the banded telemetry generator
+    /// produces), this equals [`EvidenceLedger::exposure`] — bit-exactly
+    /// when the chunks are dyadic (e.g. 0.25 h multiples), since dyadic
+    /// partial sums never round. A mismatch means the named rows do not
+    /// partition the evidence: hours were double-attributed, or some
+    /// lines carried no context.
+    pub fn named_exposure_total(&self) -> f64 {
+        self.named_contexts()
+            .map(|(_, row)| row.exposure_hours())
+            .sum()
+    }
+
     /// Union of the incident kinds recorded in any context, in kind order.
     pub fn kinds(&self) -> Vec<&str> {
         let mut kinds: Vec<&str> = self
@@ -338,6 +353,28 @@ mod tests {
         assert_eq!(merged, ledger);
         assert!(EvidenceLedger::new().is_empty());
         assert!(!ledger.is_empty());
+    }
+
+    #[test]
+    fn named_exposure_total_detects_mece_partitions() {
+        let mut ledger = EvidenceLedger::new();
+        // double-entry band attribution: each chunk lands in the global
+        // row and exactly one named row
+        for (key, hours) in [
+            ("weather=clear,zone=urban", 12.25),
+            ("weather=fog,zone=urban", 3.75),
+            ("weather=fog,zone=highway", 7.5),
+        ] {
+            ledger.add_exposure(None, hours);
+            ledger.add_exposure(Some(key), hours);
+        }
+        // dyadic chunks: the partition sums bit-exactly
+        assert_eq!(ledger.named_exposure_total(), ledger.exposure());
+        // unattributed hours break the partition
+        ledger.add_exposure(None, 1.0);
+        assert!(ledger.named_exposure_total() < ledger.exposure());
+        // an empty ledger partitions trivially
+        assert_eq!(EvidenceLedger::new().named_exposure_total(), 0.0);
     }
 
     #[test]

@@ -194,7 +194,10 @@ impl TextFamilies {
 /// (conventionally `qrn_evidence`):
 ///
 /// * `<prefix>_exposure_hours` — global, plus one series per named
-///   context with a `zone` label;
+///   context with a `zone` label (for multi-band logs the label value is
+///   the full canonical ODD context key, e.g.
+///   `zone="weather=fog,zone=urban"`; the label *name* stays `zone` for
+///   dashboard compatibility);
 /// * `<prefix>_incident_mass{kind=…}` — weighted incident mass, global
 ///   and per zone;
 /// * `<prefix>_incident_observations{kind=…}` — raw observation counts

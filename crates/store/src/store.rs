@@ -217,8 +217,8 @@ fn screen(text: &str, cursors: &mut BTreeMap<String, u64>) -> Screened {
     };
     for line in text.lines() {
         let keep = match parse_line_hybrid(line) {
-            ParsedLine::Fast(event, Some(seq)) => advance(event.vehicle(), seq),
-            ParsedLine::Owned(ref event, Some(seq)) => advance(event.vehicle(), seq),
+            ParsedLine::Fast(event, Some(seq), _) => advance(event.vehicle(), seq),
+            ParsedLine::Owned(ref event, Some(seq), _) => advance(event.vehicle(), seq),
             // Unsequenced, blank and malformed lines pass through
             // verbatim, exactly as the tolerant-only screen did.
             _ => true,
