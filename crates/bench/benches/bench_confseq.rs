@@ -1,0 +1,140 @@
+//! Criterion bench of the anytime-valid verdict path: the per-look cost
+//! of one confidence-sequence interval plus one budget e-value — the
+//! exact statistical work `GET /v1/burndown` adds per goal in
+//! `--sequential` mode.
+//!
+//! After the criterion groups run, the harness writes the machine-local
+//! perf baseline `results/BENCH_confseq.json`: mean nanoseconds per
+//! verdict across event counts spanning six orders of magnitude, and
+//! asserts the cost is flat in the count (the mixture bounds are found
+//! by a fixed-depth bisection from the MLE, so a 1e6-event fleet pays
+//! the same per look as a 10-event one — no O(k) terms, no allocation).
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use qrn_bench::report::save_json;
+use qrn_stats::confseq::{BudgetEValue, GammaMixture, PoissonConfSeq};
+use qrn_units::{Frequency, Hours};
+
+fn quick() -> bool {
+    std::env::var("QRN_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Budget f_I used throughout: 1e-3/h, the paper's mid-band magnitude.
+fn budget() -> Frequency {
+    Frequency::per_hour(1e-3).expect("static budget")
+}
+
+fn machinery() -> (PoissonConfSeq, BudgetEValue) {
+    let mixture = GammaMixture::default_at(budget()).expect("mixture tunes");
+    let confseq = PoissonConfSeq::new(0.05, mixture).expect("valid level");
+    let e_process = BudgetEValue::new(budget(), mixture).expect("e-process builds");
+    (confseq, e_process)
+}
+
+/// Exposure placing `events` at the budget MLE — the operating point
+/// where the verdict is least decided and the bisection works hardest.
+fn exposure_for(events: u64) -> Hours {
+    Hours::new((events.max(1) as f64) / 1e-3).expect("positive")
+}
+
+fn bench_interval(c: &mut Criterion) {
+    let (confseq, _) = machinery();
+    let exposure = exposure_for(1_000);
+    c.bench_function("confseq/interval_1e3_events", |b| {
+        b.iter(|| {
+            confseq
+                .interval(black_box(1_000), black_box(exposure))
+                .expect("converges")
+        })
+    });
+}
+
+fn bench_e_value(c: &mut Criterion) {
+    let (_, e_process) = machinery();
+    let exposure = exposure_for(1_000);
+    c.bench_function("confseq/e_value_1e3_events", |b| {
+        b.iter(|| {
+            e_process
+                .log_e_value(black_box(1_000), black_box(exposure))
+                .expect("converges")
+        })
+    });
+}
+
+/// One full sequential verdict: interval + e-value, as `goal_rows` runs
+/// per goal per look.
+fn verdict(
+    confseq: &PoissonConfSeq,
+    e_process: &BudgetEValue,
+    events: u64,
+    exposure: Hours,
+) -> f64 {
+    let interval = confseq.interval(events, exposure).expect("converges");
+    let log_e = e_process.log_e_value(events, exposure).expect("converges");
+    interval.upper.as_per_hour() + log_e
+}
+
+/// Writes `results/BENCH_confseq.json` and asserts the per-look verdict
+/// cost stays flat as the event count grows 1e5-fold (generous 25x
+/// margin: the work is a fixed-depth bisection either way, the margin
+/// absorbs scheduler jitter on 1-CPU hosts).
+fn emit_confseq_baseline() {
+    let (confseq, e_process) = machinery();
+    let reps: u32 = if quick() { 2_000 } else { 20_000 };
+
+    let mut rows = Vec::new();
+    let mut cost_small = 0.0f64;
+    let mut cost_large = 0.0f64;
+    for events in [0u64, 10, 1_000, 100_000, 1_000_000] {
+        let exposure = exposure_for(events);
+        let mut sink = 0.0;
+        let start = Instant::now();
+        for _ in 0..reps {
+            sink += verdict(&confseq, &e_process, black_box(events), black_box(exposure));
+        }
+        let nanos = start.elapsed().as_nanos() as f64 / f64::from(reps);
+        black_box(sink);
+        if events == 10 {
+            cost_small = nanos;
+        }
+        if events == 1_000_000 {
+            cost_large = nanos;
+        }
+        println!("confseq/verdict events={events}: {nanos:.0} ns/look");
+        rows.push(serde_json::json!({
+            "events": events,
+            "exposure_hours": exposure.value(),
+            "nanos_per_verdict": nanos,
+        }));
+    }
+
+    save_json(
+        "BENCH_confseq",
+        &serde_json::json!({
+            "quick": quick(),
+            "reps": reps,
+            "budget_per_hour": 1e-3,
+            "alpha": 0.05,
+            "verdicts": rows,
+            "note": "mean ns per sequential verdict (confidence-sequence interval + \
+                     budget e-value) at the budget MLE operating point; cost is a \
+                     fixed-depth bisection, flat in the event count",
+        }),
+    );
+
+    assert!(
+        cost_large <= cost_small * 25.0,
+        "per-look verdict cost must stay flat in the event count: \
+         {cost_large:.0} ns at 1e6 events vs {cost_small:.0} ns at 10"
+    );
+}
+
+criterion_group!(benches, bench_interval, bench_e_value);
+
+fn main() {
+    benches();
+    emit_confseq_baseline();
+}

@@ -1,0 +1,179 @@
+//! CONFSEQ — Demonstrates why continuous burn-down monitoring needs
+//! anytime-valid inference: repeatedly consulting a fixed-sample Garwood
+//! bound inflates the false-alarm rate far above its nominal level, while
+//! the gamma-mixture confidence sequence / budget e-process of
+//! `qrn_stats::confseq` holds it.
+//!
+//! The setup mirrors a fleet campaign that is *actually safe*: every
+//! simulated stream draws incidents from a Poisson process whose true
+//! rate sits just under the budget (`RATE_FRACTION` × budget), so the
+//! composite null "rate ≤ budget" is true and **every alarm is a false
+//! alarm**. Each stream is then monitored over `LOOKS` evenly spaced
+//! looks with two rules at the same nominal level α:
+//!
+//! 1. **naive** — alarm when the one-sided Garwood lower bound at
+//!    confidence 1−α exceeds the budget. Valid for ONE pre-registered
+//!    look; applied at every look it is statistically unlicensed.
+//! 2. **sequential** — alarm when the budget e-process reaches 1/α or the
+//!    confidence-sequence lower bound exceeds the budget. Valid at every
+//!    look simultaneously by Ville's inequality.
+//!
+//! The artefact records the cumulative ever-alarmed fraction after each
+//! look for both rules (plot-ready: x = look, y = false-alarm rate), and
+//! the binary asserts the headline separation: naive > 3α, sequential
+//! ≤ 2α.
+//!
+//! Set `QRN_CONFSEQ_QUICK=1` to shrink the stream count ~4× for CI smoke
+//! runs; the assertions still hold at quick scale.
+
+use serde_json::json;
+
+use qrn_bench::report::save_json;
+use qrn_stats::confseq::{BudgetEValue, GammaMixture, PoissonConfSeq};
+use qrn_stats::poisson::PoissonRate;
+use qrn_stats::rng::{poisson, substream};
+use qrn_units::{Frequency, Hours};
+
+/// The monitored budget f_I, per hour.
+const BUDGET_PER_HOUR: f64 = 1e-3;
+/// True rate as a fraction of the budget: just under, so the null
+/// "rate ≤ budget" holds and every alarm is false.
+const RATE_FRACTION: f64 = 0.98;
+/// Nominal false-alarm level shared by both rules.
+const ALPHA: f64 = 0.05;
+/// Simulated fleet streams (quick mode divides by 4).
+const STREAMS: u64 = 600;
+/// Evenly spaced looks per stream.
+const LOOKS: usize = 120;
+/// Fleet exposure accrued between consecutive looks, hours.
+const HOURS_PER_LOOK: f64 = 1_500.0;
+/// Master seed; stream i uses `substream(SEED, i)`.
+const SEED: u64 = 0xC0F5EC;
+
+fn main() {
+    let quick = std::env::var("QRN_CONFSEQ_QUICK").is_ok();
+    let streams = if quick { STREAMS / 4 } else { STREAMS };
+    let budget = Frequency::per_hour(BUDGET_PER_HOUR).expect("static budget");
+    let true_rate = BUDGET_PER_HOUR * RATE_FRACTION;
+
+    let mixture = GammaMixture::default_at(budget).expect("mixture tunes");
+    let confseq = PoissonConfSeq::new(ALPHA, mixture).expect("valid level");
+    let e_process = BudgetEValue::new(budget, mixture).expect("e-process builds");
+    let log_threshold = -ALPHA.ln();
+
+    println!(
+        "CONFSEQ: {streams} streams x {LOOKS} looks, true rate {:.2e}/h = {RATE_FRACTION} x budget {BUDGET_PER_HOUR:.0e}/h, alpha {ALPHA}",
+        true_rate
+    );
+
+    // Ever-alarmed stream counts by look index, cumulative.
+    let mut naive_alarmed = vec![0u64; LOOKS];
+    let mut seq_alarmed = vec![0u64; LOOKS];
+    // Width diagnostics at the final look (safe streams only would bias;
+    // take all streams — the null is true everywhere).
+    let mut garwood_width_sum = 0.0;
+    let mut seq_width_sum = 0.0;
+
+    for stream in 0..streams {
+        let mut rng = substream(SEED, stream);
+        let mut events = 0u64;
+        let mut naive_hit = false;
+        let mut seq_hit = false;
+        for look in 0..LOOKS {
+            events += poisson(&mut rng, true_rate * HOURS_PER_LOOK);
+            let exposure = Hours::new(HOURS_PER_LOOK * (look + 1) as f64).expect("positive");
+
+            if !naive_hit {
+                let lower = PoissonRate::new(events, exposure)
+                    .lower_bound(1.0 - ALPHA)
+                    .expect("positive exposure");
+                naive_hit = lower > budget;
+            }
+            if !seq_hit {
+                let log_e = e_process
+                    .log_e_value(events, exposure)
+                    .expect("valid inputs");
+                let interval = confseq.interval(events, exposure).expect("valid inputs");
+                seq_hit = log_e >= log_threshold || interval.lower > budget;
+            }
+            naive_alarmed[look] += u64::from(naive_hit);
+            seq_alarmed[look] += u64::from(seq_hit);
+
+            if look == LOOKS - 1 {
+                let garwood = PoissonRate::new(events, exposure)
+                    .confidence_interval(1.0 - 2.0 * ALPHA)
+                    .expect("valid level");
+                let interval = confseq.interval(events, exposure).expect("valid inputs");
+                garwood_width_sum += garwood.width().as_per_hour();
+                seq_width_sum += interval.width().as_per_hour();
+            }
+        }
+    }
+
+    let fraction = |alarmed: &[u64]| -> Vec<f64> {
+        alarmed.iter().map(|&n| n as f64 / streams as f64).collect()
+    };
+    let naive_trajectory = fraction(&naive_alarmed);
+    let seq_trajectory = fraction(&seq_alarmed);
+    let naive_final = *naive_trajectory.last().expect("looks > 0");
+    let seq_final = *seq_trajectory.last().expect("looks > 0");
+    let width_ratio = seq_width_sum / garwood_width_sum;
+
+    println!(
+        "  naive repeated Garwood: {:.1}% of streams falsely alarmed ({:.1}x nominal alpha)",
+        100.0 * naive_final,
+        naive_final / ALPHA
+    );
+    println!(
+        "  confidence sequence:    {:.1}% of streams falsely alarmed (nominal alpha {:.1}%)",
+        100.0 * seq_final,
+        100.0 * ALPHA
+    );
+    println!(
+        "  final-look width: sequential is {width_ratio:.2}x Garwood (the price of anytime validity)"
+    );
+
+    assert!(
+        naive_final > 3.0 * ALPHA,
+        "naive repeated looks must inflate false alarms above 3 alpha, got {naive_final:.3}"
+    );
+    assert!(
+        seq_final <= 2.0 * ALPHA,
+        "the confidence sequence must hold its level (<= 2 alpha), got {seq_final:.3}"
+    );
+    assert!(
+        width_ratio <= qrn_stats::confseq::DOCUMENTED_WIDTH_FACTOR,
+        "sequential width must stay within the documented factor, got {width_ratio:.2}"
+    );
+
+    save_json(
+        "exp_confseq",
+        &json!({
+            "quick": quick,
+            "config": {
+                "budget_per_hour": BUDGET_PER_HOUR,
+                "rate_fraction": RATE_FRACTION,
+                "true_rate_per_hour": true_rate,
+                "alpha": ALPHA,
+                "streams": streams,
+                "looks": LOOKS,
+                "hours_per_look": HOURS_PER_LOOK,
+                "seed": SEED,
+                "mixture_shape": mixture.shape(),
+                "mixture_pseudo_hours": mixture.pseudo_hours(),
+            },
+            "trajectory": {
+                "look_hours": (1..=LOOKS).map(|l| l as f64 * HOURS_PER_LOOK).collect::<Vec<_>>(),
+                "naive_false_alarm_fraction": naive_trajectory,
+                "sequential_false_alarm_fraction": seq_trajectory,
+            },
+            "headline": {
+                "naive_false_alarm_rate": naive_final,
+                "sequential_false_alarm_rate": seq_final,
+                "nominal_alpha": ALPHA,
+                "inflation_factor": naive_final / ALPHA,
+                "final_width_ratio_vs_garwood": width_ratio,
+            },
+        }),
+    );
+}

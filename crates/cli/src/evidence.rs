@@ -7,16 +7,18 @@
 //!
 //! ```text
 //! qrn evidence inspect ledger.json
+//! qrn evidence inspect ledger.json --looks case/live-state.json
 //! qrn evidence merge a.json b.json c.json --out pooled.json
 //! qrn evidence diff before.json after.json
 //! ```
 
 use std::path::{Path, PathBuf};
 
+use qrn_fleet::looks::LookBook;
 use qrn_stats::evidence::EvidenceLedger;
 use qrn_stats::poisson::WeightedCount;
 
-use crate::commands::{has_flag, required_flag};
+use crate::commands::{flag, has_flag, required_flag};
 use crate::io::{read_artefact, write_artefact};
 use crate::{CliError, CommandOutcome};
 
@@ -96,7 +98,47 @@ fn inspect(path: &Path, rest: &[&str]) -> Result<CommandOutcome, CliError> {
             "unit-weight (exact Poisson statistics apply)"
         }
     );
+    print_looks(rest)?;
     check_mece(&ledger, rest)
+}
+
+/// `--looks <checkpoint-or-sidecar>`: prints the look ledger next to the
+/// evidence — per-goal completed looks, current alert level and every
+/// recorded `Ok → Watch → Burned` transition timestamp. Accepts either
+/// the checkpoint path (the `.looks.json` sidecar is derived) or the
+/// sidecar path itself.
+fn print_looks(rest: &[&str]) -> Result<(), CliError> {
+    let Some(text) = flag(rest, "--looks") else {
+        return Ok(());
+    };
+    let given = Path::new(text);
+    let sidecar = if text.ends_with(".looks.json") {
+        given.to_path_buf()
+    } else {
+        LookBook::sidecar_path(given)
+    };
+    let book = LookBook::load_if_exists(&sidecar)?
+        .ok_or_else(|| CliError(format!("no look sidecar at {}", sidecar.display())))?;
+    println!("look accounting {}:", sidecar.display());
+    if book.is_empty() {
+        println!("  (no goal has been looked at)");
+        return Ok(());
+    }
+    for (goal, entry) in book.iter() {
+        println!(
+            "  {goal}: {} look{}, currently {:?}",
+            entry.looks,
+            if entry.looks == 1 { "" } else { "s" },
+            entry.alert
+        );
+        for transition in &entry.transitions {
+            println!(
+                "    -> {:?} at unix millis {}",
+                transition.to, transition.at_unix_millis
+            );
+        }
+    }
+    Ok(())
 }
 
 /// `--check-mece`: asserts the named context rows form a mutually
@@ -437,6 +479,44 @@ mod tests {
             .unwrap(),
             CommandOutcome::Ok
         );
+    }
+
+    #[test]
+    fn inspect_looks_prints_the_sidecar_and_rejects_a_missing_one() {
+        use qrn_fleet::burndown::AlertLevel;
+
+        let dir = temp_dir("looks");
+        let ledger = dir.join("ledger.json");
+        write_ledger(&ledger, |l| l.add_exposure(None, 10.0));
+        let checkpoint = dir.join("live-state.json");
+        let sidecar = LookBook::sidecar_path(&checkpoint);
+        let mut book = LookBook::new();
+        book.spend_look("I2");
+        book.spend_look("I2");
+        book.observe_alert("I2", AlertLevel::Watch, 1754700000000);
+        book.save(&sidecar).unwrap();
+        // Both the checkpoint path and the sidecar path itself resolve.
+        for target in [&checkpoint, &sidecar] {
+            assert_eq!(
+                run_strs(&[
+                    "evidence",
+                    "inspect",
+                    ledger.to_str().unwrap(),
+                    "--looks",
+                    target.to_str().unwrap(),
+                ])
+                .unwrap(),
+                CommandOutcome::Ok
+            );
+        }
+        assert!(run_strs(&[
+            "evidence",
+            "inspect",
+            ledger.to_str().unwrap(),
+            "--looks",
+            dir.join("absent.json").to_str().unwrap(),
+        ])
+        .is_err());
     }
 
     #[test]

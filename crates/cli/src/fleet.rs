@@ -24,6 +24,7 @@ use qrn_fleet::burndown::{
     burn_down_evidence_filtered, burn_down_filtered, BurnDownConfig, ContextFilter,
 };
 use qrn_fleet::ingest::{ingest_str, FleetState};
+use qrn_fleet::looks::LookBook;
 use qrn_fleet::telemetry::{FaultPlan, Policy, Scenario, TelemetryConfig};
 use qrn_sim::monte_carlo::Campaign;
 use qrn_sim::policy::{CautiousPolicy, ReactivePolicy, TacticalPolicy};
@@ -68,6 +69,13 @@ pub fn run(rest: &[&str]) -> Result<CommandOutcome, CliError> {
             "fleet needs a subcommand: generate|ingest|report".into(),
         )),
     }
+}
+
+fn unix_millis_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
 }
 
 fn parse_u64(text: &str, what: &str) -> Result<u64, CliError> {
@@ -367,6 +375,10 @@ fn report(
     if let Some(text) = flag(rest, "--sprt-fraction") {
         config.sprt_fraction = parse_f64(text, "--sprt-fraction")?;
     }
+    // `--sequential` switches the verdict onto the anytime-valid
+    // confidence sequence and budget e-process (schema version 4); the
+    // SPRT and Garwood columns remain as descriptive legacy.
+    config.sequential = has_flag(rest, "--sequential");
     // `--where dim=value` (repeatable) restricts the refinement rows to
     // contexts matching every clause; any filter implies per-context
     // rows. `--by-zone` is the pre-0.8 alias of `--by-context`.
@@ -384,7 +396,7 @@ fn report(
     // weighted and zone-refined) merge with the operational fleet
     // evidence into one combined burn-down.
     let evidence_paths = flag_values(rest, "--evidence");
-    let report = if evidence_paths.is_empty() {
+    let mut report = if evidence_paths.is_empty() {
         burn_down_filtered(&norm, &allocation, &state, &config, &filter)?
     } else {
         let mut combined = state.evidence().clone();
@@ -403,6 +415,33 @@ fn report(
         report.skipped = state.skipped();
         report
     };
+    // Look accounting aligned with `qrn serve`: with `--checkpoint`, this
+    // report is one more look in a persistent sequence — resume the
+    // `<checkpoint>.looks.json` sidecar, spend a look per goal, record
+    // alert edges and persist. Without it, a one-shot report stays its
+    // own first look (`looks: 1`). See DESIGN §10.
+    if let Some(ckpt) = flag(rest, "--checkpoint") {
+        let sidecar = LookBook::sidecar_path(Path::new(ckpt));
+        let mut book = LookBook::load_if_exists(&sidecar)?.unwrap_or_default();
+        for (incident, _) in allocation.budgets() {
+            book.spend_look(incident.as_str());
+        }
+        let now = unix_millis_now();
+        for goal in &report.goals {
+            book.observe_alert(goal.incident.as_str(), goal.alert, now);
+        }
+        let stamp = |goals: &mut Vec<qrn_fleet::burndown::GoalBurnDown>| {
+            for goal in goals {
+                goal.looks = book.looks(goal.incident.as_str()).max(1);
+            }
+        };
+        stamp(&mut report.goals);
+        for zone in &mut report.zones {
+            stamp(&mut zone.goals);
+        }
+        book.save(&sidecar)?;
+        println!("look accounting resumed from {}", sidecar.display());
+    }
     print!("{report}");
     if let Some(out) = flag(rest, "--out") {
         let path = PathBuf::from(out);
@@ -873,6 +912,116 @@ mod tests {
             "weather",
         ])
         .is_err());
+    }
+
+    #[test]
+    fn sequential_report_adds_columns_and_legacy_bytes_are_unchanged() {
+        let dir = temp_dir("sequential");
+        emit_artefacts(&dir);
+        let log = dir.join("events.jsonl");
+        run_strs(&[
+            "fleet",
+            "generate",
+            "--scenario",
+            "urban",
+            "--policy",
+            "cautious",
+            "--hours",
+            "40",
+            "--vehicles",
+            "3",
+            "--seed",
+            "11",
+            "--out",
+            log.to_str().unwrap(),
+        ])
+        .unwrap();
+        let legacy = dir.join("legacy.json");
+        let sequential = dir.join("sequential.json");
+        let norm = dir.join("norm.json");
+        let classification = dir.join("classification.json");
+        let allocation = dir.join("allocation.json");
+        for (out, flags) in [(&legacy, &[][..]), (&sequential, &["--sequential"][..])] {
+            let mut args = vec![
+                "fleet",
+                "report",
+                norm.to_str().unwrap(),
+                classification.to_str().unwrap(),
+                allocation.to_str().unwrap(),
+                "--log",
+                log.to_str().unwrap(),
+                "--out",
+                out.to_str().unwrap(),
+            ];
+            args.extend_from_slice(flags);
+            let _ = run_strs(&args).unwrap();
+        }
+        let legacy_text = std::fs::read_to_string(&legacy).unwrap();
+        let sequential_text = std::fs::read_to_string(&sequential).unwrap();
+        assert!(!legacy_text.contains("seq_upper"), "{legacy_text}");
+        assert!(!legacy_text.contains("\"sequential\""), "{legacy_text}");
+        assert!(legacy_text.contains("\"schema_version\": 3"));
+        assert!(sequential_text.contains("\"seq_lower\""));
+        assert!(sequential_text.contains("\"seq_upper\""));
+        assert!(sequential_text.contains("\"e_value\""));
+        assert!(sequential_text.contains("\"schema_version\": 4"));
+    }
+
+    #[test]
+    fn report_checkpoint_resumes_look_accounting_across_runs() {
+        let dir = temp_dir("report-looks");
+        emit_artefacts(&dir);
+        let log = dir.join("events.jsonl");
+        run_strs(&[
+            "fleet",
+            "generate",
+            "--scenario",
+            "urban",
+            "--policy",
+            "cautious",
+            "--hours",
+            "30",
+            "--vehicles",
+            "2",
+            "--seed",
+            "6",
+            "--out",
+            log.to_str().unwrap(),
+        ])
+        .unwrap();
+        let checkpoint = dir.join("fleet-state.json");
+        let sidecar = LookBook::sidecar_path(&checkpoint);
+        let _ = std::fs::remove_file(&sidecar);
+        let report_args = |out: &Path| {
+            vec![
+                "fleet".to_string(),
+                "report".to_string(),
+                dir.join("norm.json").to_str().unwrap().to_string(),
+                dir.join("classification.json")
+                    .to_str()
+                    .unwrap()
+                    .to_string(),
+                dir.join("allocation.json").to_str().unwrap().to_string(),
+                "--log".to_string(),
+                log.to_str().unwrap().to_string(),
+                "--checkpoint".to_string(),
+                checkpoint.to_str().unwrap().to_string(),
+                "--out".to_string(),
+                out.to_str().unwrap().to_string(),
+            ]
+        };
+        let first = dir.join("first.json");
+        let second = dir.join("second.json");
+        let _ = run_cli(&report_args(&first)).unwrap();
+        let book = LookBook::load_if_exists(&sidecar).unwrap().unwrap();
+        assert!(!book.is_empty());
+        assert!(book.iter().all(|(_, entry)| entry.looks == 1));
+        let _ = run_cli(&report_args(&second)).unwrap();
+        let book = LookBook::load_if_exists(&sidecar).unwrap().unwrap();
+        assert!(book.iter().all(|(_, entry)| entry.looks == 2));
+        assert!(std::fs::read_to_string(&second)
+            .unwrap()
+            .contains("\"looks\": 2"));
     }
 
     #[test]

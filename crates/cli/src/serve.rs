@@ -138,6 +138,10 @@ pub fn run(
         config.burndown.watch_ratio = parse_f64(text, "--watch-ratio")?;
     }
     config.burndown.by_zone = has_flag(rest, "--by-context") || has_flag(rest, "--by-zone");
+    // `--sequential` switches every item's verdict onto the anytime-valid
+    // confidence sequence + budget e-process and enables the
+    // `qrn_goal_e_value` / `qrn_goal_seq_upper` metric families.
+    config.burndown.sequential = has_flag(rest, "--sequential");
 
     let checkpoint = config.checkpoint.clone();
     let store = config.store.clone();

@@ -36,6 +36,7 @@ use qrn_core::allocation::Allocation;
 use qrn_core::consequence::ConsequenceClassId;
 use qrn_core::incident::IncidentTypeId;
 use qrn_core::norm::QuantitativeRiskNorm;
+use qrn_stats::confseq::{BudgetEValue, GammaMixture, PoissonConfSeq};
 use qrn_stats::evidence::EvidenceLedger;
 use qrn_stats::poisson::{PoissonRate, WeightedCount, WeightedPoissonRate};
 use qrn_stats::sequential::{PoissonSprt, SprtDecision};
@@ -50,6 +51,14 @@ use crate::ingest::FleetState;
 /// when burn-down moved onto [`EvidenceLedger`] evidence. Version 3 added
 /// the per-goal `looks` counter for repeated-SPRT-look accounting.
 pub const REPORT_SCHEMA_VERSION: u64 = 3;
+
+/// Schema version stamped on reports produced in *sequential* mode
+/// ([`BurnDownConfig::sequential`]): version 4 adds the per-goal
+/// `seq_lower` / `seq_upper` / `e_value` columns and switches the alert
+/// verdict to the anytime-valid confidence-sequence/e-process test.
+/// Non-sequential reports keep [`REPORT_SCHEMA_VERSION`] and their exact
+/// legacy bytes.
+pub const SEQUENTIAL_REPORT_SCHEMA_VERSION: u64 = 4;
 
 /// Escalation level of one budget row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -74,7 +83,12 @@ impl fmt::Display for AlertLevel {
 }
 
 /// Parameters of the burn-down analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Serialisation is hand-written: the `sequential` flag is emitted only
+/// when set, so non-sequential configs serialise to exactly their
+/// pre-sequential bytes, and deserialisation defaults a missing
+/// `sequential` to `false` so old artefacts load unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BurnDownConfig {
     /// One-sided confidence for the exact Poisson bounds.
     pub confidence: f64,
@@ -97,6 +111,53 @@ pub struct BurnDownConfig {
     /// historical `by_zone` name (and serialised spelling) from the days
     /// when zones were the only contexts.
     pub by_zone: bool,
+    /// Anytime-valid sequential mode. When set, every goal row carries a
+    /// gamma-mixture confidence sequence (`seq_lower` / `seq_upper`, at
+    /// level [`BurnDownConfig::confidence`]) and a budget e-process
+    /// (`e_value`), and the `Ok/Watch/Burned` verdict comes from them:
+    /// `Burned` iff the e-value reaches `1/alpha` or the sequence's lower
+    /// bound clears the budget — tests whose error guarantees survive
+    /// unlimited data-dependent looks. The SPRT and Garwood columns are
+    /// still computed, as byte-stable descriptive legacy, and `looks`
+    /// becomes purely informational.
+    pub sequential: bool,
+}
+
+impl Serialize for BurnDownConfig {
+    fn to_value(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        map.insert(String::from("confidence"), self.confidence.to_value());
+        map.insert(String::from("alpha"), self.alpha.to_value());
+        map.insert(String::from("beta"), self.beta.to_value());
+        map.insert(String::from("sprt_fraction"), self.sprt_fraction.to_value());
+        map.insert(String::from("watch_ratio"), self.watch_ratio.to_value());
+        map.insert(String::from("by_zone"), self.by_zone.to_value());
+        if self.sequential {
+            map.insert(String::from("sequential"), self.sequential.to_value());
+        }
+        serde::Value::Object(map)
+    }
+}
+
+impl Deserialize for BurnDownConfig {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let serde::Value::Object(map) = value else {
+            return Err(serde::Error::expected("object", value, "BurnDownConfig"));
+        };
+        Ok(BurnDownConfig {
+            confidence: serde::__private::field(map, "confidence")?,
+            alpha: serde::__private::field(map, "alpha")?,
+            beta: serde::__private::field(map, "beta")?,
+            sprt_fraction: serde::__private::field(map, "sprt_fraction")?,
+            watch_ratio: serde::__private::field(map, "watch_ratio")?,
+            by_zone: serde::__private::field(map, "by_zone")?,
+            // Absent in every pre-sequential artefact: default off.
+            sequential: match map.get("sequential") {
+                Some(v) => bool::from_value(v)?,
+                None => false,
+            },
+        })
+    }
 }
 
 /// Dimension filter over named evidence contexts: the parsed form of one
@@ -168,6 +229,7 @@ impl Default for BurnDownConfig {
             sprt_fraction: 0.1,
             watch_ratio: 0.5,
             by_zone: false,
+            sequential: false,
         }
     }
 }
@@ -197,7 +259,11 @@ impl BurnDownConfig {
 }
 
 /// Burn-down row of one incident-type budget (one safety goal).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialisation is hand-written so the sequential columns are omitted
+/// entirely when absent: a non-sequential row serialises to exactly its
+/// pre-sequential bytes.
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct GoalBurnDown {
     /// The incident type.
     pub incident: IncidentTypeId,
@@ -227,16 +293,57 @@ pub struct GoalBurnDown {
     /// (growing) evidence stream, **including this report**. A one-shot
     /// offline report is its own first look, so [`burn_down`] and
     /// [`burn_down_evidence`] always report `1`; the `qrn-serve` live
-    /// server stamps its persisted per-goal look counter instead. Wald's
-    /// SPRT is sequentially valid — its error guarantees survive
-    /// continuous monitoring — but the exact Poisson bounds are
-    /// snapshot statistics: consulting them repeatedly at every look
-    /// inflates their effective error rate, which is why the counter is
-    /// carried in the artefact (see DESIGN §10; full alpha-spending is
-    /// future work).
+    /// server and `fleet report --checkpoint` stamp their persisted
+    /// per-goal look counters instead. Wald's SPRT is sequentially valid
+    /// — its error guarantees survive continuous monitoring — but the
+    /// exact Poisson bounds are snapshot statistics: consulting them
+    /// repeatedly at every look inflates their effective error rate,
+    /// which is why the counter is carried in the artefact (see DESIGN
+    /// §10). In sequential mode the verdict comes from the anytime-valid
+    /// columns below and the counter is purely informational.
     pub looks: u64,
     /// The escalation level.
     pub alert: AlertLevel,
+    /// Lower endpoint of the anytime-valid confidence sequence for the
+    /// rate (sequential mode only; zero at zero exposure).
+    pub seq_lower: Option<Frequency>,
+    /// Upper endpoint of the anytime-valid confidence sequence
+    /// (sequential mode only; zero at zero exposure, where the sequence
+    /// is vacuous).
+    pub seq_upper: Option<Frequency>,
+    /// Running e-value of the budget e-process (sequential mode only).
+    /// Starts at 1; `e_value ≥ 1/alpha` at any look is the anytime-valid
+    /// `Burned` rejection of "the rate is within budget". Capped at
+    /// `f64::MAX` for JSON representability.
+    pub e_value: Option<f64>,
+}
+
+impl Serialize for GoalBurnDown {
+    fn to_value(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        map.insert(String::from("incident"), self.incident.to_value());
+        map.insert(String::from("budget"), self.budget.to_value());
+        map.insert(String::from("observed"), self.observed.to_value());
+        // `weighted` keeps its explicit `null` from the derived days —
+        // legacy rows must stay byte-identical.
+        map.insert(String::from("weighted"), self.weighted.to_value());
+        map.insert(String::from("point"), self.point.to_value());
+        map.insert(String::from("upper_bound"), self.upper_bound.to_value());
+        map.insert(String::from("consumed"), self.consumed.to_value());
+        map.insert(String::from("sprt"), self.sprt.to_value());
+        map.insert(String::from("looks"), self.looks.to_value());
+        map.insert(String::from("alert"), self.alert.to_value());
+        if let Some(v) = &self.seq_lower {
+            map.insert(String::from("seq_lower"), v.to_value());
+        }
+        if let Some(v) = &self.seq_upper {
+            map.insert(String::from("seq_upper"), v.to_value());
+        }
+        if let Some(v) = &self.e_value {
+            map.insert(String::from("e_value"), v.to_value());
+        }
+        serde::Value::Object(map)
+    }
 }
 
 /// Burn-down row of one consequence class of the norm.
@@ -459,14 +566,57 @@ fn goal_rows(
             None => sprt_test.decide(observed.count, exposure),
         };
         let consumed = point.ratio(budget).unwrap_or(0.0);
-        let alert = if sprt == SprtDecision::AcceptAlternative || lower_bound > budget {
+        // Sequential mode: the same effective evidence drives the
+        // anytime-valid instruments — a confidence sequence at the
+        // configured confidence and the budget e-process at SPRT α — and
+        // the verdict moves onto them.
+        let (seq_lower, seq_upper, e_value, seq_burned) = if config.sequential {
+            let mixture = GammaMixture::default_at(budget)?;
+            let confseq = PoissonConfSeq::new(1.0 - config.confidence, mixture)?;
+            let e_process = BudgetEValue::new(budget, mixture)?;
+            let (k_eff, t_eff) = match &weighted {
+                Some(w) => w.effective(),
+                None => (observed.count as f64, exposure),
+            };
+            let log_e = e_process.log_e_value_effective(k_eff, t_eff)?;
+            let (seq_lo, seq_hi) = if t_eff.value() > 0.0 {
+                let interval = confseq.interval_effective(k_eff, t_eff)?;
+                (interval.lower, interval.upper)
+            } else {
+                // No exposure: the sequence is vacuous, reported as zeros
+                // like the exact bounds.
+                (Frequency::ZERO, Frequency::ZERO)
+            };
+            (
+                Some(seq_lo),
+                Some(seq_hi),
+                Some(log_e.exp().min(f64::MAX)),
+                log_e >= -config.alpha.ln(),
+            )
+        } else {
+            (None, None, None, false)
+        };
+        let alert = if config.sequential {
+            if seq_burned || seq_lower.is_some_and(|lo| lo > budget) {
+                AlertLevel::Burned
+            } else if consumed >= config.watch_ratio {
+                AlertLevel::Watch
+            } else {
+                AlertLevel::Ok
+            }
+        } else if sprt == SprtDecision::AcceptAlternative || lower_bound > budget {
             AlertLevel::Burned
         } else if consumed >= config.watch_ratio {
             AlertLevel::Watch
         } else {
             AlertLevel::Ok
         };
-        lower_bounds.push(lower_bound);
+        // Class propagation inherits the verdict's currency: anytime-valid
+        // lower bounds in sequential mode, Garwood otherwise.
+        lower_bounds.push(match seq_lower {
+            Some(lo) => lo,
+            None => lower_bound,
+        });
         goals.push(GoalBurnDown {
             incident: incident.clone(),
             budget,
@@ -478,6 +628,9 @@ fn goal_rows(
             sprt,
             looks: 1,
             alert,
+            seq_lower,
+            seq_upper,
+            e_value,
         });
     }
     Ok((goals, lower_bounds))
@@ -581,7 +734,11 @@ pub fn burn_down_evidence_filtered(
         }
     }
     Ok(FleetReport {
-        schema_version: REPORT_SCHEMA_VERSION,
+        schema_version: if config.sequential {
+            SEQUENTIAL_REPORT_SCHEMA_VERSION
+        } else {
+            REPORT_SCHEMA_VERSION
+        },
         config: *config,
         exposure_hours: evidence.exposure(),
         vehicles: 0,
@@ -982,6 +1139,134 @@ mod tests {
         // context-key rows render with the "context" label
         let text = fog.to_string();
         assert!(text.contains("context lighting=day,weather=fog,zone=urban"));
+    }
+
+    #[test]
+    fn legacy_report_bytes_carry_no_sequential_keys() {
+        // The flag off is the pre-sequential world: canonical JSON must
+        // not even mention the new columns, so existing artefacts stay
+        // byte-identical.
+        let report = setup(&vru_crash_log(5000.0, 3));
+        assert_eq!(report.schema_version, REPORT_SCHEMA_VERSION);
+        let json = report.to_canonical_json();
+        for key in ["seq_lower", "seq_upper", "e_value", "sequential"] {
+            assert!(!json.contains(key), "legacy bytes grew a {key:?} key");
+        }
+        // The legacy `weighted: null` placeholder is still emitted.
+        assert!(json.contains("\"weighted\": null"), "{json}");
+    }
+
+    fn sequential_report(log: &str) -> FleetReport {
+        let norm = paper_norm().unwrap();
+        let classification = paper_classification().unwrap();
+        let allocation = paper_allocation(&classification).unwrap();
+        let state = ingest_str(log, &classification, 2).unwrap();
+        let config = BurnDownConfig {
+            sequential: true,
+            ..BurnDownConfig::default()
+        };
+        burn_down(&norm, &allocation, &state, &config).unwrap()
+    }
+
+    #[test]
+    fn sequential_mode_stamps_schema_4_and_fills_the_columns() {
+        let report = sequential_report(&vru_crash_log(5000.0, 3));
+        assert_eq!(report.schema_version, SEQUENTIAL_REPORT_SCHEMA_VERSION);
+        for g in &report.goals {
+            let lo = g.seq_lower.expect("sequential rows carry seq_lower");
+            let hi = g.seq_upper.expect("sequential rows carry seq_upper");
+            let e = g.e_value.expect("sequential rows carry e_value");
+            assert!(lo <= hi, "{}", g.incident);
+            assert!(e.is_finite() && e >= 0.0, "{}", g.incident);
+            // Anytime validity costs width: the sequence's upper endpoint
+            // is never tighter than Garwood's at the same evidence.
+            assert!(hi >= g.upper_bound, "{}", g.incident);
+        }
+        let json = report.to_canonical_json();
+        assert!(json.contains("\"seq_upper\""));
+        assert!(json.contains("\"sequential\": true"));
+    }
+
+    #[test]
+    fn sequential_verdict_burns_on_overwhelming_evidence_only() {
+        // 40 I3 events in 1000 h, ~5 orders of magnitude over budget:
+        // the e-process must reject.
+        let burned = sequential_report(&vru_crash_log(1000.0, 40));
+        let i3 = burned.goal(&"I3".into()).unwrap();
+        assert_eq!(i3.alert, AlertLevel::Burned);
+        assert!(i3.e_value.unwrap() > 1.0 / burned.config.alpha);
+        // The class propagation uses the sequential lower bounds and
+        // still flags the class I3 feeds.
+        assert_eq!(
+            burned.class(&"vS3".into()).unwrap().alert,
+            AlertLevel::Burned
+        );
+        // A clean young fleet stays Ok: no evidence, e-value ≈ 1.
+        let clean = sequential_report(&clean_log(100.0));
+        for g in &clean.goals {
+            assert_eq!(g.alert, AlertLevel::Ok, "{}", g.incident);
+            assert!(g.e_value.unwrap() <= 1.0 + 1e-9, "{}", g.incident);
+            assert_eq!(g.seq_lower.unwrap(), Frequency::ZERO);
+        }
+    }
+
+    #[test]
+    fn sequential_zero_exposure_reports_vacuous_zeros() {
+        let report = sequential_report("");
+        for g in &report.goals {
+            assert_eq!(g.seq_lower.unwrap(), Frequency::ZERO);
+            assert_eq!(g.seq_upper.unwrap(), Frequency::ZERO);
+            assert!((g.e_value.unwrap() - 1.0).abs() < 1e-12);
+            assert_ne!(g.alert, AlertLevel::Burned);
+        }
+    }
+
+    #[test]
+    fn sequential_report_round_trips_and_old_configs_deserialise() {
+        let report = sequential_report(&vru_crash_log(5000.0, 3));
+        let json = report.to_canonical_json();
+        let back: FleetReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+        assert!(back.config.sequential);
+        // A config serialised before the sequential column existed loads
+        // with the flag off.
+        let legacy = r#"{
+            "confidence": 0.95, "alpha": 0.05, "beta": 0.05,
+            "sprt_fraction": 0.1, "watch_ratio": 0.5, "by_zone": false
+        }"#;
+        let config: BurnDownConfig = serde_json::from_str(legacy).unwrap();
+        assert!(!config.sequential);
+        assert_eq!(config, BurnDownConfig::default());
+    }
+
+    #[test]
+    fn sequential_weighted_evidence_drives_effective_statistics() {
+        let norm = paper_norm().unwrap();
+        let classification = paper_classification().unwrap();
+        let allocation = paper_allocation(&classification).unwrap();
+        let config = BurnDownConfig {
+            sequential: true,
+            ..BurnDownConfig::default()
+        };
+        let report = burn_down_evidence(&norm, &allocation, &weighted_ledger(), &config).unwrap();
+        let i3 = report.goal(&"I3".into()).unwrap();
+        let w = i3.weighted.as_ref().unwrap();
+        let (k_eff, t_eff) = w.effective();
+        // The stored columns are exactly the confseq primitives evaluated
+        // at the Kish effective statistics.
+        let mixture = GammaMixture::default_at(i3.budget).unwrap();
+        let expected = PoissonConfSeq::new(1.0 - config.confidence, mixture)
+            .unwrap()
+            .interval_effective(k_eff, t_eff)
+            .unwrap();
+        assert_eq!(i3.seq_lower.unwrap(), expected.lower);
+        assert_eq!(i3.seq_upper.unwrap(), expected.upper);
+        let expected_e = BudgetEValue::new(i3.budget, mixture)
+            .unwrap()
+            .log_e_value_effective(k_eff, t_eff)
+            .unwrap()
+            .exp();
+        assert!((i3.e_value.unwrap() - expected_e).abs() <= 1e-12 * expected_e.abs());
     }
 
     #[test]

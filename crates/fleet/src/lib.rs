@@ -29,6 +29,11 @@
 //!    persistence of [`ingest::FleetState`], shared by the CLI's
 //!    `fleet ingest --checkpoint` and the `qrn-serve` live server so both
 //!    produce byte-identical checkpoint artefacts.
+//! 6. [`looks`] — the `<checkpoint>.looks.json` sidecar: per-goal look
+//!    counters and `Ok → Watch → Burned` transition timestamps, shared by
+//!    the live server, offline `fleet report --checkpoint` and
+//!    `qrn evidence inspect` so look accounting is consistent wherever a
+//!    verdict is consulted.
 //!
 //! # A monitoring loop in six lines
 //!
@@ -54,6 +59,7 @@ pub mod checkpoint;
 pub mod error;
 pub mod event;
 pub mod ingest;
+pub mod looks;
 pub mod telemetry;
 
 pub use burndown::{
@@ -63,4 +69,5 @@ pub use error::FleetError;
 pub use event::fastpath::{parse_line_hybrid, FastEvent, ParsedLine, ScratchParser};
 pub use event::{parse_jsonl, to_jsonl, FleetEvent, SkipCounts, SCHEMA_VERSION};
 pub use ingest::{ingest_str, ingest_str_with_scratch, FleetState};
+pub use looks::{AlertTransition, GoalLooks, LookBook};
 pub use telemetry::TelemetryConfig;

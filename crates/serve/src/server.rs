@@ -55,7 +55,7 @@
 //! the main checkpoint must stay byte-identical to offline ingest, which
 //! never consults the test.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -74,6 +74,7 @@ use qrn_fleet::burndown::{
 use qrn_fleet::checkpoint;
 use qrn_fleet::event::SkipCounts;
 use qrn_fleet::ingest::{ingest_str, FleetState};
+use qrn_fleet::looks::LookBook;
 use qrn_stats::evidence::EvidenceLedger;
 use qrn_stats::prometheus::{render_ledgers, MetricKind, TextFamilies};
 use qrn_store::{AppendHook, AppendReceipt, Store, StoreConfig, StoreReader, StoreWriterHandle};
@@ -384,8 +385,9 @@ struct Item {
     /// each durably-appended segment in append order, so the live state
     /// stays byte-identical to a store replay under concurrent ingest.
     state: Arc<ShardedState>,
-    /// Per-goal SPRT look counters (completed looks so far).
-    looks: Mutex<BTreeMap<String, u64>>,
+    /// Per-goal look ledger: completed looks plus `Ok → Watch → Burned`
+    /// transition timestamps, persisted in the checkpoint sidecar.
+    looks: Mutex<LookBook>,
     /// Segments ingested since the last checkpoint write.
     segments_since_checkpoint: AtomicU64,
     /// This item's checkpoint file (the default item keeps the bare
@@ -459,13 +461,6 @@ struct IngestReply {
 }
 
 impl Inner {
-    /// Path of the look-counter sidecar: `<checkpoint>.looks.json`.
-    fn looks_path(checkpoint: &Path) -> PathBuf {
-        let mut name = checkpoint.as_os_str().to_os_string();
-        name.push(".looks.json");
-        PathBuf::from(name)
-    }
-
     fn item(&self, name: &str) -> Option<&Item> {
         self.items.iter().find(|item| item.config.name == name)
     }
@@ -480,9 +475,7 @@ impl Inner {
         let snapshot = item.state.fold();
         checkpoint::save_state(path, &snapshot)?;
         let looks = item.looks.lock().expect("look mutex poisoned").clone();
-        let looks_json =
-            serde_json::to_string_pretty(&looks).expect("look counters are serialisable");
-        checkpoint::save_bytes(&Self::looks_path(path), looks_json.as_bytes())?;
+        looks.save(&LookBook::sidecar_path(path))?;
         self.metrics.count_checkpoint();
         Ok(())
     }
@@ -778,7 +771,7 @@ impl Inner {
         let looks = {
             let mut looks = item.looks.lock().expect("look mutex poisoned");
             for (incident, _) in item.config.allocation.budgets() {
-                *looks.entry(incident.as_str().to_string()).or_insert(0) += 1;
+                looks.spend_look(incident.as_str());
             }
             looks.clone()
         };
@@ -797,9 +790,19 @@ impl Inner {
                 )
             }
         };
+        // Record the alert edges this look observed (global rows only:
+        // zone rows are refinements, not verdicts), so "when did I2
+        // enter Watch?" survives in the sidecar.
+        {
+            let now = now_millis();
+            let mut book = item.looks.lock().expect("look mutex poisoned");
+            for goal in &report.goals {
+                book.observe_alert(goal.incident.as_str(), goal.alert, now);
+            }
+        }
         let stamp = |goals: &mut Vec<qrn_fleet::burndown::GoalBurnDown>| {
             for goal in goals {
-                goal.looks = looks.get(goal.incident.as_str()).copied().unwrap_or(1);
+                goal.looks = looks.looks(goal.incident.as_str()).max(1);
             }
         };
         stamp(&mut report.goals);
@@ -816,7 +819,7 @@ impl Inner {
         struct ItemView<'a> {
             item: &'a Item,
             fleet: FleetState,
-            looks: BTreeMap<String, u64>,
+            looks: LookBook,
             combined: EvidenceLedger,
         }
         let mut views = Vec::with_capacity(self.items.len());
@@ -1060,8 +1063,50 @@ impl Inner {
                         ("item", &view.item.config.name),
                         ("goal", goal.incident.as_str()),
                     ],
-                    view.looks.get(goal.incident.as_str()).copied().unwrap_or(0),
+                    view.looks.looks(goal.incident.as_str()),
                 );
+            }
+        }
+        // Anytime-valid gauges, present only in sequential mode (the
+        // columns do not exist otherwise).
+        if self.config.burndown.sequential {
+            out.family(
+                "qrn_goal_e_value",
+                "Running budget e-process value per goal (anytime-valid; reaching 1/alpha rejects the budget)",
+                MetricKind::Gauge,
+            );
+            for (view, report) in views.iter().zip(&reports) {
+                for goal in &report.goals {
+                    if let Some(e_value) = goal.e_value {
+                        out.sample(
+                            "qrn_goal_e_value",
+                            &[
+                                ("item", &view.item.config.name),
+                                ("goal", goal.incident.as_str()),
+                            ],
+                            e_value,
+                        );
+                    }
+                }
+            }
+            out.family(
+                "qrn_goal_seq_upper",
+                "Upper endpoint of the anytime-valid confidence sequence on each goal's rate, per hour",
+                MetricKind::Gauge,
+            );
+            for (view, report) in views.iter().zip(&reports) {
+                for goal in &report.goals {
+                    if let Some(seq_upper) = goal.seq_upper {
+                        out.sample(
+                            "qrn_goal_seq_upper",
+                            &[
+                                ("item", &view.item.config.name),
+                                ("goal", goal.incident.as_str()),
+                            ],
+                            seq_upper.as_per_hour(),
+                        );
+                    }
+                }
             }
         }
         out.family(
@@ -1284,25 +1329,20 @@ impl Server {
                     Box::new(move |receipt: &AppendReceipt| live.ingest(&receipt.segment));
                 stores.push((item_config.name.clone(), store, Some(hook)));
             }
-            let looks: BTreeMap<String, u64> = match &path {
+            let looks: LookBook = match &path {
                 Some(path) => {
-                    let sidecar = Inner::looks_path(path);
-                    if sidecar.exists() {
-                        let text = std::fs::read_to_string(&sidecar).map_err(|e| {
-                            ServeError::Io(format!("cannot read {}: {e}", sidecar.display()))
-                        })?;
-                        serde_json::from_str(&text).map_err(|e| {
+                    let sidecar = LookBook::sidecar_path(path);
+                    LookBook::load_if_exists(&sidecar)
+                        .map_err(|e| {
                             ServeError::Io(format!(
-                                "{} is not a valid look-counter sidecar ({e}); \
+                                "{} is not a valid look sidecar ({e}); \
                                  delete it to reset look accounting",
                                 sidecar.display()
                             ))
                         })?
-                    } else {
-                        BTreeMap::new()
-                    }
+                        .unwrap_or_default()
                 }
-                None => BTreeMap::new(),
+                None => LookBook::new(),
             };
             items.push(Item {
                 config: item_config.clone(),
@@ -1565,7 +1605,131 @@ mod tests {
             metrics.contains("qrn_goal_sprt_looks_total{item=\"default\",goal=\"I1\"} 2"),
             "{metrics}"
         );
+        // Sequential families exist only in sequential mode.
+        assert!(!metrics.contains("qrn_goal_e_value"), "{metrics}");
+        assert!(!metrics.contains("qrn_goal_seq_upper"), "{metrics}");
         handle.stop().unwrap();
+    }
+
+    /// One severe VRU collision line (classifies as I3 under the paper
+    /// classification) in fleet-event JSONL.
+    fn crash_lines(n: usize) -> String {
+        let events: Vec<qrn_fleet::FleetEvent> = (0..n)
+            .map(|i| qrn_fleet::FleetEvent::Incident {
+                vehicle: format!("V{i:03}"),
+                record: qrn_core::incident::IncidentRecord::collision(
+                    qrn_core::object::Involvement::ego_with(qrn_core::object::ObjectType::Vru),
+                    qrn_units::Speed::from_kmh(30.0).unwrap(),
+                ),
+            })
+            .collect();
+        qrn_fleet::to_jsonl(&events)
+    }
+
+    #[test]
+    fn sequential_hammering_never_moves_the_verdict_columns() {
+        // The tentpole E2E property: in sequential mode the anytime-valid
+        // columns are functions of the evidence alone. Hammering the
+        // burn-down route with no new data moves `looks` and nothing
+        // else — the validity accounting cannot be flipped by polling.
+        let mut config = test_config();
+        config.burndown.sequential = true;
+        let handle = Server::start(config).unwrap();
+        let addr = handle.addr();
+        let log = format!(
+            "{{\"v\":1,\"event\":\"exposure\",\"vehicle\":\"V1\",\"hours\":50.0}}\n{}",
+            crash_lines(1)
+        );
+        assert_eq!(post(addr, "/v1/ingest", &log).0, 200);
+
+        let (status, body) = get(addr, "/v1/burndown");
+        assert_eq!(status, 200, "{body}");
+        let first: FleetReport = serde_json::from_str(&body).unwrap();
+        assert_eq!(
+            first.schema_version,
+            qrn_fleet::burndown::SEQUENTIAL_REPORT_SCHEMA_VERSION
+        );
+        for g in &first.goals {
+            assert!(g.seq_lower.is_some() && g.seq_upper.is_some() && g.e_value.is_some());
+        }
+        for look in 2..=20u64 {
+            let (status, body) = get(addr, "/v1/burndown");
+            assert_eq!(status, 200);
+            let report: FleetReport = serde_json::from_str(&body).unwrap();
+            for (g, f) in report.goals.iter().zip(&first.goals) {
+                assert_eq!(g.looks, look, "{}", g.incident);
+                assert_eq!(g.alert, f.alert, "{}", g.incident);
+                assert_eq!(g.e_value, f.e_value, "{}", g.incident);
+                assert_eq!(g.seq_lower, f.seq_lower, "{}", g.incident);
+                assert_eq!(g.seq_upper, f.seq_upper, "{}", g.incident);
+            }
+        }
+
+        let (status, metrics) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        qrn_stats::prometheus::validate_exposition(&metrics).unwrap();
+        assert!(
+            metrics.contains("qrn_goal_e_value{item=\"default\",goal=\"I1\"}"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("qrn_goal_seq_upper{item=\"default\",goal=\"I1\"}"),
+            "{metrics}"
+        );
+        handle.stop().unwrap();
+    }
+
+    #[test]
+    fn alert_transitions_survive_in_the_look_sidecar() {
+        let dir =
+            std::env::temp_dir().join(format!("qrn-serve-transitions-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("fleet.ckpt");
+        let mut config = test_config();
+        config.burndown.sequential = true;
+        config.checkpoint = Some(ckpt.clone());
+        let handle = Server::start(config).unwrap();
+        let addr = handle.addr();
+        // First look over clean exposure: everything Ok, no transitions.
+        let exposure = "{\"v\":1,\"event\":\"exposure\",\"vehicle\":\"V1\",\"hours\":8.0}\n";
+        assert_eq!(post(addr, "/v1/ingest", exposure).0, 200);
+        assert_eq!(get(addr, "/v1/burndown").0, 200);
+        // 40 severe VRU collisions: I3 burns; the second look records the
+        // Ok → Burned edge.
+        assert_eq!(post(addr, "/v1/ingest", &crash_lines(40)).0, 200);
+        let (status, body) = get(addr, "/v1/burndown");
+        assert_eq!(status, 200);
+        let report: FleetReport = serde_json::from_str(&body).unwrap();
+        let i3 = report.goal(&"I3".into()).unwrap();
+        assert_eq!(i3.alert, qrn_fleet::AlertLevel::Burned, "{body}");
+        handle.stop().unwrap();
+
+        let book = LookBook::load_if_exists(&LookBook::sidecar_path(&ckpt))
+            .unwrap()
+            .expect("final checkpoint writes the sidecar");
+        let entry = book.goal("I3").unwrap();
+        assert_eq!(entry.looks, 2);
+        assert_eq!(entry.alert, qrn_fleet::AlertLevel::Burned);
+        assert_eq!(entry.transitions.len(), 1);
+        assert_eq!(entry.transitions[0].to, qrn_fleet::AlertLevel::Burned);
+        assert!(entry.transitions[0].at_unix_millis > 0);
+        // A restarted server resumes both counts and history.
+        let mut config = test_config();
+        config.burndown.sequential = true;
+        config.checkpoint = Some(ckpt.clone());
+        let handle = Server::start(config).unwrap();
+        let (status, body) = get(handle.addr(), "/v1/burndown");
+        assert_eq!(status, 200);
+        let report: FleetReport = serde_json::from_str(&body).unwrap();
+        assert!(report.goals.iter().all(|g| g.looks == 3), "{body}");
+        handle.stop().unwrap();
+        let book = LookBook::load_if_exists(&LookBook::sidecar_path(&ckpt))
+            .unwrap()
+            .unwrap();
+        // The burned edge is still the only transition: the restart's
+        // look observed the same level.
+        assert_eq!(book.goal("I3").unwrap().transitions.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

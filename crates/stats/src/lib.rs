@@ -25,6 +25,10 @@
 //!   class).
 //! * [`sequential`] — a sequential probability ratio test (SPRT) for rates,
 //!   for monitoring a fleet as evidence accumulates.
+//! * [`confseq`] — anytime-valid inference: gamma-mixture confidence
+//!   sequences for Poisson rates and per-budget e-processes whose verdicts
+//!   stay valid under continuous monitoring (unlimited data-dependent
+//!   looks), the sequential replacement for fixed-sample Garwood bounds.
 //! * [`summary`] — online moments (plain and importance-weighted),
 //!   quantiles and histograms.
 //! * [`rng`] — reproducible seeding, stream splitting and the Poisson /
@@ -50,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod binomial;
+pub mod confseq;
 mod error;
 pub mod evidence;
 pub mod poisson;
